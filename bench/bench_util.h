@@ -1,0 +1,43 @@
+// Shared helpers for the paper-reproduction benchmark binaries.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "src/baselines/baselines.h"
+#include "src/core/api.h"
+
+namespace alpa {
+namespace bench {
+
+// The paper's testbed topology: p3.16xlarge nodes of 8 V100s.
+inline ClusterSpec ClusterFor(int num_gpus) {
+  if (num_gpus <= 8) {
+    return ClusterSpec::AwsP3(1, num_gpus);
+  }
+  return ClusterSpec::AwsP3(num_gpus / 8, 8);
+}
+
+// Formats a result cell: aggregate PFLOPS, or the paper's "x" for OOM /
+// infeasible configurations.
+inline std::string Cell(const ExecutionStats& stats) {
+  if (!stats.feasible || stats.oom) {
+    return "x";
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", stats.pflops);
+  return buffer;
+}
+
+// Keeps bench runtime bounded: smaller solver budget (quality loss is
+// negligible thanks to the plan-family seeds). Call once at the top of a
+// benchmark's main().
+inline void TuneForBench() {
+  BaselineOptionTemplate().inter.profiler.intra.solver.max_search_nodes = 60'000;
+}
+
+}  // namespace bench
+}  // namespace alpa
+
+#endif  // BENCH_BENCH_UTIL_H_

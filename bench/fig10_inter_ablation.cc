@@ -1,0 +1,72 @@
+// Figure 10: inter-op parallelism ablation (7.3).
+//
+// Compares the full stage-slicing DP ("DP") against "Equal operator"
+// (clustering disabled: equal op counts per layer) and "Equal layer"
+// (stage boundaries restricted to equal layer counts). Expected shape:
+// DP == Equal-layer on homogeneous GPT; DP > Equal-layer > Equal-operator
+// on heterogeneous Wide-ResNet (the paper reports 2.6x/1.6x at 32 GPUs).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/baselines/baselines.h"
+#include "src/models/gpt.h"
+#include "src/models/wide_resnet.h"
+
+namespace {
+
+using namespace alpa;
+using namespace alpa::bench;
+
+ExecutionStats RunVariant(Graph graph, const ClusterSpec& cluster, int num_microbatches,
+                          int layers, ClusteringMethod clustering, bool equal_layer) {
+  ParallelizeOptions options = BaselineOptionTemplate();
+  options.num_microbatches = num_microbatches;
+  options.inter.target_layers = layers;
+  options.inter.clustering = clustering;
+  options.inter.equal_layer_stages = equal_layer;
+  return CompileAndSimulate(graph, cluster, options);
+}
+
+template <typename BuildFn>
+void Row(const char* name, int gpus, int num_microbatches, int layers, BuildFn&& build) {
+  const ClusterSpec cluster = ClusterFor(gpus);
+  const ExecutionStats dp = RunVariant(build(), cluster, num_microbatches, layers,
+                                       ClusteringMethod::kDpCommBalanced, false);
+  const ExecutionStats equal_op = RunVariant(build(), cluster, num_microbatches, layers,
+                                             ClusteringMethod::kEqualOperator, false);
+  const ExecutionStats equal_layer = RunVariant(build(), cluster, num_microbatches, layers,
+                                                ClusteringMethod::kDpCommBalanced, true);
+  std::printf("%-12s %6d | %10s %14s %12s\n", name, gpus, Cell(dp).c_str(),
+              Cell(equal_op).c_str(), Cell(equal_layer).c_str());
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main() {
+  TuneForBench();
+  std::printf("=== Figure 10: inter-op ablation (aggregate PFLOPS) ===\n");
+  std::printf("%-12s %6s | %10s %14s %12s\n", "model", "#gpus", "dp", "equal-operator",
+              "equal-layer");
+
+  for (int gpus : {8, 16, 32}) {
+    Row("GPT", gpus, 64, 16, [&] {
+      GptConfig config;
+      config.hidden = gpus >= 32 ? 2560 : 2048;
+      config.num_layers = 32;
+      config.num_heads = 32;
+      config.microbatch = 8;
+      return BuildGpt(config);
+    });
+  }
+  for (int gpus : {8, 16, 32}) {
+    Row("Wide-ResNet", gpus, 32, 16, [&] {
+      WideResNetConfig config;
+      config.base_channels = gpus >= 32 ? 448 : 320;
+      config.width_factor = 2;
+      config.microbatch = 24;
+      return BuildWideResNet(config);
+    });
+  }
+  return 0;
+}

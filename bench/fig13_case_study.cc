@@ -1,0 +1,63 @@
+// Figure 13 / Figure 14: case study — the parallelization strategies Alpa
+// finds for Wide-ResNet on 4, 8, and 16 GPUs (7.6).
+//
+// Prints the stage/mesh assignment and the sharding spec of every forward
+// convolution and weight. Expected shape: on 4 GPUs a single stage whose
+// ILP solution partitions along the batch axis early and switches to
+// channel partitioning in the deepest layers; on 16 GPUs several stages
+// with different mesh sizes, data-parallel early and channel-parallel late.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/api.h"
+#include "src/models/wide_resnet.h"
+
+int main() {
+  using namespace alpa;
+  using namespace alpa::bench;
+
+  TuneForBench();
+  std::printf("=== Figure 13/14: Wide-ResNet parallelization case study ===\n");
+
+  const WideResNetBenchmarkCase cases[] = {WideResNetPaperCases()[0],
+                                           WideResNetPaperCases()[1],
+                                           WideResNetPaperCases()[3]};
+  for (const WideResNetBenchmarkCase& bench_case : cases) {
+    WideResNetConfig config = bench_case.config;
+    config.microbatch = 24;
+    Graph graph = BuildWideResNet(config);
+    const ClusterSpec cluster = ClusterFor(bench_case.num_gpus);
+    ParallelizeOptions options = BaselineOptionTemplate();
+    options.num_microbatches = 32;
+    options.inter.target_layers = 12;
+    ParallelPlan plan;
+    const ExecutionStats stats = CompileAndSimulate(graph, cluster, options, &plan);
+    std::printf("\n--- %s on %d GPUs: %s ---\n", bench_case.name.c_str(), bench_case.num_gpus,
+                stats.ToString().c_str());
+    if (!stats.feasible) {
+      continue;
+    }
+    for (size_t s = 0; s < plan.pipeline.stages.size(); ++s) {
+      const CompiledStage& stage = plan.pipeline.stages[s];
+      std::printf("stage %zu: layers [%d,%d] on %s logical (%d,%d)\n", s, stage.layer_begin,
+                  stage.layer_end, stage.placement.shape.ToString().c_str(),
+                  stage.logical_shape[0], stage.logical_shape[1]);
+      int shown = 0;
+      for (const auto& [name, spec] : stage.op_spec_summary) {
+        // Show convolutions (activations) and their weights.
+        const bool conv = name.find("conv") != std::string::npos ||
+                          name.find("proj") != std::string::npos ||
+                          name.find("stem") != std::string::npos;
+        if (conv && name.find(".w") == std::string::npos) {
+          std::printf("    %-24s activation %s\n", name.c_str(), spec.c_str());
+          if (++shown >= 10) {
+            std::printf("    ...\n");
+            break;
+          }
+        }
+      }
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}

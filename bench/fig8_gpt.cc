@@ -1,0 +1,56 @@
+// Figure 8a: end-to-end weak scaling on GPT-3 (Table 5 configurations).
+//
+// Reproduces the comparison of Alpa vs Megatron-LM vs intra-op-only vs
+// inter-op-only, reporting aggregate PFLOPS per cluster size. Absolute
+// numbers come from the analytical simulator; the qualitative shape to
+// check against the paper: Alpa matches (or slightly beats) Megatron-LM,
+// "inter-op only" stays close to linear, and "intra-op only" collapses
+// beyond one node (>= 16 GPUs).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/baselines/baselines.h"
+#include "src/models/gpt.h"
+
+int main() {
+  using namespace alpa;
+  using namespace alpa::bench;
+
+  TuneForBench();
+  std::printf("=== Figure 8a: GPT weak scaling (aggregate PFLOPS) ===\n");
+  std::printf("%-10s %6s %8s | %10s %12s %12s %12s\n", "model", "#gpus", "batch", "alpa",
+              "megatron", "intra-only", "inter-only");
+
+  for (const GptBenchmarkCase& bench_case : GptPaperCases()) {
+    GptConfig config = bench_case.config;
+    config.microbatch = 8;
+    const int num_microbatches =
+        static_cast<int>(bench_case.global_batch / config.microbatch);
+    const ClusterSpec cluster = ClusterFor(bench_case.num_gpus);
+    const int layers = bench_case.num_gpus >= 8 ? 16 : 8;
+
+    auto run = [&](auto&& runner) {
+      Graph graph = BuildGpt(config);
+      return runner(std::move(graph));
+    };
+    const ExecutionStats alpa = run([&](Graph g) {
+      return RunAlpa(std::move(g), cluster, num_microbatches, layers).stats;
+    });
+    const ExecutionStats megatron = run([&](Graph g) {
+      return RunMegatron(std::move(g), cluster, num_microbatches, layers).stats;
+    });
+    const ExecutionStats intra = run([&](Graph g) {
+      return RunIntraOnly(std::move(g), cluster, num_microbatches).stats;
+    });
+    const ExecutionStats inter = run([&](Graph g) {
+      return RunInterOnly(std::move(g), cluster, num_microbatches, layers).stats;
+    });
+
+    std::printf("%-10s %6d %8lld | %10s %12s %12s %12s\n", bench_case.name.c_str(),
+                bench_case.num_gpus, static_cast<long long>(bench_case.global_batch),
+                Cell(alpa).c_str(), Cell(megatron).c_str(), Cell(intra).c_str(),
+                Cell(inter).c_str());
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 8b: end-to-end weak scaling on GShard MoE (Table 6).
+//
+// Expected shape: DeepSpeed (expert parallelism + ZeRO, intra-op only)
+// performs well within one node (<= 8 GPUs) and collapses across nodes;
+// Alpa pipelines across nodes and keeps scaling — the paper reports 3.5x
+// at 2 nodes and 9.7x at 4 nodes. "Inter-op only" eventually OOMs because
+// stages cannot be balanced when #GPUs exceeds #layers.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/baselines/baselines.h"
+#include "src/models/moe.h"
+
+int main() {
+  using namespace alpa;
+  using namespace alpa::bench;
+
+  TuneForBench();
+  std::printf("=== Figure 8b: MoE weak scaling (aggregate PFLOPS) ===\n");
+  std::printf("%-10s %6s | %10s %12s %12s %12s | %8s\n", "model", "#gpus", "alpa", "deepspeed",
+              "intra-only", "inter-only", "speedup");
+
+  for (const MoeBenchmarkCase& bench_case : MoePaperCases()) {
+    MoeConfig config = bench_case.config;
+    config.microbatch = 8;
+    const int num_microbatches =
+        static_cast<int>(bench_case.global_batch / config.microbatch);
+    const ClusterSpec cluster = ClusterFor(bench_case.num_gpus);
+    const int layers = static_cast<int>(config.num_layers);
+
+    const ExecutionStats alpa =
+        RunAlpa(BuildMoe(config), cluster, num_microbatches, layers).stats;
+    const ExecutionStats deepspeed =
+        RunDeepSpeedMoe(BuildMoe(config), cluster, num_microbatches).stats;
+    const ExecutionStats intra =
+        RunIntraOnly(BuildMoe(config), cluster, num_microbatches).stats;
+    const ExecutionStats inter =
+        RunInterOnly(BuildMoe(config), cluster, num_microbatches, layers).stats;
+
+    char speedup[32] = "-";
+    if (alpa.feasible && deepspeed.feasible && !deepspeed.oom && !alpa.oom) {
+      std::snprintf(speedup, sizeof(speedup), "%.2fx", deepspeed.latency / alpa.latency);
+    }
+    std::printf("%-10s %6d | %10s %12s %12s %12s | %8s\n", bench_case.name.c_str(),
+                bench_case.num_gpus, Cell(alpa).c_str(), Cell(deepspeed).c_str(),
+                Cell(intra).c_str(), Cell(inter).c_str(), speedup);
+    std::fflush(stdout);
+  }
+  return 0;
+}

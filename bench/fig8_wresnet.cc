@@ -1,0 +1,46 @@
+// Figure 8c: end-to-end weak scaling on Wide-ResNet (Table 7).
+//
+// No manual plan exists for this heterogeneous model. Expected shape:
+// Alpa keeps scaling (~80% linear at 32 GPUs in the paper); "PP-DP"
+// (pipeline + pure data parallelism a la PipeDream/Dapple) and "inter-op
+// only" OOM on the large configurations because they cannot partition
+// weights; "intra-op only" degrades across nodes.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/baselines/baselines.h"
+#include "src/models/wide_resnet.h"
+
+int main() {
+  using namespace alpa;
+  using namespace alpa::bench;
+
+  TuneForBench();
+  std::printf("=== Figure 8c: Wide-ResNet weak scaling (aggregate PFLOPS) ===\n");
+  std::printf("%-14s %6s | %10s %12s %12s %12s\n", "model", "#gpus", "alpa", "pp-dp",
+              "intra-only", "inter-only");
+
+  for (const WideResNetBenchmarkCase& bench_case : WideResNetPaperCases()) {
+    WideResNetConfig config = bench_case.config;
+    config.microbatch = 24;
+    const int num_microbatches =
+        static_cast<int>(bench_case.global_batch / config.microbatch);
+    const ClusterSpec cluster = ClusterFor(bench_case.num_gpus);
+    const int layers = 16;
+
+    const ExecutionStats alpa =
+        RunAlpa(BuildWideResNet(config), cluster, num_microbatches, layers).stats;
+    const ExecutionStats ppdp =
+        RunPpDp(BuildWideResNet(config), cluster, num_microbatches, layers).stats;
+    const ExecutionStats intra =
+        RunIntraOnly(BuildWideResNet(config), cluster, num_microbatches).stats;
+    const ExecutionStats inter =
+        RunInterOnly(BuildWideResNet(config), cluster, num_microbatches, layers).stats;
+
+    std::printf("%-14s %6d | %10s %12s %12s %12s\n", bench_case.name.c_str(),
+                bench_case.num_gpus, Cell(alpa).c_str(), Cell(ppdp).c_str(),
+                Cell(intra).c_str(), Cell(inter).c_str());
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Figure 9: intra-op parallelism ablation on one node (7.2).
+//
+// Weak scaling in model size on 1..8 GPUs of a single node, pipeline and
+// gradient accumulation disabled. Strategies: vanilla data parallelism,
+// ZeRO-2, ZeRO-3, the GSPMD-style "Heuristic", and the ILP "Auto-sharding".
+// Expected shape: "Data" OOMs first ("x"), ZeRO-2/3 fix memory but waste
+// communication when gradients dominate, "Auto" is best everywhere.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/baselines/baselines.h"
+#include "src/models/gpt.h"
+#include "src/models/moe.h"
+#include "src/models/wide_resnet.h"
+
+namespace {
+
+using namespace alpa;
+using namespace alpa::bench;
+
+void Header(const char* title) {
+  std::printf("\n--- %s ---\n", title);
+  std::printf("%6s | %10s %10s %10s %10s %10s\n", "#gpus", "data", "zero-2", "zero-3",
+              "heuristic", "auto");
+}
+
+template <typename BuildFn>
+void Row(int gpus, BuildFn&& build) {
+  const ClusterSpec cluster = ClusterFor(gpus);
+  const ExecutionStats data = RunSingleMesh(build(), cluster, "data", DataParallelFilter()).stats;
+  const ExecutionStats zero2 = RunSingleMesh(build(), cluster, "zero2", Zero2Filter()).stats;
+  const ExecutionStats zero3 = RunSingleMesh(build(), cluster, "zero3", Zero3Filter()).stats;
+  const ExecutionStats heuristic =
+      RunSingleMesh(build(), cluster, "heuristic", HeuristicLargestDimFilter()).stats;
+  const ExecutionStats autos = RunSingleMesh(build(), cluster, "auto", nullptr).stats;
+  std::printf("%6d | %10s %10s %10s %10s %10s\n", gpus, Cell(data).c_str(),
+              Cell(zero2).c_str(), Cell(zero3).c_str(), Cell(heuristic).c_str(),
+              Cell(autos).c_str());
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main() {
+  TuneForBench();
+  std::printf("=== Figure 9: intra-op ablation, one node, no pipeline/GA (PFLOPS) ===\n");
+
+  // 7.2: larger hidden sizes, smaller batches, fewer layers than 7.1, so
+  // that a single node exercises the memory/communication trade-offs of
+  // large-scale training.
+  Header("GPT (a)");
+  const int64_t gpt_hidden[] = {2048, 2560, 3328, 4096};
+  const int gpt_gpus[] = {1, 2, 4, 8};
+  for (int i = 0; i < 4; ++i) {
+    Row(gpt_gpus[i], [&, i] {
+      GptConfig config;
+      config.hidden = gpt_hidden[i];
+      config.num_layers = 10;
+      config.num_heads = 32;
+      config.microbatch = 8;
+      config.seq_len = 1024;
+      config.vocab = 25600;
+      return BuildGpt(config);
+    });
+  }
+
+  Header("MoE (b)");
+  const int64_t moe_experts[] = {8, 16, 32, 64};
+  const int64_t moe_hidden[] = {1024, 1024, 1280, 1280};
+  for (int i = 0; i < 4; ++i) {
+    Row(gpt_gpus[i], [&, i] {
+      MoeConfig config;
+      config.hidden = moe_hidden[i];
+      config.num_layers = 8;
+      config.num_heads = 16;
+      config.num_experts = moe_experts[i];
+      config.microbatch = 8;
+      config.seq_len = 1024;
+      config.vocab = 25600;
+      return BuildMoe(config);
+    });
+  }
+
+  Header("Wide-ResNet (c)");
+  const int64_t wrn_base[] = {160, 224, 320, 448};
+  for (int i = 0; i < 4; ++i) {
+    Row(gpt_gpus[i], [&, i] {
+      WideResNetConfig config;
+      config.base_channels = wrn_base[i];
+      config.width_factor = 2;
+      config.microbatch = 32;
+      return BuildWideResNet(config);
+    });
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+// GPT training across a node: Alpa's automatic plan versus the
+// Megatron-LM-style manual plan (7.1).
+//
+// Builds the GPT-1.3B configuration of Table 5, compiles it with both
+// systems for one 8-GPU node, and compares simulated training throughput.
+#include <cstdio>
+
+#include "src/baselines/baselines.h"
+#include "src/models/gpt.h"
+
+int main() {
+  using namespace alpa;
+
+  GptConfig model;
+  model.hidden = 2048;
+  model.num_layers = 24;
+  model.num_heads = 32;
+  model.microbatch = 8;
+  std::printf("GPT-1.3B: %.2fB parameters, %d transformer layers\n",
+              static_cast<double>(model.NumParams()) / 1e9,
+              static_cast<int>(model.num_layers));
+
+  const ClusterSpec cluster = ClusterSpec::AwsP3(1, 8);
+  const int num_microbatches = 32;  // Gradient accumulation steps.
+
+  const BaselineResult alpa = RunAlpa(BuildGpt(model), cluster, num_microbatches, 12);
+  const BaselineResult megatron = RunMegatron(BuildGpt(model), cluster, num_microbatches, 12);
+  const BaselineResult intra = RunIntraOnly(BuildGpt(model), cluster, num_microbatches);
+
+  std::printf("\n%-14s %12s %10s %10s\n", "system", "latency", "PFLOPS", "peak mem");
+  for (const BaselineResult* r : {&alpa, &megatron, &intra}) {
+    if (r->stats.feasible) {
+      std::printf("%-14s %10.3f s %10.3f %7.1f GB%s\n", r->name.c_str(), r->stats.latency,
+                  r->stats.pflops, r->stats.peak_memory_bytes / 1e9,
+                  r->stats.oom ? "  (OOM)" : "");
+    } else {
+      std::printf("%-14s %12s\n", r->name.c_str(), "infeasible");
+    }
+  }
+  return alpa.stats.feasible ? 0 : 1;
+}

@@ -1,0 +1,49 @@
+// Quickstart: automatic parallelization of a 2-layer MLP (the paper's
+// running example, Figs. 2 and 4).
+//
+// The C++ analogue of
+//     @parallelize
+//     def train_step(state, batch): ...
+// is: build the training graph, call alpa::Parallelize against a cluster
+// description, and execute the returned plan (here: on the simulated
+// cluster).
+#include <cstdio>
+
+#include "src/core/api.h"
+#include "src/models/mlp.h"
+
+int main() {
+  using namespace alpa;
+
+  // 1. Model: a 2-hidden-layer MLP with MSE loss; BuildMlp also appends the
+  //    backward pass and the optimizer update (the traced train_step).
+  MlpConfig model;
+  model.batch = 1024;
+  model.input_dim = 2048;
+  model.hidden_dims = {8192, 8192};
+  model.output_dim = 2048;
+  Graph graph = BuildMlp(model);
+  std::printf("train_step graph: %d ops, %.2f GFLOP per microbatch\n", graph.size(),
+              graph.TotalFlops() / 1e9);
+
+  // 2. Cluster: one AWS p3.16xlarge node with 8 V100s.
+  const ClusterSpec cluster = ClusterSpec::AwsP3(/*num_hosts=*/1, /*devices_per_host=*/8);
+  std::printf("cluster: %s\n", cluster.ToString().c_str());
+
+  // 3. Parallelize: the inter-op DP slices the model into pipeline stages
+  //    and the cluster into meshes; the intra-op ILP picks a sharding for
+  //    every operator of every stage.
+  ParallelizeOptions options;
+  options.num_microbatches = 8;
+  options.inter.target_layers = 3;
+  ParallelPlan plan;
+  const ExecutionStats stats = CompileAndSimulate(graph, cluster, options, &plan);
+
+  // 4. Inspect the plan and the simulated execution.
+  std::printf("\n%s\n", plan.pipeline.ToString().c_str());
+  std::printf("execution: %s\n", stats.ToString().c_str());
+  std::printf("compilation took %.2f s (%lld ILP solves)\n",
+              plan.compile_stats.total_seconds,
+              static_cast<long long>(plan.compile_stats.ilp_solves));
+  return stats.feasible ? 0 : 1;
+}

@@ -1,0 +1,259 @@
+#include "src/baselines/baselines.h"
+
+#include <algorithm>
+
+#include "src/support/logging.h"
+
+namespace alpa {
+
+namespace {
+
+constexpr int64_t kSmallTensorElements = 1024;
+
+bool ShardsOnlyBatchDim(const ShardingSpec& spec) {
+  for (int d = 0; d < spec.rank(); ++d) {
+    const DimSharding s = spec.dim(d);
+    if (s == DimSharding::kS01) {
+      return false;  // Two-axis layouts are beyond plain data parallelism.
+    }
+    if (d > 0 && s != DimSharding::kR) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool IsActivationLike(const Operator& op) {
+  switch (op.type) {
+    case OpType::kParameter:
+    case OpType::kInput:
+    case OpType::kUpdate:
+      return false;
+    default:
+      return true;
+  }
+}
+
+}  // namespace
+
+AlgorithmFilter DataParallelFilter() {
+  return [](const Graph& graph, const DeviceMesh& mesh, const Operator& op,
+            const ParallelAlgorithm& a) {
+    if (op.weight_grad) {
+      // Plain DP all-reduces gradients into replicated buffers.
+      return a.output_spec.IsFullyReplicated();
+    }
+    switch (op.type) {
+      case OpType::kParameter:
+      case OpType::kUpdate:
+        return a.output_spec.IsFullyReplicated();
+      case OpType::kInput:
+      default:
+        return ShardsOnlyBatchDim(a.output_spec);
+    }
+  };
+}
+
+AlgorithmFilter Zero2Filter() {
+  return [](const Graph& graph, const DeviceMesh& mesh, const Operator& op,
+            const ParallelAlgorithm& a) {
+    switch (op.type) {
+      case OpType::kParameter:
+        return a.output_spec.IsFullyReplicated();
+      case OpType::kUpdate:
+        if (op.shape.elements() > kSmallTensorElements) {
+          // ZeRO shards the optimizer state across ALL data-parallel ranks.
+          return a.output_spec.TotalShards(mesh) == mesh.num_devices();
+        }
+        return true;
+      case OpType::kInput:
+      default:
+        return ShardsOnlyBatchDim(a.output_spec);
+    }
+  };
+}
+
+AlgorithmFilter Zero3Filter() {
+  return [](const Graph& graph, const DeviceMesh& mesh, const Operator& op,
+            const ParallelAlgorithm& a) {
+    switch (op.type) {
+      case OpType::kParameter:
+      case OpType::kUpdate:
+        if (op.shape.elements() > kSmallTensorElements) {
+          // Parameters and optimizer state fully sharded across the mesh.
+          return a.output_spec.TotalShards(mesh) == mesh.num_devices();
+        }
+        return true;
+      case OpType::kInput:
+      default:
+        return ShardsOnlyBatchDim(a.output_spec);
+    }
+  };
+}
+
+AlgorithmFilter MegatronFilter() {
+  return [](const Graph& graph, const DeviceMesh& mesh, const Operator& op,
+            const ParallelAlgorithm& a) {
+    // No two-axis layouts anywhere; no weight-update sharding.
+    auto megatron_spec = [](const ShardingSpec& spec, bool batch_leading) {
+      for (int d = 0; d < spec.rank(); ++d) {
+        const DimSharding s = spec.dim(d);
+        if (s == DimSharding::kS01) {
+          return false;
+        }
+        if (batch_leading && d == 0 && s == DimSharding::kS1) {
+          return false;  // Batch rides on mesh axis 0 (data parallelism).
+        }
+        if ((!batch_leading || d > 0) && s == DimSharding::kS0) {
+          return false;  // Non-batch dims ride on mesh axis 1 (TMP).
+        }
+      }
+      return true;
+    };
+    switch (op.type) {
+      case OpType::kUpdate:
+        // No weight-update sharding across data parallelism, but optimizer
+        // state follows the tensor-model-parallel weight layout.
+        return megatron_spec(a.output_spec, /*batch_leading=*/false) &&
+               a.output_spec.DimForAxis(0) < 0;
+      case OpType::kParameter:
+        return megatron_spec(a.output_spec, /*batch_leading=*/false) &&
+               a.output_spec.DimForAxis(0) < 0;
+      default:
+        // Weight gradients lay out like the weights (TMP axis only); the
+        // batch contraction all-reduces over the data-parallel axis.
+        return megatron_spec(a.output_spec, !op.weight_grad && IsActivationLike(op));
+    }
+  };
+}
+
+AlgorithmFilter HeuristicLargestDimFilter() {
+  return [](const Graph& graph, const DeviceMesh& mesh, const Operator& op,
+            const ParallelAlgorithm& a) {
+    if ((op.type == OpType::kParameter || op.type == OpType::kInput) &&
+        op.shape.elements() > kSmallTensorElements) {
+      int largest = 0;
+      for (int d = 1; d < op.shape.rank(); ++d) {
+        if (op.shape.dim(d) > op.shape.dim(largest)) {
+          largest = d;
+        }
+      }
+      return a.output_spec.dim(largest) != DimSharding::kR;
+    }
+    return true;
+  };
+}
+
+AlgorithmFilter ExpertParallelFilter() {
+  return [](const Graph& graph, const DeviceMesh& mesh, const Operator& op,
+            const ParallelAlgorithm& a) {
+    switch (op.type) {
+      case OpType::kParameter:
+        if (op.shape.rank() == 3 && op.shape.elements() > kSmallTensorElements) {
+          // Expert weights [e, m, f]: partition the expert axis.
+          return a.output_spec.dim(0) != DimSharding::kR &&
+                 a.output_spec.dim(1) == DimSharding::kR &&
+                 a.output_spec.dim(2) == DimSharding::kR;
+        }
+        return a.output_spec.IsFullyReplicated();
+      case OpType::kUpdate:
+        return true;  // ZeRO data parallelism.
+      case OpType::kMoeDispatch:
+      case OpType::kMoeCombine:
+        return true;  // Expert parallelism's all-to-alls.
+      case OpType::kEinsum:
+        if (op.shape.rank() == 3 && !op.einsum.output.empty() &&
+            op.einsum.output[0] == 'e') {
+          return true;  // Expert FFN follows the expert partitioning.
+        }
+        return ShardsOnlyBatchDim(a.output_spec);
+      case OpType::kInput:
+      default:
+        return ShardsOnlyBatchDim(a.output_spec);
+    }
+  };
+}
+
+ParallelizeOptions& BaselineOptionTemplate() {
+  static ParallelizeOptions options;
+  return options;
+}
+
+BaselineResult RunAlpa(Graph graph, const ClusterSpec& cluster, int num_microbatches,
+                       int target_layers) {
+  ParallelizeOptions options = BaselineOptionTemplate();
+  options.num_microbatches = num_microbatches;
+  options.inter.target_layers = target_layers;
+  return BaselineResult{"alpa", CompileAndSimulate(graph, cluster, options)};
+}
+
+BaselineResult RunIntraOnly(Graph graph, const ClusterSpec& cluster, int num_microbatches) {
+  ParallelizeOptions options = BaselineOptionTemplate();
+  options.num_microbatches = num_microbatches;
+  options.enable_interop = false;
+  options.inter.target_layers = 2;  // Trivial clustering; one stage anyway.
+  return BaselineResult{"intra-op only", CompileAndSimulate(graph, cluster, options)};
+}
+
+BaselineResult RunInterOnly(Graph graph, const ClusterSpec& cluster, int num_microbatches,
+                            int target_layers) {
+  ParallelizeOptions options = BaselineOptionTemplate();
+  options.num_microbatches = num_microbatches;
+  options.enable_intraop = false;
+  // Slice at least as finely as there are devices, or most of the cluster
+  // idles.
+  options.inter.target_layers = std::max(target_layers, cluster.num_devices());
+  return BaselineResult{"inter-op only", CompileAndSimulate(graph, cluster, options)};
+}
+
+BaselineResult RunMegatron(Graph graph, const ClusterSpec& cluster, int num_microbatches,
+                           int target_layers) {
+  ParallelizeOptions options = BaselineOptionTemplate();
+  options.num_microbatches = num_microbatches;
+  options.inter.target_layers = target_layers;
+  options.inter.equal_layer_stages = true;
+  options.inter.profiler.intra.filter = MegatronFilter();
+  // Memory-mode variants compose with the filter: sharding is confined to
+  // the tensor-model-parallel axis (parallel vocabulary embeddings,
+  // TMP-sharded optimizer state) — still no weight-update sharding across
+  // data parallelism, which remains Alpa's edge (7.1).
+  return BaselineResult{"megatron-lm", CompileAndSimulate(graph, cluster, options)};
+}
+
+BaselineResult RunDeepSpeedMoe(Graph graph, const ClusterSpec& cluster, int num_microbatches) {
+  ParallelizeOptions options = BaselineOptionTemplate();
+  options.num_microbatches = num_microbatches;
+  options.enable_interop = false;  // DeepSpeed MoE has no pipeline support.
+  options.inter.target_layers = 2;
+  options.inter.profiler.intra.filter = ExpertParallelFilter();
+  return BaselineResult{"deepspeed", CompileAndSimulate(graph, cluster, options)};
+}
+
+BaselineResult RunPpDp(Graph graph, const ClusterSpec& cluster, int num_microbatches,
+                       int target_layers) {
+  ParallelizeOptions options = BaselineOptionTemplate();
+  options.num_microbatches = num_microbatches;
+  options.inter.target_layers = target_layers;
+  options.inter.profiler.intra.filter = DataParallelFilter();
+  options.inter.profiler.memory_modes = false;
+  return BaselineResult{"pp-dp", CompileAndSimulate(graph, cluster, options)};
+}
+
+BaselineResult RunSingleMesh(Graph graph, const ClusterSpec& cluster, const std::string& name,
+                             AlgorithmFilter filter) {
+  ParallelizeOptions options = BaselineOptionTemplate();
+  options.num_microbatches = 1;  // 7.2: pipeline and GA disabled.
+  options.enable_interop = false;
+  options.inter.target_layers = 2;
+  // Let infeasible-by-memory plans compile; the simulator reports the OOM
+  // (the "x" marks of Fig. 9).
+  options.inter.dp.device_memory_override = 1e15;
+  // Rule-based strategies carry their own memory behaviour; the ILP-based
+  // "auto-sharding" keeps the memory-mode variants so it can trade time for
+  // memory like the full system.
+  options.inter.profiler.memory_modes = (filter == nullptr);
+  options.inter.profiler.intra.filter = std::move(filter);
+  return BaselineResult{name, CompileAndSimulate(graph, cluster, options)};
+}
+
+}  // namespace alpa

@@ -1,0 +1,80 @@
+// Baseline systems of 7, expressed as restrictions of the plan space and
+// evaluated on the same cost model and simulator as Alpa:
+//
+//  * Megatron-LM v2 (7.1, GPT): equal-layer pipeline stages x data
+//    parallelism x tensor model parallelism (TMP); no weight-update
+//    sharding. The (pp, dp, tmp) grid search of the paper is subsumed by
+//    the equal-layer DP plus the logical-mesh-shape search.
+//  * DeepSpeed (7.1, MoE): hand-tuned expert parallelism + ZeRO data
+//    parallelism, intra-op only (its implementation is incompatible with
+//    pipeline parallelism, as the paper notes).
+//  * PP-DP (7.1, Wide-ResNet): pipeline + pure data parallelism, the plan
+//    space of PipeDream/Dapple.
+//  * Intra-op only / Inter-op only (7.1): Alpa with one level disabled.
+//  * Data / ZeRO-2 / ZeRO-3 / Heuristic / Auto-sharding (7.2): single-mesh
+//    intra-op strategies without pipeline or gradient accumulation.
+#ifndef SRC_BASELINES_BASELINES_H_
+#define SRC_BASELINES_BASELINES_H_
+
+#include <string>
+
+#include "src/core/api.h"
+
+namespace alpa {
+
+// --- Plan-space filters. ---
+
+// Batch-dim-only activations, fully replicated parameters and optimizer
+// (vanilla data parallelism).
+AlgorithmFilter DataParallelFilter();
+// Data parallelism with the optimizer state sharded (ZeRO-2).
+AlgorithmFilter Zero2Filter();
+// ZeRO-2 plus sharded parameters (ZeRO-3).
+AlgorithmFilter Zero3Filter();
+// Megatron-LM: batch along mesh axis 0, tensor-model parallelism along
+// axis 1, no weight-update sharding, no S01 layouts.
+AlgorithmFilter MegatronFilter();
+// GSPMD-style heuristic: every parameter is partitioned along its largest
+// dimension; the rest follows by propagation (here: by the ILP).
+AlgorithmFilter HeuristicLargestDimFilter();
+// DeepSpeed MoE: expert weights partitioned along the expert axis, ZeRO
+// data parallelism elsewhere.
+AlgorithmFilter ExpertParallelFilter();
+
+// --- End-to-end baseline runners (Fig. 8). All take the same model graph
+// builder output and cluster as Alpa. ---
+
+struct BaselineResult {
+  std::string name;
+  ExecutionStats stats;
+};
+
+// Mutable template every Run* helper starts from; benchmarks tweak shared
+// knobs (ILP search budget, schedule) here once instead of per call.
+ParallelizeOptions& BaselineOptionTemplate();
+
+// Alpa with both parallelism levels (the headline system).
+BaselineResult RunAlpa(Graph graph, const ClusterSpec& cluster, int num_microbatches,
+                       int target_layers);
+// Alpa restricted to a single device mesh (intra-op only).
+BaselineResult RunIntraOnly(Graph graph, const ClusterSpec& cluster, int num_microbatches);
+// Alpa restricted to unpartitioned single-device stages (inter-op only).
+BaselineResult RunInterOnly(Graph graph, const ClusterSpec& cluster, int num_microbatches,
+                            int target_layers);
+// Megatron-LM style grid-searched manual plan.
+BaselineResult RunMegatron(Graph graph, const ClusterSpec& cluster, int num_microbatches,
+                           int target_layers);
+// DeepSpeed-style MoE training (expert parallelism + ZeRO, no pipeline).
+BaselineResult RunDeepSpeedMoe(Graph graph, const ClusterSpec& cluster, int num_microbatches);
+// Pipeline + pure data parallelism (PipeDream/Dapple plan space).
+BaselineResult RunPpDp(Graph graph, const ClusterSpec& cluster, int num_microbatches,
+                       int target_layers);
+
+// --- Single-mesh intra-op strategies for the Fig. 9 ablation: no pipeline,
+// no gradient accumulation. ---
+BaselineResult RunSingleMesh(Graph graph, const ClusterSpec& cluster, const std::string& name,
+                             AlgorithmFilter filter);
+
+}  // namespace alpa
+
+#endif  // SRC_BASELINES_BASELINES_H_

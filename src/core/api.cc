@@ -1,0 +1,122 @@
+#include "src/core/api.h"
+
+#include <algorithm>
+
+#include "src/support/logging.h"
+#include "src/support/strings.h"
+
+namespace alpa {
+
+ParallelPlan Parallelize(Graph& graph, const ClusterSpec& cluster,
+                         const ParallelizeOptions& options) {
+  ParallelPlan plan;
+  InterOpOptions inter = options.inter;
+  inter.num_microbatches = options.num_microbatches;
+
+  // Infer the training precision from the parameters (fp16 models use
+  // tensor cores; fp32 models like Wide-ResNet do not).
+  bool any_f32_param = false;
+  for (int id : graph.ParameterIds()) {
+    any_f32_param |= graph.op(id).dtype == DType::kF32;
+  }
+  inter.profiler.intra.precision =
+      any_f32_param ? Precision::kFloat32 : Precision::kFloat16;
+
+  if (!options.enable_interop) {
+    // The whole cluster is a single mesh; the DP degenerates to one stage.
+    inter.submesh_shapes = {SubmeshShape{cluster.num_hosts, cluster.devices_per_host}};
+    if (inter.target_layers == 0 && graph.NumLayers() == 0) {
+      inter.target_layers = 1;
+    }
+  }
+  if (!options.enable_intraop) {
+    // Stages execute unpartitioned: single-device submeshes only, and the
+    // intra-op pass restricted to fully replicated layouts.
+    inter.submesh_shapes = {SubmeshShape{1, 1}};
+    inter.profiler.intra.filter = [](const Graph&, const DeviceMesh&, const Operator&,
+                                     const ParallelAlgorithm& a) {
+      return a.output_spec.IsFullyReplicated() &&
+             std::all_of(a.input_specs.begin(), a.input_specs.end(),
+                         [](const ShardingSpec& s) { return s.IsFullyReplicated(); });
+    };
+  }
+
+  plan.pipeline = RunInterOpPass(graph, cluster, inter);
+  plan.compile_stats = plan.pipeline.stats;
+  if (!plan.pipeline.feasible) {
+    return plan;
+  }
+
+  // Orchestration: assemble per-stage execution profiles and cross-mesh
+  // transfer costs for the simulator.
+  const auto& stages = plan.pipeline.stages;
+  plan.sim_input.num_microbatches = options.num_microbatches;
+  plan.sim_input.schedule = options.schedule;
+  plan.sim_input.device_memory_bytes = cluster.device.memory_bytes;
+  for (size_t s = 0; s < stages.size(); ++s) {
+    const CompiledStage& stage = stages[s];
+    StageExecProfile profile;
+    profile.t_forward = stage.t_forward;
+    profile.t_backward = stage.t_backward;
+    profile.t_update = stage.t_per_iteration;
+    profile.weight_bytes = stage.weight_bytes;
+    profile.act_bytes_per_microbatch = stage.act_bytes_per_microbatch;
+    profile.work_bytes = stage.work_bytes;
+    if (s + 1 < stages.size()) {
+      const DeviceMesh src = DeviceMesh::Create(cluster, stage.placement, stage.logical_shape);
+      const DeviceMesh dst = DeviceMesh::Create(cluster, stages[s + 1].placement,
+                                                stages[s + 1].logical_shape);
+      double transfer = 0.0;
+      for (const CrossStageTensor& tensor : stage.sends_to_next) {
+        transfer += CrossMeshReshardTime(src, tensor.src_spec, dst, tensor.dst_spec,
+                                         tensor.shape, tensor.dtype_bytes, options.reshard);
+      }
+      profile.t_send_next = transfer;
+    }
+    plan.sim_input.stages.push_back(profile);
+  }
+  return plan;
+}
+
+ExecutionStats Simulate(const ParallelPlan& plan, const Graph& graph,
+                        const ClusterSpec& cluster) {
+  ExecutionStats stats;
+  if (!plan.pipeline.feasible) {
+    return stats;
+  }
+  const PipelineSimResult sim = SimulatePipeline(plan.sim_input);
+  stats.feasible = true;
+  stats.oom = sim.oom;
+  stats.latency = sim.latency;
+  stats.bubble_fraction = sim.bubble_fraction;
+  for (double peak : sim.stage_peak_bytes) {
+    stats.peak_memory_bytes = std::max(stats.peak_memory_bytes, peak);
+  }
+  const double per_microbatch =
+      graph.FlopsForRole(OpRole::kForward) + graph.FlopsForRole(OpRole::kBackward);
+  stats.total_flops = per_microbatch * plan.sim_input.num_microbatches +
+                      graph.FlopsForRole(OpRole::kUpdate);
+  stats.pflops = stats.latency > 0.0 ? stats.total_flops / stats.latency / 1e15 : 0.0;
+  return stats;
+}
+
+ExecutionStats CompileAndSimulate(Graph& graph, const ClusterSpec& cluster,
+                                  const ParallelizeOptions& options, ParallelPlan* plan_out) {
+  ParallelPlan plan = Parallelize(graph, cluster, options);
+  ExecutionStats stats = Simulate(plan, graph, cluster);
+  if (plan_out != nullptr) {
+    *plan_out = std::move(plan);
+  }
+  return stats;
+}
+
+std::string ExecutionStats::ToString() const {
+  if (!feasible) {
+    return "infeasible";
+  }
+  return StrFormat("latency=%s pflops=%.3f bubble=%.1f%% peak_mem=%s%s",
+                   HumanSeconds(latency).c_str(), pflops, bubble_fraction * 100.0,
+                   HumanBytes(peak_memory_bytes).c_str(), oom ? " OOM" : "");
+}
+
+}  // namespace alpa

@@ -1,0 +1,67 @@
+// Public entry points of alpa-cpp.
+//
+// Parallelize() is the analogue of the paper's @parallelize decorator
+// (Fig. 4): given a training graph and a cluster, it runs the three
+// compilation passes (inter-op DP, intra-op ILP, runtime orchestration) and
+// returns an executable parallel plan. Simulate() executes the plan on the
+// analytical cluster model and reports iteration latency, aggregate PFLOPS
+// (the paper's weak-scaling metric, 7.1), memory, and pipeline bubbles.
+#ifndef SRC_CORE_API_H_
+#define SRC_CORE_API_H_
+
+#include <string>
+
+#include "src/graph/graph.h"
+#include "src/inter/inter_pass.h"
+#include "src/mesh/cluster_spec.h"
+#include "src/runtime/cross_mesh.h"
+#include "src/runtime/simulator.h"
+
+namespace alpa {
+
+struct ParallelizeOptions {
+  int num_microbatches = 16;
+  PipelineScheduleType schedule = PipelineScheduleType::k1F1B;
+  // false: the whole cluster is one mesh (the "intra-op only" baseline).
+  bool enable_interop = true;
+  // false: stages run on single devices without partitioning (the
+  // "inter-op only" baseline).
+  bool enable_intraop = true;
+  ReshardStrategy reshard = ReshardStrategy::kLocalAllGather;
+  InterOpOptions inter;  // num_microbatches is mirrored from above.
+};
+
+struct ExecutionStats {
+  bool feasible = false;
+  bool oom = false;
+  double latency = 0.0;          // One training iteration.
+  double total_flops = 0.0;      // Across the cluster, per iteration.
+  double pflops = 0.0;           // Aggregate throughput (the Fig. 8 metric).
+  double bubble_fraction = 0.0;  // Pipeline idle share.
+  double peak_memory_bytes = 0.0;
+  std::string ToString() const;
+};
+
+struct ParallelPlan {
+  CompiledPipeline pipeline;
+  PipelineSimInput sim_input;
+  CompileStats compile_stats;
+};
+
+// Runs the full compiler stack. `graph` is re-tagged in place by operator
+// clustering.
+ParallelPlan Parallelize(Graph& graph, const ClusterSpec& cluster,
+                         const ParallelizeOptions& options);
+
+// Executes the plan on the simulated cluster.
+ExecutionStats Simulate(const ParallelPlan& plan, const Graph& graph,
+                        const ClusterSpec& cluster);
+
+// One-call convenience used by the benchmarks.
+ExecutionStats CompileAndSimulate(Graph& graph, const ClusterSpec& cluster,
+                                  const ParallelizeOptions& options,
+                                  ParallelPlan* plan_out = nullptr);
+
+}  // namespace alpa
+
+#endif  // SRC_CORE_API_H_

@@ -1,0 +1,74 @@
+#include "src/core/visualize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/support/logging.h"
+#include "src/support/strings.h"
+
+namespace alpa {
+
+std::string RenderPipelineTimeline(const PipelineSimInput& input, int width) {
+  PipelineSimInput recording = input;
+  recording.record_timeline = true;
+  const PipelineSimResult result = SimulatePipeline(recording);
+  if (result.latency <= 0.0 || result.timeline.empty()) {
+    return "(empty timeline)\n";
+  }
+  const int num_stages = static_cast<int>(input.stages.size());
+  std::vector<std::string> rows(static_cast<size_t>(num_stages),
+                                std::string(static_cast<size_t>(width), '.'));
+  const double scale = width / result.latency;
+  for (const StageEvent& event : result.timeline) {
+    const int begin = std::min(width - 1, static_cast<int>(event.start * scale));
+    const int end = std::max(begin + 1, std::min(width, static_cast<int>(event.end * scale)));
+    char glyph = 'U';
+    if (event.kind == PipelineInstruction::Kind::kForward) {
+      glyph = static_cast<char>('0' + event.microbatch % 10);
+    } else if (event.kind == PipelineInstruction::Kind::kBackward) {
+      glyph = static_cast<char>('a' + event.microbatch % 26);
+    }
+    for (int x = begin; x < end; ++x) {
+      rows[static_cast<size_t>(event.stage)][static_cast<size_t>(x)] = glyph;
+    }
+  }
+  std::string out = StrFormat(
+      "pipeline timeline (%s total; digits = forward mb, letters = backward mb, U = update)\n",
+      HumanSeconds(result.latency).c_str());
+  for (int s = 0; s < num_stages; ++s) {
+    out += StrFormat("stage %2d |%s|\n", s, rows[static_cast<size_t>(s)].c_str());
+  }
+  return out;
+}
+
+std::string RenderPlanSummary(const CompiledPipeline& pipeline, int max_ops_per_stage) {
+  if (!pipeline.feasible) {
+    return "(infeasible plan)\n";
+  }
+  std::string out = StrFormat("%zu stages, %d microbatches, T* = %s\n", pipeline.stages.size(),
+                              pipeline.num_microbatches,
+                              HumanSeconds(pipeline.dp_latency).c_str());
+  for (size_t s = 0; s < pipeline.stages.size(); ++s) {
+    const CompiledStage& stage = pipeline.stages[s];
+    out += StrFormat(
+        "stage %zu: layers [%d,%d]  submesh %s -> logical (%d,%d)  t=%s  mem=%s (+%s/mb)\n", s,
+        stage.layer_begin, stage.layer_end, stage.placement.shape.ToString().c_str(),
+        stage.logical_shape[0], stage.logical_shape[1], HumanSeconds(stage.t_intra).c_str(),
+        HumanBytes(stage.weight_bytes).c_str(),
+        HumanBytes(stage.act_bytes_per_microbatch).c_str());
+    int shown = 0;
+    for (const auto& [name, spec] : stage.op_spec_summary) {
+      if (spec.find('S') == std::string::npos) {
+        continue;  // Skip fully replicated entries; partitioning is the story.
+      }
+      out += StrFormat("    %-32s %s\n", name.c_str(), spec.c_str());
+      if (++shown >= max_ops_per_stage) {
+        out += "    ...\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace alpa

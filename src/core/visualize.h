@@ -1,0 +1,24 @@
+// Plan and timeline visualization (the Fig. 6 pipeline diagram and the
+// Fig. 13/14 strategy renderings, as ASCII).
+#ifndef SRC_CORE_VISUALIZE_H_
+#define SRC_CORE_VISUALIZE_H_
+
+#include <string>
+
+#include "src/core/api.h"
+
+namespace alpa {
+
+// ASCII Gantt chart of one training iteration: a row per stage, forward
+// cells as the microbatch digit, backward cells as letters, '.' for idle
+// (the pipeline bubbles of Fig. 6), 'U' for the weight update.
+std::string RenderPipelineTimeline(const PipelineSimInput& input, int width = 100);
+
+// Stage-by-stage plan summary: layers, submesh, logical mesh, latency and
+// memory, followed by the sharding specs of the heavy forward operators
+// (Fig. 13: which tensors are batch- vs channel-partitioned).
+std::string RenderPlanSummary(const CompiledPipeline& pipeline, int max_ops_per_stage = 16);
+
+}  // namespace alpa
+
+#endif  // SRC_CORE_VISUALIZE_H_

@@ -1,0 +1,261 @@
+#include "src/graph/backward.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/support/logging.h"
+
+namespace alpa {
+
+namespace {
+
+// Accumulates `grad` into grads[target], inserting an add op if a gradient
+// already exists (a tensor consumed by several ops receives summed grads).
+void AccumulateGrad(Graph& graph, std::map<int, int>& grads, int target, int grad) {
+  auto it = grads.find(target);
+  if (it == grads.end()) {
+    grads[target] = grad;
+    return;
+  }
+  Operator add;
+  add.type = OpType::kElementwise;
+  add.role = OpRole::kBackward;
+  add.name = graph.op(target).name + ".grad_acc";
+  add.operands = {it->second, grad};
+  add.shape = graph.op(target).shape;
+  add.dtype = graph.op(target).dtype;
+  add.flops = static_cast<double>(add.shape.elements());
+  add.layer = graph.op(target).layer;
+  add.forward_id = target;
+  it->second = graph.Append(std::move(add));
+}
+
+// Emits the einsum computing d(operand_index) for einsum op `fwd`, given the
+// output gradient op id. The gradient of operand i is an einsum whose output
+// labels are operand i's labels and whose inputs are the output gradient and
+// the other operands.
+int EinsumOperandGrad(Graph& graph, const Operator& fwd, int grad_out, size_t operand_index) {
+  const EinsumSpec& spec = fwd.einsum;
+  EinsumSpec grad_spec;
+  grad_spec.output = spec.operands[operand_index];
+  grad_spec.extents = spec.extents;
+  grad_spec.halo = spec.halo;
+  grad_spec.operands.push_back(spec.output);
+  std::vector<int> operands = {grad_out};
+  for (size_t j = 0; j < spec.operands.size(); ++j) {
+    if (j != operand_index) {
+      grad_spec.operands.push_back(spec.operands[j]);
+      operands.push_back(fwd.operands[j]);
+    }
+  }
+  Operator grad;
+  grad.type = OpType::kEinsum;
+  grad.role = OpRole::kBackward;
+  grad.name = fwd.name + ".grad" + std::to_string(operand_index);
+  grad.operands = std::move(operands);
+  grad.dtype = fwd.dtype;
+  grad.flops = grad_spec.Flops();
+  {
+    std::vector<int64_t> dims;
+    for (char c : grad_spec.output) {
+      dims.push_back(grad_spec.Extent(c));
+    }
+    grad.shape = TensorShape(dims);
+  }
+  grad.einsum = std::move(grad_spec);
+  grad.layer = fwd.layer;
+  grad.forward_id = fwd.id;
+  grad.weight_grad =
+      graph.op(fwd.operands[operand_index]).type == OpType::kParameter;
+  return graph.Append(std::move(grad));
+}
+
+// Emits a pointwise (or reduce, for broadcast operands) gradient op of
+// `shape` for forward op `fwd`.
+int PointwiseGrad(Graph& graph, const Operator& fwd, int grad_out, const TensorShape& shape,
+                  const std::string& suffix) {
+  Operator grad;
+  grad.role = OpRole::kBackward;
+  grad.name = fwd.name + suffix;
+  grad.operands = {grad_out};
+  grad.shape = shape;
+  grad.dtype = fwd.dtype;
+  grad.layer = fwd.layer;
+  grad.forward_id = fwd.id;
+  if (shape.elements() < graph.op(grad_out).shape.elements()) {
+    grad.type = OpType::kReduce;
+    grad.flops = static_cast<double>(graph.op(grad_out).shape.elements());
+  } else {
+    grad.type = OpType::kElementwise;
+    grad.flops = static_cast<double>(shape.elements());
+  }
+  return graph.Append(std::move(grad));
+}
+
+}  // namespace
+
+int64_t OptimizerStateBytesPerElement(DType param_dtype) {
+  // Adam first and second moments in fp32. For fp16 training the fp32
+  // master weight is folded into the first moment's storage (the
+  // mixed-precision scheme of the MoE/GShard line of work; a separate
+  // master copy would make the 70B MoE of Table 6 exceed even the fully
+  // sharded capacity of the paper's 64-GPU cluster).
+  (void)param_dtype;
+  return 8;
+}
+
+int BuildTrainingGraph(Graph& graph, const OptimizerConfig& config) {
+  graph.Validate();
+  const int forward_size = graph.size();
+
+  int loss_id = -1;
+  for (int i = 0; i < forward_size; ++i) {
+    if (graph.op(i).type == OpType::kLoss) {
+      ALPA_CHECK_EQ(loss_id, -1) << "Graph must contain exactly one loss op";
+      loss_id = i;
+    }
+  }
+  ALPA_CHECK_GE(loss_id, 0) << "Graph must contain a loss op";
+
+  // grads[v] = op id producing dL/d(op v).
+  std::map<int, int> grads;
+
+  // Seed: gradients of the loss inputs (same shape as the input, produced by
+  // the loss backward kernel).
+  {
+    const Operator& loss = graph.op(loss_id);
+    for (int operand : loss.operands) {
+      if (graph.op(operand).type == OpType::kInput) {
+        continue;  // Labels need no gradient.
+      }
+      int g = PointwiseGrad(graph, loss, loss_id, graph.op(operand).shape, ".grad");
+      AccumulateGrad(graph, grads, operand, g);
+    }
+  }
+
+  for (int id = loss_id - 1; id >= 0; --id) {
+    const Operator fwd = graph.op(id);  // Copy: Append may reallocate.
+    auto grad_it = grads.find(id);
+    if (grad_it == grads.end()) {
+      continue;  // No path to the loss.
+    }
+    const int grad_out = grad_it->second;
+    switch (fwd.type) {
+      case OpType::kEinsum: {
+        for (size_t i = 0; i < fwd.operands.size(); ++i) {
+          const Operator& operand = graph.op(fwd.operands[i]);
+          if (operand.type == OpType::kInput) {
+            continue;  // Training data needs no gradient.
+          }
+          int g = EinsumOperandGrad(graph, fwd, grad_out, i);
+          AccumulateGrad(graph, grads, fwd.operands[i], g);
+        }
+        break;
+      }
+      case OpType::kElementwise:
+      case OpType::kSoftmax:
+      case OpType::kLayerNorm:
+      case OpType::kReduce: {
+        for (size_t i = 0; i < fwd.operands.size(); ++i) {
+          // Copy: Append below may reallocate the op vector.
+          const OpType operand_type = graph.op(fwd.operands[i]).type;
+          const TensorShape operand_shape = graph.op(fwd.operands[i]).shape;
+          if (operand_type == OpType::kInput) {
+            continue;
+          }
+          int g = PointwiseGrad(graph, fwd, grad_out, operand_shape,
+                                ".grad" + std::to_string(i));
+          if (operand_type == OpType::kParameter) {
+            graph.mutable_op(g).weight_grad = true;  // Bias gradients.
+          }
+          AccumulateGrad(graph, grads, fwd.operands[i], g);
+        }
+        break;
+      }
+      case OpType::kEmbedding: {
+        // Gradient w.r.t. the table: scatter-add of the output gradient.
+        const int table = fwd.operands[1];
+        Operator grad;
+        grad.type = OpType::kEmbeddingGrad;
+        grad.role = OpRole::kBackward;
+        grad.name = fwd.name + ".grad_table";
+        grad.operands = {fwd.operands[0], grad_out};
+        grad.shape = graph.op(table).shape;
+        grad.dtype = graph.op(table).dtype;
+        grad.flops = static_cast<double>(graph.op(grad_out).shape.elements());
+        grad.layer = fwd.layer;
+        grad.forward_id = fwd.id;
+        grad.weight_grad = true;
+        AccumulateGrad(graph, grads, table, graph.Append(std::move(grad)));
+        break;
+      }
+      case OpType::kMoeDispatch: {
+        // d(x) combines the expert-side gradient back to token order.
+        const Operator& x = graph.op(fwd.operands[0]);
+        Operator grad;
+        grad.type = OpType::kMoeCombine;
+        grad.role = OpRole::kBackward;
+        grad.name = fwd.name + ".grad_x";
+        grad.operands = {grad_out};
+        grad.shape = x.shape;
+        grad.dtype = x.dtype;
+        grad.flops = static_cast<double>(graph.op(grad_out).shape.elements());
+        grad.layer = fwd.layer;
+        grad.forward_id = fwd.id;
+        AccumulateGrad(graph, grads, fwd.operands[0], graph.Append(std::move(grad)));
+        break;
+      }
+      case OpType::kMoeCombine: {
+        const Operator& expert_out = graph.op(fwd.operands[0]);
+        Operator grad;
+        grad.type = OpType::kMoeDispatch;
+        grad.role = OpRole::kBackward;
+        grad.name = fwd.name + ".grad_x";
+        grad.operands = {grad_out};
+        grad.shape = expert_out.shape;
+        grad.dtype = expert_out.dtype;
+        grad.flops = static_cast<double>(expert_out.shape.elements());
+        grad.layer = fwd.layer;
+        grad.forward_id = fwd.id;
+        AccumulateGrad(graph, grads, fwd.operands[0], graph.Append(std::move(grad)));
+        break;
+      }
+      case OpType::kInput:
+      case OpType::kParameter:
+        break;  // Leaves; their accumulated grads are consumed below.
+      case OpType::kLoss:
+      case OpType::kEmbeddingGrad:
+      case OpType::kUpdate:
+        ALPA_LOG(FATAL) << "Unexpected op in forward graph: " << fwd.ToString();
+    }
+  }
+
+  // Weight updates.
+  for (int param : graph.ParameterIds()) {
+    if (param >= forward_size) {
+      continue;
+    }
+    auto it = grads.find(param);
+    if (it == grads.end()) {
+      continue;  // Unused parameter.
+    }
+    const Operator& p = graph.op(param);
+    Operator update;
+    update.type = OpType::kUpdate;
+    update.role = OpRole::kUpdate;
+    update.name = p.name + ".update";
+    update.operands = {param, it->second};
+    update.shape = p.shape;
+    update.dtype = p.dtype;
+    update.flops = config.flops_per_element * static_cast<double>(p.shape.elements());
+    update.layer = p.layer;
+    update.param_id = param;
+    graph.Append(std::move(update));
+  }
+
+  graph.Validate();
+  return graph.size() - forward_size;
+}
+
+}  // namespace alpa

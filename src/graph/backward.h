@@ -1,0 +1,32 @@
+// Backward-pass and weight-update construction.
+//
+// Given a forward graph ending in exactly one kLoss operator, appends the
+// gradient operators (reverse-mode differentiation at the granularity the
+// compiler cares about: shapes, einsum structure, FLOPs) and one kUpdate
+// operator per trainable parameter. Backward ops inherit the layer tag of
+// their forward op, which realizes the paper's constraint that forward and
+// backward ops of the same operator are colocated on the same stage (5.1).
+#ifndef SRC_GRAPH_BACKWARD_H_
+#define SRC_GRAPH_BACKWARD_H_
+
+#include "src/graph/graph.h"
+
+namespace alpa {
+
+struct OptimizerConfig {
+  // Adam-like optimizer: two fp32 state tensors per parameter, plus an fp32
+  // master copy when training in fp16.
+  double flops_per_element = 6.0;
+};
+
+// Appends backward and update ops to `graph` in place. Returns the number of
+// ops appended. CHECK-fails if the graph has no kLoss op or is malformed.
+int BuildTrainingGraph(Graph& graph, const OptimizerConfig& config = OptimizerConfig());
+
+// Bytes of optimizer state per parameter element (Adam m+v in fp32, plus
+// fp32 master weights for fp16 params).
+int64_t OptimizerStateBytesPerElement(DType param_dtype);
+
+}  // namespace alpa
+
+#endif  // SRC_GRAPH_BACKWARD_H_

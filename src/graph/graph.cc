@@ -1,0 +1,302 @@
+#include "src/graph/graph.h"
+
+#include <algorithm>
+
+#include "src/support/logging.h"
+
+namespace alpa {
+
+namespace {
+
+TensorShape ShapeFromEinsumOutput(const EinsumSpec& einsum) {
+  std::vector<int64_t> dims;
+  dims.reserve(einsum.output.size());
+  for (char c : einsum.output) {
+    dims.push_back(einsum.Extent(c));
+  }
+  return TensorShape(dims);
+}
+
+}  // namespace
+
+int Graph::Append(Operator op) {
+  op.id = static_cast<int>(ops_.size());
+  for (int operand : op.operands) {
+    ALPA_CHECK_GE(operand, 0);
+    ALPA_CHECK_LT(operand, op.id) << "Graph must be built in topological order";
+  }
+  ops_.push_back(std::move(op));
+  return ops_.back().id;
+}
+
+int Graph::AddInput(const std::string& name, TensorShape shape, DType dtype, int layer) {
+  Operator op;
+  op.type = OpType::kInput;
+  op.name = name;
+  op.shape = std::move(shape);
+  op.dtype = dtype;
+  op.layer = layer;
+  return Append(std::move(op));
+}
+
+int Graph::AddParameter(const std::string& name, TensorShape shape, DType dtype, int layer) {
+  Operator op;
+  op.type = OpType::kParameter;
+  op.name = name;
+  op.shape = std::move(shape);
+  op.dtype = dtype;
+  op.layer = layer;
+  return Append(std::move(op));
+}
+
+int Graph::AddEinsum(const std::string& name, EinsumSpec einsum, std::vector<int> operands,
+                     DType dtype, int layer) {
+  ALPA_CHECK_EQ(operands.size(), einsum.operands.size());
+  for (size_t i = 0; i < operands.size(); ++i) {
+    const Operator& producer = op(operands[i]);
+    ALPA_CHECK_EQ(producer.shape.rank(), static_cast<int>(einsum.operands[i].size()))
+        << "einsum " << name << " operand " << i << " rank mismatch";
+    for (int d = 0; d < producer.shape.rank(); ++d) {
+      ALPA_CHECK_EQ(producer.shape.dim(d), einsum.Extent(einsum.operands[i][static_cast<size_t>(d)]))
+          << "einsum " << name << " operand " << i << " dim " << d << " extent mismatch";
+    }
+  }
+  Operator result;
+  result.type = OpType::kEinsum;
+  result.name = name;
+  result.operands = std::move(operands);
+  result.shape = ShapeFromEinsumOutput(einsum);
+  result.dtype = dtype;
+  result.flops = einsum.Flops();
+  result.einsum = std::move(einsum);
+  result.layer = layer;
+  return Append(std::move(result));
+}
+
+int Graph::AddElementwise(const std::string& name, std::vector<int> operands, int layer) {
+  ALPA_CHECK(!operands.empty());
+  Operator result;
+  result.type = OpType::kElementwise;
+  result.name = name;
+  result.shape = op(operands[0]).shape;
+  result.dtype = op(operands[0]).dtype;
+  result.operands = std::move(operands);
+  result.flops = static_cast<double>(result.shape.elements());
+  result.layer = layer;
+  return Append(std::move(result));
+}
+
+int Graph::AddReduce(const std::string& name, int operand, TensorShape out_shape, int layer) {
+  Operator result;
+  result.type = OpType::kReduce;
+  result.name = name;
+  result.operands = {operand};
+  result.dtype = op(operand).dtype;
+  result.flops = static_cast<double>(op(operand).shape.elements());
+  result.shape = std::move(out_shape);
+  result.layer = layer;
+  return Append(std::move(result));
+}
+
+int Graph::AddResize(const std::string& name, int operand, TensorShape out_shape, int layer) {
+  ALPA_CHECK_EQ(op(operand).shape.rank(), out_shape.rank());
+  Operator result;
+  result.type = OpType::kElementwise;
+  result.name = name;
+  result.operands = {operand};
+  result.dtype = op(operand).dtype;
+  result.flops = static_cast<double>(out_shape.elements());
+  result.shape = std::move(out_shape);
+  result.layer = layer;
+  return Append(std::move(result));
+}
+
+int Graph::AddSoftmax(const std::string& name, int operand, int layer) {
+  Operator result;
+  result.type = OpType::kSoftmax;
+  result.name = name;
+  result.operands = {operand};
+  result.shape = op(operand).shape;
+  result.dtype = op(operand).dtype;
+  result.flops = 5.0 * static_cast<double>(result.shape.elements());
+  result.layer = layer;
+  return Append(std::move(result));
+}
+
+int Graph::AddLayerNorm(const std::string& name, int operand, int layer) {
+  Operator result;
+  result.type = OpType::kLayerNorm;
+  result.name = name;
+  result.operands = {operand};
+  result.shape = op(operand).shape;
+  result.dtype = op(operand).dtype;
+  result.flops = 5.0 * static_cast<double>(result.shape.elements());
+  result.layer = layer;
+  return Append(std::move(result));
+}
+
+int Graph::AddEmbedding(const std::string& name, int ids, int table, int layer) {
+  const Operator& table_op = op(table);
+  ALPA_CHECK_EQ(table_op.shape.rank(), 2);
+  const Operator& ids_op = op(ids);
+  std::vector<int64_t> dims = ids_op.shape.dims();
+  dims.push_back(table_op.shape.dim(1));
+  Operator result;
+  result.type = OpType::kEmbedding;
+  result.name = name;
+  result.operands = {ids, table};
+  result.shape = TensorShape(dims);
+  result.dtype = table_op.dtype;
+  result.flops = static_cast<double>(result.shape.elements());
+  result.layer = layer;
+  return Append(std::move(result));
+}
+
+int Graph::AddMoeDispatch(const std::string& name, int x, int64_t experts, int64_t capacity,
+                          int layer) {
+  const Operator& x_op = op(x);
+  // Token tensor: [tokens, model] or [batch, seq, model].
+  ALPA_CHECK(x_op.shape.rank() == 2 || x_op.shape.rank() == 3);
+  Operator result;
+  result.type = OpType::kMoeDispatch;
+  result.name = name;
+  result.operands = {x};
+  result.shape = TensorShape({experts, capacity, x_op.shape.dim(x_op.shape.rank() - 1)});
+  result.dtype = x_op.dtype;
+  result.flops = static_cast<double>(result.shape.elements());
+  result.layer = layer;
+  return Append(std::move(result));
+}
+
+int Graph::AddMoeCombine(const std::string& name, int expert_out, TensorShape token_shape,
+                         int layer) {
+  const Operator& in_op = op(expert_out);
+  ALPA_CHECK_EQ(in_op.shape.rank(), 3);  // [experts, capacity, model]
+  ALPA_CHECK(token_shape.rank() == 2 || token_shape.rank() == 3);
+  ALPA_CHECK_EQ(token_shape.dim(token_shape.rank() - 1), in_op.shape.dim(2));
+  Operator result;
+  result.type = OpType::kMoeCombine;
+  result.name = name;
+  result.operands = {expert_out};
+  result.shape = std::move(token_shape);
+  result.dtype = in_op.dtype;
+  result.flops = static_cast<double>(in_op.shape.elements());
+  result.layer = layer;
+  return Append(std::move(result));
+}
+
+int Graph::AddLoss(const std::string& name, std::vector<int> operands, int layer) {
+  ALPA_CHECK(!operands.empty());
+  Operator result;
+  result.type = OpType::kLoss;
+  result.name = name;
+  result.shape = TensorShape({});
+  result.dtype = DType::kF32;
+  result.flops = static_cast<double>(op(operands[0]).shape.elements()) * 5.0;
+  result.operands = std::move(operands);
+  result.layer = layer;
+  return Append(std::move(result));
+}
+
+const Operator& Graph::op(int id) const {
+  ALPA_CHECK_GE(id, 0);
+  ALPA_CHECK_LT(id, size());
+  return ops_[static_cast<size_t>(id)];
+}
+
+Operator& Graph::mutable_op(int id) {
+  ALPA_CHECK_GE(id, 0);
+  ALPA_CHECK_LT(id, size());
+  return ops_[static_cast<size_t>(id)];
+}
+
+std::vector<std::vector<int>> Graph::Consumers() const {
+  std::vector<std::vector<int>> consumers(ops_.size());
+  for (const Operator& o : ops_) {
+    for (int operand : o.operands) {
+      consumers[static_cast<size_t>(operand)].push_back(o.id);
+    }
+  }
+  return consumers;
+}
+
+std::vector<int> Graph::ParameterIds() const {
+  std::vector<int> ids;
+  for (const Operator& o : ops_) {
+    if (o.type == OpType::kParameter) {
+      ids.push_back(o.id);
+    }
+  }
+  return ids;
+}
+
+std::vector<int> Graph::InputIds() const {
+  std::vector<int> ids;
+  for (const Operator& o : ops_) {
+    if (o.type == OpType::kInput) {
+      ids.push_back(o.id);
+    }
+  }
+  return ids;
+}
+
+int Graph::NumLayers() const {
+  int max_layer = -1;
+  for (const Operator& o : ops_) {
+    max_layer = std::max(max_layer, o.layer);
+  }
+  return max_layer + 1;
+}
+
+double Graph::TotalFlops() const {
+  double total = 0.0;
+  for (const Operator& o : ops_) {
+    total += o.flops;
+  }
+  return total;
+}
+
+double Graph::FlopsForRole(OpRole role) const {
+  double total = 0.0;
+  for (const Operator& o : ops_) {
+    if (o.role == role) {
+      total += o.flops;
+    }
+  }
+  return total;
+}
+
+int64_t Graph::ParameterBytes() const {
+  int64_t total = 0;
+  for (const Operator& o : ops_) {
+    if (o.type == OpType::kParameter) {
+      total += o.OutputBytes();
+    }
+  }
+  return total;
+}
+
+void Graph::Validate() const {
+  for (int i = 0; i < size(); ++i) {
+    const Operator& o = op(i);
+    ALPA_CHECK_EQ(o.id, i);
+    for (int operand : o.operands) {
+      ALPA_CHECK_GE(operand, 0);
+      ALPA_CHECK_LT(operand, i) << "op " << o.name << " breaks topological order";
+    }
+    if (o.type == OpType::kEinsum) {
+      ALPA_CHECK(o.einsum.valid());
+    }
+  }
+}
+
+std::string Graph::ToString() const {
+  std::string result;
+  for (const Operator& o : ops_) {
+    result += o.ToString();
+    result += "\n";
+  }
+  return result;
+}
+
+}  // namespace alpa

@@ -1,0 +1,81 @@
+// The dataflow graph: a topologically ordered list of operators.
+//
+// Model builders append operators through the Add* methods; ids are dense
+// and ascending in topological order (operands always have smaller ids than
+// their consumers), mirroring how a traced Jaxpr orders its equations. The
+// inter-op pass relies on this order for stage slicing (5.1).
+#ifndef SRC_GRAPH_GRAPH_H_
+#define SRC_GRAPH_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "src/graph/operator.h"
+
+namespace alpa {
+
+class Graph {
+ public:
+  Graph() = default;
+
+  // --- Builder methods. `layer` tags the op with a forward layer index used
+  // by inter-op stage slicing; pass -1 for untagged graphs. ---
+  int AddInput(const std::string& name, TensorShape shape, DType dtype, int layer = -1);
+  int AddParameter(const std::string& name, TensorShape shape, DType dtype, int layer = -1);
+  // Output shape is derived from the einsum output labels.
+  int AddEinsum(const std::string& name, EinsumSpec einsum, std::vector<int> operands,
+                DType dtype, int layer = -1);
+  // Pointwise op; output shape is operands[0]'s shape. Operands with smaller
+  // shapes are treated as broadcast (e.g. bias vectors).
+  int AddElementwise(const std::string& name, std::vector<int> operands, int layer = -1);
+  int AddReduce(const std::string& name, int operand, TensorShape out_shape, int layer = -1);
+  // Same-rank shape adapter (strided convolution / pooling spatial shrink).
+  // Cost-wise a pointwise op; never merged because shapes differ.
+  int AddResize(const std::string& name, int operand, TensorShape out_shape, int layer = -1);
+  int AddSoftmax(const std::string& name, int operand, int layer = -1);
+  int AddLayerNorm(const std::string& name, int operand, int layer = -1);
+  // Lookup of `ids` (integer tensor) into `table` ([vocab, model]).
+  int AddEmbedding(const std::string& name, int ids, int table, int layer = -1);
+  // MoE routing. x: [tokens, model] -> [experts, capacity, model].
+  int AddMoeDispatch(const std::string& name, int x, int64_t experts, int64_t capacity,
+                     int layer = -1);
+  // Inverse routing: [experts, capacity, model] -> token_shape.
+  int AddMoeCombine(const std::string& name, int expert_out, TensorShape token_shape,
+                    int layer = -1);
+  int AddLoss(const std::string& name, std::vector<int> operands, int layer = -1);
+
+  // Raw append for passes that synthesize ops (backward builder, stage
+  // extraction). Fills in the id; operands must already exist.
+  int Append(Operator op);
+
+  // --- Access ---
+  int size() const { return static_cast<int>(ops_.size()); }
+  const Operator& op(int id) const;
+  Operator& mutable_op(int id);
+  const std::vector<Operator>& ops() const { return ops_; }
+
+  // consumers()[v] lists the ops that take v as an operand.
+  std::vector<std::vector<int>> Consumers() const;
+
+  std::vector<int> ParameterIds() const;
+  std::vector<int> InputIds() const;
+  // Number of forward layers (max layer tag + 1); 0 if untagged.
+  int NumLayers() const;
+
+  double TotalFlops() const;
+  double FlopsForRole(OpRole role) const;
+  // Sum of parameter bytes.
+  int64_t ParameterBytes() const;
+
+  // Checks topological ordering and operand validity; CHECK-fails on error.
+  void Validate() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Operator> ops_;
+};
+
+}  // namespace alpa
+
+#endif  // SRC_GRAPH_GRAPH_H_

@@ -1,0 +1,99 @@
+#include "src/graph/operator.h"
+
+#include <algorithm>
+
+#include "src/support/logging.h"
+#include "src/support/strings.h"
+
+namespace alpa {
+
+std::string OpTypeName(OpType type) {
+  switch (type) {
+    case OpType::kInput:
+      return "input";
+    case OpType::kParameter:
+      return "parameter";
+    case OpType::kEinsum:
+      return "einsum";
+    case OpType::kElementwise:
+      return "elementwise";
+    case OpType::kReduce:
+      return "reduce";
+    case OpType::kSoftmax:
+      return "softmax";
+    case OpType::kLayerNorm:
+      return "layernorm";
+    case OpType::kEmbedding:
+      return "embedding";
+    case OpType::kEmbeddingGrad:
+      return "embedding_grad";
+    case OpType::kMoeDispatch:
+      return "moe_dispatch";
+    case OpType::kMoeCombine:
+      return "moe_combine";
+    case OpType::kLoss:
+      return "loss";
+    case OpType::kUpdate:
+      return "update";
+  }
+  return "?";
+}
+
+int64_t EinsumSpec::Extent(char label) const {
+  auto it = extents.find(label);
+  ALPA_CHECK(it != extents.end()) << "No extent for einsum label '" << label << "'";
+  return it->second;
+}
+
+std::string EinsumSpec::ContractionLabels() const {
+  std::string result;
+  for (const std::string& operand : operands) {
+    for (char c : operand) {
+      if (output.find(c) == std::string::npos && result.find(c) == std::string::npos) {
+        result.push_back(c);
+      }
+    }
+  }
+  return result;
+}
+
+std::string EinsumSpec::AllLabels() const {
+  std::string result = output;
+  for (char c : ContractionLabels()) {
+    result.push_back(c);
+  }
+  return result;
+}
+
+double EinsumSpec::Flops() const {
+  double macs = 1.0;
+  for (char c : AllLabels()) {
+    macs *= static_cast<double>(Extent(c));
+  }
+  return 2.0 * macs;
+}
+
+std::string EinsumSpec::ToString() const {
+  return StrJoin(operands, ",") + "->" + output;
+}
+
+std::string Operator::ToString() const {
+  std::string result = StrFormat("%%%d = %s %s%s", id, OpTypeName(type).c_str(),
+                                 shape.ToString().c_str(), DTypeName(dtype).c_str());
+  if (einsum.valid()) {
+    result += " {" + einsum.ToString() + "}";
+  }
+  if (!operands.empty()) {
+    result += " (";
+    for (size_t i = 0; i < operands.size(); ++i) {
+      result += (i > 0 ? ", %" : "%") + std::to_string(operands[i]);
+    }
+    result += ")";
+  }
+  if (!name.empty()) {
+    result += "  # " + name;
+  }
+  return result;
+}
+
+}  // namespace alpa

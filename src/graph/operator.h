@@ -1,0 +1,104 @@
+// Operators of the dataflow graph.
+//
+// Heavy operators (matmuls, convolutions, attention contractions) carry an
+// einsum specification: a label string per operand and for the output, plus
+// per-label extents. The intra-op pass derives all SPMD parallel algorithms
+// for an operator directly from its einsum structure, exactly as the paper
+// derives Table 2 from the loop structure of a batched matmul. A handful of
+// operators with data-dependent semantics (embedding lookups, MoE
+// dispatch/combine) get custom algorithm enumerations instead.
+#ifndef SRC_GRAPH_OPERATOR_H_
+#define SRC_GRAPH_OPERATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/graph/tensor.h"
+
+namespace alpa {
+
+enum class OpType {
+  kInput,        // Training data fed per microbatch.
+  kParameter,    // Trainable weight.
+  kEinsum,       // Contraction with einsum semantics (matmul, conv-as-im2col, attention).
+  kElementwise,  // Pointwise unary/binary (add, mul, relu, gelu, bias, residual, batchnorm).
+  kReduce,       // Reduction over some dims (mean, sum).
+  kSoftmax,      // Row softmax.
+  kLayerNorm,    // Layer normalization.
+  kEmbedding,    // Lookup: ids [..] x table [V, M] -> [.., M].
+  kEmbeddingGrad,  // Scatter-add of output grad into the table.
+  kMoeDispatch,  // Route tokens to experts: [T, M] -> [E, C, M].
+  kMoeCombine,   // Gather expert outputs back: [E, C, M] -> [T, M].
+  kLoss,         // Scalar loss head (softmax cross-entropy / MSE).
+  kUpdate,       // Optimizer step for one parameter.
+};
+
+enum class OpRole {
+  kForward,
+  kBackward,
+  kUpdate,
+};
+
+std::string OpTypeName(OpType type);
+
+// Einsum description: e.g. output "bsf", operands {"bsm", "mf"}, extents for
+// each label. Labels appearing in operands but not in the output are
+// contraction (reduction) loops.
+struct EinsumSpec {
+  std::string output;
+  std::vector<std::string> operands;
+  std::map<char, int64_t> extents;
+  // Labels that index a spatial window (convolutions): label -> kernel side
+  // length. Partitioning such a label requires halo exchange with the
+  // neighbouring shards.
+  std::map<char, int64_t> halo;
+
+  bool valid() const { return !operands.empty(); }
+  int64_t Extent(char label) const;
+  // Labels appearing in any operand but not in the output.
+  std::string ContractionLabels() const;
+  // All distinct labels.
+  std::string AllLabels() const;
+  // 2 * product of all label extents (multiply-accumulate count).
+  double Flops() const;
+  std::string ToString() const;
+};
+
+struct Operator {
+  int id = -1;
+  OpType type = OpType::kInput;
+  OpRole role = OpRole::kForward;
+  std::string name;
+  std::vector<int> operands;  // Producer op ids, in operand order.
+  TensorShape shape;          // Output shape.
+  DType dtype = DType::kF32;
+  EinsumSpec einsum;          // Valid for kEinsum (and informative for MoE ops).
+  double flops = 0.0;
+
+  // Forward layer this op belongs to (assigned by model builders; backward
+  // ops inherit their forward op's layer). -1 when unassigned.
+  int layer = -1;
+  // For backward ops: id of the forward op being differentiated.
+  int forward_id = -1;
+  // For kUpdate ops: id of the kParameter being updated.
+  int param_id = -1;
+  // True for backward ops producing a parameter gradient (their output
+  // flows to the optimizer; communication amortizes over gradient
+  // accumulation and is the target of ZeRO-style sharding).
+  bool weight_grad = false;
+
+  int64_t OutputBytes() const { return shape.elements() * DTypeBytes(dtype); }
+  bool IsHeavy() const {
+    return type == OpType::kEinsum || type == OpType::kEmbedding ||
+           type == OpType::kEmbeddingGrad || type == OpType::kMoeDispatch ||
+           type == OpType::kMoeCombine || type == OpType::kUpdate ||
+           type == OpType::kParameter || type == OpType::kInput;
+  }
+  std::string ToString() const;
+};
+
+}  // namespace alpa
+
+#endif  // SRC_GRAPH_OPERATOR_H_

@@ -1,0 +1,23 @@
+#include "src/graph/tensor.h"
+
+#include "src/support/strings.h"
+
+namespace alpa {
+
+std::string DTypeName(DType dtype) {
+  switch (dtype) {
+    case DType::kF16:
+      return "f16";
+    case DType::kF32:
+      return "f32";
+    case DType::kI32:
+      return "i32";
+  }
+  return "?";
+}
+
+std::string TensorShape::ToString() const {
+  return "[" + StrJoin(dims_, ",") + "]";
+}
+
+}  // namespace alpa

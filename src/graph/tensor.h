@@ -1,0 +1,70 @@
+// Tensor metadata: dtypes and shapes. alpa-cpp never materializes tensor
+// contents; the compiler passes and the simulator only need shapes, dtypes
+// and byte/FLOP accounting.
+#ifndef SRC_GRAPH_TENSOR_H_
+#define SRC_GRAPH_TENSOR_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "src/support/logging.h"
+
+namespace alpa {
+
+enum class DType {
+  kF16,
+  kF32,
+  kI32,
+};
+
+inline int64_t DTypeBytes(DType dtype) {
+  switch (dtype) {
+    case DType::kF16:
+      return 2;
+    case DType::kF32:
+      return 4;
+    case DType::kI32:
+      return 4;
+  }
+  ALPA_LOG(FATAL) << "Unknown dtype";
+  return 0;
+}
+
+std::string DTypeName(DType dtype);
+
+// A dense tensor shape. Rank 0 denotes a scalar.
+class TensorShape {
+ public:
+  TensorShape() = default;
+  TensorShape(std::initializer_list<int64_t> dims) : dims_(dims) {}
+  explicit TensorShape(std::vector<int64_t> dims) : dims_(std::move(dims)) {}
+
+  int rank() const { return static_cast<int>(dims_.size()); }
+  int64_t dim(int i) const {
+    ALPA_CHECK_GE(i, 0);
+    ALPA_CHECK_LT(i, rank());
+    return dims_[static_cast<size_t>(i)];
+  }
+  const std::vector<int64_t>& dims() const { return dims_; }
+
+  int64_t elements() const {
+    int64_t n = 1;
+    for (int64_t d : dims_) {
+      n *= d;
+    }
+    return n;
+  }
+
+  bool operator==(const TensorShape&) const = default;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<int64_t> dims_;
+};
+
+}  // namespace alpa
+
+#endif  // SRC_GRAPH_TENSOR_H_

@@ -1,0 +1,325 @@
+#include "src/inter/inter_pass.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "src/support/logging.h"
+#include "src/support/strings.h"
+
+namespace alpa {
+
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Restricted stage search for the "Equal layer" ablation (7.3): stage
+// boundaries are fixed to equal layer counts; only the device assignment is
+// optimized (DP over stages x remaining devices).
+StageDpResult SolveEqualLayer(int num_layers, int num_microbatches, const ClusterSpec& cluster,
+                              const std::vector<SubmeshShape>& shapes,
+                              const StageProfileFn& profile, const StageDpOptions& options) {
+  StageDpResult best;
+  const int total_devices = cluster.num_devices();
+  const double memory = options.device_memory_override > 0.0
+                            ? options.device_memory_override
+                            : cluster.device.memory_bytes;
+  for (int num_stages = 1; num_stages <= std::min(num_layers, total_devices); ++num_stages) {
+    if (num_layers % num_stages != 0) {
+      continue;
+    }
+    const int span = num_layers / num_stages;
+    // dp[s][d]: min (sum_latency, max_latency achievable) covering stages
+    // [s, num_stages) with d devices. Track sum and reconstruct; the max is
+    // derived from the reconstruction.
+    const size_t width = static_cast<size_t>(total_devices) + 1;
+    std::vector<double> dp(static_cast<size_t>(num_stages + 1) * width, kInfCost);
+    std::vector<int> choice(static_cast<size_t>(num_stages + 1) * width, -1);
+    dp[static_cast<size_t>(num_stages) * width + 0] = 0.0;
+    for (int s = num_stages - 1; s >= 0; --s) {
+      const int begin = s * span;
+      const int end = begin + span - 1;
+      const int in_flight = num_stages - s;
+      for (size_t shape_index = 0; shape_index < shapes.size(); ++shape_index) {
+        const StageProfile p = profile(begin, end, static_cast<int>(shape_index));
+        if (!std::isfinite(p.t_intra)) {
+          continue;
+        }
+        if (p.weight_bytes + in_flight * p.act_bytes_per_microbatch + p.work_bytes > memory) {
+          continue;
+        }
+        const double t_eff =
+            p.t_intra + p.t_per_iteration / static_cast<double>(num_microbatches) +
+            1e-18 * (p.weight_bytes + p.act_bytes_per_microbatch);
+        const int used = shapes[shape_index].num_devices();
+        for (int d = used; d <= total_devices; ++d) {
+          const double rest = dp[static_cast<size_t>(s + 1) * width + static_cast<size_t>(d - used)];
+          if (!std::isfinite(rest)) {
+            continue;
+          }
+          const size_t idx = static_cast<size_t>(s) * width + static_cast<size_t>(d);
+          if (t_eff + rest < dp[idx]) {
+            dp[idx] = t_eff + rest;
+            choice[idx] = static_cast<int>(shape_index);
+          }
+        }
+      }
+    }
+    const double sum = dp[static_cast<size_t>(total_devices)];
+    if (!std::isfinite(sum)) {
+      continue;
+    }
+    // Reconstruct.
+    std::vector<StageAssignment> stages;
+    double max_latency = 0.0;
+    int d = total_devices;
+    bool ok = true;
+    for (int s = 0; s < num_stages; ++s) {
+      const int shape_index = choice[static_cast<size_t>(s) * width + static_cast<size_t>(d)];
+      if (shape_index < 0) {
+        ok = false;
+        break;
+      }
+      const int begin = s * span;
+      const StageProfile p = profile(begin, begin + span - 1, shape_index);
+      stages.push_back(StageAssignment{begin, begin + span - 1, shape_index, p.t_intra});
+      max_latency = std::max(
+          max_latency, p.t_intra + p.t_per_iteration / static_cast<double>(num_microbatches));
+      d -= shapes[static_cast<size_t>(shape_index)].num_devices();
+    }
+    if (!ok || d != 0) {
+      continue;
+    }
+    const double total = sum + (num_microbatches - 1) * max_latency;
+    if (total < best.total_latency) {
+      best.feasible = true;
+      best.total_latency = total;
+      best.stage_latency_sum = sum;
+      best.max_stage_latency = max_latency;
+      best.stages = std::move(stages);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+CompiledPipeline RunInterOpPass(Graph& graph, const ClusterSpec& cluster,
+                                const InterOpOptions& options) {
+  CompiledPipeline pipeline;
+  pipeline.num_microbatches = options.num_microbatches;
+  const double t_start = NowSeconds();
+
+  // --- 1. Operator clustering (Eq. 5). ---
+  double t0 = NowSeconds();
+  if (options.target_layers > 0) {
+    ClusteringOptions copts;
+    copts.num_layers = options.target_layers;
+    copts.delta = options.clustering_delta;
+    copts.method = options.clustering;
+    const ClusteringResult clustering = ClusterOperators(graph, copts);
+    if (!clustering.feasible) {
+      return pipeline;
+    }
+    AssignLayers(graph, clustering);
+  }
+  const int num_layers = graph.NumLayers();
+  ALPA_CHECK_GT(num_layers, 0);
+  pipeline.stats.clustering_seconds = NowSeconds() - t0;
+
+  // --- 2. Profile stage-mesh pairs. ---
+  const std::vector<SubmeshShape> physical_shapes =
+      options.submesh_shapes.empty() ? EnumerateSubmeshShapes(cluster) : options.submesh_shapes;
+  StageProfilerOptions profiler_options = options.profiler;
+  profiler_options.intra.num_microbatches = options.num_microbatches;
+  StageProfiler profiler(graph, cluster, physical_shapes, profiler_options);
+  // The DP iterates the profiler's expanded variant space (physical shape x
+  // logical shape x memory mode); it only needs the physical device counts.
+  const std::vector<SubmeshShape>& shapes = profiler.dp_shapes();
+  const StageProfileFn profile_fn = [&](int begin, int end, int shape_index) {
+    return profiler.Profile(begin, end, shape_index);
+  };
+
+  // --- 3. Stage-slicing DP (Eqs. 2-4). ---
+  t0 = NowSeconds();
+  const StageDpResult dp =
+      options.equal_layer_stages
+          ? SolveEqualLayer(num_layers, options.num_microbatches, cluster, shapes, profile_fn,
+                            options.dp)
+          : SolveStageDp(num_layers, options.num_microbatches, cluster, shapes, profile_fn,
+                         options.dp);
+  pipeline.stats.dp_seconds = NowSeconds() - t0 - profiler.profiling_seconds();
+  pipeline.stats.num_tmax_tried = dp.num_tmax_tried;
+  if (!dp.feasible) {
+    pipeline.stats.profiling_seconds = profiler.profiling_seconds();
+    pipeline.stats.ilp_solves = profiler.num_ilp_solves();
+    pipeline.stats.total_seconds = NowSeconds() - t_start;
+    return pipeline;
+  }
+
+  // --- 4. Materialize stages: placements (Theorem 1) + logical shapes. ---
+  t0 = NowSeconds();
+  std::vector<SubmeshShape> chosen_shapes;
+  chosen_shapes.reserve(dp.stages.size());
+  for (const StageAssignment& stage : dp.stages) {
+    chosen_shapes.push_back(shapes[static_cast<size_t>(stage.shape_index)]);
+  }
+  auto placements = CoverCluster(cluster, chosen_shapes);
+  ALPA_CHECK(placements.has_value()) << "Theorem 1 violated by DP output";
+
+  // Per-stage: logical shape, latency split, memory, boundary tensors.
+  std::vector<int> stage_of_layer(static_cast<size_t>(num_layers), -1);
+  for (size_t s = 0; s < dp.stages.size(); ++s) {
+    const StageAssignment& assignment = dp.stages[s];
+    CompiledStage stage;
+    stage.layer_begin = assignment.layer_begin;
+    stage.layer_end = assignment.layer_end;
+    stage.placement = (*placements)[s];
+    stage.logical_shape = profiler.variants()[static_cast<size_t>(assignment.shape_index)].logical;
+    const StageProfile profile = profiler.Profile(assignment.layer_begin, assignment.layer_end,
+                                                  assignment.shape_index);
+    stage.t_intra = profile.t_intra;
+    stage.t_per_iteration = profile.t_per_iteration;
+    stage.weight_bytes = profile.weight_bytes;
+    stage.act_bytes_per_microbatch = profile.act_bytes_per_microbatch;
+    stage.work_bytes = profile.work_bytes;
+    // Forward/backward split by role FLOPs of the stage's layers.
+    double fwd_flops = 0.0;
+    double bwd_flops = 0.0;
+    for (const Operator& op : graph.ops()) {
+      if (op.layer >= stage.layer_begin && op.layer <= stage.layer_end) {
+        if (op.role == OpRole::kForward) {
+          fwd_flops += op.flops;
+        } else if (op.role == OpRole::kBackward) {
+          bwd_flops += op.flops;
+        }
+      }
+    }
+    const double denom = std::max(fwd_flops + bwd_flops, 1.0);
+    stage.t_forward = stage.t_intra * fwd_flops / denom;
+    stage.t_backward = stage.t_intra - stage.t_forward;
+    for (int l = stage.layer_begin; l <= stage.layer_end; ++l) {
+      stage_of_layer[static_cast<size_t>(l)] = static_cast<int>(s);
+    }
+    // Plan summary for visualization: specs of heavy forward ops and params.
+    for (int l = stage.layer_begin; l <= stage.layer_end; ++l) {
+      const IntraOpResult& result = profiler.LayerResult(l, assignment.shape_index);
+      if (!result.feasible) {
+        continue;
+      }
+      const StageSubgraph& subgraph = profiler.LayerSubgraph(l);
+      for (const Operator& op : subgraph.graph.ops()) {
+        const bool interesting =
+            op.role == OpRole::kForward &&
+            (op.type == OpType::kEinsum || op.type == OpType::kEmbedding ||
+             op.type == OpType::kMoeDispatch || op.type == OpType::kParameter);
+        if (interesting) {
+          stage.op_spec_summary.emplace_back(
+              op.name, result.op_specs[static_cast<size_t>(op.id)].ToString());
+        }
+      }
+    }
+    pipeline.stages.push_back(std::move(stage));
+  }
+
+  // Boundary tensors: forward activations produced in stage s and consumed
+  // in a later stage. Skip connections crossing several stages are relayed
+  // hop by hop (attached to every stage boundary they cross).
+  const auto consumers = graph.Consumers();
+  for (int producer = 0; producer < graph.size(); ++producer) {
+    const Operator& op = graph.op(producer);
+    if (op.role != OpRole::kForward || op.type == OpType::kParameter ||
+        op.type == OpType::kInput) {
+      continue;
+    }
+    const int src_stage = stage_of_layer[static_cast<size_t>(op.layer)];
+    int max_dst_stage = src_stage;
+    int first_dst_layer = -1;
+    for (int consumer : consumers[static_cast<size_t>(producer)]) {
+      const Operator& c = graph.op(consumer);
+      if (c.role != OpRole::kForward) {
+        continue;
+      }
+      const int dst_stage = stage_of_layer[static_cast<size_t>(c.layer)];
+      if (dst_stage > src_stage) {
+        if (dst_stage > max_dst_stage) {
+          max_dst_stage = dst_stage;
+        }
+        if (first_dst_layer < 0 || c.layer < first_dst_layer) {
+          first_dst_layer = c.layer;
+        }
+      }
+    }
+    if (max_dst_stage == src_stage) {
+      continue;
+    }
+    // Source spec: from the producer layer's solution on its stage.
+    const StageAssignment& src_assignment = dp.stages[static_cast<size_t>(src_stage)];
+    const IntraOpResult& src_result =
+        profiler.LayerResult(op.layer, src_assignment.shape_index);
+    const StageSubgraph& src_subgraph = profiler.LayerSubgraph(op.layer);
+    ShardingSpec src_spec = ShardingSpec::Replicated(op.shape.rank());
+    if (src_result.feasible) {
+      const int mapped = src_subgraph.op_map[static_cast<size_t>(producer)];
+      if (mapped >= 0) {
+        src_spec = src_result.op_specs[static_cast<size_t>(mapped)];
+      }
+    }
+    // Destination spec: the placeholder's spec in the first consuming layer.
+    ShardingSpec dst_spec = ShardingSpec::Replicated(op.shape.rank());
+    if (first_dst_layer >= 0) {
+      const int dst_stage = stage_of_layer[static_cast<size_t>(first_dst_layer)];
+      const StageAssignment& dst_assignment = dp.stages[static_cast<size_t>(dst_stage)];
+      const IntraOpResult& dst_result =
+          profiler.LayerResult(first_dst_layer, dst_assignment.shape_index);
+      const StageSubgraph& dst_subgraph = profiler.LayerSubgraph(first_dst_layer);
+      if (dst_result.feasible) {
+        const int mapped = dst_subgraph.op_map[static_cast<size_t>(producer)];
+        if (mapped >= 0) {
+          dst_spec = dst_result.op_specs[static_cast<size_t>(mapped)];
+        }
+      }
+    }
+    CrossStageTensor tensor;
+    tensor.shape = op.shape;
+    tensor.dtype_bytes = DTypeBytes(op.dtype);
+    tensor.src_spec = src_spec;
+    tensor.dst_spec = dst_spec;
+    // Relay across every boundary this tensor crosses.
+    for (int s = src_stage; s < max_dst_stage; ++s) {
+      pipeline.stages[static_cast<size_t>(s)].sends_to_next.push_back(tensor);
+    }
+  }
+
+  pipeline.feasible = true;
+  pipeline.dp_latency = dp.total_latency;
+  pipeline.max_stage_latency = dp.max_stage_latency;
+  pipeline.stats.profiling_seconds = profiler.profiling_seconds();
+  pipeline.stats.ilp_solves = profiler.num_ilp_solves();
+  pipeline.stats.other_seconds = NowSeconds() - t0;
+  pipeline.stats.total_seconds = NowSeconds() - t_start;
+  return pipeline;
+}
+
+std::string CompiledPipeline::ToString() const {
+  if (!feasible) {
+    return "CompiledPipeline(infeasible)";
+  }
+  std::string out = StrFormat("CompiledPipeline: %zu stages, B=%d, T=%s\n", stages.size(),
+                              num_microbatches, HumanSeconds(dp_latency).c_str());
+  for (size_t s = 0; s < stages.size(); ++s) {
+    const CompiledStage& stage = stages[s];
+    out += StrFormat(
+        "  stage %zu: layers [%d,%d] submesh %s logical (%d,%d) t=%s mem=%s+%s/mb\n", s,
+        stage.layer_begin, stage.layer_end, stage.placement.shape.ToString().c_str(),
+        stage.logical_shape[0], stage.logical_shape[1], HumanSeconds(stage.t_intra).c_str(),
+        HumanBytes(stage.weight_bytes).c_str(),
+        HumanBytes(stage.act_bytes_per_microbatch).c_str());
+  }
+  return out;
+}
+
+}  // namespace alpa

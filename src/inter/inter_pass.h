@@ -1,0 +1,96 @@
+// The inter-operator compilation pass (5).
+//
+// Clusters the graph's forward operators into layers (Eq. 5), profiles
+// layer intervals on every candidate submesh shape via the intra-op pass,
+// runs the stage-slicing DP (Eqs. 2-4), and materializes the chosen stages:
+// concrete placements covering the cluster (Theorem 1), logical mesh
+// shapes, per-stage latencies/memory, and cross-stage boundary tensors.
+#ifndef SRC_INTER_INTER_PASS_H_
+#define SRC_INTER_INTER_PASS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/inter/stage_profiler.h"
+#include "src/mesh/submesh.h"
+#include "src/solver/operator_clustering.h"
+#include "src/solver/stage_dp.h"
+#include "src/spec/sharding_spec.h"
+
+namespace alpa {
+
+struct InterOpOptions {
+  int num_microbatches = 16;
+  // Operator clustering (Eq. 5). 0 keeps the builder-assigned layer tags.
+  int target_layers = 8;
+  double clustering_delta = 0.5;
+  ClusteringMethod clustering = ClusteringMethod::kDpCommBalanced;
+  // "Equal layer" ablation (7.3): all stages get the same number of layers.
+  bool equal_layer_stages = false;
+  StageDpOptions dp;
+  StageProfilerOptions profiler;
+  // Restrict the submesh shapes (e.g. only (1,1) for the inter-op-only
+  // baseline); empty = the full 5.2 space.
+  std::vector<SubmeshShape> submesh_shapes;
+};
+
+// A tensor crossing a stage boundary, with the layouts on both sides.
+struct CrossStageTensor {
+  TensorShape shape;
+  int64_t dtype_bytes = 2;
+  ShardingSpec src_spec;
+  ShardingSpec dst_spec;
+  bool forward = true;  // Activation (fwd) or gradient (bwd).
+};
+
+struct CompiledStage {
+  int layer_begin = 0;
+  int layer_end = 0;
+  MeshPlacement placement;
+  std::array<int, 2> logical_shape = {1, 1};
+  // Per-microbatch forward+backward latency and its split.
+  double t_intra = 0.0;
+  double t_forward = 0.0;
+  double t_backward = 0.0;
+  // Once-per-iteration gradient sync + optimizer latency.
+  double t_per_iteration = 0.0;
+  // Per-device memory profile.
+  double weight_bytes = 0.0;
+  double act_bytes_per_microbatch = 0.0;
+  double work_bytes = 0.0;
+  // Tensors sent to the next stage (per microbatch, forward direction).
+  // Backward gradients flow along the same tensors in reverse.
+  std::vector<CrossStageTensor> sends_to_next;
+  // (op name, chosen sharding spec) of the stage's forward contraction ops
+  // and parameters — the Fig. 13 visualization data.
+  std::vector<std::pair<std::string, std::string>> op_spec_summary;
+};
+
+struct CompileStats {
+  double clustering_seconds = 0.0;
+  double profiling_seconds = 0.0;  // Intra-op ILP solves (compilation + profiling analogue).
+  double dp_seconds = 0.0;
+  double other_seconds = 0.0;
+  double total_seconds = 0.0;
+  int64_t ilp_solves = 0;
+  int num_tmax_tried = 0;
+};
+
+struct CompiledPipeline {
+  bool feasible = false;
+  std::vector<CompiledStage> stages;
+  int num_microbatches = 1;
+  // Eq. 2 estimate from the DP (the simulator refines this).
+  double dp_latency = kInfCost;
+  double max_stage_latency = 0.0;
+  CompileStats stats;
+  std::string ToString() const;
+};
+
+CompiledPipeline RunInterOpPass(Graph& graph, const ClusterSpec& cluster,
+                                const InterOpOptions& options);
+
+}  // namespace alpa
+
+#endif  // SRC_INTER_INTER_PASS_H_

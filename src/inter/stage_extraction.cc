@@ -1,0 +1,83 @@
+#include "src/inter/stage_extraction.h"
+
+#include "src/support/logging.h"
+
+namespace alpa {
+
+StageSubgraph ExtractStage(const Graph& graph, int layer_begin, int layer_end) {
+  ALPA_CHECK_LE(layer_begin, layer_end);
+  StageSubgraph stage;
+  stage.layer_begin = layer_begin;
+  stage.layer_end = layer_end;
+  stage.op_map.assign(static_cast<size_t>(graph.size()), -1);
+
+  auto in_range = [&](const Operator& op) {
+    return op.layer >= layer_begin && op.layer <= layer_end;
+  };
+
+  for (int id = 0; id < graph.size(); ++id) {
+    const Operator& op = graph.op(id);
+    if (!in_range(op)) {
+      continue;
+    }
+    Operator copy = op;
+    copy.operands.clear();
+    for (int operand : op.operands) {
+      int mapped = stage.op_map[static_cast<size_t>(operand)];
+      if (mapped < 0) {
+        // Producer lives outside the stage: materialize a placeholder input.
+        const Operator& producer = graph.op(operand);
+        if (in_range(producer)) {
+          // Operand is inside the range but its id maps to -1 only if the
+          // graph is not topologically ordered; Validate() precludes this.
+          ALPA_LOG(FATAL) << "Stage extraction found unmapped in-range operand";
+        }
+        Operator placeholder;
+        placeholder.type = OpType::kInput;
+        placeholder.role = producer.role;
+        placeholder.name = producer.name + ".boundary";
+        placeholder.shape = producer.shape;
+        placeholder.dtype = producer.dtype;
+        placeholder.layer = layer_begin;
+        mapped = stage.graph.Append(std::move(placeholder));
+        stage.reverse_map.push_back(-1);
+        stage.op_map[static_cast<size_t>(operand)] = mapped;
+        stage.inputs.push_back(BoundaryTensor{operand, producer.OutputBytes(),
+                                              producer.role == OpRole::kForward});
+      }
+      copy.operands.push_back(mapped);
+    }
+    // Remap auxiliary links.
+    if (copy.forward_id >= 0) {
+      copy.forward_id = stage.op_map[static_cast<size_t>(copy.forward_id)];
+    }
+    if (copy.param_id >= 0) {
+      copy.param_id = stage.op_map[static_cast<size_t>(copy.param_id)];
+    }
+    const int new_id = stage.graph.Append(std::move(copy));
+    stage.reverse_map.push_back(id);
+    stage.op_map[static_cast<size_t>(id)] = new_id;
+  }
+
+  // Boundary outputs: in-range producers consumed by out-of-range ops.
+  std::vector<char> reported(static_cast<size_t>(graph.size()), 0);
+  for (int id = 0; id < graph.size(); ++id) {
+    const Operator& op = graph.op(id);
+    if (in_range(op)) {
+      continue;
+    }
+    for (int operand : op.operands) {
+      const Operator& producer = graph.op(operand);
+      if (in_range(producer) && !reported[static_cast<size_t>(operand)]) {
+        reported[static_cast<size_t>(operand)] = 1;
+        stage.outputs.push_back(BoundaryTensor{operand, producer.OutputBytes(),
+                                               producer.role == OpRole::kForward});
+      }
+    }
+  }
+
+  stage.graph.Validate();
+  return stage;
+}
+
+}  // namespace alpa

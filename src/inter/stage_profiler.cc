@@ -1,0 +1,199 @@
+#include "src/inter/stage_profiler.h"
+
+#include <chrono>
+
+#include "src/support/logging.h"
+#include "src/support/strings.h"
+
+namespace alpa {
+
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Structural signature of a layer subgraph; layers with equal signatures
+// have identical ILP problems on any mesh.
+std::string LayerSignature(const Graph& graph) {
+  std::string sig;
+  for (const Operator& op : graph.ops()) {
+    sig += OpTypeName(op.type);
+    sig += static_cast<char>('0' + static_cast<int>(op.role));
+    sig += op.shape.ToString();
+    sig += DTypeName(op.dtype);
+    if (op.einsum.valid()) {
+      sig += op.einsum.ToString();
+    }
+    for (int operand : op.operands) {
+      sig += ",";
+      sig += std::to_string(operand);
+    }
+    sig += ";";
+  }
+  return sig;
+}
+
+// Plan-space restriction realizing a memory mode, composed with any
+// caller-provided filter.
+AlgorithmFilter ModeFilter(MemoryMode mode, AlgorithmFilter base) {
+  if (mode == MemoryMode::kTimeOptimal) {
+    return base;
+  }
+  return [mode, base](const Graph& graph, const DeviceMesh& mesh, const Operator& op,
+                      const ParallelAlgorithm& a) {
+    if (base && !base(graph, mesh, op, a)) {
+      return false;
+    }
+    if (op.type == OpType::kUpdate && op.shape.elements() > 1024) {
+      return !a.output_spec.IsFullyReplicated();
+    }
+    if (mode == MemoryMode::kShardWeights && op.type == OpType::kParameter &&
+        op.shape.elements() > 1024) {
+      return !a.output_spec.IsFullyReplicated();
+    }
+    return true;
+  };
+}
+
+}  // namespace
+
+std::string StageVariant::ToString() const {
+  const char* mode_name = mode == MemoryMode::kTimeOptimal
+                              ? "time"
+                              : (mode == MemoryMode::kShardOptimizer ? "zero2" : "zero3");
+  return StrFormat("%s log(%d,%d) %s", physical.ToString().c_str(), logical[0], logical[1],
+                   mode_name);
+}
+
+StageProfiler::StageProfiler(const Graph& graph, const ClusterSpec& cluster,
+                             const std::vector<SubmeshShape>& shapes,
+                             StageProfilerOptions options)
+    : graph_(graph), cluster_(cluster), options_(options) {
+  num_layers_ = graph.NumLayers();
+  ALPA_CHECK_GT(num_layers_, 0) << "Graph must be layer-tagged before profiling";
+  layer_subgraphs_.reserve(static_cast<size_t>(num_layers_));
+  for (int l = 0; l < num_layers_; ++l) {
+    layer_subgraphs_.push_back(ExtractStage(graph, l, l));
+  }
+
+  // Structural dedup of identical layers.
+  dedup_layer_.resize(static_cast<size_t>(num_layers_));
+  std::map<std::string, int> first_seen;
+  for (int l = 0; l < num_layers_; ++l) {
+    if (!options_.dedup_identical_layers) {
+      dedup_layer_[static_cast<size_t>(l)] = l;
+      continue;
+    }
+    const std::string sig = LayerSignature(layer_subgraphs_[static_cast<size_t>(l)].graph);
+    auto [it, inserted] = first_seen.emplace(sig, l);
+    dedup_layer_[static_cast<size_t>(l)] = it->second;
+  }
+
+  // Expand (physical shape x logical shape x memory mode).
+  const std::vector<MemoryMode> modes =
+      options_.memory_modes
+          ? std::vector<MemoryMode>{MemoryMode::kTimeOptimal, MemoryMode::kShardOptimizer,
+                                    MemoryMode::kShardWeights}
+          : std::vector<MemoryMode>{MemoryMode::kTimeOptimal};
+  for (const SubmeshShape& shape : shapes) {
+    for (const std::array<int, 2>& logical : DeviceMesh::LogicalShapeOptions(shape)) {
+      for (MemoryMode mode : modes) {
+        variants_.push_back(StageVariant{shape, logical, mode});
+        dp_shapes_.push_back(shape);
+      }
+    }
+  }
+  layer_cache_.assign(static_cast<size_t>(num_layers_),
+                      std::vector<LayerEntry>(variants_.size()));
+}
+
+void StageProfiler::EnsureLayer(int layer, int variant_index) {
+  const int canonical = dedup_layer_[static_cast<size_t>(layer)];
+  LayerEntry& entry =
+      layer_cache_[static_cast<size_t>(layer)][static_cast<size_t>(variant_index)];
+  if (entry.ready) {
+    return;
+  }
+  if (canonical != layer) {
+    EnsureLayer(canonical, variant_index);
+    entry = layer_cache_[static_cast<size_t>(canonical)][static_cast<size_t>(variant_index)];
+    return;
+  }
+  const double start = NowSeconds();
+  const StageVariant& variant = variants_[static_cast<size_t>(variant_index)];
+  const StageSubgraph& subgraph = layer_subgraphs_[static_cast<size_t>(layer)];
+  MeshPlacement placement;
+  placement.shape = variant.physical;
+  IntraOpOptions intra = options_.intra;
+  intra.filter = ModeFilter(variant.mode, options_.intra.filter);
+  const DeviceMesh mesh = DeviceMesh::Create(cluster_, placement, variant.logical);
+  entry.result = SolveIntraOp(subgraph.graph, mesh, intra);
+  ++num_ilp_solves_;
+  entry.ready = true;
+  profiling_seconds_ += NowSeconds() - start;
+}
+
+StageProfile StageProfiler::Profile(int begin, int end, int variant_index) {
+  ALPA_CHECK_GE(begin, 0);
+  ALPA_CHECK_LE(end, num_layers_ - 1);
+  ALPA_CHECK_LE(begin, end);
+
+  if (options_.exact_intervals) {
+    const auto key = std::make_tuple(begin, end, variant_index);
+    auto it = exact_cache_.find(key);
+    if (it != exact_cache_.end()) {
+      return it->second;
+    }
+    const double start = NowSeconds();
+    const StageSubgraph subgraph = ExtractStage(graph_, begin, end);
+    const StageVariant& variant = variants_[static_cast<size_t>(variant_index)];
+    MeshPlacement placement;
+    placement.shape = variant.physical;
+    IntraOpOptions intra = options_.intra;
+    intra.filter = ModeFilter(variant.mode, options_.intra.filter);
+    const DeviceMesh mesh = DeviceMesh::Create(cluster_, placement, variant.logical);
+    const IntraOpResult result = SolveIntraOp(subgraph.graph, mesh, intra);
+    ++num_ilp_solves_;
+    StageProfile profile;
+    if (result.feasible) {
+      profile.t_intra = result.t_intra;
+      profile.t_per_iteration = result.t_per_iteration;
+      profile.weight_bytes = result.weight_bytes;
+      profile.act_bytes_per_microbatch = result.act_bytes_per_microbatch;
+      profile.work_bytes = result.work_bytes;
+    }
+    profiling_seconds_ += NowSeconds() - start;
+    exact_cache_[key] = profile;
+    return profile;
+  }
+
+  StageProfile profile;
+  profile.t_intra = 0.0;
+  for (int l = begin; l <= end; ++l) {
+    EnsureLayer(l, variant_index);
+    const IntraOpResult& result =
+        layer_cache_[static_cast<size_t>(l)][static_cast<size_t>(variant_index)].result;
+    if (!result.feasible) {
+      return StageProfile{};
+    }
+    profile.t_intra += result.t_intra;
+    profile.t_per_iteration += result.t_per_iteration;
+    profile.weight_bytes += result.weight_bytes;
+    profile.act_bytes_per_microbatch += result.act_bytes_per_microbatch;
+    profile.work_bytes = std::max(profile.work_bytes, result.work_bytes);
+  }
+  return profile;
+}
+
+const IntraOpResult& StageProfiler::LayerResult(int layer, int variant_index) {
+  EnsureLayer(layer, variant_index);
+  return layer_cache_[static_cast<size_t>(layer)][static_cast<size_t>(variant_index)].result;
+}
+
+const StageSubgraph& StageProfiler::LayerSubgraph(int layer) const {
+  return layer_subgraphs_[static_cast<size_t>(layer)];
+}
+
+}  // namespace alpa

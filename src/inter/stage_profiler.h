@@ -1,0 +1,107 @@
+// Memoized stage-mesh profiling for the inter-op DP (5.2, 7.4).
+//
+// The paper profiles every (layer interval, submesh shape) pair, accelerated
+// by a cost model at the XLA instruction level (Table 4 discussion). We do
+// the analogue: the intra-op ILP is solved once per layer and *variant* —
+// a (physical submesh shape, logical mesh shape, memory mode) triple — and
+// an interval's profile composes the per-layer results of one variant
+// additively (adjacent layers of one interval agree on boundary specs in
+// the optimum for the models we study, so the composition error is
+// negligible and the profiling cost drops from O(L^2) to O(L) ILP solves).
+// The stage DP iterates over the expanded variant space, which lets it
+// trade execution time for memory (ZeRO-style sharding variants) per stage.
+// An exact mode that solves the full-interval ILP is available for
+// validation.
+#ifndef SRC_INTER_STAGE_PROFILER_H_
+#define SRC_INTER_STAGE_PROFILER_H_
+
+#include <array>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/inter/stage_extraction.h"
+#include "src/intra/intra_pass.h"
+#include "src/mesh/cluster_spec.h"
+#include "src/mesh/submesh.h"
+#include "src/solver/stage_dp.h"
+
+namespace alpa {
+
+// Plan-space restriction of one profiled variant. The time-optimal ILP
+// replicates weights when gradient accumulation amortizes their
+// synchronization; the sharded variants trade time for memory (weight-update
+// sharding / ZeRO), and the stage DP picks per stage.
+enum class MemoryMode {
+  kTimeOptimal,
+  kShardOptimizer,  // ZeRO-2-like.
+  kShardWeights,    // ZeRO-3-like.
+};
+
+struct StageProfilerOptions {
+  IntraOpOptions intra;
+  // Solve the full-interval ILP instead of composing per-layer solutions.
+  bool exact_intervals = false;
+  // Include the memory-saving variants.
+  bool memory_modes = true;
+  // Reuse ILP solutions across structurally identical layers (all
+  // transformer blocks of a homogeneous model share one solve).
+  bool dedup_identical_layers = true;
+};
+
+// One point of the expanded profiling space.
+struct StageVariant {
+  SubmeshShape physical;
+  std::array<int, 2> logical = {1, 1};
+  MemoryMode mode = MemoryMode::kTimeOptimal;
+  std::string ToString() const;
+};
+
+class StageProfiler {
+ public:
+  StageProfiler(const Graph& graph, const ClusterSpec& cluster,
+                const std::vector<SubmeshShape>& shapes, StageProfilerOptions options);
+
+  // Profile of layers [begin, end] (inclusive) under variant
+  // `variant_index`.
+  StageProfile Profile(int begin, int end, int variant_index);
+
+  // Per-layer intra-op solution of a variant (plan reporting / final stage
+  // compilation). Infeasible result if the variant cannot run the layer.
+  const IntraOpResult& LayerResult(int layer, int variant_index);
+  const StageSubgraph& LayerSubgraph(int layer) const;
+
+  const std::vector<StageVariant>& variants() const { return variants_; }
+  // The DP's "shapes" view: the physical submesh of each variant.
+  const std::vector<SubmeshShape>& dp_shapes() const { return dp_shapes_; }
+  int num_layers() const { return num_layers_; }
+  int64_t num_ilp_solves() const { return num_ilp_solves_; }
+  double profiling_seconds() const { return profiling_seconds_; }
+
+ private:
+  struct LayerEntry {
+    bool ready = false;
+    IntraOpResult result;
+  };
+
+  void EnsureLayer(int layer, int variant_index);
+
+  const Graph& graph_;
+  const ClusterSpec& cluster_;
+  std::vector<StageVariant> variants_;
+  std::vector<SubmeshShape> dp_shapes_;
+  std::vector<int> dedup_layer_;  // layer -> first structurally equal layer.
+  StageProfilerOptions options_;
+  int num_layers_ = 0;
+  std::vector<StageSubgraph> layer_subgraphs_;
+  std::vector<std::vector<LayerEntry>> layer_cache_;  // [layer][variant]
+  std::map<std::tuple<int, int, int>, StageProfile> exact_cache_;
+  int64_t num_ilp_solves_ = 0;
+  double profiling_seconds_ = 0.0;
+};
+
+}  // namespace alpa
+
+#endif  // SRC_INTER_STAGE_PROFILER_H_

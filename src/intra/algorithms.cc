@@ -1,0 +1,673 @@
+#include "src/intra/algorithms.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "src/support/logging.h"
+#include "src/support/strings.h"
+
+namespace alpa {
+
+namespace {
+
+// Assignment of the two mesh axes to einsum loop labels; 0 means the axis
+// is unused (replication along it).
+struct AxisMapping {
+  char axis0 = 0;
+  char axis1 = 0;
+
+  bool Combined() const { return axis0 != 0 && axis0 == axis1; }
+  int64_t ShardsForLabel(char label, const DeviceMesh& mesh) const {
+    int64_t shards = 1;
+    if (axis0 == label) {
+      shards *= mesh.dim(0);
+    }
+    if (axis1 == label) {
+      shards *= mesh.dim(1);
+    }
+    return shards;
+  }
+  DimSharding ShardingForLabel(char label) const {
+    const bool a0 = (axis0 == label);
+    const bool a1 = (axis1 == label);
+    if (a0 && a1) {
+      return DimSharding::kS01;
+    }
+    if (a0) {
+      return DimSharding::kS0;
+    }
+    if (a1) {
+      return DimSharding::kS1;
+    }
+    return DimSharding::kR;
+  }
+  int64_t TotalShards(const DeviceMesh& mesh) const {
+    int64_t shards = 1;
+    if (axis0 != 0) {
+      shards *= mesh.dim(0);
+    }
+    if (axis1 != 0) {
+      shards *= mesh.dim(1);
+    }
+    return shards;
+  }
+  std::string ToString() const {
+    std::string s;
+    if (Combined()) {
+      return StrFormat("%c->{0,1}", axis0);
+    }
+    if (axis0 != 0) {
+      s += StrFormat("%c->0", axis0);
+    }
+    if (axis1 != 0) {
+      if (!s.empty()) {
+        s += ",";
+      }
+      s += StrFormat("%c->1", axis1);
+    }
+    return s.empty() ? "replicated" : s;
+  }
+};
+
+ShardingSpec SpecForLabels(const std::string& labels, const AxisMapping& mapping) {
+  std::vector<DimSharding> dims;
+  dims.reserve(labels.size());
+  for (char c : labels) {
+    dims.push_back(mapping.ShardingForLabel(c));
+  }
+  return ShardingSpec::Make(std::move(dims));
+}
+
+// Extra per-device compute time when only `shards` of the mesh's devices
+// carry distinct work.
+double ReplicationPenalty(double flops, int64_t shards, const DeviceMesh& mesh,
+                          const DeviceSpec& device, Precision precision) {
+  const double eff = device.EffectiveFlops(precision);
+  const int64_t n = mesh.num_devices();
+  if (shards >= n) {
+    return 0.0;
+  }
+  return flops * (1.0 / static_cast<double>(shards) - 1.0 / static_cast<double>(n)) / eff;
+}
+
+void AddAlgorithm(std::vector<ParallelAlgorithm>& out, ParallelAlgorithm algorithm) {
+  // Deduplicate on the spec signature, keeping the cheapest variant.
+  for (ParallelAlgorithm& existing : out) {
+    if (existing.output_spec == algorithm.output_spec &&
+        existing.input_specs == algorithm.input_specs) {
+      if (algorithm.comm_cost + algorithm.compute_cost <
+          existing.comm_cost + existing.compute_cost) {
+        existing = std::move(algorithm);
+      }
+      return;
+    }
+  }
+  out.push_back(std::move(algorithm));
+}
+
+
+// True if the spec shards along a mesh axis of size 1 (degenerate: the
+// layout is identical to the unsharded one but pollutes the search space).
+bool UsesDegenerateAxis(const ShardingSpec& spec, const DeviceMesh& mesh) {
+  for (int axis = 0; axis < 2; ++axis) {
+    if (mesh.dim(axis) == 1 && spec.DimForAxis(axis) >= 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Generic einsum enumeration. `operand_labels` gives the full label string
+// per operand; `real_positions[i]` lists the label positions of operand i
+// that exist on the actual tensor (used for virtual one-hot operands of
+// embedding ops; pass all positions for ordinary einsums).
+struct EinsumEnumArgs {
+  std::string output_labels;
+  std::vector<std::string> operand_labels;
+  std::vector<std::vector<int>> real_positions;
+  std::map<char, int64_t> extents;
+  // Spatial-window labels (convolutions): label -> kernel side length.
+  std::map<char, int64_t> halo;
+  double flops = 0.0;
+  int64_t output_bytes = 0;
+  int64_t input_bytes = 0;  // Largest operand, for halo sizing.
+};
+
+void EnumerateEinsumAlgorithms(const EinsumEnumArgs& args, const DeviceMesh& mesh,
+                               const DeviceSpec& device, Precision precision,
+                               std::vector<ParallelAlgorithm>& out) {
+  std::string labels = args.output_labels;
+  std::string contraction;
+  for (const std::string& op_labels : args.operand_labels) {
+    for (char c : op_labels) {
+      if (labels.find(c) == std::string::npos) {
+        labels.push_back(c);
+        contraction.push_back(c);
+      }
+    }
+  }
+  auto is_contraction = [&](char c) { return contraction.find(c) != std::string::npos; };
+
+  std::string choices = labels;
+  choices.insert(choices.begin(), '\0');  // "unused" option for an axis.
+
+  for (char c0 : choices) {
+    if (c0 != 0 && mesh.dim(0) == 1) {
+      continue;  // Degenerate axis: mapping it adds nothing but search space.
+    }
+    for (char c1 : choices) {
+      if (c1 != 0 && mesh.dim(1) == 1) {
+        continue;
+      }
+      AxisMapping mapping{c0, c1};
+      if (c0 != 0 && c0 == c1) {
+        // Combined S01 mapping; allowed.
+      }
+      // Divisibility of every mapped label.
+      bool ok = true;
+      for (char label : labels) {
+        const int64_t shards = mapping.ShardsForLabel(label, mesh);
+        if (shards > 1 && args.extents.at(label) % shards != 0) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) {
+        continue;
+      }
+
+      ParallelAlgorithm algorithm;
+      algorithm.name = mapping.ToString();
+      algorithm.output_spec = SpecForLabels(args.output_labels, mapping);
+      for (size_t i = 0; i < args.operand_labels.size(); ++i) {
+        ShardingSpec full = SpecForLabels(args.operand_labels[i], mapping);
+        std::vector<DimSharding> dims;
+        for (int pos : args.real_positions[i]) {
+          dims.push_back(full.dim(pos));
+        }
+        algorithm.input_specs.push_back(ShardingSpec::Make(std::move(dims)));
+      }
+
+      // Communication: mesh axes mapped to contraction labels produce
+      // partial sums that must be all-reduced (Table 2).
+      const bool contract0 = (c0 != 0 && is_contraction(c0));
+      const bool contract1 = (c1 != 0 && is_contraction(c1));
+      const double out_bytes = static_cast<double>(args.output_bytes);
+      double comm = 0.0;
+      if (contract0 && contract1) {
+        comm = mesh.AllReduceBothTime(out_bytes);
+      } else if (contract0) {
+        const int64_t other_shards = (c1 != 0 && !contract1) ? mesh.dim(1) : 1;
+        comm = mesh.AllReduceTime(out_bytes / static_cast<double>(other_shards), 0);
+      } else if (contract1) {
+        const int64_t other_shards = (c0 != 0 && !contract0) ? mesh.dim(0) : 1;
+        comm = mesh.AllReduceTime(out_bytes / static_cast<double>(other_shards), 1);
+      }
+      // Halo exchange: partitioning a spatial label leaves each shard
+      // needing (k-1) boundary rows from both neighbours per microbatch.
+      for (const auto& [label, kernel_side] : args.halo) {
+        for (int axis = 0; axis < 2; ++axis) {
+          const char mapped = (axis == 0) ? c0 : c1;
+          if (mapped != label) {
+            continue;
+          }
+          const double extent = static_cast<double>(args.extents.at(label));
+          const double tile_rows = std::sqrt(extent) / mesh.dim(axis);
+          if (tile_rows <= 0.0) {
+            continue;
+          }
+          const double fraction =
+              std::min(1.0, 2.0 * static_cast<double>(kernel_side - 1) / tile_rows);
+          const double tile_bytes = static_cast<double>(args.input_bytes) /
+                                    static_cast<double>(mapping.TotalShards(mesh));
+          comm += fraction * tile_bytes / mesh.bandwidth(axis) + 2.0 * mesh.alpha(axis);
+        }
+      }
+      algorithm.comm_cost = comm;
+      algorithm.compute_cost =
+          ReplicationPenalty(args.flops, mapping.TotalShards(mesh), mesh, device, precision);
+      const ShardingSpec base_output = algorithm.output_spec;
+      const std::vector<ShardingSpec> base_inputs = algorithm.input_specs;
+      const std::string base_name = algorithm.name;
+      AddAlgorithm(out, std::move(algorithm));
+
+      // Reduce-scatter variants: instead of all-reducing partial sums, leave
+      // the output sharded along the contraction-mapped axis. This realizes
+      // weight-update sharding / ZeRO (4.2 post-ILP optimization) inside the
+      // algorithm space.
+      if (contract0 != contract1) {
+        const int axis = contract0 ? 0 : 1;
+        for (size_t d = 0; d < args.output_labels.size(); ++d) {
+          if (base_output.dim(static_cast<int>(d)) != DimSharding::kR) {
+            continue;
+          }
+          if (args.extents.at(args.output_labels[d]) % mesh.dim(axis) != 0) {
+            continue;
+          }
+          std::vector<DimSharding> dims = base_output.dims();
+          dims[d] = (axis == 0) ? DimSharding::kS0 : DimSharding::kS1;
+          ParallelAlgorithm variant;
+          variant.name = base_name + StrFormat(" rs(d%zu)", d);
+          variant.output_spec = ShardingSpec::Make(std::move(dims));
+          variant.input_specs = base_inputs;
+          const int64_t other_shards =
+              (axis == 0) ? ((c1 != 0 && !contract1) ? mesh.dim(1) : 1)
+                          : ((c0 != 0 && !contract0) ? mesh.dim(0) : 1);
+          variant.comm_cost =
+              mesh.ReduceScatterTime(out_bytes / static_cast<double>(other_shards), axis);
+          variant.compute_cost = ReplicationPenalty(args.flops, mapping.TotalShards(mesh), mesh,
+                                                    device, precision);
+          AddAlgorithm(out, std::move(variant));
+        }
+      } else if (contract0 && contract1) {
+        for (size_t d = 0; d < args.output_labels.size(); ++d) {
+          if (base_output.dim(static_cast<int>(d)) != DimSharding::kR) {
+            continue;
+          }
+          const int64_t both = static_cast<int64_t>(mesh.dim(0)) * mesh.dim(1);
+          if (args.extents.at(args.output_labels[d]) % both != 0) {
+            continue;
+          }
+          std::vector<DimSharding> dims = base_output.dims();
+          dims[d] = DimSharding::kS01;
+          ParallelAlgorithm variant;
+          variant.name = base_name + StrFormat(" rs01(d%zu)", d);
+          variant.output_spec = ShardingSpec::Make(std::move(dims));
+          variant.input_specs = base_inputs;
+          variant.comm_cost = mesh.ReduceScatterBothTime(out_bytes);
+          variant.compute_cost = ReplicationPenalty(args.flops, mapping.TotalShards(mesh), mesh,
+                                                    device, precision);
+          AddAlgorithm(out, std::move(variant));
+        }
+      }
+    }
+  }
+}
+
+std::vector<int> AllPositions(const std::string& labels) {
+  std::vector<int> positions(labels.size());
+  for (size_t i = 0; i < labels.size(); ++i) {
+    positions[i] = static_cast<int>(i);
+  }
+  return positions;
+}
+
+// Distinct label characters for synthesized einsums (embedding, MoE).
+// Uses uppercase to avoid clashing with model-defined labels.
+std::string MakeLabels(int rank) {
+  std::string labels;
+  for (int i = 0; i < rank; ++i) {
+    labels.push_back(static_cast<char>('A' + i));
+  }
+  return labels;
+}
+
+void EnumerateEmbedding(const Operator& op, const Graph& graph, const DeviceMesh& mesh,
+                        const DeviceSpec& device, Precision precision,
+                        std::vector<ParallelAlgorithm>& out) {
+  const Operator& ids = graph.op(op.operands[0]);
+  const Operator& table = graph.op(op.operands[1]);
+  const int ids_rank = ids.shape.rank();
+  EinsumEnumArgs args;
+  const std::string batch = MakeLabels(ids_rank);
+  args.output_labels = batch + "h";
+  args.operand_labels = {batch + "v", "vh"};  // one-hot(ids), table.
+  args.real_positions = {AllPositions(batch), AllPositions("vh")};
+  for (int d = 0; d < ids_rank; ++d) {
+    args.extents[batch[static_cast<size_t>(d)]] = ids.shape.dim(d);
+  }
+  args.extents['v'] = table.shape.dim(0);
+  args.extents['h'] = table.shape.dim(1);
+  args.flops = op.flops;
+  args.output_bytes = op.OutputBytes();
+  EnumerateEinsumAlgorithms(args, mesh, device, precision, out);
+}
+
+void EnumerateEmbeddingGrad(const Operator& op, const Graph& graph, const DeviceMesh& mesh,
+                            const DeviceSpec& device, Precision precision,
+                            std::vector<ParallelAlgorithm>& out) {
+  const Operator& ids = graph.op(op.operands[0]);
+  const Operator& grad_out = graph.op(op.operands[1]);
+  const int ids_rank = ids.shape.rank();
+  ALPA_CHECK_EQ(grad_out.shape.rank(), ids_rank + 1);
+  EinsumEnumArgs args;
+  const std::string batch = MakeLabels(ids_rank);
+  args.output_labels = "vh";
+  args.operand_labels = {batch + "v", batch + "h"};
+  args.real_positions = {AllPositions(batch), AllPositions(batch + "h")};
+  for (int d = 0; d < ids_rank; ++d) {
+    args.extents[batch[static_cast<size_t>(d)]] = ids.shape.dim(d);
+  }
+  args.extents['v'] = op.shape.dim(0);
+  args.extents['h'] = op.shape.dim(1);
+  args.flops = op.flops;
+  args.output_bytes = op.OutputBytes();
+  EnumerateEinsumAlgorithms(args, mesh, device, precision, out);
+}
+
+// MoE dispatch: x [t, m] -> out [e, c, m]. Mapping a mesh axis to `e`
+// redistributes tokens to experts (all-to-all); mapping to `c` keeps tokens
+// local; mapping to `m` shards the hidden dimension.
+void EnumerateMoeDispatch(const Operator& op, const Graph& graph, const DeviceMesh& mesh,
+                          const DeviceSpec& device, Precision precision, bool is_combine,
+                          std::vector<ParallelAlgorithm>& out) {
+  const TensorShape& token_shape = is_combine ? op.shape : graph.op(op.operands[0]).shape;
+  const TensorShape& expert_shape = is_combine ? graph.op(op.operands[0]).shape : op.shape;
+  const int token_rank = token_shape.rank();
+  const int64_t tokens = token_shape.dim(0);  // Leading (batch/group) dim.
+  const int64_t experts = expert_shape.dim(0);
+  const int64_t capacity = expert_shape.dim(1);
+  const int64_t model = expert_shape.dim(2);
+  const double out_bytes = static_cast<double>(op.OutputBytes());
+
+  // Targets for one mesh axis: 'e' (expert), 'c' (capacity/local), 'm'
+  // (hidden), or 0 (unused).
+  const std::string targets = std::string("\0ecm", 4);
+  for (char t0 : targets) {
+    for (char t1 : targets) {
+      if (t0 != 0 && t0 == t1) {
+        continue;  // Combined mappings omitted for routing ops.
+      }
+      int64_t shards = 1;
+      bool ok = true;
+      bool alltoall[2] = {false, false};
+      // Expert-side spec dims: [e, c, m]; token-side dims: [t, .., m].
+      std::vector<DimSharding> expert_dims(3, DimSharding::kR);
+      std::vector<DimSharding> token_dims(static_cast<size_t>(token_rank), DimSharding::kR);
+      for (int axis = 0; axis < 2; ++axis) {
+        const char t = (axis == 0) ? t0 : t1;
+        if (t == 0) {
+          continue;
+        }
+        if (mesh.dim(axis) == 1) {
+          ok = false;
+          break;
+        }
+        const DimSharding s = (axis == 0) ? DimSharding::kS0 : DimSharding::kS1;
+        const int64_t k = mesh.dim(axis);
+        shards *= k;
+        switch (t) {
+          case 'e':
+            if (experts % k != 0 || tokens % k != 0) {
+              ok = false;
+            }
+            expert_dims[0] = s;
+            token_dims[0] = s;
+            alltoall[axis] = true;
+            break;
+          case 'c':
+            if (capacity % k != 0 || tokens % k != 0) {
+              ok = false;
+            }
+            expert_dims[1] = s;
+            token_dims[0] = s;
+            break;
+          case 'm':
+            if (model % k != 0) {
+              ok = false;
+            }
+            expert_dims[2] = s;
+            token_dims[static_cast<size_t>(token_rank) - 1] = s;
+            break;
+          default:
+            ok = false;
+        }
+      }
+      if (!ok) {
+        continue;
+      }
+      double comm = 0.0;
+      for (int axis = 0; axis < 2; ++axis) {
+        if (alltoall[axis]) {
+          // Each group moves its 1/other_shards share of the tensor.
+          const double group = out_bytes * mesh.dim(axis) / static_cast<double>(shards);
+          comm += mesh.AllToAllTime(group, axis);
+        }
+      }
+      ParallelAlgorithm algorithm;
+      algorithm.name = StrFormat("moe(%c,%c)", t0 ? t0 : '-', t1 ? t1 : '-');
+      if (is_combine) {
+        algorithm.output_spec = ShardingSpec::Make(std::move(token_dims));
+        algorithm.input_specs = {ShardingSpec::Make(std::move(expert_dims))};
+      } else {
+        algorithm.output_spec = ShardingSpec::Make(std::move(expert_dims));
+        algorithm.input_specs = {ShardingSpec::Make(std::move(token_dims))};
+      }
+      algorithm.comm_cost = comm;
+      algorithm.compute_cost = ReplicationPenalty(op.flops, shards, mesh, device, precision);
+      AddAlgorithm(out, std::move(algorithm));
+    }
+  }
+}
+
+// Light shape-preserving ops that were not merged: any valid spec, applied
+// consistently to the same-shape operands and projected onto broadcast
+// operands.
+void EnumeratePointwise(const Operator& op, const Graph& graph, const DeviceMesh& mesh,
+                        const DeviceSpec& device, Precision precision,
+                        std::vector<ParallelAlgorithm>& out) {
+  for (const ShardingSpec& spec : ShardingSpec::Enumerate(op.shape.rank())) {
+    if (!spec.IsValidFor(op.shape, mesh) || UsesDegenerateAxis(spec, mesh)) {
+      continue;
+    }
+    ParallelAlgorithm algorithm;
+    algorithm.name = "pointwise " + spec.ToString();
+    algorithm.output_spec = spec;
+    bool ok = true;
+    for (int operand : op.operands) {
+      const TensorShape& in_shape = graph.op(operand).shape;
+      ShardingSpec in_spec = ProjectToTrailing(spec, in_shape.rank());
+      if (!in_spec.IsValidFor(in_shape, mesh)) {
+        ok = false;
+        break;
+      }
+      algorithm.input_specs.push_back(std::move(in_spec));
+    }
+    if (!ok) {
+      continue;
+    }
+    algorithm.compute_cost =
+        ReplicationPenalty(op.flops, spec.TotalShards(mesh), mesh, device, precision);
+    AddAlgorithm(out, std::move(algorithm));
+  }
+}
+
+// Reduction keeping a suffix of the input dims (the convention of our
+// backward builder). Sharded reduced dims require an all-reduce; the
+// reduce-scatter variant shards a kept dim instead (ZeRO for bias grads).
+void EnumerateReduce(const Operator& op, const Graph& graph, const DeviceMesh& mesh,
+                     const DeviceSpec& device, Precision precision,
+                     std::vector<ParallelAlgorithm>& out) {
+  const Operator& input = graph.op(op.operands[0]);
+  const int in_rank = input.shape.rank();
+  const int out_rank = op.shape.rank();
+  const int dropped = in_rank - out_rank;
+  ALPA_CHECK_GE(dropped, 0);
+  for (const ShardingSpec& in_spec : ShardingSpec::Enumerate(in_rank)) {
+    if (!in_spec.IsValidFor(input.shape, mesh) || UsesDegenerateAxis(in_spec, mesh)) {
+      continue;
+    }
+    ShardingSpec out_spec = ProjectToTrailing(in_spec, out_rank);
+    if (!out_spec.IsValidFor(op.shape, mesh)) {
+      continue;
+    }
+    double comm = 0.0;
+    bool reduced0 = false;
+    bool reduced1 = false;
+    for (int axis = 0; axis < 2; ++axis) {
+      const int d = in_spec.DimForAxis(axis);
+      if (d >= 0 && d < dropped) {
+        (axis == 0 ? reduced0 : reduced1) = true;
+      }
+    }
+    const double out_bytes = static_cast<double>(op.OutputBytes());
+    if (reduced0 && reduced1) {
+      comm = mesh.AllReduceBothTime(out_bytes);
+    } else if (reduced0) {
+      const double group = out_spec.DimForAxis(1) >= 0 ? out_bytes / mesh.dim(1) : out_bytes;
+      comm = mesh.AllReduceTime(group, 0);
+    } else if (reduced1) {
+      const double group = out_spec.DimForAxis(0) >= 0 ? out_bytes / mesh.dim(0) : out_bytes;
+      comm = mesh.AllReduceTime(group, 1);
+    }
+    ParallelAlgorithm algorithm;
+    algorithm.name = "reduce " + in_spec.ToString();
+    algorithm.output_spec = out_spec;
+    algorithm.input_specs = {in_spec};
+    algorithm.comm_cost = comm;
+    algorithm.compute_cost =
+        ReplicationPenalty(op.flops, in_spec.TotalShards(mesh), mesh, device, precision);
+    AddAlgorithm(out, std::move(algorithm));
+
+    // Reduce-scatter variants on an unsharded kept dim.
+    for (int axis = 0; axis < 2; ++axis) {
+      const bool reduced = (axis == 0) ? reduced0 : reduced1;
+      if (!reduced || (reduced0 && reduced1)) {
+        continue;
+      }
+      for (int d = 0; d < out_rank; ++d) {
+        if (out_spec.dim(d) != DimSharding::kR || op.shape.dim(d) % mesh.dim(axis) != 0) {
+          continue;
+        }
+        std::vector<DimSharding> dims = out_spec.dims();
+        dims[static_cast<size_t>(d)] = (axis == 0) ? DimSharding::kS0 : DimSharding::kS1;
+        ShardingSpec rs_spec = ShardingSpec::Make(std::move(dims));
+        ParallelAlgorithm variant;
+        variant.name = algorithm.name + StrFormat(" rs(d%d)", d);
+        variant.output_spec = std::move(rs_spec);
+        variant.input_specs = {in_spec};
+        variant.comm_cost = mesh.ReduceScatterTime(out_bytes, axis);
+        variant.compute_cost = algorithm.compute_cost;
+        AddAlgorithm(out, std::move(variant));
+      }
+    }
+  }
+}
+
+void EnumerateLoss(const Operator& op, const Graph& graph, const DeviceMesh& mesh,
+                   std::vector<ParallelAlgorithm>& out) {
+  const Operator& logits = graph.op(op.operands[0]);
+  for (const ShardingSpec& spec : ShardingSpec::Enumerate(logits.shape.rank())) {
+    if (!spec.IsValidFor(logits.shape, mesh) || UsesDegenerateAxis(spec, mesh)) {
+      continue;
+    }
+    ParallelAlgorithm algorithm;
+    algorithm.name = "loss " + spec.ToString();
+    algorithm.output_spec = ShardingSpec::Replicated(0);
+    for (int operand : op.operands) {
+      algorithm.input_specs.push_back(
+          ProjectToTrailing(spec, graph.op(operand).shape.rank()));
+    }
+    bool ok = true;
+    for (size_t i = 0; i < algorithm.input_specs.size(); ++i) {
+      if (!algorithm.input_specs[i].IsValidFor(graph.op(op.operands[i]).shape, mesh)) {
+        ok = false;
+      }
+    }
+    if (!ok) {
+      continue;
+    }
+    // Scalar loss all-reduce: latency only.
+    algorithm.comm_cost = mesh.AllReduceBothTime(4.0);
+    AddAlgorithm(out, std::move(algorithm));
+  }
+}
+
+void EnumerateSpecChoice(const Operator& op, const DeviceMesh& mesh,
+                         std::vector<ParallelAlgorithm>& out, bool mirror_inputs) {
+  for (const ShardingSpec& spec : ShardingSpec::Enumerate(op.shape.rank())) {
+    if (!spec.IsValidFor(op.shape, mesh) || UsesDegenerateAxis(spec, mesh)) {
+      continue;
+    }
+    ParallelAlgorithm algorithm;
+    algorithm.name = spec.ToString();
+    algorithm.output_spec = spec;
+    if (mirror_inputs) {
+      algorithm.input_specs.assign(op.operands.size(), spec);
+    }
+    AddAlgorithm(out, std::move(algorithm));
+  }
+}
+
+}  // namespace
+
+ShardingSpec ProjectToTrailing(const ShardingSpec& spec, int target_rank) {
+  ALPA_CHECK_LE(target_rank, spec.rank());
+  std::vector<DimSharding> dims;
+  dims.reserve(static_cast<size_t>(target_rank));
+  for (int d = spec.rank() - target_rank; d < spec.rank(); ++d) {
+    dims.push_back(spec.dim(d));
+  }
+  return ShardingSpec::Make(std::move(dims));
+}
+
+std::vector<ParallelAlgorithm> EnumerateAlgorithms(const Operator& op, const Graph& graph,
+                                                   const DeviceMesh& mesh,
+                                                   const DeviceSpec& device,
+                                                   Precision precision) {
+  std::vector<ParallelAlgorithm> algorithms;
+  switch (op.type) {
+    case OpType::kEinsum: {
+      EinsumEnumArgs args;
+      args.output_labels = op.einsum.output;
+      args.operand_labels = op.einsum.operands;
+      for (const std::string& labels : op.einsum.operands) {
+        args.real_positions.push_back(AllPositions(labels));
+      }
+      args.extents = op.einsum.extents;
+      args.halo = op.einsum.halo;
+      args.flops = op.flops;
+      args.output_bytes = op.OutputBytes();
+      for (int operand : op.operands) {
+        args.input_bytes = std::max(args.input_bytes, graph.op(operand).OutputBytes());
+      }
+      EnumerateEinsumAlgorithms(args, mesh, device, precision, algorithms);
+      break;
+    }
+    case OpType::kEmbedding:
+      EnumerateEmbedding(op, graph, mesh, device, precision, algorithms);
+      break;
+    case OpType::kEmbeddingGrad:
+      EnumerateEmbeddingGrad(op, graph, mesh, device, precision, algorithms);
+      break;
+    case OpType::kMoeDispatch:
+      EnumerateMoeDispatch(op, graph, mesh, device, precision, /*is_combine=*/false, algorithms);
+      break;
+    case OpType::kMoeCombine:
+      EnumerateMoeDispatch(op, graph, mesh, device, precision, /*is_combine=*/true, algorithms);
+      break;
+    case OpType::kElementwise:
+    case OpType::kSoftmax:
+    case OpType::kLayerNorm:
+      EnumeratePointwise(op, graph, mesh, device, precision, algorithms);
+      break;
+    case OpType::kReduce:
+      EnumerateReduce(op, graph, mesh, device, precision, algorithms);
+      break;
+    case OpType::kLoss:
+      EnumerateLoss(op, graph, mesh, algorithms);
+      break;
+    case OpType::kParameter:
+    case OpType::kInput:
+      EnumerateSpecChoice(op, mesh, algorithms, /*mirror_inputs=*/false);
+      break;
+    case OpType::kUpdate:
+      EnumerateSpecChoice(op, mesh, algorithms, /*mirror_inputs=*/true);
+      break;
+  }
+  if (algorithms.empty()) {
+    // Guaranteed fallback: fully replicated execution.
+    ParallelAlgorithm fallback;
+    fallback.name = "replicated";
+    fallback.output_spec = ShardingSpec::Replicated(op.shape.rank());
+    for (int operand : op.operands) {
+      fallback.input_specs.push_back(ShardingSpec::Replicated(graph.op(operand).shape.rank()));
+    }
+    fallback.compute_cost = ReplicationPenalty(op.flops, 1, mesh, device, precision);
+    algorithms.push_back(std::move(fallback));
+  }
+  return algorithms;
+}
+
+}  // namespace alpa

@@ -1,0 +1,51 @@
+// Per-operator SPMD parallel algorithm enumeration (4.1, Table 2).
+//
+// A parallel algorithm for an operator is an assignment of the two logical
+// mesh axes to loop indices of the operator. For einsum-shaped operators
+// (matmul, conv-as-im2col, attention contractions) the enumeration is fully
+// generic: mapping a mesh axis to an output label shards the output, mapping
+// it to a contraction label requires an all-reduce (or reduce-scatter, which
+// realizes weight-update sharding / ZeRO as an algorithm variant). Operators
+// with data-dependent routing (embedding lookups, MoE dispatch/combine) get
+// hand-enumerated algorithm lists, mirroring how the paper manually
+// enumerates algorithms for the <80 primitive operator kinds.
+#ifndef SRC_INTRA_ALGORITHMS_H_
+#define SRC_INTRA_ALGORITHMS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/mesh/device_mesh.h"
+#include "src/spec/sharding_spec.h"
+
+namespace alpa {
+
+struct ParallelAlgorithm {
+  std::string name;
+  ShardingSpec output_spec;
+  // Required sharding spec per operand (same order as Operator::operands).
+  std::vector<ShardingSpec> input_specs;
+  // Collective communication time of the algorithm itself (Table 2 column).
+  double comm_cost = 0.0;
+  // Extra compute time relative to the ideal fully-parallel execution
+  // (nonzero only when replication leaves mesh axes unused, which the paper
+  // excludes for heavy ops; we admit it with this penalty so that every
+  // operator always has at least one feasible algorithm).
+  double compute_cost = 0.0;
+};
+
+// Enumerates the parallel algorithms of `op` on `mesh`. Always returns at
+// least one algorithm (fully replicated execution).
+std::vector<ParallelAlgorithm> EnumerateAlgorithms(const Operator& op, const Graph& graph,
+                                                   const DeviceMesh& mesh,
+                                                   const DeviceSpec& device, Precision precision);
+
+// Projects a sharding spec of a tensor onto a lower-rank operand aligned to
+// the trailing dimensions (the broadcast convention used by elementwise
+// ops); dims dropped from the front lose their sharding.
+ShardingSpec ProjectToTrailing(const ShardingSpec& spec, int target_rank);
+
+}  // namespace alpa
+
+#endif  // SRC_INTRA_ALGORITHMS_H_

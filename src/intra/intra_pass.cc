@@ -1,0 +1,435 @@
+#include "src/intra/intra_pass.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/graph/backward.h"
+#include "src/support/logging.h"
+
+namespace alpa {
+
+double OpComputeTime(const Operator& op, int64_t shards, const DeviceSpec& device,
+                     Precision precision) {
+  ALPA_CHECK_GT(shards, 0);
+  switch (op.type) {
+    case OpType::kEinsum:
+    case OpType::kMoeDispatch:
+    case OpType::kMoeCombine:
+      return op.flops / static_cast<double>(shards) / device.EffectiveFlops(precision);
+    case OpType::kUpdate:
+      // Optimizer math runs in fp32 and is bandwidth-bound.
+      return 3.0 * static_cast<double>(op.OutputBytes()) / static_cast<double>(shards) /
+             device.memory_bandwidth;
+    case OpType::kEmbedding:
+    case OpType::kEmbeddingGrad:
+    case OpType::kElementwise:
+    case OpType::kReduce:
+    case OpType::kSoftmax:
+    case OpType::kLayerNorm:
+    case OpType::kLoss:
+      // Pointwise / gather traffic: ~3 bytes moved per output byte.
+      return 3.0 * static_cast<double>(op.OutputBytes()) / static_cast<double>(shards) /
+             device.memory_bandwidth;
+    case OpType::kParameter:
+    case OpType::kInput:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+IntraOpProblem BuildIntraOpProblem(const Graph& graph, const DeviceMesh& mesh,
+                                   const IntraOpOptions& options) {
+  const DeviceSpec& device = mesh.cluster().device;
+  IntraOpProblem problem;
+  problem.merge = ComputeMergePlan(graph);
+  const double amortize = std::max(1, options.num_microbatches);
+
+  // Ops whose outputs flow only into weight updates carry per-iteration
+  // costs: with gradient accumulation, their communication happens once per
+  // iteration instead of once per microbatch.
+  std::vector<char> per_iteration(static_cast<size_t>(graph.size()), 0);
+  {
+    const auto consumers = graph.Consumers();
+    for (int v = graph.size() - 1; v >= 0; --v) {
+      const Operator& op = graph.op(v);
+      if (op.type == OpType::kUpdate) {
+        per_iteration[static_cast<size_t>(v)] = 1;
+        continue;
+      }
+      if (op.type == OpType::kParameter || op.type == OpType::kInput ||
+          op.type == OpType::kLoss) {
+        continue;
+      }
+      const auto& cs = consumers[static_cast<size_t>(v)];
+      per_iteration[static_cast<size_t>(v)] =
+          !cs.empty() && std::all_of(cs.begin(), cs.end(), [&](int c) {
+            return per_iteration[static_cast<size_t>(c)] != 0;
+          });
+    }
+  }
+
+  const int num_nodes = static_cast<int>(problem.merge.decision_ops.size());
+  problem.algorithms.resize(static_cast<size_t>(num_nodes));
+  problem.ilp.node_costs.resize(static_cast<size_t>(num_nodes));
+  problem.node_per_iteration.resize(static_cast<size_t>(num_nodes));
+
+  for (int n = 0; n < num_nodes; ++n) {
+    const Operator& op = graph.op(problem.merge.decision_ops[static_cast<size_t>(n)]);
+    std::vector<ParallelAlgorithm> algorithms =
+        EnumerateAlgorithms(op, graph, mesh, device, options.precision);
+    if (options.filter) {
+      std::vector<ParallelAlgorithm> kept;
+      for (ParallelAlgorithm& a : algorithms) {
+        if (options.filter(graph, mesh, op, a)) {
+          kept.push_back(std::move(a));
+        }
+      }
+      if (!kept.empty()) {
+        algorithms = std::move(kept);
+      } else {
+        // Keep only the replicated fallback for feasibility.
+        ParallelAlgorithm fallback;
+        fallback.name = "replicated";
+        fallback.output_spec = ShardingSpec::Replicated(op.shape.rank());
+        for (int operand : op.operands) {
+          fallback.input_specs.push_back(
+              ShardingSpec::Replicated(graph.op(operand).shape.rank()));
+        }
+        fallback.compute_cost = OpComputeTime(op, 1, device, options.precision) -
+                                OpComputeTime(op, mesh.num_devices(), device, options.precision);
+        algorithms = {std::move(fallback)};
+      }
+    }
+    const bool node_flag =
+        per_iteration[static_cast<size_t>(problem.merge.decision_ops[static_cast<size_t>(n)])] !=
+        0;
+    problem.node_per_iteration[static_cast<size_t>(n)] = node_flag;
+    auto& costs = problem.ilp.node_costs[static_cast<size_t>(n)];
+    costs.reserve(algorithms.size());
+    for (const ParallelAlgorithm& a : algorithms) {
+      // Vanishing memory tiebreak (~1e-10 s for a 100 MB tensor): among
+      // equal-time layouts prefer the sharded one, so free slicing choices
+      // (inputs, boundary activations) do not squat replicated memory.
+      const double tiebreak =
+          1e-18 *
+          static_cast<double>(a.output_spec.ShardedBytes(op.shape, DTypeBytes(op.dtype), mesh));
+      if (!node_flag) {
+        costs.push_back(a.comm_cost + a.compute_cost + tiebreak);
+      } else if (op.type == OpType::kUpdate) {
+        // Optimizer math and communication both run once per iteration.
+        costs.push_back((a.comm_cost + a.compute_cost) / amortize + tiebreak);
+      } else {
+        // Gradient producers: the computation happens per microbatch; only
+        // the gradient synchronization amortizes.
+        costs.push_back(a.comm_cost / amortize + a.compute_cost + tiebreak);
+      }
+    }
+    problem.algorithms[static_cast<size_t>(n)] = std::move(algorithms);
+  }
+
+  // Edges: one per (producer tensor, consumer) pair crossing decision-node
+  // groups. Resharding cost from the producer group's output spec to the
+  // consumer's required operand spec.
+  for (int c = 0; c < graph.size(); ++c) {
+    const Operator& consumer = graph.op(c);
+    const int rc = problem.merge.rep[static_cast<size_t>(c)];
+    const int nj = problem.merge.node_index[static_cast<size_t>(rc)];
+    for (size_t oi = 0; oi < consumer.operands.size(); ++oi) {
+      const int p = consumer.operands[oi];
+      const int rp = problem.merge.rep[static_cast<size_t>(p)];
+      if (rp == rc) {
+        continue;  // Internal to one group.
+      }
+      const int ni = problem.merge.node_index[static_cast<size_t>(rp)];
+      const Operator& producer = graph.op(p);
+      const int64_t dtype_bytes = DTypeBytes(producer.dtype);
+
+      IlpProblem::Edge edge;
+      edge.u = ni;
+      edge.v = nj;
+      const auto& src_algos = problem.algorithms[static_cast<size_t>(ni)];
+      const auto& dst_algos = problem.algorithms[static_cast<size_t>(nj)];
+      edge.cost.assign(src_algos.size(), std::vector<double>(dst_algos.size(), 0.0));
+      const bool consumer_is_node = (rc == c);
+      const bool is_update_param_edge = (consumer.type == OpType::kUpdate && oi == 0);
+      for (size_t i = 0; i < src_algos.size(); ++i) {
+        const ShardingSpec& src = src_algos[i].output_spec;
+        for (size_t j = 0; j < dst_algos.size(); ++j) {
+          ShardingSpec dst = consumer_is_node
+                                 ? dst_algos[j].input_specs[oi]
+                                 : ProjectToTrailing(dst_algos[j].output_spec,
+                                                     producer.shape.rank());
+          if (!dst.IsValidFor(producer.shape, mesh) || !src.IsValidFor(producer.shape, mesh)) {
+            edge.cost[i][j] = kInfCost;
+            continue;
+          }
+          double cost = ReshardCost(src, dst, producer.shape, dtype_bytes, mesh);
+          if (is_update_param_edge) {
+            // The updated weights must be restored to the parameter's
+            // storage layout before the next iteration (all-gather when the
+            // optimizer step is sharded, i.e. ZeRO).
+            cost += ReshardCost(dst, src, producer.shape, dtype_bytes, mesh);
+          }
+          edge.cost[i][j] = cost;
+        }
+      }
+      // Resharding on the way into a per-iteration consumer (gradients
+      // flowing to the optimizer) amortizes over gradient accumulation.
+      const bool edge_flag = per_iteration[static_cast<size_t>(c)] != 0;
+      if (edge_flag) {
+        for (auto& row : edge.cost) {
+          for (double& value : row) {
+            value /= amortize;
+          }
+        }
+      }
+      problem.edge_per_iteration.push_back(edge_flag);
+      problem.ilp.edges.push_back(std::move(edge));
+    }
+  }
+  return problem;
+}
+
+IntraOpResult EvaluateChoice(const Graph& graph, const DeviceMesh& mesh,
+                             const IntraOpProblem& problem, const IntraOpOptions& options,
+                             std::vector<int> choice, bool optimal) {
+  const DeviceSpec& device = mesh.cluster().device;
+  const double amortize = std::max(1, options.num_microbatches);
+  IntraOpResult result;
+  result.optimal = optimal;
+  if (!std::isfinite(problem.ilp.Evaluate(choice))) {
+    result.objective = kInfCost;
+    return result;
+  }
+  result.choice = std::move(choice);
+
+  // Split the objective into per-microbatch and per-iteration buckets
+  // (stored ILP costs are amortized; multiply flagged entries back).
+  double per_mb = 0.0;
+  double per_iter = 0.0;
+  for (size_t n = 0; n < problem.algorithms.size(); ++n) {
+    const ParallelAlgorithm& a =
+        problem.algorithms[n][static_cast<size_t>(result.choice[n])];
+    const Operator& op = graph.op(problem.merge.decision_ops[n]);
+    if (!problem.node_per_iteration[n]) {
+      per_mb += a.comm_cost + a.compute_cost;
+    } else if (op.type == OpType::kUpdate) {
+      per_iter += a.comm_cost + a.compute_cost;
+    } else {
+      per_iter += a.comm_cost;
+      per_mb += a.compute_cost;
+    }
+  }
+  for (size_t e = 0; e < problem.ilp.edges.size(); ++e) {
+    const IlpProblem::Edge& edge = problem.ilp.edges[e];
+    const double value =
+        edge.cost[static_cast<size_t>(result.choice[static_cast<size_t>(edge.u)])]
+                 [static_cast<size_t>(result.choice[static_cast<size_t>(edge.v)])];
+    if (problem.edge_per_iteration[e]) {
+      per_iter += value * amortize;
+    } else {
+      per_mb += value;
+    }
+  }
+  result.objective = per_mb;
+  result.t_per_iteration = per_iter;
+
+  // Resolved spec per op.
+  result.op_specs.resize(static_cast<size_t>(graph.size()));
+  for (int v = 0; v < graph.size(); ++v) {
+    const int rep = problem.merge.rep[static_cast<size_t>(v)];
+    const int node = problem.merge.node_index[static_cast<size_t>(rep)];
+    const int algo = result.choice[static_cast<size_t>(node)];
+    result.op_specs[static_cast<size_t>(v)] =
+        problem.algorithms[static_cast<size_t>(node)][static_cast<size_t>(algo)].output_spec;
+  }
+
+  // Ideal compute (everything perfectly sharded over the mesh). Optimizer
+  // math runs once per iteration; everything else per microbatch.
+  const int ndev = mesh.num_devices();
+  double fwd_ideal = 0.0;
+  for (const Operator& op : graph.ops()) {
+    const double t = OpComputeTime(op, ndev, device, options.precision);
+    if (op.role == OpRole::kUpdate) {
+      result.t_per_iteration += t;
+    } else {
+      result.ideal_compute += t;
+      if (op.role == OpRole::kForward) {
+        fwd_ideal += t;
+      }
+    }
+  }
+  result.t_intra = result.ideal_compute + result.objective;
+  if (options.rematerialize) {
+    // Backward re-runs the forward computation of discarded activations.
+    result.t_intra += fwd_ideal;
+  }
+
+  // --- Per-device memory profile. ---
+  double weight = 0.0;
+  double act = 0.0;
+  double work_max = 0.0;
+  // Optimizer-state sharding follows the update op's spec.
+  std::vector<int> update_of_param(static_cast<size_t>(graph.size()), -1);
+  for (const Operator& op : graph.ops()) {
+    if (op.type == OpType::kUpdate) {
+      update_of_param[static_cast<size_t>(op.param_id)] = op.id;
+    }
+  }
+  double boundary_act = 0.0;
+  for (const Operator& op : graph.ops()) {
+    const ShardingSpec& spec = result.op_specs[static_cast<size_t>(op.id)];
+    const double sharded_bytes = static_cast<double>(
+        spec.ShardedBytes(op.shape, DTypeBytes(op.dtype), mesh));
+    work_max = std::max(work_max, sharded_bytes);
+    switch (op.type) {
+      case OpType::kParameter: {
+        weight += sharded_bytes;
+        const int update = update_of_param[static_cast<size_t>(op.id)];
+        if (update >= 0) {
+          const ShardingSpec& update_spec = result.op_specs[static_cast<size_t>(update)];
+          weight += static_cast<double>(op.shape.elements()) *
+                    static_cast<double>(OptimizerStateBytesPerElement(op.dtype)) /
+                    static_cast<double>(update_spec.TotalShards(mesh));
+          // Gradient buffer, laid out as produced.
+          const Operator& update_op = graph.op(update);
+          const ShardingSpec& grad_spec =
+              result.op_specs[static_cast<size_t>(update_op.operands[1])];
+          weight += static_cast<double>(
+              grad_spec.ShardedBytes(op.shape, DTypeBytes(op.dtype), mesh));
+        }
+        break;
+      }
+      case OpType::kInput:
+        // Stage-boundary activations (kInput placeholders in stage
+        // subgraphs) persist per in-flight microbatch even with remat.
+        if (op.role == OpRole::kForward && op.dtype != DType::kI32) {
+          boundary_act += sharded_bytes;
+        }
+        break;
+      case OpType::kUpdate:
+      case OpType::kLoss:
+        break;
+      default:
+        if (op.role == OpRole::kForward) {
+          act += sharded_bytes;
+        }
+        break;
+    }
+  }
+  result.weight_bytes = weight;
+  const double internal_fraction = options.rematerialize ? options.activation_fraction : 1.0;
+  result.act_bytes_per_microbatch = boundary_act + act * internal_fraction;
+  result.work_bytes = 2.0 * work_max;
+  result.feasible = true;
+  return result;
+}
+
+namespace {
+
+// Canonical restricted plan families used as solver seeds.
+std::vector<AlgorithmFilter> SeedPlanFamilies() {
+  // Batch-parallel (dim 0 only, replicated weights and optimizer).
+  AlgorithmFilter data = [](const Graph&, const DeviceMesh&, const Operator& op,
+                            const ParallelAlgorithm& a) {
+    if (op.weight_grad || op.type == OpType::kParameter || op.type == OpType::kUpdate) {
+      return a.output_spec.IsFullyReplicated();
+    }
+    for (int d = 1; d < a.output_spec.rank(); ++d) {
+      if (a.output_spec.dim(d) != DimSharding::kR) {
+        return false;
+      }
+    }
+    return a.output_spec.rank() == 0 || a.output_spec.dim(0) != DimSharding::kS01;
+  };
+  // Weight-update sharding on top of batch parallelism (ZeRO).
+  AlgorithmFilter zero = [](const Graph&, const DeviceMesh& mesh, const Operator& op,
+                            const ParallelAlgorithm& a) {
+    if (op.type == OpType::kUpdate && op.shape.elements() > 1024) {
+      return !a.output_spec.IsFullyReplicated();
+    }
+    if (op.type == OpType::kParameter) {
+      return true;
+    }
+    if (!op.weight_grad) {
+      for (int d = 1; d < a.output_spec.rank(); ++d) {
+        if (a.output_spec.dim(d) != DimSharding::kR) {
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+  // Tensor parallelism along the second mesh axis.
+  AlgorithmFilter tensor = [](const Graph&, const DeviceMesh&, const Operator& op,
+                              const ParallelAlgorithm& a) {
+    for (int d = 0; d < a.output_spec.rank(); ++d) {
+      const DimSharding s = a.output_spec.dim(d);
+      if (s == DimSharding::kS01 || (d == 0 && s == DimSharding::kS1 && !op.weight_grad &&
+                                     op.type != OpType::kParameter)) {
+        return false;
+      }
+    }
+    return true;
+  };
+  return {std::move(data), std::move(zero), std::move(tensor)};
+}
+
+// Finds the index of `target` (by spec signature) in `menu`, or -1.
+int MatchAlgorithm(const std::vector<ParallelAlgorithm>& menu, const ParallelAlgorithm& target) {
+  for (size_t i = 0; i < menu.size(); ++i) {
+    if (menu[i].output_spec == target.output_spec &&
+        menu[i].input_specs == target.input_specs) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+IntraOpResult SolveIntraOp(const Graph& graph, const DeviceMesh& mesh,
+                           const IntraOpOptions& options) {
+  const IntraOpProblem problem = BuildIntraOpProblem(graph, mesh, options);
+  if (!options.forced_choice.empty()) {
+    return EvaluateChoice(graph, mesh, problem, options, options.forced_choice, false);
+  }
+  IlpSolverOptions solver_options = options.solver;
+  if (options.seed_with_plan_families && !options.filter) {
+    for (const AlgorithmFilter& family : SeedPlanFamilies()) {
+      IntraOpOptions restricted = options;
+      restricted.filter = family;
+      restricted.seed_with_plan_families = false;
+      const IntraOpProblem sub = BuildIntraOpProblem(graph, mesh, restricted);
+      const IlpSolution sub_solution = IlpSolver(options.solver).Solve(sub.ilp);
+      if (!sub_solution.feasible) {
+        continue;
+      }
+      // Translate restricted choices into the unrestricted menu.
+      std::vector<int> seed(problem.algorithms.size(), -1);
+      bool ok = true;
+      for (size_t n = 0; n < problem.algorithms.size() && ok; ++n) {
+        const ParallelAlgorithm& picked =
+            sub.algorithms[n][static_cast<size_t>(sub_solution.choice[n])];
+        const int index = MatchAlgorithm(problem.algorithms[n], picked);
+        if (index < 0) {
+          ok = false;
+        }
+        seed[n] = index;
+      }
+      if (ok) {
+        solver_options.seeds.push_back(std::move(seed));
+      }
+    }
+  }
+  IlpSolver solver(solver_options);
+  IlpSolution solution = solver.Solve(problem.ilp);
+  if (!solution.feasible) {
+    IntraOpResult result;
+    return result;
+  }
+  return EvaluateChoice(graph, mesh, problem, options, std::move(solution.choice),
+                        solution.optimal);
+}
+
+}  // namespace alpa

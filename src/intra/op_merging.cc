@@ -1,0 +1,65 @@
+#include "src/intra/op_merging.h"
+
+#include <algorithm>
+
+#include "src/support/logging.h"
+
+namespace alpa {
+
+namespace {
+
+bool Mergeable(const Operator& op) {
+  switch (op.type) {
+    case OpType::kElementwise:
+    case OpType::kSoftmax:
+    case OpType::kLayerNorm:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+MergePlan ComputeMergePlan(const Graph& graph) {
+  const int n = graph.size();
+  MergePlan plan;
+  plan.rep.resize(static_cast<size_t>(n));
+  plan.node_index.assign(static_cast<size_t>(n), -1);
+
+  // Depth: longest operand chain, computed in topological (id) order.
+  std::vector<int> depth(static_cast<size_t>(n), 0);
+  for (int v = 0; v < n; ++v) {
+    for (int operand : graph.op(v).operands) {
+      depth[static_cast<size_t>(v)] =
+          std::max(depth[static_cast<size_t>(v)], depth[static_cast<size_t>(operand)] + 1);
+    }
+  }
+
+  for (int v = 0; v < n; ++v) {
+    const Operator& op = graph.op(v);
+    int merged_into = -1;
+    if (Mergeable(op)) {
+      // Deepest operand with an identical shape (so the spec propagates
+      // unchanged).
+      int best_depth = -1;
+      for (int operand : op.operands) {
+        if (graph.op(operand).shape == op.shape &&
+            depth[static_cast<size_t>(operand)] > best_depth) {
+          best_depth = depth[static_cast<size_t>(operand)];
+          merged_into = operand;
+        }
+      }
+    }
+    if (merged_into >= 0) {
+      plan.rep[static_cast<size_t>(v)] = plan.rep[static_cast<size_t>(merged_into)];
+    } else {
+      plan.rep[static_cast<size_t>(v)] = v;
+      plan.node_index[static_cast<size_t>(v)] = static_cast<int>(plan.decision_ops.size());
+      plan.decision_ops.push_back(v);
+    }
+  }
+  return plan;
+}
+
+}  // namespace alpa

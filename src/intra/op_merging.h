@@ -1,0 +1,30 @@
+// Operator merging for ILP size reduction (4.2).
+//
+// Unimportant shape-preserving operators (elementwise, softmax, layernorm)
+// are merged into their deepest operand (depth via BFS over the dataflow
+// graph) and simply follow that operand's sharding spec. Remaining ops are
+// ILP decision nodes.
+#ifndef SRC_INTRA_OP_MERGING_H_
+#define SRC_INTRA_OP_MERGING_H_
+
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace alpa {
+
+struct MergePlan {
+  // rep[v]: the decision node op id that op v follows (rep[v] == v for
+  // decision nodes).
+  std::vector<int> rep;
+  // Decision node op ids in topological order.
+  std::vector<int> decision_ops;
+  // op id -> index into decision_ops, or -1 for merged ops.
+  std::vector<int> node_index;
+};
+
+MergePlan ComputeMergePlan(const Graph& graph);
+
+}  // namespace alpa
+
+#endif  // SRC_INTRA_OP_MERGING_H_

@@ -1,0 +1,34 @@
+#include "src/mesh/cluster_spec.h"
+
+#include "src/support/logging.h"
+#include "src/support/strings.h"
+
+namespace alpa {
+
+int64_t BytesPerElement(Precision precision) {
+  switch (precision) {
+    case Precision::kFloat16:
+      return 2;
+    case Precision::kFloat32:
+      return 4;
+  }
+  ALPA_LOG(FATAL) << "Unknown precision";
+  return 0;
+}
+
+ClusterSpec ClusterSpec::AwsP3(int num_hosts, int devices_per_host) {
+  ALPA_CHECK_GE(num_hosts, 1);
+  ALPA_CHECK_GE(devices_per_host, 1);
+  ClusterSpec spec;
+  spec.num_hosts = num_hosts;
+  spec.devices_per_host = devices_per_host;
+  return spec;
+}
+
+std::string ClusterSpec::ToString() const {
+  return StrFormat("Cluster(%d hosts x %d devices, nvlink=%s/s, net=%s/s)", num_hosts,
+                   devices_per_host, HumanBytes(intra_host_bandwidth).c_str(),
+                   HumanBytes(inter_host_bandwidth).c_str());
+}
+
+}  // namespace alpa

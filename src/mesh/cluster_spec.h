@@ -1,0 +1,70 @@
+// Description of the target compute cluster.
+//
+// The paper evaluates on 8 AWS p3.16xlarge nodes (8 NVIDIA V100 16GB each,
+// NVLink within a node, 25 Gbps across nodes). We model a cluster as a grid
+// of `num_hosts x devices_per_host` accelerators with a two-tier
+// interconnect described by alpha-beta (latency-bandwidth) parameters.
+#ifndef SRC_MESH_CLUSTER_SPEC_H_
+#define SRC_MESH_CLUSTER_SPEC_H_
+
+#include <cstdint>
+#include <string>
+
+namespace alpa {
+
+// Numeric precision of tensors; determines both element width and the
+// achievable device throughput (tensor cores for fp16).
+enum class Precision {
+  kFloat16,
+  kFloat32,
+};
+
+// Bytes per element for a precision.
+int64_t BytesPerElement(Precision precision);
+
+// Static description of one accelerator device.
+struct DeviceSpec {
+  // Peak throughput in FLOP/s by precision.
+  double peak_flops_fp16 = 125e12;  // V100 tensor core peak.
+  double peak_flops_fp32 = 15.7e12;
+  // Device memory in bytes.
+  double memory_bytes = 16e9;
+  // HBM bandwidth in bytes/s (bounds pointwise-op throughput).
+  double memory_bandwidth = 900e9;
+  // Fraction of peak a well-tuned kernel achieves on average. The paper's
+  // own piece-wise linear cost model plays the same role (7.4).
+  double compute_efficiency = 0.45;
+
+  double PeakFlops(Precision precision) const {
+    return precision == Precision::kFloat16 ? peak_flops_fp16 : peak_flops_fp32;
+  }
+  double EffectiveFlops(Precision precision) const {
+    return PeakFlops(precision) * compute_efficiency;
+  }
+};
+
+// Static description of the whole cluster.
+struct ClusterSpec {
+  int num_hosts = 1;
+  int devices_per_host = 1;
+  DeviceSpec device;
+
+  // Intra-host interconnect (NVLink): bus bandwidth in bytes/s and latency.
+  double intra_host_bandwidth = 150e9;
+  double intra_host_alpha = 2e-6;
+  // Cross-host interconnect (datacenter network): bandwidth in bytes/s of
+  // one host NIC and per-message latency.
+  double inter_host_bandwidth = 3.125e9;  // 25 Gbps.
+  double inter_host_alpha = 10e-6;
+
+  int num_devices() const { return num_hosts * devices_per_host; }
+
+  // The testbed used in the paper: AWS p3.16xlarge nodes.
+  static ClusterSpec AwsP3(int num_hosts, int devices_per_host = 8);
+
+  std::string ToString() const;
+};
+
+}  // namespace alpa
+
+#endif  // SRC_MESH_CLUSTER_SPEC_H_

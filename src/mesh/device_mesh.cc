@@ -1,0 +1,223 @@
+#include "src/mesh/device_mesh.h"
+
+#include <algorithm>
+
+#include "src/support/logging.h"
+#include "src/support/math_util.h"
+#include "src/support/strings.h"
+
+namespace alpa {
+
+std::string SubmeshShape::ToString() const {
+  return StrFormat("(%d,%d)", num_hosts, devices_per_host);
+}
+
+std::string MeshPlacement::ToString() const {
+  return StrFormat("host%d+%d dev%d+%d", host_begin, shape.num_hosts, device_begin,
+                   shape.devices_per_host);
+}
+
+DeviceMesh DeviceMesh::Create(const ClusterSpec& cluster, const MeshPlacement& placement,
+                              std::array<int, 2> logical_shape) {
+  ALPA_CHECK_EQ(logical_shape[0] * logical_shape[1], placement.shape.num_devices());
+  ALPA_CHECK_LE(placement.host_begin + placement.shape.num_hosts, cluster.num_hosts);
+  ALPA_CHECK_LE(placement.device_begin + placement.shape.devices_per_host,
+                cluster.devices_per_host);
+  if (placement.shape.num_hosts > 1) {
+    ALPA_CHECK_EQ(placement.device_begin, 0);
+  }
+
+  DeviceMesh mesh;
+  mesh.cluster_ = &cluster;
+  mesh.placement_ = placement;
+  mesh.shape_ = logical_shape;
+
+  const bool multi_host = placement.shape.num_hosts > 1;
+  if (!multi_host) {
+    // Everything is inside one host: both axes ride on NVLink.
+    for (int axis = 0; axis < 2; ++axis) {
+      mesh.alpha_[static_cast<size_t>(axis)] = cluster.intra_host_alpha;
+      mesh.bandwidth_[static_cast<size_t>(axis)] = cluster.intra_host_bandwidth;
+    }
+    return mesh;
+  }
+
+  // Multi-host submesh. The logical mesh must align with the physical one:
+  // either the natural (hosts, devices) view, or a flattened 1D view.
+  const int h = placement.shape.num_hosts;
+  const int d = placement.shape.devices_per_host;
+  if (logical_shape[0] == h && logical_shape[1] == d) {
+    // Axis 0 crosses hosts. All `d` columns communicate concurrently, so
+    // each ring gets a 1/d share of the host NIC.
+    mesh.alpha_[0] = cluster.inter_host_alpha;
+    mesh.bandwidth_[0] = cluster.inter_host_bandwidth / d;
+    mesh.alpha_[1] = cluster.intra_host_alpha;
+    mesh.bandwidth_[1] = cluster.intra_host_bandwidth;
+  } else if (logical_shape[0] == h * d && logical_shape[1] == 1) {
+    // One ring across all devices; it crosses each NIC a constant number of
+    // times, so it sees the full NIC bandwidth.
+    mesh.alpha_[0] = cluster.inter_host_alpha;
+    mesh.bandwidth_[0] = cluster.inter_host_bandwidth;
+    mesh.alpha_[1] = cluster.intra_host_alpha;
+    mesh.bandwidth_[1] = cluster.intra_host_bandwidth;
+  } else if (logical_shape[0] == 1 && logical_shape[1] == h * d) {
+    mesh.alpha_[0] = cluster.intra_host_alpha;
+    mesh.bandwidth_[0] = cluster.intra_host_bandwidth;
+    mesh.alpha_[1] = cluster.inter_host_alpha;
+    mesh.bandwidth_[1] = cluster.inter_host_bandwidth;
+  } else {
+    ALPA_LOG(FATAL) << "Unsupported logical shape (" << logical_shape[0] << ","
+                    << logical_shape[1] << ") for physical submesh "
+                    << placement.shape.ToString();
+  }
+  return mesh;
+}
+
+DeviceMesh DeviceMesh::CreateSimple(const ClusterSpec& cluster, int num_hosts,
+                                    int devices_per_host) {
+  MeshPlacement placement;
+  placement.shape = SubmeshShape{num_hosts, devices_per_host};
+  return Create(cluster, placement, {num_hosts, devices_per_host});
+}
+
+std::vector<std::array<int, 2>> DeviceMesh::LogicalShapeOptions(const SubmeshShape& physical) {
+  std::vector<std::array<int, 2>> options;
+  const int n = physical.num_devices();
+  if (physical.num_hosts == 1) {
+    // All power-of-two factorizations (device counts per host are powers of
+    // two on the clusters we model, 5.2).
+    for (int l0 = 1; l0 <= n; ++l0) {
+      if (n % l0 == 0) {
+        options.push_back({l0, n / l0});
+      }
+    }
+  } else {
+    options.push_back({physical.num_hosts, physical.devices_per_host});
+    options.push_back({n, 1});
+    options.push_back({1, n});
+  }
+  return options;
+}
+
+int DeviceMesh::DeviceAt(int i, int j) const {
+  ALPA_CHECK_GE(i, 0);
+  ALPA_CHECK_LT(i, shape_[0]);
+  ALPA_CHECK_GE(j, 0);
+  ALPA_CHECK_LT(j, shape_[1]);
+  const int flat = i * shape_[1] + j;
+  const int dph = placement_.shape.devices_per_host;
+  const int host = placement_.host_begin + flat / dph;
+  const int local = placement_.device_begin + flat % dph;
+  return host * cluster_->devices_per_host + local;
+}
+
+std::vector<int> DeviceMesh::DeviceIds() const {
+  std::vector<int> ids;
+  ids.reserve(static_cast<size_t>(num_devices()));
+  for (int i = 0; i < shape_[0]; ++i) {
+    for (int j = 0; j < shape_[1]; ++j) {
+      ids.push_back(DeviceAt(i, j));
+    }
+  }
+  return ids;
+}
+
+namespace {
+
+double RingAllReduce(double bytes, int k, double alpha, double bw) {
+  if (k <= 1) {
+    return 0.0;
+  }
+  return 2.0 * (k - 1) / k * bytes / bw + 2.0 * (k - 1) * alpha;
+}
+
+double RingAllGather(double bytes, int k, double alpha, double bw) {
+  if (k <= 1) {
+    return 0.0;
+  }
+  return static_cast<double>(k - 1) / k * bytes / bw + (k - 1) * alpha;
+}
+
+double RingAllToAll(double bytes, int k, double alpha, double bw) {
+  if (k <= 1) {
+    return 0.0;
+  }
+  // Each device exchanges a 1/k tile with every peer.
+  return static_cast<double>(k - 1) / k * bytes / bw + (k - 1) * alpha;
+}
+
+}  // namespace
+
+double DeviceMesh::AllReduceTime(double bytes, int axis) const {
+  return RingAllReduce(bytes, dim(axis), alpha(axis), bandwidth(axis));
+}
+
+double DeviceMesh::AllGatherTime(double bytes, int axis) const {
+  return RingAllGather(bytes, dim(axis), alpha(axis), bandwidth(axis));
+}
+
+double DeviceMesh::ReduceScatterTime(double bytes, int axis) const {
+  return RingAllGather(bytes, dim(axis), alpha(axis), bandwidth(axis));
+}
+
+double DeviceMesh::AllToAllTime(double bytes, int axis) const {
+  return RingAllToAll(bytes, dim(axis), alpha(axis), bandwidth(axis));
+}
+
+double DeviceMesh::AllReduceBothTime(double bytes) const {
+  // Hierarchical: reduce-scatter along axis 1, all-reduce the 1/l1 shard
+  // along axis 0, all-gather along axis 1.
+  if (dim(0) == 1) {
+    return AllReduceTime(bytes, 1);
+  }
+  if (dim(1) == 1) {
+    return AllReduceTime(bytes, 0);
+  }
+  return ReduceScatterTime(bytes, 1) + AllReduceTime(bytes / dim(1), 0) +
+         AllGatherTime(bytes, 1);
+}
+
+double DeviceMesh::AllGatherBothTime(double bytes) const {
+  if (dim(0) == 1) {
+    return AllGatherTime(bytes, 1);
+  }
+  if (dim(1) == 1) {
+    return AllGatherTime(bytes, 0);
+  }
+  return AllGatherTime(bytes / dim(0), 1) + AllGatherTime(bytes, 0);
+}
+
+double DeviceMesh::ReduceScatterBothTime(double bytes) const {
+  if (dim(0) == 1) {
+    return ReduceScatterTime(bytes, 1);
+  }
+  if (dim(1) == 1) {
+    return ReduceScatterTime(bytes, 0);
+  }
+  return ReduceScatterTime(bytes, 1) + ReduceScatterTime(bytes / dim(1), 0);
+}
+
+double DeviceMesh::AllToAllBothTime(double bytes) const {
+  if (dim(0) == 1) {
+    return AllToAllTime(bytes, 1);
+  }
+  if (dim(1) == 1) {
+    return AllToAllTime(bytes, 0);
+  }
+  return AllToAllTime(bytes, 1) + AllToAllTime(bytes / dim(1), 0);
+}
+
+std::string DeviceMesh::ToString() const {
+  return StrFormat("Mesh[%dx%d phys=%s bw=(%s,%s)/s]", shape_[0], shape_[1],
+                   placement_.shape.ToString().c_str(), HumanBytes(bandwidth_[0]).c_str(),
+                   HumanBytes(bandwidth_[1]).c_str());
+}
+
+double P2PTime(const ClusterSpec& cluster, double bytes, bool cross_host) {
+  if (cross_host) {
+    return cluster.inter_host_alpha + bytes / cluster.inter_host_bandwidth;
+  }
+  return cluster.intra_host_alpha + bytes / cluster.intra_host_bandwidth;
+}
+
+}  // namespace alpa

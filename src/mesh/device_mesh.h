@@ -1,0 +1,109 @@
+// Device meshes and the alpha-beta communication cost model.
+//
+// A *physical submesh* is a rectangular slice of the cluster
+// (num_hosts x devices_per_host). Following 5.2 of the paper, submeshes are
+// restricted to (1, 2^p) slices inside one host, or (n, M) slices spanning
+// whole hosts. A physical submesh is viewed as a *logical* 2D mesh
+// (shape l0 x l1) over which sharding specs place tensor partitions; each
+// logical axis carries alpha-beta parameters derived from the interconnect
+// the axis maps onto (NVLink within a host, datacenter network across
+// hosts).
+#ifndef SRC_MESH_DEVICE_MESH_H_
+#define SRC_MESH_DEVICE_MESH_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/mesh/cluster_spec.h"
+
+namespace alpa {
+
+// Shape of a physical slice of the cluster.
+struct SubmeshShape {
+  int num_hosts = 1;
+  int devices_per_host = 1;
+
+  int num_devices() const { return num_hosts * devices_per_host; }
+  bool operator==(const SubmeshShape&) const = default;
+  std::string ToString() const;
+};
+
+// Where a physical submesh sits inside the cluster.
+struct MeshPlacement {
+  int host_begin = 0;
+  // For single-host (1, 2^p) submeshes: offset of the first device within
+  // the host. Multi-host submeshes always use whole hosts (device_begin=0).
+  int device_begin = 0;
+  SubmeshShape shape;
+
+  bool operator==(const MeshPlacement&) const = default;
+  std::string ToString() const;
+};
+
+// A logical 2D device mesh with communication cost model.
+class DeviceMesh {
+ public:
+  // Builds a logical mesh of `logical_shape` over the physical placement.
+  // logical_shape[0] * logical_shape[1] must equal the submesh device count.
+  static DeviceMesh Create(const ClusterSpec& cluster, const MeshPlacement& placement,
+                           std::array<int, 2> logical_shape);
+
+  // Convenience: logical shape equals the physical shape, placed at host 0.
+  static DeviceMesh CreateSimple(const ClusterSpec& cluster, int num_hosts, int devices_per_host);
+
+  // Enumerates the logical shapes worth trying for a physical submesh:
+  // the natural (hosts, devices) view plus power-of-two factorizations for
+  // single-host submeshes, and the flattened 1D views.
+  static std::vector<std::array<int, 2>> LogicalShapeOptions(const SubmeshShape& physical);
+
+  const ClusterSpec& cluster() const { return *cluster_; }
+  const MeshPlacement& placement() const { return placement_; }
+  int dim(int axis) const { return shape_[static_cast<size_t>(axis)]; }
+  std::array<int, 2> shape() const { return shape_; }
+  int num_devices() const { return shape_[0] * shape_[1]; }
+  double alpha(int axis) const { return alpha_[static_cast<size_t>(axis)]; }
+  double bandwidth(int axis) const { return bandwidth_[static_cast<size_t>(axis)]; }
+  double device_memory_bytes() const { return cluster_->device.memory_bytes; }
+  bool spans_hosts() const { return placement_.shape.num_hosts > 1; }
+
+  // Global device id at logical coordinate (i, j); devices are numbered
+  // host * devices_per_host + local across the cluster.
+  int DeviceAt(int i, int j) const;
+  // All device ids in logical row-major order.
+  std::vector<int> DeviceIds() const;
+
+  // --- Collective cost model (ring algorithms). `bytes` is the size of the
+  // *full* (unsharded along this axis) tensor being communicated. ---
+  double AllReduceTime(double bytes, int axis) const;
+  double AllGatherTime(double bytes, int axis) const;
+  double ReduceScatterTime(double bytes, int axis) const;
+  double AllToAllTime(double bytes, int axis) const;
+  // Collectives spanning both mesh axes (group size l0*l1), realized
+  // hierarchically (axis 1 first, then axis 0).
+  double AllReduceBothTime(double bytes) const;
+  double AllGatherBothTime(double bytes) const;
+  double ReduceScatterBothTime(double bytes) const;
+  double AllToAllBothTime(double bytes) const;
+
+  std::string ToString() const;
+
+ private:
+  DeviceMesh() = default;
+
+  const ClusterSpec* cluster_ = nullptr;
+  MeshPlacement placement_;
+  std::array<int, 2> shape_ = {1, 1};
+  std::array<double, 2> alpha_ = {0.0, 0.0};
+  std::array<double, 2> bandwidth_ = {1.0, 1.0};
+};
+
+// Point-to-point transfer time between devices of two meshes. Transfers
+// between different hosts use the datacenter network; transfers within one
+// host use NVLink.
+double P2PTime(const ClusterSpec& cluster, double bytes, bool cross_host);
+
+}  // namespace alpa
+
+#endif  // SRC_MESH_DEVICE_MESH_H_

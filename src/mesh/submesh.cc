@@ -1,0 +1,86 @@
+#include "src/mesh/submesh.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/support/logging.h"
+#include "src/support/math_util.h"
+
+namespace alpa {
+
+std::vector<SubmeshShape> EnumerateSubmeshShapes(const ClusterSpec& cluster) {
+  std::vector<SubmeshShape> shapes;
+  for (int d = 1; d <= cluster.devices_per_host; d *= 2) {
+    shapes.push_back(SubmeshShape{1, d});
+  }
+  for (int h = 2; h <= cluster.num_hosts; ++h) {
+    shapes.push_back(SubmeshShape{h, cluster.devices_per_host});
+  }
+  return shapes;
+}
+
+std::optional<std::vector<MeshPlacement>> CoverCluster(const ClusterSpec& cluster,
+                                                       const std::vector<SubmeshShape>& shapes) {
+  const int m = cluster.devices_per_host;
+  int64_t total = 0;
+  for (const SubmeshShape& shape : shapes) {
+    if (shape.num_hosts > 1 && shape.devices_per_host != m) {
+      return std::nullopt;
+    }
+    if (shape.num_hosts == 1 &&
+        (!IsPowerOfTwo(shape.devices_per_host) || shape.devices_per_host > m)) {
+      return std::nullopt;
+    }
+    if (shape.num_hosts < 1 || shape.num_hosts > cluster.num_hosts) {
+      return std::nullopt;
+    }
+    total += shape.num_devices();
+  }
+  if (total != static_cast<int64_t>(cluster.num_devices())) {
+    return std::nullopt;
+  }
+
+  std::vector<MeshPlacement> placements(shapes.size());
+
+  // Pass 1: multi-host and full-host submeshes take whole hosts from the
+  // front of the cluster.
+  int next_host = 0;
+  std::vector<size_t> one_dim;
+  for (size_t i = 0; i < shapes.size(); ++i) {
+    const SubmeshShape& shape = shapes[i];
+    if (shape.num_hosts > 1 || shape.devices_per_host == m) {
+      placements[i] = MeshPlacement{next_host, 0, shape};
+      next_host += shape.num_hosts;
+    } else {
+      one_dim.push_back(i);
+    }
+  }
+
+  // Pass 2: bin-pack the strict (1, 2^p < M) slices into the remaining
+  // hosts, largest first. Because every size is a power of two and the
+  // total fills the remaining hosts exactly, first-fit-decreasing leaves no
+  // fragmentation: each host's free space stays a multiple of every
+  // yet-unplaced (smaller) item size.
+  std::sort(one_dim.begin(), one_dim.end(), [&](size_t a, size_t b) {
+    return shapes[a].devices_per_host > shapes[b].devices_per_host;
+  });
+  std::vector<int> used(static_cast<size_t>(cluster.num_hosts - next_host), 0);
+  for (size_t idx : one_dim) {
+    const int need = shapes[idx].devices_per_host;
+    bool placed = false;
+    for (size_t h = 0; h < used.size(); ++h) {
+      if (used[h] + need <= m) {
+        placements[idx] = MeshPlacement{next_host + static_cast<int>(h), used[h], shapes[idx]};
+        used[h] += need;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      return std::nullopt;  // Unreachable for valid inputs (Theorem 1).
+    }
+  }
+  return placements;
+}
+
+}  // namespace alpa

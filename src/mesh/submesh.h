@@ -1,0 +1,30 @@
+// Submesh shape enumeration (5.2) and the constructive cluster covering from
+// Theorem 1 (Appendix A): any multiset of submesh shapes, each either
+// (1, 2^p) or (n, M), whose sizes sum to N*M, can be placed to exactly tile
+// an (N, M = 2^m) cluster.
+#ifndef SRC_MESH_SUBMESH_H_
+#define SRC_MESH_SUBMESH_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/mesh/cluster_spec.h"
+#include "src/mesh/device_mesh.h"
+
+namespace alpa {
+
+// Candidate submesh shapes for the stage-slicing DP: one-dimensional
+// (1, 2^p) slices of a host, and full-width (n, M) slices of n hosts.
+std::vector<SubmeshShape> EnumerateSubmeshShapes(const ClusterSpec& cluster);
+
+// Places `shapes` (in order) so that they exactly tile the cluster.
+// Returns std::nullopt if the shapes are not a valid tiling input (sizes do
+// not sum to the cluster size, a 1D shape is not a power of two, or a
+// multi-host shape does not span full hosts). The i-th placement in the
+// result corresponds to shapes[i].
+std::optional<std::vector<MeshPlacement>> CoverCluster(const ClusterSpec& cluster,
+                                                       const std::vector<SubmeshShape>& shapes);
+
+}  // namespace alpa
+
+#endif  // SRC_MESH_SUBMESH_H_

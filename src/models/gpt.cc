@@ -1,0 +1,143 @@
+#include "src/models/gpt.h"
+
+#include "src/graph/backward.h"
+#include "src/support/logging.h"
+#include "src/support/strings.h"
+
+namespace alpa {
+
+int64_t GptConfig::NumParams() const {
+  const int64_t h = hidden;
+  const int64_t per_layer = 4 * h * h        // q, k, v, out projections.
+                            + 2 * h * ffn_dim()  // MLP.
+                            + 2 * h + ffn_dim();  // Biases (attn out + mlp in/out).
+  return num_layers * per_layer + vocab * h  // Token embedding.
+         + seq_len * h                        // Position embedding.
+         + vocab * h;                         // Untied LM head.
+}
+
+namespace {
+
+// One transformer block; returns the output activation id.
+int AddTransformerBlock(Graph& graph, const GptConfig& config, int x, int layer) {
+  const int64_t b = config.microbatch;
+  const int64_t s = config.seq_len;
+  const int64_t m = config.hidden;
+  const int64_t h = config.num_heads;
+  const int64_t d = config.head_dim();
+  const int64_t f = config.ffn_dim();
+  const DType dt = config.dtype;
+  const std::string prefix = StrFormat("l%d.", layer);
+
+  auto einsum = [&](const std::string& name, const std::string& out,
+                    std::vector<std::string> operands, std::vector<int> args,
+                    std::map<char, int64_t> extents) {
+    EinsumSpec spec;
+    spec.output = out;
+    spec.operands = std::move(operands);
+    spec.extents = std::move(extents);
+    return graph.AddEinsum(prefix + name, spec, std::move(args), dt, layer);
+  };
+  const std::map<char, int64_t> ext = {{'b', b}, {'s', s}, {'t', s}, {'m', m},
+                                       {'h', h}, {'d', d}, {'f', f}, {'n', m}};
+
+  // --- Attention ---
+  const int ln1 = graph.AddLayerNorm(prefix + "ln1", x, layer);
+  const int wq = graph.AddParameter(prefix + "wq", TensorShape({m, h, d}), dt, layer);
+  const int wk = graph.AddParameter(prefix + "wk", TensorShape({m, h, d}), dt, layer);
+  const int wv = graph.AddParameter(prefix + "wv", TensorShape({m, h, d}), dt, layer);
+  const int q = einsum("q", "bshd", {"bsm", "mhd"}, {ln1, wq}, ext);
+  const int k = einsum("k", "bshd", {"bsm", "mhd"}, {ln1, wk}, ext);
+  const int v = einsum("v", "bshd", {"bsm", "mhd"}, {ln1, wv}, ext);
+  // scores[b,h,s,t] = q[b,s,h,d] . k[b,t,h,d]
+  const int scores = einsum("scores", "bhst", {"bshd", "bthd"}, {q, k}, ext);
+  const int probs = graph.AddSoftmax(prefix + "softmax", scores, layer);
+  // ctx[b,s,h,d] = probs[b,h,s,t] . v[b,t,h,d]
+  const int ctx = einsum("ctx", "bshd", {"bhst", "bthd"}, {probs, v}, ext);
+  const int wo = graph.AddParameter(prefix + "wo", TensorShape({h, d, m}), dt, layer);
+  const int attn = einsum("attn_out", "bsm", {"bshd", "hdm"}, {ctx, wo}, ext);
+  const int bo = graph.AddParameter(prefix + "bo", TensorShape({m}), dt, layer);
+  const int attn_bias = graph.AddElementwise(prefix + "attn_bias", {attn, bo}, layer);
+  const int res1 = graph.AddElementwise(prefix + "residual1", {attn_bias, x}, layer);
+
+  // --- MLP ---
+  const int ln2 = graph.AddLayerNorm(prefix + "ln2", res1, layer);
+  const int w1 = graph.AddParameter(prefix + "w_in", TensorShape({m, f}), dt, layer);
+  const int h1 = einsum("mlp_in", "bsf", {"bsm", "mf"}, {ln2, w1}, ext);
+  const int b1 = graph.AddParameter(prefix + "b_in", TensorShape({f}), dt, layer);
+  const int h1b = graph.AddElementwise(prefix + "mlp_bias1", {h1, b1}, layer);
+  const int gelu = graph.AddElementwise(prefix + "gelu", {h1b}, layer);
+  const int w2 = graph.AddParameter(prefix + "w_out", TensorShape({f, m}), dt, layer);
+  const int h2 = einsum("mlp_out", "bsm", {"bsf", "fm"}, {gelu, w2}, ext);
+  const int b2 = graph.AddParameter(prefix + "b_out", TensorShape({m}), dt, layer);
+  const int h2b = graph.AddElementwise(prefix + "mlp_bias2", {h2, b2}, layer);
+  return graph.AddElementwise(prefix + "residual2", {h2b, res1}, layer);
+}
+
+}  // namespace
+
+Graph BuildGpt(const GptConfig& config) {
+  ALPA_CHECK_EQ(config.hidden % config.num_heads, 0);
+  Graph graph;
+  const int64_t b = config.microbatch;
+  const int64_t s = config.seq_len;
+  const int64_t m = config.hidden;
+  const int64_t v = config.vocab;
+  const DType dt = config.dtype;
+  const int last_layer = static_cast<int>(config.num_layers) - 1;
+
+  const int ids = graph.AddInput("ids", TensorShape({b, s}), DType::kI32, 0);
+  const int labels = graph.AddInput("labels", TensorShape({b, s}), DType::kI32, last_layer);
+  const int table = graph.AddParameter("embed_table", TensorShape({v, m}), dt, 0);
+  int x = graph.AddEmbedding("embed", ids, table, 0);
+  const int pos = graph.AddParameter("pos_embed", TensorShape({s, m}), dt, 0);
+  x = graph.AddElementwise("add_pos", {x, pos}, 0);
+
+  for (int layer = 0; layer < static_cast<int>(config.num_layers); ++layer) {
+    x = AddTransformerBlock(graph, config, x, layer);
+  }
+
+  const int ln_f = graph.AddLayerNorm("ln_f", x, last_layer);
+  const int head = graph.AddParameter("lm_head", TensorShape({m, v}), dt, last_layer);
+  EinsumSpec logits_spec;
+  logits_spec.output = "bsv";
+  logits_spec.operands = {"bsm", "mv"};
+  logits_spec.extents = {{'b', b}, {'s', s}, {'m', m}, {'v', v}};
+  const int logits = graph.AddEinsum("logits", logits_spec, {ln_f, head}, dt, last_layer);
+  graph.AddLoss("xent", {logits, labels}, last_layer);
+
+  if (config.build_backward) {
+    BuildTrainingGraph(graph);
+  }
+  graph.Validate();
+  return graph;
+}
+
+std::vector<GptBenchmarkCase> GptPaperCases() {
+  // Table 5: #params, hidden, layers, heads, #gpus.
+  struct Row {
+    const char* name;
+    int64_t hidden;
+    int64_t layers;
+    int64_t heads;
+    int gpus;
+  };
+  const Row rows[] = {
+      {"GPT-350M", 1024, 24, 16, 1}, {"GPT-1.3B", 2048, 24, 32, 4},
+      {"GPT-2.6B", 2560, 32, 32, 8}, {"GPT-6.7B", 4096, 32, 32, 16},
+      {"GPT-15B", 5120, 48, 32, 32}, {"GPT-39B", 8192, 48, 64, 64},
+  };
+  std::vector<GptBenchmarkCase> cases;
+  for (const Row& row : rows) {
+    GptBenchmarkCase c;
+    c.name = row.name;
+    c.config.hidden = row.hidden;
+    c.config.num_layers = row.layers;
+    c.config.num_heads = row.heads;
+    c.num_gpus = row.gpus;
+    cases.push_back(std::move(c));
+  }
+  return cases;
+}
+
+}  // namespace alpa

@@ -1,0 +1,49 @@
+// GPT-3 style decoder-only transformer (Table 5 of the paper).
+//
+// Shapes follow the paper's evaluation: sequence length 1024, vocabulary
+// 51200, fp16 training. The builder produces the full training graph at
+// microbatch granularity; layer tags are one per transformer block (the
+// embedding shares the first block's tag, the LM head the last block's).
+#ifndef SRC_MODELS_GPT_H_
+#define SRC_MODELS_GPT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace alpa {
+
+struct GptConfig {
+  int64_t microbatch = 8;
+  int64_t seq_len = 1024;
+  int64_t vocab = 51200;
+  int64_t hidden = 1024;
+  int64_t num_layers = 24;
+  int64_t num_heads = 16;
+  int64_t ffn_mult = 4;
+  DType dtype = DType::kF16;
+  bool build_backward = true;
+
+  int64_t head_dim() const { return hidden / num_heads; }
+  int64_t ffn_dim() const { return ffn_mult * hidden; }
+  // Analytic parameter count (matches Graph::ParameterBytes / dtype size).
+  int64_t NumParams() const;
+};
+
+// The six GPT-3 configurations of Table 5 (350M .. 39B), with the #GPUs the
+// paper trains each on.
+struct GptBenchmarkCase {
+  std::string name;
+  GptConfig config;
+  int num_gpus = 1;
+  int64_t global_batch = 1024;
+};
+std::vector<GptBenchmarkCase> GptPaperCases();
+
+Graph BuildGpt(const GptConfig& config);
+
+}  // namespace alpa
+
+#endif  // SRC_MODELS_GPT_H_

@@ -1,0 +1,43 @@
+#include "src/models/mlp.h"
+
+#include "src/graph/backward.h"
+#include "src/support/strings.h"
+
+namespace alpa {
+
+Graph BuildMlp(const MlpConfig& config) {
+  Graph graph;
+  int x = graph.AddInput("x", TensorShape({config.batch, config.input_dim}), config.dtype, 0);
+  const int y = graph.AddInput("y", TensorShape({config.batch, config.output_dim}), config.dtype,
+                               static_cast<int>(config.hidden_dims.size()));
+
+  int64_t in_dim = config.input_dim;
+  std::vector<int64_t> dims = config.hidden_dims;
+  dims.push_back(config.output_dim);
+  for (size_t l = 0; l < dims.size(); ++l) {
+    const int64_t out_dim = dims[l];
+    const int layer = static_cast<int>(l);
+    const int w = graph.AddParameter(StrFormat("w%zu", l), TensorShape({in_dim, out_dim}),
+                                     config.dtype, layer);
+    EinsumSpec spec;
+    spec.output = "bf";
+    spec.operands = {"bm", "mf"};
+    spec.extents = {{'b', config.batch}, {'m', in_dim}, {'f', out_dim}};
+    x = graph.AddEinsum(StrFormat("dense%zu", l), spec, {x, w}, config.dtype, layer);
+    const int b = graph.AddParameter(StrFormat("b%zu", l), TensorShape({out_dim}), config.dtype,
+                                     layer);
+    x = graph.AddElementwise(StrFormat("bias%zu", l), {x, b}, layer);
+    if (l + 1 < dims.size()) {
+      x = graph.AddElementwise(StrFormat("relu%zu", l), {x}, layer);
+    }
+    in_dim = out_dim;
+  }
+  graph.AddLoss("mse", {x, y}, static_cast<int>(dims.size()) - 1);
+  if (config.build_backward) {
+    BuildTrainingGraph(graph);
+  }
+  graph.Validate();
+  return graph;
+}
+
+}  // namespace alpa

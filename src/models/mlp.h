@@ -1,0 +1,28 @@
+// Simple multi-layer perceptron, the running example of the paper (Fig. 2)
+// and of the quickstart.
+#ifndef SRC_MODELS_MLP_H_
+#define SRC_MODELS_MLP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace alpa {
+
+struct MlpConfig {
+  int64_t batch = 32;
+  int64_t input_dim = 1024;
+  std::vector<int64_t> hidden_dims = {4096, 4096};
+  int64_t output_dim = 1024;
+  DType dtype = DType::kF32;
+  bool build_backward = true;
+};
+
+// Builds the training graph (forward, backward, weight update) of an MLP
+// with MSE loss. Each linear layer gets its own layer tag.
+Graph BuildMlp(const MlpConfig& config);
+
+}  // namespace alpa
+
+#endif  // SRC_MODELS_MLP_H_

@@ -1,0 +1,191 @@
+#include "src/models/moe.h"
+
+#include <map>
+
+#include "src/graph/backward.h"
+#include "src/support/logging.h"
+#include "src/support/strings.h"
+
+namespace alpa {
+
+int64_t MoeConfig::expert_capacity() const {
+  const int64_t tokens = microbatch * seq_len;
+  int64_t capacity =
+      static_cast<int64_t>(static_cast<double>(tokens) / num_experts * capacity_factor);
+  // Keep capacities divisible by typical mesh dims.
+  capacity = std::max<int64_t>(capacity - capacity % 8, 8);
+  return capacity;
+}
+
+int64_t MoeConfig::NumParams() const {
+  const int64_t h = hidden;
+  const int64_t attn = 4 * h * h;
+  const int64_t dense_mlp = 2 * h * ffn_dim();
+  const int64_t moe_mlp = num_experts * 2 * h * ffn_dim() + h * num_experts /*gate*/;
+  const int64_t moe_layers = num_layers / 2;
+  const int64_t dense_layers = num_layers - moe_layers;
+  return num_layers * attn + dense_layers * dense_mlp + moe_layers * moe_mlp + vocab * h +
+         seq_len * h + vocab * h;
+}
+
+namespace {
+
+int AddAttention(Graph& graph, const MoeConfig& config, int x, int layer) {
+  const int64_t b = config.microbatch;
+  const int64_t s = config.seq_len;
+  const int64_t m = config.hidden;
+  const int64_t h = config.num_heads;
+  const int64_t d = config.head_dim();
+  const DType dt = config.dtype;
+  const std::string prefix = StrFormat("l%d.", layer);
+  const std::map<char, int64_t> ext = {{'b', b}, {'s', s}, {'t', s}, {'m', m}, {'h', h}, {'d', d}};
+
+  auto einsum = [&](const std::string& name, const std::string& out,
+                    std::vector<std::string> operands, std::vector<int> args) {
+    EinsumSpec spec;
+    spec.output = out;
+    spec.operands = std::move(operands);
+    spec.extents = ext;
+    return graph.AddEinsum(prefix + name, spec, std::move(args), dt, layer);
+  };
+
+  const int ln = graph.AddLayerNorm(prefix + "ln1", x, layer);
+  const int wq = graph.AddParameter(prefix + "wq", TensorShape({m, h, d}), dt, layer);
+  const int wk = graph.AddParameter(prefix + "wk", TensorShape({m, h, d}), dt, layer);
+  const int wv = graph.AddParameter(prefix + "wv", TensorShape({m, h, d}), dt, layer);
+  const int q = einsum("q", "bshd", {"bsm", "mhd"}, {ln, wq});
+  const int k = einsum("k", "bshd", {"bsm", "mhd"}, {ln, wk});
+  const int v = einsum("v", "bshd", {"bsm", "mhd"}, {ln, wv});
+  const int scores = einsum("scores", "bhst", {"bshd", "bthd"}, {q, k});
+  const int probs = graph.AddSoftmax(prefix + "softmax", scores, layer);
+  const int ctx = einsum("ctx", "bshd", {"bhst", "bthd"}, {probs, v});
+  const int wo = graph.AddParameter(prefix + "wo", TensorShape({h, d, m}), dt, layer);
+  const int attn = einsum("attn_out", "bsm", {"bshd", "hdm"}, {ctx, wo});
+  return graph.AddElementwise(prefix + "residual1", {attn, x}, layer);
+}
+
+int AddDenseMlp(Graph& graph, const MoeConfig& config, int x, int layer) {
+  const int64_t b = config.microbatch;
+  const int64_t s = config.seq_len;
+  const int64_t m = config.hidden;
+  const int64_t f = config.ffn_dim();
+  const DType dt = config.dtype;
+  const std::string prefix = StrFormat("l%d.", layer);
+  const std::map<char, int64_t> ext = {{'b', b}, {'s', s}, {'m', m}, {'f', f}};
+
+  const int ln = graph.AddLayerNorm(prefix + "ln2", x, layer);
+  const int w1 = graph.AddParameter(prefix + "w_in", TensorShape({m, f}), dt, layer);
+  EinsumSpec in_spec{"bsf", {"bsm", "mf"}, ext};
+  const int h1 = graph.AddEinsum(prefix + "mlp_in", in_spec, {ln, w1}, dt, layer);
+  const int gelu = graph.AddElementwise(prefix + "gelu", {h1}, layer);
+  const int w2 = graph.AddParameter(prefix + "w_out", TensorShape({f, m}), dt, layer);
+  EinsumSpec out_spec{"bsm", {"bsf", "fm"}, ext};
+  const int h2 = graph.AddEinsum(prefix + "mlp_out", out_spec, {gelu, w2}, dt, layer);
+  return graph.AddElementwise(prefix + "residual2", {h2, x}, layer);
+}
+
+int AddMoeMlp(Graph& graph, const MoeConfig& config, int x, int layer) {
+  const int64_t b = config.microbatch;
+  const int64_t s = config.seq_len;
+  const int64_t m = config.hidden;
+  const int64_t f = config.ffn_dim();
+  const int64_t e = config.num_experts;
+  const int64_t c = config.expert_capacity();
+  const DType dt = config.dtype;
+  const std::string prefix = StrFormat("l%d.", layer);
+
+  const int ln = graph.AddLayerNorm(prefix + "ln2", x, layer);
+  // Gate: [b,s,m] x [m,e] -> [b,s,e] (small; drives routing decisions).
+  const int wg = graph.AddParameter(prefix + "w_gate", TensorShape({m, e}), dt, layer);
+  EinsumSpec gate_spec{"bse", {"bsm", "me"}, {{'b', b}, {'s', s}, {'m', m}, {'e', e}}};
+  const int gate = graph.AddEinsum(prefix + "gate", gate_spec, {ln, wg}, dt, layer);
+  const int gate_probs = graph.AddSoftmax(prefix + "gate_softmax", gate, layer);
+  (void)gate_probs;  // Routing probabilities; the cost model needs only shapes.
+
+  const int dispatched = graph.AddMoeDispatch(prefix + "dispatch", ln, e, c, layer);
+  // Expert FFN: batched over experts.
+  const std::map<char, int64_t> ext = {{'e', e}, {'c', c}, {'m', m}, {'f', f}};
+  const int w1 = graph.AddParameter(prefix + "w_expert_in", TensorShape({e, m, f}), dt, layer);
+  EinsumSpec in_spec{"ecf", {"ecm", "emf"}, ext};
+  const int h1 = graph.AddEinsum(prefix + "expert_in", in_spec, {dispatched, w1}, dt, layer);
+  const int gelu = graph.AddElementwise(prefix + "expert_gelu", {h1}, layer);
+  const int w2 = graph.AddParameter(prefix + "w_expert_out", TensorShape({e, f, m}), dt, layer);
+  EinsumSpec out_spec{"ecm", {"ecf", "efm"}, ext};
+  const int h2 = graph.AddEinsum(prefix + "expert_out", out_spec, {gelu, w2}, dt, layer);
+  const int combined =
+      graph.AddMoeCombine(prefix + "combine", h2, TensorShape({b, s, m}), layer);
+  return graph.AddElementwise(prefix + "residual2", {combined, x}, layer);
+}
+
+}  // namespace
+
+Graph BuildMoe(const MoeConfig& config) {
+  ALPA_CHECK_EQ(config.hidden % config.num_heads, 0);
+  Graph graph;
+  const int64_t b = config.microbatch;
+  const int64_t s = config.seq_len;
+  const int64_t m = config.hidden;
+  const int64_t v = config.vocab;
+  const DType dt = config.dtype;
+  const int last_layer = static_cast<int>(config.num_layers) - 1;
+
+  const int ids = graph.AddInput("ids", TensorShape({b, s}), DType::kI32, 0);
+  const int labels = graph.AddInput("labels", TensorShape({b, s}), DType::kI32, last_layer);
+  const int table = graph.AddParameter("embed_table", TensorShape({v, m}), dt, 0);
+  int x = graph.AddEmbedding("embed", ids, table, 0);
+  const int pos = graph.AddParameter("pos_embed", TensorShape({s, m}), dt, 0);
+  x = graph.AddElementwise("add_pos", {x, pos}, 0);
+
+  for (int layer = 0; layer < static_cast<int>(config.num_layers); ++layer) {
+    x = AddAttention(graph, config, x, layer);
+    // GShard: MoE replaces the MLP of every second block.
+    if (layer % 2 == 1) {
+      x = AddMoeMlp(graph, config, x, layer);
+    } else {
+      x = AddDenseMlp(graph, config, x, layer);
+    }
+  }
+
+  const int ln_f = graph.AddLayerNorm("ln_f", x, last_layer);
+  const int head = graph.AddParameter("lm_head", TensorShape({m, v}), dt, last_layer);
+  EinsumSpec logits_spec{"bsv", {"bsm", "mv"}, {{'b', b}, {'s', s}, {'m', m}, {'v', v}}};
+  const int logits = graph.AddEinsum("logits", logits_spec, {ln_f, head}, dt, last_layer);
+  graph.AddLoss("xent", {logits, labels}, last_layer);
+
+  if (config.build_backward) {
+    BuildTrainingGraph(graph);
+  }
+  graph.Validate();
+  return graph;
+}
+
+std::vector<MoeBenchmarkCase> MoePaperCases() {
+  // Table 6: hidden, layers, heads, experts, #gpus.
+  struct Row {
+    const char* name;
+    int64_t hidden;
+    int64_t layers;
+    int64_t heads;
+    int64_t experts;
+    int gpus;
+  };
+  const Row rows[] = {
+      {"MoE-380M", 768, 8, 16, 8, 1},    {"MoE-1.3B", 768, 16, 16, 16, 4},
+      {"MoE-2.4B", 1024, 16, 16, 16, 8}, {"MoE-10B", 1536, 16, 16, 32, 16},
+      {"MoE-27B", 2048, 16, 32, 48, 32}, {"MoE-70B", 2048, 32, 32, 64, 64},
+  };
+  std::vector<MoeBenchmarkCase> cases;
+  for (const Row& row : rows) {
+    MoeBenchmarkCase c;
+    c.name = row.name;
+    c.config.hidden = row.hidden;
+    c.config.num_layers = row.layers;
+    c.config.num_heads = row.heads;
+    c.config.num_experts = row.experts;
+    c.num_gpus = row.gpus;
+    cases.push_back(std::move(c));
+  }
+  return cases;
+}
+
+}  // namespace alpa

@@ -1,0 +1,50 @@
+// GShard-style Mixture-of-Experts transformer (Table 6 of the paper).
+//
+// Every second transformer block replaces its dense MLP with an MoE layer:
+// gate -> dispatch (all-to-all when expert-parallel) -> per-expert FFN ->
+// combine. Sequence length 1024, vocabulary 32000, fp16, FFN width 8x
+// hidden (which reproduces Table 6's parameter counts).
+#ifndef SRC_MODELS_MOE_H_
+#define SRC_MODELS_MOE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace alpa {
+
+struct MoeConfig {
+  int64_t microbatch = 8;
+  int64_t seq_len = 1024;
+  int64_t vocab = 32000;
+  int64_t hidden = 768;
+  int64_t num_layers = 8;  // Transformer blocks; every 2nd is MoE.
+  int64_t num_heads = 16;
+  int64_t num_experts = 8;
+  int64_t ffn_mult = 8;
+  double capacity_factor = 1.0;
+  DType dtype = DType::kF16;
+  bool build_backward = true;
+
+  int64_t head_dim() const { return hidden / num_heads; }
+  int64_t ffn_dim() const { return ffn_mult * hidden; }
+  // Tokens routed to each expert per microbatch.
+  int64_t expert_capacity() const;
+  int64_t NumParams() const;
+};
+
+struct MoeBenchmarkCase {
+  std::string name;
+  MoeConfig config;
+  int num_gpus = 1;
+  int64_t global_batch = 1024;
+};
+std::vector<MoeBenchmarkCase> MoePaperCases();
+
+Graph BuildMoe(const MoeConfig& config);
+
+}  // namespace alpa
+
+#endif  // SRC_MODELS_MOE_H_

@@ -1,0 +1,178 @@
+#include "src/models/wide_resnet.h"
+
+#include <cmath>
+#include <map>
+
+#include "src/graph/backward.h"
+#include "src/support/logging.h"
+#include "src/support/strings.h"
+
+namespace alpa {
+
+std::vector<int> WideResNetConfig::BlocksPerStage() const {
+  if (num_layers == 50) {
+    return {3, 4, 6, 3};
+  }
+  if (num_layers == 101) {
+    return {3, 4, 23, 3};
+  }
+  ALPA_LOG(FATAL) << "Unsupported Wide-ResNet depth " << num_layers;
+  return {};
+}
+
+namespace {
+
+constexpr int64_t kStemChannels = 64;
+constexpr int64_t kStemSpatial = 112 * 112;
+
+// Conv as einsum over the implicit im2col patch: out[n,s,f] =
+// x[n,s,c] * w[k,c,f], k = kernel area. The operand's spatial extent is the
+// *output* spatial extent; strides are realized by a Resize adapter.
+int AddConv(Graph& graph, const std::string& name, int x, int64_t kernel_area, int64_t in_c,
+            int64_t out_c, DType dt, int layer) {
+  const Operator& x_op = graph.op(x);
+  ALPA_CHECK_EQ(x_op.shape.rank(), 3);
+  ALPA_CHECK_EQ(x_op.shape.dim(2), in_c);
+  const int64_t n = x_op.shape.dim(0);
+  const int64_t s = x_op.shape.dim(1);
+  const int w = graph.AddParameter(name + ".w", TensorShape({kernel_area, in_c, out_c}), dt,
+                                   layer);
+  EinsumSpec spec{"nsf",
+                  {"nsc", "kcf"},
+                  {{'n', n}, {'s', s}, {'c', in_c}, {'f', out_c}, {'k', kernel_area}}};
+  if (kernel_area > 1) {
+    // Partitioning the spatial axis requires halo exchange with neighbours.
+    spec.halo['s'] = static_cast<int64_t>(std::lround(std::sqrt(
+        static_cast<double>(kernel_area))));
+  }
+  return graph.AddEinsum(name, spec, {x, w}, dt, layer);
+}
+
+// One bottleneck block; `x` has spatial s_in; output has spatial s_out and
+// 4*mid channels.
+int AddBottleneck(Graph& graph, const WideResNetConfig& config, const std::string& prefix, int x,
+                  int64_t mid, int64_t s_out, int layer) {
+  const DType dt = config.dtype;
+  const Operator& x_op = graph.op(x);
+  const int64_t n = x_op.shape.dim(0);
+  const int64_t in_c = x_op.shape.dim(2);
+  const int64_t wide = mid * config.width_factor;
+  const int64_t out_c = 4 * mid;
+
+  int trunk = x;
+  if (x_op.shape.dim(1) != s_out) {
+    trunk = graph.AddResize(prefix + ".downsample", x, TensorShape({n, s_out, in_c}), layer);
+  }
+  int h = AddConv(graph, prefix + ".conv1", trunk, 1, in_c, mid, dt, layer);
+  h = graph.AddElementwise(prefix + ".bn_relu1", {h}, layer);
+  h = AddConv(graph, prefix + ".conv2", h, 9, mid, wide, dt, layer);
+  h = graph.AddElementwise(prefix + ".bn_relu2", {h}, layer);
+  h = AddConv(graph, prefix + ".conv3", h, 1, wide, out_c, dt, layer);
+  h = graph.AddElementwise(prefix + ".bn3", {h}, layer);
+
+  int skip = trunk;
+  if (in_c != out_c) {
+    skip = AddConv(graph, prefix + ".proj", trunk, 1, in_c, out_c, dt, layer);
+  }
+  const int sum = graph.AddElementwise(prefix + ".residual", {h, skip}, layer);
+  return graph.AddElementwise(prefix + ".relu_out", {sum}, layer);
+}
+
+}  // namespace
+
+int64_t WideResNetConfig::NumParams() const {
+  int64_t params = 49 * 3 * kStemChannels;  // Stem 7x7 conv.
+  int64_t in_c = kStemChannels;
+  const std::vector<int> blocks = BlocksPerStage();
+  for (size_t stage = 0; stage < blocks.size(); ++stage) {
+    const int64_t mid = base_channels << stage;
+    const int64_t wide = mid * width_factor;
+    const int64_t out_c = 4 * mid;
+    for (int b = 0; b < blocks[stage]; ++b) {
+      params += in_c * mid + 9 * mid * wide + wide * out_c;
+      if (in_c != out_c) {
+        params += in_c * out_c;
+      }
+      in_c = out_c;
+    }
+  }
+  params += in_c * num_classes;
+  return params;
+}
+
+Graph BuildWideResNet(const WideResNetConfig& config) {
+  Graph graph;
+  const int64_t n = config.microbatch;
+  const DType dt = config.dtype;
+
+  // The image input is declared at the stem conv's output spatial extent
+  // (the 7x7/stride-2 stem is folded into the first einsum).
+  const int image = graph.AddInput("image", TensorShape({n, kStemSpatial, 3}), dt, 0);
+  const int labels = graph.AddInput("labels", TensorShape({n, 1}), DType::kI32, 0);
+  int x = AddConv(graph, "stem", image, 49, 3, kStemChannels, dt, 0);
+  x = graph.AddElementwise("stem.bn_relu", {x}, 0);
+  // Max-pool stride 2.
+  x = graph.AddResize("stem.pool", x, TensorShape({n, 56 * 56, kStemChannels}), 0);
+
+  const std::vector<int> blocks = config.BlocksPerStage();
+  int layer = 1;
+  int64_t spatial = 56 * 56;
+  for (size_t stage = 0; stage < blocks.size(); ++stage) {
+    const int64_t mid = config.base_channels << stage;
+    if (stage > 0) {
+      spatial /= 4;  // Stride-2 at the first block of stages 2-4.
+    }
+    for (int b = 0; b < blocks[stage]; ++b) {
+      const std::string prefix = StrFormat("s%zu.b%d", stage, b);
+      x = AddBottleneck(graph, config, prefix, x, mid, spatial, layer);
+      ++layer;
+    }
+  }
+
+  // Global average pool folded into the classifier einsum:
+  // logits[n,o] = x[n,s,c] * w[c,o] (contraction over s and c).
+  const Operator& feat = graph.op(x);
+  const int64_t c_last = feat.shape.dim(2);
+  const int fc =
+      graph.AddParameter("fc.w", TensorShape({c_last, config.num_classes}), dt, layer - 1);
+  EinsumSpec spec{"no",
+                  {"nsc", "co"},
+                  {{'n', n}, {'s', feat.shape.dim(1)}, {'c', c_last}, {'o', config.num_classes}}};
+  const int logits = graph.AddEinsum("logits", spec, {x, fc}, dt, layer - 1);
+  graph.AddLoss("xent", {logits, labels}, layer - 1);
+
+  if (config.build_backward) {
+    BuildTrainingGraph(graph);
+  }
+  graph.Validate();
+  return graph;
+}
+
+std::vector<WideResNetBenchmarkCase> WideResNetPaperCases() {
+  // Table 7: #layers, base channels, width factor, #gpus.
+  struct Row {
+    const char* name;
+    int64_t layers;
+    int64_t base;
+    int64_t wf;
+    int gpus;
+  };
+  const Row rows[] = {
+      {"WResNet-250M", 50, 160, 2, 1}, {"WResNet-1B", 50, 320, 2, 4},
+      {"WResNet-2B", 50, 448, 2, 8},   {"WResNet-4B", 50, 640, 2, 16},
+      {"WResNet-6.8B", 50, 320, 16, 32}, {"WResNet-13B", 101, 320, 16, 64},
+  };
+  std::vector<WideResNetBenchmarkCase> cases;
+  for (const Row& row : rows) {
+    WideResNetBenchmarkCase c;
+    c.name = row.name;
+    c.config.num_layers = row.layers;
+    c.config.base_channels = row.base;
+    c.config.width_factor = row.wf;
+    c.num_gpus = row.gpus;
+    cases.push_back(std::move(c));
+  }
+  return cases;
+}
+
+}  // namespace alpa

@@ -1,0 +1,48 @@
+// Wide-ResNet image classifier (Table 7 of the paper).
+//
+// Bottleneck ResNet (50 = [3,4,6,3] blocks, 101 = [3,4,23,3]) where the
+// 3x3 convolution of each bottleneck is widened by `width_factor`:
+// conv1x1 (in -> mid), conv3x3 (mid -> mid*wf), conv1x1 (mid*wf -> 4*mid),
+// with mid = base_channels * 2^stage. This reproduces Table 7's parameter
+// counts (linear in width factor, quadratic in base channels, linear in
+// depth). Convolutions are modeled as einsums over an implicit im2col
+// patch ("nsc,kcf->nsf" with k = kernel area), which preserves their FLOPs,
+// parameter shapes, and batch/channel sharding structure. fp32 training,
+// input 224x224x3, 1024 classes.
+#ifndef SRC_MODELS_WIDE_RESNET_H_
+#define SRC_MODELS_WIDE_RESNET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace alpa {
+
+struct WideResNetConfig {
+  int64_t microbatch = 32;
+  int64_t num_layers = 50;  // 50 or 101.
+  int64_t base_channels = 160;
+  int64_t width_factor = 2;
+  int64_t num_classes = 1024;
+  DType dtype = DType::kF32;
+  bool build_backward = true;
+
+  std::vector<int> BlocksPerStage() const;
+  int64_t NumParams() const;
+};
+
+struct WideResNetBenchmarkCase {
+  std::string name;
+  WideResNetConfig config;
+  int num_gpus = 1;
+  int64_t global_batch = 1536;
+};
+std::vector<WideResNetBenchmarkCase> WideResNetPaperCases();
+
+Graph BuildWideResNet(const WideResNetConfig& config);
+
+}  // namespace alpa
+
+#endif  // SRC_MODELS_WIDE_RESNET_H_

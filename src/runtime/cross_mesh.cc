@@ -1,0 +1,140 @@
+#include "src/runtime/cross_mesh.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/support/logging.h"
+
+namespace alpa {
+
+namespace {
+
+using Tile = std::vector<std::pair<int64_t, int64_t>>;
+
+double OverlapElements(const Tile& a, const Tile& b) {
+  double volume = 1.0;
+  for (size_t d = 0; d < a.size(); ++d) {
+    const int64_t lo = std::max(a[d].first, b[d].first);
+    const int64_t hi = std::min(a[d].second, b[d].second);
+    if (hi <= lo) {
+      return 0.0;
+    }
+    volume *= static_cast<double>(hi - lo);
+  }
+  return volume;
+}
+
+}  // namespace
+
+CrossMeshPlan PlanCrossMeshResharding(const DeviceMesh& src_mesh, const ShardingSpec& src_spec,
+                                      const DeviceMesh& dst_mesh, const ShardingSpec& dst_spec,
+                                      const TensorShape& shape, int64_t dtype_bytes,
+                                      ReshardStrategy strategy) {
+  CrossMeshPlan plan;
+  if (strategy == ReshardStrategy::kSignalOnly) {
+    plan.sends.push_back(CrossMeshTask{src_mesh.DeviceAt(0, 0), dst_mesh.DeviceAt(0, 0), 1.0});
+    plan.total_p2p_bytes = 1.0;
+    return plan;
+  }
+
+  // Distinct source tiles, with the replica devices holding each.
+  std::map<Tile, std::vector<int>> src_tiles;
+  for (int i = 0; i < src_mesh.dim(0); ++i) {
+    for (int j = 0; j < src_mesh.dim(1); ++j) {
+      src_tiles[src_spec.TileSlice(shape, src_mesh, i, j)].push_back(src_mesh.DeviceAt(i, j));
+    }
+  }
+
+  // Destination devices grouped by the tile they need (replication groups).
+  std::map<Tile, std::vector<int>> dst_groups;
+  for (int i = 0; i < dst_mesh.dim(0); ++i) {
+    for (int j = 0; j < dst_mesh.dim(1); ++j) {
+      dst_groups[dst_spec.TileSlice(shape, dst_mesh, i, j)].push_back(dst_mesh.DeviceAt(i, j));
+    }
+  }
+
+  double max_group_allgather = 0.0;
+  int dst_counter = 0;
+  for (const auto& [dst_tile, group] : dst_groups) {
+    const int group_size = static_cast<int>(group.size());
+    const bool use_allgather =
+        strategy == ReshardStrategy::kLocalAllGather && group_size > 1;
+    // Receivers over the slow path: all members (each fetching 1/|group| of
+    // the tile) when the local all-gather is on; every member fetching the
+    // full tile otherwise.
+    double tile_bytes = 0.0;
+    for (const auto& [src_tile, replicas] : src_tiles) {
+      const double overlap = OverlapElements(src_tile, dst_tile) * static_cast<double>(dtype_bytes);
+      if (overlap <= 0.0) {
+        continue;
+      }
+      tile_bytes += overlap;
+      for (int member = 0; member < group_size; ++member) {
+        const double bytes = use_allgather ? overlap / group_size : overlap;
+        // Round-robin over the source replicas to balance senders.
+        const int sender =
+            replicas[static_cast<size_t>((dst_counter + member) % static_cast<int>(replicas.size()))];
+        plan.sends.push_back(
+            CrossMeshTask{sender, group[static_cast<size_t>(member)], bytes});
+        plan.total_p2p_bytes += bytes;
+      }
+    }
+    if (use_allgather && tile_bytes > 0.0) {
+      // The group exchanges the tile over the destination mesh's fast
+      // links. Groups are uniform; they all-gather concurrently.
+      int axis = -1;
+      if (dst_spec.DimForAxis(0) < 0 && dst_spec.DimForAxis(1) < 0) {
+        max_group_allgather =
+            std::max(max_group_allgather, dst_mesh.AllGatherBothTime(tile_bytes));
+      } else {
+        axis = dst_spec.DimForAxis(0) < 0 ? 0 : 1;
+        max_group_allgather =
+            std::max(max_group_allgather, dst_mesh.AllGatherTime(tile_bytes, axis));
+      }
+    }
+    ++dst_counter;
+  }
+  plan.local_allgather_time = max_group_allgather;
+  return plan;
+}
+
+double CrossMeshPlan::EstimateTime(const ClusterSpec& cluster, bool cross_host) const {
+  const double bw = cross_host ? cluster.inter_host_bandwidth : cluster.intra_host_bandwidth;
+  const double alpha = cross_host ? cluster.inter_host_alpha : cluster.intra_host_alpha;
+  // Bytes through each host's NIC (out and in) and messages per device.
+  std::map<int, double> host_out;
+  std::map<int, double> host_in;
+  std::map<int, int> device_msgs;
+  for (const CrossMeshTask& task : sends) {
+    host_out[task.src_device / cluster.devices_per_host] += task.bytes;
+    host_in[task.dst_device / cluster.devices_per_host] += task.bytes;
+    device_msgs[task.src_device] += 1;
+    device_msgs[task.dst_device] += 1;
+  }
+  double bottleneck_bytes = 0.0;
+  for (const auto& [host, bytes] : host_out) {
+    bottleneck_bytes = std::max(bottleneck_bytes, bytes);
+  }
+  for (const auto& [host, bytes] : host_in) {
+    bottleneck_bytes = std::max(bottleneck_bytes, bytes);
+  }
+  int max_msgs = 0;
+  for (const auto& [device, count] : device_msgs) {
+    max_msgs = std::max(max_msgs, count);
+  }
+  return bottleneck_bytes / bw + max_msgs * alpha + local_allgather_time;
+}
+
+double CrossMeshReshardTime(const DeviceMesh& src_mesh, const ShardingSpec& src_spec,
+                            const DeviceMesh& dst_mesh, const ShardingSpec& dst_spec,
+                            const TensorShape& shape, int64_t dtype_bytes,
+                            ReshardStrategy strategy) {
+  const CrossMeshPlan plan = PlanCrossMeshResharding(src_mesh, src_spec, dst_mesh, dst_spec,
+                                                     shape, dtype_bytes, strategy);
+  const auto& a = src_mesh.placement();
+  const auto& b = dst_mesh.placement();
+  const bool cross_host = a.host_begin != b.host_begin || a.shape.num_hosts != b.shape.num_hosts;
+  return plan.EstimateTime(src_mesh.cluster(), cross_host);
+}
+
+}  // namespace alpa

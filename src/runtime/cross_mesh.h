@@ -1,0 +1,60 @@
+// Cross-mesh resharding (6, Fig. 7).
+//
+// Tensors crossing a stage boundary live on meshes with possibly different
+// shapes and sharding specs: a many-to-many multicast. The planner computes
+// tile correspondences between source and destination devices and emits P2P
+// send/recv tasks; the *local all-gather* optimization then lets each
+// replication group on the destination mesh receive only a 1/|group| slice
+// over the slow connection and exchange the rest over fast local links
+// (Fig. 7c), generalizing Megatron's scatter-gather trick to unequal mesh
+// shapes.
+#ifndef SRC_RUNTIME_CROSS_MESH_H_
+#define SRC_RUNTIME_CROSS_MESH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/tensor.h"
+#include "src/mesh/device_mesh.h"
+#include "src/spec/sharding_spec.h"
+
+namespace alpa {
+
+enum class ReshardStrategy {
+  kSignalOnly,      // Synthetic upper bound: 1 byte per boundary (7.5).
+  kNaiveSendRecv,   // Fig. 7b: every destination device receives its tile.
+  kLocalAllGather,  // Fig. 7c: slice across replicas + local all-gather.
+};
+
+struct CrossMeshTask {
+  int src_device = 0;  // Global device ids.
+  int dst_device = 0;
+  double bytes = 0.0;
+};
+
+struct CrossMeshPlan {
+  std::vector<CrossMeshTask> sends;
+  // Local all-gather time on the destination mesh (kLocalAllGather only).
+  double local_allgather_time = 0.0;
+  double total_p2p_bytes = 0.0;
+
+  // End-to-end time: per-host NIC bottleneck over the slow path + per-task
+  // latency + the local all-gather.
+  double EstimateTime(const ClusterSpec& cluster, bool cross_host) const;
+};
+
+CrossMeshPlan PlanCrossMeshResharding(const DeviceMesh& src_mesh, const ShardingSpec& src_spec,
+                                      const DeviceMesh& dst_mesh, const ShardingSpec& dst_spec,
+                                      const TensorShape& shape, int64_t dtype_bytes,
+                                      ReshardStrategy strategy);
+
+// Convenience: plan + estimate. `cross_host` is derived from the two
+// placements.
+double CrossMeshReshardTime(const DeviceMesh& src_mesh, const ShardingSpec& src_spec,
+                            const DeviceMesh& dst_mesh, const ShardingSpec& dst_spec,
+                            const TensorShape& shape, int64_t dtype_bytes,
+                            ReshardStrategy strategy);
+
+}  // namespace alpa
+
+#endif  // SRC_RUNTIME_CROSS_MESH_H_

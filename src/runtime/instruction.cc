@@ -1,0 +1,217 @@
+#include "src/runtime/instruction.h"
+
+#include <map>
+#include <set>
+
+#include "src/support/logging.h"
+#include "src/support/strings.h"
+
+namespace alpa {
+
+std::string ToString(InstructionKind kind) {
+  switch (kind) {
+    case InstructionKind::kAllocActivation:
+      return "ALLOC";
+    case InstructionKind::kRecvActivation:
+      return "RECV_ACT";
+    case InstructionKind::kForward:
+      return "FORWARD";
+    case InstructionKind::kSendActivation:
+      return "SEND_ACT";
+    case InstructionKind::kRecvGradient:
+      return "RECV_GRAD";
+    case InstructionKind::kBackward:
+      return "BACKWARD";
+    case InstructionKind::kSendGradient:
+      return "SEND_GRAD";
+    case InstructionKind::kFreeActivation:
+      return "FREE";
+    case InstructionKind::kWeightUpdate:
+      return "UPDATE";
+  }
+  return "?";
+}
+
+std::string MeshInstruction::ToString() const {
+  std::string result = alpa::ToString(kind);
+  if (microbatch >= 0) {
+    result += StrFormat(" mb=%d", microbatch);
+  }
+  if (peer_stage >= 0) {
+    result += StrFormat(" peer=%d", peer_stage);
+  }
+  return result;
+}
+
+std::string MeshProgram::ToString() const {
+  std::string result = StrFormat("mesh %d:\n", stage);
+  for (const MeshInstruction& inst : instructions) {
+    result += "  " + inst.ToString() + "\n";
+  }
+  return result;
+}
+
+std::vector<MeshProgram> EmitPipelinePrograms(PipelineScheduleType schedule, int num_stages,
+                                              int num_microbatches) {
+  const auto order = BuildPipelineSchedule(schedule, num_stages, num_microbatches);
+  std::vector<MeshProgram> programs(static_cast<size_t>(num_stages));
+  for (int s = 0; s < num_stages; ++s) {
+    MeshProgram& program = programs[static_cast<size_t>(s)];
+    program.stage = s;
+    for (const PipelineInstruction& step : order[static_cast<size_t>(s)]) {
+      switch (step.kind) {
+        case PipelineInstruction::Kind::kForward:
+          if (s > 0) {
+            program.instructions.push_back(
+                {InstructionKind::kRecvActivation, step.microbatch, s - 1});
+          }
+          program.instructions.push_back({InstructionKind::kAllocActivation, step.microbatch});
+          program.instructions.push_back({InstructionKind::kForward, step.microbatch});
+          if (s + 1 < num_stages) {
+            program.instructions.push_back(
+                {InstructionKind::kSendActivation, step.microbatch, s + 1});
+          }
+          break;
+        case PipelineInstruction::Kind::kBackward:
+          if (s + 1 < num_stages) {
+            program.instructions.push_back(
+                {InstructionKind::kRecvGradient, step.microbatch, s + 1});
+          }
+          program.instructions.push_back({InstructionKind::kBackward, step.microbatch});
+          program.instructions.push_back({InstructionKind::kFreeActivation, step.microbatch});
+          if (s > 0) {
+            program.instructions.push_back(
+                {InstructionKind::kSendGradient, step.microbatch, s - 1});
+          }
+          break;
+        case PipelineInstruction::Kind::kUpdate:
+          program.instructions.push_back({InstructionKind::kWeightUpdate, -1});
+          break;
+      }
+    }
+  }
+  return programs;
+}
+
+namespace {
+
+bool IsSend(InstructionKind kind) {
+  return kind == InstructionKind::kSendActivation || kind == InstructionKind::kSendGradient;
+}
+
+bool IsRecv(InstructionKind kind) {
+  return kind == InstructionKind::kRecvActivation || kind == InstructionKind::kRecvGradient;
+}
+
+// The matching receive kind for a send.
+InstructionKind Counterpart(InstructionKind kind) {
+  switch (kind) {
+    case InstructionKind::kSendActivation:
+      return InstructionKind::kRecvActivation;
+    case InstructionKind::kSendGradient:
+      return InstructionKind::kRecvGradient;
+    default:
+      return kind;
+  }
+}
+
+}  // namespace
+
+std::string ValidatePrograms(const std::vector<MeshProgram>& programs, int num_microbatches) {
+  // --- Per-program buffer discipline. ---
+  for (const MeshProgram& program : programs) {
+    std::set<int> live;
+    std::set<int> freed;
+    for (const MeshInstruction& inst : program.instructions) {
+      switch (inst.kind) {
+        case InstructionKind::kAllocActivation:
+          if (live.count(inst.microbatch) != 0) {
+            return StrFormat("stage %d: double alloc of mb %d", program.stage, inst.microbatch);
+          }
+          live.insert(inst.microbatch);
+          break;
+        case InstructionKind::kForward:
+        case InstructionKind::kBackward:
+          if (live.count(inst.microbatch) == 0) {
+            return StrFormat("stage %d: compute on unallocated mb %d", program.stage,
+                             inst.microbatch);
+          }
+          break;
+        case InstructionKind::kFreeActivation:
+          if (live.count(inst.microbatch) == 0) {
+            return StrFormat("stage %d: free of unallocated mb %d", program.stage,
+                             inst.microbatch);
+          }
+          live.erase(inst.microbatch);
+          freed.insert(inst.microbatch);
+          break;
+        default:
+          break;
+      }
+    }
+    if (!live.empty()) {
+      return StrFormat("stage %d: %zu activation buffers leaked", program.stage, live.size());
+    }
+    if (static_cast<int>(freed.size()) != num_microbatches) {
+      return StrFormat("stage %d: freed %zu of %d microbatches", program.stage, freed.size(),
+                       num_microbatches);
+    }
+  }
+
+  // --- Send/recv matching: multiset of (src, dst, kind, mb) must pair up. ---
+  std::map<std::tuple<int, int, InstructionKind, int>, int> balance;
+  for (const MeshProgram& program : programs) {
+    for (const MeshInstruction& inst : program.instructions) {
+      if (IsSend(inst.kind)) {
+        balance[{program.stage, inst.peer_stage, Counterpart(inst.kind), inst.microbatch}] += 1;
+      } else if (IsRecv(inst.kind)) {
+        balance[{inst.peer_stage, program.stage, inst.kind, inst.microbatch}] -= 1;
+      }
+    }
+  }
+  for (const auto& [key, count] : balance) {
+    if (count != 0) {
+      return StrFormat("unmatched transfer src=%d dst=%d mb=%d (balance %d)",
+                       std::get<0>(key), std::get<1>(key), std::get<3>(key), count);
+    }
+  }
+
+  // --- Deadlock freedom under rendezvous semantics: run all programs with
+  // program counters; an instruction blocks only on its matching peer
+  // transfer having completed (asynchronous sends with in-order delivery:
+  // a recv can complete once the peer has *issued* the matching send). ---
+  std::vector<size_t> pc(programs.size(), 0);
+  std::map<std::tuple<int, int, InstructionKind, int>, int> delivered;
+  // First pass conservative loop: repeat until no progress.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (const MeshProgram& program : programs) {
+      auto& counter = pc[static_cast<size_t>(program.stage)];
+      while (counter < program.instructions.size()) {
+        const MeshInstruction& inst = program.instructions[counter];
+        if (IsRecv(inst.kind)) {
+          auto key = std::make_tuple(inst.peer_stage, program.stage, inst.kind, inst.microbatch);
+          if (delivered[key] <= 0) {
+            break;  // Blocked on the peer's send.
+          }
+          delivered[key] -= 1;
+        } else if (IsSend(inst.kind)) {
+          delivered[{program.stage, inst.peer_stage, Counterpart(inst.kind),
+                     inst.microbatch}] += 1;
+        }
+        ++counter;
+        progress = true;
+      }
+    }
+  }
+  for (size_t s = 0; s < programs.size(); ++s) {
+    if (pc[s] != programs[s].instructions.size()) {
+      return StrFormat("deadlock: stage %zu blocked at '%s'", s,
+                       programs[s].instructions[pc[s]].ToString().c_str());
+    }
+  }
+  return "";
+}
+
+}  // namespace alpa

@@ -1,0 +1,64 @@
+// Static per-mesh execution instructions (6, "Generating Pipeline Execution
+// Instructions").
+//
+// Alpa's runtime is MPMD: a driver generates a distinct static instruction
+// list per device mesh ahead of time — memory allocation, computation,
+// cross-mesh communication, synchronization — and dispatches whole lists to
+// the workers, avoiding driver-worker coordination during the iteration.
+// This module emits those lists from a pipeline schedule and validates the
+// properties the runtime relies on: every send has a matching receive in
+// the peer's program order, buffers are allocated before use and freed
+// exactly once, and in-order execution of all programs cannot deadlock.
+#ifndef SRC_RUNTIME_INSTRUCTION_H_
+#define SRC_RUNTIME_INSTRUCTION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/runtime/pipeline_schedule.h"
+
+namespace alpa {
+
+enum class InstructionKind {
+  kAllocActivation,  // Reserve the activation buffer of one microbatch.
+  kRecvActivation,   // Cross-mesh receive from the previous stage.
+  kForward,          // Run the stage's forward executable.
+  kSendActivation,   // Cross-mesh send to the next stage.
+  kRecvGradient,     // Cross-mesh receive from the next stage.
+  kBackward,         // Run the stage's backward executable.
+  kSendGradient,     // Cross-mesh send to the previous stage.
+  kFreeActivation,   // Release the microbatch's activation buffer.
+  kWeightUpdate,     // Apply accumulated gradients (once per iteration).
+};
+
+std::string ToString(InstructionKind kind);
+
+struct MeshInstruction {
+  InstructionKind kind = InstructionKind::kForward;
+  int microbatch = -1;   // -1 for kWeightUpdate.
+  int peer_stage = -1;   // For send/recv: the other side.
+  std::string ToString() const;
+};
+
+struct MeshProgram {
+  int stage = 0;
+  std::vector<MeshInstruction> instructions;
+  std::string ToString() const;
+};
+
+// Emits one static program per stage for the given schedule.
+std::vector<MeshProgram> EmitPipelinePrograms(PipelineScheduleType schedule, int num_stages,
+                                              int num_microbatches);
+
+// Structural validation. Returns an empty string when the programs are
+// well-formed, otherwise a description of the first violation found:
+//   * every send has a matching recv on the peer (same microbatch, same
+//     tensor direction), and vice versa;
+//   * activations are allocated before compute/send and freed exactly once;
+//   * executing all programs in order with rendezvous send/recv semantics
+//     terminates (no deadlock).
+std::string ValidatePrograms(const std::vector<MeshProgram>& programs, int num_microbatches);
+
+}  // namespace alpa
+
+#endif  // SRC_RUNTIME_INSTRUCTION_H_

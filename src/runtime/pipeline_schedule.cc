@@ -1,0 +1,58 @@
+#include "src/runtime/pipeline_schedule.h"
+
+#include <algorithm>
+
+#include "src/support/logging.h"
+
+namespace alpa {
+
+std::vector<std::vector<PipelineInstruction>> BuildPipelineSchedule(PipelineScheduleType type,
+                                                                    int num_stages,
+                                                                    int num_microbatches) {
+  ALPA_CHECK_GT(num_stages, 0);
+  ALPA_CHECK_GT(num_microbatches, 0);
+  std::vector<std::vector<PipelineInstruction>> schedule(static_cast<size_t>(num_stages));
+  using Kind = PipelineInstruction::Kind;
+  for (int s = 0; s < num_stages; ++s) {
+    auto& program = schedule[static_cast<size_t>(s)];
+    if (type == PipelineScheduleType::kGpipe) {
+      for (int i = 0; i < num_microbatches; ++i) {
+        program.push_back({Kind::kForward, i});
+      }
+      for (int i = 0; i < num_microbatches; ++i) {
+        program.push_back({Kind::kBackward, i});
+      }
+    } else {
+      // 1F1B: warm up with (S - 1 - s) forwards, then alternate.
+      const int warmup = std::min(num_stages - 1 - s, num_microbatches);
+      int fwd = 0;
+      int bwd = 0;
+      for (int k = 0; k < warmup; ++k) {
+        program.push_back({Kind::kForward, fwd++});
+      }
+      while (fwd < num_microbatches) {
+        program.push_back({Kind::kForward, fwd++});
+        program.push_back({Kind::kBackward, bwd++});
+      }
+      while (bwd < num_microbatches) {
+        program.push_back({Kind::kBackward, bwd++});
+      }
+    }
+    program.push_back({Kind::kUpdate, -1});
+  }
+  return schedule;
+}
+
+int MaxInFlightMicrobatches(PipelineScheduleType type, int num_stages, int stage,
+                            int num_microbatches) {
+  if (type == PipelineScheduleType::kGpipe) {
+    return num_microbatches;
+  }
+  return std::min(num_stages - stage, num_microbatches);
+}
+
+std::string ToString(PipelineScheduleType type) {
+  return type == PipelineScheduleType::kGpipe ? "gpipe" : "1f1b";
+}
+
+}  // namespace alpa

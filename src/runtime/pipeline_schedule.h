@@ -1,0 +1,43 @@
+// Static pipeline execution instruction generation (6).
+//
+// Alpa's runtime is MPMD: each mesh receives its own static instruction
+// list ahead of time (no driver-worker coordination during the iteration).
+// We generate the 1F1B schedule (the paper's default: synchronous, same
+// latency as GPipe, lower peak memory) and GPipe for comparison.
+#ifndef SRC_RUNTIME_PIPELINE_SCHEDULE_H_
+#define SRC_RUNTIME_PIPELINE_SCHEDULE_H_
+
+#include <string>
+#include <vector>
+
+namespace alpa {
+
+enum class PipelineScheduleType {
+  kGpipe,
+  k1F1B,
+};
+
+struct PipelineInstruction {
+  enum class Kind {
+    kForward,   // Run forward for one microbatch (recv activation implied).
+    kBackward,  // Run backward for one microbatch (recv gradient implied).
+    kUpdate,    // Apply gradients (once, after all microbatches).
+  };
+  Kind kind = Kind::kForward;
+  int microbatch = -1;
+};
+
+// instructions[s] is the static in-order program of stage s.
+std::vector<std::vector<PipelineInstruction>> BuildPipelineSchedule(
+    PipelineScheduleType type, int num_stages, int num_microbatches);
+
+// Maximum number of microbatches whose activations stage s holds at once
+// under the schedule (S - s for 1F1B, B for GPipe).
+int MaxInFlightMicrobatches(PipelineScheduleType type, int num_stages, int stage,
+                            int num_microbatches);
+
+std::string ToString(PipelineScheduleType type);
+
+}  // namespace alpa
+
+#endif  // SRC_RUNTIME_PIPELINE_SCHEDULE_H_

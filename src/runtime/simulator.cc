@@ -1,0 +1,143 @@
+#include "src/runtime/simulator.h"
+
+#include <algorithm>
+
+#include "src/support/logging.h"
+#include "src/support/strings.h"
+
+namespace alpa {
+
+PipelineSimResult SimulatePipeline(const PipelineSimInput& input) {
+  const int num_stages = static_cast<int>(input.stages.size());
+  const int num_microbatches = input.num_microbatches;
+  ALPA_CHECK_GT(num_stages, 0);
+  const auto schedule =
+      BuildPipelineSchedule(input.schedule, num_stages, num_microbatches);
+
+  PipelineSimResult result;
+  result.stage_busy_seconds.assign(static_cast<size_t>(num_stages), 0.0);
+  result.stage_peak_bytes.assign(static_cast<size_t>(num_stages), 0.0);
+
+  // Completion times, indexed [stage][microbatch].
+  const auto idx = [&](int s, int i) {
+    return static_cast<size_t>(s) * static_cast<size_t>(num_microbatches) +
+           static_cast<size_t>(i);
+  };
+  std::vector<double> fwd_done(static_cast<size_t>(num_stages * num_microbatches), -1.0);
+  std::vector<double> bwd_done(static_cast<size_t>(num_stages * num_microbatches), -1.0);
+  std::vector<size_t> pc(static_cast<size_t>(num_stages), 0);  // Program counters.
+  std::vector<double> free_at(static_cast<size_t>(num_stages), 0.0);
+  std::vector<double> memory(static_cast<size_t>(num_stages));
+  std::vector<double> update_done(static_cast<size_t>(num_stages), -1.0);
+  for (int s = 0; s < num_stages; ++s) {
+    memory[static_cast<size_t>(s)] =
+        input.stages[static_cast<size_t>(s)].weight_bytes +
+        input.stages[static_cast<size_t>(s)].work_bytes;
+    result.stage_peak_bytes[static_cast<size_t>(s)] = memory[static_cast<size_t>(s)];
+  }
+
+  using Kind = PipelineInstruction::Kind;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (int s = 0; s < num_stages; ++s) {
+      auto& program = schedule[static_cast<size_t>(s)];
+      while (pc[static_cast<size_t>(s)] < program.size()) {
+        const PipelineInstruction& inst = program[pc[static_cast<size_t>(s)]];
+        const StageExecProfile& profile = input.stages[static_cast<size_t>(s)];
+        double ready = free_at[static_cast<size_t>(s)];
+        double duration = 0.0;
+        bool blocked = false;
+        switch (inst.kind) {
+          case Kind::kForward: {
+            if (s > 0) {
+              const double upstream = fwd_done[idx(s - 1, inst.microbatch)];
+              if (upstream < 0.0) {
+                blocked = true;
+                break;
+              }
+              ready = std::max(
+                  ready, upstream + input.stages[static_cast<size_t>(s - 1)].t_send_next);
+            }
+            duration = profile.t_forward;
+            break;
+          }
+          case Kind::kBackward: {
+            if (s + 1 < num_stages) {
+              const double downstream = bwd_done[idx(s + 1, inst.microbatch)];
+              if (downstream < 0.0) {
+                blocked = true;
+                break;
+              }
+              ready = std::max(ready, downstream + profile.t_send_next);
+            } else {
+              // The last stage starts backward right after its forward.
+              const double own = fwd_done[idx(s, inst.microbatch)];
+              if (own < 0.0) {
+                blocked = true;
+                break;
+              }
+              ready = std::max(ready, own);
+            }
+            duration = profile.t_backward;
+            break;
+          }
+          case Kind::kUpdate: {
+            duration = profile.t_update;
+            break;
+          }
+        }
+        if (blocked) {
+          break;
+        }
+        const double finish = ready + duration;
+        free_at[static_cast<size_t>(s)] = finish;
+        result.stage_busy_seconds[static_cast<size_t>(s)] += duration;
+        if (input.record_timeline) {
+          result.timeline.push_back(StageEvent{s, inst.kind, inst.microbatch, ready, finish});
+        }
+        switch (inst.kind) {
+          case Kind::kForward:
+            fwd_done[idx(s, inst.microbatch)] = finish;
+            memory[static_cast<size_t>(s)] += profile.act_bytes_per_microbatch;
+            result.stage_peak_bytes[static_cast<size_t>(s)] = std::max(
+                result.stage_peak_bytes[static_cast<size_t>(s)], memory[static_cast<size_t>(s)]);
+            break;
+          case Kind::kBackward:
+            bwd_done[idx(s, inst.microbatch)] = finish;
+            memory[static_cast<size_t>(s)] -= profile.act_bytes_per_microbatch;
+            break;
+          case Kind::kUpdate:
+            update_done[static_cast<size_t>(s)] = finish;
+            break;
+        }
+        pc[static_cast<size_t>(s)]++;
+        progress = true;
+      }
+    }
+  }
+  for (int s = 0; s < num_stages; ++s) {
+    ALPA_CHECK_EQ(pc[static_cast<size_t>(s)], schedule[static_cast<size_t>(s)].size())
+        << "Pipeline deadlocked at stage " << s;
+    result.latency = std::max(result.latency, update_done[static_cast<size_t>(s)]);
+    if (result.stage_peak_bytes[static_cast<size_t>(s)] > input.device_memory_bytes &&
+        result.first_oom_stage < 0) {
+      result.oom = true;
+      result.first_oom_stage = s;
+    }
+  }
+  double max_busy = 0.0;
+  for (double busy : result.stage_busy_seconds) {
+    max_busy = std::max(max_busy, busy);
+  }
+  result.bubble_fraction = result.latency > 0.0 ? 1.0 - max_busy / result.latency : 0.0;
+  return result;
+}
+
+std::string PipelineSimResult::ToString() const {
+  std::string out = StrFormat("latency=%s bubble=%.1f%%%s", HumanSeconds(latency).c_str(),
+                              bubble_fraction * 100.0, oom ? " OOM" : "");
+  return out;
+}
+
+}  // namespace alpa

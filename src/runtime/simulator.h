@@ -1,0 +1,69 @@
+// Discrete-event execution of the static pipeline instruction lists.
+//
+// The paper's runtime dispatches precomputed per-mesh instruction lists and
+// lets meshes run asynchronously, synchronizing only on cross-mesh
+// send/recv. The simulator reproduces that: each stage executes its program
+// in order; a Forward(i) waits for the upstream Forward(i) plus the
+// cross-mesh transfer, a Backward(i) for the downstream Backward(i). It
+// tracks per-stage memory (weights + in-flight activations) against the
+// device capacity and reports latency, per-stage utilization, and the
+// pipeline bubble fraction.
+#ifndef SRC_RUNTIME_SIMULATOR_H_
+#define SRC_RUNTIME_SIMULATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/runtime/pipeline_schedule.h"
+
+namespace alpa {
+
+// Execution profile of one stage, as produced by the inter-op pass.
+struct StageExecProfile {
+  double t_forward = 0.0;   // Per microbatch.
+  double t_backward = 0.0;  // Per microbatch.
+  double t_update = 0.0;    // Once per iteration (grad sync + optimizer).
+  // Transfer time of one microbatch's activations to the NEXT stage
+  // (gradients flow back over the same boundary at the same cost).
+  double t_send_next = 0.0;
+  // Per-device memory.
+  double weight_bytes = 0.0;
+  double act_bytes_per_microbatch = 0.0;
+  double work_bytes = 0.0;
+};
+
+struct PipelineSimInput {
+  std::vector<StageExecProfile> stages;
+  int num_microbatches = 1;
+  PipelineScheduleType schedule = PipelineScheduleType::k1F1B;
+  double device_memory_bytes = 16e9;
+  // Record per-instruction (start, end) events for timeline rendering.
+  bool record_timeline = false;
+};
+
+// One executed instruction, for timeline visualization.
+struct StageEvent {
+  int stage = 0;
+  PipelineInstruction::Kind kind = PipelineInstruction::Kind::kForward;
+  int microbatch = -1;
+  double start = 0.0;
+  double end = 0.0;
+};
+
+struct PipelineSimResult {
+  double latency = 0.0;  // Iteration makespan.
+  bool oom = false;
+  int first_oom_stage = -1;
+  std::vector<double> stage_busy_seconds;
+  std::vector<double> stage_peak_bytes;
+  // 1 - busy(bottleneck stage)/latency.
+  double bubble_fraction = 0.0;
+  std::vector<StageEvent> timeline;  // Only when input.record_timeline.
+  std::string ToString() const;
+};
+
+PipelineSimResult SimulatePipeline(const PipelineSimInput& input);
+
+}  // namespace alpa
+
+#endif  // SRC_RUNTIME_SIMULATOR_H_

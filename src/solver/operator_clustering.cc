@@ -1,0 +1,253 @@
+#include "src/solver/operator_clustering.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/support/logging.h"
+
+namespace alpa {
+
+std::vector<int> ForwardComputeOps(const Graph& graph) {
+  std::vector<int> ops;
+  for (const Operator& op : graph.ops()) {
+    if (op.role == OpRole::kForward && op.type != OpType::kParameter &&
+        op.type != OpType::kInput) {
+      ops.push_back(op.id);
+    }
+  }
+  return ops;
+}
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// C(i, k): bytes of distinct activation tensors consumed by fwd ops
+// [i, k] (positions in `fwd`) but produced by fwd ops before position i.
+// Parameters and raw inputs are not transferred between layers.
+std::vector<std::vector<double>> ComputeBoundaryBytes(const Graph& graph,
+                                                      const std::vector<int>& fwd) {
+  const int k_ops = static_cast<int>(fwd.size());
+  // Map op id -> position in fwd (or -1).
+  std::vector<int> position(static_cast<size_t>(graph.size()), -1);
+  for (int p = 0; p < k_ops; ++p) {
+    position[static_cast<size_t>(fwd[static_cast<size_t>(p)])] = p;
+  }
+  std::vector<std::vector<double>> c(static_cast<size_t>(k_ops),
+                                     std::vector<double>(static_cast<size_t>(k_ops), 0.0));
+  std::vector<int> counted(static_cast<size_t>(graph.size()), -1);
+  for (int i = 0; i < k_ops; ++i) {
+    double bytes = 0.0;
+    for (int k = i; k < k_ops; ++k) {
+      const Operator& op = graph.op(fwd[static_cast<size_t>(k)]);
+      for (int operand : op.operands) {
+        const Operator& producer = graph.op(operand);
+        if (producer.type == OpType::kParameter || producer.type == OpType::kInput) {
+          continue;
+        }
+        const int producer_pos = position[static_cast<size_t>(operand)];
+        if (producer_pos >= 0 && producer_pos < i && counted[static_cast<size_t>(operand)] != i) {
+          counted[static_cast<size_t>(operand)] = i;
+          bytes += static_cast<double>(producer.OutputBytes());
+        }
+      }
+      c[static_cast<size_t>(i)][static_cast<size_t>(k)] = bytes;
+    }
+  }
+  return c;
+}
+
+ClusteringResult ClusterEqualOperator(const Graph& graph, const std::vector<int>& fwd,
+                                      int num_layers) {
+  ClusteringResult result;
+  const int k_ops = static_cast<int>(fwd.size());
+  result.feasible = true;
+  result.num_layers = std::min(num_layers, k_ops);
+  result.layer_of_forward_op.resize(static_cast<size_t>(k_ops));
+  for (int p = 0; p < k_ops; ++p) {
+    result.layer_of_forward_op[static_cast<size_t>(p)] =
+        std::min(result.num_layers - 1,
+                 p * result.num_layers / std::max(1, k_ops));
+  }
+  return result;
+}
+
+}  // namespace
+
+// Eq. 5 DP under a hard FLOP cap; infeasible when no partition satisfies it.
+ClusteringResult ClusterStrict(const Graph& graph, const ClusteringOptions& options,
+                               const std::vector<int>& fwd, int num_layers);
+
+ClusteringResult ClusterOperators(const Graph& graph, const ClusteringOptions& options) {
+  const std::vector<int> fwd = ForwardComputeOps(graph);
+  const int k_ops = static_cast<int>(fwd.size());
+  ALPA_CHECK_GT(k_ops, 0);
+  const int num_layers = std::min(options.num_layers, k_ops);
+
+  if (options.method == ClusteringMethod::kEqualOperator) {
+    return ClusterEqualOperator(graph, fwd, num_layers);
+  }
+  // The FLOP cap can be infeasible when one op dominates (small MLPs);
+  // relax delta progressively, then fall back to equal-operator splitting.
+  if (options.delta < 16.0) {
+    ClusteringResult result = ClusterOperators(
+        graph, ClusteringOptions{options.num_layers, 1e9, ClusteringMethod::kDpCommBalanced});
+    if (result.feasible) {
+      ClusteringOptions strict = options;
+      ClusteringResult strict_result;
+      for (double delta = options.delta; delta < 16.0; delta *= 2.0) {
+        strict.delta = delta;
+        strict_result = ClusterStrict(graph, strict, fwd, num_layers);
+        if (strict_result.feasible) {
+          return strict_result;
+        }
+      }
+      return result;  // Unbounded-delta DP still beats equal-operator.
+    }
+    return ClusterEqualOperator(graph, fwd, num_layers);
+  }
+
+  return ClusterStrict(graph, options, fwd, num_layers);
+}
+
+ClusteringResult ClusterStrict(const Graph& graph, const ClusteringOptions& options,
+                               const std::vector<int>& fwd, int num_layers) {
+  const int k_ops = static_cast<int>(fwd.size());
+  // --- Eq. 5 DP. ---
+  std::vector<double> flops(static_cast<size_t>(k_ops));
+  double total_flops = 0.0;
+  double max_single = 0.0;
+  for (int p = 0; p < k_ops; ++p) {
+    flops[static_cast<size_t>(p)] = graph.op(fwd[static_cast<size_t>(p)]).flops;
+    total_flops += flops[static_cast<size_t>(p)];
+    max_single = std::max(max_single, flops[static_cast<size_t>(p)]);
+  }
+  const double avg = total_flops / num_layers;
+  // Cap must admit at least single-op layers.
+  const double flop_cap = std::max((1.0 + options.delta) * avg, max_single);
+
+  const std::vector<std::vector<double>> boundary = ComputeBoundaryBytes(graph, fwd);
+  std::vector<double> prefix_flops(static_cast<size_t>(k_ops) + 1, 0.0);
+  for (int p = 0; p < k_ops; ++p) {
+    prefix_flops[static_cast<size_t>(p) + 1] = prefix_flops[static_cast<size_t>(p)] + flops[static_cast<size_t>(p)];
+  }
+
+  // g[r][k]: clustering ops [0, k] into r layers. Primary objective: the
+  // bottleneck communication (Eq. 5); secondary: sum of squared per-layer
+  // FLOP deviations from the average (uniformity tie-break).
+  struct Cell {
+    double comm = kInf;
+    double var = kInf;
+    int split = -1;  // First op of the last layer.
+  };
+  std::vector<std::vector<Cell>> g(static_cast<size_t>(num_layers) + 1,
+                                   std::vector<Cell>(static_cast<size_t>(k_ops)));
+
+  auto layer_flops = [&](int i, int k) {
+    return prefix_flops[static_cast<size_t>(k) + 1] - prefix_flops[static_cast<size_t>(i)];
+  };
+  auto deviation = [&](int i, int k) {
+    const double d = layer_flops(i, k) - avg;
+    return d * d;
+  };
+
+  for (int k = 0; k < k_ops; ++k) {
+    if (layer_flops(0, k) <= flop_cap) {
+      g[1][static_cast<size_t>(k)] = Cell{boundary[0][static_cast<size_t>(k)], deviation(0, k), 0};
+    }
+  }
+  for (int r = 2; r <= num_layers; ++r) {
+    for (int k = r - 1; k < k_ops; ++k) {
+      Cell best;
+      for (int i = k; i >= r - 1; --i) {
+        if (layer_flops(i, k) > flop_cap) {
+          break;  // Larger layers only grow; flops are nonnegative.
+        }
+        const Cell& prev = g[static_cast<size_t>(r) - 1][static_cast<size_t>(i) - 1];
+        if (!std::isfinite(prev.comm)) {
+          continue;
+        }
+        const double comm = std::max(prev.comm, boundary[static_cast<size_t>(i)][static_cast<size_t>(k)]);
+        const double var = prev.var + deviation(i, k);
+        if (comm < best.comm - 1e-9 || (std::abs(comm - best.comm) <= 1e-9 && var < best.var)) {
+          best = Cell{comm, var, i};
+        }
+      }
+      g[static_cast<size_t>(r)][static_cast<size_t>(k)] = best;
+    }
+  }
+
+  ClusteringResult result;
+  const Cell& final_cell = g[static_cast<size_t>(num_layers)][static_cast<size_t>(k_ops) - 1];
+  if (!std::isfinite(final_cell.comm)) {
+    return result;  // Infeasible under the FLOP cap.
+  }
+  result.feasible = true;
+  result.num_layers = num_layers;
+  result.bottleneck_comm_bytes = final_cell.comm;
+  result.layer_of_forward_op.assign(static_cast<size_t>(k_ops), 0);
+  int k = k_ops - 1;
+  for (int r = num_layers; r >= 1; --r) {
+    const Cell& cell = g[static_cast<size_t>(r)][static_cast<size_t>(k)];
+    ALPA_CHECK_GE(cell.split, 0);
+    for (int p = cell.split; p <= k; ++p) {
+      result.layer_of_forward_op[static_cast<size_t>(p)] = r - 1;
+    }
+    k = cell.split - 1;
+  }
+  ALPA_CHECK_EQ(k, -1);
+  return result;
+}
+
+void AssignLayers(Graph& graph, const ClusteringResult& clustering) {
+  ALPA_CHECK(clustering.feasible);
+  const std::vector<int> fwd = ForwardComputeOps(graph);
+  ALPA_CHECK_EQ(fwd.size(), clustering.layer_of_forward_op.size());
+
+  for (int id = 0; id < graph.size(); ++id) {
+    graph.mutable_op(id).layer = -1;
+  }
+  for (size_t p = 0; p < fwd.size(); ++p) {
+    graph.mutable_op(fwd[p]).layer = clustering.layer_of_forward_op[p];
+  }
+  // Backward ops follow their forward op; updates follow their parameter's
+  // consumers. Two passes: first propagate to backward, then leaves.
+  for (int id = 0; id < graph.size(); ++id) {
+    Operator& op = graph.mutable_op(id);
+    if (op.layer >= 0) {
+      continue;
+    }
+    if (op.forward_id >= 0) {
+      op.layer = graph.op(op.forward_id).layer;
+    }
+  }
+  // Parameters and inputs: earliest consumer's layer.
+  const auto consumers = graph.Consumers();
+  for (int id = 0; id < graph.size(); ++id) {
+    Operator& op = graph.mutable_op(id);
+    if (op.layer >= 0 || (op.type != OpType::kParameter && op.type != OpType::kInput)) {
+      continue;
+    }
+    int layer = std::numeric_limits<int>::max();
+    for (int consumer : consumers[static_cast<size_t>(id)]) {
+      if (graph.op(consumer).layer >= 0) {
+        layer = std::min(layer, graph.op(consumer).layer);
+      }
+    }
+    op.layer = (layer == std::numeric_limits<int>::max()) ? 0 : layer;
+  }
+  // Updates: the parameter's layer.
+  for (int id = 0; id < graph.size(); ++id) {
+    Operator& op = graph.mutable_op(id);
+    if (op.layer < 0 && op.param_id >= 0) {
+      op.layer = graph.op(op.param_id).layer;
+    }
+    if (op.layer < 0) {
+      // Residual grad-accumulation or loss-side ops without forward link.
+      op.layer = graph.NumLayers() > 0 ? graph.NumLayers() - 1 : 0;
+    }
+  }
+}
+
+}  // namespace alpa

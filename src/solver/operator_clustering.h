@@ -1,0 +1,52 @@
+// Operator clustering DP (5.2, Eq. 5, performance optimization #2).
+//
+// Clusters the forward operators of a graph into L layers, minimizing the
+// maximum bytes any layer receives from earlier layers, subject to each
+// layer's FLOP count staying within (1 + delta) of the per-layer average.
+// Ties are broken towards uniform per-layer FLOPs. Backward ops inherit the
+// layer of their forward op (colocation constraint, 5.1); parameters,
+// inputs and updates inherit the layer of their consumer/parameter.
+#ifndef SRC_SOLVER_OPERATOR_CLUSTERING_H_
+#define SRC_SOLVER_OPERATOR_CLUSTERING_H_
+
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace alpa {
+
+enum class ClusteringMethod {
+  kDpCommBalanced,  // The paper's DP (Eq. 5).
+  kEqualOperator,   // Baseline: equal number of operators per layer (7.3).
+};
+
+struct ClusteringOptions {
+  int num_layers = 8;
+  double delta = 0.5;  // FLOP imbalance tolerance.
+  ClusteringMethod method = ClusteringMethod::kDpCommBalanced;
+};
+
+struct ClusteringResult {
+  bool feasible = false;
+  int num_layers = 0;
+  // Max bytes received by any single layer from earlier layers.
+  double bottleneck_comm_bytes = 0.0;
+  // For each forward compute op (in the order returned by
+  // ForwardComputeOps), the assigned layer.
+  std::vector<int> layer_of_forward_op;
+};
+
+// The forward compute ops of `graph` in topological (id) order, excluding
+// parameters and inputs.
+std::vector<int> ForwardComputeOps(const Graph& graph);
+
+ClusteringResult ClusterOperators(const Graph& graph, const ClusteringOptions& options);
+
+// Writes layer tags into `graph` for ALL ops based on a clustering of the
+// forward compute ops: backward ops get their forward op's layer, updates
+// their parameter's layer, parameters/inputs the earliest consumer's layer.
+void AssignLayers(Graph& graph, const ClusteringResult& clustering);
+
+}  // namespace alpa
+
+#endif  // SRC_SOLVER_OPERATOR_CLUSTERING_H_

@@ -1,0 +1,230 @@
+#include "src/spec/sharding_spec.h"
+
+#include <algorithm>
+
+#include "src/support/logging.h"
+
+namespace alpa {
+
+namespace {
+
+bool UsesAxis(DimSharding s, int axis) {
+  switch (s) {
+    case DimSharding::kR:
+      return false;
+    case DimSharding::kS0:
+      return axis == 0;
+    case DimSharding::kS1:
+      return axis == 1;
+    case DimSharding::kS01:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+ShardingSpec ShardingSpec::Replicated(int rank) {
+  ShardingSpec spec;
+  spec.dims_.assign(static_cast<size_t>(rank), DimSharding::kR);
+  return spec;
+}
+
+ShardingSpec ShardingSpec::Make(std::vector<DimSharding> dims) {
+  ShardingSpec spec;
+  spec.dims_ = std::move(dims);
+  for (int axis = 0; axis < 2; ++axis) {
+    int uses = 0;
+    for (DimSharding s : spec.dims_) {
+      uses += UsesAxis(s, axis) ? 1 : 0;
+    }
+    ALPA_CHECK_LE(uses, 1) << "Mesh axis " << axis << " shards multiple dims in "
+                           << spec.ToString();
+  }
+  return spec;
+}
+
+ShardingSpec ShardingSpec::OneDim(int rank, int d, DimSharding sharding) {
+  std::vector<DimSharding> dims(static_cast<size_t>(rank), DimSharding::kR);
+  ALPA_CHECK_GE(d, 0);
+  ALPA_CHECK_LT(d, rank);
+  dims[static_cast<size_t>(d)] = sharding;
+  return Make(std::move(dims));
+}
+
+int ShardingSpec::DimForAxis(int axis) const {
+  for (int d = 0; d < rank(); ++d) {
+    if (UsesAxis(dims_[static_cast<size_t>(d)], axis)) {
+      return d;
+    }
+  }
+  return -1;
+}
+
+bool ShardingSpec::IsFullyReplicated() const {
+  return std::all_of(dims_.begin(), dims_.end(),
+                     [](DimSharding s) { return s == DimSharding::kR; });
+}
+
+int64_t ShardingSpec::ShardsForDim(int d, const DeviceMesh& mesh) const {
+  switch (dims_[static_cast<size_t>(d)]) {
+    case DimSharding::kR:
+      return 1;
+    case DimSharding::kS0:
+      return mesh.dim(0);
+    case DimSharding::kS1:
+      return mesh.dim(1);
+    case DimSharding::kS01:
+      return static_cast<int64_t>(mesh.dim(0)) * mesh.dim(1);
+  }
+  return 1;
+}
+
+int64_t ShardingSpec::TotalShards(const DeviceMesh& mesh) const {
+  int64_t total = 1;
+  for (int d = 0; d < rank(); ++d) {
+    total *= ShardsForDim(d, mesh);
+  }
+  return total;
+}
+
+int64_t ShardingSpec::ShardedBytes(const TensorShape& shape, int64_t dtype_bytes,
+                                   const DeviceMesh& mesh) const {
+  ALPA_CHECK_EQ(shape.rank(), rank());
+  return shape.elements() * dtype_bytes / TotalShards(mesh);
+}
+
+bool ShardingSpec::IsValidFor(const TensorShape& shape, const DeviceMesh& mesh) const {
+  if (shape.rank() != rank()) {
+    return false;
+  }
+  for (int d = 0; d < rank(); ++d) {
+    const int64_t shards = ShardsForDim(d, mesh);
+    if (shards > 1 && shape.dim(d) % shards != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::pair<int64_t, int64_t>> ShardingSpec::TileSlice(const TensorShape& shape,
+                                                                 const DeviceMesh& mesh, int i,
+                                                                 int j) const {
+  ALPA_CHECK_EQ(shape.rank(), rank());
+  std::vector<std::pair<int64_t, int64_t>> slices;
+  slices.reserve(static_cast<size_t>(rank()));
+  for (int d = 0; d < rank(); ++d) {
+    const int64_t extent = shape.dim(d);
+    int64_t shards = 1;
+    int64_t index = 0;
+    switch (dims_[static_cast<size_t>(d)]) {
+      case DimSharding::kR:
+        break;
+      case DimSharding::kS0:
+        shards = mesh.dim(0);
+        index = i;
+        break;
+      case DimSharding::kS1:
+        shards = mesh.dim(1);
+        index = j;
+        break;
+      case DimSharding::kS01:
+        shards = static_cast<int64_t>(mesh.dim(0)) * mesh.dim(1);
+        index = static_cast<int64_t>(i) * mesh.dim(1) + j;
+        break;
+    }
+    const int64_t chunk = extent / shards;
+    slices.emplace_back(index * chunk, (index + 1) * chunk);
+  }
+  return slices;
+}
+
+std::vector<ShardingSpec> ShardingSpec::Enumerate(int rank) {
+  std::vector<ShardingSpec> specs;
+  // Choice per mesh axis: a tensor dim to shard, or none (-1).
+  for (int d0 = -1; d0 < rank; ++d0) {
+    for (int d1 = -1; d1 < rank; ++d1) {
+      std::vector<DimSharding> dims(static_cast<size_t>(rank), DimSharding::kR);
+      if (d0 >= 0 && d0 == d1) {
+        dims[static_cast<size_t>(d0)] = DimSharding::kS01;
+      } else {
+        if (d0 >= 0) {
+          dims[static_cast<size_t>(d0)] = DimSharding::kS0;
+        }
+        if (d1 >= 0) {
+          dims[static_cast<size_t>(d1)] = DimSharding::kS1;
+        }
+      }
+      ShardingSpec spec = Make(std::move(dims));
+      if (std::find(specs.begin(), specs.end(), spec) == specs.end()) {
+        specs.push_back(std::move(spec));
+      }
+    }
+  }
+  return specs;
+}
+
+std::string ShardingSpec::ToString() const {
+  std::string result;
+  for (DimSharding s : dims_) {
+    switch (s) {
+      case DimSharding::kR:
+        result += "R";
+        break;
+      case DimSharding::kS0:
+        result += "S0";
+        break;
+      case DimSharding::kS1:
+        result += "S1";
+        break;
+      case DimSharding::kS01:
+        result += "S01";
+        break;
+    }
+  }
+  if (result.empty()) {
+    result = "scalar";
+  }
+  return result;
+}
+
+double ReshardCost(const ShardingSpec& src, const ShardingSpec& dst, const TensorShape& shape,
+                   int64_t dtype_bytes, const DeviceMesh& mesh) {
+  ALPA_CHECK_EQ(src.rank(), shape.rank());
+  ALPA_CHECK_EQ(dst.rank(), shape.rank());
+  if (src == dst) {
+    return 0.0;
+  }
+  const double total_bytes = static_cast<double>(shape.elements()) * dtype_bytes;
+
+  // Walk mesh axes (fast axis 1 first), transforming the current layout
+  // towards dst and accumulating collective costs. Slicing a replicated dim
+  // is local and free; un-sharding needs an all-gather; moving a mesh axis
+  // between tensor dims needs an all-to-all (Table 1).
+  int cur[2] = {src.DimForAxis(0), src.DimForAxis(1)};
+  const int want[2] = {dst.DimForAxis(0), dst.DimForAxis(1)};
+  double cost = 0.0;
+  for (int a : {1, 0}) {
+    if (cur[a] == want[a]) {
+      continue;
+    }
+    const int other = 1 - a;
+    // Portion of the tensor held by each communication group along axis a:
+    // the group shares coordinates along the other axis.
+    double group_bytes = total_bytes;
+    if (cur[other] >= 0) {
+      group_bytes /= mesh.dim(other);
+    }
+    if (cur[a] >= 0 && want[a] < 0) {
+      cost += mesh.AllGatherTime(group_bytes, a);
+    } else if (cur[a] < 0 && want[a] >= 0) {
+      // Local slice.
+    } else {
+      cost += mesh.AllToAllTime(group_bytes, a);
+    }
+    cur[a] = want[a];
+  }
+  return cost;
+}
+
+}  // namespace alpa

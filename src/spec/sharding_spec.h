@@ -1,0 +1,79 @@
+// Sharding specs (4.1).
+//
+// A sharding spec assigns to each tensor dimension either R (replicated) or
+// S with a superscript naming the mesh axes the partitions are laid out
+// along: S^0, S^1, or S^01 (both axes). Each mesh axis shards at most one
+// tensor dimension. The spec of a 2D tensor on a 2x2 mesh therefore ranges
+// over RR, S^0R, RS^0, S^1R, RS^1, S^0S^1, S^1S^0, S^01R, RS^01 (Fig. 5).
+#ifndef SRC_SPEC_SHARDING_SPEC_H_
+#define SRC_SPEC_SHARDING_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/graph/tensor.h"
+#include "src/mesh/device_mesh.h"
+
+namespace alpa {
+
+enum class DimSharding : uint8_t {
+  kR,    // Replicated.
+  kS0,   // Sharded along mesh axis 0.
+  kS1,   // Sharded along mesh axis 1.
+  kS01,  // Sharded along both mesh axes (axis 0 major).
+};
+
+class ShardingSpec {
+ public:
+  ShardingSpec() = default;
+  static ShardingSpec Replicated(int rank);
+  // CHECK-fails if a mesh axis shards more than one dimension.
+  static ShardingSpec Make(std::vector<DimSharding> dims);
+  // Builds a spec of `rank` replicated dims with dims[d] = sharding.
+  static ShardingSpec OneDim(int rank, int d, DimSharding sharding);
+
+  int rank() const { return static_cast<int>(dims_.size()); }
+  DimSharding dim(int d) const { return dims_[static_cast<size_t>(d)]; }
+  const std::vector<DimSharding>& dims() const { return dims_; }
+
+  // Tensor dimension sharded along mesh axis `axis`, or -1 if none.
+  int DimForAxis(int axis) const;
+  bool IsFullyReplicated() const;
+  // Number of shards of tensor dim d on `mesh` (1 if replicated).
+  int64_t ShardsForDim(int d, const DeviceMesh& mesh) const;
+  // Total number of distinct shards (= product over sharded dims).
+  int64_t TotalShards(const DeviceMesh& mesh) const;
+  // Per-device bytes of a tensor stored with this spec.
+  int64_t ShardedBytes(const TensorShape& shape, int64_t dtype_bytes,
+                       const DeviceMesh& mesh) const;
+  // True if every sharded dim is divisible by its shard count.
+  bool IsValidFor(const TensorShape& shape, const DeviceMesh& mesh) const;
+
+  // Index intervals [begin, end) per tensor dim held by logical device
+  // (i, j) of `mesh`.
+  std::vector<std::pair<int64_t, int64_t>> TileSlice(const TensorShape& shape,
+                                                     const DeviceMesh& mesh, int i, int j) const;
+
+  // All syntactically valid specs for a tensor of `rank` dims (on a 2D
+  // mesh): each mesh axis shards at most one dim.
+  static std::vector<ShardingSpec> Enumerate(int rank);
+
+  bool operator==(const ShardingSpec&) const = default;
+  bool operator<(const ShardingSpec& other) const { return dims_ < other.dims_; }
+
+  // E.g. "S0R", "RS01", "RR".
+  std::string ToString() const;
+
+ private:
+  std::vector<DimSharding> dims_;
+};
+
+// Communication time to convert a tensor from `src` to `dst` layout within
+// one mesh (Table 1). Zero when src == dst or only local slicing is needed.
+double ReshardCost(const ShardingSpec& src, const ShardingSpec& dst, const TensorShape& shape,
+                   int64_t dtype_bytes, const DeviceMesh& mesh);
+
+}  // namespace alpa
+
+#endif  // SRC_SPEC_SHARDING_SPEC_H_

@@ -1,0 +1,54 @@
+#include "src/support/logging.h"
+
+#include <atomic>
+
+namespace alpa {
+namespace {
+
+std::atomic<LogSeverity> g_min_severity{LogSeverity::kWarning};
+
+const char* SeverityName(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kInfo:
+      return "INFO";
+    case LogSeverity::kWarning:
+      return "WARNING";
+    case LogSeverity::kError:
+      return "ERROR";
+    case LogSeverity::kFatal:
+      return "FATAL";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace
+
+LogSeverity MinLogSeverity() { return g_min_severity.load(std::memory_order_relaxed); }
+
+void SetMinLogSeverity(LogSeverity severity) {
+  g_min_severity.store(severity, std::memory_order_relaxed);
+}
+
+namespace log_internal {
+
+LogMessage::LogMessage(const char* file, int line, LogSeverity severity) : severity_(severity) {
+  const char* basename = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') {
+      basename = p + 1;
+    }
+  }
+  stream_ << "[" << SeverityName(severity) << " " << basename << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (severity_ >= MinLogSeverity() || severity_ == LogSeverity::kFatal) {
+    std::cerr << stream_.str() << std::endl;
+  }
+  if (severity_ == LogSeverity::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace log_internal
+}  // namespace alpa

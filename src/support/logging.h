@@ -1,0 +1,94 @@
+// Minimal logging and assertion support for alpa-cpp.
+//
+// Provides LOG(severity) streams and CHECK macros in the spirit of
+// glog/absl, without external dependencies. CHECK failures print the
+// failing expression with file/line context and abort.
+#ifndef SRC_SUPPORT_LOGGING_H_
+#define SRC_SUPPORT_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace alpa {
+
+enum class LogSeverity {
+  kInfo = 0,
+  kWarning = 1,
+  kError = 2,
+  kFatal = 3,
+};
+
+// Returns the current minimum severity that is actually emitted.
+// Controlled by SetMinLogSeverity; defaults to kWarning so that library
+// internals stay quiet in tests and benchmarks.
+LogSeverity MinLogSeverity();
+void SetMinLogSeverity(LogSeverity severity);
+
+namespace log_internal {
+
+// Accumulates one log message and flushes it on destruction.
+class LogMessage {
+ public:
+  LogMessage(const char* file, int line, LogSeverity severity);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+  LogSeverity severity_;
+};
+
+// Sink for disabled log statements; swallows the streamed values.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace log_internal
+
+#define ALPA_LOG_INFO \
+  ::alpa::log_internal::LogMessage(__FILE__, __LINE__, ::alpa::LogSeverity::kInfo).stream()
+#define ALPA_LOG_WARNING \
+  ::alpa::log_internal::LogMessage(__FILE__, __LINE__, ::alpa::LogSeverity::kWarning).stream()
+#define ALPA_LOG_ERROR \
+  ::alpa::log_internal::LogMessage(__FILE__, __LINE__, ::alpa::LogSeverity::kError).stream()
+#define ALPA_LOG_FATAL \
+  ::alpa::log_internal::LogMessage(__FILE__, __LINE__, ::alpa::LogSeverity::kFatal).stream()
+
+#define ALPA_LOG(severity) ALPA_LOG_##severity
+
+// CHECK macros: always on (also in release builds), since plan generation
+// bugs silently produce wrong cost numbers otherwise.
+#define ALPA_CHECK(condition)                                         \
+  if (!(condition))                                                   \
+  ::alpa::log_internal::LogMessage(__FILE__, __LINE__,                \
+                                   ::alpa::LogSeverity::kFatal)       \
+      .stream()                                                       \
+      << "Check failed: " #condition " "
+
+#define ALPA_CHECK_BINARY(lhs, rhs, op)                               \
+  if (!((lhs)op(rhs)))                                                \
+  ::alpa::log_internal::LogMessage(__FILE__, __LINE__,                \
+                                   ::alpa::LogSeverity::kFatal)       \
+      .stream()                                                       \
+      << "Check failed: " #lhs " " #op " " #rhs " (" << (lhs) << " vs " << (rhs) << ") "
+
+#define ALPA_CHECK_EQ(lhs, rhs) ALPA_CHECK_BINARY(lhs, rhs, ==)
+#define ALPA_CHECK_NE(lhs, rhs) ALPA_CHECK_BINARY(lhs, rhs, !=)
+#define ALPA_CHECK_LT(lhs, rhs) ALPA_CHECK_BINARY(lhs, rhs, <)
+#define ALPA_CHECK_LE(lhs, rhs) ALPA_CHECK_BINARY(lhs, rhs, <=)
+#define ALPA_CHECK_GT(lhs, rhs) ALPA_CHECK_BINARY(lhs, rhs, >)
+#define ALPA_CHECK_GE(lhs, rhs) ALPA_CHECK_BINARY(lhs, rhs, >=)
+
+}  // namespace alpa
+
+#endif  // SRC_SUPPORT_LOGGING_H_

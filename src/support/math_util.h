@@ -1,0 +1,35 @@
+// Integer math helpers.
+#ifndef SRC_SUPPORT_MATH_UTIL_H_
+#define SRC_SUPPORT_MATH_UTIL_H_
+
+#include <cstdint>
+
+#include "src/support/logging.h"
+
+namespace alpa {
+
+inline int64_t CeilDiv(int64_t a, int64_t b) {
+  ALPA_CHECK_GT(b, 0);
+  return (a + b - 1) / b;
+}
+
+inline bool IsPowerOfTwo(int64_t x) { return x > 0 && (x & (x - 1)) == 0; }
+
+// Floor of log2(x); requires x > 0.
+inline int Log2Floor(int64_t x) {
+  ALPA_CHECK_GT(x, 0);
+  int result = -1;
+  while (x > 0) {
+    x >>= 1;
+    ++result;
+  }
+  return result;
+}
+
+inline bool Divides(int64_t divisor, int64_t value) {
+  return divisor != 0 && value % divisor == 0;
+}
+
+}  // namespace alpa
+
+#endif  // SRC_SUPPORT_MATH_UTIL_H_

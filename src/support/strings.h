@@ -1,0 +1,41 @@
+// Small string helpers (printf-style formatting, joining) used across the
+// code base. GCC 12 lacks std::format, so we wrap vsnprintf.
+#ifndef SRC_SUPPORT_STRINGS_H_
+#define SRC_SUPPORT_STRINGS_H_
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace alpa {
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* format, ...) __attribute__((format(printf, 1, 2)));
+
+// Joins the elements of `parts` with `sep`, streaming each element.
+template <typename Container>
+std::string StrJoin(const Container& parts, const std::string& sep) {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& part : parts) {
+    if (!first) {
+      out << sep;
+    }
+    out << part;
+    first = false;
+  }
+  return out.str();
+}
+
+// Formats a byte count with a human-readable suffix, e.g. "1.50 GB".
+std::string HumanBytes(double bytes);
+
+// Formats a duration given in seconds, e.g. "12.3 ms".
+std::string HumanSeconds(double seconds);
+
+// Formats a FLOP count, e.g. "2.40 TFLOP".
+std::string HumanFlops(double flops);
+
+}  // namespace alpa
+
+#endif  // SRC_SUPPORT_STRINGS_H_

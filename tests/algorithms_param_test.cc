@@ -1,0 +1,154 @@
+// Parameterized sweeps over operators x meshes: every enumerated parallel
+// algorithm must be internally consistent (valid specs, nonnegative costs,
+// mesh axes used at most once, replicated fallback present).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "src/graph/backward.h"
+#include "src/intra/algorithms.h"
+#include "src/models/gpt.h"
+#include "src/models/moe.h"
+#include "src/models/wide_resnet.h"
+
+namespace alpa {
+namespace {
+
+enum class Model { kGpt, kMoe, kWideResNet };
+
+using Param = std::tuple<Model, int, int>;  // (model, logical d0, logical d1)
+
+Graph BuildModel(Model model) {
+  switch (model) {
+    case Model::kGpt: {
+      GptConfig config;
+      config.hidden = 256;
+      config.num_layers = 2;
+      config.num_heads = 8;
+      config.microbatch = 4;
+      config.seq_len = 128;
+      config.vocab = 1024;
+      return BuildGpt(config);
+    }
+    case Model::kMoe: {
+      MoeConfig config;
+      config.hidden = 128;
+      config.num_layers = 2;
+      config.num_heads = 4;
+      config.num_experts = 4;
+      config.microbatch = 4;
+      config.seq_len = 128;
+      config.vocab = 512;
+      return BuildMoe(config);
+    }
+    case Model::kWideResNet: {
+      WideResNetConfig config;
+      config.microbatch = 8;
+      config.base_channels = 32;
+      config.width_factor = 2;
+      return BuildWideResNet(config);
+    }
+  }
+  return Graph();
+}
+
+class AlgorithmSweep : public ::testing::TestWithParam<Param> {
+ protected:
+  AlgorithmSweep() : cluster_(ClusterSpec::AwsP3(1, 8)) {
+    const auto [model, d0, d1] = GetParam();
+    graph_ = BuildModel(model);
+    MeshPlacement placement;
+    placement.shape = SubmeshShape{1, d0 * d1};
+    mesh_ = std::make_unique<DeviceMesh>(DeviceMesh::Create(cluster_, placement, {d0, d1}));
+  }
+
+  ClusterSpec cluster_;
+  Graph graph_;
+  std::unique_ptr<DeviceMesh> mesh_;
+};
+
+TEST_P(AlgorithmSweep, EveryOpHasAtLeastOneAlgorithm) {
+  for (const Operator& op : graph_.ops()) {
+    const auto algorithms =
+        EnumerateAlgorithms(op, graph_, *mesh_, cluster_.device, Precision::kFloat16);
+    EXPECT_GT(algorithms.size(), 0u) << op.ToString();
+  }
+}
+
+TEST_P(AlgorithmSweep, SpecsMatchShapesAndAreValid) {
+  for (const Operator& op : graph_.ops()) {
+    const auto algorithms =
+        EnumerateAlgorithms(op, graph_, *mesh_, cluster_.device, Precision::kFloat16);
+    for (const ParallelAlgorithm& a : algorithms) {
+      ASSERT_EQ(a.output_spec.rank(), op.shape.rank()) << op.ToString() << " " << a.name;
+      EXPECT_TRUE(a.output_spec.IsValidFor(op.shape, *mesh_)) << op.ToString() << " " << a.name;
+      ASSERT_EQ(a.input_specs.size(), op.operands.size()) << op.ToString() << " " << a.name;
+      for (size_t i = 0; i < a.input_specs.size(); ++i) {
+        const TensorShape& in_shape = graph_.op(op.operands[i]).shape;
+        ASSERT_EQ(a.input_specs[i].rank(), in_shape.rank())
+            << op.ToString() << " " << a.name << " operand " << i;
+        EXPECT_TRUE(a.input_specs[i].IsValidFor(in_shape, *mesh_))
+            << op.ToString() << " " << a.name << " operand " << i;
+      }
+    }
+  }
+}
+
+TEST_P(AlgorithmSweep, CostsAreFiniteAndNonNegative) {
+  for (const Operator& op : graph_.ops()) {
+    const auto algorithms =
+        EnumerateAlgorithms(op, graph_, *mesh_, cluster_.device, Precision::kFloat16);
+    for (const ParallelAlgorithm& a : algorithms) {
+      EXPECT_GE(a.comm_cost, 0.0) << op.ToString() << " " << a.name;
+      EXPECT_GE(a.compute_cost, 0.0) << op.ToString() << " " << a.name;
+      EXPECT_TRUE(std::isfinite(a.comm_cost)) << op.ToString() << " " << a.name;
+      EXPECT_TRUE(std::isfinite(a.compute_cost)) << op.ToString() << " " << a.name;
+    }
+  }
+}
+
+TEST_P(AlgorithmSweep, NoDegenerateAxisSharding) {
+  for (const Operator& op : graph_.ops()) {
+    const auto algorithms =
+        EnumerateAlgorithms(op, graph_, *mesh_, cluster_.device, Precision::kFloat16);
+    for (const ParallelAlgorithm& a : algorithms) {
+      for (int axis = 0; axis < 2; ++axis) {
+        if (mesh_->dim(axis) == 1) {
+          EXPECT_EQ(a.output_spec.DimForAxis(axis), -1) << op.ToString() << " " << a.name;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(AlgorithmSweep, AlgorithmsAreDeduplicated) {
+  for (const Operator& op : graph_.ops()) {
+    const auto algorithms =
+        EnumerateAlgorithms(op, graph_, *mesh_, cluster_.device, Precision::kFloat16);
+    for (size_t i = 0; i < algorithms.size(); ++i) {
+      for (size_t j = i + 1; j < algorithms.size(); ++j) {
+        EXPECT_FALSE(algorithms[i].output_spec == algorithms[j].output_spec &&
+                     algorithms[i].input_specs == algorithms[j].input_specs)
+            << op.ToString();
+      }
+    }
+  }
+}
+
+std::string ParamName(const ::testing::TestParamInfo<Param>& info) {
+  static const char* const kNames[] = {"gpt", "moe", "wresnet"};
+  return std::string(kNames[static_cast<int>(std::get<0>(info.param))]) + "_" +
+         std::to_string(std::get<1>(info.param)) + "x" + std::to_string(std::get<2>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelsAndMeshes, AlgorithmSweep,
+    ::testing::Values(Param{Model::kGpt, 1, 8}, Param{Model::kGpt, 2, 4},
+                      Param{Model::kGpt, 1, 1}, Param{Model::kMoe, 1, 4},
+                      Param{Model::kMoe, 2, 2}, Param{Model::kWideResNet, 1, 4},
+                      Param{Model::kWideResNet, 2, 4}),
+    ParamName);
+
+}  // namespace
+}  // namespace alpa

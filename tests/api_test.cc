@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "src/baselines/baselines.h"
+#include "src/core/api.h"
+#include "src/models/gpt.h"
+#include "src/models/mlp.h"
+#include "src/models/moe.h"
+
+namespace alpa {
+namespace {
+
+GptConfig SmallGpt() {
+  GptConfig config;
+  config.hidden = 256;
+  config.num_layers = 4;
+  config.num_heads = 8;
+  config.microbatch = 4;
+  config.seq_len = 128;
+  config.vocab = 1024;
+  return config;
+}
+
+TEST(Api, CompileAndSimulateMlp) {
+  Graph graph = BuildMlp(MlpConfig{});
+  const ClusterSpec cluster = ClusterSpec::AwsP3(1, 4);
+  ParallelizeOptions options;
+  options.num_microbatches = 4;
+  options.inter.target_layers = 2;
+  const ExecutionStats stats = CompileAndSimulate(graph, cluster, options);
+  ASSERT_TRUE(stats.feasible);
+  EXPECT_GT(stats.latency, 0.0);
+  EXPECT_GT(stats.pflops, 0.0);
+  EXPECT_FALSE(stats.oom);
+}
+
+TEST(Api, ThroughputBelowClusterPeak) {
+  Graph graph = BuildGpt(SmallGpt());
+  const ClusterSpec cluster = ClusterSpec::AwsP3(1, 4);
+  ParallelizeOptions options;
+  options.num_microbatches = 8;
+  options.inter.target_layers = 4;
+  const ExecutionStats stats = CompileAndSimulate(graph, cluster, options);
+  ASSERT_TRUE(stats.feasible);
+  const double peak_pflops = 4 * cluster.device.peak_flops_fp16 / 1e15;
+  EXPECT_LT(stats.pflops, peak_pflops);
+  EXPECT_GT(stats.pflops, 0.01 * peak_pflops);
+}
+
+TEST(Api, MoreDevicesMoreThroughput) {
+  ParallelizeOptions options;
+  options.num_microbatches = 8;
+  options.inter.target_layers = 4;
+  Graph g1 = BuildGpt(SmallGpt());
+  Graph g4 = BuildGpt(SmallGpt());
+  const ExecutionStats on1 =
+      CompileAndSimulate(g1, ClusterSpec::AwsP3(1, 1), options);
+  const ExecutionStats on4 =
+      CompileAndSimulate(g4, ClusterSpec::AwsP3(1, 4), options);
+  ASSERT_TRUE(on1.feasible);
+  ASSERT_TRUE(on4.feasible);
+  EXPECT_GT(on4.pflops, 1.5 * on1.pflops);
+}
+
+TEST(Api, IntraOnlyUsesSingleStage) {
+  Graph graph = BuildGpt(SmallGpt());
+  const ClusterSpec cluster = ClusterSpec::AwsP3(1, 4);
+  ParallelizeOptions options;
+  options.num_microbatches = 4;
+  options.enable_interop = false;
+  ParallelPlan plan;
+  const ExecutionStats stats = CompileAndSimulate(graph, cluster, options, &plan);
+  ASSERT_TRUE(stats.feasible);
+  EXPECT_EQ(plan.pipeline.stages.size(), 1u);
+  EXPECT_EQ(plan.pipeline.stages[0].placement.shape.num_devices(), 4);
+}
+
+TEST(Api, InterOnlyUsesSingleDeviceStages) {
+  Graph graph = BuildGpt(SmallGpt());
+  const ClusterSpec cluster = ClusterSpec::AwsP3(1, 4);
+  ParallelizeOptions options;
+  options.num_microbatches = 8;
+  options.enable_intraop = false;
+  options.inter.target_layers = 4;
+  ParallelPlan plan;
+  const ExecutionStats stats = CompileAndSimulate(graph, cluster, options, &plan);
+  ASSERT_TRUE(stats.feasible);
+  for (const CompiledStage& stage : plan.pipeline.stages) {
+    EXPECT_EQ(stage.placement.shape.num_devices(), 1);
+  }
+}
+
+TEST(Api, AlpaBeatsOrMatchesRestrictedVariants) {
+  const ClusterSpec cluster = ClusterSpec::AwsP3(1, 4);
+  const int microbatches = 8;
+  const BaselineResult alpa = RunAlpa(BuildGpt(SmallGpt()), cluster, microbatches, 4);
+  const BaselineResult intra = RunIntraOnly(BuildGpt(SmallGpt()), cluster, microbatches);
+  const BaselineResult inter = RunInterOnly(BuildGpt(SmallGpt()), cluster, microbatches, 4);
+  ASSERT_TRUE(alpa.stats.feasible);
+  // Alpa's space contains both restrictions; its DP estimate cannot lose by
+  // much (simulation adds transfer effects the DP approximates).
+  if (intra.stats.feasible) {
+    EXPECT_LE(alpa.stats.latency, intra.stats.latency * 1.15);
+  }
+  if (inter.stats.feasible) {
+    EXPECT_LE(alpa.stats.latency, inter.stats.latency * 1.15);
+  }
+}
+
+TEST(Api, GpipeVsOneFOneB) {
+  Graph g1 = BuildGpt(SmallGpt());
+  Graph g2 = BuildGpt(SmallGpt());
+  const ClusterSpec cluster = ClusterSpec::AwsP3(1, 4);
+  ParallelizeOptions options;
+  options.num_microbatches = 8;
+  options.inter.target_layers = 4;
+  options.inter.submesh_shapes = {SubmeshShape{1, 1}};  // Force 4 stages.
+  options.schedule = PipelineScheduleType::k1F1B;
+  const ExecutionStats one_f = CompileAndSimulate(g1, cluster, options);
+  options.schedule = PipelineScheduleType::kGpipe;
+  const ExecutionStats gpipe = CompileAndSimulate(g2, cluster, options);
+  ASSERT_TRUE(one_f.feasible);
+  ASSERT_TRUE(gpipe.feasible);
+  // Same latency, lower peak memory for 1F1B (2.2).
+  EXPECT_NEAR(one_f.latency, gpipe.latency, 0.05 * gpipe.latency);
+  EXPECT_LE(one_f.peak_memory_bytes, gpipe.peak_memory_bytes + 1.0);
+}
+
+TEST(Api, MoeCompiles) {
+  MoeConfig config;
+  config.hidden = 128;
+  config.num_layers = 4;
+  config.num_heads = 4;
+  config.num_experts = 4;
+  config.microbatch = 4;
+  config.seq_len = 128;
+  config.vocab = 512;
+  Graph graph = BuildMoe(config);
+  const ClusterSpec cluster = ClusterSpec::AwsP3(1, 4);
+  ParallelizeOptions options;
+  options.num_microbatches = 4;
+  options.inter.target_layers = 4;
+  const ExecutionStats stats = CompileAndSimulate(graph, cluster, options);
+  ASSERT_TRUE(stats.feasible);
+  EXPECT_GT(stats.pflops, 0.0);
+}
+
+TEST(Api, StatsToStringReadable) {
+  ExecutionStats stats;
+  EXPECT_EQ(stats.ToString(), "infeasible");
+  stats.feasible = true;
+  stats.latency = 0.5;
+  stats.pflops = 1.25;
+  stats.peak_memory_bytes = 8e9;
+  EXPECT_NE(stats.ToString().find("pflops=1.250"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace alpa

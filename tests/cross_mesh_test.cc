@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/runtime/cross_mesh.h"
+
+namespace alpa {
+namespace {
+
+class CrossMeshTest : public ::testing::Test {
+ protected:
+  CrossMeshTest() : cluster_(ClusterSpec::AwsP3(4, 8)) {}
+
+  DeviceMesh Mesh(int host_begin, int hosts, int devices, std::array<int, 2> logical) {
+    MeshPlacement placement;
+    placement.host_begin = host_begin;
+    placement.shape = SubmeshShape{hosts, devices};
+    return DeviceMesh::Create(cluster_, placement, logical);
+  }
+
+  ClusterSpec cluster_;
+  TensorShape shape_{64, 1024};  // 256 KB fp32.
+  static constexpr int64_t kBytes = 4;
+};
+
+TEST_F(CrossMeshTest, SignalOnlyIsOneByte) {
+  const DeviceMesh src = Mesh(0, 1, 8, {1, 8});
+  const DeviceMesh dst = Mesh(1, 1, 8, {1, 8});
+  const auto plan =
+      PlanCrossMeshResharding(src, ShardingSpec::Replicated(2), dst, ShardingSpec::Replicated(2),
+                              shape_, kBytes, ReshardStrategy::kSignalOnly);
+  EXPECT_EQ(plan.sends.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan.total_p2p_bytes, 1.0);
+}
+
+TEST_F(CrossMeshTest, EqualMeshesShardedTransferIsTileSized) {
+  // Both meshes shard dim 0 along axis 1: each device fetches exactly its
+  // tile from the matching peer (Megatron's trivial case, Fig. 7a).
+  const ShardingSpec spec = ShardingSpec::OneDim(2, 0, DimSharding::kS1);
+  const DeviceMesh src = Mesh(0, 1, 8, {1, 8});
+  const DeviceMesh dst = Mesh(1, 1, 8, {1, 8});
+  const auto plan = PlanCrossMeshResharding(src, spec, dst, spec, shape_, kBytes,
+                                            ReshardStrategy::kNaiveSendRecv);
+  EXPECT_EQ(plan.sends.size(), 8u);
+  EXPECT_DOUBLE_EQ(plan.total_p2p_bytes, static_cast<double>(shape_.elements()) * kBytes);
+}
+
+TEST_F(CrossMeshTest, NaiveReplicatedDestinationSendsNCopies) {
+  // Destination replicates: naive send/recv moves the tensor once per
+  // destination device.
+  const DeviceMesh src = Mesh(0, 1, 4, {1, 4});
+  const DeviceMesh dst = Mesh(1, 1, 4, {1, 4});
+  const ShardingSpec sharded = ShardingSpec::OneDim(2, 0, DimSharding::kS1);
+  const auto plan = PlanCrossMeshResharding(src, sharded, dst, ShardingSpec::Replicated(2),
+                                            shape_, kBytes, ReshardStrategy::kNaiveSendRecv);
+  const double tensor_bytes = static_cast<double>(shape_.elements()) * kBytes;
+  EXPECT_DOUBLE_EQ(plan.total_p2p_bytes, 4.0 * tensor_bytes);
+  EXPECT_DOUBLE_EQ(plan.local_allgather_time, 0.0);
+}
+
+TEST_F(CrossMeshTest, LocalAllGatherCutsSlowPathTraffic) {
+  const DeviceMesh src = Mesh(0, 1, 4, {1, 4});
+  const DeviceMesh dst = Mesh(1, 1, 4, {1, 4});
+  const ShardingSpec sharded = ShardingSpec::OneDim(2, 0, DimSharding::kS1);
+  const auto naive = PlanCrossMeshResharding(src, sharded, dst, ShardingSpec::Replicated(2),
+                                             shape_, kBytes, ReshardStrategy::kNaiveSendRecv);
+  const auto optimized = PlanCrossMeshResharding(src, sharded, dst, ShardingSpec::Replicated(2),
+                                                 shape_, kBytes, ReshardStrategy::kLocalAllGather);
+  // Fig. 7c: the slow path carries the tensor once; the rest rides NVLink.
+  EXPECT_LT(optimized.total_p2p_bytes, naive.total_p2p_bytes / 2.0);
+  EXPECT_GT(optimized.local_allgather_time, 0.0);
+  EXPECT_LT(CrossMeshReshardTime(src, sharded, dst, ShardingSpec::Replicated(2), shape_, kBytes,
+                                 ReshardStrategy::kLocalAllGather),
+            CrossMeshReshardTime(src, sharded, dst, ShardingSpec::Replicated(2), shape_, kBytes,
+                                 ReshardStrategy::kNaiveSendRecv));
+}
+
+TEST_F(CrossMeshTest, UnequalMeshShapes) {
+  // (1,4) -> (2,8): the generalized case of Fig. 7b/c.
+  const DeviceMesh src = Mesh(0, 1, 4, {1, 4});
+  const DeviceMesh dst = Mesh(1, 2, 8, {2, 8});
+  const ShardingSpec src_spec = ShardingSpec::OneDim(2, 0, DimSharding::kS1);
+  const ShardingSpec dst_spec = ShardingSpec::OneDim(2, 0, DimSharding::kS1);
+  const auto plan = PlanCrossMeshResharding(src, src_spec, dst, dst_spec, shape_, kBytes,
+                                            ReshardStrategy::kLocalAllGather);
+  EXPECT_GT(plan.sends.size(), 0u);
+  // Every destination device id belongs to the destination mesh.
+  const auto dst_ids = dst.DeviceIds();
+  for (const CrossMeshTask& task : plan.sends) {
+    EXPECT_NE(std::find(dst_ids.begin(), dst_ids.end(), task.dst_device), dst_ids.end());
+  }
+}
+
+TEST_F(CrossMeshTest, CrossHostSlowerThanSameHost) {
+  const DeviceMesh src = Mesh(0, 1, 4, {1, 4});
+  const DeviceMesh dst_near = Mesh(0, 1, 4, {1, 4});  // Same host (hypothetical).
+  const DeviceMesh dst_far = Mesh(2, 1, 4, {1, 4});
+  const ShardingSpec spec = ShardingSpec::OneDim(2, 0, DimSharding::kS1);
+  const double near_time = CrossMeshReshardTime(src, spec, dst_near, spec, shape_, kBytes,
+                                                ReshardStrategy::kNaiveSendRecv);
+  const double far_time = CrossMeshReshardTime(src, spec, dst_far, spec, shape_, kBytes,
+                                               ReshardStrategy::kNaiveSendRecv);
+  EXPECT_LT(near_time, far_time);
+}
+
+TEST_F(CrossMeshTest, PlanCoversDestinationTiles) {
+  // Volume conservation: bytes received by each destination device must
+  // equal its tile size (naive mode, no replication source overlap).
+  const DeviceMesh src = Mesh(0, 1, 8, {2, 4});
+  const DeviceMesh dst = Mesh(2, 1, 8, {4, 2});
+  const ShardingSpec src_spec =
+      ShardingSpec::Make({DimSharding::kS0, DimSharding::kS1});
+  const ShardingSpec dst_spec =
+      ShardingSpec::Make({DimSharding::kS1, DimSharding::kS0});
+  const auto plan = PlanCrossMeshResharding(src, src_spec, dst, dst_spec, shape_, kBytes,
+                                            ReshardStrategy::kNaiveSendRecv);
+  std::map<int, double> received;
+  for (const CrossMeshTask& task : plan.sends) {
+    received[task.dst_device] += task.bytes;
+  }
+  const double tile_bytes = static_cast<double>(shape_.elements()) * kBytes / 8.0;
+  ASSERT_EQ(received.size(), 8u);
+  for (const auto& [device, bytes] : received) {
+    EXPECT_DOUBLE_EQ(bytes, tile_bytes);
+  }
+}
+
+}  // namespace
+}  // namespace alpa

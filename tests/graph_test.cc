@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/graph/backward.h"
+#include "src/graph/graph.h"
+#include "src/models/gpt.h"
+#include "src/models/mlp.h"
+#include "src/models/moe.h"
+#include "src/models/wide_resnet.h"
+
+namespace alpa {
+namespace {
+
+TEST(TensorShape, Basics) {
+  TensorShape s({2, 3, 4});
+  EXPECT_EQ(s.rank(), 3);
+  EXPECT_EQ(s.elements(), 24);
+  EXPECT_EQ(s.ToString(), "[2,3,4]");
+  EXPECT_EQ(TensorShape({}).elements(), 1);  // Scalar.
+}
+
+TEST(EinsumSpec, Matmul) {
+  EinsumSpec spec{"bf", {"bm", "mf"}, {{'b', 8}, {'m', 16}, {'f', 32}}};
+  EXPECT_EQ(spec.ContractionLabels(), "m");
+  EXPECT_DOUBLE_EQ(spec.Flops(), 2.0 * 8 * 16 * 32);
+  EXPECT_EQ(spec.ToString(), "bm,mf->bf");
+}
+
+TEST(EinsumSpec, BatchedMatmul) {
+  EinsumSpec spec{"bij", {"bik", "bkj"}, {{'b', 4}, {'i', 8}, {'j', 8}, {'k', 8}}};
+  EXPECT_EQ(spec.ContractionLabels(), "k");
+  EXPECT_DOUBLE_EQ(spec.Flops(), 2.0 * 4 * 8 * 8 * 8);
+}
+
+TEST(Graph, BuilderAndValidation) {
+  Graph graph;
+  const int x = graph.AddInput("x", TensorShape({4, 8}), DType::kF32);
+  const int w = graph.AddParameter("w", TensorShape({8, 8}), DType::kF32);
+  EinsumSpec spec{"bf", {"bm", "mf"}, {{'b', 4}, {'m', 8}, {'f', 8}}};
+  const int y = graph.AddEinsum("mm", spec, {x, w}, DType::kF32);
+  graph.AddLoss("loss", {y});
+  graph.Validate();
+  EXPECT_EQ(graph.size(), 4);
+  EXPECT_EQ(graph.ParameterIds(), std::vector<int>{w});
+  EXPECT_EQ(graph.InputIds(), std::vector<int>{x});
+  EXPECT_EQ(graph.op(y).shape, TensorShape({4, 8}));
+}
+
+TEST(Graph, ConsumersIndex) {
+  Graph graph = BuildMlp(MlpConfig{});
+  auto consumers = graph.Consumers();
+  // Every non-final op has at least one consumer.
+  int orphans = 0;
+  for (int v = 0; v < graph.size(); ++v) {
+    if (consumers[static_cast<size_t>(v)].empty() && graph.op(v).type != OpType::kUpdate &&
+        graph.op(v).type != OpType::kLoss) {
+      ++orphans;
+    }
+  }
+  // Softmax gate outputs etc. may be unconsumed, but an MLP has none.
+  EXPECT_EQ(orphans, 0);
+}
+
+TEST(Backward, MlpStructure) {
+  MlpConfig config;
+  config.hidden_dims = {64};
+  config.input_dim = 32;
+  config.output_dim = 16;
+  config.batch = 8;
+  Graph graph = BuildMlp(config);
+  // Two dense layers -> 2 updates (weights) + 2 updates (biases).
+  int updates = 0;
+  int backward = 0;
+  for (const Operator& op : graph.ops()) {
+    updates += op.type == OpType::kUpdate ? 1 : 0;
+    backward += op.role == OpRole::kBackward ? 1 : 0;
+  }
+  EXPECT_EQ(updates, 4);
+  EXPECT_GT(backward, 0);
+}
+
+TEST(Backward, FlopsRatioRoughlyTwo) {
+  // Backward matmul FLOPs = 2x forward (dX and dW each cost one forward).
+  GptConfig config;
+  config.hidden = 256;
+  config.num_layers = 2;
+  config.num_heads = 8;
+  config.microbatch = 4;
+  config.seq_len = 128;
+  config.vocab = 1024;
+  Graph graph = BuildGpt(config);
+  const double fwd = graph.FlopsForRole(OpRole::kForward);
+  const double bwd = graph.FlopsForRole(OpRole::kBackward);
+  EXPECT_NEAR(bwd / fwd, 2.0, 0.3);
+}
+
+TEST(Backward, GradAccumulationForSharedTensors) {
+  // A tensor consumed twice must receive a grad-accumulation add.
+  Graph graph;
+  const int x = graph.AddInput("x", TensorShape({4, 8}), DType::kF32);
+  const int w = graph.AddParameter("w", TensorShape({8, 8}), DType::kF32);
+  EinsumSpec spec{"bf", {"bm", "mf"}, {{'b', 4}, {'m', 8}, {'f', 8}}};
+  const int a = graph.AddEinsum("a", spec, {x, w}, DType::kF32);
+  EinsumSpec spec2{"bf", {"bm", "mf"}, {{'b', 4}, {'m', 8}, {'f', 8}}};
+  const int b = graph.AddEinsum("b", spec2, {a, w}, DType::kF32);  // w used twice.
+  const int sum = graph.AddElementwise("sum", {a, b});             // a used twice.
+  graph.AddLoss("loss", {sum});
+  BuildTrainingGraph(graph);
+  int acc = 0;
+  for (const Operator& op : graph.ops()) {
+    if (op.name.find("grad_acc") != std::string::npos) {
+      ++acc;
+    }
+  }
+  EXPECT_GE(acc, 2);  // One for w, one for a.
+  // Exactly one update: w.
+  int updates = 0;
+  for (const Operator& op : graph.ops()) {
+    updates += op.type == OpType::kUpdate ? 1 : 0;
+  }
+  EXPECT_EQ(updates, 1);
+}
+
+TEST(Backward, LayerTagsInherited) {
+  GptConfig config;
+  config.hidden = 128;
+  config.num_layers = 3;
+  config.num_heads = 4;
+  config.microbatch = 2;
+  config.seq_len = 64;
+  config.vocab = 512;
+  Graph graph = BuildGpt(config);
+  for (const Operator& op : graph.ops()) {
+    if (op.role == OpRole::kBackward && op.forward_id >= 0) {
+      EXPECT_EQ(op.layer, graph.op(op.forward_id).layer) << op.name;
+    }
+  }
+  EXPECT_EQ(graph.NumLayers(), 3);
+}
+
+// --- Parameter counts versus the paper's tables. ---
+
+TEST(Models, GptParamCountsMatchTable5) {
+  // Paper counts (billions): 0.35, 1.3, 2.6, 6.7, 15, 39. Our analytic
+  // count includes the untied LM head, so allow a modest margin.
+  const double expected[] = {0.35e9, 1.3e9, 2.6e9, 6.7e9, 15e9, 39e9};
+  const auto cases = GptPaperCases();
+  ASSERT_EQ(cases.size(), 6u);
+  for (size_t i = 0; i < cases.size(); ++i) {
+    const double params = static_cast<double>(cases[i].config.NumParams());
+    EXPECT_NEAR(params / expected[i], 1.0, 0.25) << cases[i].name;
+  }
+}
+
+TEST(Models, GptGraphMatchesAnalyticParams) {
+  GptConfig config;
+  config.hidden = 256;
+  config.num_layers = 4;
+  config.num_heads = 8;
+  config.microbatch = 2;
+  config.seq_len = 128;
+  config.vocab = 1000;
+  Graph graph = BuildGpt(config);
+  const int64_t graph_params = graph.ParameterBytes() / DTypeBytes(config.dtype);
+  // Analytic count ignores layernorm gains (not modeled as params).
+  EXPECT_EQ(graph_params, config.NumParams());
+}
+
+TEST(Models, MoeParamCountsMatchTable6) {
+  const double expected[] = {0.38e9, 1.3e9, 2.4e9, 10e9, 27e9, 70e9};
+  const auto cases = MoePaperCases();
+  ASSERT_EQ(cases.size(), 6u);
+  for (size_t i = 0; i < cases.size(); ++i) {
+    const double params = static_cast<double>(cases[i].config.NumParams());
+    EXPECT_NEAR(params / expected[i], 1.0, 0.3) << cases[i].name;
+  }
+}
+
+TEST(Models, MoeGraphMatchesAnalyticParams) {
+  MoeConfig config;
+  config.hidden = 128;
+  config.num_layers = 4;
+  config.num_heads = 4;
+  config.num_experts = 4;
+  config.microbatch = 2;
+  config.seq_len = 128;
+  config.vocab = 1000;
+  Graph graph = BuildMoe(config);
+  const int64_t graph_params = graph.ParameterBytes() / DTypeBytes(config.dtype);
+  EXPECT_EQ(graph_params, config.NumParams());
+}
+
+TEST(Models, WideResNetParamCountsMatchTable7) {
+  const double expected[] = {0.25e9, 1e9, 2e9, 4e9, 6.8e9, 13e9};
+  const auto cases = WideResNetPaperCases();
+  ASSERT_EQ(cases.size(), 6u);
+  for (size_t i = 0; i < cases.size(); ++i) {
+    const double params = static_cast<double>(cases[i].config.NumParams());
+    EXPECT_NEAR(params / expected[i], 1.0, 0.3) << cases[i].name;
+  }
+}
+
+TEST(Models, WideResNetGraphMatchesAnalyticParams) {
+  WideResNetConfig config;
+  config.microbatch = 4;
+  config.base_channels = 32;
+  config.width_factor = 2;
+  Graph graph = BuildWideResNet(config);
+  const int64_t graph_params = graph.ParameterBytes() / DTypeBytes(config.dtype);
+  EXPECT_EQ(graph_params, config.NumParams());
+}
+
+TEST(Models, WideResNet101Deeper) {
+  WideResNetConfig c50;
+  c50.base_channels = 64;
+  WideResNetConfig c101 = c50;
+  c101.num_layers = 101;
+  EXPECT_GT(c101.NumParams(), 1.7 * c50.NumParams());
+}
+
+TEST(Models, GraphFlopsScaleWithModel) {
+  GptConfig small;
+  small.hidden = 256;
+  small.num_layers = 2;
+  small.num_heads = 8;
+  small.microbatch = 2;
+  small.seq_len = 128;
+  small.vocab = 1024;
+  GptConfig big = small;
+  big.hidden = 512;
+  const Graph g_small = BuildGpt(small);
+  const Graph g_big = BuildGpt(big);
+  // Matmul-dominated: ~4x flops for 2x hidden.
+  EXPECT_GT(g_big.TotalFlops(), 3.0 * g_small.TotalFlops());
+}
+
+}  // namespace
+}  // namespace alpa

@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/solver/ilp_solver.h"
+#include "src/support/rng.h"
+
+namespace alpa {
+namespace {
+
+// Exhaustive brute force for small problems.
+double BruteForce(const IlpProblem& problem, std::vector<int>* best_choice = nullptr) {
+  std::vector<int> choice(static_cast<size_t>(problem.num_nodes()), 0);
+  double best = kInfCost;
+  while (true) {
+    const double value = problem.Evaluate(choice);
+    if (value < best) {
+      best = value;
+      if (best_choice != nullptr) {
+        *best_choice = choice;
+      }
+    }
+    int i = 0;
+    while (i < problem.num_nodes()) {
+      if (++choice[static_cast<size_t>(i)] < problem.num_choices(i)) {
+        break;
+      }
+      choice[static_cast<size_t>(i)] = 0;
+      ++i;
+    }
+    if (i == problem.num_nodes()) {
+      break;
+    }
+  }
+  return best;
+}
+
+IlpProblem RandomProblem(Rng& rng, int nodes, int max_choices, double edge_prob,
+                         bool allow_inf = false) {
+  IlpProblem problem;
+  problem.node_costs.resize(static_cast<size_t>(nodes));
+  for (int v = 0; v < nodes; ++v) {
+    const int k = 1 + static_cast<int>(rng.NextBounded(static_cast<uint64_t>(max_choices)));
+    for (int i = 0; i < k; ++i) {
+      problem.node_costs[static_cast<size_t>(v)].push_back(rng.NextDouble(0, 10));
+    }
+  }
+  for (int u = 0; u < nodes; ++u) {
+    for (int v = u + 1; v < nodes; ++v) {
+      if (rng.NextDouble() > edge_prob) {
+        continue;
+      }
+      IlpProblem::Edge edge;
+      edge.u = u;
+      edge.v = v;
+      edge.cost.resize(problem.node_costs[static_cast<size_t>(u)].size());
+      for (auto& row : edge.cost) {
+        for (size_t j = 0; j < problem.node_costs[static_cast<size_t>(v)].size(); ++j) {
+          double c = rng.NextDouble(0, 5);
+          if (allow_inf && rng.NextDouble() < 0.1) {
+            c = kInfCost;
+          }
+          row.push_back(c);
+        }
+      }
+      problem.edges.push_back(std::move(edge));
+    }
+  }
+  return problem;
+}
+
+TEST(IlpSolver, EmptyProblem) {
+  IlpProblem problem;
+  const IlpSolution solution = IlpSolver().Solve(problem);
+  EXPECT_TRUE(solution.optimal);
+  EXPECT_DOUBLE_EQ(solution.objective, 0.0);
+}
+
+TEST(IlpSolver, SingleNode) {
+  IlpProblem problem;
+  problem.node_costs = {{3.0, 1.0, 2.0}};
+  const IlpSolution solution = IlpSolver().Solve(problem);
+  EXPECT_TRUE(solution.optimal);
+  EXPECT_EQ(solution.choice[0], 1);
+  EXPECT_DOUBLE_EQ(solution.objective, 1.0);
+}
+
+TEST(IlpSolver, ChainUsesForestDp) {
+  IlpProblem problem;
+  problem.node_costs = {{0.0, 0.0}, {0.0, 0.0}, {0.0, 0.0}};
+  for (int v = 0; v + 1 < 3; ++v) {
+    IlpProblem::Edge edge;
+    edge.u = v;
+    edge.v = v + 1;
+    // Strongly prefers matching choices.
+    edge.cost = {{0.0, 10.0}, {10.0, 0.0}};
+    problem.edges.push_back(edge);
+  }
+  const IlpSolution solution = IlpSolver().Solve(problem);
+  EXPECT_EQ(solution.method, "dp-forest");
+  EXPECT_TRUE(solution.optimal);
+  EXPECT_DOUBLE_EQ(solution.objective, 0.0);
+  EXPECT_EQ(solution.choice[0], solution.choice[1]);
+  EXPECT_EQ(solution.choice[1], solution.choice[2]);
+}
+
+TEST(IlpSolver, CycleUsesBranchAndBound) {
+  IlpProblem problem;
+  problem.node_costs = {{0.0, 1.0}, {0.0, 1.0}, {0.0, 1.0}};
+  // Triangle with anti-ferromagnetic couplings (frustrated).
+  for (int u = 0; u < 3; ++u) {
+    for (int v = u + 1; v < 3; ++v) {
+      IlpProblem::Edge edge;
+      edge.u = u;
+      edge.v = v;
+      edge.cost = {{5.0, 0.0}, {0.0, 5.0}};
+      problem.edges.push_back(edge);
+    }
+  }
+  const IlpSolution solution = IlpSolver().Solve(problem);
+  EXPECT_EQ(solution.method, "branch-and-bound");
+  EXPECT_TRUE(solution.optimal);
+  EXPECT_DOUBLE_EQ(solution.objective, BruteForce(problem));
+}
+
+TEST(IlpSolver, InfeasibleEdges) {
+  IlpProblem problem;
+  problem.node_costs = {{0.0}, {0.0}, {0.0}};
+  for (int u = 0; u < 3; ++u) {
+    for (int v = u + 1; v < 3; ++v) {
+      IlpProblem::Edge edge;
+      edge.u = u;
+      edge.v = v;
+      edge.cost = {{kInfCost}};
+      problem.edges.push_back(edge);
+    }
+  }
+  const IlpSolution solution = IlpSolver().Solve(problem);
+  EXPECT_FALSE(solution.feasible);
+}
+
+TEST(IlpSolver, ParallelEdgesAreSummed) {
+  IlpProblem problem;
+  problem.node_costs = {{0.0, 0.0}, {0.0, 0.0}};
+  IlpProblem::Edge e1{0, 1, {{1.0, 0.0}, {0.0, 1.0}}};
+  IlpProblem::Edge e2{1, 0, {{0.0, 3.0}, {3.0, 0.0}}};  // Reversed orientation.
+  problem.edges = {e1, e2};
+  const IlpSolution solution = IlpSolver().Solve(problem);
+  // Diagonal costs 1+0 / mixed 0+3: best is matching (cost 1).
+  EXPECT_DOUBLE_EQ(solution.objective, 1.0);
+  EXPECT_DOUBLE_EQ(solution.objective, BruteForce(problem));
+}
+
+TEST(IlpSolver, MatchesBruteForceOnRandomTrees) {
+  Rng rng(11);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int nodes = 2 + static_cast<int>(rng.NextBounded(6));
+    IlpProblem problem = RandomProblem(rng, nodes, 4, 0.0);
+    // Build a random spanning tree.
+    for (int v = 1; v < nodes; ++v) {
+      IlpProblem::Edge edge;
+      edge.u = static_cast<int>(rng.NextBounded(static_cast<uint64_t>(v)));
+      edge.v = v;
+      edge.cost.resize(problem.node_costs[static_cast<size_t>(edge.u)].size());
+      for (auto& row : edge.cost) {
+        for (size_t j = 0; j < problem.node_costs[static_cast<size_t>(v)].size(); ++j) {
+          row.push_back(rng.NextDouble(0, 5));
+        }
+      }
+      problem.edges.push_back(std::move(edge));
+    }
+    const IlpSolution solution = IlpSolver().Solve(problem);
+    EXPECT_EQ(solution.method, "dp-forest") << trial;
+    EXPECT_NEAR(solution.objective, BruteForce(problem), 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(IlpSolver, MatchesBruteForceOnRandomGraphs) {
+  Rng rng(42);
+  for (int trial = 0; trial < 80; ++trial) {
+    const int nodes = 2 + static_cast<int>(rng.NextBounded(7));
+    const IlpProblem problem = RandomProblem(rng, nodes, 4, 0.5);
+    const IlpSolution solution = IlpSolver().Solve(problem);
+    ASSERT_TRUE(solution.feasible) << trial;
+    EXPECT_TRUE(solution.optimal) << trial;
+    EXPECT_NEAR(solution.objective, BruteForce(problem), 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(IlpSolver, MatchesBruteForceWithInfeasibleEntries) {
+  Rng rng(7);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int nodes = 2 + static_cast<int>(rng.NextBounded(6));
+    const IlpProblem problem = RandomProblem(rng, nodes, 3, 0.6, /*allow_inf=*/true);
+    const IlpSolution solution = IlpSolver().Solve(problem);
+    const double brute = BruteForce(problem);
+    if (std::isinf(brute)) {
+      EXPECT_FALSE(solution.feasible) << trial;
+    } else {
+      ASSERT_TRUE(solution.feasible) << trial;
+      EXPECT_NEAR(solution.objective, brute, 1e-9) << "trial " << trial;
+    }
+  }
+}
+
+TEST(IlpSolver, BudgetFallbackStaysFeasible) {
+  Rng rng(5);
+  IlpSolverOptions options;
+  options.max_search_nodes = 20;  // Force the fallback path.
+  const IlpProblem problem = RandomProblem(rng, 12, 4, 0.4);
+  const IlpSolution solution = IlpSolver(options).Solve(problem);
+  ASSERT_TRUE(solution.feasible);
+  EXPECT_FALSE(solution.optimal);
+  // Not necessarily optimal, but must be a valid assignment.
+  EXPECT_NEAR(solution.objective, problem.Evaluate(solution.choice), 1e-12);
+}
+
+TEST(IlpSolver, LargeChainIsFast) {
+  // 2000-node chain solved exactly by the forest DP.
+  Rng rng(3);
+  IlpProblem problem = RandomProblem(rng, 2000, 8, 0.0);
+  for (int v = 0; v + 1 < 2000; ++v) {
+    IlpProblem::Edge edge;
+    edge.u = v;
+    edge.v = v + 1;
+    edge.cost.resize(problem.node_costs[static_cast<size_t>(v)].size());
+    for (auto& row : edge.cost) {
+      for (size_t j = 0; j < problem.node_costs[static_cast<size_t>(v + 1)].size(); ++j) {
+        row.push_back(rng.NextDouble(0, 5));
+      }
+    }
+    problem.edges.push_back(std::move(edge));
+  }
+  const IlpSolution solution = IlpSolver().Solve(problem);
+  EXPECT_TRUE(solution.optimal);
+  EXPECT_EQ(solution.method, "dp-forest");
+}
+
+}  // namespace
+}  // namespace alpa

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "src/core/visualize.h"
+#include "src/models/gpt.h"
+#include "src/runtime/instruction.h"
+
+namespace alpa {
+namespace {
+
+TEST(Instruction, SingleStageProgram) {
+  const auto programs = EmitPipelinePrograms(PipelineScheduleType::k1F1B, 1, 2);
+  ASSERT_EQ(programs.size(), 1u);
+  // F0 B0 F1 B1 with alloc/free, no sends, one update.
+  int sends = 0;
+  int updates = 0;
+  for (const MeshInstruction& inst : programs[0].instructions) {
+    sends += (inst.kind == InstructionKind::kSendActivation ||
+              inst.kind == InstructionKind::kSendGradient)
+                 ? 1
+                 : 0;
+    updates += inst.kind == InstructionKind::kWeightUpdate ? 1 : 0;
+  }
+  EXPECT_EQ(sends, 0);
+  EXPECT_EQ(updates, 1);
+  EXPECT_EQ(ValidatePrograms(programs, 2), "");
+}
+
+TEST(Instruction, ProgramsValidateAcrossSchedulesAndSizes) {
+  for (auto schedule : {PipelineScheduleType::kGpipe, PipelineScheduleType::k1F1B}) {
+    for (int stages : {1, 2, 3, 5, 8}) {
+      for (int microbatches : {1, 2, 7, 16}) {
+        const auto programs = EmitPipelinePrograms(schedule, stages, microbatches);
+        EXPECT_EQ(ValidatePrograms(programs, microbatches), "")
+            << ToString(schedule) << " S=" << stages << " B=" << microbatches;
+      }
+    }
+  }
+}
+
+TEST(Instruction, TransferCountsMatchTopology) {
+  const int stages = 4;
+  const int microbatches = 8;
+  const auto programs = EmitPipelinePrograms(PipelineScheduleType::k1F1B, stages, microbatches);
+  int sends = 0;
+  for (const MeshProgram& program : programs) {
+    for (const MeshInstruction& inst : program.instructions) {
+      if (inst.kind == InstructionKind::kSendActivation) {
+        ++sends;
+      }
+    }
+  }
+  // Each of the S-1 boundaries carries B forward transfers.
+  EXPECT_EQ(sends, (stages - 1) * microbatches);
+}
+
+TEST(Instruction, ValidatorCatchesMissingRecv) {
+  auto programs = EmitPipelinePrograms(PipelineScheduleType::k1F1B, 2, 2);
+  // Drop the first recv of stage 1.
+  auto& insts = programs[1].instructions;
+  for (size_t i = 0; i < insts.size(); ++i) {
+    if (insts[i].kind == InstructionKind::kRecvActivation) {
+      insts.erase(insts.begin() + static_cast<long>(i));
+      break;
+    }
+  }
+  EXPECT_NE(ValidatePrograms(programs, 2), "");
+}
+
+TEST(Instruction, ValidatorCatchesDoubleFree) {
+  auto programs = EmitPipelinePrograms(PipelineScheduleType::k1F1B, 1, 1);
+  programs[0].instructions.push_back({InstructionKind::kFreeActivation, 0});
+  EXPECT_NE(ValidatePrograms(programs, 1), "");
+}
+
+TEST(Instruction, ValidatorCatchesDeadlock) {
+  // Two stages each waiting for the other's send before sending.
+  std::vector<MeshProgram> programs(2);
+  programs[0].stage = 0;
+  programs[1].stage = 1;
+  programs[0].instructions = {{InstructionKind::kRecvGradient, 0, 1},
+                              {InstructionKind::kAllocActivation, 0},
+                              {InstructionKind::kForward, 0},
+                              {InstructionKind::kSendActivation, 0, 1},
+                              {InstructionKind::kFreeActivation, 0}};
+  programs[1].instructions = {{InstructionKind::kRecvActivation, 0, 0},
+                              {InstructionKind::kAllocActivation, 0},
+                              {InstructionKind::kForward, 0},
+                              {InstructionKind::kSendGradient, 0, 0},
+                              {InstructionKind::kFreeActivation, 0}};
+  const std::string error = ValidatePrograms(programs, 1);
+  EXPECT_NE(error.find("deadlock"), std::string::npos) << error;
+}
+
+TEST(Instruction, ToStringRoundtrip) {
+  MeshInstruction inst{InstructionKind::kSendActivation, 3, 2};
+  EXPECT_EQ(inst.ToString(), "SEND_ACT mb=3 peer=2");
+  const auto programs = EmitPipelinePrograms(PipelineScheduleType::kGpipe, 2, 1);
+  EXPECT_NE(programs[0].ToString().find("FORWARD"), std::string::npos);
+}
+
+TEST(Visualize, TimelineRendersAllStages) {
+  PipelineSimInput input;
+  input.num_microbatches = 4;
+  for (int s = 0; s < 3; ++s) {
+    input.stages.push_back(StageExecProfile{0.1, 0.2, 0.05, 0.01, 0.0, 0.0, 0.0});
+  }
+  const std::string chart = RenderPipelineTimeline(input, 60);
+  EXPECT_NE(chart.find("stage  0"), std::string::npos);
+  EXPECT_NE(chart.find("stage  2"), std::string::npos);
+  // Bubbles ('.') must appear for a 3-stage pipeline with 4 microbatches.
+  EXPECT_NE(chart.find('.'), std::string::npos);
+  // Forward digits and backward letters appear.
+  EXPECT_NE(chart.find('0'), std::string::npos);
+  EXPECT_NE(chart.find('a'), std::string::npos);
+}
+
+TEST(Visualize, PlanSummaryShowsShardedOps) {
+  GptConfig config;
+  config.hidden = 256;
+  config.num_layers = 4;
+  config.num_heads = 8;
+  config.microbatch = 4;
+  config.seq_len = 128;
+  config.vocab = 1024;
+  Graph graph = BuildGpt(config);
+  const ClusterSpec cluster = ClusterSpec::AwsP3(1, 4);
+  ParallelizeOptions options;
+  options.num_microbatches = 8;
+  options.inter.target_layers = 4;
+  ParallelPlan plan;
+  CompileAndSimulate(graph, cluster, options, &plan);
+  const std::string summary = RenderPlanSummary(plan.pipeline);
+  EXPECT_NE(summary.find("stage 0"), std::string::npos);
+  EXPECT_NE(summary.find("S"), std::string::npos);  // Some partitioned tensor.
+
+  CompiledPipeline infeasible;
+  EXPECT_EQ(RenderPlanSummary(infeasible), "(infeasible plan)\n");
+}
+
+}  // namespace
+}  // namespace alpa

@@ -1,0 +1,132 @@
+// Cross-module integration: compile -> instructions -> simulate must agree.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/api.h"
+#include "src/core/visualize.h"
+#include "src/models/gpt.h"
+#include "src/models/moe.h"
+#include "src/models/wide_resnet.h"
+#include "src/runtime/instruction.h"
+
+namespace alpa {
+namespace {
+
+GptConfig SmallGpt() {
+  GptConfig config;
+  config.hidden = 256;
+  config.num_layers = 4;
+  config.num_heads = 8;
+  config.microbatch = 4;
+  config.seq_len = 128;
+  config.vocab = 1024;
+  return config;
+}
+
+TEST(Integration, CompiledPlanEmitsValidInstructionPrograms) {
+  Graph graph = BuildGpt(SmallGpt());
+  const ClusterSpec cluster = ClusterSpec::AwsP3(1, 4);
+  ParallelizeOptions options;
+  options.num_microbatches = 8;
+  options.inter.target_layers = 4;
+  options.inter.submesh_shapes = {SubmeshShape{1, 2}};  // Force 2 stages.
+  ParallelPlan plan;
+  const ExecutionStats stats = CompileAndSimulate(graph, cluster, options, &plan);
+  ASSERT_TRUE(stats.feasible);
+  const auto programs =
+      EmitPipelinePrograms(options.schedule, static_cast<int>(plan.pipeline.stages.size()),
+                           options.num_microbatches);
+  EXPECT_EQ(ValidatePrograms(programs, options.num_microbatches), "");
+}
+
+TEST(Integration, DpEstimateTracksSimulatedLatency) {
+  // The DP's Eq. 2 objective and the discrete-event simulation must agree
+  // within the transfer/update slack the DP approximates.
+  Graph graph = BuildGpt(SmallGpt());
+  const ClusterSpec cluster = ClusterSpec::AwsP3(1, 4);
+  ParallelizeOptions options;
+  options.num_microbatches = 16;
+  options.inter.target_layers = 4;
+  ParallelPlan plan;
+  const ExecutionStats stats = CompileAndSimulate(graph, cluster, options, &plan);
+  ASSERT_TRUE(stats.feasible);
+  EXPECT_LT(std::abs(stats.latency - plan.pipeline.dp_latency),
+            0.35 * plan.pipeline.dp_latency);
+}
+
+TEST(Integration, TotalFlopsIndependentOfPlan) {
+  // Throughput accounting uses model FLOPs; every plan of the same model
+  // must report identical total_flops.
+  const ClusterSpec cluster = ClusterSpec::AwsP3(1, 4);
+  ParallelizeOptions a;
+  a.num_microbatches = 8;
+  a.inter.target_layers = 4;
+  ParallelizeOptions b = a;
+  b.enable_interop = false;
+  Graph g1 = BuildGpt(SmallGpt());
+  Graph g2 = BuildGpt(SmallGpt());
+  const ExecutionStats sa = CompileAndSimulate(g1, cluster, a);
+  const ExecutionStats sb = CompileAndSimulate(g2, cluster, b);
+  ASSERT_TRUE(sa.feasible);
+  ASSERT_TRUE(sb.feasible);
+  EXPECT_DOUBLE_EQ(sa.total_flops, sb.total_flops);
+}
+
+TEST(Integration, MoeEndToEndAcrossTwoNodes) {
+  MoeConfig config;
+  config.hidden = 256;
+  config.num_layers = 4;
+  config.num_heads = 8;
+  config.num_experts = 8;
+  config.microbatch = 8;
+  config.seq_len = 256;
+  config.vocab = 2048;
+  Graph graph = BuildMoe(config);
+  const ClusterSpec cluster = ClusterSpec::AwsP3(2, 4);
+  ParallelizeOptions options;
+  options.num_microbatches = 8;
+  options.inter.target_layers = 4;
+  const ExecutionStats stats = CompileAndSimulate(graph, cluster, options);
+  ASSERT_TRUE(stats.feasible);
+  EXPECT_FALSE(stats.oom);
+  EXPECT_GT(stats.pflops, 0.0);
+}
+
+TEST(Integration, WideResNetTimelineHasNoGiantBubbles) {
+  WideResNetConfig config;
+  config.microbatch = 16;
+  config.base_channels = 64;
+  config.width_factor = 2;
+  Graph graph = BuildWideResNet(config);
+  const ClusterSpec cluster = ClusterSpec::AwsP3(1, 4);
+  ParallelizeOptions options;
+  options.num_microbatches = 16;
+  options.inter.target_layers = 8;
+  ParallelPlan plan;
+  const ExecutionStats stats = CompileAndSimulate(graph, cluster, options, &plan);
+  ASSERT_TRUE(stats.feasible);
+  EXPECT_LT(stats.bubble_fraction, 0.5);
+  const std::string chart = RenderPipelineTimeline(plan.sim_input, 80);
+  EXPECT_NE(chart.find("stage  0"), std::string::npos);
+}
+
+TEST(Integration, ReshardStrategyAffectsLatencyMonotonically) {
+  Graph g1 = BuildGpt(SmallGpt());
+  Graph g2 = BuildGpt(SmallGpt());
+  const ClusterSpec cluster = ClusterSpec::AwsP3(2, 2);
+  ParallelizeOptions options;
+  options.num_microbatches = 8;
+  options.inter.target_layers = 4;
+  options.inter.submesh_shapes = {SubmeshShape{1, 2}};
+  options.reshard = ReshardStrategy::kLocalAllGather;
+  const ExecutionStats fast = CompileAndSimulate(g1, cluster, options);
+  options.reshard = ReshardStrategy::kNaiveSendRecv;
+  const ExecutionStats slow = CompileAndSimulate(g2, cluster, options);
+  ASSERT_TRUE(fast.feasible);
+  ASSERT_TRUE(slow.feasible);
+  EXPECT_LE(fast.latency, slow.latency + 1e-9);
+}
+
+}  // namespace
+}  // namespace alpa

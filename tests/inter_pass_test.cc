@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "src/inter/inter_pass.h"
+#include "src/inter/stage_extraction.h"
+#include "src/models/gpt.h"
+#include "src/models/wide_resnet.h"
+#include "src/solver/operator_clustering.h"
+
+namespace alpa {
+namespace {
+
+GptConfig SmallGpt() {
+  GptConfig config;
+  config.hidden = 256;
+  config.num_layers = 4;
+  config.num_heads = 8;
+  config.microbatch = 4;
+  config.seq_len = 128;
+  config.vocab = 1024;
+  return config;
+}
+
+TEST(StageExtraction, PlaceholdersForCrossStageTensors) {
+  Graph graph = BuildGpt(SmallGpt());
+  // Layer tags from the builder: 4 layers.
+  const StageSubgraph stage = ExtractStage(graph, 1, 2);
+  stage.graph.Validate();
+  EXPECT_GT(stage.inputs.size(), 0u);
+  EXPECT_GT(stage.outputs.size(), 0u);
+  // Placeholders are inputs with ".boundary" names.
+  int placeholders = 0;
+  for (const Operator& op : stage.graph.ops()) {
+    if (op.type == OpType::kInput && op.name.find(".boundary") != std::string::npos) {
+      ++placeholders;
+    }
+  }
+  EXPECT_EQ(placeholders, static_cast<int>(stage.inputs.size()));
+}
+
+TEST(StageExtraction, ColocatesForwardAndBackward) {
+  Graph graph = BuildGpt(SmallGpt());
+  const StageSubgraph stage = ExtractStage(graph, 1, 1);
+  bool has_forward = false;
+  bool has_backward = false;
+  bool has_update = false;
+  for (const Operator& op : stage.graph.ops()) {
+    has_forward |= op.role == OpRole::kForward && op.type == OpType::kEinsum;
+    has_backward |= op.role == OpRole::kBackward;
+    has_update |= op.type == OpType::kUpdate;
+  }
+  EXPECT_TRUE(has_forward);
+  EXPECT_TRUE(has_backward);
+  EXPECT_TRUE(has_update);
+}
+
+TEST(StageExtraction, FullRangeKeepsEverything) {
+  Graph graph = BuildGpt(SmallGpt());
+  const StageSubgraph stage = ExtractStage(graph, 0, graph.NumLayers() - 1);
+  EXPECT_EQ(stage.graph.size(), graph.size());
+  EXPECT_TRUE(stage.inputs.empty());
+  EXPECT_TRUE(stage.outputs.empty());
+}
+
+TEST(InterPass, StagesCoverClusterAndLayers) {
+  Graph graph = BuildGpt(SmallGpt());
+  const ClusterSpec cluster = ClusterSpec::AwsP3(1, 4);
+  InterOpOptions options;
+  options.num_microbatches = 8;
+  options.target_layers = 4;
+  const CompiledPipeline pipeline = RunInterOpPass(graph, cluster, options);
+  ASSERT_TRUE(pipeline.feasible);
+  int devices = 0;
+  int next_layer = 0;
+  for (const CompiledStage& stage : pipeline.stages) {
+    devices += stage.placement.shape.num_devices();
+    EXPECT_EQ(stage.layer_begin, next_layer);
+    next_layer = stage.layer_end + 1;
+    EXPECT_GT(stage.t_intra, 0.0);
+    EXPECT_GT(stage.weight_bytes, 0.0);
+  }
+  EXPECT_EQ(devices, 4);
+  EXPECT_EQ(next_layer, graph.NumLayers());
+}
+
+TEST(InterPass, AdjacentStagesHaveBoundaryTensors) {
+  Graph graph = BuildGpt(SmallGpt());
+  const ClusterSpec cluster = ClusterSpec::AwsP3(1, 4);
+  InterOpOptions options;
+  options.num_microbatches = 8;
+  options.target_layers = 4;
+  // Force pipelining by restricting submeshes to two devices.
+  options.submesh_shapes = {SubmeshShape{1, 2}};
+  const CompiledPipeline pipeline = RunInterOpPass(graph, cluster, options);
+  ASSERT_TRUE(pipeline.feasible);
+  ASSERT_EQ(pipeline.stages.size(), 2u);
+  EXPECT_GT(pipeline.stages[0].sends_to_next.size(), 0u);
+  EXPECT_TRUE(pipeline.stages[1].sends_to_next.empty());
+  for (const CrossStageTensor& tensor : pipeline.stages[0].sends_to_next) {
+    EXPECT_GT(tensor.shape.elements(), 0);
+  }
+}
+
+TEST(InterPass, EqualLayerRestrictionFeasible) {
+  Graph graph = BuildGpt(SmallGpt());
+  const ClusterSpec cluster = ClusterSpec::AwsP3(1, 4);
+  InterOpOptions options;
+  options.num_microbatches = 8;
+  options.target_layers = 4;
+  options.equal_layer_stages = true;
+  const CompiledPipeline pipeline = RunInterOpPass(graph, cluster, options);
+  ASSERT_TRUE(pipeline.feasible);
+  // All stages span the same number of layers.
+  const int span = pipeline.stages[0].layer_end - pipeline.stages[0].layer_begin;
+  for (const CompiledStage& stage : pipeline.stages) {
+    EXPECT_EQ(stage.layer_end - stage.layer_begin, span);
+  }
+}
+
+TEST(InterPass, DpNoWorseThanEqualLayer) {
+  Graph graph1 = BuildGpt(SmallGpt());
+  Graph graph2 = BuildGpt(SmallGpt());
+  const ClusterSpec cluster = ClusterSpec::AwsP3(1, 4);
+  InterOpOptions options;
+  options.num_microbatches = 8;
+  options.target_layers = 4;
+  const CompiledPipeline dp = RunInterOpPass(graph1, cluster, options);
+  options.equal_layer_stages = true;
+  const CompiledPipeline equal = RunInterOpPass(graph2, cluster, options);
+  ASSERT_TRUE(dp.feasible);
+  ASSERT_TRUE(equal.feasible);
+  EXPECT_LE(dp.dp_latency, equal.dp_latency * 1.001);
+}
+
+TEST(InterPass, OpSpecSummaryPopulated) {
+  Graph graph = BuildGpt(SmallGpt());
+  const ClusterSpec cluster = ClusterSpec::AwsP3(1, 4);
+  InterOpOptions options;
+  options.num_microbatches = 8;
+  options.target_layers = 2;
+  const CompiledPipeline pipeline = RunInterOpPass(graph, cluster, options);
+  ASSERT_TRUE(pipeline.feasible);
+  size_t summary = 0;
+  for (const CompiledStage& stage : pipeline.stages) {
+    summary += stage.op_spec_summary.size();
+  }
+  EXPECT_GT(summary, 0u);
+}
+
+TEST(InterPass, CompileStatsAreRecorded) {
+  Graph graph = BuildGpt(SmallGpt());
+  const ClusterSpec cluster = ClusterSpec::AwsP3(1, 2);
+  InterOpOptions options;
+  options.num_microbatches = 4;
+  options.target_layers = 2;
+  const CompiledPipeline pipeline = RunInterOpPass(graph, cluster, options);
+  ASSERT_TRUE(pipeline.feasible);
+  EXPECT_GT(pipeline.stats.total_seconds, 0.0);
+  EXPECT_GT(pipeline.stats.ilp_solves, 0);
+  EXPECT_GT(pipeline.stats.num_tmax_tried, 0);
+}
+
+TEST(InterPass, HeterogeneousModelUnevenStagesAllowed) {
+  WideResNetConfig config;
+  config.microbatch = 8;
+  config.base_channels = 64;
+  config.width_factor = 2;
+  Graph graph = BuildWideResNet(config);
+  const ClusterSpec cluster = ClusterSpec::AwsP3(1, 4);
+  InterOpOptions options;
+  options.num_microbatches = 8;
+  options.target_layers = 8;
+  const CompiledPipeline pipeline = RunInterOpPass(graph, cluster, options);
+  ASSERT_TRUE(pipeline.feasible);
+}
+
+}  // namespace
+}  // namespace alpa

@@ -1,0 +1,325 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/graph/backward.h"
+#include "src/intra/algorithms.h"
+#include "src/intra/intra_pass.h"
+#include "src/intra/op_merging.h"
+#include "src/models/gpt.h"
+#include "src/models/mlp.h"
+#include "src/models/moe.h"
+
+namespace alpa {
+namespace {
+
+DeviceMesh Mesh2x2() {
+  static const ClusterSpec cluster = ClusterSpec::AwsP3(1, 4);
+  MeshPlacement placement;
+  placement.shape = SubmeshShape{1, 4};
+  return DeviceMesh::Create(cluster, placement, {2, 2});
+}
+
+DeviceMesh Mesh1xN(int n) {
+  static const ClusterSpec cluster = ClusterSpec::AwsP3(1, 8);
+  MeshPlacement placement;
+  placement.shape = SubmeshShape{1, n};
+  return DeviceMesh::Create(cluster, placement, {1, n});
+}
+
+// Finds an algorithm whose output spec matches `spec_string`.
+const ParallelAlgorithm* FindByOutput(const std::vector<ParallelAlgorithm>& algorithms,
+                                      const std::string& spec_string) {
+  for (const ParallelAlgorithm& a : algorithms) {
+    if (a.output_spec.ToString() == spec_string) {
+      return &a;
+    }
+  }
+  return nullptr;
+}
+
+TEST(Algorithms, BatchedMatmulReproducesTable2) {
+  // C[b,i,j] = A[b,i,k] B[b,k,j] on a 2x2 mesh (Table 2).
+  Graph graph;
+  const int a = graph.AddInput("a", TensorShape({16, 64, 64}), DType::kF32);
+  const int b = graph.AddInput("b", TensorShape({16, 64, 64}), DType::kF32);
+  EinsumSpec spec{"bij", {"bik", "bkj"}, {{'b', 16}, {'i', 64}, {'j', 64}, {'k', 64}}};
+  const int c = graph.AddEinsum("bmm", spec, {a, b}, DType::kF32);
+  const DeviceMesh mesh = Mesh2x2();
+  const auto algorithms =
+      EnumerateAlgorithms(graph.op(c), graph, mesh, mesh.cluster().device, Precision::kFloat32);
+  const double m_bytes = static_cast<double>(graph.op(c).OutputBytes());
+
+  // Row 1: i->0, j->1: out RS0S1, inputs RS0R / RRS1, no comm.
+  const ParallelAlgorithm* row1 = FindByOutput(algorithms, "RS0S1");
+  ASSERT_NE(row1, nullptr);
+  EXPECT_EQ(row1->input_specs[0].ToString(), "RS0R");
+  EXPECT_EQ(row1->input_specs[1].ToString(), "RRS1");
+  EXPECT_DOUBLE_EQ(row1->comm_cost, 0.0);
+  EXPECT_DOUBLE_EQ(row1->compute_cost, 0.0);
+
+  // Row 2: i->0, k->1: out RS0R with all-reduce(M/2, 1).
+  bool found_row2 = false;
+  for (const ParallelAlgorithm& algorithm : algorithms) {
+    if (algorithm.output_spec.ToString() == "RS0R" &&
+        algorithm.input_specs[0].ToString() == "RS0S1" &&
+        algorithm.input_specs[1].ToString() == "RS1R") {
+      EXPECT_DOUBLE_EQ(algorithm.comm_cost, mesh.AllReduceTime(m_bytes / 2, 1));
+      found_row2 = true;
+    }
+  }
+  EXPECT_TRUE(found_row2);
+
+  // Row 4: b->0, i->1: out S0RS1 with zero comm.
+  const ParallelAlgorithm* row4 = FindByOutput(algorithms, "S0RS1");
+  ASSERT_NE(row4, nullptr);
+  EXPECT_DOUBLE_EQ(row4->comm_cost, 0.0);
+
+  // Row 6: i->{0,1}: out RS01R, no comm.
+  const ParallelAlgorithm* row6 = FindByOutput(algorithms, "RS01R");
+  ASSERT_NE(row6, nullptr);
+  EXPECT_DOUBLE_EQ(row6->comm_cost, 0.0);
+
+  // Row 7: k->{0,1}: out RRR, all-reduce over both axes.
+  bool found_row7 = false;
+  for (const ParallelAlgorithm& algorithm : algorithms) {
+    if (algorithm.output_spec.ToString() == "RRR" &&
+        algorithm.input_specs[0].ToString() == "RRS01") {
+      EXPECT_GT(algorithm.comm_cost, 0.0);
+      found_row7 = true;
+    }
+  }
+  EXPECT_TRUE(found_row7);
+}
+
+TEST(Algorithms, ReduceScatterVariantCheaperThanAllReduce) {
+  Graph graph;
+  const int a = graph.AddInput("a", TensorShape({64, 128}), DType::kF32);
+  const int b = graph.AddInput("b", TensorShape({64, 128}), DType::kF32);
+  // Gradient-like einsum: contraction over the batch.
+  EinsumSpec spec{"mf", {"bm", "bf"}, {{'b', 64}, {'m', 128}, {'f', 128}}};
+  const int g = graph.AddEinsum("grad_w", spec, {a, b}, DType::kF32);
+  const DeviceMesh mesh = Mesh1xN(4);
+  const auto algorithms =
+      EnumerateAlgorithms(graph.op(g), graph, mesh, mesh.cluster().device, Precision::kFloat32);
+  const ParallelAlgorithm* all_reduce = nullptr;
+  const ParallelAlgorithm* reduce_scatter = nullptr;
+  for (const ParallelAlgorithm& algorithm : algorithms) {
+    if (algorithm.input_specs[0].ToString() == "S1R") {
+      if (algorithm.output_spec.ToString() == "RR") {
+        all_reduce = &algorithm;
+      }
+      if (algorithm.output_spec.ToString() == "S1R") {
+        reduce_scatter = &algorithm;
+      }
+    }
+  }
+  ASSERT_NE(all_reduce, nullptr);
+  ASSERT_NE(reduce_scatter, nullptr);
+  EXPECT_LT(reduce_scatter->comm_cost, all_reduce->comm_cost);
+}
+
+TEST(Algorithms, PointwiseFollowsBroadcastOperands) {
+  Graph graph;
+  const int x = graph.AddInput("x", TensorShape({8, 16, 32}), DType::kF32);
+  const int bias = graph.AddParameter("b", TensorShape({32}), DType::kF32);
+  const int add = graph.AddElementwise("bias_add", {x, bias});
+  const DeviceMesh mesh = Mesh2x2();
+  const auto algorithms = EnumerateAlgorithms(graph.op(add), graph, mesh, mesh.cluster().device,
+                                              Precision::kFloat32);
+  for (const ParallelAlgorithm& algorithm : algorithms) {
+    // The bias spec must be the projection of the output's last dim.
+    EXPECT_EQ(algorithm.input_specs[1].dim(0), algorithm.output_spec.dim(2)) << algorithm.name;
+  }
+}
+
+TEST(Algorithms, EmbeddingVocabShardingNeedsAllReduce) {
+  Graph graph;
+  const int ids = graph.AddInput("ids", TensorShape({8, 64}), DType::kI32);
+  const int table = graph.AddParameter("table", TensorShape({1024, 64}), DType::kF32);
+  const int emb = graph.AddEmbedding("embed", ids, table);
+  const DeviceMesh mesh = Mesh1xN(4);
+  const auto algorithms = EnumerateAlgorithms(graph.op(emb), graph, mesh, mesh.cluster().device,
+                                              Precision::kFloat32);
+  bool found_vocab_sharded = false;
+  for (const ParallelAlgorithm& algorithm : algorithms) {
+    if (algorithm.input_specs[1].ToString() == "S1R" &&
+        algorithm.output_spec.IsFullyReplicated()) {
+      EXPECT_GT(algorithm.comm_cost, 0.0);
+      found_vocab_sharded = true;
+    }
+  }
+  EXPECT_TRUE(found_vocab_sharded);
+}
+
+TEST(Algorithms, MoeDispatchExpertParallelUsesAllToAll) {
+  MoeConfig config;
+  config.hidden = 64;
+  config.num_layers = 2;
+  config.num_heads = 4;
+  config.num_experts = 8;
+  config.microbatch = 4;
+  config.seq_len = 64;
+  config.vocab = 256;
+  config.build_backward = false;
+  Graph graph = BuildMoe(config);
+  const DeviceMesh mesh = Mesh1xN(4);
+  int dispatch_id = -1;
+  for (const Operator& op : graph.ops()) {
+    if (op.type == OpType::kMoeDispatch) {
+      dispatch_id = op.id;
+    }
+  }
+  ASSERT_GE(dispatch_id, 0);
+  const auto algorithms = EnumerateAlgorithms(graph.op(dispatch_id), graph, mesh,
+                                              mesh.cluster().device, Precision::kFloat16);
+  bool expert_parallel = false;
+  for (const ParallelAlgorithm& algorithm : algorithms) {
+    if (algorithm.output_spec.dim(0) == DimSharding::kS1) {
+      EXPECT_GT(algorithm.comm_cost, 0.0) << "expert mapping requires all-to-all";
+      expert_parallel = true;
+    }
+  }
+  EXPECT_TRUE(expert_parallel);
+}
+
+TEST(OpMerging, ReluAndBiasFollowMatmul) {
+  MlpConfig config;
+  config.hidden_dims = {64};
+  config.batch = 8;
+  config.input_dim = 32;
+  config.output_dim = 16;
+  config.build_backward = false;
+  Graph graph = BuildMlp(config);
+  const MergePlan plan = ComputeMergePlan(graph);
+  for (const Operator& op : graph.ops()) {
+    if (op.type == OpType::kElementwise && op.operands.size() >= 1 &&
+        graph.op(op.operands[0]).type == OpType::kEinsum) {
+      EXPECT_NE(plan.rep[static_cast<size_t>(op.id)], op.id) << op.name << " should merge";
+    }
+  }
+  // Decision nodes are fewer than ops.
+  EXPECT_LT(plan.decision_ops.size(), static_cast<size_t>(graph.size()));
+}
+
+TEST(IntraPass, MlpPrefersDataParallelWhenActivationsDominate) {
+  MlpConfig config;
+  config.batch = 8192;
+  config.input_dim = 1024;
+  config.hidden_dims = {1024};
+  config.output_dim = 1024;
+  Graph graph = BuildMlp(config);
+  const DeviceMesh mesh = Mesh1xN(8);
+  IntraOpOptions options;
+  options.precision = Precision::kFloat32;
+  const IntraOpResult result = SolveIntraOp(graph, mesh, options);
+  ASSERT_TRUE(result.feasible);
+  // The first dense op's output should be batch-sharded.
+  for (const Operator& op : graph.ops()) {
+    if (op.type == OpType::kEinsum && op.role == OpRole::kForward) {
+      EXPECT_EQ(result.op_specs[static_cast<size_t>(op.id)].dim(0), DimSharding::kS1)
+          << op.name;
+    }
+  }
+}
+
+TEST(IntraPass, MlpPrefersOperatorParallelWhenWeightsDominate) {
+  MlpConfig config;
+  config.batch = 16;
+  config.input_dim = 8192;
+  config.hidden_dims = {8192};
+  config.output_dim = 8192;
+  Graph graph = BuildMlp(config);
+  const DeviceMesh mesh = Mesh1xN(8);
+  IntraOpOptions options;
+  options.precision = Precision::kFloat32;
+  const IntraOpResult result = SolveIntraOp(graph, mesh, options);
+  ASSERT_TRUE(result.feasible);
+  // Weights should not all be replicated: gradient all-reduce of 8k x 8k
+  // matrices dwarfs the tiny activations.
+  int sharded_params = 0;
+  for (const Operator& op : graph.ops()) {
+    if (op.type == OpType::kParameter && op.shape.rank() == 2) {
+      sharded_params +=
+          result.op_specs[static_cast<size_t>(op.id)].IsFullyReplicated() ? 0 : 1;
+    }
+  }
+  EXPECT_GT(sharded_params, 0);
+}
+
+TEST(IntraPass, SingleDeviceMeshTrivial) {
+  MlpConfig config;
+  config.batch = 32;
+  Graph graph = BuildMlp(config);
+  const DeviceMesh mesh = Mesh1xN(1);
+  IntraOpOptions options;
+  options.precision = Precision::kFloat32;
+  const IntraOpResult result = SolveIntraOp(graph, mesh, options);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_NEAR(result.objective, 0.0, 1e-9);
+  EXPECT_GT(result.t_intra, 0.0);
+}
+
+TEST(IntraPass, ReplicatedFilterForcesZeroComm) {
+  MlpConfig config;
+  Graph graph = BuildMlp(config);
+  const DeviceMesh mesh = Mesh1xN(4);
+  IntraOpOptions options;
+  options.precision = Precision::kFloat32;
+  options.filter = [](const Graph&, const DeviceMesh&, const Operator&,
+                      const ParallelAlgorithm& a) {
+    return a.output_spec.IsFullyReplicated() &&
+           std::all_of(a.input_specs.begin(), a.input_specs.end(),
+                       [](const ShardingSpec& s) { return s.IsFullyReplicated(); });
+  };
+  const IntraOpResult result = SolveIntraOp(graph, mesh, options);
+  ASSERT_TRUE(result.feasible);
+  // Replication means no communication but a 4x compute penalty over ideal.
+  EXPECT_GT(result.objective, 0.0);
+}
+
+TEST(IntraPass, GptLayerSolvesFastAndFeasible) {
+  GptConfig config;
+  config.hidden = 1024;
+  config.num_layers = 2;
+  config.num_heads = 16;
+  config.microbatch = 8;
+  config.seq_len = 512;
+  config.vocab = 4096;
+  Graph graph = BuildGpt(config);
+  const DeviceMesh mesh = Mesh1xN(4);
+  IntraOpOptions options;
+  const IntraOpResult result = SolveIntraOp(graph, mesh, options);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_GT(result.t_intra, 0.0);
+  EXPECT_GT(result.weight_bytes, 0.0);
+  EXPECT_GT(result.act_bytes_per_microbatch, 0.0);
+}
+
+TEST(IntraPass, MemoryShrinksWithMoreDevices) {
+  GptConfig config;
+  config.hidden = 512;
+  config.num_layers = 2;
+  config.num_heads = 8;
+  config.microbatch = 8;
+  config.seq_len = 256;
+  config.vocab = 2048;
+  Graph graph = BuildGpt(config);
+  IntraOpOptions options;
+  const IntraOpResult r1 = SolveIntraOp(graph, Mesh1xN(1), options);
+  const IntraOpResult r8 = SolveIntraOp(graph, Mesh1xN(8), options);
+  ASSERT_TRUE(r1.feasible);
+  ASSERT_TRUE(r8.feasible);
+  EXPECT_LT(r8.act_bytes_per_microbatch, r1.act_bytes_per_microbatch);
+  EXPECT_LT(r8.t_intra, r1.t_intra);
+}
+
+TEST(IntraPass, ProjectToTrailing) {
+  ShardingSpec spec = ShardingSpec::Make({DimSharding::kS0, DimSharding::kR, DimSharding::kS1});
+  EXPECT_EQ(ProjectToTrailing(spec, 2).ToString(), "RS1");
+  EXPECT_EQ(ProjectToTrailing(spec, 3).ToString(), "S0RS1");
+  EXPECT_EQ(ProjectToTrailing(spec, 0).ToString(), "scalar");
+}
+
+}  // namespace
+}  // namespace alpa

@@ -1,0 +1,179 @@
+// Parameterized sweeps over ALL paper model configurations (Tables 5-7):
+// graph construction invariants that must hold at every scale.
+#include <gtest/gtest.h>
+
+#include "src/models/gpt.h"
+#include "src/models/moe.h"
+#include "src/models/wide_resnet.h"
+#include "src/solver/operator_clustering.h"
+
+namespace alpa {
+namespace {
+
+// --- GPT (Table 5) ---
+
+class GptCaseSweep : public ::testing::TestWithParam<int> {
+ protected:
+  GptConfig Config() const {
+    GptConfig config = GptPaperCases()[static_cast<size_t>(GetParam())].config;
+    // Shrink the microbatch so graph construction stays cheap; parameter
+    // counts and structure are batch-independent.
+    config.microbatch = 1;
+    return config;
+  }
+};
+
+TEST_P(GptCaseSweep, GraphParamsMatchAnalytic) {
+  const GptConfig config = Config();
+  const Graph graph = BuildGpt(config);
+  EXPECT_EQ(graph.ParameterBytes() / DTypeBytes(config.dtype), config.NumParams());
+}
+
+TEST_P(GptCaseSweep, EveryParameterHasExactlyOneUpdate) {
+  const Graph graph = BuildGpt(Config());
+  std::map<int, int> updates;
+  for (const Operator& op : graph.ops()) {
+    if (op.type == OpType::kUpdate) {
+      updates[op.param_id]++;
+    }
+  }
+  for (int param : graph.ParameterIds()) {
+    EXPECT_EQ(updates[param], 1) << graph.op(param).name;
+  }
+}
+
+TEST_P(GptCaseSweep, WeightGradsAreFlagged) {
+  const Graph graph = BuildGpt(Config());
+  for (const Operator& op : graph.ops()) {
+    if (op.type == OpType::kUpdate) {
+      EXPECT_TRUE(graph.op(op.operands[1]).weight_grad ||
+                  graph.op(op.operands[1]).name.find("grad_acc") != std::string::npos)
+          << graph.op(op.operands[1]).name;
+    }
+  }
+}
+
+TEST_P(GptCaseSweep, ClusteringFeasibleAtPaperGranularity) {
+  Graph graph = BuildGpt(Config());
+  ClusteringOptions options;
+  options.num_layers = 16;
+  const ClusteringResult result = ClusterOperators(graph, options);
+  EXPECT_TRUE(result.feasible);
+}
+
+INSTANTIATE_TEST_SUITE_P(Table5, GptCaseSweep, ::testing::Range(0, 6),
+                         [](const auto& info) {
+                           std::string name =
+                               "p" +
+                               GptPaperCases()[static_cast<size_t>(info.param)].name.substr(4);
+                           for (char& c : name) {
+                             if (c == '.' || c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+// --- MoE (Table 6) ---
+
+class MoeCaseSweep : public ::testing::TestWithParam<int> {
+ protected:
+  MoeConfig Config() const {
+    MoeConfig config = MoePaperCases()[static_cast<size_t>(GetParam())].config;
+    config.microbatch = 1;
+    return config;
+  }
+};
+
+TEST_P(MoeCaseSweep, GraphParamsMatchAnalytic) {
+  const MoeConfig config = Config();
+  const Graph graph = BuildMoe(config);
+  EXPECT_EQ(graph.ParameterBytes() / DTypeBytes(config.dtype), config.NumParams());
+}
+
+TEST_P(MoeCaseSweep, HasOneMoeLayerPerTwoBlocks) {
+  const MoeConfig config = Config();
+  const Graph graph = BuildMoe(config);
+  int dispatches = 0;
+  for (const Operator& op : graph.ops()) {
+    if (op.type == OpType::kMoeDispatch && op.role == OpRole::kForward) {
+      ++dispatches;
+    }
+  }
+  EXPECT_EQ(dispatches, static_cast<int>(config.num_layers) / 2);
+}
+
+TEST_P(MoeCaseSweep, ExpertCapacityDivisible) {
+  const MoeConfig config = Config();
+  EXPECT_EQ(config.expert_capacity() % 8, 0);
+  EXPECT_GT(config.expert_capacity(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Table6, MoeCaseSweep, ::testing::Range(0, 6),
+                         [](const auto& info) {
+                           std::string name =
+                               "p" +
+                               MoePaperCases()[static_cast<size_t>(info.param)].name.substr(4);
+                           for (char& c : name) {
+                             if (c == '.' || c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+// --- Wide-ResNet (Table 7) ---
+
+class WideResNetCaseSweep : public ::testing::TestWithParam<int> {
+ protected:
+  WideResNetConfig Config() const {
+    WideResNetConfig config =
+        WideResNetPaperCases()[static_cast<size_t>(GetParam())].config;
+    config.microbatch = 8;
+    return config;
+  }
+};
+
+TEST_P(WideResNetCaseSweep, GraphParamsMatchAnalytic) {
+  const WideResNetConfig config = Config();
+  const Graph graph = BuildWideResNet(config);
+  EXPECT_EQ(graph.ParameterBytes() / DTypeBytes(config.dtype), config.NumParams());
+}
+
+TEST_P(WideResNetCaseSweep, SpatialShrinksMonotonically) {
+  const Graph graph = BuildWideResNet(Config());
+  int64_t last_spatial = 1 << 30;
+  for (const Operator& op : graph.ops()) {
+    if (op.role == OpRole::kForward && op.type == OpType::kEinsum && op.shape.rank() == 3) {
+      EXPECT_LE(op.shape.dim(1), last_spatial) << op.name;
+      last_spatial = op.shape.dim(1);
+    }
+  }
+}
+
+TEST_P(WideResNetCaseSweep, ConvolutionsCarryHaloLabels) {
+  const Graph graph = BuildWideResNet(Config());
+  int halo_convs = 0;
+  for (const Operator& op : graph.ops()) {
+    if (op.type == OpType::kEinsum && !op.einsum.halo.empty()) {
+      ++halo_convs;
+    }
+  }
+  // Every 3x3 conv (one per bottleneck) + stem, forward and backward.
+  EXPECT_GT(halo_convs, static_cast<int>(Config().num_layers) / 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Table7, WideResNetCaseSweep, ::testing::Range(0, 6),
+                         [](const auto& info) {
+                           std::string name =
+                               WideResNetPaperCases()[static_cast<size_t>(info.param)].name;
+                           for (char& c : name) {
+                             if (c == '-' || c == '.') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace alpa

@@ -1,0 +1,112 @@
+// Parameterized pipeline schedule/simulator invariants (TEST_P sweeps over
+// schedule type, stage count, and microbatch count).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "src/runtime/pipeline_schedule.h"
+#include "src/runtime/simulator.h"
+
+namespace alpa {
+namespace {
+
+using Param = std::tuple<PipelineScheduleType, int, int>;  // (schedule, S, B)
+
+class ScheduleSweep : public ::testing::TestWithParam<Param> {
+ protected:
+  PipelineScheduleType schedule_type() const { return std::get<0>(GetParam()); }
+  int stages() const { return std::get<1>(GetParam()); }
+  int microbatches() const { return std::get<2>(GetParam()); }
+};
+
+TEST_P(ScheduleSweep, DependenciesRespectedWithinStage) {
+  const auto schedule = BuildPipelineSchedule(schedule_type(), stages(), microbatches());
+  for (const auto& program : schedule) {
+    std::vector<char> forwarded(static_cast<size_t>(microbatches()), 0);
+    bool updated = false;
+    for (const auto& inst : program) {
+      switch (inst.kind) {
+        case PipelineInstruction::Kind::kForward:
+          EXPECT_FALSE(updated);
+          forwarded[static_cast<size_t>(inst.microbatch)] = 1;
+          break;
+        case PipelineInstruction::Kind::kBackward:
+          // Backward of microbatch i only after its own forward.
+          EXPECT_TRUE(forwarded[static_cast<size_t>(inst.microbatch)]);
+          break;
+        case PipelineInstruction::Kind::kUpdate:
+          updated = true;
+          break;
+      }
+    }
+    EXPECT_TRUE(updated);
+  }
+}
+
+TEST_P(ScheduleSweep, SimulatorLatencyBounds) {
+  PipelineSimInput input;
+  input.schedule = schedule_type();
+  input.num_microbatches = microbatches();
+  const double tf = 0.01;
+  const double tb = 0.02;
+  for (int s = 0; s < stages(); ++s) {
+    input.stages.push_back(StageExecProfile{tf, tb, 0.0, 0.0, 0.0, 0.0, 0.0});
+  }
+  const auto result = SimulatePipeline(input);
+  const double per_mb = tf + tb;
+  // Lower bound: the bottleneck stage's serial work. Upper bound: fully
+  // serial execution.
+  EXPECT_GE(result.latency, microbatches() * per_mb - 1e-12);
+  EXPECT_LE(result.latency, stages() * microbatches() * per_mb + 1e-12);
+  // Eq. 2 exactly for uniform stages without transfers.
+  EXPECT_NEAR(result.latency, (stages() - 1) * per_mb + microbatches() * per_mb, 1e-9);
+}
+
+TEST_P(ScheduleSweep, PeakMemoryMatchesInFlightBound) {
+  PipelineSimInput input;
+  input.schedule = schedule_type();
+  input.num_microbatches = microbatches();
+  for (int s = 0; s < stages(); ++s) {
+    StageExecProfile p;
+    p.t_forward = 0.01;
+    p.t_backward = 0.02;
+    p.act_bytes_per_microbatch = 1.0;
+    input.stages.push_back(p);
+  }
+  const auto result = SimulatePipeline(input);
+  for (int s = 0; s < stages(); ++s) {
+    const int bound =
+        MaxInFlightMicrobatches(schedule_type(), stages(), s, microbatches());
+    EXPECT_LE(result.stage_peak_bytes[static_cast<size_t>(s)], bound + 1e-9) << s;
+    EXPECT_GE(result.stage_peak_bytes[static_cast<size_t>(s)], 1.0 - 1e-9) << s;
+  }
+}
+
+TEST_P(ScheduleSweep, BusyTimeIsExactlyComputeTime) {
+  PipelineSimInput input;
+  input.schedule = schedule_type();
+  input.num_microbatches = microbatches();
+  for (int s = 0; s < stages(); ++s) {
+    input.stages.push_back(StageExecProfile{0.01, 0.02, 0.005, 0.0, 0.0, 0.0, 0.0});
+  }
+  const auto result = SimulatePipeline(input);
+  for (double busy : result.stage_busy_seconds) {
+    EXPECT_NEAR(busy, microbatches() * 0.03 + 0.005, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ScheduleSweep,
+    ::testing::Combine(::testing::Values(PipelineScheduleType::kGpipe,
+                                         PipelineScheduleType::k1F1B),
+                       ::testing::Values(1, 2, 4, 7), ::testing::Values(1, 4, 16)),
+    [](const auto& info) {
+      std::string name = "sched_" + ToString(std::get<0>(info.param)) + "_s" +
+                         std::to_string(std::get<1>(info.param)) + "_b" +
+                         std::to_string(std::get<2>(info.param));
+      return name;
+    });
+
+}  // namespace
+}  // namespace alpa

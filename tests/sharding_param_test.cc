@@ -1,0 +1,116 @@
+// Property-style sweeps over mesh shapes and tensor ranks (TEST_P).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "src/mesh/cluster_spec.h"
+#include "src/mesh/device_mesh.h"
+#include "src/spec/sharding_spec.h"
+
+namespace alpa {
+namespace {
+
+// (logical dim0, logical dim1, tensor rank).
+using SpecParam = std::tuple<int, int, int>;
+
+class ShardingSweep : public ::testing::TestWithParam<SpecParam> {
+ protected:
+  ShardingSweep() : cluster_(ClusterSpec::AwsP3(1, 8)) {
+    const auto [d0, d1, rank] = GetParam();
+    MeshPlacement placement;
+    placement.shape = SubmeshShape{1, d0 * d1};
+    mesh_ = std::make_unique<DeviceMesh>(DeviceMesh::Create(cluster_, placement, {d0, d1}));
+    std::vector<int64_t> dims;
+    for (int d = 0; d < rank; ++d) {
+      dims.push_back(64 << d);  // 64, 128, 256: divisible by all mesh dims.
+    }
+    shape_ = TensorShape(dims);
+  }
+
+  ClusterSpec cluster_;
+  std::unique_ptr<DeviceMesh> mesh_;
+  TensorShape shape_;
+};
+
+TEST_P(ShardingSweep, ShardedBytesTimesShardsEqualsTotal) {
+  for (const ShardingSpec& spec : ShardingSpec::Enumerate(shape_.rank())) {
+    if (!spec.IsValidFor(shape_, *mesh_)) {
+      continue;
+    }
+    EXPECT_EQ(spec.ShardedBytes(shape_, 4, *mesh_) * spec.TotalShards(*mesh_),
+              shape_.elements() * 4)
+        << spec.ToString();
+  }
+}
+
+TEST_P(ShardingSweep, TilesCoverTensorExactly) {
+  // Summed tile volumes over all devices = elements x replication factor.
+  for (const ShardingSpec& spec : ShardingSpec::Enumerate(shape_.rank())) {
+    if (!spec.IsValidFor(shape_, *mesh_)) {
+      continue;
+    }
+    double total = 0.0;
+    for (int i = 0; i < mesh_->dim(0); ++i) {
+      for (int j = 0; j < mesh_->dim(1); ++j) {
+        const auto tile = spec.TileSlice(shape_, *mesh_, i, j);
+        double volume = 1.0;
+        for (const auto& [lo, hi] : tile) {
+          ASSERT_LE(lo, hi);
+          ASSERT_GE(lo, 0);
+          volume *= static_cast<double>(hi - lo);
+        }
+        total += volume;
+      }
+    }
+    const double replication =
+        static_cast<double>(mesh_->num_devices()) / spec.TotalShards(*mesh_);
+    EXPECT_DOUBLE_EQ(total, static_cast<double>(shape_.elements()) * replication)
+        << spec.ToString();
+  }
+}
+
+TEST_P(ShardingSweep, ReshardTriangleInequalityViaReplicated) {
+  // Going through the fully replicated layout is never cheaper than the
+  // direct conversion (the direct path is at most gather + free slice).
+  const ShardingSpec replicated = ShardingSpec::Replicated(shape_.rank());
+  for (const ShardingSpec& src : ShardingSpec::Enumerate(shape_.rank())) {
+    if (!src.IsValidFor(shape_, *mesh_)) {
+      continue;
+    }
+    for (const ShardingSpec& dst : ShardingSpec::Enumerate(shape_.rank())) {
+      if (!dst.IsValidFor(shape_, *mesh_)) {
+        continue;
+      }
+      const double direct = ReshardCost(src, dst, shape_, 4, *mesh_);
+      const double via = ReshardCost(src, replicated, shape_, 4, *mesh_) +
+                         ReshardCost(replicated, dst, shape_, 4, *mesh_);
+      EXPECT_LE(direct, via + 1e-12) << src.ToString() << "->" << dst.ToString();
+    }
+  }
+}
+
+TEST_P(ShardingSweep, ReshardZeroIffSliceOrIdentity) {
+  for (const ShardingSpec& src : ShardingSpec::Enumerate(shape_.rank())) {
+    if (!src.IsValidFor(shape_, *mesh_)) {
+      continue;
+    }
+    // Slicing from replicated is always free.
+    EXPECT_DOUBLE_EQ(
+        ReshardCost(ShardingSpec::Replicated(shape_.rank()), src, shape_, 4, *mesh_), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MeshAndRank, ShardingSweep,
+                         ::testing::Values(SpecParam{1, 8, 2}, SpecParam{2, 4, 2},
+                                           SpecParam{4, 2, 2}, SpecParam{8, 1, 2},
+                                           SpecParam{2, 4, 3}, SpecParam{2, 2, 3},
+                                           SpecParam{2, 4, 1}, SpecParam{2, 2, 4}),
+                         [](const auto& info) {
+                           return "mesh" + std::to_string(std::get<0>(info.param)) + "x" +
+                                  std::to_string(std::get<1>(info.param)) + "_rank" +
+                                  std::to_string(std::get<2>(info.param));
+                         });
+
+}  // namespace
+}  // namespace alpa

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "src/mesh/cluster_spec.h"
+#include "src/mesh/device_mesh.h"
+#include "src/spec/sharding_spec.h"
+
+namespace alpa {
+namespace {
+
+// 2x2 mesh inside one host, as in Fig. 5 / Table 1.
+class ShardingSpecTest : public ::testing::Test {
+ protected:
+  ShardingSpecTest() : cluster_(ClusterSpec::AwsP3(1, 4)) {
+    MeshPlacement placement;
+    placement.shape = SubmeshShape{1, 4};
+    mesh_ = std::make_unique<DeviceMesh>(DeviceMesh::Create(cluster_, placement, {2, 2}));
+  }
+
+  static ShardingSpec Spec(DimSharding d0, DimSharding d1) {
+    return ShardingSpec::Make({d0, d1});
+  }
+
+  ClusterSpec cluster_;
+  std::unique_ptr<DeviceMesh> mesh_;
+  // A 1024x1024 fp32 tensor: M = 4 MiB.
+  TensorShape shape_{1024, 1024};
+  static constexpr int64_t kDtypeBytes = 4;
+  static constexpr double kM = 1024.0 * 1024.0 * 4;
+};
+
+constexpr DimSharding R = DimSharding::kR;
+constexpr DimSharding S0 = DimSharding::kS0;
+constexpr DimSharding S1 = DimSharding::kS1;
+constexpr DimSharding S01 = DimSharding::kS01;
+
+TEST_F(ShardingSpecTest, ToString) {
+  EXPECT_EQ(Spec(R, R).ToString(), "RR");
+  EXPECT_EQ(Spec(S0, R).ToString(), "S0R");
+  EXPECT_EQ(Spec(R, S0).ToString(), "RS0");
+  EXPECT_EQ(Spec(S0, S1).ToString(), "S0S1");
+  EXPECT_EQ(Spec(S01, R).ToString(), "S01R");
+}
+
+TEST_F(ShardingSpecTest, EnumerateRank2) {
+  // Fig. 5: RR, S0R, RS0, S1R, RS1, S0S1, S1S0, S01R, RS01 = 9 specs.
+  EXPECT_EQ(ShardingSpec::Enumerate(2).size(), 9u);
+}
+
+TEST_F(ShardingSpecTest, EnumerateRank3) {
+  // Axis0 choice: none or 3 dims; axis1 same; S01 merges diagonal: 16.
+  EXPECT_EQ(ShardingSpec::Enumerate(3).size(), 16u);
+}
+
+TEST_F(ShardingSpecTest, ShardedBytes) {
+  EXPECT_EQ(Spec(R, R).ShardedBytes(shape_, kDtypeBytes, *mesh_), static_cast<int64_t>(kM));
+  EXPECT_EQ(Spec(S0, R).ShardedBytes(shape_, kDtypeBytes, *mesh_), static_cast<int64_t>(kM / 2));
+  EXPECT_EQ(Spec(S0, S1).ShardedBytes(shape_, kDtypeBytes, *mesh_),
+            static_cast<int64_t>(kM / 4));
+  EXPECT_EQ(Spec(S01, R).ShardedBytes(shape_, kDtypeBytes, *mesh_),
+            static_cast<int64_t>(kM / 4));
+}
+
+TEST_F(ShardingSpecTest, Validity) {
+  EXPECT_TRUE(Spec(S0, S1).IsValidFor(shape_, *mesh_));
+  // Dim of extent 3 cannot be split 2 ways.
+  EXPECT_FALSE(Spec(S0, R).IsValidFor(TensorShape({3, 8}), *mesh_));
+  EXPECT_TRUE(Spec(R, S0).IsValidFor(TensorShape({3, 8}), *mesh_));
+}
+
+TEST_F(ShardingSpecTest, TileSlices) {
+  // RS0 on a 2x2 mesh: column-partitioned; rows of devices hold the same
+  // partition (Fig. 5).
+  const ShardingSpec spec = Spec(R, S0);
+  auto t00 = spec.TileSlice(shape_, *mesh_, 0, 0);
+  auto t01 = spec.TileSlice(shape_, *mesh_, 0, 1);
+  auto t10 = spec.TileSlice(shape_, *mesh_, 1, 0);
+  EXPECT_EQ(t00[0], (std::pair<int64_t, int64_t>{0, 1024}));
+  EXPECT_EQ(t00[1], (std::pair<int64_t, int64_t>{0, 512}));
+  EXPECT_EQ(t00, t01);  // Replicated along axis 1.
+  EXPECT_EQ(t10[1], (std::pair<int64_t, int64_t>{512, 1024}));
+}
+
+TEST_F(ShardingSpecTest, TileSlicesS01) {
+  const ShardingSpec spec = Spec(S01, R);
+  auto t = spec.TileSlice(shape_, *mesh_, 1, 1);  // Flat index 3.
+  EXPECT_EQ(t[0], (std::pair<int64_t, int64_t>{768, 1024}));
+}
+
+// --- Table 1 rows. all-gather(x, i) denotes gathering x bytes along mesh
+// axis i; mesh is 2x2 so n0 = n1 = 2. ---
+
+TEST_F(ShardingSpecTest, Table1Row1_RRtoS0S1_Free) {
+  EXPECT_DOUBLE_EQ(ReshardCost(Spec(R, R), Spec(S0, S1), shape_, kDtypeBytes, *mesh_), 0.0);
+}
+
+TEST_F(ShardingSpecTest, Table1Row2_S0RtoRR_AllGatherM0) {
+  EXPECT_DOUBLE_EQ(ReshardCost(Spec(S0, R), Spec(R, R), shape_, kDtypeBytes, *mesh_),
+                   mesh_->AllGatherTime(kM, 0));
+}
+
+TEST_F(ShardingSpecTest, Table1Row3_S0S1toS0R_AllGatherHalf1) {
+  EXPECT_DOUBLE_EQ(ReshardCost(Spec(S0, S1), Spec(S0, R), shape_, kDtypeBytes, *mesh_),
+                   mesh_->AllGatherTime(kM / 2, 1));
+}
+
+TEST_F(ShardingSpecTest, Table1Row4_S0RtoRS0_AllToAllM0) {
+  EXPECT_DOUBLE_EQ(ReshardCost(Spec(S0, R), Spec(R, S0), shape_, kDtypeBytes, *mesh_),
+                   mesh_->AllToAllTime(kM, 0));
+}
+
+TEST_F(ShardingSpecTest, Table1Row5_S0S1toS01R_AllToAllHalf1) {
+  EXPECT_DOUBLE_EQ(ReshardCost(Spec(S0, S1), Spec(S01, R), shape_, kDtypeBytes, *mesh_),
+                   mesh_->AllToAllTime(kM / 2, 1));
+}
+
+TEST_F(ShardingSpecTest, ReshardIdentityFree) {
+  for (const ShardingSpec& spec : ShardingSpec::Enumerate(2)) {
+    EXPECT_DOUBLE_EQ(ReshardCost(spec, spec, shape_, kDtypeBytes, *mesh_), 0.0)
+        << spec.ToString();
+  }
+}
+
+TEST_F(ShardingSpecTest, ReshardFullGatherS01) {
+  // S01R -> RR: hierarchical all-gather.
+  const double cost = ReshardCost(Spec(S01, R), Spec(R, R), shape_, kDtypeBytes, *mesh_);
+  EXPECT_DOUBLE_EQ(cost, mesh_->AllGatherTime(kM / 2, 1) + mesh_->AllGatherTime(kM, 0));
+}
+
+TEST_F(ShardingSpecTest, ReshardNonNegativeProperty) {
+  for (const ShardingSpec& src : ShardingSpec::Enumerate(2)) {
+    for (const ShardingSpec& dst : ShardingSpec::Enumerate(2)) {
+      const double cost = ReshardCost(src, dst, shape_, kDtypeBytes, *mesh_);
+      EXPECT_GE(cost, 0.0) << src.ToString() << "->" << dst.ToString();
+      // Gathering to replicated is always at least as expensive as any
+      // other destination reachable by slicing afterwards.
+      const double to_replicated =
+          ReshardCost(src, ShardingSpec::Replicated(2), shape_, kDtypeBytes, *mesh_);
+      EXPECT_LE(cost, to_replicated + 1e-12)
+          << src.ToString() << "->" << dst.ToString();
+    }
+  }
+}
+
+TEST_F(ShardingSpecTest, DimForAxis) {
+  EXPECT_EQ(Spec(S0, S1).DimForAxis(0), 0);
+  EXPECT_EQ(Spec(S0, S1).DimForAxis(1), 1);
+  EXPECT_EQ(Spec(R, S0).DimForAxis(0), 1);
+  EXPECT_EQ(Spec(R, S0).DimForAxis(1), -1);
+  EXPECT_EQ(Spec(S01, R).DimForAxis(0), 0);
+  EXPECT_EQ(Spec(S01, R).DimForAxis(1), 0);
+}
+
+}  // namespace
+}  // namespace alpa

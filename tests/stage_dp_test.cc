@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/mesh/submesh.h"
+#include "src/solver/stage_dp.h"
+
+namespace alpa {
+namespace {
+
+class StageDpTest : public ::testing::Test {
+ protected:
+  StageDpTest() : cluster_(ClusterSpec::AwsP3(1, 4)) {
+    shapes_ = EnumerateSubmeshShapes(cluster_);  // (1,1),(1,2),(1,4).
+  }
+  ClusterSpec cluster_;
+  std::vector<SubmeshShape> shapes_;
+
+  // Weights REPLICATED across the stage's devices (data-parallel-like);
+  // latency scales linearly with device count.
+  StageProfileFn MakeProfile(double per_layer_seconds, double weight_per_layer = 0.0,
+                             double act_per_layer = 0.0, double per_iter = 0.0) {
+    return [=, this](int begin, int end, int shape_index) {
+      const int layers = end - begin + 1;
+      const int devices = shapes_[static_cast<size_t>(shape_index)].num_devices();
+      StageProfile p;
+      p.t_intra = per_layer_seconds * layers / devices;
+      p.t_per_iteration = per_iter * layers / devices;
+      p.weight_bytes = weight_per_layer * layers;  // Replicated.
+      p.act_bytes_per_microbatch = act_per_layer * layers / devices;
+      return p;
+    };
+  }
+};
+
+TEST_F(StageDpTest, SingleStageWhenPerfectlyParallel) {
+  // With perfectly linear intra-op scaling and no memory pressure, one
+  // stage on the whole mesh always wins (no pipeline bubbles).
+  const auto result = SolveStageDp(4, 8, cluster_, shapes_, MakeProfile(1.0));
+  ASSERT_TRUE(result.feasible);
+  ASSERT_EQ(result.stages.size(), 1u);
+  EXPECT_EQ(shapes_[static_cast<size_t>(result.stages[0].shape_index)].num_devices(), 4);
+  EXPECT_NEAR(result.total_latency, 8.0, 1e-9);  // 8 microbatches x 1s.
+}
+
+TEST_F(StageDpTest, MemoryForcesPipelining) {
+  // Weights are replicated within a stage: 4 layers x 5 GB = 20 GB exceeds
+  // one device, so the model must be pipelined into smaller stages.
+  const double w = 5e9;
+  const auto result = SolveStageDp(4, 8, cluster_, shapes_, MakeProfile(1.0, w));
+  ASSERT_TRUE(result.feasible);
+  // Must split into several stages so that weights shard.
+  EXPECT_GE(result.stages.size(), 2u);
+  // All devices used.
+  int total = 0;
+  for (const auto& stage : result.stages) {
+    total += shapes_[static_cast<size_t>(stage.shape_index)].num_devices();
+  }
+  EXPECT_EQ(total, 4);
+}
+
+TEST_F(StageDpTest, InfeasibleWhenNothingFits) {
+  const auto result = SolveStageDp(4, 8, cluster_, shapes_, MakeProfile(1.0, 20e9));
+  EXPECT_FALSE(result.feasible);
+}
+
+TEST_F(StageDpTest, LayersAreContiguousAndComplete) {
+  const auto result = SolveStageDp(6, 4, cluster_, shapes_, MakeProfile(1.0, 4e9));
+  ASSERT_TRUE(result.feasible);
+  int next = 0;
+  for (const auto& stage : result.stages) {
+    EXPECT_EQ(stage.layer_begin, next);
+    EXPECT_GE(stage.layer_end, stage.layer_begin);
+    next = stage.layer_end + 1;
+  }
+  EXPECT_EQ(next, 6);
+}
+
+TEST_F(StageDpTest, Eq2ObjectiveMatchesReconstruction) {
+  const auto result = SolveStageDp(4, 16, cluster_, shapes_, MakeProfile(1.0, 4e9));
+  ASSERT_TRUE(result.feasible);
+  EXPECT_NEAR(result.total_latency,
+              result.stage_latency_sum + 15 * result.max_stage_latency, 1e-6);
+}
+
+TEST_F(StageDpTest, PerIterationCostSteersChoice) {
+  // A per-iteration cost that explodes on multi-device stages should push
+  // the DP towards fewer devices per stage... here: uniform, so it simply
+  // increases the reported latency.
+  const auto cheap = SolveStageDp(4, 8, cluster_, shapes_, MakeProfile(1.0, 4e9, 0.0, 0.0));
+  const auto costly = SolveStageDp(4, 8, cluster_, shapes_, MakeProfile(1.0, 4e9, 0.0, 8.0));
+  ASSERT_TRUE(cheap.feasible);
+  ASSERT_TRUE(costly.feasible);
+  EXPECT_GT(costly.total_latency, cheap.total_latency);
+}
+
+TEST_F(StageDpTest, MoreMicrobatchesAmortizePipeline) {
+  // Doubling B should not double latency when pipelining is effective,
+  // and per-microbatch latency must improve or stay equal.
+  const auto b8 = SolveStageDp(4, 8, cluster_, shapes_, MakeProfile(1.0, 4e9));
+  const auto b32 = SolveStageDp(4, 32, cluster_, shapes_, MakeProfile(1.0, 4e9));
+  ASSERT_TRUE(b8.feasible);
+  ASSERT_TRUE(b32.feasible);
+  EXPECT_LE(b32.total_latency / 32.0, b8.total_latency / 8.0 + 1e-9);
+}
+
+TEST_F(StageDpTest, InFlightMicrobatchesCountedPerStagePosition) {
+  // Activation-heavy layers: the first stage holds S in-flight microbatch
+  // activations; make activations so large that only late pipeline
+  // positions could hold multiple layers. The DP must still find a valid
+  // configuration or reject; verify memory accounting via feasibility flip.
+  const double act = 4e9;  // Per layer per microbatch (per device at 1 dev).
+  const auto tight = SolveStageDp(4, 8, cluster_, shapes_, MakeProfile(1.0, 0.0, act));
+  const auto loose = SolveStageDp(4, 8, cluster_, shapes_, MakeProfile(1.0, 0.0, act / 100));
+  ASSERT_TRUE(loose.feasible);
+  if (tight.feasible) {
+    // If feasible, it must have used more parallelism per early stage.
+    EXPECT_GE(tight.total_latency, loose.total_latency - 1e-9);
+  }
+}
+
+TEST_F(StageDpTest, TmaxSubsampling) {
+  StageDpOptions options;
+  options.max_tmax_candidates = 4;
+  const auto sampled = SolveStageDp(4, 8, cluster_, shapes_, MakeProfile(1.0, 4e9), options);
+  StageDpOptions full;
+  full.max_tmax_candidates = 0;
+  const auto exact = SolveStageDp(4, 8, cluster_, shapes_, MakeProfile(1.0, 4e9), full);
+  ASSERT_TRUE(sampled.feasible);
+  ASSERT_TRUE(exact.feasible);
+  // Subsampled solution within 25% of exact.
+  EXPECT_LE(sampled.total_latency, exact.total_latency * 1.25 + 1e-9);
+  EXPECT_GE(sampled.total_latency, exact.total_latency - 1e-9);
+}
+
+}  // namespace
+}  // namespace alpa
