@@ -3,6 +3,8 @@
 #define BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "src/baselines/baselines.h"
@@ -32,9 +34,25 @@ inline std::string Cell(const ExecutionStats& stats) {
 
 // Keeps bench runtime bounded: smaller solver budget (quality loss is
 // negligible thanks to the plan-family seeds). Call once at the top of a
-// benchmark's main().
-inline void TuneForBench() {
+// benchmark's main(). `compile_threads` fans the compilation pipeline out
+// across a worker pool (1 = serial, 0 = hardware concurrency); plans are
+// bit-identical for any value.
+inline void TuneForBench(int compile_threads = 1) {
   BaselineOptionTemplate().inter.profiler.intra.solver.max_search_nodes = 60'000;
+  BaselineOptionTemplate().compile_threads = compile_threads;
+}
+
+// Parses `--threads N` / `--threads=N` from a benchmark's argv.
+inline int ParseThreads(int argc, char** argv, int default_threads = 1) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      return std::atoi(argv[i + 1]);
+    }
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      return std::atoi(argv[i] + 10);
+    }
+  }
+  return default_threads;
 }
 
 }  // namespace bench

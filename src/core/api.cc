@@ -12,6 +12,7 @@ ParallelPlan Parallelize(Graph& graph, const ClusterSpec& cluster,
   ParallelPlan plan;
   InterOpOptions inter = options.inter;
   inter.num_microbatches = options.num_microbatches;
+  inter.compile_threads = options.compile_threads;
 
   // Infer the training precision from the parameters (fp16 models use
   // tensor cores; fp32 models like Wide-ResNet do not).

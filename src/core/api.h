@@ -28,7 +28,10 @@ struct ParallelizeOptions {
   // "inter-op only" baseline).
   bool enable_intraop = true;
   ReshardStrategy reshard = ReshardStrategy::kLocalAllGather;
-  InterOpOptions inter;  // num_microbatches is mirrored from above.
+  // Compilation worker threads (1 = serial, 0 = hardware concurrency).
+  // Any value yields bit-identical plans; see InterOpOptions::compile_threads.
+  int compile_threads = 1;
+  InterOpOptions inter;  // num_microbatches and compile_threads are mirrored from above.
 };
 
 struct ExecutionStats {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/support/hashing.h"
 #include "src/support/logging.h"
 
 namespace alpa {
@@ -297,6 +298,40 @@ std::string Graph::ToString() const {
     result += "\n";
   }
   return result;
+}
+
+uint64_t StructuralHash(const Graph& graph) {
+  Fnv1a64 hasher;
+  for (const Operator& o : graph.ops()) {
+    hasher.I32(static_cast<int32_t>(o.type));
+    hasher.I32(static_cast<int32_t>(o.role));
+    hasher.I32(static_cast<int32_t>(o.dtype));
+    hasher.I32(o.shape.rank());
+    for (int64_t d : o.shape.dims()) {
+      hasher.I64(d);
+    }
+    if (o.einsum.valid()) {
+      hasher.Str(o.einsum.output);
+      hasher.I32(static_cast<int32_t>(o.einsum.operands.size()));
+      for (const std::string& labels : o.einsum.operands) {
+        hasher.Str(labels);
+      }
+      for (const auto& [label, extent] : o.einsum.extents) {
+        hasher.I32(label);
+        hasher.I64(extent);
+      }
+      for (const auto& [label, kernel] : o.einsum.halo) {
+        hasher.I32(label);
+        hasher.I64(kernel);
+      }
+    }
+    hasher.I32(static_cast<int32_t>(o.operands.size()));
+    for (int operand : o.operands) {
+      hasher.I32(operand);
+    }
+  }
+  hasher.I32(graph.size());
+  return hasher.hash();
 }
 
 }  // namespace alpa

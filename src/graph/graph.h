@@ -7,6 +7,7 @@
 #ifndef SRC_GRAPH_GRAPH_H_
 #define SRC_GRAPH_GRAPH_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -75,6 +76,13 @@ class Graph {
  private:
   std::vector<Operator> ops_;
 };
+
+// 64-bit FNV-1a hash of the graph's structure: op types, roles, shapes,
+// dtypes, einsum specs, and operand wiring — everything that determines an
+// intra-op ILP, and nothing that does not (names, layer tags). Two graphs
+// with equal hashes have identical ILP problems on any mesh; the stage
+// profiler's layer dedup and the process-wide ILP memo cache key on it.
+uint64_t StructuralHash(const Graph& graph);
 
 }  // namespace alpa
 

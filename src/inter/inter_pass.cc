@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <memory>
 
 #include "src/support/logging.h"
 #include "src/support/strings.h"
+#include "src/support/thread_pool.h"
 
 namespace alpa {
 
@@ -16,90 +18,132 @@ double NowSeconds() {
       .count();
 }
 
+// One candidate stage count of the equal-layer search: DP over
+// stages x remaining devices with fixed stage boundaries.
+StageDpResult SolveEqualLayerForCount(int num_stages, int num_layers, int num_microbatches,
+                                      const std::vector<SubmeshShape>& shapes,
+                                      const StageProfileFn& profile, int total_devices,
+                                      double memory) {
+  StageDpResult result;
+  const int span = num_layers / num_stages;
+  const size_t num_shapes = shapes.size();
+  // Profiles are fetched once per (stage, shape) and reused by both the DP
+  // and the reconstruction below. Re-invoking profile() while
+  // reconstructing — as an earlier version did — repeats profiler work and
+  // lets the reconstructed plan silently diverge from the DP's costs if
+  // the profile function is not a pure cache.
+  std::vector<StageProfile> stage_profiles(static_cast<size_t>(num_stages) * num_shapes);
+  const auto profile_at = [&](int s, size_t shape_index) -> const StageProfile& {
+    return stage_profiles[static_cast<size_t>(s) * num_shapes + shape_index];
+  };
+  for (int s = 0; s < num_stages; ++s) {
+    const int begin = s * span;
+    for (size_t shape_index = 0; shape_index < num_shapes; ++shape_index) {
+      stage_profiles[static_cast<size_t>(s) * num_shapes + shape_index] =
+          profile(begin, begin + span - 1, static_cast<int>(shape_index));
+    }
+  }
+  const auto effective = [num_microbatches](const StageProfile& p) {
+    return p.t_intra + p.t_per_iteration / static_cast<double>(num_microbatches) +
+           1e-18 * (p.weight_bytes + p.act_bytes_per_microbatch);
+  };
+  // dp[s][d]: min sum of stage latencies covering stages [s, num_stages)
+  // with d devices. Track sum and reconstruct; the max is derived from the
+  // reconstruction.
+  const size_t width = static_cast<size_t>(total_devices) + 1;
+  std::vector<double> dp(static_cast<size_t>(num_stages + 1) * width, kInfCost);
+  std::vector<int> choice(static_cast<size_t>(num_stages + 1) * width, -1);
+  dp[static_cast<size_t>(num_stages) * width + 0] = 0.0;
+  for (int s = num_stages - 1; s >= 0; --s) {
+    const int in_flight = num_stages - s;
+    for (size_t shape_index = 0; shape_index < num_shapes; ++shape_index) {
+      const StageProfile& p = profile_at(s, shape_index);
+      if (!std::isfinite(p.t_intra)) {
+        continue;
+      }
+      if (p.weight_bytes + in_flight * p.act_bytes_per_microbatch + p.work_bytes > memory) {
+        continue;
+      }
+      const double t_eff = effective(p);
+      const int used = shapes[shape_index].num_devices();
+      for (int d = used; d <= total_devices; ++d) {
+        const double rest = dp[static_cast<size_t>(s + 1) * width + static_cast<size_t>(d - used)];
+        if (!std::isfinite(rest)) {
+          continue;
+        }
+        const size_t idx = static_cast<size_t>(s) * width + static_cast<size_t>(d);
+        if (t_eff + rest < dp[idx]) {
+          dp[idx] = t_eff + rest;
+          choice[idx] = static_cast<int>(shape_index);
+        }
+      }
+    }
+  }
+  const double sum = dp[static_cast<size_t>(total_devices)];
+  if (!std::isfinite(sum)) {
+    return result;
+  }
+  // Reconstruct from the cached profiles the DP scored.
+  std::vector<StageAssignment> stages;
+  double max_latency = 0.0;
+  double reconstructed_sum = 0.0;
+  int d = total_devices;
+  for (int s = 0; s < num_stages; ++s) {
+    const int shape_index = choice[static_cast<size_t>(s) * width + static_cast<size_t>(d)];
+    if (shape_index < 0) {
+      return result;
+    }
+    const int begin = s * span;
+    const StageProfile& p = profile_at(s, static_cast<size_t>(shape_index));
+    stages.push_back(StageAssignment{begin, begin + span - 1, shape_index, p.t_intra});
+    max_latency = std::max(
+        max_latency, p.t_intra + p.t_per_iteration / static_cast<double>(num_microbatches));
+    reconstructed_sum += effective(p);
+    d -= shapes[static_cast<size_t>(shape_index)].num_devices();
+  }
+  if (d != 0) {
+    return result;
+  }
+  ALPA_CHECK(std::abs(reconstructed_sum - sum) <=
+             1e-9 * std::max(1.0, std::abs(sum)))
+      << "Equal-layer reconstruction latency " << reconstructed_sum
+      << " diverged from DP value " << sum;
+  result.feasible = true;
+  result.total_latency = sum + (num_microbatches - 1) * max_latency;
+  result.stage_latency_sum = sum;
+  result.max_stage_latency = max_latency;
+  result.stages = std::move(stages);
+  return result;
+}
+
 // Restricted stage search for the "Equal layer" ablation (7.3): stage
 // boundaries are fixed to equal layer counts; only the device assignment is
-// optimized (DP over stages x remaining devices).
+// optimized. Candidate stage counts are independent, so they fan out across
+// the pool; the merge walks candidates in ascending order with strict
+// improvement, giving the same winner as the serial loop.
 StageDpResult SolveEqualLayer(int num_layers, int num_microbatches, const ClusterSpec& cluster,
                               const std::vector<SubmeshShape>& shapes,
                               const StageProfileFn& profile, const StageDpOptions& options) {
-  StageDpResult best;
   const int total_devices = cluster.num_devices();
   const double memory = options.device_memory_override > 0.0
                             ? options.device_memory_override
                             : cluster.device.memory_bytes;
+  std::vector<int> candidates;
   for (int num_stages = 1; num_stages <= std::min(num_layers, total_devices); ++num_stages) {
-    if (num_layers % num_stages != 0) {
-      continue;
+    if (num_layers % num_stages == 0) {
+      candidates.push_back(num_stages);
     }
-    const int span = num_layers / num_stages;
-    // dp[s][d]: min (sum_latency, max_latency achievable) covering stages
-    // [s, num_stages) with d devices. Track sum and reconstruct; the max is
-    // derived from the reconstruction.
-    const size_t width = static_cast<size_t>(total_devices) + 1;
-    std::vector<double> dp(static_cast<size_t>(num_stages + 1) * width, kInfCost);
-    std::vector<int> choice(static_cast<size_t>(num_stages + 1) * width, -1);
-    dp[static_cast<size_t>(num_stages) * width + 0] = 0.0;
-    for (int s = num_stages - 1; s >= 0; --s) {
-      const int begin = s * span;
-      const int end = begin + span - 1;
-      const int in_flight = num_stages - s;
-      for (size_t shape_index = 0; shape_index < shapes.size(); ++shape_index) {
-        const StageProfile p = profile(begin, end, static_cast<int>(shape_index));
-        if (!std::isfinite(p.t_intra)) {
-          continue;
-        }
-        if (p.weight_bytes + in_flight * p.act_bytes_per_microbatch + p.work_bytes > memory) {
-          continue;
-        }
-        const double t_eff =
-            p.t_intra + p.t_per_iteration / static_cast<double>(num_microbatches) +
-            1e-18 * (p.weight_bytes + p.act_bytes_per_microbatch);
-        const int used = shapes[shape_index].num_devices();
-        for (int d = used; d <= total_devices; ++d) {
-          const double rest = dp[static_cast<size_t>(s + 1) * width + static_cast<size_t>(d - used)];
-          if (!std::isfinite(rest)) {
-            continue;
-          }
-          const size_t idx = static_cast<size_t>(s) * width + static_cast<size_t>(d);
-          if (t_eff + rest < dp[idx]) {
-            dp[idx] = t_eff + rest;
-            choice[idx] = static_cast<int>(shape_index);
-          }
-        }
-      }
-    }
-    const double sum = dp[static_cast<size_t>(total_devices)];
-    if (!std::isfinite(sum)) {
-      continue;
-    }
-    // Reconstruct.
-    std::vector<StageAssignment> stages;
-    double max_latency = 0.0;
-    int d = total_devices;
-    bool ok = true;
-    for (int s = 0; s < num_stages; ++s) {
-      const int shape_index = choice[static_cast<size_t>(s) * width + static_cast<size_t>(d)];
-      if (shape_index < 0) {
-        ok = false;
-        break;
-      }
-      const int begin = s * span;
-      const StageProfile p = profile(begin, begin + span - 1, shape_index);
-      stages.push_back(StageAssignment{begin, begin + span - 1, shape_index, p.t_intra});
-      max_latency = std::max(
-          max_latency, p.t_intra + p.t_per_iteration / static_cast<double>(num_microbatches));
-      d -= shapes[static_cast<size_t>(shape_index)].num_devices();
-    }
-    if (!ok || d != 0) {
-      continue;
-    }
-    const double total = sum + (num_microbatches - 1) * max_latency;
-    if (total < best.total_latency) {
-      best.feasible = true;
-      best.total_latency = total;
-      best.stage_latency_sum = sum;
-      best.max_stage_latency = max_latency;
-      best.stages = std::move(stages);
+  }
+  std::vector<StageDpResult> results(candidates.size());
+  ParallelFor(options.pool, static_cast<int64_t>(candidates.size()), [&](int64_t i) {
+    results[static_cast<size_t>(i)] =
+        SolveEqualLayerForCount(candidates[static_cast<size_t>(i)], num_layers,
+                                num_microbatches, shapes, profile, total_devices, memory);
+  });
+  StageDpResult best;
+  for (StageDpResult& candidate : results) {
+    if (candidate.feasible && candidate.total_latency < best.total_latency) {
+      best = std::move(candidate);
     }
   }
   return best;
@@ -131,11 +175,20 @@ CompiledPipeline RunInterOpPass(Graph& graph, const ClusterSpec& cluster,
   pipeline.stats.clustering_seconds = NowSeconds() - t0;
 
   // --- 2. Profile stage-mesh pairs. ---
+  // One pool drives every parallel phase: the profiler's eager ILP sweep,
+  // the stage DP's profile precompute, and the equal-layer enumeration.
+  const int threads =
+      options.compile_threads == 0 ? ThreadPool::DefaultThreads() : options.compile_threads;
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) {
+    pool = std::make_unique<ThreadPool>(threads);
+  }
+  pipeline.stats.threads_used = std::max(threads, 1);
   const std::vector<SubmeshShape> physical_shapes =
       options.submesh_shapes.empty() ? EnumerateSubmeshShapes(cluster) : options.submesh_shapes;
   StageProfilerOptions profiler_options = options.profiler;
   profiler_options.intra.num_microbatches = options.num_microbatches;
-  StageProfiler profiler(graph, cluster, physical_shapes, profiler_options);
+  StageProfiler profiler(graph, cluster, physical_shapes, profiler_options, pool.get());
   // The DP iterates the profiler's expanded variant space (physical shape x
   // logical shape x memory mode); it only needs the physical device counts.
   const std::vector<SubmeshShape>& shapes = profiler.dp_shapes();
@@ -145,17 +198,30 @@ CompiledPipeline RunInterOpPass(Graph& graph, const ClusterSpec& cluster,
 
   // --- 3. Stage-slicing DP (Eqs. 2-4). ---
   t0 = NowSeconds();
+  StageDpOptions dp_options = options.dp;
+  dp_options.pool = pool.get();
+  const double profiling_before_dp = profiler.profiling_seconds();
   const StageDpResult dp =
       options.equal_layer_stages
           ? SolveEqualLayer(num_layers, options.num_microbatches, cluster, shapes, profile_fn,
-                            options.dp)
+                            dp_options)
           : SolveStageDp(num_layers, options.num_microbatches, cluster, shapes, profile_fn,
-                         options.dp);
-  pipeline.stats.dp_seconds = NowSeconds() - t0 - profiler.profiling_seconds();
+                         dp_options);
+  // Lazy (serial) profiling happens inside the DP's profile calls; carve
+  // its cumulative share out of the DP's wall time. Under a pool the sweep
+  // has already run, so the delta is ~0 and dp_seconds is the wall time.
+  pipeline.stats.dp_seconds =
+      std::max(0.0, NowSeconds() - t0 - (profiler.profiling_seconds() - profiling_before_dp));
   pipeline.stats.num_tmax_tried = dp.num_tmax_tried;
-  if (!dp.feasible) {
+  const auto fill_profiler_stats = [&]() {
     pipeline.stats.profiling_seconds = profiler.profiling_seconds();
+    pipeline.stats.profiling_wall_seconds = profiler.profiling_wall_seconds();
     pipeline.stats.ilp_solves = profiler.num_ilp_solves();
+    pipeline.stats.ilp_cache_hits = profiler.cache_hits();
+    pipeline.stats.ilp_cache_misses = profiler.cache_misses();
+  };
+  if (!dp.feasible) {
+    fill_profiler_stats();
     pipeline.stats.total_seconds = NowSeconds() - t_start;
     return pipeline;
   }
@@ -297,11 +363,41 @@ CompiledPipeline RunInterOpPass(Graph& graph, const ClusterSpec& cluster,
   pipeline.feasible = true;
   pipeline.dp_latency = dp.total_latency;
   pipeline.max_stage_latency = dp.max_stage_latency;
-  pipeline.stats.profiling_seconds = profiler.profiling_seconds();
-  pipeline.stats.ilp_solves = profiler.num_ilp_solves();
+  fill_profiler_stats();
   pipeline.stats.other_seconds = NowSeconds() - t0;
   pipeline.stats.total_seconds = NowSeconds() - t_start;
   return pipeline;
+}
+
+bool PlanEquals(const CompiledPipeline& a, const CompiledPipeline& b) {
+  if (a.feasible != b.feasible || a.num_microbatches != b.num_microbatches ||
+      a.dp_latency != b.dp_latency || a.max_stage_latency != b.max_stage_latency ||
+      a.stages.size() != b.stages.size()) {
+    return false;
+  }
+  for (size_t s = 0; s < a.stages.size(); ++s) {
+    const CompiledStage& x = a.stages[s];
+    const CompiledStage& y = b.stages[s];
+    if (x.layer_begin != y.layer_begin || x.layer_end != y.layer_end ||
+        !(x.placement == y.placement) || x.logical_shape != y.logical_shape ||
+        x.t_intra != y.t_intra || x.t_forward != y.t_forward || x.t_backward != y.t_backward ||
+        x.t_per_iteration != y.t_per_iteration || x.weight_bytes != y.weight_bytes ||
+        x.act_bytes_per_microbatch != y.act_bytes_per_microbatch ||
+        x.work_bytes != y.work_bytes || x.op_spec_summary != y.op_spec_summary ||
+        x.sends_to_next.size() != y.sends_to_next.size()) {
+      return false;
+    }
+    for (size_t t = 0; t < x.sends_to_next.size(); ++t) {
+      const CrossStageTensor& u = x.sends_to_next[t];
+      const CrossStageTensor& v = y.sends_to_next[t];
+      if (u.shape.dims() != v.shape.dims() || u.dtype_bytes != v.dtype_bytes ||
+          !(u.src_spec == v.src_spec) || !(u.dst_spec == v.dst_spec) ||
+          u.forward != v.forward) {
+        return false;
+      }
+    }
+  }
+  return true;
 }
 
 std::string CompiledPipeline::ToString() const {

@@ -33,6 +33,13 @@ struct InterOpOptions {
   // Restrict the submesh shapes (e.g. only (1,1) for the inter-op-only
   // baseline); empty = the full 5.2 space.
   std::vector<SubmeshShape> submesh_shapes;
+  // Worker threads for the compilation pipeline: the profiler's eager
+  // (layer x variant) ILP sweep, the stage DP's profile precompute, and the
+  // equal-layer stage-count enumeration all fan out across one pool.
+  // 1 = fully serial (no pool is created); 0 = hardware concurrency.
+  // Results are bit-identical for any thread count: parallel work writes
+  // disjoint slots and merges in index order, never completion order.
+  int compile_threads = 1;
 };
 
 // A tensor crossing a stage boundary, with the layouts on both sides.
@@ -69,12 +76,19 @@ struct CompiledStage {
 
 struct CompileStats {
   double clustering_seconds = 0.0;
-  double profiling_seconds = 0.0;  // Intra-op ILP solves (compilation + profiling analogue).
+  // Intra-op ILP solve time (compilation + profiling analogue), summed
+  // across worker threads; exceeds wall time under a pool.
+  double profiling_seconds = 0.0;
+  // Elapsed wall time spent profiling (= profiling_seconds when serial).
+  double profiling_wall_seconds = 0.0;
   double dp_seconds = 0.0;
   double other_seconds = 0.0;
   double total_seconds = 0.0;
   int64_t ilp_solves = 0;
+  int64_t ilp_cache_hits = 0;    // Process-wide memo cache hits.
+  int64_t ilp_cache_misses = 0;  // Cacheable solves that missed.
   int num_tmax_tried = 0;
+  int threads_used = 1;
 };
 
 struct CompiledPipeline {
@@ -90,6 +104,13 @@ struct CompiledPipeline {
 
 CompiledPipeline RunInterOpPass(Graph& graph, const ClusterSpec& cluster,
                                 const InterOpOptions& options);
+
+// Exact (bit-level) equality of two compiled pipelines: stage slicing,
+// placements, logical shapes, every latency/memory double, boundary
+// tensors, and op spec summaries. Timing stats are deliberately excluded.
+// The parallel compiler's determinism guarantee is stated in terms of this
+// predicate: compiling with 1 and N threads must satisfy PlanEquals.
+bool PlanEquals(const CompiledPipeline& a, const CompiledPipeline& b);
 
 }  // namespace alpa
 

@@ -1,9 +1,14 @@
 #include "src/inter/stage_profiler.h"
 
+#include <algorithm>
 #include <chrono>
+#include <unordered_map>
+#include <utility>
 
+#include "src/intra/ilp_cache.h"
 #include "src/support/logging.h"
 #include "src/support/strings.h"
+#include "src/support/thread_pool.h"
 
 namespace alpa {
 
@@ -14,8 +19,9 @@ double NowSeconds() {
       .count();
 }
 
-// Structural signature of a layer subgraph; layers with equal signatures
-// have identical ILP problems on any mesh.
+#ifndef NDEBUG
+// Full structural signature of a layer subgraph; only used to cross-check
+// the 64-bit StructuralHash for collisions in debug builds.
 std::string LayerSignature(const Graph& graph) {
   std::string sig;
   for (const Operator& op : graph.ops()) {
@@ -34,6 +40,7 @@ std::string LayerSignature(const Graph& graph) {
   }
   return sig;
 }
+#endif
 
 // Plan-space restriction realizing a memory mode, composed with any
 // caller-provided filter.
@@ -69,8 +76,8 @@ std::string StageVariant::ToString() const {
 
 StageProfiler::StageProfiler(const Graph& graph, const ClusterSpec& cluster,
                              const std::vector<SubmeshShape>& shapes,
-                             StageProfilerOptions options)
-    : graph_(graph), cluster_(cluster), options_(options) {
+                             StageProfilerOptions options, ThreadPool* pool)
+    : graph_(graph), cluster_(cluster), options_(options), pool_(pool) {
   num_layers_ = graph.NumLayers();
   ALPA_CHECK_GT(num_layers_, 0) << "Graph must be layer-tagged before profiling";
   layer_subgraphs_.reserve(static_cast<size_t>(num_layers_));
@@ -78,17 +85,28 @@ StageProfiler::StageProfiler(const Graph& graph, const ClusterSpec& cluster,
     layer_subgraphs_.push_back(ExtractStage(graph, l, l));
   }
 
-  // Structural dedup of identical layers.
+  // Structural dedup of identical layers, keyed on the 64-bit hash. The
+  // hashes double as memo-cache keys, so they are computed even when dedup
+  // is disabled.
   dedup_layer_.resize(static_cast<size_t>(num_layers_));
-  std::map<std::string, int> first_seen;
+  layer_hashes_.resize(static_cast<size_t>(num_layers_));
+  std::unordered_map<uint64_t, int> first_seen;
   for (int l = 0; l < num_layers_; ++l) {
+    const uint64_t hash = StructuralHash(layer_subgraphs_[static_cast<size_t>(l)].graph);
+    layer_hashes_[static_cast<size_t>(l)] = hash;
     if (!options_.dedup_identical_layers) {
       dedup_layer_[static_cast<size_t>(l)] = l;
       continue;
     }
-    const std::string sig = LayerSignature(layer_subgraphs_[static_cast<size_t>(l)].graph);
-    auto [it, inserted] = first_seen.emplace(sig, l);
+    auto [it, inserted] = first_seen.emplace(hash, l);
     dedup_layer_[static_cast<size_t>(l)] = it->second;
+#ifndef NDEBUG
+    if (!inserted) {
+      ALPA_CHECK(LayerSignature(layer_subgraphs_[static_cast<size_t>(l)].graph) ==
+                 LayerSignature(layer_subgraphs_[static_cast<size_t>(it->second)].graph))
+          << "StructuralHash collision between layers " << it->second << " and " << l;
+    }
+#endif
   }
 
   // Expand (physical shape x logical shape x memory mode).
@@ -105,34 +123,101 @@ StageProfiler::StageProfiler(const Graph& graph, const ClusterSpec& cluster,
       }
     }
   }
-  layer_cache_.assign(static_cast<size_t>(num_layers_),
-                      std::vector<LayerEntry>(variants_.size()));
+
+  // once_flag is immovable, so rows are emplaced at their final size and
+  // never copied or resized.
+  layer_cache_.reserve(static_cast<size_t>(num_layers_));
+  for (int l = 0; l < num_layers_; ++l) {
+    layer_cache_.emplace_back(variants_.size());
+  }
+
+  // Eager sweep: pre-solve every dedup-canonical cell across the pool. The
+  // interval DP touches exactly this set, so the sweep does no extra work;
+  // it only reorders it onto concurrent workers. Cell results are
+  // independent of solve order, so the sweep leaves the profiler in the
+  // same state lazy solving would.
+  if (pool_ != nullptr && pool_->num_threads() > 1 && !options_.exact_intervals) {
+    const double sweep_start = NowSeconds();
+    std::vector<std::pair<int, int>> cells;
+    cells.reserve(static_cast<size_t>(num_layers_) * variants_.size());
+    for (int l = 0; l < num_layers_; ++l) {
+      if (dedup_layer_[static_cast<size_t>(l)] != l) {
+        continue;
+      }
+      for (int v = 0; v < static_cast<int>(variants_.size()); ++v) {
+        cells.emplace_back(l, v);
+      }
+    }
+    ParallelFor(pool_, static_cast<int64_t>(cells.size()), [&](int64_t i) {
+      const auto& [layer, variant] = cells[static_cast<size_t>(i)];
+      EnsureLayer(layer, variant);
+    });
+    sweep_wall_seconds_ = NowSeconds() - sweep_start;
+    profiling_seconds_at_sweep_end_ = profiling_seconds();
+  }
+}
+
+double StageProfiler::profiling_wall_seconds() const {
+  if (sweep_wall_seconds_ == 0.0) {
+    return profiling_seconds();
+  }
+  return sweep_wall_seconds_ + (profiling_seconds() - profiling_seconds_at_sweep_end_);
+}
+
+void StageProfiler::AddProfilingSeconds(double seconds) {
+  double current = profiling_seconds_.load(std::memory_order_relaxed);
+  while (!profiling_seconds_.compare_exchange_weak(current, current + seconds,
+                                                   std::memory_order_relaxed)) {
+  }
 }
 
 void StageProfiler::EnsureLayer(int layer, int variant_index) {
   const int canonical = dedup_layer_[static_cast<size_t>(layer)];
-  LayerEntry& entry =
-      layer_cache_[static_cast<size_t>(layer)][static_cast<size_t>(variant_index)];
-  if (entry.ready) {
-    return;
-  }
-  if (canonical != layer) {
-    EnsureLayer(canonical, variant_index);
-    entry = layer_cache_[static_cast<size_t>(canonical)][static_cast<size_t>(variant_index)];
-    return;
-  }
+  LayerCell& cell =
+      layer_cache_[static_cast<size_t>(canonical)][static_cast<size_t>(variant_index)];
+  std::call_once(cell.once, [&] { SolveCell(canonical, variant_index, &cell); });
+}
+
+const IntraOpResult& StageProfiler::CellResult(int layer, int variant_index) const {
+  const int canonical = dedup_layer_[static_cast<size_t>(layer)];
+  return layer_cache_[static_cast<size_t>(canonical)][static_cast<size_t>(variant_index)]
+      .result;
+}
+
+void StageProfiler::SolveCell(int canonical, int variant_index, LayerCell* cell) {
   const double start = NowSeconds();
   const StageVariant& variant = variants_[static_cast<size_t>(variant_index)];
-  const StageSubgraph& subgraph = layer_subgraphs_[static_cast<size_t>(layer)];
+  const StageSubgraph& subgraph = layer_subgraphs_[static_cast<size_t>(canonical)];
+
+  // The key is built from the BASE options: the memory mode enters as a key
+  // field, not through the composed ModeFilter (which would be an
+  // unhashable closure).
+  IlpCacheKey key;
+  const bool cacheable =
+      options_.use_ilp_cache &&
+      ComputeIlpCacheKey(cluster_, variant.physical, variant.logical,
+                         static_cast<int>(variant.mode), options_.intra,
+                         layer_hashes_[static_cast<size_t>(canonical)], &key);
+  if (cacheable && IlpMemoCache::Global().Lookup(key, &cell->result)) {
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    AddProfilingSeconds(NowSeconds() - start);
+    return;
+  }
+  if (cacheable) {
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   MeshPlacement placement;
   placement.shape = variant.physical;
   IntraOpOptions intra = options_.intra;
   intra.filter = ModeFilter(variant.mode, options_.intra.filter);
   const DeviceMesh mesh = DeviceMesh::Create(cluster_, placement, variant.logical);
-  entry.result = SolveIntraOp(subgraph.graph, mesh, intra);
-  ++num_ilp_solves_;
-  entry.ready = true;
-  profiling_seconds_ += NowSeconds() - start;
+  cell->result = SolveIntraOp(subgraph.graph, mesh, intra);
+  num_ilp_solves_.fetch_add(1, std::memory_order_relaxed);
+  if (cacheable) {
+    IlpMemoCache::Global().Insert(key, cell->result);
+  }
+  AddProfilingSeconds(NowSeconds() - start);
 }
 
 StageProfile StageProfiler::Profile(int begin, int end, int variant_index) {
@@ -142,10 +227,17 @@ StageProfile StageProfiler::Profile(int begin, int end, int variant_index) {
 
   if (options_.exact_intervals) {
     const auto key = std::make_tuple(begin, end, variant_index);
-    auto it = exact_cache_.find(key);
-    if (it != exact_cache_.end()) {
-      return it->second;
+    {
+      std::lock_guard<std::mutex> lock(exact_mu_);
+      auto it = exact_cache_.find(key);
+      if (it != exact_cache_.end()) {
+        return it->second;
+      }
     }
+    // Solve outside the lock so distinct intervals profile concurrently.
+    // Two threads may race to solve the same interval; the solver is
+    // deterministic, so both compute the same profile and either insert
+    // wins.
     const double start = NowSeconds();
     const StageSubgraph subgraph = ExtractStage(graph_, begin, end);
     const StageVariant& variant = variants_[static_cast<size_t>(variant_index)];
@@ -155,7 +247,7 @@ StageProfile StageProfiler::Profile(int begin, int end, int variant_index) {
     intra.filter = ModeFilter(variant.mode, options_.intra.filter);
     const DeviceMesh mesh = DeviceMesh::Create(cluster_, placement, variant.logical);
     const IntraOpResult result = SolveIntraOp(subgraph.graph, mesh, intra);
-    ++num_ilp_solves_;
+    num_ilp_solves_.fetch_add(1, std::memory_order_relaxed);
     StageProfile profile;
     if (result.feasible) {
       profile.t_intra = result.t_intra;
@@ -164,8 +256,11 @@ StageProfile StageProfiler::Profile(int begin, int end, int variant_index) {
       profile.act_bytes_per_microbatch = result.act_bytes_per_microbatch;
       profile.work_bytes = result.work_bytes;
     }
-    profiling_seconds_ += NowSeconds() - start;
-    exact_cache_[key] = profile;
+    AddProfilingSeconds(NowSeconds() - start);
+    {
+      std::lock_guard<std::mutex> lock(exact_mu_);
+      exact_cache_.emplace(key, profile);
+    }
     return profile;
   }
 
@@ -173,8 +268,7 @@ StageProfile StageProfiler::Profile(int begin, int end, int variant_index) {
   profile.t_intra = 0.0;
   for (int l = begin; l <= end; ++l) {
     EnsureLayer(l, variant_index);
-    const IntraOpResult& result =
-        layer_cache_[static_cast<size_t>(l)][static_cast<size_t>(variant_index)].result;
+    const IntraOpResult& result = CellResult(l, variant_index);
     if (!result.feasible) {
       return StageProfile{};
     }
@@ -189,7 +283,7 @@ StageProfile StageProfiler::Profile(int begin, int end, int variant_index) {
 
 const IntraOpResult& StageProfiler::LayerResult(int layer, int variant_index) {
   EnsureLayer(layer, variant_index);
-  return layer_cache_[static_cast<size_t>(layer)][static_cast<size_t>(variant_index)].result;
+  return CellResult(layer, variant_index);
 }
 
 const StageSubgraph& StageProfiler::LayerSubgraph(int layer) const {

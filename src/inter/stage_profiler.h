@@ -12,11 +12,25 @@
 // trade execution time for memory (ZeRO-style sharding variants) per stage.
 // An exact mode that solves the full-interval ILP is available for
 // validation.
+//
+// Concurrency: the profiler is safe to call from multiple threads. Each
+// dedup-canonical (layer, variant) cell is guarded by a std::once_flag, so
+// an eager parallel sweep (run in the constructor when a ThreadPool is
+// supplied) and on-demand Profile()/LayerResult() calls never race and
+// never solve a cell twice. Solve results are independent of thread count
+// and arrival order — the ILP solver is deterministic — so parallel and
+// serial compilation produce bit-identical profiles. Solves are further
+// memoized process-wide in IlpMemoCache so structurally identical layers
+// across profiler instances (benchmark sweeps, repeated compilations)
+// reuse each other's work.
 #ifndef SRC_INTER_STAGE_PROFILER_H_
 #define SRC_INTER_STAGE_PROFILER_H_
 
 #include <array>
+#include <atomic>
+#include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -29,6 +43,8 @@
 #include "src/solver/stage_dp.h"
 
 namespace alpa {
+
+class ThreadPool;
 
 // Plan-space restriction of one profiled variant. The time-optimal ILP
 // replicates weights when gradient accumulation amortizes their
@@ -49,6 +65,9 @@ struct StageProfilerOptions {
   // Reuse ILP solutions across structurally identical layers (all
   // transformer blocks of a homogeneous model share one solve).
   bool dedup_identical_layers = true;
+  // Consult/populate the process-wide IlpMemoCache. Solves with a custom
+  // filter, forced choices, or solver seeds are never cached regardless.
+  bool use_ilp_cache = true;
 };
 
 // One point of the expanded profiling space.
@@ -61,15 +80,22 @@ struct StageVariant {
 
 class StageProfiler {
  public:
+  // When `pool` is non-null (and has >1 thread), the constructor eagerly
+  // pre-solves the full dedup-canonical (layer x variant) grid across the
+  // pool's workers; later Profile() calls then only compose cached
+  // per-layer results. With a null pool, cells solve lazily on demand,
+  // exactly as before.
   StageProfiler(const Graph& graph, const ClusterSpec& cluster,
-                const std::vector<SubmeshShape>& shapes, StageProfilerOptions options);
+                const std::vector<SubmeshShape>& shapes, StageProfilerOptions options,
+                ThreadPool* pool = nullptr);
 
   // Profile of layers [begin, end] (inclusive) under variant
-  // `variant_index`.
+  // `variant_index`. Thread-safe.
   StageProfile Profile(int begin, int end, int variant_index);
 
   // Per-layer intra-op solution of a variant (plan reporting / final stage
   // compilation). Infeasible result if the variant cannot run the layer.
+  // Thread-safe; the reference stays valid for the profiler's lifetime.
   const IntraOpResult& LayerResult(int layer, int variant_index);
   const StageSubgraph& LayerSubgraph(int layer) const;
 
@@ -77,29 +103,56 @@ class StageProfiler {
   // The DP's "shapes" view: the physical submesh of each variant.
   const std::vector<SubmeshShape>& dp_shapes() const { return dp_shapes_; }
   int num_layers() const { return num_layers_; }
-  int64_t num_ilp_solves() const { return num_ilp_solves_; }
-  double profiling_seconds() const { return profiling_seconds_; }
+  // ILP solves actually run by this instance (memo-cache hits excluded).
+  int64_t num_ilp_solves() const { return num_ilp_solves_.load(std::memory_order_relaxed); }
+  // Cumulative solve time summed across all threads. Under a pool this
+  // exceeds the elapsed wall time; see profiling_wall_seconds().
+  double profiling_seconds() const { return profiling_seconds_.load(std::memory_order_relaxed); }
+  // Elapsed wall time attributable to profiling: the eager sweep's wall
+  // time plus any serial post-sweep solves (equals profiling_seconds()
+  // when no sweep ran).
+  double profiling_wall_seconds() const;
+  // Wall time of the constructor's eager sweep (0 without a pool).
+  double sweep_wall_seconds() const { return sweep_wall_seconds_; }
+  // Process-wide memo cache traffic from this instance.
+  int64_t cache_hits() const { return cache_hits_.load(std::memory_order_relaxed); }
+  int64_t cache_misses() const { return cache_misses_.load(std::memory_order_relaxed); }
 
  private:
-  struct LayerEntry {
-    bool ready = false;
+  // One dedup-canonical solve slot. call_once makes concurrent eager and
+  // on-demand access race-free; once_flag is immovable, so rows are built
+  // in place and never resized after construction.
+  struct LayerCell {
+    std::once_flag once;
     IntraOpResult result;
   };
 
+  // Runs the cell's solve exactly once (redirecting `layer` through the
+  // structural dedup first).
   void EnsureLayer(int layer, int variant_index);
+  void SolveCell(int canonical, int variant_index, LayerCell* cell);
+  const IntraOpResult& CellResult(int layer, int variant_index) const;
+  void AddProfilingSeconds(double seconds);
 
   const Graph& graph_;
   const ClusterSpec& cluster_;
   std::vector<StageVariant> variants_;
   std::vector<SubmeshShape> dp_shapes_;
   std::vector<int> dedup_layer_;  // layer -> first structurally equal layer.
+  std::vector<uint64_t> layer_hashes_;  // StructuralHash per layer subgraph.
   StageProfilerOptions options_;
+  ThreadPool* pool_ = nullptr;
   int num_layers_ = 0;
   std::vector<StageSubgraph> layer_subgraphs_;
-  std::vector<std::vector<LayerEntry>> layer_cache_;  // [layer][variant]
+  std::vector<std::vector<LayerCell>> layer_cache_;  // [canonical layer][variant]
+  std::mutex exact_mu_;
   std::map<std::tuple<int, int, int>, StageProfile> exact_cache_;
-  int64_t num_ilp_solves_ = 0;
-  double profiling_seconds_ = 0.0;
+  std::atomic<int64_t> num_ilp_solves_{0};
+  std::atomic<int64_t> cache_hits_{0};
+  std::atomic<int64_t> cache_misses_{0};
+  std::atomic<double> profiling_seconds_{0.0};
+  double sweep_wall_seconds_ = 0.0;
+  double profiling_seconds_at_sweep_end_ = 0.0;
 };
 
 }  // namespace alpa

@@ -1,0 +1,86 @@
+#include "src/intra/ilp_cache.h"
+
+#include "src/support/hashing.h"
+
+namespace alpa {
+
+IlpMemoCache& IlpMemoCache::Global() {
+  static IlpMemoCache* cache = new IlpMemoCache();
+  return *cache;
+}
+
+bool IlpMemoCache::Lookup(const IlpCacheKey& key, IntraOpResult* result) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  *result = it->second;
+  return true;
+}
+
+void IlpMemoCache::Insert(const IlpCacheKey& key, const IntraOpResult& result) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.emplace(key, result);
+}
+
+IlpCacheStats IlpMemoCache::stats() const {
+  return IlpCacheStats{hits_.load(std::memory_order_relaxed),
+                       misses_.load(std::memory_order_relaxed)};
+}
+
+size_t IlpMemoCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void IlpMemoCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  hits_.store(0);
+  misses_.store(0);
+}
+
+bool ComputeIlpCacheKey(const ClusterSpec& cluster, const SubmeshShape& physical,
+                        std::array<int, 2> logical, int memory_mode,
+                        const IntraOpOptions& options, uint64_t structural_hash,
+                        IlpCacheKey* key) {
+  // Unhashable solver inputs: opaque closures and explicit overrides.
+  if (options.filter != nullptr || !options.forced_choice.empty() ||
+      !options.solver.seeds.empty()) {
+    return false;
+  }
+  Fnv1a64 hasher;
+  // Alpha-beta constants and device roofline: the whole cost model.
+  hasher.I32(cluster.num_hosts).I32(cluster.devices_per_host);
+  hasher.Double(cluster.device.peak_flops_fp16)
+      .Double(cluster.device.peak_flops_fp32)
+      .Double(cluster.device.memory_bytes)
+      .Double(cluster.device.memory_bandwidth)
+      .Double(cluster.device.compute_efficiency);
+  hasher.Double(cluster.intra_host_bandwidth)
+      .Double(cluster.intra_host_alpha)
+      .Double(cluster.inter_host_bandwidth)
+      .Double(cluster.inter_host_alpha);
+  // The mesh variant being profiled. The placement offset is irrelevant:
+  // collective costs depend only on the shape and whether hosts are
+  // crossed, both functions of (physical, logical).
+  hasher.I32(physical.num_hosts).I32(physical.devices_per_host);
+  hasher.I32(logical[0]).I32(logical[1]);
+  hasher.I32(memory_mode);
+  // Every option that steers the solve.
+  hasher.I32(static_cast<int32_t>(options.precision));
+  hasher.I32(options.num_microbatches);
+  hasher.Bool(options.rematerialize);
+  hasher.Double(options.activation_fraction);
+  hasher.Bool(options.seed_with_plan_families);
+  hasher.I64(options.solver.max_search_nodes);
+  hasher.I32(options.solver.beam_width);
+  key->structural_hash = structural_hash;
+  key->config_hash = hasher.hash();
+  return true;
+}
+
+}  // namespace alpa

@@ -1,0 +1,56 @@
+// Incremental FNV-1a 64-bit hashing.
+//
+// Used for the structural layer signatures of the stage profiler and the
+// keys of the process-wide ILP memo cache: a 64-bit hash replaces the large
+// heap-allocated signature strings the profiler originally compared, and
+// doubles as a dictionary key that survives across profiler instances.
+// Collisions are vanishingly unlikely at our scale (hundreds of layers);
+// debug builds additionally verify hash-equal layers are string-equal.
+#ifndef SRC_SUPPORT_HASHING_H_
+#define SRC_SUPPORT_HASHING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace alpa {
+
+class Fnv1a64 {
+ public:
+  Fnv1a64& Bytes(const void* data, size_t size) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < size; ++i) {
+      hash_ ^= p[i];
+      hash_ *= kPrime;
+    }
+    return *this;
+  }
+
+  Fnv1a64& U64(uint64_t value) { return Bytes(&value, sizeof(value)); }
+  Fnv1a64& I64(int64_t value) { return Bytes(&value, sizeof(value)); }
+  Fnv1a64& I32(int32_t value) { return Bytes(&value, sizeof(value)); }
+  Fnv1a64& Double(double value) {
+    // Bit pattern, not value: -0.0 vs 0.0 never occurs in our keys, and the
+    // bit pattern is what determinism of the memoized results depends on.
+    uint64_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    return U64(bits);
+  }
+  Fnv1a64& Bool(bool value) { return I32(value ? 1 : 0); }
+  Fnv1a64& Str(std::string_view s) {
+    Bytes(s.data(), s.size());
+    // Length-delimit so "ab"+"c" and "a"+"bc" hash differently.
+    return U64(s.size());
+  }
+
+  uint64_t hash() const { return hash_; }
+
+ private:
+  static constexpr uint64_t kOffset = 1469598103934665603ull;
+  static constexpr uint64_t kPrime = 1099511628211ull;
+  uint64_t hash_ = kOffset;
+};
+
+}  // namespace alpa
+
+#endif  // SRC_SUPPORT_HASHING_H_

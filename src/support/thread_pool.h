@@ -1,0 +1,81 @@
+// Work-stealing thread pool for the parallel compilation pipeline.
+//
+// The stage-mesh profiling grid, the stage-DP profile precomputation, and
+// the baseline plan enumerations all consist of many independent,
+// millisecond-scale units of work (one intra-op ILP solve each). This pool
+// runs them across a fixed set of worker threads: each worker owns a deque
+// it pushes nested work onto (LIFO, cache-friendly) and steals from the
+// other workers (FIFO, oldest first) when its own deque drains. Callers of
+// ParallelFor participate in the loop themselves and help execute pool
+// tasks while waiting, so nested submission from inside a task can never
+// deadlock: a waiting thread either makes progress on someone's task or
+// blocks only on work already running on another thread.
+#ifndef SRC_SUPPORT_THREAD_POOL_H_
+#define SRC_SUPPORT_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace alpa {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (>= 1). Compilation passes keep the pool
+  // nullable and fall back to serial loops; see ParallelFor below.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues `fn` for execution. Safe to call from worker threads (the task
+  // goes onto the submitting worker's own deque). Fire-and-forget: use
+  // ParallelFor when completion must be awaited.
+  void Submit(std::function<void()> fn);
+
+  // Runs fn(i) for every i in [0, n). Iterations are claimed from a shared
+  // atomic counter, so the i -> thread assignment is nondeterministic, but
+  // every iteration runs exactly once; callers must make iterations
+  // independent (write to disjoint slots) and merge results by index
+  // afterwards for deterministic output. The calling thread participates.
+  // The first exception thrown by an iteration cancels the remaining
+  // unclaimed iterations and is rethrown here after in-flight ones finish.
+  void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
+
+  // std::thread::hardware_concurrency with a floor of 1.
+  static int DefaultThreads();
+
+ private:
+  struct LoopState;
+
+  void WorkerMain(int index);
+  // Executes one queued task if any is available; returns false when every
+  // deque is empty. `self` is the calling worker's index or -1.
+  bool RunOneTask(int self);
+  void Push(int self, std::function<void()> fn);
+
+  std::vector<std::thread> workers_;
+  // One deque per worker plus one overflow deque (index = num_threads) for
+  // submissions from non-pool threads. Workers pop their own back and steal
+  // others' fronts.
+  std::vector<std::deque<std::function<void()>>> queues_;
+  std::mutex mu_;                 // Guards queues_ and stop_.
+  std::condition_variable wake_;  // Signaled on push and on stop.
+  bool stop_ = false;
+};
+
+// Serial-fallback helper used throughout the compilation passes: runs the
+// loop on `pool` when one is available, inline otherwise. Keeps call sites
+// free of threading conditionals.
+void ParallelFor(ThreadPool* pool, int64_t n, const std::function<void(int64_t)>& fn);
+
+}  // namespace alpa
+
+#endif  // SRC_SUPPORT_THREAD_POOL_H_
