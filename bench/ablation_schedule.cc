@@ -11,11 +11,11 @@
 #include "src/core/api.h"
 #include "src/models/gpt.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace alpa;
   using namespace alpa::bench;
 
-  TuneForBench();
+  InitBench(ParseBenchFlags(argc, argv));
   std::printf("=== Ablation: 1F1B vs GPipe (GPT, 4 stages on 8 GPUs) ===\n");
   std::printf("%4s | %12s %12s | %14s %14s\n", "B", "1f1b lat(s)", "gpipe lat(s)",
               "1f1b mem(GB)", "gpipe mem(GB)");
@@ -30,7 +30,7 @@ int main() {
     auto run = [&](PipelineScheduleType schedule) {
       Graph graph = BuildGpt(config);
       ParallelizeOptions options = BaselineOptionTemplate();
-      options.num_microbatches = microbatches;
+      options.inter.num_microbatches = microbatches;
       options.schedule = schedule;
       options.inter.target_layers = 8;
       // Fix the stage structure so the comparison isolates the schedule.
@@ -38,11 +38,22 @@ int main() {
       options.inter.dp.device_memory_override = 1e15;
       return CompileAndSimulate(graph, ClusterFor(8), options);
     };
-    const ExecutionStats one_f = run(PipelineScheduleType::k1F1B);
-    const ExecutionStats gpipe = run(PipelineScheduleType::kGpipe);
-    std::printf("%4d | %12.3f %12.3f | %14.2f %14.2f%s\n", microbatches, one_f.latency,
-                gpipe.latency, one_f.peak_memory_bytes / 1e9, gpipe.peak_memory_bytes / 1e9,
-                gpipe.oom ? " (gpipe OOM)" : "");
+    const StatusOr<ExecutionStats> one_f = run(PipelineScheduleType::k1F1B);
+    const StatusOr<ExecutionStats> gpipe = run(PipelineScheduleType::kGpipe);
+    // An OOM schedule surfaces as kResourceExhausted; print the paper's
+    // "oom" cell for it instead of numbers.
+    const auto cell = [](const StatusOr<ExecutionStats>& s, bool memory) -> std::string {
+      if (!s.ok()) {
+        return s.status().code() == StatusCode::kResourceExhausted ? "oom" : "-";
+      }
+      char buffer[32];
+      std::snprintf(buffer, sizeof(buffer), memory ? "%.2f" : "%.3f",
+                    memory ? s->peak_memory_bytes / 1e9 : s->latency);
+      return buffer;
+    };
+    std::printf("%4d | %12s %12s | %14s %14s\n", microbatches, cell(one_f, false).c_str(),
+                cell(gpipe, false).c_str(), cell(one_f, true).c_str(),
+                cell(gpipe, true).c_str());
     std::fflush(stdout);
   }
   return 0;

@@ -23,36 +23,52 @@ inline ClusterSpec ClusterFor(int num_gpus) {
 
 // Formats a result cell: aggregate PFLOPS, or the paper's "x" for OOM /
 // infeasible configurations.
-inline std::string Cell(const ExecutionStats& stats) {
-  if (!stats.feasible || stats.oom) {
+inline std::string Cell(const StatusOr<ExecutionStats>& stats) {
+  if (!stats.ok()) {
     return "x";
   }
   char buffer[32];
-  std::snprintf(buffer, sizeof(buffer), "%.3f", stats.pflops);
+  std::snprintf(buffer, sizeof(buffer), "%.3f", stats->pflops);
   return buffer;
 }
 
-// Keeps bench runtime bounded: smaller solver budget (quality loss is
-// negligible thanks to the plan-family seeds). Call once at the top of a
-// benchmark's main(). `compile_threads` fans the compilation pipeline out
-// across a worker pool (1 = serial, 0 = hardware concurrency); plans are
-// bit-identical for any value.
-inline void TuneForBench(int compile_threads = 1) {
-  BaselineOptionTemplate().inter.profiler.intra.solver.max_search_nodes = 60'000;
-  BaselineOptionTemplate().compile_threads = compile_threads;
-}
+// Command-line flags shared by every benchmark binary.
+struct BenchFlags {
+  // Compilation worker threads (1 = serial, 0 = hardware concurrency);
+  // plans are bit-identical for any value.
+  int threads = 1;
+  // Non-empty: write the unified compile+execute Chrome trace here.
+  std::string trace_path;
+};
 
-// Parses `--threads N` / `--threads=N` from a benchmark's argv.
-inline int ParseThreads(int argc, char** argv, int default_threads = 1) {
+// Parses `--threads N` / `--threads=N` and `--trace PATH` / `--trace=PATH`.
+inline BenchFlags ParseBenchFlags(int argc, char** argv, int default_threads = 1) {
+  BenchFlags flags;
+  flags.threads = default_threads;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      return std::atoi(argv[i + 1]);
-    }
-    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-      return std::atoi(argv[i] + 10);
+      flags.threads = std::atoi(argv[i + 1]);
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      flags.threads = std::atoi(argv[i] + 10);
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      flags.trace_path = argv[i + 1];
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      flags.trace_path = argv[i] + 8;
     }
   }
-  return default_threads;
+  return flags;
+}
+
+// Configures the shared BaselineOptionTemplate through the options builder:
+// a bounded ILP search budget (quality loss is negligible thanks to the
+// plan-family seeds), the requested worker threads, and optional tracing.
+// Call once at the top of a benchmark's main().
+inline void InitBench(const BenchFlags& flags) {
+  BaselineOptionTemplate() = ParallelizeOptions::Builder()
+                                 .search_budget(60'000)
+                                 .threads(flags.threads)
+                                 .trace(flags.trace_path)
+                                 .Build();
 }
 
 }  // namespace bench

@@ -17,10 +17,11 @@ namespace {
 using namespace alpa;
 using namespace alpa::bench;
 
-ExecutionStats RunVariant(Graph graph, const ClusterSpec& cluster, int num_microbatches,
-                          int layers, ClusteringMethod clustering, bool equal_layer) {
+StatusOr<ExecutionStats> RunVariant(Graph graph, const ClusterSpec& cluster,
+                                    int num_microbatches, int layers,
+                                    ClusteringMethod clustering, bool equal_layer) {
   ParallelizeOptions options = BaselineOptionTemplate();
-  options.num_microbatches = num_microbatches;
+  options.inter.num_microbatches = num_microbatches;
   options.inter.target_layers = layers;
   options.inter.clustering = clustering;
   options.inter.equal_layer_stages = equal_layer;
@@ -30,12 +31,12 @@ ExecutionStats RunVariant(Graph graph, const ClusterSpec& cluster, int num_micro
 template <typename BuildFn>
 void Row(const char* name, int gpus, int num_microbatches, int layers, BuildFn&& build) {
   const ClusterSpec cluster = ClusterFor(gpus);
-  const ExecutionStats dp = RunVariant(build(), cluster, num_microbatches, layers,
-                                       ClusteringMethod::kDpCommBalanced, false);
-  const ExecutionStats equal_op = RunVariant(build(), cluster, num_microbatches, layers,
-                                             ClusteringMethod::kEqualOperator, false);
-  const ExecutionStats equal_layer = RunVariant(build(), cluster, num_microbatches, layers,
-                                                ClusteringMethod::kDpCommBalanced, true);
+  const StatusOr<ExecutionStats> dp = RunVariant(build(), cluster, num_microbatches, layers,
+                                                 ClusteringMethod::kDpCommBalanced, false);
+  const StatusOr<ExecutionStats> equal_op = RunVariant(
+      build(), cluster, num_microbatches, layers, ClusteringMethod::kEqualOperator, false);
+  const StatusOr<ExecutionStats> equal_layer = RunVariant(
+      build(), cluster, num_microbatches, layers, ClusteringMethod::kDpCommBalanced, true);
   std::printf("%-12s %6d | %10s %14s %12s\n", name, gpus, Cell(dp).c_str(),
               Cell(equal_op).c_str(), Cell(equal_layer).c_str());
   std::fflush(stdout);
@@ -43,8 +44,8 @@ void Row(const char* name, int gpus, int num_microbatches, int layers, BuildFn&&
 
 }  // namespace
 
-int main() {
-  TuneForBench();
+int main(int argc, char** argv) {
+  InitBench(ParseBenchFlags(argc, argv));
   std::printf("=== Figure 10: inter-op ablation (aggregate PFLOPS) ===\n");
   std::printf("%-12s %6s | %10s %14s %12s\n", "model", "#gpus", "dp", "equal-operator",
               "equal-layer");

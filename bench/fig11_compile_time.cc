@@ -18,10 +18,10 @@ int main(int argc, char** argv) {
   using namespace alpa;
   using namespace alpa::bench;
 
-  const int threads = ParseThreads(argc, argv, 1);
-  TuneForBench(threads);
+  const BenchFlags flags = ParseBenchFlags(argc, argv, 1);
+  InitBench(flags);
   std::printf("=== Figure 11: compilation time across GPT settings (threads=%d) ===\n",
-              threads);
+              flags.threads);
   std::printf("%-10s %6s | %10s %12s %8s %8s | %10s %6s %6s\n", "model", "#gpus", "total(s)",
               "profiling(s)", "dp(s)", "other(s)", "ilp solves", "hits", "miss");
 
@@ -33,10 +33,16 @@ int main(int argc, char** argv) {
     Graph graph = BuildGpt(config);
     const ClusterSpec cluster = ClusterFor(bench_case.num_gpus);
     ParallelizeOptions options = BaselineOptionTemplate();
-    options.num_microbatches = static_cast<int>(bench_case.global_batch / config.microbatch);
+    options.inter.num_microbatches =
+        static_cast<int>(bench_case.global_batch / config.microbatch);
     options.inter.target_layers = bench_case.num_gpus >= 8 ? 16 : 8;
-    ParallelPlan plan = Parallelize(graph, cluster, options);
-    const CompileStats& stats = plan.compile_stats;
+    StatusOr<ParallelPlan> plan = Parallelize(graph, cluster, options);
+    if (!plan.ok()) {
+      std::printf("%-10s %6d | %s\n", bench_case.name.c_str(), bench_case.num_gpus,
+                  plan.status().ToString().c_str());
+      continue;
+    }
+    const CompileStats& stats = plan->compile_stats;
     std::printf("%-10s %6d | %10.2f %12.2f %8.2f %8.2f | %10lld %6lld %6lld\n",
                 bench_case.name.c_str(), bench_case.num_gpus, stats.total_seconds,
                 stats.profiling_wall_seconds, stats.dp_seconds, stats.other_seconds,

@@ -12,11 +12,19 @@
 #include "src/core/api.h"
 #include "src/models/wide_resnet.h"
 
-int main() {
+// Usage: fig13_case_study [--trace out.json]
+//
+// With --trace, the binary writes a unified Chrome/Perfetto trace: the
+// compile passes (clustering, profiling with per-cell ILP solves and
+// cache-hit annotations, stage DP) on wall-clock lanes, followed by the
+// simulated pipeline execution on one virtual-time lane per mesh
+// (forward/backward/apply_grad plus send_act/send_grad transfers and
+// bubble gaps) — the trace-view companion to the printed Fig. 13 specs.
+int main(int argc, char** argv) {
   using namespace alpa;
   using namespace alpa::bench;
 
-  TuneForBench();
+  InitBench(ParseBenchFlags(argc, argv));
   std::printf("=== Figure 13/14: Wide-ResNet parallelization case study ===\n");
 
   const WideResNetBenchmarkCase cases[] = {WideResNetPaperCases()[0],
@@ -28,15 +36,17 @@ int main() {
     Graph graph = BuildWideResNet(config);
     const ClusterSpec cluster = ClusterFor(bench_case.num_gpus);
     ParallelizeOptions options = BaselineOptionTemplate();
-    options.num_microbatches = 32;
+    options.inter.num_microbatches = 32;
     options.inter.target_layers = 12;
     ParallelPlan plan;
-    const ExecutionStats stats = CompileAndSimulate(graph, cluster, options, &plan);
-    std::printf("\n--- %s on %d GPUs: %s ---\n", bench_case.name.c_str(), bench_case.num_gpus,
-                stats.ToString().c_str());
-    if (!stats.feasible) {
+    const StatusOr<ExecutionStats> stats = CompileAndSimulate(graph, cluster, options, &plan);
+    if (!stats.ok()) {
+      std::printf("\n--- %s on %d GPUs: %s ---\n", bench_case.name.c_str(),
+                  bench_case.num_gpus, stats.status().ToString().c_str());
       continue;
     }
+    std::printf("\n--- %s on %d GPUs: %s ---\n", bench_case.name.c_str(), bench_case.num_gpus,
+                stats->ToString().c_str());
     for (size_t s = 0; s < plan.pipeline.stages.size(); ++s) {
       const CompiledStage& stage = plan.pipeline.stages[s];
       std::printf("stage %zu: layers [%d,%d] on %s logical (%d,%d)\n", s, stage.layer_begin,

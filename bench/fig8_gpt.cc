@@ -12,11 +12,11 @@
 #include "src/baselines/baselines.h"
 #include "src/models/gpt.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace alpa;
   using namespace alpa::bench;
 
-  TuneForBench();
+  InitBench(ParseBenchFlags(argc, argv));
   std::printf("=== Figure 8a: GPT weak scaling (aggregate PFLOPS) ===\n");
   std::printf("%-10s %6s %8s | %10s %12s %12s %12s\n", "model", "#gpus", "batch", "alpa",
               "megatron", "intra-only", "inter-only");
@@ -33,16 +33,16 @@ int main() {
       Graph graph = BuildGpt(config);
       return runner(std::move(graph));
     };
-    const ExecutionStats alpa = run([&](Graph g) {
+    const StatusOr<ExecutionStats> alpa = run([&](Graph g) {
       return RunAlpa(std::move(g), cluster, num_microbatches, layers).stats;
     });
-    const ExecutionStats megatron = run([&](Graph g) {
+    const StatusOr<ExecutionStats> megatron = run([&](Graph g) {
       return RunMegatron(std::move(g), cluster, num_microbatches, layers).stats;
     });
-    const ExecutionStats intra = run([&](Graph g) {
+    const StatusOr<ExecutionStats> intra = run([&](Graph g) {
       return RunIntraOnly(std::move(g), cluster, num_microbatches).stats;
     });
-    const ExecutionStats inter = run([&](Graph g) {
+    const StatusOr<ExecutionStats> inter = run([&](Graph g) {
       return RunInterOnly(std::move(g), cluster, num_microbatches, layers).stats;
     });
 

@@ -11,11 +11,11 @@
 #include "src/baselines/baselines.h"
 #include "src/models/moe.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace alpa;
   using namespace alpa::bench;
 
-  TuneForBench();
+  InitBench(ParseBenchFlags(argc, argv));
   std::printf("=== Figure 8b: MoE weak scaling (aggregate PFLOPS) ===\n");
   std::printf("%-10s %6s | %10s %12s %12s %12s | %8s\n", "model", "#gpus", "alpa", "deepspeed",
               "intra-only", "inter-only", "speedup");
@@ -28,18 +28,18 @@ int main() {
     const ClusterSpec cluster = ClusterFor(bench_case.num_gpus);
     const int layers = static_cast<int>(config.num_layers);
 
-    const ExecutionStats alpa =
+    const StatusOr<ExecutionStats> alpa =
         RunAlpa(BuildMoe(config), cluster, num_microbatches, layers).stats;
-    const ExecutionStats deepspeed =
+    const StatusOr<ExecutionStats> deepspeed =
         RunDeepSpeedMoe(BuildMoe(config), cluster, num_microbatches).stats;
-    const ExecutionStats intra =
+    const StatusOr<ExecutionStats> intra =
         RunIntraOnly(BuildMoe(config), cluster, num_microbatches).stats;
-    const ExecutionStats inter =
+    const StatusOr<ExecutionStats> inter =
         RunInterOnly(BuildMoe(config), cluster, num_microbatches, layers).stats;
 
     char speedup[32] = "-";
-    if (alpa.feasible && deepspeed.feasible && !deepspeed.oom && !alpa.oom) {
-      std::snprintf(speedup, sizeof(speedup), "%.2fx", deepspeed.latency / alpa.latency);
+    if (alpa.ok() && deepspeed.ok()) {
+      std::snprintf(speedup, sizeof(speedup), "%.2fx", deepspeed->latency / alpa->latency);
     }
     std::printf("%-10s %6d | %10s %12s %12s %12s | %8s\n", bench_case.name.c_str(),
                 bench_case.num_gpus, Cell(alpa).c_str(), Cell(deepspeed).c_str(),

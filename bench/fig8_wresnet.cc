@@ -11,11 +11,11 @@
 #include "src/baselines/baselines.h"
 #include "src/models/wide_resnet.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace alpa;
   using namespace alpa::bench;
 
-  TuneForBench();
+  InitBench(ParseBenchFlags(argc, argv));
   std::printf("=== Figure 8c: Wide-ResNet weak scaling (aggregate PFLOPS) ===\n");
   std::printf("%-14s %6s | %10s %12s %12s %12s\n", "model", "#gpus", "alpa", "pp-dp",
               "intra-only", "inter-only");
@@ -28,13 +28,13 @@ int main() {
     const ClusterSpec cluster = ClusterFor(bench_case.num_gpus);
     const int layers = 16;
 
-    const ExecutionStats alpa =
+    const StatusOr<ExecutionStats> alpa =
         RunAlpa(BuildWideResNet(config), cluster, num_microbatches, layers).stats;
-    const ExecutionStats ppdp =
+    const StatusOr<ExecutionStats> ppdp =
         RunPpDp(BuildWideResNet(config), cluster, num_microbatches, layers).stats;
-    const ExecutionStats intra =
+    const StatusOr<ExecutionStats> intra =
         RunIntraOnly(BuildWideResNet(config), cluster, num_microbatches).stats;
-    const ExecutionStats inter =
+    const StatusOr<ExecutionStats> inter =
         RunInterOnly(BuildWideResNet(config), cluster, num_microbatches, layers).stats;
 
     std::printf("%-14s %6d | %10s %12s %12s %12s\n", bench_case.name.c_str(),

@@ -27,12 +27,13 @@ void Header(const char* title) {
 template <typename BuildFn>
 void Row(int gpus, BuildFn&& build) {
   const ClusterSpec cluster = ClusterFor(gpus);
-  const ExecutionStats data = RunSingleMesh(build(), cluster, "data", DataParallelFilter()).stats;
-  const ExecutionStats zero2 = RunSingleMesh(build(), cluster, "zero2", Zero2Filter()).stats;
-  const ExecutionStats zero3 = RunSingleMesh(build(), cluster, "zero3", Zero3Filter()).stats;
-  const ExecutionStats heuristic =
+  const StatusOr<ExecutionStats> data =
+      RunSingleMesh(build(), cluster, "data", DataParallelFilter()).stats;
+  const StatusOr<ExecutionStats> zero2 = RunSingleMesh(build(), cluster, "zero2", Zero2Filter()).stats;
+  const StatusOr<ExecutionStats> zero3 = RunSingleMesh(build(), cluster, "zero3", Zero3Filter()).stats;
+  const StatusOr<ExecutionStats> heuristic =
       RunSingleMesh(build(), cluster, "heuristic", HeuristicLargestDimFilter()).stats;
-  const ExecutionStats autos = RunSingleMesh(build(), cluster, "auto", nullptr).stats;
+  const StatusOr<ExecutionStats> autos = RunSingleMesh(build(), cluster, "auto", nullptr).stats;
   std::printf("%6d | %10s %10s %10s %10s %10s\n", gpus, Cell(data).c_str(),
               Cell(zero2).c_str(), Cell(zero3).c_str(), Cell(heuristic).c_str(),
               Cell(autos).c_str());
@@ -41,8 +42,8 @@ void Row(int gpus, BuildFn&& build) {
 
 }  // namespace
 
-int main() {
-  TuneForBench();
+int main(int argc, char** argv) {
+  InitBench(ParseBenchFlags(argc, argv));
   std::printf("=== Figure 9: intra-op ablation, one node, no pipeline/GA (PFLOPS) ===\n");
 
   // 7.2: larger hidden sizes, smaller batches, fewer layers than 7.1, so

@@ -39,8 +39,9 @@ int main(int argc, char** argv) {
   using namespace alpa;
   using namespace alpa::bench;
 
-  const int threads = ParseThreads(argc, argv, 4);
-  TuneForBench();
+  const BenchFlags flags = ParseBenchFlags(argc, argv, 4);
+  const int threads = flags.threads;
+  InitBench(flags);
 
   // GPT-2.6B on 8 GPUs, sliced into 16 layers: the largest single-host
   // setting of 7.1, with enough distinct (layer, variant) cells to occupy
@@ -54,9 +55,12 @@ int main(int argc, char** argv) {
   const auto compile = [&](int compile_threads) {
     Graph graph = BuildGpt(config);
     ParallelizeOptions options = BaselineOptionTemplate();
-    options.num_microbatches = static_cast<int>(bench_case.global_batch / config.microbatch);
+    options.inter.num_microbatches =
+        static_cast<int>(bench_case.global_batch / config.microbatch);
     options.inter.target_layers = 16;
-    options.compile_threads = compile_threads;
+    // Override the template's thread count per run; the mirror stays at
+    // kInheritThreads so the authoritative field wins.
+    options.inter.compile_threads = compile_threads;
     return Parallelize(graph, cluster, options);
   };
 
@@ -75,36 +79,48 @@ int main(int argc, char** argv) {
               "solves", "hits", "misses");
 
   IlpMemoCache::Global().Clear();
-  const ParallelPlan serial = compile(1);
-  PrintRow("serial", serial.compile_stats);
+  const StatusOr<ParallelPlan> serial = compile(1);
+  if (!serial.ok()) {
+    std::printf("serial compilation failed: %s\n", serial.status().ToString().c_str());
+    return 1;
+  }
+  PrintRow("serial", serial->compile_stats);
 
   IlpMemoCache::Global().Clear();  // Fair timing: no cross-run solve reuse.
-  const ParallelPlan parallel = compile(threads);
-  PrintRow("parallel", parallel.compile_stats);
+  const StatusOr<ParallelPlan> parallel = compile(threads);
+  if (!parallel.ok()) {
+    std::printf("parallel compilation failed: %s\n", parallel.status().ToString().c_str());
+    return 1;
+  }
+  PrintRow("parallel", parallel->compile_stats);
 
   // Warm cache: same config again, without clearing — every cacheable
   // solve becomes a lookup.
-  const ParallelPlan cached = compile(threads);
-  PrintRow("parallel (warm cache)", cached.compile_stats);
+  const StatusOr<ParallelPlan> cached = compile(threads);
+  if (!cached.ok()) {
+    std::printf("warm-cache compilation failed: %s\n", cached.status().ToString().c_str());
+    return 1;
+  }
+  PrintRow("parallel (warm cache)", cached->compile_stats);
 
-  const bool identical = PlanEquals(serial.pipeline, parallel.pipeline) &&
-                         PlanEquals(serial.pipeline, cached.pipeline);
-  const double speedup = parallel.compile_stats.total_seconds > 0.0
-                             ? serial.compile_stats.total_seconds /
-                                   parallel.compile_stats.total_seconds
+  const bool identical = PlanEquals(serial->pipeline, parallel->pipeline) &&
+                         PlanEquals(serial->pipeline, cached->pipeline);
+  const double speedup = parallel->compile_stats.total_seconds > 0.0
+                             ? serial->compile_stats.total_seconds /
+                                   parallel->compile_stats.total_seconds
                              : 0.0;
   std::printf("\nplans bit-identical across runs: %s\n", identical ? "yes" : "NO (BUG)");
   std::printf("parallel speedup at %d threads: %.2fx\n", threads, speedup);
 
   std::printf("\n%-28s %12s   (paper: ours / w-o optimization)\n", "step", "seconds");
   std::printf("%-28s %12.2f   (1582.66 s / >16 hr)\n", "compilation + profiling",
-              parallel.compile_stats.profiling_wall_seconds);
+              parallel->compile_stats.profiling_wall_seconds);
   std::printf("%-28s %12.2f   (1.65 s)\n", "stage construction DP",
-              parallel.compile_stats.dp_seconds);
+              parallel->compile_stats.dp_seconds);
   std::printf("%-28s %12.2f   (4.47 s)\n", "other (clustering, codegen)",
-              parallel.compile_stats.clustering_seconds + parallel.compile_stats.other_seconds);
+              parallel->compile_stats.clustering_seconds + parallel->compile_stats.other_seconds);
   std::printf("%-28s %12.2f   (2393.26 s / >40 hr)\n", "total",
-              parallel.compile_stats.total_seconds);
+              parallel->compile_stats.total_seconds);
   std::printf("\nNote: the worker pool plays the role of the paper's distributed\n"
               "compilation across meshes; the memo cache plays the role of its\n"
               "cost-model reuse of profiled instruction costs.\n");

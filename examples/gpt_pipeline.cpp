@@ -29,13 +29,12 @@ int main() {
 
   std::printf("\n%-14s %12s %10s %10s\n", "system", "latency", "PFLOPS", "peak mem");
   for (const BaselineResult* r : {&alpa, &megatron, &intra}) {
-    if (r->stats.feasible) {
-      std::printf("%-14s %10.3f s %10.3f %7.1f GB%s\n", r->name.c_str(), r->stats.latency,
-                  r->stats.pflops, r->stats.peak_memory_bytes / 1e9,
-                  r->stats.oom ? "  (OOM)" : "");
+    if (r->stats.ok()) {
+      std::printf("%-14s %10.3f s %10.3f %7.1f GB\n", r->name.c_str(), r->stats->latency,
+                  r->stats->pflops, r->stats->peak_memory_bytes / 1e9);
     } else {
-      std::printf("%-14s %12s\n", r->name.c_str(), "infeasible");
+      std::printf("%-14s %s\n", r->name.c_str(), r->stats.status().ToString().c_str());
     }
   }
-  return alpa.stats.feasible ? 0 : 1;
+  return alpa.stats.ok() ? 0 : 1;
 }

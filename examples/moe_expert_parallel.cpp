@@ -30,15 +30,15 @@ int main() {
     const BaselineResult alpa = RunAlpa(BuildMoe(model), cluster, num_microbatches, 16);
     const BaselineResult deepspeed = RunDeepSpeedMoe(BuildMoe(model), cluster, num_microbatches);
     for (const BaselineResult* r : {&alpa, &deepspeed}) {
-      if (r->stats.feasible) {
-        std::printf("%-12s latency %8.3f s   %6.3f PFLOPS%s\n", r->name.c_str(),
-                    r->stats.latency, r->stats.pflops, r->stats.oom ? "  (OOM)" : "");
+      if (r->stats.ok()) {
+        std::printf("%-12s latency %8.3f s   %6.3f PFLOPS\n", r->name.c_str(),
+                    r->stats->latency, r->stats->pflops);
       } else {
-        std::printf("%-12s infeasible\n", r->name.c_str());
+        std::printf("%-12s %s\n", r->name.c_str(), r->stats.status().ToString().c_str());
       }
     }
-    if (alpa.stats.feasible && deepspeed.stats.feasible) {
-      std::printf("alpa speedup: %.2fx\n", deepspeed.stats.latency / alpa.stats.latency);
+    if (alpa.stats.ok() && deepspeed.stats.ok()) {
+      std::printf("alpa speedup: %.2fx\n", deepspeed.stats->latency / alpa.stats->latency);
     }
   }
   return 0;

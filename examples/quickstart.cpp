@@ -8,12 +8,25 @@
 // description, and execute the returned plan (here: on the simulated
 // cluster).
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "src/core/api.h"
 #include "src/models/mlp.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace alpa;
+
+  // Optional: `--trace out.json` writes a Chrome/Perfetto trace of the
+  // compilation passes and the simulated pipeline execution.
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[i + 1];
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
+    }
+  }
 
   // 1. Model: a 2-hidden-layer MLP with MSE loss; BuildMlp also appends the
   //    backward pass and the optimizer update (the traced train_step).
@@ -33,17 +46,26 @@ int main() {
   // 3. Parallelize: the inter-op DP slices the model into pipeline stages
   //    and the cluster into meshes; the intra-op ILP picks a sharding for
   //    every operator of every stage.
-  ParallelizeOptions options;
-  options.num_microbatches = 8;
-  options.inter.target_layers = 3;
+  const ParallelizeOptions options = ParallelizeOptions::Builder()
+                                         .microbatches(8)
+                                         .target_layers(3)
+                                         .trace(trace_path)
+                                         .Build();
   ParallelPlan plan;
-  const ExecutionStats stats = CompileAndSimulate(graph, cluster, options, &plan);
+  const StatusOr<ExecutionStats> stats = CompileAndSimulate(graph, cluster, options, &plan);
+  if (!stats.ok()) {
+    std::printf("parallelization failed: %s\n", stats.status().ToString().c_str());
+    return 1;
+  }
 
   // 4. Inspect the plan and the simulated execution.
   std::printf("\n%s\n", plan.pipeline.ToString().c_str());
-  std::printf("execution: %s\n", stats.ToString().c_str());
+  std::printf("execution: %s\n", stats->ToString().c_str());
   std::printf("compilation took %.2f s (%lld ILP solves)\n",
               plan.compile_stats.total_seconds,
               static_cast<long long>(plan.compile_stats.ilp_solves));
-  return stats.feasible ? 0 : 1;
+  if (!trace_path.empty()) {
+    std::printf("trace written to %s (open in ui.perfetto.dev)\n", trace_path.c_str());
+  }
+  return 0;
 }

@@ -6,13 +6,25 @@
 // sharding specs Alpa chose for each convolution (the Fig. 13/14 case
 // study).
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "src/core/api.h"
 #include "src/core/visualize.h"
 #include "src/models/wide_resnet.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace alpa;
+
+  // Optional: `--trace out.json` for a Chrome/Perfetto compile+execute trace.
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[i + 1];
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
+    }
+  }
 
   WideResNetConfig model;
   model.num_layers = 50;
@@ -24,17 +36,19 @@ int main() {
 
   Graph graph = BuildWideResNet(model);
   const ClusterSpec cluster = ClusterSpec::AwsP3(1, 4);
-  ParallelizeOptions options;
-  options.num_microbatches = 24;
-  options.inter.target_layers = 8;
+  const ParallelizeOptions options = ParallelizeOptions::Builder()
+                                         .microbatches(24)
+                                         .target_layers(8)
+                                         .trace(trace_path)
+                                         .Build();
   ParallelPlan plan;
-  const ExecutionStats stats = CompileAndSimulate(graph, cluster, options, &plan);
-  if (!stats.feasible) {
-    std::printf("infeasible\n");
+  const StatusOr<ExecutionStats> stats = CompileAndSimulate(graph, cluster, options, &plan);
+  if (!stats.ok()) {
+    std::printf("%s\n", stats.status().ToString().c_str());
     return 1;
   }
 
-  std::printf("\nexecution: %s\n\n", stats.ToString().c_str());
+  std::printf("\nexecution: %s\n\n", stats->ToString().c_str());
   std::printf("%s\n", RenderPlanSummary(plan.pipeline).c_str());
   std::printf("%s", RenderPipelineTimeline(plan.sim_input, 96).c_str());
   return 0;

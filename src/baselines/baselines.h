@@ -46,7 +46,10 @@ AlgorithmFilter ExpertParallelFilter();
 
 struct BaselineResult {
   std::string name;
-  ExecutionStats stats;
+  // Structured outcome: OK stats, or why the baseline cannot run this model
+  // (kInfeasible: no plan in its restricted space; kResourceExhausted: the
+  // plan OOMs — the "x" marks of Figs. 8-9).
+  StatusOr<ExecutionStats> stats;
 };
 
 // Mutable template every Run* helper starts from; benchmarks tweak shared

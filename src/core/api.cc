@@ -4,15 +4,92 @@
 
 #include "src/support/logging.h"
 #include "src/support/strings.h"
+#include "src/support/trace.h"
 
 namespace alpa {
 
-ParallelPlan Parallelize(Graph& graph, const ClusterSpec& cluster,
-                         const ParallelizeOptions& options) {
+namespace {
+
+// Flushes the accumulated trace to options.trace_path, if requested. Each
+// entry point flushes on exit, so the last call in a
+// Parallelize-then-Simulate sequence overwrites with the full timeline.
+void MaybeWriteTrace(const ParallelizeOptions& options) {
+  if (options.trace_path.empty()) {
+    return;
+  }
+  const Status status = Trace::WriteJson(options.trace_path);
+  if (!status.ok()) {
+    ALPA_LOG(WARNING) << "trace export failed: " << status.ToString();
+  }
+}
+
+}  // namespace
+
+Status ParallelizeOptions::Finalize() {
+  static const InterOpOptions kInterDefaults;
+  if (num_microbatches < 0) {
+    return Status::InvalidArgument(
+        StrFormat("num_microbatches must be positive (or 0 = inherit), got %d",
+                  num_microbatches));
+  }
+  if (num_microbatches > 0) {
+    if (inter.num_microbatches != kInterDefaults.num_microbatches &&
+        inter.num_microbatches != num_microbatches) {
+      return Status::InvalidArgument(StrFormat(
+          "num_microbatches set on both ParallelizeOptions (%d) and "
+          "InterOpOptions (%d); set it once — InterOpOptions is authoritative",
+          num_microbatches, inter.num_microbatches));
+    }
+    inter.num_microbatches = num_microbatches;
+  }
+  if (inter.num_microbatches <= 0) {
+    return Status::InvalidArgument(StrFormat("inter.num_microbatches must be positive, got %d",
+                                             inter.num_microbatches));
+  }
+
+  if (compile_threads < kInheritThreads) {
+    return Status::InvalidArgument(
+        StrFormat("compile_threads must be >= 0 (or kInheritThreads), got %d", compile_threads));
+  }
+  if (compile_threads != kInheritThreads) {
+    if (inter.compile_threads != kInterDefaults.compile_threads &&
+        inter.compile_threads != compile_threads) {
+      return Status::InvalidArgument(StrFormat(
+          "compile_threads set on both ParallelizeOptions (%d) and "
+          "InterOpOptions (%d); set it once — InterOpOptions is authoritative",
+          compile_threads, inter.compile_threads));
+    }
+    inter.compile_threads = compile_threads;
+  }
+  if (inter.compile_threads < 0) {
+    return Status::InvalidArgument(
+        StrFormat("inter.compile_threads must be >= 0, got %d", inter.compile_threads));
+  }
+  // The mirrors keep their sentinel/user values: a finalized options object
+  // can be used as a template whose inter.* fields are tweaked and
+  // re-finalized (the benchmarks' BaselineOptionTemplate pattern).
+  return Status::Ok();
+}
+
+ParallelizeOptions ParallelizeOptions::Builder::Build() const {
+  ParallelizeOptions options = options_;
+  const Status status = options.Finalize();
+  ALPA_CHECK(status.ok()) << "invalid builder configuration: " << status.ToString();
+  return options;
+}
+
+StatusOr<ParallelPlan> Parallelize(Graph& graph, const ClusterSpec& cluster,
+                                   const ParallelizeOptions& options) {
+  ParallelizeOptions opts = options;
+  ALPA_RETURN_IF_ERROR(opts.Finalize());
+  if (!opts.trace_path.empty()) {
+    Trace::Enable();
+    Trace::SetThreadName("main");  // The lane driving compilation.
+  }
+  TraceSpan span("parallelize");
+
   ParallelPlan plan;
-  InterOpOptions inter = options.inter;
-  inter.num_microbatches = options.num_microbatches;
-  inter.compile_threads = options.compile_threads;
+  InterOpOptions inter = opts.inter;
 
   // Infer the training precision from the parameters (fp16 models use
   // tensor cores; fp32 models like Wide-ResNet do not).
@@ -23,14 +100,14 @@ ParallelPlan Parallelize(Graph& graph, const ClusterSpec& cluster,
   inter.profiler.intra.precision =
       any_f32_param ? Precision::kFloat32 : Precision::kFloat16;
 
-  if (!options.enable_interop) {
+  if (!opts.enable_interop) {
     // The whole cluster is a single mesh; the DP degenerates to one stage.
     inter.submesh_shapes = {SubmeshShape{cluster.num_hosts, cluster.devices_per_host}};
     if (inter.target_layers == 0 && graph.NumLayers() == 0) {
       inter.target_layers = 1;
     }
   }
-  if (!options.enable_intraop) {
+  if (!opts.enable_intraop) {
     // Stages execute unpartitioned: single-device submeshes only, and the
     // intra-op pass restricted to fully replicated layouts.
     inter.submesh_shapes = {SubmeshShape{1, 1}};
@@ -45,14 +122,18 @@ ParallelPlan Parallelize(Graph& graph, const ClusterSpec& cluster,
   plan.pipeline = RunInterOpPass(graph, cluster, inter);
   plan.compile_stats = plan.pipeline.stats;
   if (!plan.pipeline.feasible) {
-    return plan;
+    MaybeWriteTrace(opts);
+    return Status::Infeasible(plan.pipeline.infeasible_reason.empty()
+                                  ? "inter-op pass found no feasible plan"
+                                  : plan.pipeline.infeasible_reason);
   }
 
   // Orchestration: assemble per-stage execution profiles and cross-mesh
   // transfer costs for the simulator.
+  TraceSpan orchestration_span("orchestrate");
   const auto& stages = plan.pipeline.stages;
-  plan.sim_input.num_microbatches = options.num_microbatches;
-  plan.sim_input.schedule = options.schedule;
+  plan.sim_input.num_microbatches = inter.num_microbatches;
+  plan.sim_input.schedule = opts.schedule;
   plan.sim_input.device_memory_bytes = cluster.device.memory_bytes;
   for (size_t s = 0; s < stages.size(); ++s) {
     const CompiledStage& stage = stages[s];
@@ -70,24 +151,31 @@ ParallelPlan Parallelize(Graph& graph, const ClusterSpec& cluster,
       double transfer = 0.0;
       for (const CrossStageTensor& tensor : stage.sends_to_next) {
         transfer += CrossMeshReshardTime(src, tensor.src_spec, dst, tensor.dst_spec,
-                                         tensor.shape, tensor.dtype_bytes, options.reshard);
+                                         tensor.shape, tensor.dtype_bytes, opts.reshard);
       }
       profile.t_send_next = transfer;
     }
     plan.sim_input.stages.push_back(profile);
   }
+  MaybeWriteTrace(opts);
   return plan;
 }
 
-ExecutionStats Simulate(const ParallelPlan& plan, const Graph& graph,
-                        const ClusterSpec& cluster) {
-  ExecutionStats stats;
+StatusOr<ExecutionStats> Simulate(const ParallelPlan& plan, const Graph& graph,
+                                  const ClusterSpec& cluster) {
   if (!plan.pipeline.feasible) {
-    return stats;
+    return Status::InvalidArgument(
+        "Simulate() needs a plan from a successful Parallelize() call");
   }
-  const PipelineSimResult sim = SimulatePipeline(plan.sim_input);
-  stats.feasible = true;
-  stats.oom = sim.oom;
+  TraceSpan span("simulate");
+  PipelineSimInput sim_input = plan.sim_input;
+  if (Trace::enabled()) {
+    sim_input.record_timeline = true;
+  }
+  const PipelineSimResult sim = SimulatePipeline(sim_input);
+  ExportTimelineToTrace(sim_input, sim, "train_iteration");
+
+  ExecutionStats stats;
   stats.latency = sim.latency;
   stats.bubble_fraction = sim.bubble_fraction;
   for (double peak : sim.stage_peak_bytes) {
@@ -98,26 +186,54 @@ ExecutionStats Simulate(const ParallelPlan& plan, const Graph& graph,
   stats.total_flops = per_microbatch * plan.sim_input.num_microbatches +
                       graph.FlopsForRole(OpRole::kUpdate);
   stats.pflops = stats.latency > 0.0 ? stats.total_flops / stats.latency / 1e15 : 0.0;
+  if (sim.oom) {
+    const double peak = sim.first_oom_stage >= 0
+                            ? sim.stage_peak_bytes[static_cast<size_t>(sim.first_oom_stage)]
+                            : stats.peak_memory_bytes;
+    return Status::ResourceExhausted(
+        StrFormat("stage %d exceeds device memory: peak %s > capacity %s",
+                  sim.first_oom_stage, HumanBytes(peak).c_str(),
+                  HumanBytes(plan.sim_input.device_memory_bytes).c_str()));
+  }
   return stats;
 }
 
-ExecutionStats CompileAndSimulate(Graph& graph, const ClusterSpec& cluster,
-                                  const ParallelizeOptions& options, ParallelPlan* plan_out) {
-  ParallelPlan plan = Parallelize(graph, cluster, options);
-  ExecutionStats stats = Simulate(plan, graph, cluster);
-  if (plan_out != nullptr) {
-    *plan_out = std::move(plan);
+StatusOr<ExecutionStats> CompileAndSimulate(Graph& graph, const ClusterSpec& cluster,
+                                            const ParallelizeOptions& options,
+                                            ParallelPlan* plan_out) {
+  StatusOr<ParallelPlan> plan = Parallelize(graph, cluster, options);
+  if (!plan.ok()) {
+    return plan.status();
   }
+  StatusOr<ExecutionStats> stats = Simulate(*plan, graph, cluster);
+  if (plan_out != nullptr) {
+    *plan_out = std::move(*plan);
+  }
+  MaybeWriteTrace(options);
   return stats;
+}
+
+ParallelPlan ParallelizeOrInfeasible(Graph& graph, const ClusterSpec& cluster,
+                                     const ParallelizeOptions& options) {
+  StatusOr<ParallelPlan> plan = Parallelize(graph, cluster, options);
+  return plan.ok() ? std::move(*plan) : ParallelPlan{};
+}
+
+ExecutionStats SimulateOrZero(const ParallelPlan& plan, const Graph& graph,
+                              const ClusterSpec& cluster) {
+  return Simulate(plan, graph, cluster).value_or(ExecutionStats{});
+}
+
+ExecutionStats CompileAndSimulateOrZero(Graph& graph, const ClusterSpec& cluster,
+                                        const ParallelizeOptions& options,
+                                        ParallelPlan* plan_out) {
+  return CompileAndSimulate(graph, cluster, options, plan_out).value_or(ExecutionStats{});
 }
 
 std::string ExecutionStats::ToString() const {
-  if (!feasible) {
-    return "infeasible";
-  }
-  return StrFormat("latency=%s pflops=%.3f bubble=%.1f%% peak_mem=%s%s",
+  return StrFormat("latency=%s pflops=%.3f bubble=%.1f%% peak_mem=%s",
                    HumanSeconds(latency).c_str(), pflops, bubble_fraction * 100.0,
-                   HumanBytes(peak_memory_bytes).c_str(), oom ? " OOM" : "");
+                   HumanBytes(peak_memory_bytes).c_str());
 }
 
 }  // namespace alpa

@@ -6,6 +6,11 @@
 // returns an executable parallel plan. Simulate() executes the plan on the
 // analytical cluster model and reports iteration latency, aggregate PFLOPS
 // (the paper's weak-scaling metric, 7.1), memory, and pipeline bubbles.
+//
+// Failures are structured (src/support/status.h) rather than flag pairs:
+//   kInvalidArgument   — contradictory or out-of-range options
+//   kInfeasible        — clustering/stage-DP found no plan under the budget
+//   kResourceExhausted — the plan executes but a stage exceeds device memory
 #ifndef SRC_CORE_API_H_
 #define SRC_CORE_API_H_
 
@@ -16,11 +21,15 @@
 #include "src/mesh/cluster_spec.h"
 #include "src/runtime/cross_mesh.h"
 #include "src/runtime/simulator.h"
+#include "src/support/status.h"
 
 namespace alpa {
 
 struct ParallelizeOptions {
-  int num_microbatches = 16;
+  // Convenience mirror of inter.num_microbatches (the single source of
+  // truth). 0 = inherit from `inter`; Finalize() rejects a conflict when
+  // both are set explicitly.
+  int num_microbatches = 0;
   PipelineScheduleType schedule = PipelineScheduleType::k1F1B;
   // false: the whole cluster is one mesh (the "intra-op only" baseline).
   bool enable_interop = true;
@@ -28,15 +37,84 @@ struct ParallelizeOptions {
   // "inter-op only" baseline).
   bool enable_intraop = true;
   ReshardStrategy reshard = ReshardStrategy::kLocalAllGather;
+  // Convenience mirror of inter.compile_threads (1 = serial, 0 = hardware
+  // concurrency). kInheritThreads = inherit from `inter`. Any value yields
+  // bit-identical plans; see InterOpOptions::compile_threads.
+  static constexpr int kInheritThreads = -1;
+  int compile_threads = kInheritThreads;
+  // Non-empty: enable the process-wide trace for this compilation and write
+  // the accumulated Chrome-trace JSON here after each entry point returns
+  // (Parallelize after compiling, CompileAndSimulate again after
+  // simulating, so the final file holds the unified timeline).
+  std::string trace_path;
+  InterOpOptions inter;
+
+  // Resolves the mirror fields into `inter` and validates everything.
+  // kInvalidArgument when a mirror and an explicitly-set inter field
+  // disagree, or a value is out of range. Idempotent; the entry points call
+  // it on their private copy, so callers only need it to pre-validate.
+  Status Finalize();
+
+  class Builder;
+};
+
+// Fluent construction for the common call sites:
+//   ParallelizeOptions::Builder().microbatches(16).threads(0).trace(path).Build()
+// Setters write the authoritative InterOpOptions fields directly, so built
+// options can never hit a mirror conflict. Build() CHECKs validity —
+// builder misuse is a programming error, not an input error.
+class ParallelizeOptions::Builder {
+ public:
+  Builder& microbatches(int n) {
+    options_.inter.num_microbatches = n;
+    return *this;
+  }
+  Builder& schedule(PipelineScheduleType s) {
+    options_.schedule = s;
+    return *this;
+  }
   // Compilation worker threads (1 = serial, 0 = hardware concurrency).
-  // Any value yields bit-identical plans; see InterOpOptions::compile_threads.
-  int compile_threads = 1;
-  InterOpOptions inter;  // num_microbatches and compile_threads are mirrored from above.
+  Builder& threads(int n) {
+    options_.inter.compile_threads = n;
+    return *this;
+  }
+  // Chrome-trace JSON output path; "" = tracing stays off.
+  Builder& trace(std::string path) {
+    options_.trace_path = std::move(path);
+    return *this;
+  }
+  Builder& target_layers(int n) {
+    options_.inter.target_layers = n;
+    return *this;
+  }
+  Builder& interop(bool on) {
+    options_.enable_interop = on;
+    return *this;
+  }
+  Builder& intraop(bool on) {
+    options_.enable_intraop = on;
+    return *this;
+  }
+  Builder& reshard(ReshardStrategy s) {
+    options_.reshard = s;
+    return *this;
+  }
+  Builder& equal_layers(bool on) {
+    options_.inter.equal_layer_stages = on;
+    return *this;
+  }
+  // Node budget for each intra-op ILP solve (benchmark knob).
+  Builder& search_budget(int64_t max_search_nodes) {
+    options_.inter.profiler.intra.solver.max_search_nodes = max_search_nodes;
+    return *this;
+  }
+  ParallelizeOptions Build() const;
+
+ private:
+  ParallelizeOptions options_;
 };
 
 struct ExecutionStats {
-  bool feasible = false;
-  bool oom = false;
   double latency = 0.0;          // One training iteration.
   double total_flops = 0.0;      // Across the cluster, per iteration.
   double pflops = 0.0;           // Aggregate throughput (the Fig. 8 metric).
@@ -52,18 +130,41 @@ struct ParallelPlan {
 };
 
 // Runs the full compiler stack. `graph` is re-tagged in place by operator
-// clustering.
-ParallelPlan Parallelize(Graph& graph, const ClusterSpec& cluster,
-                         const ParallelizeOptions& options);
+// clustering. Errors: kInvalidArgument (bad options), kInfeasible (no plan).
+StatusOr<ParallelPlan> Parallelize(Graph& graph, const ClusterSpec& cluster,
+                                   const ParallelizeOptions& options);
 
-// Executes the plan on the simulated cluster.
-ExecutionStats Simulate(const ParallelPlan& plan, const Graph& graph,
-                        const ClusterSpec& cluster);
+// Executes the plan on the simulated cluster. Errors: kInvalidArgument
+// (plan did not come from a successful Parallelize), kResourceExhausted
+// (a stage's working set exceeds device memory; the message names the
+// stage and the sizes).
+StatusOr<ExecutionStats> Simulate(const ParallelPlan& plan, const Graph& graph,
+                                  const ClusterSpec& cluster);
 
-// One-call convenience used by the benchmarks.
-ExecutionStats CompileAndSimulate(Graph& graph, const ClusterSpec& cluster,
-                                  const ParallelizeOptions& options,
-                                  ParallelPlan* plan_out = nullptr);
+// One-call convenience used by the benchmarks. On kResourceExhausted the
+// compiled plan is still stored to `plan_out`.
+StatusOr<ExecutionStats> CompileAndSimulate(Graph& graph, const ClusterSpec& cluster,
+                                            const ParallelizeOptions& options,
+                                            ParallelPlan* plan_out = nullptr);
+
+// --- Deprecated pre-Status shims ---------------------------------------
+// For out-of-tree callers written against the old bool-pair API. Failures
+// surface the old way: an infeasible/invalid compile returns a plan with
+// pipeline.feasible == false; the stats shims return a default
+// ExecutionStats (latency == 0) on any error.
+
+[[deprecated("use Parallelize(); it returns StatusOr<ParallelPlan>")]]
+ParallelPlan ParallelizeOrInfeasible(Graph& graph, const ClusterSpec& cluster,
+                                     const ParallelizeOptions& options);
+
+[[deprecated("use Simulate(); it returns StatusOr<ExecutionStats>")]]
+ExecutionStats SimulateOrZero(const ParallelPlan& plan, const Graph& graph,
+                              const ClusterSpec& cluster);
+
+[[deprecated("use CompileAndSimulate(); it returns StatusOr<ExecutionStats>")]]
+ExecutionStats CompileAndSimulateOrZero(Graph& graph, const ClusterSpec& cluster,
+                                        const ParallelizeOptions& options,
+                                        ParallelPlan* plan_out = nullptr);
 
 }  // namespace alpa
 

@@ -8,6 +8,7 @@
 #include "src/support/logging.h"
 #include "src/support/strings.h"
 #include "src/support/thread_pool.h"
+#include "src/support/trace.h"
 
 namespace alpa {
 
@@ -155,17 +156,27 @@ CompiledPipeline RunInterOpPass(Graph& graph, const ClusterSpec& cluster,
                                 const InterOpOptions& options) {
   CompiledPipeline pipeline;
   pipeline.num_microbatches = options.num_microbatches;
+  TraceSpan pass_span("inter_op_pass");
   const double t_start = NowSeconds();
 
   // --- 1. Operator clustering (Eq. 5). ---
   double t0 = NowSeconds();
   if (options.target_layers > 0) {
+    TraceSpan clustering_span("operator_clustering");
     ClusteringOptions copts;
     copts.num_layers = options.target_layers;
     copts.delta = options.clustering_delta;
     copts.method = options.clustering;
     const ClusteringResult clustering = ClusterOperators(graph, copts);
+    if (clustering_span.active()) {
+      clustering_span.set_args(StrFormat("\"target_layers\":%d,\"feasible\":%s",
+                                         options.target_layers,
+                                         clustering.feasible ? "true" : "false"));
+    }
     if (!clustering.feasible) {
+      pipeline.infeasible_reason = StrFormat(
+          "operator clustering found no split of the graph into %d layers",
+          options.target_layers);
       return pipeline;
     }
     AssignLayers(graph, clustering);
@@ -201,12 +212,19 @@ CompiledPipeline RunInterOpPass(Graph& graph, const ClusterSpec& cluster,
   StageDpOptions dp_options = options.dp;
   dp_options.pool = pool.get();
   const double profiling_before_dp = profiler.profiling_seconds();
-  const StageDpResult dp =
-      options.equal_layer_stages
-          ? SolveEqualLayer(num_layers, options.num_microbatches, cluster, shapes, profile_fn,
-                            dp_options)
-          : SolveStageDp(num_layers, options.num_microbatches, cluster, shapes, profile_fn,
-                         dp_options);
+  StageDpResult dp;
+  {
+    TraceSpan dp_span("stage_dp");
+    dp = options.equal_layer_stages
+             ? SolveEqualLayer(num_layers, options.num_microbatches, cluster, shapes,
+                               profile_fn, dp_options)
+             : SolveStageDp(num_layers, options.num_microbatches, cluster, shapes, profile_fn,
+                            dp_options);
+    if (dp_span.active()) {
+      dp_span.set_args(StrFormat("\"num_layers\":%d,\"num_shapes\":%zu,\"feasible\":%s",
+                                 num_layers, shapes.size(), dp.feasible ? "true" : "false"));
+    }
+  }
   // Lazy (serial) profiling happens inside the DP's profile calls; carve
   // its cumulative share out of the DP's wall time. Under a pool the sweep
   // has already run, so the delta is ~0 and dp_seconds is the wall time.
@@ -223,11 +241,16 @@ CompiledPipeline RunInterOpPass(Graph& graph, const ClusterSpec& cluster,
   if (!dp.feasible) {
     fill_profiler_stats();
     pipeline.stats.total_seconds = NowSeconds() - t_start;
+    pipeline.infeasible_reason = StrFormat(
+        "stage DP found no feasible stage assignment (%d layers, %zu submesh "
+        "variants, %d microbatches) under the device memory budget",
+        num_layers, shapes.size(), options.num_microbatches);
     return pipeline;
   }
 
   // --- 4. Materialize stages: placements (Theorem 1) + logical shapes. ---
   t0 = NowSeconds();
+  TraceSpan materialize_span("materialize_stages");
   std::vector<SubmeshShape> chosen_shapes;
   chosen_shapes.reserve(dp.stages.size());
   for (const StageAssignment& stage : dp.stages) {

@@ -93,6 +93,9 @@ struct CompileStats {
 
 struct CompiledPipeline {
   bool feasible = false;
+  // Human-readable cause when !feasible (which pass failed and why); the
+  // public API surfaces it as Status::Infeasible.
+  std::string infeasible_reason;
   std::vector<CompiledStage> stages;
   int num_microbatches = 1;
   // Eq. 2 estimate from the DP (the simulator refines this).

@@ -9,6 +9,7 @@
 #include "src/support/logging.h"
 #include "src/support/strings.h"
 #include "src/support/thread_pool.h"
+#include "src/support/trace.h"
 
 namespace alpa {
 
@@ -137,6 +138,10 @@ StageProfiler::StageProfiler(const Graph& graph, const ClusterSpec& cluster,
   // independent of solve order, so the sweep leaves the profiler in the
   // same state lazy solving would.
   if (pool_ != nullptr && pool_->num_threads() > 1 && !options_.exact_intervals) {
+    // Category "pool": this span only exists when a pool drives the sweep,
+    // so the "compile"-category span set stays identical across thread
+    // counts (the determinism tests compare exactly that set).
+    TraceSpan sweep_span("profiling_sweep", "pool");
     const double sweep_start = NowSeconds();
     std::vector<std::pair<int, int>> cells;
     cells.reserve(static_cast<size_t>(num_layers_) * variants_.size());
@@ -188,6 +193,14 @@ void StageProfiler::SolveCell(int canonical, int variant_index, LayerCell* cell)
   const double start = NowSeconds();
   const StageVariant& variant = variants_[static_cast<size_t>(variant_index)];
   const StageSubgraph& subgraph = layer_subgraphs_[static_cast<size_t>(canonical)];
+  TraceSpan span("ilp_solve");
+  const auto annotate = [&](bool cache_hit) {
+    if (span.active()) {
+      span.set_args(StrFormat("\"layer\":%d,\"variant\":\"%s\",\"cache_hit\":%s", canonical,
+                              JsonEscape(variant.ToString()).c_str(),
+                              cache_hit ? "true" : "false"));
+    }
+  };
 
   // The key is built from the BASE options: the memory mode enters as a key
   // field, not through the composed ModeFilter (which would be an
@@ -200,12 +213,14 @@ void StageProfiler::SolveCell(int canonical, int variant_index, LayerCell* cell)
                          layer_hashes_[static_cast<size_t>(canonical)], &key);
   if (cacheable && IlpMemoCache::Global().Lookup(key, &cell->result)) {
     cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    annotate(/*cache_hit=*/true);
     AddProfilingSeconds(NowSeconds() - start);
     return;
   }
   if (cacheable) {
     cache_misses_.fetch_add(1, std::memory_order_relaxed);
   }
+  annotate(/*cache_hit=*/false);
 
   MeshPlacement placement;
   placement.shape = variant.physical;
@@ -214,6 +229,8 @@ void StageProfiler::SolveCell(int canonical, int variant_index, LayerCell* cell)
   const DeviceMesh mesh = DeviceMesh::Create(cluster_, placement, variant.logical);
   cell->result = SolveIntraOp(subgraph.graph, mesh, intra);
   num_ilp_solves_.fetch_add(1, std::memory_order_relaxed);
+  static Metric* solves_metric = Metrics::Get("ilp/solves");
+  solves_metric->Add(1);
   if (cacheable) {
     IlpMemoCache::Global().Insert(key, cell->result);
   }
@@ -239,6 +256,11 @@ StageProfile StageProfiler::Profile(int begin, int end, int variant_index) {
     // deterministic, so both compute the same profile and either insert
     // wins.
     const double start = NowSeconds();
+    TraceSpan span("ilp_solve_exact");
+    if (span.active()) {
+      span.set_args(StrFormat("\"begin\":%d,\"end\":%d,\"variant\":%d", begin, end,
+                              variant_index));
+    }
     const StageSubgraph subgraph = ExtractStage(graph_, begin, end);
     const StageVariant& variant = variants_[static_cast<size_t>(variant_index)];
     MeshPlacement placement;
@@ -248,6 +270,8 @@ StageProfile StageProfiler::Profile(int begin, int end, int variant_index) {
     const DeviceMesh mesh = DeviceMesh::Create(cluster_, placement, variant.logical);
     const IntraOpResult result = SolveIntraOp(subgraph.graph, mesh, intra);
     num_ilp_solves_.fetch_add(1, std::memory_order_relaxed);
+    static Metric* solves_metric = Metrics::Get("ilp/solves");
+    solves_metric->Add(1);
     StageProfile profile;
     if (result.feasible) {
       profile.t_intra = result.t_intra;

@@ -1,6 +1,7 @@
 #include "src/intra/ilp_cache.h"
 
 #include "src/support/hashing.h"
+#include "src/support/trace.h"
 
 namespace alpa {
 
@@ -12,11 +13,15 @@ IlpMemoCache& IlpMemoCache::Global() {
 bool IlpMemoCache::Lookup(const IlpCacheKey& key, IntraOpResult* result) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(key);
+  static Metric* hits_metric = Metrics::Get("ilp_cache/hits");
+  static Metric* misses_metric = Metrics::Get("ilp_cache/misses");
   if (it == entries_.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
+    misses_metric->Add(1);
     return false;
   }
   hits_.fetch_add(1, std::memory_order_relaxed);
+  hits_metric->Add(1);
   *result = it->second;
   return true;
 }
@@ -24,6 +29,8 @@ bool IlpMemoCache::Lookup(const IlpCacheKey& key, IntraOpResult* result) {
 void IlpMemoCache::Insert(const IlpCacheKey& key, const IntraOpResult& result) {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.emplace(key, result);
+  static Metric* size_metric = Metrics::Get("ilp_cache/entries");
+  size_metric->Set(static_cast<int64_t>(entries_.size()));
 }
 
 IlpCacheStats IlpMemoCache::stats() const {

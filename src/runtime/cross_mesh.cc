@@ -4,6 +4,7 @@
 #include <map>
 
 #include "src/support/logging.h"
+#include "src/support/trace.h"
 
 namespace alpa {
 
@@ -131,6 +132,10 @@ double CrossMeshReshardTime(const DeviceMesh& src_mesh, const ShardingSpec& src_
                             ReshardStrategy strategy) {
   const CrossMeshPlan plan = PlanCrossMeshResharding(src_mesh, src_spec, dst_mesh, dst_spec,
                                                      shape, dtype_bytes, strategy);
+  static Metric* bytes_metric = Metrics::Get("resharding/p2p_bytes");
+  bytes_metric->Add(static_cast<int64_t>(plan.total_p2p_bytes));
+  static Metric* transfers_metric = Metrics::Get("resharding/transfers");
+  transfers_metric->Add(1);
   const auto& a = src_mesh.placement();
   const auto& b = dst_mesh.placement();
   const bool cross_host = a.host_begin != b.host_begin || a.shape.num_hosts != b.shape.num_hosts;

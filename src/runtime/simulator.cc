@@ -1,9 +1,11 @@
 #include "src/runtime/simulator.h"
 
 #include <algorithm>
+#include <vector>
 
 #include "src/support/logging.h"
 #include "src/support/strings.h"
+#include "src/support/trace.h"
 
 namespace alpa {
 
@@ -132,6 +134,76 @@ PipelineSimResult SimulatePipeline(const PipelineSimInput& input) {
   }
   result.bubble_fraction = result.latency > 0.0 ? 1.0 - max_busy / result.latency : 0.0;
   return result;
+}
+
+void ExportTimelineToTrace(const PipelineSimInput& input, const PipelineSimResult& result,
+                           const char* label) {
+  if (!Trace::enabled() || result.timeline.empty()) {
+    return;
+  }
+  const int num_stages = static_cast<int>(input.stages.size());
+  const double base = Trace::ReserveVirtualWindow(result.latency);
+  Trace::EmitVirtual("iteration", label, "sim", base, base + result.latency,
+                     StrFormat("\"num_microbatches\":%d,\"bubble_fraction\":%.4f,\"oom\":%s",
+                               input.num_microbatches, result.bubble_fraction,
+                               result.oom ? "true" : "false"));
+
+  std::vector<std::vector<StageEvent>> by_stage(static_cast<size_t>(num_stages));
+  for (const StageEvent& e : result.timeline) {
+    by_stage[static_cast<size_t>(e.stage)].push_back(e);
+  }
+  using Kind = PipelineInstruction::Kind;
+  constexpr double kGapEps = 1e-9;
+  for (int s = 0; s < num_stages; ++s) {
+    std::vector<StageEvent>& events = by_stage[static_cast<size_t>(s)];
+    std::sort(events.begin(), events.end(),
+              [](const StageEvent& a, const StageEvent& b) { return a.start < b.start; });
+    const std::string lane = StrFormat("mesh %02d", s);
+    double cursor = 0.0;
+    for (const StageEvent& e : events) {
+      if (e.start - cursor > kGapEps) {
+        Trace::EmitVirtual(lane, "bubble", "bubble", base + cursor, base + e.start);
+      }
+      cursor = std::max(cursor, e.end);
+      switch (e.kind) {
+        case Kind::kForward:
+          Trace::EmitVirtual(lane, StrFormat("forward mb%d", e.microbatch), "sim",
+                             base + e.start, base + e.end,
+                             StrFormat("\"microbatch\":%d", e.microbatch));
+          // The activation transfer to the next stage occupies the boundary
+          // link right after the producing forward finishes.
+          if (s + 1 < num_stages &&
+              input.stages[static_cast<size_t>(s)].t_send_next > 0.0) {
+            Trace::EmitVirtual(StrFormat("mesh %02d->%02d transfer", s, s + 1),
+                               StrFormat("send_act mb%d", e.microbatch), "transfer",
+                               base + e.end,
+                               base + e.end + input.stages[static_cast<size_t>(s)].t_send_next,
+                               StrFormat("\"microbatch\":%d", e.microbatch));
+          }
+          break;
+        case Kind::kBackward:
+          Trace::EmitVirtual(lane, StrFormat("backward mb%d", e.microbatch), "sim",
+                             base + e.start, base + e.end,
+                             StrFormat("\"microbatch\":%d", e.microbatch));
+          // Gradients flow back over the boundary below at the same cost
+          // the simulator charges (the downstream stage's t_send_next).
+          if (s > 0 && input.stages[static_cast<size_t>(s - 1)].t_send_next > 0.0) {
+            Trace::EmitVirtual(
+                StrFormat("mesh %02d->%02d transfer", s - 1, s),
+                StrFormat("send_grad mb%d", e.microbatch), "transfer", base + e.end,
+                base + e.end + input.stages[static_cast<size_t>(s - 1)].t_send_next,
+                StrFormat("\"microbatch\":%d", e.microbatch));
+          }
+          break;
+        case Kind::kUpdate:
+          Trace::EmitVirtual(lane, "apply_grad", "sim", base + e.start, base + e.end);
+          break;
+      }
+    }
+    if (result.latency - cursor > kGapEps) {
+      Trace::EmitVirtual(lane, "bubble", "bubble", base + cursor, base + result.latency);
+    }
+  }
 }
 
 std::string PipelineSimResult::ToString() const {

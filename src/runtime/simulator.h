@@ -64,6 +64,16 @@ struct PipelineSimResult {
 
 PipelineSimResult SimulatePipeline(const PipelineSimInput& input);
 
+// Converts a recorded timeline into virtual-time trace events (the Fig. 13
+// view): one "mesh NN" lane per stage with forward/backward/apply_grad
+// spans and explicit bubble (idle-gap) events, plus "mesh NN->MM transfer"
+// lanes carrying the cross-mesh activation/gradient sends. Events land in a
+// fresh virtual-time window, so successive simulations lay out
+// sequentially in one trace. No-op when tracing is disabled or the
+// timeline was not recorded.
+void ExportTimelineToTrace(const PipelineSimInput& input, const PipelineSimResult& result,
+                           const char* label = "train_iteration");
+
 }  // namespace alpa
 
 #endif  // SRC_RUNTIME_SIMULATOR_H_

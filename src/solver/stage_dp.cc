@@ -5,6 +5,7 @@
 
 #include "src/support/logging.h"
 #include "src/support/thread_pool.h"
+#include "src/support/trace.h"
 
 namespace alpa {
 
@@ -71,14 +72,17 @@ StageDpResult SolveStageDp(int num_layers, int num_microbatches, const ClusterSp
   // Fill the profile table, optionally fanning rows out across the pool.
   // Each task writes a disjoint slice of `profiles`, so no synchronization
   // is needed beyond the ParallelFor join.
-  ParallelFor(options.pool, num_layers, [&](int64_t begin) {
-    for (int end = static_cast<int>(begin); end < num_layers; ++end) {
-      for (int shape = 0; shape < num_shapes; ++shape) {
-        profiles[profile_index(static_cast<int>(begin), end, shape)] =
-            profile(static_cast<int>(begin), end, shape);
+  {
+    TraceSpan precompute_span("dp_profile_precompute");
+    ParallelFor(options.pool, num_layers, [&](int64_t begin) {
+      for (int end = static_cast<int>(begin); end < num_layers; ++end) {
+        for (int shape = 0; shape < num_shapes; ++shape) {
+          profiles[profile_index(static_cast<int>(begin), end, shape)] =
+              profile(static_cast<int>(begin), end, shape);
+        }
       }
-    }
-  });
+    });
+  }
   // Candidates are collected serially in index order so the t_max
   // enumeration is byte-identical to a serial build.
   std::vector<double> tmax_candidates;
@@ -218,6 +222,10 @@ StageDpResult SolveStageDp(int num_layers, int num_microbatches, const ClusterSp
       }
     }
   }
+  static Metric* transitions_metric = Metrics::Get("stage_dp/transitions");
+  transitions_metric->Add(result.dp_transitions);
+  static Metric* tmax_metric = Metrics::Get("stage_dp/tmax_candidates");
+  tmax_metric->Add(result.num_tmax_tried);
   return result;
 }
 

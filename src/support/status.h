@@ -1,0 +1,142 @@
+// Structured error handling for the public API (absl::Status-style,
+// dependency-free).
+//
+// The compiler has several distinct failure modes that the old
+// `ExecutionStats::feasible` / `oom` bool pair could not distinguish:
+// invalid options (a mirror-field conflict, a nonsensical microbatch
+// count), an infeasible search (the stage DP or operator clustering found
+// no plan under the memory budget), and a plan that compiles but exceeds
+// device memory when executed. Status carries the failure class plus a
+// human-readable message; StatusOr<T> is "a T or the Status explaining why
+// there is none".
+#ifndef SRC_SUPPORT_STATUS_H_
+#define SRC_SUPPORT_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "src/support/logging.h"
+
+namespace alpa {
+
+enum class StatusCode {
+  kOk = 0,
+  // Caller error: malformed or contradictory options.
+  kInvalidArgument,
+  // The search space contains no feasible plan (DP/clustering/ILP failure).
+  kInfeasible,
+  // A plan exists but exhausts a physical resource (simulated OOM).
+  kResourceExhausted,
+  // Environment failure (e.g. the trace sink cannot write its file).
+  kInternal,
+};
+
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kInfeasible:
+      return "INFEASIBLE";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+class Status {
+ public:
+  Status() = default;  // OK.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status Infeasible(std::string m) {
+    return Status(StatusCode::kInfeasible, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) {
+      return "OK";
+    }
+    return std::string(StatusCodeName(code_)) + ": " + message_;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// A value of type T, or the Status explaining its absence. Accessors CHECK
+// on misuse (value() of an error, status() is always safe).
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    ALPA_CHECK(!status_.ok()) << "StatusOr constructed from an OK status without a value";
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    ALPA_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    ALPA_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    ALPA_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // The contained value, or `fallback` on error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagates a non-OK Status out of the enclosing function.
+#define ALPA_RETURN_IF_ERROR(expr)              \
+  do {                                          \
+    ::alpa::Status _alpa_status_tmp = (expr);   \
+    if (!_alpa_status_tmp.ok()) {               \
+      return _alpa_status_tmp;                  \
+    }                                           \
+  } while (false)
+
+}  // namespace alpa
+
+#endif  // SRC_SUPPORT_STATUS_H_

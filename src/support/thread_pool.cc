@@ -6,6 +6,8 @@
 #include <exception>
 
 #include "src/support/logging.h"
+#include "src/support/strings.h"
+#include "src/support/trace.h"
 
 namespace alpa {
 
@@ -100,6 +102,14 @@ void ThreadPool::Push(int self, std::function<void()> fn) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     queues_[queue].push_back(std::move(fn));
+    if (Trace::enabled()) {
+      size_t depth = 0;
+      for (const auto& q : queues_) {
+        depth += q.size();
+      }
+      static Metric* depth_metric = Metrics::Get("thread_pool/queue_depth");
+      depth_metric->Set(static_cast<int64_t>(depth));
+    }
   }
   wake_.notify_one();
 }
@@ -132,13 +142,19 @@ bool ThreadPool::RunOneTask(int self) {
   if (!task) {
     return false;
   }
-  task();
+  {
+    // Category "pool": pool-task spans exist only when workers run, so the
+    // "compile"-category span set stays thread-count invariant.
+    TraceSpan span("pool_task", "pool");
+    task();
+  }
   return true;
 }
 
 void ThreadPool::WorkerMain(int index) {
   tls_pool = this;
   tls_worker_index = index;
+  Trace::SetThreadName(StrFormat("pool worker %d", index));
   while (true) {
     if (RunOneTask(index)) {
       continue;

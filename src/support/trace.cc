@@ -1,0 +1,426 @@
+#include "src/support/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <utility>
+
+#include "src/support/strings.h"
+
+namespace alpa {
+
+std::atomic<bool> Trace::enabled_{false};
+
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// A wall-clock span as recorded on its thread's lane. `name`/`category`
+// point at string literals supplied by TraceSpan.
+struct RawSpan {
+  const char* name;
+  const char* category;
+  std::string args;
+  double start;
+  double end;
+};
+
+struct VirtualEvent {
+  std::string name;
+  const char* category;
+  std::string args;
+  double start;
+  double end;
+};
+
+// One per recording thread. The lane mutex only contends with the
+// exporter, never with other recorders.
+struct Lane {
+  std::mutex mu;
+  std::string name = "thread";
+  int sequence = 0;  // Registration order; tie-break for equal names.
+  std::vector<RawSpan> spans;
+};
+
+struct TraceState {
+  std::mutex mu;  // Guards lanes (the vector), virtual_lanes, and cursor.
+  std::vector<std::unique_ptr<Lane>> lanes;
+  std::map<std::string, std::vector<VirtualEvent>> virtual_lanes;
+  double virtual_cursor = 0.0;
+};
+
+// Leaked intentionally: lanes are referenced from thread_locals of threads
+// that may outlive any static destruction order.
+TraceState& State() {
+  static TraceState* state = new TraceState();
+  return *state;
+}
+
+Lane* ThisLane() {
+  thread_local Lane* lane = nullptr;
+  if (lane == nullptr) {
+    TraceState& state = State();
+    std::lock_guard<std::mutex> lock(state.mu);
+    state.lanes.push_back(std::make_unique<Lane>());
+    lane = state.lanes.back().get();
+    lane->sequence = static_cast<int>(state.lanes.size()) - 1;
+  }
+  return lane;
+}
+
+struct MetricsState {
+  std::mutex mu;
+  std::map<std::string, std::unique_ptr<Metric>> metrics;
+};
+
+MetricsState& MetricsStateSingleton() {
+  static MetricsState* state = new MetricsState();
+  return *state;
+}
+
+}  // namespace
+
+void Trace::Enable() { enabled_.store(true, std::memory_order_relaxed); }
+
+void Trace::Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+void Trace::Clear() {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  // Lane objects stay alive (thread_locals point at them); only their
+  // recorded spans are dropped.
+  for (auto& lane : state.lanes) {
+    std::lock_guard<std::mutex> lane_lock(lane->mu);
+    lane->spans.clear();
+  }
+  state.virtual_lanes.clear();
+  state.virtual_cursor = 0.0;
+}
+
+void Trace::SetThreadName(const std::string& name) {
+#ifndef ALPA_TRACE_DISABLED
+  Lane* lane = ThisLane();
+  std::lock_guard<std::mutex> lock(lane->mu);
+  lane->name = name;
+#else
+  (void)name;
+#endif
+}
+
+void Trace::EmitVirtual(const std::string& lane, std::string name,
+                        const char* category, double start, double end,
+                        std::string args) {
+#ifndef ALPA_TRACE_DISABLED
+  if (!enabled()) {
+    return;
+  }
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.virtual_lanes[lane].push_back(
+      {std::move(name), category, std::move(args), start, end});
+#else
+  (void)lane;
+  (void)name;
+  (void)category;
+  (void)start;
+  (void)end;
+  (void)args;
+#endif
+}
+
+double Trace::ReserveVirtualWindow(double duration) {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  const double base = state.virtual_cursor;
+  state.virtual_cursor += duration;
+  return base;
+}
+
+void TraceSpan::Begin(const char* name, const char* category) {
+  name_ = name;
+  category_ = category;
+  start_ = NowSeconds();
+  active_ = true;
+}
+
+void TraceSpan::End() {
+  const double end = NowSeconds();
+  Lane* lane = ThisLane();
+  std::lock_guard<std::mutex> lock(lane->mu);
+  lane->spans.push_back({name_, category_, std::move(args_), start_, end});
+}
+
+int64_t Trace::event_count() {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  int64_t count = 0;
+  for (auto& lane : state.lanes) {
+    std::lock_guard<std::mutex> lane_lock(lane->mu);
+    count += static_cast<int64_t>(lane->spans.size());
+  }
+  for (const auto& [name, events] : state.virtual_lanes) {
+    count += static_cast<int64_t>(events.size());
+  }
+  return count;
+}
+
+std::vector<TraceEvent> Trace::Snapshot() {
+  struct LaneCopy {
+    std::string name;
+    int sequence;
+    std::vector<RawSpan> spans;
+  };
+  std::vector<LaneCopy> wall;
+  std::map<std::string, std::vector<VirtualEvent>> virt;
+  {
+    TraceState& state = State();
+    std::lock_guard<std::mutex> lock(state.mu);
+    wall.reserve(state.lanes.size());
+    for (auto& lane : state.lanes) {
+      std::lock_guard<std::mutex> lane_lock(lane->mu);
+      if (!lane->spans.empty()) {
+        wall.push_back({lane->name, lane->sequence, lane->spans});
+      }
+    }
+    virt = state.virtual_lanes;
+  }
+
+  // Normalized ordering: lanes by (name, registration order), events within
+  // a lane by (start, end, name). Wall-clock times are rebased so the
+  // earliest span starts at 0, making the structure comparable across runs.
+  std::sort(wall.begin(), wall.end(), [](const LaneCopy& a, const LaneCopy& b) {
+    return std::tie(a.name, a.sequence) < std::tie(b.name, b.sequence);
+  });
+  double wall_base = 0.0;
+  bool have_base = false;
+  for (const LaneCopy& lane : wall) {
+    for (const RawSpan& s : lane.spans) {
+      if (!have_base || s.start < wall_base) {
+        wall_base = s.start;
+        have_base = true;
+      }
+    }
+  }
+
+  std::vector<TraceEvent> out;
+  int lane_id = 0;
+  for (LaneCopy& lane : wall) {
+    std::vector<TraceEvent> events;
+    events.reserve(lane.spans.size());
+    for (RawSpan& s : lane.spans) {
+      events.push_back({s.name, s.category, std::move(s.args), lane.name,
+                        lane_id, s.start - wall_base, s.end - wall_base, false});
+    }
+    std::sort(events.begin(), events.end(), [](const TraceEvent& a, const TraceEvent& b) {
+      return std::tie(a.start, a.end, a.name) < std::tie(b.start, b.end, b.name);
+    });
+    for (TraceEvent& e : events) {
+      out.push_back(std::move(e));
+    }
+    ++lane_id;
+  }
+  for (auto& [name, events] : virt) {
+    std::vector<TraceEvent> lane_events;
+    lane_events.reserve(events.size());
+    for (VirtualEvent& e : events) {
+      lane_events.push_back({std::move(e.name), e.category, std::move(e.args),
+                             name, lane_id, e.start, e.end, true});
+    }
+    std::sort(lane_events.begin(), lane_events.end(),
+              [](const TraceEvent& a, const TraceEvent& b) {
+                return std::tie(a.start, a.end, a.name) < std::tie(b.start, b.end, b.name);
+              });
+    for (TraceEvent& e : lane_events) {
+      out.push_back(std::move(e));
+    }
+    ++lane_id;
+  }
+  return out;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string Trace::ChromeTraceJson() {
+  const std::vector<TraceEvent> events = Snapshot();
+  std::ostringstream json;
+  json << "{\n\"displayTimeUnit\": \"ms\",\n";
+  // Metrics ride along as trace-level metadata.
+  json << "\"otherData\": {\"metrics\": {";
+  json << Metrics::SummaryJsonBody();
+  json << "}},\n";
+  json << "\"traceEvents\": [\n";
+
+  // Two Chrome "processes": wall-clock compile lanes and virtual-time
+  // simulator lanes. Chrome timestamps are microseconds; the simulator's
+  // virtual seconds map onto the same axis one-to-one (1 sim s = 1 s).
+  constexpr int kWallPid = 1;
+  constexpr int kSimPid = 2;
+  bool first = true;
+  auto emit = [&](const std::string& line) {
+    if (!first) {
+      json << ",\n";
+    }
+    first = false;
+    json << line;
+  };
+  emit(StrFormat("{\"ph\":\"M\",\"pid\":%d,\"name\":\"process_name\","
+                 "\"args\":{\"name\":\"compile (wall clock)\"}}",
+                 kWallPid));
+  emit(StrFormat("{\"ph\":\"M\",\"pid\":%d,\"name\":\"process_name\","
+                 "\"args\":{\"name\":\"pipeline simulation (virtual time)\"}}",
+                 kSimPid));
+  int last_lane = -1;
+  for (const TraceEvent& e : events) {
+    const int pid = e.virtual_time ? kSimPid : kWallPid;
+    if (e.lane_id != last_lane) {
+      last_lane = e.lane_id;
+      emit(StrFormat("{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":\"thread_name\","
+                     "\"args\":{\"name\":\"%s\"}}",
+                     pid, e.lane_id, JsonEscape(e.lane).c_str()));
+      emit(StrFormat("{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":\"thread_sort_index\","
+                     "\"args\":{\"sort_index\":%d}}",
+                     pid, e.lane_id, e.lane_id));
+    }
+    const double ts_us = e.start * 1e6;
+    const double dur_us = (e.end - e.start) * 1e6;
+    emit(StrFormat("{\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"name\":\"%s\",\"cat\":\"%s\","
+                   "\"ts\":%.3f,\"dur\":%.3f,\"args\":{%s}}",
+                   pid, e.lane_id, JsonEscape(e.name).c_str(),
+                   JsonEscape(e.category).c_str(), ts_us, dur_us, e.args.c_str()));
+  }
+  json << "\n]\n}\n";
+  return json.str();
+}
+
+std::string Trace::SummaryText() {
+  struct Agg {
+    int64_t count = 0;
+    double total = 0.0;
+  };
+  std::map<std::pair<std::string, std::string>, Agg> by_name;
+  for (const TraceEvent& e : Snapshot()) {
+    Agg& agg = by_name[{e.category, e.name}];
+    ++agg.count;
+    agg.total += e.end - e.start;
+  }
+  std::ostringstream out;
+  out << "trace summary (" << event_count() << " events)\n";
+  for (const auto& [key, agg] : by_name) {
+    out << StrFormat("  %-10s %-28s n=%-6lld total=%-12s avg=%s\n",
+                     key.first.c_str(), key.second.c_str(),
+                     static_cast<long long>(agg.count),
+                     HumanSeconds(agg.total).c_str(),
+                     HumanSeconds(agg.total / static_cast<double>(agg.count)).c_str());
+  }
+  const std::string metrics = Metrics::SummaryText();
+  if (!metrics.empty()) {
+    out << "metrics\n" << metrics;
+  }
+  return out.str();
+}
+
+Status Trace::WriteJson(const std::string& path) {
+  const std::string json = ChromeTraceJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open trace file for writing: " + path);
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != json.size() || !close_ok) {
+    return Status::Internal("short write to trace file: " + path);
+  }
+  return Status::Ok();
+}
+
+Metric* Metrics::Get(const std::string& name) {
+  MetricsState& state = MetricsStateSingleton();
+  std::lock_guard<std::mutex> lock(state.mu);
+  std::unique_ptr<Metric>& slot = state.metrics[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Metric>();
+  }
+  return slot.get();
+}
+
+int64_t Metrics::Value(const std::string& name) {
+  MetricsState& state = MetricsStateSingleton();
+  std::lock_guard<std::mutex> lock(state.mu);
+  const auto it = state.metrics.find(name);
+  return it == state.metrics.end() ? 0 : it->second->value();
+}
+
+std::string Metrics::SummaryText() {
+  MetricsState& state = MetricsStateSingleton();
+  std::lock_guard<std::mutex> lock(state.mu);
+  std::ostringstream out;
+  for (const auto& [name, metric] : state.metrics) {
+    out << StrFormat("  %-32s = %-12lld (max %lld)\n", name.c_str(),
+                     static_cast<long long>(metric->value()),
+                     static_cast<long long>(metric->max_value()));
+  }
+  return out.str();
+}
+
+std::string Metrics::SummaryJsonBody() {
+  MetricsState& state = MetricsStateSingleton();
+  std::lock_guard<std::mutex> lock(state.mu);
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& [name, metric] : state.metrics) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << StrFormat("\"%s\":%lld", JsonEscape(name).c_str(),
+                     static_cast<long long>(metric->value()));
+  }
+  return out.str();
+}
+
+void Metrics::Reset() {
+  MetricsState& state = MetricsStateSingleton();
+  std::lock_guard<std::mutex> lock(state.mu);
+  for (auto& [name, metric] : state.metrics) {
+    metric->Reset();
+  }
+}
+
+}  // namespace alpa

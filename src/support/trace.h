@@ -1,0 +1,190 @@
+// Process-wide tracing + metrics for the compiler and the simulator.
+//
+// Two coordinate systems share one trace file:
+//   - Wall-clock spans (RAII TraceSpan) record where *compile* time goes:
+//     the inter-op passes, every ILP solve (with cache-hit annotations),
+//     and the thread pool's task execution, one lane per thread.
+//   - Virtual-time events (Trace::EmitVirtual) record where *simulated*
+//     iteration time goes: the discrete-event pipeline simulator exports
+//     its per-mesh timeline (forward/backward/send/bubble) onto lanes in
+//     simulated seconds, exactly the Fig. 13 view from the paper.
+// The exporter writes Chrome-trace JSON (load in chrome://tracing or
+// https://ui.perfetto.dev) with the two systems as separate "processes",
+// plus a flat text summary. MetricsRegistry-style counters/gauges (ILP
+// solves, cache hits/misses, resharding bytes, DP cells, pool queue depth)
+// ride along in both outputs.
+//
+// Overhead discipline: everything is gated on one relaxed atomic flag.
+// A disabled TraceSpan is two relaxed loads and no allocation; call sites
+// stay unconditional. Spans buffer into per-thread lanes (one mutex each,
+// never contended during recording) and ordering is normalized at export,
+// so the span *structure* is deterministic across thread counts even
+// though interleavings are not. Building with -DALPA_TRACE=OFF compiles
+// the recording paths out entirely (Trace::kCompiledIn == false).
+#ifndef SRC_SUPPORT_TRACE_H_
+#define SRC_SUPPORT_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/support/status.h"
+
+namespace alpa {
+
+// One finished event, in the normalized form produced by Trace::Snapshot().
+struct TraceEvent {
+  std::string name;
+  std::string category;  // "compile", "pool", "sim", "bubble", "transfer", ...
+  std::string args;      // Body of a JSON object ("" = none), e.g. "\"layer\":3".
+  std::string lane;      // Thread lane or virtual mesh lane name.
+  int lane_id = 0;       // Dense per-snapshot id; wall lanes first, then virtual.
+  double start = 0.0;    // Seconds. Wall spans: relative to the earliest span.
+  double end = 0.0;
+  bool virtual_time = false;  // Simulated seconds rather than wall clock.
+};
+
+class Trace {
+ public:
+  // False when the build compiled recording out (-DALPA_TRACE=OFF); tests
+  // gate on this rather than failing in that configuration.
+  static constexpr bool kCompiledIn =
+#ifdef ALPA_TRACE_DISABLED
+      false;
+#else
+      true;
+#endif
+
+  static bool enabled() { return enabled_.load(std::memory_order_relaxed); }
+  static void Enable();
+  static void Disable();
+  // Drops all recorded events and resets the virtual-time cursor (metrics
+  // are owned by Metrics and reset separately).
+  static void Clear();
+
+  // Names the calling thread's lane in the export ("main", "worker 0", ...).
+  // Registers the lane, so it is cheap but not free; call once per thread.
+  static void SetThreadName(const std::string& name);
+
+  // Records a virtual-time event on the named lane, in simulated seconds.
+  static void EmitVirtual(const std::string& lane, std::string name,
+                          const char* category, double start, double end,
+                          std::string args = "");
+
+  // Reserves [base, base + duration) of virtual time and returns base, so
+  // successive simulations lay out sequentially instead of overlapping.
+  static double ReserveVirtualWindow(double duration);
+
+  // All recorded events with normalized ordering: lanes sorted by name
+  // (wall lanes before virtual lanes, ids dense from 0), events within a
+  // lane sorted by (start, end, name). Thread-safe against recorders.
+  static std::vector<TraceEvent> Snapshot();
+
+  static int64_t event_count();
+
+  // Chrome-trace / Perfetto JSON for the current snapshot (plus metrics in
+  // "otherData"), and a flat per-span-name text summary.
+  static std::string ChromeTraceJson();
+  static std::string SummaryText();
+
+  // Writes ChromeTraceJson() to `path`. kInternal on I/O failure.
+  static Status WriteJson(const std::string& path);
+
+ private:
+  friend class TraceSpan;
+  static std::atomic<bool> enabled_;
+};
+
+// RAII wall-clock span on the calling thread's lane. `name` and `category`
+// must be string literals (stored by pointer; nothing is copied until the
+// span ends). Nesting works naturally: inner spans simply record shorter
+// intervals on the same lane, which trace viewers render stacked.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* category = "compile") {
+#ifndef ALPA_TRACE_DISABLED
+    if (Trace::enabled()) {
+      Begin(name, category);
+    }
+#endif
+  }
+  ~TraceSpan() {
+#ifndef ALPA_TRACE_DISABLED
+    if (active_) {
+      End();
+    }
+#endif
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  // True when the span is recording; guard set_args() computations on it so
+  // the disabled path does no string work.
+  bool active() const { return active_; }
+
+  // Attaches a JSON object body, e.g. "\"layer\":3,\"cache_hit\":true".
+  void set_args(std::string json_body) { args_ = std::move(json_body); }
+
+ private:
+  void Begin(const char* name, const char* category);
+  void End();
+
+  const char* name_ = nullptr;
+  const char* category_ = nullptr;
+  double start_ = 0.0;
+  std::string args_;
+  bool active_ = false;
+};
+
+// Escapes a string for embedding inside a JSON string literal.
+std::string JsonEscape(const std::string& s);
+
+// A monotonically updated counter/gauge. Add() accumulates (counters);
+// Set() overwrites (gauges). Both track the high-water mark. Lock-free.
+class Metric {
+ public:
+  void Add(int64_t delta) {
+    UpdateMax(value_.fetch_add(delta, std::memory_order_relaxed) + delta);
+  }
+  void Set(int64_t v) {
+    value_.store(v, std::memory_order_relaxed);
+    UpdateMax(v);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  int64_t max_value() const { return max_.load(std::memory_order_relaxed); }
+  void Reset() {
+    value_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  void UpdateMax(int64_t v) {
+    int64_t cur = max_.load(std::memory_order_relaxed);
+    while (v > cur && !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::atomic<int64_t> value_{0};
+  std::atomic<int64_t> max_{0};
+};
+
+// Process-wide registry of named metrics. Get() interns by name and the
+// returned pointer is stable for the process lifetime, so hot paths cache
+// it in a function-local static and pay only the atomic update.
+class Metrics {
+ public:
+  static Metric* Get(const std::string& name);
+  // Current value, 0 for never-touched metrics.
+  static int64_t Value(const std::string& name);
+  // "name = value (max N)" lines, sorted by name; "" when empty.
+  static std::string SummaryText();
+  // `"name":value` pairs for embedding in a JSON object body.
+  static std::string SummaryJsonBody();
+  // Zeroes every registered metric (tests; the registry itself persists).
+  static void Reset();
+};
+
+}  // namespace alpa
+
+#endif  // SRC_SUPPORT_TRACE_H_

@@ -36,16 +36,17 @@ TEST(Baselines, DataParallelOomsOnLargeModel) {
   const ClusterSpec cluster = ClusterSpec::AwsP3(1, 8);
   const BaselineResult data =
       RunSingleMesh(BuildGpt(MemoryHungryGpt()), cluster, "data", DataParallelFilter());
-  ASSERT_TRUE(data.stats.feasible);
-  EXPECT_TRUE(data.stats.oom);
+  // OOM now surfaces as a structured error rather than a stats flag.
+  ASSERT_FALSE(data.stats.ok());
+  EXPECT_EQ(data.stats.status().code(), StatusCode::kResourceExhausted)
+      << data.stats.status().ToString();
 }
 
 TEST(Baselines, Zero3FitsWhereDataOoms) {
   const ClusterSpec cluster = ClusterSpec::AwsP3(1, 8);
   const BaselineResult zero3 =
       RunSingleMesh(BuildGpt(MemoryHungryGpt()), cluster, "zero-3", Zero3Filter());
-  ASSERT_TRUE(zero3.stats.feasible);
-  EXPECT_FALSE(zero3.stats.oom);
+  ASSERT_TRUE(zero3.stats.ok()) << zero3.stats.status().ToString();
 }
 
 TEST(Baselines, Zero2ShardsOptimizerOnly) {
@@ -54,9 +55,9 @@ TEST(Baselines, Zero2ShardsOptimizerOnly) {
       RunSingleMesh(BuildGpt(TinyGpt()), cluster, "data", DataParallelFilter());
   const BaselineResult zero2 =
       RunSingleMesh(BuildGpt(TinyGpt()), cluster, "zero-2", Zero2Filter());
-  ASSERT_TRUE(data.stats.feasible);
-  ASSERT_TRUE(zero2.stats.feasible);
-  EXPECT_LT(zero2.stats.peak_memory_bytes, data.stats.peak_memory_bytes);
+  ASSERT_TRUE(data.stats.ok()) << data.stats.status().ToString();
+  ASSERT_TRUE(zero2.stats.ok()) << zero2.stats.status().ToString();
+  EXPECT_LT(zero2.stats->peak_memory_bytes, data.stats->peak_memory_bytes);
 }
 
 TEST(Baselines, AutoShardingNoSlowerThanRuleBased) {
@@ -64,7 +65,7 @@ TEST(Baselines, AutoShardingNoSlowerThanRuleBased) {
   // same cost model (it optimizes exactly that objective).
   const ClusterSpec cluster = ClusterSpec::AwsP3(1, 8);
   const BaselineResult autos = RunSingleMesh(BuildGpt(TinyGpt()), cluster, "auto", nullptr);
-  ASSERT_TRUE(autos.stats.feasible);
+  ASSERT_TRUE(autos.stats.ok()) << autos.stats.status().ToString();
   for (auto& [name, filter] :
        std::vector<std::pair<std::string, AlgorithmFilter>>{{"data", DataParallelFilter()},
                                                             {"zero2", Zero2Filter()},
@@ -72,8 +73,8 @@ TEST(Baselines, AutoShardingNoSlowerThanRuleBased) {
                                                             {"heuristic",
                                                              HeuristicLargestDimFilter()}}) {
     const BaselineResult rule = RunSingleMesh(BuildGpt(TinyGpt()), cluster, name, filter);
-    if (rule.stats.feasible && !rule.stats.oom) {
-      EXPECT_LE(autos.stats.latency, rule.stats.latency * 1.02) << name;
+    if (rule.stats.ok()) {
+      EXPECT_LE(autos.stats->latency, rule.stats->latency * 1.02) << name;
     }
   }
 }
@@ -81,17 +82,17 @@ TEST(Baselines, AutoShardingNoSlowerThanRuleBased) {
 TEST(Baselines, MegatronFeasibleOnGpt) {
   const ClusterSpec cluster = ClusterSpec::AwsP3(1, 4);
   const BaselineResult megatron = RunMegatron(BuildGpt(TinyGpt()), cluster, 8, 4);
-  ASSERT_TRUE(megatron.stats.feasible);
-  EXPECT_GT(megatron.stats.pflops, 0.0);
+  ASSERT_TRUE(megatron.stats.ok()) << megatron.stats.status().ToString();
+  EXPECT_GT(megatron.stats->pflops, 0.0);
 }
 
 TEST(Baselines, AlpaMatchesOrBeatsMegatronOnGpt) {
   const ClusterSpec cluster = ClusterSpec::AwsP3(1, 4);
   const BaselineResult alpa = RunAlpa(BuildGpt(TinyGpt()), cluster, 8, 4);
   const BaselineResult megatron = RunMegatron(BuildGpt(TinyGpt()), cluster, 8, 4);
-  ASSERT_TRUE(alpa.stats.feasible);
-  ASSERT_TRUE(megatron.stats.feasible);
-  EXPECT_LE(alpa.stats.latency, megatron.stats.latency * 1.1);
+  ASSERT_TRUE(alpa.stats.ok()) << alpa.stats.status().ToString();
+  ASSERT_TRUE(megatron.stats.ok()) << megatron.stats.status().ToString();
+  EXPECT_LE(alpa.stats->latency, megatron.stats->latency * 1.1);
 }
 
 TEST(Baselines, DeepSpeedMoeSingleNodeWorks) {
@@ -105,14 +106,14 @@ TEST(Baselines, DeepSpeedMoeSingleNodeWorks) {
   config.vocab = 512;
   const ClusterSpec cluster = ClusterSpec::AwsP3(1, 4);
   const BaselineResult deepspeed = RunDeepSpeedMoe(BuildMoe(config), cluster, 8);
-  ASSERT_TRUE(deepspeed.stats.feasible);
-  EXPECT_GT(deepspeed.stats.pflops, 0.0);
+  ASSERT_TRUE(deepspeed.stats.ok()) << deepspeed.stats.status().ToString();
+  EXPECT_GT(deepspeed.stats->pflops, 0.0);
 }
 
 TEST(Baselines, PpDpFeasibleOnSmallModel) {
   const ClusterSpec cluster = ClusterSpec::AwsP3(1, 4);
   const BaselineResult ppdp = RunPpDp(BuildGpt(TinyGpt()), cluster, 8, 4);
-  ASSERT_TRUE(ppdp.stats.feasible);
+  ASSERT_TRUE(ppdp.stats.ok()) << ppdp.stats.status().ToString();
 }
 
 TEST(Baselines, FiltersAdmitAtLeastOneAlgorithmPerOp) {
@@ -130,7 +131,7 @@ TEST(Baselines, FiltersAdmitAtLeastOneAlgorithmPerOp) {
                                                              ExpertParallelFilter()}}) {
     Graph copy = graph;
     const BaselineResult result = RunSingleMesh(std::move(copy), cluster, name, filter);
-    EXPECT_TRUE(result.stats.feasible) << name;
+    EXPECT_TRUE(result.stats.ok()) << name << ": " << result.stats.status().ToString();
   }
 }
 

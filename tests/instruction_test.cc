@@ -128,7 +128,8 @@ TEST(Visualize, PlanSummaryShowsShardedOps) {
   options.num_microbatches = 8;
   options.inter.target_layers = 4;
   ParallelPlan plan;
-  CompileAndSimulate(graph, cluster, options, &plan);
+  const StatusOr<ExecutionStats> stats = CompileAndSimulate(graph, cluster, options, &plan);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
   const std::string summary = RenderPlanSummary(plan.pipeline);
   EXPECT_NE(summary.find("stage 0"), std::string::npos);
   EXPECT_NE(summary.find("S"), std::string::npos);  // Some partitioned tensor.

@@ -177,10 +177,10 @@ TEST(ParallelCompile, ApiMirrorsCompileThreads) {
   options.compile_threads = 2;
   options.inter.target_layers = 2;
   options.inter.profiler.intra.solver.max_search_nodes = 20'000;
-  const ParallelPlan plan = Parallelize(graph, cluster, options);
-  ASSERT_TRUE(plan.pipeline.feasible);
-  EXPECT_EQ(plan.compile_stats.threads_used, 2);
-  EXPECT_GT(plan.compile_stats.profiling_wall_seconds, 0.0);
+  const StatusOr<ParallelPlan> plan = Parallelize(graph, cluster, options);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->compile_stats.threads_used, 2);
+  EXPECT_GT(plan->compile_stats.profiling_wall_seconds, 0.0);
 }
 
 }  // namespace

@@ -4,13 +4,36 @@
 // -fsanitize=thread (this whole binary, library sources included, is
 // TSan-instrumented by tests/CMakeLists.txt) and checks PlanEquals. Any
 // data race in the profiler's once_flag cells, the memo cache, the stage
-// DP's parallel precompute, or the pool itself fails the run. Kept small:
-// TSan slows execution by an order of magnitude.
+// DP's parallel precompute, or the pool itself fails the run. Tracing is
+// enabled for both compiles so the recorder's lane buffers, the metrics
+// registry, and the exporter run under TSan too, and the "compile"-category
+// span multiset must be identical across thread counts. Kept small: TSan
+// slows execution by an order of magnitude.
 #include <cstdio>
+#include <map>
+#include <string>
 
 #include "src/inter/inter_pass.h"
 #include "src/intra/ilp_cache.h"
 #include "src/models/gpt.h"
+#include "src/support/trace.h"
+
+namespace {
+
+// Multiset of "category/name(args)" for compile-category spans. Pool-category
+// spans ("pool_task", "profiling_sweep") vary with the thread count by
+// design and are excluded.
+std::map<std::string, int> CompileSpanSet() {
+  std::map<std::string, int> set;
+  for (const alpa::TraceEvent& e : alpa::Trace::Snapshot()) {
+    if (!e.virtual_time && e.category == "compile") {
+      ++set[e.name + "(" + e.args + ")"];
+    }
+  }
+  return set;
+}
+
+}  // namespace
 
 int main() {
   using namespace alpa;
@@ -28,15 +51,23 @@ int main() {
   options.target_layers = 2;
   options.profiler.intra.solver.max_search_nodes = 5'000;
 
+  if (Trace::kCompiledIn) {
+    Trace::Enable();
+  }
+
   IlpMemoCache::Global().Clear();
+  Trace::Clear();
   Graph serial_graph = BuildGpt(config);
   options.compile_threads = 1;
   const CompiledPipeline serial = RunInterOpPass(serial_graph, cluster, options);
+  const std::map<std::string, int> serial_spans = CompileSpanSet();
 
   IlpMemoCache::Global().Clear();
+  Trace::Clear();
   Graph parallel_graph = BuildGpt(config);
   options.compile_threads = 4;
   const CompiledPipeline parallel = RunInterOpPass(parallel_graph, cluster, options);
+  const std::map<std::string, int> parallel_spans = CompileSpanSet();
 
   if (!serial.feasible || !parallel.feasible) {
     std::fprintf(stderr, "FAIL: compilation infeasible (serial=%d parallel=%d)\n",
@@ -47,8 +78,37 @@ int main() {
     std::fprintf(stderr, "FAIL: parallel plan differs from serial plan\n");
     return 1;
   }
-  std::printf("OK: plans identical under TSan (%lld solves serial, %lld parallel)\n",
+  if (Trace::kCompiledIn) {
+    if (serial_spans.empty()) {
+      std::fprintf(stderr, "FAIL: tracing enabled but no compile spans recorded\n");
+      return 1;
+    }
+    if (serial_spans != parallel_spans) {
+      std::fprintf(stderr, "FAIL: compile-span set differs across thread counts\n");
+      for (const auto& [key, count] : serial_spans) {
+        auto it = parallel_spans.find(key);
+        if (it == parallel_spans.end() || it->second != count) {
+          std::fprintf(stderr, "  serial has %dx %s\n", count, key.c_str());
+        }
+      }
+      for (const auto& [key, count] : parallel_spans) {
+        auto it = serial_spans.find(key);
+        if (it == serial_spans.end() || it->second != count) {
+          std::fprintf(stderr, "  parallel has %dx %s\n", count, key.c_str());
+        }
+      }
+      return 1;
+    }
+    // Exercise the exporter under TSan as well.
+    const Status written = Trace::WriteJson("tsan_trace_out.json");
+    if (!written.ok()) {
+      std::fprintf(stderr, "FAIL: %s\n", written.ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("OK: plans identical under TSan (%lld solves serial, %lld parallel, "
+              "%zu compile span kinds)\n",
               static_cast<long long>(serial.stats.ilp_solves),
-              static_cast<long long>(parallel.stats.ilp_solves));
+              static_cast<long long>(parallel.stats.ilp_solves), serial_spans.size());
   return 0;
 }
