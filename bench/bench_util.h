@@ -2,10 +2,13 @@
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/baselines/baselines.h"
 #include "src/core/api.h"
@@ -39,9 +42,13 @@ struct BenchFlags {
   int threads = 1;
   // Non-empty: write the unified compile+execute Chrome trace here.
   std::string trace_path;
+  // Non-empty: write machine-readable results (JSON) here for CI trend
+  // tracking, alongside the human-readable table on stdout.
+  std::string json_path;
 };
 
-// Parses `--threads N` / `--threads=N` and `--trace PATH` / `--trace=PATH`.
+// Parses `--threads N` / `--threads=N`, `--trace PATH` / `--trace=PATH`,
+// and `--json PATH` / `--json=PATH`.
 inline BenchFlags ParseBenchFlags(int argc, char** argv, int default_threads = 1) {
   BenchFlags flags;
   flags.threads = default_threads;
@@ -54,10 +61,108 @@ inline BenchFlags ParseBenchFlags(int argc, char** argv, int default_threads = 1
       flags.trace_path = argv[i + 1];
     } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       flags.trace_path = argv[i] + 8;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      flags.json_path = argv[i + 1];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      flags.json_path = argv[i] + 7;
     }
   }
   return flags;
 }
+
+// Accumulates one JSON object per benchmark configuration and writes
+//   {"benchmark": "<name>", "results": [{...}, ...]}
+// Values are rendered as they are added; non-finite doubles become null
+// (JSON has no Infinity/NaN).
+class JsonReport {
+ public:
+  explicit JsonReport(std::string benchmark) : benchmark_(std::move(benchmark)) {}
+
+  class Row {
+   public:
+    Row& Num(const char* key, double value) {
+      if (!std::isfinite(value)) {
+        return Raw(key, "null");
+      }
+      char buffer[64];
+      std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+      return Raw(key, buffer);
+    }
+    Row& Int(const char* key, long long value) {
+      char buffer[32];
+      std::snprintf(buffer, sizeof(buffer), "%lld", value);
+      return Raw(key, buffer);
+    }
+    Row& Bool(const char* key, bool value) { return Raw(key, value ? "true" : "false"); }
+    Row& Str(const char* key, const std::string& value) {
+      std::string quoted = "\"";
+      for (char c : value) {
+        if (c == '"' || c == '\\') {
+          quoted += '\\';
+        }
+        quoted += c;
+      }
+      quoted += '"';
+      return Raw(key, quoted.c_str());
+    }
+    // The standard result columns: ok + latency/pflops/bubble/peak bytes
+    // (null columns when the configuration failed, plus the error text).
+    Row& Stats(const StatusOr<ExecutionStats>& stats) {
+      Bool("ok", stats.ok());
+      if (!stats.ok()) {
+        return Str("error", stats.status().ToString());
+      }
+      return Num("latency_seconds", stats->latency)
+          .Num("pflops", stats->pflops)
+          .Num("bubble_fraction", stats->bubble_fraction)
+          .Num("peak_memory_bytes", stats->peak_memory_bytes);
+    }
+
+    std::string json() const { return "{" + fields_ + "}"; }
+
+   private:
+    Row& Raw(const char* key, const char* rendered) {
+      if (!fields_.empty()) {
+        fields_ += ",";
+      }
+      fields_ += "\"";
+      fields_ += key;
+      fields_ += "\":";
+      fields_ += rendered;
+      return *this;
+    }
+    std::string fields_;
+  };
+
+  Row& AddRow() {
+    rows_.emplace_back();
+    return rows_.back();
+  }
+
+  // Writes the report; no-op when `path` is empty. Returns false (with a
+  // message on stderr) when the file cannot be written.
+  bool Write(const std::string& path) const {
+    if (path.empty()) {
+      return true;
+    }
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "cannot write JSON report to %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(file, "{\"benchmark\":\"%s\",\"results\":[", benchmark_.c_str());
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(file, "%s%s", i == 0 ? "" : ",", rows_[i].json().c_str());
+    }
+    std::fprintf(file, "]}\n");
+    std::fclose(file);
+    return true;
+  }
+
+ private:
+  std::string benchmark_;
+  std::vector<Row> rows_;
+};
 
 // Configures the shared BaselineOptionTemplate through the options builder:
 // a bounded ILP search budget (quality loss is negligible thanks to the

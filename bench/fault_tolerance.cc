@@ -1,0 +1,141 @@
+// Goodput under failures (the fault-injection counterpart of Fig. 8).
+//
+// Part 1 sweeps host failure rates against the Fig. 8 GPT configurations:
+// each recovery costs detection + recompile + checkpoint restore + half a
+// checkpoint interval of lost work, so the retained goodput falls as
+// failures become more frequent (strictly decreasing in the rate).
+//
+// Part 2 replays one concrete incident end to end on a two-host cluster:
+// a device dies mid-iteration (simulator reports detection time and wasted
+// work), then RepairPlan() recompiles for the surviving host against the
+// warm process-wide ILP cache and prices the recovery.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/models/gpt.h"
+#include "src/runtime/simulator.h"
+
+int main(int argc, char** argv) {
+  using namespace alpa;
+  using namespace alpa::bench;
+
+  const BenchFlags flags = ParseBenchFlags(argc, argv);
+  InitBench(flags);
+  JsonReport report("fault_tolerance");
+
+  std::printf("=== Goodput vs failure rate (GPT configs, recoverable host loss) ===\n");
+  std::printf("%-10s %6s | %12s %10s %14s %14s\n", "model", "#gpus", "failures/day",
+              "goodput", "pflops", "healthy pflops");
+  const double kFailuresPerDay[] = {0.0, 0.5, 1.0, 2.0, 4.0, 8.0};
+  for (const GptBenchmarkCase& bench_case : GptPaperCases()) {
+    if (bench_case.num_gpus > 8) {
+      continue;  // Keep the sweep cheap; the model is size-independent.
+    }
+    GptConfig config = bench_case.config;
+    config.microbatch = 8;
+    const int num_microbatches =
+        static_cast<int>(bench_case.global_batch / config.microbatch);
+    const ClusterSpec cluster = ClusterFor(bench_case.num_gpus);
+    const int layers = bench_case.num_gpus >= 8 ? 16 : 8;
+
+    ParallelizeOptions options = BaselineOptionTemplate();
+    options.num_microbatches = num_microbatches;
+    options.inter.target_layers = layers;
+    Graph graph = BuildGpt(config);
+    ParallelPlan plan;
+    const StatusOr<ExecutionStats> healthy =
+        CompileAndSimulate(graph, cluster, options, &plan);
+    if (!healthy.ok()) {
+      std::printf("%-10s %6d | %s\n", bench_case.name.c_str(), bench_case.num_gpus,
+                  healthy.status().ToString().c_str());
+      continue;
+    }
+    // One recovery: notice the failure, recompile (measured on this
+    // machine), reload the last checkpoint, redo the lost half-interval.
+    MtbfModel mtbf;
+    const double downtime = cluster.faults.detection_timeout +
+                            plan.compile_stats.total_seconds +
+                            mtbf.checkpoint_restore_seconds +
+                            0.5 * mtbf.checkpoint_interval_seconds;
+    for (const double rate : kFailuresPerDay) {
+      const double mtbf_seconds = rate > 0.0 ? 86400.0 / rate : 0.0;
+      const double goodput =
+          mtbf_seconds > 0.0 ? mtbf_seconds / (mtbf_seconds + downtime) : 1.0;
+      std::printf("%-10s %6d | %12.1f %9.1f%% %14.3f %14.3f\n", bench_case.name.c_str(),
+                  bench_case.num_gpus, rate, goodput * 100.0, healthy->pflops * goodput,
+                  healthy->pflops);
+      report.AddRow()
+          .Str("section", "goodput_sweep")
+          .Str("model", bench_case.name)
+          .Int("num_gpus", bench_case.num_gpus)
+          .Num("failures_per_day", rate)
+          .Num("mtbf_seconds", mtbf_seconds)
+          .Num("downtime_seconds", downtime)
+          .Num("goodput_fraction", goodput)
+          .Num("goodput_pflops", healthy->pflops * goodput)
+          .Stats(healthy);
+    }
+    std::fflush(stdout);
+  }
+
+  std::printf("\n=== Single-incident replay + plan repair (GPT-350M, 2x2 cluster) ===\n");
+  {
+    GptConfig config = GptPaperCases()[0].config;
+    config.microbatch = 8;
+    ClusterSpec cluster = ClusterSpec::AwsP3(2, 2);
+    ParallelizeOptions options = BaselineOptionTemplate();
+    options.num_microbatches = 16;
+    options.inter.target_layers = 8;
+
+    // Healthy compile: establishes the baseline and warms the ILP cache.
+    Graph graph = BuildGpt(config);
+    ParallelPlan plan;
+    const StatusOr<ExecutionStats> healthy =
+        CompileAndSimulate(graph, cluster, options, &plan);
+    if (!healthy.ok()) {
+      std::printf("healthy compile failed: %s\n", healthy.status().ToString().c_str());
+      report.Write(flags.json_path);
+      return 1;
+    }
+    std::printf("healthy:   %s\n", healthy->ToString().c_str());
+
+    // Replay: the last device (host 1) dies 40% into the iteration.
+    PipelineSimInput faulty_input = plan.sim_input;
+    faulty_input.faults.device_failures.push_back(
+        DeviceFailure{cluster.num_devices() - 1, 0.4 * healthy->latency});
+    const PipelineSimResult incident = SimulatePipeline(faulty_input);
+    std::printf("incident:  %s\n", incident.ToString().c_str());
+
+    // Repair: drop host 1, recompile on the warm cache, price the recovery.
+    RepairOptions repair_options;
+    repair_options.failed_host = 1;
+    repair_options.mtbf.mtbf_seconds = 86400.0;
+    const StatusOr<RepairResult> repair =
+        RepairPlan(graph, cluster, options, repair_options);
+    if (!repair.ok()) {
+      std::printf("repair failed: %s\n", repair.status().ToString().c_str());
+      report.Write(flags.json_path);
+      return 1;
+    }
+    std::printf("repaired:  %s\n", repair->ToString().c_str());
+
+    report.AddRow()
+        .Str("section", "repair")
+        .Str("model", GptPaperCases()[0].name)
+        .Int("num_gpus", cluster.num_devices())
+        .Bool("incident_failed", incident.failed)
+        .Num("incident_detection_seconds", incident.detection_time)
+        .Num("incident_wasted_seconds", incident.wasted_work_seconds)
+        .Int("remaining_hosts", repair->shrunk_cluster.num_hosts)
+        .Num("recompile_seconds", repair->recompile_seconds)
+        .Int("ilp_cache_hits", repair->ilp_cache_hits)
+        .Int("ilp_cache_misses", repair->ilp_cache_misses)
+        .Num("expected_downtime_seconds", repair->expected_downtime_seconds)
+        .Num("goodput_fraction", repair->goodput_fraction)
+        .Num("goodput_pflops", repair->goodput_pflops)
+        .Stats(StatusOr<ExecutionStats>(repair->stats));
+  }
+
+  report.Write(flags.json_path);
+  return 0;
+}

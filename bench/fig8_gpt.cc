@@ -16,7 +16,9 @@ int main(int argc, char** argv) {
   using namespace alpa;
   using namespace alpa::bench;
 
-  InitBench(ParseBenchFlags(argc, argv));
+  const BenchFlags flags = ParseBenchFlags(argc, argv);
+  InitBench(flags);
+  JsonReport report("fig8_gpt");
   std::printf("=== Figure 8a: GPT weak scaling (aggregate PFLOPS) ===\n");
   std::printf("%-10s %6s %8s | %10s %12s %12s %12s\n", "model", "#gpus", "batch", "alpa",
               "megatron", "intra-only", "inter-only");
@@ -51,6 +53,17 @@ int main(int argc, char** argv) {
                 Cell(alpa).c_str(), Cell(megatron).c_str(), Cell(intra).c_str(),
                 Cell(inter).c_str());
     std::fflush(stdout);
+    const std::pair<const char*, const StatusOr<ExecutionStats>*> methods[] = {
+        {"alpa", &alpa}, {"megatron", &megatron}, {"intra_only", &intra}, {"inter_only", &inter}};
+    for (const auto& [method, stats] : methods) {
+      report.AddRow()
+          .Str("model", bench_case.name)
+          .Int("num_gpus", bench_case.num_gpus)
+          .Int("global_batch", bench_case.global_batch)
+          .Str("method", method)
+          .Stats(*stats);
+    }
   }
+  report.Write(flags.json_path);
   return 0;
 }

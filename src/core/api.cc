@@ -135,8 +135,13 @@ StatusOr<ParallelPlan> Parallelize(Graph& graph, const ClusterSpec& cluster,
   plan.sim_input.num_microbatches = inter.num_microbatches;
   plan.sim_input.schedule = opts.schedule;
   plan.sim_input.device_memory_bytes = cluster.device.memory_bytes;
+  // The compiler assumes a healthy cluster; the fault scenario only affects
+  // the simulated execution of the finished plan.
+  plan.sim_input.faults = cluster.faults;
+  plan.sim_input.devices_per_host = cluster.devices_per_host;
   for (size_t s = 0; s < stages.size(); ++s) {
     const CompiledStage& stage = stages[s];
+    plan.sim_input.stage_devices.push_back(stage.device_ids);
     StageExecProfile profile;
     profile.t_forward = stage.t_forward;
     profile.t_backward = stage.t_backward;
@@ -213,21 +218,67 @@ StatusOr<ExecutionStats> CompileAndSimulate(Graph& graph, const ClusterSpec& clu
   return stats;
 }
 
-ParallelPlan ParallelizeOrInfeasible(Graph& graph, const ClusterSpec& cluster,
-                                     const ParallelizeOptions& options) {
-  StatusOr<ParallelPlan> plan = Parallelize(graph, cluster, options);
-  return plan.ok() ? std::move(*plan) : ParallelPlan{};
+StatusOr<RepairResult> RepairPlan(Graph& graph, const ClusterSpec& cluster,
+                                  const ParallelizeOptions& parallelize_options,
+                                  const RepairOptions& options) {
+  if (options.failed_host < 0 || options.failed_host >= cluster.num_hosts) {
+    return Status::InvalidArgument(StrFormat("failed_host %d out of range [0, %d)",
+                                             options.failed_host, cluster.num_hosts));
+  }
+  if (cluster.num_hosts <= 1) {
+    return Status::Infeasible(
+        "cannot repair a single-host cluster: no hosts remain after dropping "
+        "the failed one");
+  }
+  TraceSpan span("repair_plan");
+
+  RepairResult result;
+  // The cluster is homogeneous, so which host died does not change the
+  // shrunk shape — only that one fewer host remains. The repaired job runs
+  // on the survivors with the fault scenario consumed (the failure already
+  // happened; transient-fault fields would double-charge the repaired run).
+  result.shrunk_cluster = cluster;
+  result.shrunk_cluster.num_hosts = cluster.num_hosts - 1;
+  result.shrunk_cluster.faults = FaultSpec{};
+
+  ParallelizeOptions opts = parallelize_options;
+  opts.trace_path.clear();  // The caller's trace flushes once, at the end.
+  StatusOr<ParallelPlan> plan = Parallelize(graph, result.shrunk_cluster, opts);
+  if (!plan.ok()) {
+    return plan.status();
+  }
+  result.recompile_seconds = plan->compile_stats.total_seconds;
+  result.ilp_cache_hits = plan->compile_stats.ilp_cache_hits;
+  result.ilp_cache_misses = plan->compile_stats.ilp_cache_misses;
+  StatusOr<ExecutionStats> stats = Simulate(*plan, graph, result.shrunk_cluster);
+  if (!stats.ok()) {
+    return stats.status();
+  }
+  result.plan = std::move(*plan);
+  result.stats = *stats;
+
+  const MtbfModel& mtbf = options.mtbf;
+  result.expected_downtime_seconds = cluster.faults.detection_timeout +
+                                     result.recompile_seconds +
+                                     mtbf.checkpoint_restore_seconds +
+                                     0.5 * mtbf.checkpoint_interval_seconds;
+  if (mtbf.mtbf_seconds > 0.0) {
+    result.goodput_fraction =
+        mtbf.mtbf_seconds / (mtbf.mtbf_seconds + result.expected_downtime_seconds);
+  }
+  result.goodput_pflops = result.stats.pflops * result.goodput_fraction;
+  return result;
 }
 
-ExecutionStats SimulateOrZero(const ParallelPlan& plan, const Graph& graph,
-                              const ClusterSpec& cluster) {
-  return Simulate(plan, graph, cluster).value_or(ExecutionStats{});
-}
-
-ExecutionStats CompileAndSimulateOrZero(Graph& graph, const ClusterSpec& cluster,
-                                        const ParallelizeOptions& options,
-                                        ParallelPlan* plan_out) {
-  return CompileAndSimulate(graph, cluster, options, plan_out).value_or(ExecutionStats{});
+std::string RepairResult::ToString() const {
+  return StrFormat(
+      "RepairResult: %d hosts remain, %s, recompile=%s (ilp cache %lld hit / "
+      "%lld miss), downtime=%s, goodput=%.1f%% (%.3f pflops)",
+      shrunk_cluster.num_hosts, stats.ToString().c_str(),
+      HumanSeconds(recompile_seconds).c_str(), static_cast<long long>(ilp_cache_hits),
+      static_cast<long long>(ilp_cache_misses),
+      HumanSeconds(expected_downtime_seconds).c_str(), goodput_fraction * 100.0,
+      goodput_pflops);
 }
 
 std::string ExecutionStats::ToString() const {

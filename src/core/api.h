@@ -147,24 +147,60 @@ StatusOr<ExecutionStats> CompileAndSimulate(Graph& graph, const ClusterSpec& clu
                                             const ParallelizeOptions& options,
                                             ParallelPlan* plan_out = nullptr);
 
-// --- Deprecated pre-Status shims ---------------------------------------
-// For out-of-tree callers written against the old bool-pair API. Failures
-// surface the old way: an infeasible/invalid compile returns a plan with
-// pipeline.feasible == false; the stats shims return a default
-// ExecutionStats (latency == 0) on any error.
+// --- Plan repair after a permanent host failure -------------------------
+//
+// The paper compiles for a static healthy cluster. When the simulated
+// runtime reports an unrecoverable device loss, RepairPlan() answers "what
+// happens next": drop the failed host, recompile for the shrunk cluster
+// (the process-wide ILP memo cache makes this a warm recompile — submesh
+// profiles are keyed by shape, not placement, so most solves hit), and
+// price the recovery against an MTBF model to get the goodput the job
+// retains under recurring failures.
 
-[[deprecated("use Parallelize(); it returns StatusOr<ParallelPlan>")]]
-ParallelPlan ParallelizeOrInfeasible(Graph& graph, const ClusterSpec& cluster,
-                                     const ParallelizeOptions& options);
+// Exponential-failure recovery model: how often a host dies and what one
+// recovery costs beyond the recompile itself.
+struct MtbfModel {
+  // Mean time between failures for the whole cluster, in seconds.
+  // <= 0 means "no recurring failures": goodput_fraction is 1.
+  double mtbf_seconds = 0.0;
+  // Checkpoint cadence; on average half an interval of work is lost.
+  double checkpoint_interval_seconds = 600.0;
+  // Time to load the last checkpoint onto the repaired cluster.
+  double checkpoint_restore_seconds = 30.0;
+};
 
-[[deprecated("use Simulate(); it returns StatusOr<ExecutionStats>")]]
-ExecutionStats SimulateOrZero(const ParallelPlan& plan, const Graph& graph,
-                              const ClusterSpec& cluster);
+struct RepairOptions {
+  int failed_host = 0;  // Host to remove, in [0, cluster.num_hosts).
+  MtbfModel mtbf;
+};
 
-[[deprecated("use CompileAndSimulate(); it returns StatusOr<ExecutionStats>")]]
-ExecutionStats CompileAndSimulateOrZero(Graph& graph, const ClusterSpec& cluster,
-                                        const ParallelizeOptions& options,
-                                        ParallelPlan* plan_out = nullptr);
+struct RepairResult {
+  ClusterSpec shrunk_cluster;  // Original minus one host, faults cleared.
+  ParallelPlan plan;           // Compiled for the shrunk cluster.
+  ExecutionStats stats;        // Simulated on the shrunk cluster.
+  // Wall-clock cost of the recompile, and how warm the ILP cache was.
+  double recompile_seconds = 0.0;
+  int64_t ilp_cache_hits = 0;
+  int64_t ilp_cache_misses = 0;
+  // Downtime of one recovery: detection + recompile + checkpoint restore +
+  // recomputing the work lost since the last checkpoint.
+  double expected_downtime_seconds = 0.0;
+  // Fraction of wall-clock time spent on useful training under the MTBF
+  // model: mtbf / (mtbf + expected_downtime). 1 when mtbf_seconds <= 0.
+  double goodput_fraction = 1.0;
+  // stats.pflops scaled by goodput_fraction (the Fig. 8 metric under
+  // failures).
+  double goodput_pflops = 0.0;
+  std::string ToString() const;
+};
+
+// Drops `options.failed_host` from `cluster`, recompiles `graph` for the
+// remaining hosts, and prices the recovery. Errors: kInvalidArgument
+// (failed_host out of range), kInfeasible (single-host cluster, or no plan
+// fits the shrunk cluster), kResourceExhausted (the shrunk plan OOMs).
+StatusOr<RepairResult> RepairPlan(Graph& graph, const ClusterSpec& cluster,
+                                  const ParallelizeOptions& parallelize_options,
+                                  const RepairOptions& options);
 
 }  // namespace alpa
 

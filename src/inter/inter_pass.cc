@@ -267,6 +267,12 @@ CompiledPipeline RunInterOpPass(Graph& graph, const ClusterSpec& cluster,
     stage.layer_begin = assignment.layer_begin;
     stage.layer_end = assignment.layer_end;
     stage.placement = (*placements)[s];
+    for (int h = 0; h < stage.placement.shape.num_hosts; ++h) {
+      for (int d = 0; d < stage.placement.shape.devices_per_host; ++d) {
+        stage.device_ids.push_back((stage.placement.host_begin + h) * cluster.devices_per_host +
+                                   stage.placement.device_begin + d);
+      }
+    }
     stage.logical_shape = profiler.variants()[static_cast<size_t>(assignment.shape_index)].logical;
     const StageProfile profile = profiler.Profile(assignment.layer_begin, assignment.layer_end,
                                                   assignment.shape_index);

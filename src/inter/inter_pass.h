@@ -56,6 +56,9 @@ struct CompiledStage {
   int layer_end = 0;
   MeshPlacement placement;
   std::array<int, 2> logical_shape = {1, 1};
+  // Global ids of the devices backing this stage (derived from `placement`;
+  // the simulator's fault model resolves per-device faults through these).
+  std::vector<int> device_ids;
   // Per-microbatch forward+backward latency and its split.
   double t_intra = 0.0;
   double t_forward = 0.0;

@@ -60,8 +60,11 @@ bool ComputeIlpCacheKey(const ClusterSpec& cluster, const SubmeshShape& physical
     return false;
   }
   Fnv1a64 hasher;
-  // Alpha-beta constants and device roofline: the whole cost model.
-  hasher.I32(cluster.num_hosts).I32(cluster.devices_per_host);
+  // Alpha-beta constants and device roofline: the whole cost model. The
+  // cluster's own extent (num_hosts, devices_per_host) is deliberately NOT
+  // hashed: a solve depends only on the submesh variant below and these
+  // constants, so plan repair's shrunk-cluster recompile reuses the warm
+  // entries from the original compile.
   hasher.Double(cluster.device.peak_flops_fp16)
       .Double(cluster.device.peak_flops_fp32)
       .Double(cluster.device.memory_bytes)

@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <string>
 
+#include "src/mesh/fault_spec.h"
+
 namespace alpa {
 
 // Numeric precision of tensors; determines both element width and the
@@ -56,6 +58,12 @@ struct ClusterSpec {
   // one host NIC and per-message latency.
   double inter_host_bandwidth = 3.125e9;  // 25 Gbps.
   double inter_host_alpha = 10e-6;
+
+  // Fault scenario the simulated runtime replays against plans compiled for
+  // this cluster (empty = the paper's static healthy-cluster assumption).
+  // The compiler ignores it; Parallelize() threads it into the simulator
+  // input so a single plan can be stress-tested under many scenarios.
+  FaultSpec faults;
 
   int num_devices() const { return num_hosts * devices_per_host; }
 

@@ -1,0 +1,81 @@
+#include "src/mesh/fault_spec.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/support/strings.h"
+
+namespace alpa {
+
+double RetryPolicy::PenaltySeconds(int failures) const {
+  double penalty = 0.0;
+  double wait = backoff;
+  for (int i = 0; i < failures; ++i) {
+    penalty += timeout + wait;
+    wait *= backoff_multiplier;
+  }
+  return penalty;
+}
+
+bool FaultSpec::empty() const {
+  return device_failures.empty() && stragglers.empty() && link_degradations.empty() &&
+         transient_send_failure_rate <= 0.0;
+}
+
+double FaultSpec::EarliestFailure(const std::vector<int>& devices, int* failed_device) const {
+  double earliest = std::numeric_limits<double>::infinity();
+  for (const DeviceFailure& failure : device_failures) {
+    if (failure.time >= earliest) {
+      continue;
+    }
+    for (int device : devices) {
+      if (device == failure.device) {
+        earliest = failure.time;
+        *failed_device = failure.device;
+        break;
+      }
+    }
+  }
+  return earliest;
+}
+
+double FaultSpec::ComputeSlowdown(const std::vector<int>& devices) const {
+  double slowdown = 1.0;
+  for (const Straggler& straggler : stragglers) {
+    if (straggler.slowdown <= slowdown) {
+      continue;
+    }
+    for (int device : devices) {
+      if (device == straggler.device) {
+        slowdown = straggler.slowdown;
+        break;
+      }
+    }
+  }
+  return slowdown;
+}
+
+double FaultSpec::LinkBandwidthFactor(int src_host, int dst_host) const {
+  double factor = 1.0;
+  for (const LinkDegradation& link : link_degradations) {
+    const bool src_match = link.src_host < 0 || link.src_host == src_host;
+    const bool dst_match = link.dst_host < 0 || link.dst_host == dst_host;
+    if (src_match && dst_match) {
+      factor = std::min(factor, link.bandwidth_factor);
+    }
+  }
+  return factor;
+}
+
+std::string FaultSpec::ToString() const {
+  if (empty()) {
+    return "FaultSpec(none)";
+  }
+  return StrFormat(
+      "FaultSpec(%zu failures, %zu stragglers, %zu degraded links, loss=%.2g, "
+      "retries<=%d)",
+      device_failures.size(), stragglers.size(), link_degradations.size(),
+      transient_send_failure_rate, retry.max_attempts);
+}
+
+}  // namespace alpa

@@ -1,0 +1,96 @@
+// Fault model for the simulated cluster.
+//
+// The paper's runtime (6) assumes a static, healthy cluster for the whole
+// run and lists dynamic cluster changes as out of scope. Production MPMD
+// pipeline runtimes do not get that luxury: devices fail permanently,
+// individual workers straggle, links degrade, and cross-mesh sends are lost
+// and retried. FaultSpec describes all four as deterministic, simulation-
+// time facts threaded from ClusterSpec through PipelineSimInput, so a
+// single compiled plan can be replayed against any fault scenario. An
+// empty (default) FaultSpec is a hard no-op: the simulator's arithmetic is
+// bit-identical to the fault-free path.
+#ifndef SRC_MESH_FAULT_SPEC_H_
+#define SRC_MESH_FAULT_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace alpa {
+
+// A device that stops executing permanently at `time` (simulated seconds
+// from iteration start). The stage holding it can finish nothing at or
+// beyond that instant.
+struct DeviceFailure {
+  int device = 0;  // Global device id (host * devices_per_host + local).
+  double time = 0.0;
+};
+
+// A device whose compute runs `slowdown` times slower than profiled
+// (thermal throttling, a noisy neighbour, a failing HBM bank). The whole
+// stage is gated on its slowest device, so the stage inherits the max.
+struct Straggler {
+  int device = 0;
+  double slowdown = 1.0;  // >= 1; 1.0 is a no-op.
+};
+
+// A host-to-host link running at a fraction of its nominal bandwidth.
+// -1 on either side is a wildcard matching any host.
+struct LinkDegradation {
+  int src_host = -1;
+  int dst_host = -1;
+  double bandwidth_factor = 1.0;  // In (0, 1]; 1.0 is a no-op.
+};
+
+// Retry policy for transient cross-mesh send failures: each failed attempt
+// costs `timeout` (time to declare the attempt lost) plus an exponentially
+// growing backoff wait before the next attempt.
+struct RetryPolicy {
+  int max_attempts = 4;             // Initial try + up to 3 retries.
+  double timeout = 5e-3;            // Seconds until a lost send is declared.
+  double backoff = 1e-3;            // Wait before the first retry.
+  double backoff_multiplier = 2.0;  // Growth per subsequent retry.
+
+  // Total delay charged when the first `failures` attempts are lost:
+  // failures * timeout + backoff * (m^0 + m^1 + ... + m^(failures-1)).
+  double PenaltySeconds(int failures) const;
+};
+
+struct FaultSpec {
+  std::vector<DeviceFailure> device_failures;
+  std::vector<Straggler> stragglers;
+  std::vector<LinkDegradation> link_degradations;
+  // Probability that one cross-mesh send attempt is lost. Sampled
+  // deterministically per (boundary, microbatch, direction, attempt) from
+  // `seed`, so a given spec always replays the same scenario.
+  double transient_send_failure_rate = 0.0;
+  RetryPolicy retry;
+  // Heartbeat interval: a permanent device loss is detected cluster-wide
+  // this long after it happens (the time-to-detection the simulator
+  // reports).
+  double detection_timeout = 1.0;
+  uint64_t seed = 0x5eedULL;
+
+  // True when every field is a no-op: no failures, no stragglers, no
+  // degradations, zero loss rate. The simulator's fast-path guarantee
+  // (bit-identical results) is stated in terms of this predicate.
+  bool empty() const;
+
+  // Earliest permanent-failure time over `devices`; +infinity when none of
+  // them fail. Returns the failing device via `failed_device` (unchanged
+  // when the result is infinite).
+  double EarliestFailure(const std::vector<int>& devices, int* failed_device) const;
+
+  // Max compute slowdown over `devices` (>= 1.0).
+  double ComputeSlowdown(const std::vector<int>& devices) const;
+
+  // Min bandwidth factor matching the (src_host, dst_host) link, wildcards
+  // included; 1.0 when no entry matches.
+  double LinkBandwidthFactor(int src_host, int dst_host) const;
+
+  std::string ToString() const;
+};
+
+}  // namespace alpa
+
+#endif  // SRC_MESH_FAULT_SPEC_H_

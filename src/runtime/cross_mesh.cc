@@ -99,31 +99,60 @@ CrossMeshPlan PlanCrossMeshResharding(const DeviceMesh& src_mesh, const Sharding
   return plan;
 }
 
-double CrossMeshPlan::EstimateTime(const ClusterSpec& cluster, bool cross_host) const {
-  const double bw = cross_host ? cluster.inter_host_bandwidth : cluster.intra_host_bandwidth;
-  const double alpha = cross_host ? cluster.inter_host_alpha : cluster.intra_host_alpha;
-  // Bytes through each host's NIC (out and in) and messages per device.
-  std::map<int, double> host_out;
-  std::map<int, double> host_in;
-  std::map<int, int> device_msgs;
+double CrossMeshPlan::EstimateTime(const ClusterSpec& cluster) const {
+  // Classify every task by its actual endpoints rather than one plan-wide
+  // flag: meshes spanning the same host range exchange a mix of same-host
+  // (fast local fabric) and cross-host (NIC) traffic, and lumping the mix
+  // under one bandwidth misprices both halves.
+  std::map<int, double> host_nic_out;    // Cross-host bytes leaving a host.
+  std::map<int, double> host_nic_in;     // Cross-host bytes entering a host.
+  std::map<int, double> host_local;      // Same-host bytes inside a host.
+  std::map<int, int> device_inter_msgs;  // Per-device message counts by class.
+  std::map<int, int> device_intra_msgs;
   for (const CrossMeshTask& task : sends) {
-    host_out[task.src_device / cluster.devices_per_host] += task.bytes;
-    host_in[task.dst_device / cluster.devices_per_host] += task.bytes;
-    device_msgs[task.src_device] += 1;
-    device_msgs[task.dst_device] += 1;
+    const int src_host = task.src_device / cluster.devices_per_host;
+    const int dst_host = task.dst_device / cluster.devices_per_host;
+    if (src_host != dst_host) {
+      host_nic_out[src_host] += task.bytes;
+      host_nic_in[dst_host] += task.bytes;
+      device_inter_msgs[task.src_device] += 1;
+      device_inter_msgs[task.dst_device] += 1;
+    } else {
+      host_local[src_host] += task.bytes;
+      device_intra_msgs[task.src_device] += 1;
+      device_intra_msgs[task.dst_device] += 1;
+    }
   }
-  double bottleneck_bytes = 0.0;
-  for (const auto& [host, bytes] : host_out) {
-    bottleneck_bytes = std::max(bottleneck_bytes, bytes);
+  double inter_bottleneck_bytes = 0.0;
+  for (const auto& [host, bytes] : host_nic_out) {
+    inter_bottleneck_bytes = std::max(inter_bottleneck_bytes, bytes);
   }
-  for (const auto& [host, bytes] : host_in) {
-    bottleneck_bytes = std::max(bottleneck_bytes, bytes);
+  for (const auto& [host, bytes] : host_nic_in) {
+    inter_bottleneck_bytes = std::max(inter_bottleneck_bytes, bytes);
   }
-  int max_msgs = 0;
-  for (const auto& [device, count] : device_msgs) {
-    max_msgs = std::max(max_msgs, count);
+  double intra_bottleneck_bytes = 0.0;
+  for (const auto& [host, bytes] : host_local) {
+    intra_bottleneck_bytes = std::max(intra_bottleneck_bytes, bytes);
   }
-  return bottleneck_bytes / bw + max_msgs * alpha + local_allgather_time;
+  // Busiest device's per-message latency, pricing each message by its class.
+  double max_alpha = 0.0;
+  for (const auto& [device, count] : device_inter_msgs) {
+    double alpha = count * cluster.inter_host_alpha;
+    const auto it = device_intra_msgs.find(device);
+    if (it != device_intra_msgs.end()) {
+      alpha += it->second * cluster.intra_host_alpha;
+    }
+    max_alpha = std::max(max_alpha, alpha);
+  }
+  for (const auto& [device, count] : device_intra_msgs) {
+    if (device_inter_msgs.count(device)) {
+      continue;  // Already priced above.
+    }
+    max_alpha = std::max(max_alpha, count * cluster.intra_host_alpha);
+  }
+  return inter_bottleneck_bytes / cluster.inter_host_bandwidth +
+         intra_bottleneck_bytes / cluster.intra_host_bandwidth + max_alpha +
+         local_allgather_time;
 }
 
 double CrossMeshReshardTime(const DeviceMesh& src_mesh, const ShardingSpec& src_spec,
@@ -136,10 +165,7 @@ double CrossMeshReshardTime(const DeviceMesh& src_mesh, const ShardingSpec& src_
   bytes_metric->Add(static_cast<int64_t>(plan.total_p2p_bytes));
   static Metric* transfers_metric = Metrics::Get("resharding/transfers");
   transfers_metric->Add(1);
-  const auto& a = src_mesh.placement();
-  const auto& b = dst_mesh.placement();
-  const bool cross_host = a.host_begin != b.host_begin || a.shape.num_hosts != b.shape.num_hosts;
-  return plan.EstimateTime(src_mesh.cluster(), cross_host);
+  return plan.EstimateTime(src_mesh.cluster());
 }
 
 }  // namespace alpa

@@ -38,9 +38,13 @@ struct CrossMeshPlan {
   double local_allgather_time = 0.0;
   double total_p2p_bytes = 0.0;
 
-  // End-to-end time: per-host NIC bottleneck over the slow path + per-task
-  // latency + the local all-gather.
-  double EstimateTime(const ClusterSpec& cluster, bool cross_host) const;
+  // End-to-end time. Each task is classified by its actual endpoints:
+  // cross-host tasks contend on the sender/receiver NICs (bottleneck = the
+  // busiest host NIC, out or in), same-host tasks on that host's local
+  // fabric (bottleneck = the busiest host's local byte sum). The two
+  // bottlenecks are charged in sequence, plus the busiest device's
+  // per-message latencies and the local all-gather.
+  double EstimateTime(const ClusterSpec& cluster) const;
 };
 
 CrossMeshPlan PlanCrossMeshResharding(const DeviceMesh& src_mesh, const ShardingSpec& src_spec,
@@ -48,8 +52,7 @@ CrossMeshPlan PlanCrossMeshResharding(const DeviceMesh& src_mesh, const Sharding
                                       const TensorShape& shape, int64_t dtype_bytes,
                                       ReshardStrategy strategy);
 
-// Convenience: plan + estimate. `cross_host` is derived from the two
-// placements.
+// Convenience: plan + estimate.
 double CrossMeshReshardTime(const DeviceMesh& src_mesh, const ShardingSpec& src_spec,
                             const DeviceMesh& dst_mesh, const ShardingSpec& dst_spec,
                             const TensorShape& shape, int64_t dtype_bytes,

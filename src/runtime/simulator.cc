@@ -1,13 +1,58 @@
 #include "src/runtime/simulator.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <vector>
 
+#include "src/support/hashing.h"
 #include "src/support/logging.h"
+#include "src/support/rng.h"
 #include "src/support/strings.h"
 #include "src/support/trace.h"
 
 namespace alpa {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Outcome of one cross-mesh transfer under the transient-loss model: the
+// retry/backoff delay charged on top of the base transfer time, or an
+// exhausted retry budget. Deterministic in (spec.seed, boundary,
+// microbatch, direction) so a blocked instruction re-evaluates to the same
+// penalty on every scheduling pass.
+struct TransferOutcome {
+  int failures = 0;      // Lost attempts before the success (or the abort).
+  double penalty = 0.0;  // Seconds of timeout + backoff charged.
+  bool exhausted = false;
+};
+
+TransferOutcome SampleTransfer(const FaultSpec& spec, int boundary, int microbatch,
+                               bool forward) {
+  TransferOutcome outcome;
+  if (spec.transient_send_failure_rate <= 0.0) {
+    return outcome;
+  }
+  Rng rng(spec.seed ^ Fnv1a64()
+                          .I32(boundary)
+                          .I32(microbatch)
+                          .Bool(forward)
+                          .hash());
+  const int max_attempts = std::max(spec.retry.max_attempts, 1);
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (rng.NextDouble() >= spec.transient_send_failure_rate) {
+      outcome.penalty = spec.retry.PenaltySeconds(outcome.failures);
+      return outcome;
+    }
+    ++outcome.failures;
+  }
+  outcome.penalty = spec.retry.PenaltySeconds(outcome.failures);
+  outcome.exhausted = true;
+  return outcome;
+}
+
+}  // namespace
 
 PipelineSimResult SimulatePipeline(const PipelineSimInput& input) {
   const int num_stages = static_cast<int>(input.stages.size());
@@ -15,10 +60,42 @@ PipelineSimResult SimulatePipeline(const PipelineSimInput& input) {
   ALPA_CHECK_GT(num_stages, 0);
   const auto schedule =
       BuildPipelineSchedule(input.schedule, num_stages, num_microbatches);
+  const FaultSpec& faults = input.faults;
+  const bool faulty = !faults.empty();
 
   PipelineSimResult result;
   result.stage_busy_seconds.assign(static_cast<size_t>(num_stages), 0.0);
   result.stage_peak_bytes.assign(static_cast<size_t>(num_stages), 0.0);
+
+  // Resolve the per-device fault model to per-stage facts once. With an
+  // empty spec every multiplier is exactly 1.0 and every failure time is
+  // +inf, so the arithmetic below is bit-identical to a fault-free run.
+  std::vector<double> slowdown(static_cast<size_t>(num_stages), 1.0);
+  std::vector<double> fail_time(static_cast<size_t>(num_stages), kInf);
+  std::vector<int> fail_device(static_cast<size_t>(num_stages), -1);
+  // send_stretch[s]: multiplier on the s -> s+1 boundary transfer.
+  std::vector<double> send_stretch(static_cast<size_t>(num_stages), 1.0);
+  if (faulty) {
+    std::vector<int> host_of(static_cast<size_t>(num_stages), 0);
+    for (int s = 0; s < num_stages; ++s) {
+      std::vector<int> devices;
+      if (static_cast<size_t>(s) < input.stage_devices.size() &&
+          !input.stage_devices[static_cast<size_t>(s)].empty()) {
+        devices = input.stage_devices[static_cast<size_t>(s)];
+      } else {
+        devices = {s};
+      }
+      slowdown[static_cast<size_t>(s)] = faults.ComputeSlowdown(devices);
+      fail_time[static_cast<size_t>(s)] =
+          faults.EarliestFailure(devices, &fail_device[static_cast<size_t>(s)]);
+      host_of[static_cast<size_t>(s)] = devices.front() / std::max(input.devices_per_host, 1);
+    }
+    for (int s = 0; s + 1 < num_stages; ++s) {
+      const double factor = faults.LinkBandwidthFactor(host_of[static_cast<size_t>(s)],
+                                                       host_of[static_cast<size_t>(s + 1)]);
+      send_stretch[static_cast<size_t>(s)] = 1.0 / factor;
+    }
+  }
 
   // Completion times, indexed [stage][microbatch].
   const auto idx = [&](int s, int i) {
@@ -31,6 +108,7 @@ PipelineSimResult SimulatePipeline(const PipelineSimInput& input) {
   std::vector<double> free_at(static_cast<size_t>(num_stages), 0.0);
   std::vector<double> memory(static_cast<size_t>(num_stages));
   std::vector<double> update_done(static_cast<size_t>(num_stages), -1.0);
+  std::vector<bool> dead(static_cast<size_t>(num_stages), false);
   for (int s = 0; s < num_stages; ++s) {
     memory[static_cast<size_t>(s)] =
         input.stages[static_cast<size_t>(s)].weight_bytes +
@@ -38,11 +116,47 @@ PipelineSimResult SimulatePipeline(const PipelineSimInput& input) {
     result.stage_peak_bytes[static_cast<size_t>(s)] = memory[static_cast<size_t>(s)];
   }
 
+  // First unrecoverable incident (earliest in simulated time wins).
+  const auto record_failure = [&](int stage, int device, double when) {
+    if (!result.failed || when < result.failure_time) {
+      result.failed = true;
+      result.failed_stage = stage;
+      result.failed_device = device;
+      result.failure_time = when;
+    }
+  };
+  // Retry/backoff intervals for one transfer arriving over `boundary`,
+  // starting when the upstream payload was ready.
+  const auto record_retries = [&](int boundary, int dst_stage, int microbatch,
+                                  const TransferOutcome& outcome, double start) {
+    result.send_retries += outcome.failures;
+    result.retry_seconds += outcome.penalty;
+    if (!input.record_timeline || outcome.failures == 0) {
+      return;
+    }
+    double cursor = start;
+    double wait = faults.retry.backoff;
+    for (int i = 0; i < outcome.failures; ++i) {
+      result.fault_timeline.push_back(FaultEvent{FaultEvent::Kind::kRetry, dst_stage, boundary,
+                                                 microbatch, -1, cursor,
+                                                 cursor + faults.retry.timeout});
+      cursor += faults.retry.timeout;
+      result.fault_timeline.push_back(
+          FaultEvent{FaultEvent::Kind::kBackoff, dst_stage, boundary, microbatch, -1, cursor,
+                     cursor + wait});
+      cursor += wait;
+      wait *= faults.retry.backoff_multiplier;
+    }
+  };
+
   using Kind = PipelineInstruction::Kind;
   bool progress = true;
   while (progress) {
     progress = false;
     for (int s = 0; s < num_stages; ++s) {
+      if (dead[static_cast<size_t>(s)]) {
+        continue;
+      }
       auto& program = schedule[static_cast<size_t>(s)];
       while (pc[static_cast<size_t>(s)] < program.size()) {
         const PipelineInstruction& inst = program[pc[static_cast<size_t>(s)]];
@@ -50,6 +164,9 @@ PipelineSimResult SimulatePipeline(const PipelineSimInput& input) {
         double ready = free_at[static_cast<size_t>(s)];
         double duration = 0.0;
         bool blocked = false;
+        TransferOutcome transfer;
+        int transfer_boundary = -1;
+        double transfer_start = 0.0;
         switch (inst.kind) {
           case Kind::kForward: {
             if (s > 0) {
@@ -58,10 +175,18 @@ PipelineSimResult SimulatePipeline(const PipelineSimInput& input) {
                 blocked = true;
                 break;
               }
-              ready = std::max(
-                  ready, upstream + input.stages[static_cast<size_t>(s - 1)].t_send_next);
+              double transfer_time =
+                  input.stages[static_cast<size_t>(s - 1)].t_send_next *
+                  send_stretch[static_cast<size_t>(s - 1)];
+              if (faulty) {
+                transfer = SampleTransfer(faults, s - 1, inst.microbatch, /*forward=*/true);
+                transfer_boundary = s - 1;
+                transfer_start = upstream;
+                transfer_time += transfer.penalty;
+              }
+              ready = std::max(ready, upstream + transfer_time);
             }
-            duration = profile.t_forward;
+            duration = profile.t_forward * slowdown[static_cast<size_t>(s)];
             break;
           }
           case Kind::kBackward: {
@@ -71,7 +196,15 @@ PipelineSimResult SimulatePipeline(const PipelineSimInput& input) {
                 blocked = true;
                 break;
               }
-              ready = std::max(ready, downstream + profile.t_send_next);
+              double transfer_time =
+                  profile.t_send_next * send_stretch[static_cast<size_t>(s)];
+              if (faulty) {
+                transfer = SampleTransfer(faults, s, inst.microbatch, /*forward=*/false);
+                transfer_boundary = s;
+                transfer_start = downstream;
+                transfer_time += transfer.penalty;
+              }
+              ready = std::max(ready, downstream + transfer_time);
             } else {
               // The last stage starts backward right after its forward.
               const double own = fwd_done[idx(s, inst.microbatch)];
@@ -81,15 +214,54 @@ PipelineSimResult SimulatePipeline(const PipelineSimInput& input) {
               }
               ready = std::max(ready, own);
             }
-            duration = profile.t_backward;
+            duration = profile.t_backward * slowdown[static_cast<size_t>(s)];
             break;
           }
           case Kind::kUpdate: {
-            duration = profile.t_update;
+            duration = profile.t_update * slowdown[static_cast<size_t>(s)];
             break;
           }
         }
         if (blocked) {
+          break;
+        }
+        if (transfer_boundary >= 0) {
+          record_retries(transfer_boundary, s, inst.microbatch, transfer, transfer_start);
+          if (transfer.exhausted) {
+            // The payload never arrives: the receiving stage is stuck.
+            const double when = transfer_start + transfer.penalty;
+            dead[static_cast<size_t>(s)] = true;
+            record_failure(s, -1, when);
+            free_at[static_cast<size_t>(s)] = std::max(free_at[static_cast<size_t>(s)], when);
+            if (input.record_timeline) {
+              result.fault_timeline.push_back(
+                  FaultEvent{FaultEvent::Kind::kTransferAbort, s, transfer_boundary,
+                             inst.microbatch, -1, transfer_start, when});
+            }
+            break;
+          }
+        }
+        const double fail = fail_time[static_cast<size_t>(s)];
+        if (ready + duration > fail) {
+          // A device of this stage dies before the instruction completes
+          // (possibly while the stage sits idle). Work after max(ready,
+          // fail) never happens; partial work up to the failure is charged
+          // as busy (and wasted) time.
+          const double died = std::min(std::max(ready, fail), ready + duration);
+          dead[static_cast<size_t>(s)] = true;
+          record_failure(s, fail_device[static_cast<size_t>(s)], fail);
+          if (died > ready) {
+            result.stage_busy_seconds[static_cast<size_t>(s)] += died - ready;
+            if (input.record_timeline) {
+              result.timeline.push_back(StageEvent{s, inst.kind, inst.microbatch, ready, died});
+            }
+          }
+          free_at[static_cast<size_t>(s)] = died;
+          if (input.record_timeline) {
+            result.fault_timeline.push_back(
+                FaultEvent{FaultEvent::Kind::kDeviceFailure, s, -1, inst.microbatch,
+                           fail_device[static_cast<size_t>(s)], fail, fail});
+          }
           break;
         }
         const double finish = ready + duration;
@@ -119,13 +291,27 @@ PipelineSimResult SimulatePipeline(const PipelineSimInput& input) {
     }
   }
   for (int s = 0; s < num_stages; ++s) {
-    ALPA_CHECK_EQ(pc[static_cast<size_t>(s)], schedule[static_cast<size_t>(s)].size())
-        << "Pipeline deadlocked at stage " << s;
+    if (!result.failed) {
+      ALPA_CHECK_EQ(pc[static_cast<size_t>(s)], schedule[static_cast<size_t>(s)].size())
+          << "Pipeline deadlocked at stage " << s;
+    }
     result.latency = std::max(result.latency, update_done[static_cast<size_t>(s)]);
+    result.latency = std::max(result.latency, result.failed ? free_at[static_cast<size_t>(s)] : 0.0);
     if (result.stage_peak_bytes[static_cast<size_t>(s)] > input.device_memory_bytes &&
         result.first_oom_stage < 0) {
       result.oom = true;
       result.first_oom_stage = s;
+    }
+  }
+  if (result.failed) {
+    result.detection_time = result.failure_time + faults.detection_timeout;
+    for (double busy : result.stage_busy_seconds) {
+      result.wasted_work_seconds += busy;
+    }
+    if (input.record_timeline) {
+      result.fault_timeline.push_back(
+          FaultEvent{FaultEvent::Kind::kDetection, result.failed_stage, -1, -1,
+                     result.failed_device, result.failure_time, result.detection_time});
     }
   }
   double max_busy = 0.0;
@@ -138,15 +324,21 @@ PipelineSimResult SimulatePipeline(const PipelineSimInput& input) {
 
 void ExportTimelineToTrace(const PipelineSimInput& input, const PipelineSimResult& result,
                            const char* label) {
-  if (!Trace::enabled() || result.timeline.empty()) {
+  if (!Trace::enabled() || (result.timeline.empty() && result.fault_timeline.empty())) {
     return;
   }
   const int num_stages = static_cast<int>(input.stages.size());
-  const double base = Trace::ReserveVirtualWindow(result.latency);
+  double window = result.latency;
+  for (const FaultEvent& e : result.fault_timeline) {
+    window = std::max(window, e.end);
+  }
+  const double base = Trace::ReserveVirtualWindow(window);
   Trace::EmitVirtual("iteration", label, "sim", base, base + result.latency,
-                     StrFormat("\"num_microbatches\":%d,\"bubble_fraction\":%.4f,\"oom\":%s",
+                     StrFormat("\"num_microbatches\":%d,\"bubble_fraction\":%.4f,\"oom\":%s"
+                               ",\"failed\":%s,\"send_retries\":%lld",
                                input.num_microbatches, result.bubble_fraction,
-                               result.oom ? "true" : "false"));
+                               result.oom ? "true" : "false", result.failed ? "true" : "false",
+                               static_cast<long long>(result.send_retries)));
 
   std::vector<std::vector<StageEvent>> by_stage(static_cast<size_t>(num_stages));
   for (const StageEvent& e : result.timeline) {
@@ -204,11 +396,50 @@ void ExportTimelineToTrace(const PipelineSimInput& input, const PipelineSimResul
       Trace::EmitVirtual(lane, "bubble", "bubble", base + cursor, base + result.latency);
     }
   }
+  for (const FaultEvent& e : result.fault_timeline) {
+    switch (e.kind) {
+      case FaultEvent::Kind::kRetry:
+        Trace::EmitVirtual(StrFormat("mesh %02d->%02d transfer", e.boundary, e.boundary + 1),
+                           StrFormat("retry mb%d", e.microbatch), "fault", base + e.start,
+                           base + e.end, StrFormat("\"microbatch\":%d", e.microbatch));
+        break;
+      case FaultEvent::Kind::kBackoff:
+        Trace::EmitVirtual(StrFormat("mesh %02d->%02d transfer", e.boundary, e.boundary + 1),
+                           StrFormat("backoff mb%d", e.microbatch), "fault", base + e.start,
+                           base + e.end, StrFormat("\"microbatch\":%d", e.microbatch));
+        break;
+      case FaultEvent::Kind::kTransferAbort:
+        Trace::EmitVirtual("faults", StrFormat("transfer abort mb%d -> stage %d", e.microbatch,
+                                               e.stage),
+                           "fault", base + e.start, base + e.end);
+        break;
+      case FaultEvent::Kind::kDeviceFailure:
+        // Zero-duration incident: render a sliver so viewers show it.
+        Trace::EmitVirtual("faults", StrFormat("device %d failure (stage %d)", e.device,
+                                               e.stage),
+                           "fault", base + e.start, base + e.start + 1e-6,
+                           StrFormat("\"device\":%d,\"stage\":%d", e.device, e.stage));
+        break;
+      case FaultEvent::Kind::kDetection:
+        Trace::EmitVirtual("faults", StrFormat("failure detection (stage %d)", e.stage),
+                           "fault", base + e.start, base + e.end);
+        break;
+    }
+  }
 }
 
 std::string PipelineSimResult::ToString() const {
   std::string out = StrFormat("latency=%s bubble=%.1f%%%s", HumanSeconds(latency).c_str(),
                               bubble_fraction * 100.0, oom ? " OOM" : "");
+  if (failed) {
+    out += StrFormat(" FAILED(stage %d at %s, detected %s, wasted %s)", failed_stage,
+                     HumanSeconds(failure_time).c_str(), HumanSeconds(detection_time).c_str(),
+                     HumanSeconds(wasted_work_seconds).c_str());
+  }
+  if (send_retries > 0) {
+    out += StrFormat(" retries=%lld (+%s)", static_cast<long long>(send_retries),
+                     HumanSeconds(retry_seconds).c_str());
+  }
   return out;
 }
 

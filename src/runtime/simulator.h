@@ -8,12 +8,22 @@
 // tracks per-stage memory (weights + in-flight activations) against the
 // device capacity and reports latency, per-stage utilization, and the
 // pipeline bubble fraction.
+//
+// The event loop is failure-aware (FaultSpec): straggler devices stretch
+// their stage's compute, degraded links stretch boundary transfers, lost
+// sends are retried under a timeout/exponential-backoff policy (each retry
+// charged on the boundary link), and a permanent device loss halts its
+// stage — the result then reports the failure point, the time until the
+// heartbeat detects it, and the work wasted in the aborted iteration. An
+// empty FaultSpec is a hard no-op: results are bit-identical to the
+// fault-free simulator.
 #ifndef SRC_RUNTIME_SIMULATOR_H_
 #define SRC_RUNTIME_SIMULATOR_H_
 
 #include <string>
 #include <vector>
 
+#include "src/mesh/fault_spec.h"
 #include "src/runtime/pipeline_schedule.h"
 
 namespace alpa {
@@ -39,6 +49,16 @@ struct PipelineSimInput {
   double device_memory_bytes = 16e9;
   // Record per-instruction (start, end) events for timeline rendering.
   bool record_timeline = false;
+  // Fault scenario to replay (default: none). Parallelize() copies it from
+  // ClusterSpec::faults.
+  FaultSpec faults;
+  // Global device ids backing each stage, for resolving per-device faults
+  // to stages. Empty (unit-test inputs): stage s is treated as the single
+  // device s on a one-device-per-host cluster.
+  std::vector<std::vector<int>> stage_devices;
+  // devices_per_host of the source cluster (maps device ids to hosts for
+  // link degradation).
+  int devices_per_host = 1;
 };
 
 // One executed instruction, for timeline visualization.
@@ -50,8 +70,26 @@ struct StageEvent {
   double end = 0.0;
 };
 
+// One fault-model incident, for the trace's fault lanes.
+struct FaultEvent {
+  enum class Kind {
+    kRetry,          // A lost send attempt occupying the boundary link.
+    kBackoff,        // The wait before the next attempt.
+    kDeviceFailure,  // Permanent device loss halting a stage.
+    kTransferAbort,  // A send whose retry budget was exhausted.
+    kDetection,      // Heartbeat window from failure to cluster-wide detection.
+  };
+  Kind kind = Kind::kRetry;
+  int stage = 0;       // The stage the incident halts / delivers to.
+  int boundary = -1;   // Upstream stage of the boundary link (s -> s+1), or -1.
+  int microbatch = -1;
+  int device = -1;     // Failing device for kDeviceFailure.
+  double start = 0.0;
+  double end = 0.0;
+};
+
 struct PipelineSimResult {
-  double latency = 0.0;  // Iteration makespan.
+  double latency = 0.0;  // Iteration makespan (of the executed prefix on failure).
   bool oom = false;
   int first_oom_stage = -1;
   std::vector<double> stage_busy_seconds;
@@ -59,6 +97,24 @@ struct PipelineSimResult {
   // 1 - busy(bottleneck stage)/latency.
   double bubble_fraction = 0.0;
   std::vector<StageEvent> timeline;  // Only when input.record_timeline.
+
+  // --- Fault outcomes. ---
+  // True when the iteration could not complete: a permanent device loss, or
+  // a transfer whose retry budget was exhausted.
+  bool failed = false;
+  int failed_stage = -1;
+  int failed_device = -1;  // -1 for transfer aborts.
+  double failure_time = 0.0;
+  // failure_time + FaultSpec::detection_timeout: when the heartbeat notices.
+  double detection_time = 0.0;
+  // Busy seconds spent across all stages on the aborted iteration (all of
+  // it is lost: synchronous training cannot commit a partial iteration).
+  double wasted_work_seconds = 0.0;
+  // Transient-send accounting (also populated on successful runs).
+  int64_t send_retries = 0;
+  double retry_seconds = 0.0;  // Total timeout + backoff time charged.
+  std::vector<FaultEvent> fault_timeline;  // Only when input.record_timeline.
+
   std::string ToString() const;
 };
 
@@ -67,10 +123,12 @@ PipelineSimResult SimulatePipeline(const PipelineSimInput& input);
 // Converts a recorded timeline into virtual-time trace events (the Fig. 13
 // view): one "mesh NN" lane per stage with forward/backward/apply_grad
 // spans and explicit bubble (idle-gap) events, plus "mesh NN->MM transfer"
-// lanes carrying the cross-mesh activation/gradient sends. Events land in a
-// fresh virtual-time window, so successive simulations lay out
-// sequentially in one trace. No-op when tracing is disabled or the
-// timeline was not recorded.
+// lanes carrying the cross-mesh activation/gradient sends. Fault incidents
+// get their own events: retries/backoffs land on the boundary-transfer
+// lanes and device failures/aborts/detection on a dedicated "faults" lane,
+// all in category "fault". Events land in a fresh virtual-time window, so
+// successive simulations lay out sequentially in one trace. No-op when
+// tracing is disabled or the timeline was not recorded.
 void ExportTimelineToTrace(const PipelineSimInput& input, const PipelineSimResult& result,
                            const char* label = "train_iteration");
 

@@ -102,15 +102,22 @@ StageDpResult SolveStageDp(int num_layers, int num_microbatches, const ClusterSp
   std::sort(tmax_candidates.begin(), tmax_candidates.end());
   if (options.max_tmax_candidates > 0 &&
       static_cast<int>(tmax_candidates.size()) > options.max_tmax_candidates) {
-    std::vector<double> sampled;
-    sampled.reserve(static_cast<size_t>(options.max_tmax_candidates));
-    const double step = static_cast<double>(tmax_candidates.size() - 1) /
-                        (options.max_tmax_candidates - 1);
-    for (int i = 0; i < options.max_tmax_candidates; ++i) {
-      sampled.push_back(
-          tmax_candidates[static_cast<size_t>(static_cast<double>(i) * step + 0.5)]);
+    if (options.max_tmax_candidates == 1) {
+      // Single slot: keep only the largest candidate. Any smaller threshold
+      // could rule out every slicing and report a solvable problem
+      // infeasible; the largest keeps exactly the unconstrained-t_max DP.
+      tmax_candidates = {tmax_candidates.back()};
+    } else {
+      std::vector<double> sampled;
+      sampled.reserve(static_cast<size_t>(options.max_tmax_candidates));
+      const double step = static_cast<double>(tmax_candidates.size() - 1) /
+                          (options.max_tmax_candidates - 1);
+      for (int i = 0; i < options.max_tmax_candidates; ++i) {
+        sampled.push_back(
+            tmax_candidates[static_cast<size_t>(static_cast<double>(i) * step + 0.5)]);
+      }
+      tmax_candidates = std::move(sampled);
     }
-    tmax_candidates = std::move(sampled);
   }
 
   DpTables dp;

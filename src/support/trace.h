@@ -36,7 +36,7 @@ namespace alpa {
 // One finished event, in the normalized form produced by Trace::Snapshot().
 struct TraceEvent {
   std::string name;
-  std::string category;  // "compile", "pool", "sim", "bubble", "transfer", ...
+  std::string category;  // "compile", "pool", "sim", "bubble", "transfer", "fault", ...
   std::string args;      // Body of a JSON object ("" = none), e.g. "\"layer\":3".
   std::string lane;      // Thread lane or virtual mesh lane name.
   int lane_id = 0;       // Dense per-snapshot id; wall lanes first, then virtual.

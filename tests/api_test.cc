@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "src/baselines/baselines.h"
 #include "src/core/api.h"
 #include "src/models/gpt.h"
@@ -141,6 +143,98 @@ TEST(Api, MoeCompiles) {
   const StatusOr<ExecutionStats> stats = CompileAndSimulate(graph, cluster, options);
   ASSERT_TRUE(stats.ok()) << stats.status().ToString();
   EXPECT_GT(stats->pflops, 0.0);
+}
+
+TEST(Api, PlanCarriesFaultModelAndStageDevices) {
+  Graph graph = BuildGpt(SmallGpt());
+  ClusterSpec cluster = ClusterSpec::AwsP3(1, 4);
+  cluster.faults.stragglers.push_back(Straggler{2, 1.5});
+  ParallelizeOptions options;
+  options.num_microbatches = 8;
+  options.inter.target_layers = 4;
+  ParallelPlan plan;
+  const StatusOr<ExecutionStats> stats = CompileAndSimulate(graph, cluster, options, &plan);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+
+  EXPECT_EQ(plan.sim_input.devices_per_host, 4);
+  ASSERT_EQ(plan.sim_input.stage_devices.size(), plan.pipeline.stages.size());
+  // The stage device sets partition the cluster.
+  std::set<int> seen;
+  for (size_t s = 0; s < plan.pipeline.stages.size(); ++s) {
+    EXPECT_EQ(plan.sim_input.stage_devices[s], plan.pipeline.stages[s].device_ids);
+    EXPECT_EQ(static_cast<int>(plan.pipeline.stages[s].device_ids.size()),
+              plan.pipeline.stages[s].placement.shape.num_devices());
+    seen.insert(plan.pipeline.stages[s].device_ids.begin(),
+                plan.pipeline.stages[s].device_ids.end());
+  }
+  EXPECT_EQ(seen.size(), 4u);
+  ASSERT_EQ(plan.sim_input.faults.stragglers.size(), 1u);
+  EXPECT_EQ(plan.sim_input.faults.stragglers[0].device, 2);
+
+  // The straggler must slow the simulated iteration vs a healthy cluster.
+  Graph healthy_graph = BuildGpt(SmallGpt());
+  const StatusOr<ExecutionStats> healthy =
+      CompileAndSimulate(healthy_graph, ClusterSpec::AwsP3(1, 4), options);
+  ASSERT_TRUE(healthy.ok()) << healthy.status().ToString();
+  EXPECT_GT(stats->latency, healthy->latency);
+}
+
+TEST(Api, RepairPlanValidatesArguments) {
+  Graph graph = BuildGpt(SmallGpt());
+  ParallelizeOptions options;
+  options.num_microbatches = 8;
+  options.inter.target_layers = 4;
+  RepairOptions repair_options;
+  repair_options.failed_host = 7;
+  EXPECT_EQ(RepairPlan(graph, ClusterSpec::AwsP3(2, 2), options, repair_options)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  repair_options.failed_host = 0;
+  EXPECT_EQ(RepairPlan(graph, ClusterSpec::AwsP3(1, 4), options, repair_options)
+                .status()
+                .code(),
+            StatusCode::kInfeasible);
+}
+
+TEST(Api, RepairPlanShrinksClusterOnWarmIlpCache) {
+  Graph graph = BuildGpt(SmallGpt());
+  const ClusterSpec cluster = ClusterSpec::AwsP3(2, 2);
+  ParallelizeOptions options;
+  options.num_microbatches = 8;
+  options.inter.target_layers = 4;
+
+  // Healthy compile warms the process-wide ILP cache with every submesh
+  // variant of the 2x2 cluster, which includes all variants of the shrunk
+  // 1x2 cluster.
+  ParallelPlan plan;
+  const StatusOr<ExecutionStats> healthy = CompileAndSimulate(graph, cluster, options, &plan);
+  ASSERT_TRUE(healthy.ok()) << healthy.status().ToString();
+
+  RepairOptions repair_options;
+  repair_options.failed_host = 1;
+  repair_options.mtbf.mtbf_seconds = 86400.0;
+  const StatusOr<RepairResult> repair = RepairPlan(graph, cluster, options, repair_options);
+  ASSERT_TRUE(repair.ok()) << repair.status().ToString();
+
+  EXPECT_EQ(repair->shrunk_cluster.num_hosts, 1);
+  EXPECT_TRUE(repair->shrunk_cluster.faults.empty());
+  EXPECT_TRUE(repair->plan.pipeline.feasible);
+  // Every stage of the repaired plan fits the surviving hosts.
+  for (const CompiledStage& stage : repair->plan.pipeline.stages) {
+    for (int device : stage.device_ids) {
+      EXPECT_LT(device, repair->shrunk_cluster.num_devices());
+    }
+  }
+  EXPECT_GT(repair->stats.pflops, 0.0);
+  EXPECT_LT(repair->stats.pflops, healthy->pflops);  // Half the devices.
+  EXPECT_GT(repair->ilp_cache_hits, 0);  // The warm cache paid off.
+  EXPECT_GT(repair->goodput_fraction, 0.0);
+  EXPECT_LT(repair->goodput_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(repair->goodput_pflops,
+                   repair->stats.pflops * repair->goodput_fraction);
+  EXPECT_GT(repair->expected_downtime_seconds, 0.0);
+  EXPECT_NE(repair->ToString().find("goodput"), std::string::npos);
 }
 
 TEST(Api, StatsToStringReadable) {

@@ -103,6 +103,55 @@ TEST_F(CrossMeshTest, CrossHostSlowerThanSameHost) {
   EXPECT_LT(near_time, far_time);
 }
 
+TEST_F(CrossMeshTest, SameHostRangeMixedTrafficUsesPerTaskClassification) {
+  // Two (2 hosts x 1 device) meshes over the SAME host range. Resharding
+  // sharded -> replicated keeps each device's own half local and fetches
+  // the other half across hosts: two same-host tasks and two NIC crossings.
+  // The old plan-wide flag derived "intra-host" from the identical
+  // placements and billed the crossings at NVLink speed; per-task
+  // classification must price them with the inter-host formula.
+  const DeviceMesh src = Mesh(0, 2, 1, {2, 1});
+  const DeviceMesh dst = Mesh(0, 2, 1, {2, 1});
+  const ShardingSpec sharded = ShardingSpec::OneDim(2, 0, DimSharding::kS0);
+  const auto plan = PlanCrossMeshResharding(src, sharded, dst, ShardingSpec::Replicated(2),
+                                            shape_, kBytes, ReshardStrategy::kNaiveSendRecv);
+  ASSERT_EQ(plan.sends.size(), 4u);
+  int inter_tasks = 0;
+  int intra_tasks = 0;
+  for (const CrossMeshTask& task : plan.sends) {
+    const bool crosses = task.src_device / cluster_.devices_per_host !=
+                         task.dst_device / cluster_.devices_per_host;
+    (crosses ? inter_tasks : intra_tasks) += 1;
+  }
+  EXPECT_EQ(inter_tasks, 2);
+  EXPECT_EQ(intra_tasks, 2);
+
+  // Pin the estimate to the closed form: each host pushes half the tensor
+  // through its NIC and keeps half local; each device handles 2 inter and
+  // 2 intra messages.
+  const double half = static_cast<double>(shape_.elements()) * kBytes / 2.0;
+  const double expected = half / cluster_.inter_host_bandwidth +
+                          half / cluster_.intra_host_bandwidth +
+                          2 * cluster_.inter_host_alpha + 2 * cluster_.intra_host_alpha;
+  EXPECT_DOUBLE_EQ(plan.EstimateTime(cluster_), expected);
+}
+
+TEST_F(CrossMeshTest, PureCrossHostPlanPinnedToInterHostFormula) {
+  // Disjoint host ranges: every task crosses hosts, so the estimate must be
+  // exactly the inter-host NIC bottleneck + per-message latency.
+  const DeviceMesh src = Mesh(0, 1, 4, {1, 4});
+  const DeviceMesh dst = Mesh(1, 1, 4, {1, 4});
+  const ShardingSpec spec = ShardingSpec::OneDim(2, 0, DimSharding::kS1);
+  const auto plan = PlanCrossMeshResharding(src, spec, dst, spec, shape_, kBytes,
+                                            ReshardStrategy::kNaiveSendRecv);
+  ASSERT_EQ(plan.sends.size(), 4u);  // Matching peers, one tile each.
+  const double tile = static_cast<double>(shape_.elements()) * kBytes / 4.0;
+  // All four tiles leave host 0 through one NIC; each device sees 1 message.
+  const double expected =
+      4.0 * tile / cluster_.inter_host_bandwidth + cluster_.inter_host_alpha;
+  EXPECT_DOUBLE_EQ(plan.EstimateTime(cluster_), expected);
+}
+
 TEST_F(CrossMeshTest, PlanCoversDestinationTiles) {
   // Volume conservation: bytes received by each destination device must
   // equal its tile size (naive mode, no replication source overlap).

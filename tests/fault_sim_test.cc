@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "src/mesh/fault_spec.h"
+#include "src/runtime/simulator.h"
+
+namespace alpa {
+namespace {
+
+PipelineSimInput MakeInput(int stages, int microbatches, double send = 0.0) {
+  PipelineSimInput input;
+  input.num_microbatches = microbatches;
+  for (int s = 0; s < stages; ++s) {
+    StageExecProfile p;
+    p.t_forward = 0.1;
+    p.t_backward = 0.2;
+    if (s + 1 < stages) {
+      p.t_send_next = send;
+    }
+    input.stages.push_back(p);
+  }
+  return input;
+}
+
+TEST(FaultSpec, RetryPenaltyClosedForm) {
+  RetryPolicy policy;
+  policy.timeout = 5e-3;
+  policy.backoff = 1e-3;
+  policy.backoff_multiplier = 2.0;
+  EXPECT_DOUBLE_EQ(policy.PenaltySeconds(0), 0.0);
+  // Each lost attempt costs its timeout plus the wait before the next try:
+  // 3 * 5ms + (1 + 2 + 4) ms.
+  EXPECT_DOUBLE_EQ(policy.PenaltySeconds(3), 3 * 5e-3 + 7e-3);
+}
+
+TEST(FaultSpec, AccessorsAndWildcards) {
+  FaultSpec spec;
+  EXPECT_TRUE(spec.empty());
+  int device = -1;
+  EXPECT_TRUE(std::isinf(spec.EarliestFailure({0, 1}, &device)));
+  EXPECT_DOUBLE_EQ(spec.ComputeSlowdown({0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(spec.LinkBandwidthFactor(0, 1), 1.0);
+
+  spec.device_failures.push_back(DeviceFailure{3, 7.0});
+  spec.device_failures.push_back(DeviceFailure{1, 2.0});
+  spec.stragglers.push_back(Straggler{2, 1.5});
+  spec.link_degradations.push_back(LinkDegradation{-1, 1, 0.25});  // Any -> host 1.
+  EXPECT_FALSE(spec.empty());
+  EXPECT_DOUBLE_EQ(spec.EarliestFailure({1, 3}, &device), 2.0);
+  EXPECT_EQ(device, 1);
+  EXPECT_DOUBLE_EQ(spec.ComputeSlowdown({0, 2}), 1.5);
+  EXPECT_DOUBLE_EQ(spec.ComputeSlowdown({0, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(spec.LinkBandwidthFactor(0, 1), 0.25);
+  EXPECT_DOUBLE_EQ(spec.LinkBandwidthFactor(2, 1), 0.25);
+  EXPECT_DOUBLE_EQ(spec.LinkBandwidthFactor(1, 0), 1.0);
+}
+
+// The acceptance-critical regression lock: a FaultSpec that is present but
+// describes no effective fault must reproduce the fault-free simulator
+// results bit-for-bit (all multipliers are exactly 1.0).
+TEST(FaultSim, BenignFaultSpecBitIdentical) {
+  const auto baseline = SimulatePipeline(MakeInput(4, 8, /*send=*/0.013));
+
+  auto input = MakeInput(4, 8, /*send=*/0.013);
+  input.faults.stragglers.push_back(Straggler{1, 1.0});  // Neutral slowdown.
+  input.faults.link_degradations.push_back(LinkDegradation{-1, -1, 1.0});
+  input.faults.device_failures.push_back(
+      DeviceFailure{2, std::numeric_limits<double>::infinity()});
+  input.stage_devices = {{0}, {1}, {2}, {3}};
+  ASSERT_FALSE(input.faults.empty());
+  const auto result = SimulatePipeline(input);
+
+  EXPECT_EQ(result.latency, baseline.latency);  // Exact, not NEAR.
+  EXPECT_EQ(result.bubble_fraction, baseline.bubble_fraction);
+  for (size_t s = 0; s < baseline.stage_busy_seconds.size(); ++s) {
+    EXPECT_EQ(result.stage_busy_seconds[s], baseline.stage_busy_seconds[s]);
+    EXPECT_EQ(result.stage_peak_bytes[s], baseline.stage_peak_bytes[s]);
+  }
+  EXPECT_FALSE(result.failed);
+  EXPECT_EQ(result.send_retries, 0);
+  EXPECT_DOUBLE_EQ(result.retry_seconds, 0.0);
+}
+
+TEST(FaultSim, StragglerStretchesItsStage) {
+  const auto baseline = SimulatePipeline(MakeInput(2, 4));
+  auto input = MakeInput(2, 4);
+  input.faults.stragglers.push_back(Straggler{1, 2.0});
+  const auto result = SimulatePipeline(input);
+  // Stage 1 (device 1 by the default identity mapping) runs at half speed.
+  EXPECT_DOUBLE_EQ(result.stage_busy_seconds[1], 2.0 * baseline.stage_busy_seconds[1]);
+  EXPECT_DOUBLE_EQ(result.stage_busy_seconds[0], baseline.stage_busy_seconds[0]);
+  EXPECT_GT(result.latency, baseline.latency);
+  EXPECT_FALSE(result.failed);
+}
+
+TEST(FaultSim, DegradedLinkEqualsSlowerTransfer) {
+  // Halving the 0 -> 1 link bandwidth must behave exactly like doubling the
+  // boundary's transfer time.
+  auto degraded = MakeInput(2, 4, /*send=*/0.01);
+  degraded.faults.link_degradations.push_back(LinkDegradation{0, 1, 0.5});
+  degraded.stage_devices = {{0}, {1}};
+
+  const auto expected = SimulatePipeline(MakeInput(2, 4, /*send=*/0.02));
+  const auto result = SimulatePipeline(degraded);
+  EXPECT_DOUBLE_EQ(result.latency, expected.latency);
+  EXPECT_GT(result.latency, SimulatePipeline(MakeInput(2, 4, 0.01)).latency);
+}
+
+TEST(FaultSim, TransientRetriesAreDeterministicAndCharged) {
+  auto input = MakeInput(2, 8, /*send=*/0.01);
+  input.faults.transient_send_failure_rate = 0.2;
+  input.faults.seed = 42;
+  const auto healthy = SimulatePipeline(MakeInput(2, 8, /*send=*/0.01));
+  const auto first = SimulatePipeline(input);
+  const auto second = SimulatePipeline(input);
+
+  EXPECT_EQ(first.latency, second.latency);  // Same seed, same outcome.
+  EXPECT_EQ(first.send_retries, second.send_retries);
+  EXPECT_EQ(first.retry_seconds, second.retry_seconds);
+  EXPECT_GT(first.send_retries, 0);
+  EXPECT_GT(first.retry_seconds, 0.0);
+  EXPECT_GT(first.latency, healthy.latency);
+}
+
+TEST(FaultSim, ExhaustedRetriesAbortTheTransfer) {
+  auto input = MakeInput(2, 4, /*send=*/0.01);
+  input.faults.transient_send_failure_rate = 1.0;  // Every attempt is lost.
+  input.record_timeline = true;
+  const auto result = SimulatePipeline(input);
+  ASSERT_TRUE(result.failed);
+  EXPECT_EQ(result.failed_stage, 1);    // The receiver never gets microbatch 0.
+  EXPECT_EQ(result.failed_device, -1);  // No device died.
+  EXPECT_GE(result.send_retries, input.faults.retry.max_attempts);
+  EXPECT_GT(result.wasted_work_seconds, 0.0);  // Stage 0's forwards are lost.
+  bool saw_retry = false;
+  bool saw_abort = false;
+  for (const FaultEvent& event : result.fault_timeline) {
+    saw_retry |= event.kind == FaultEvent::Kind::kRetry;
+    saw_abort |= event.kind == FaultEvent::Kind::kTransferAbort;
+  }
+  EXPECT_TRUE(saw_retry);
+  EXPECT_TRUE(saw_abort);
+}
+
+TEST(FaultSim, PermanentFailureHaltsStageAndReports) {
+  auto input = MakeInput(2, 4);
+  input.faults.device_failures.push_back(DeviceFailure{1, 0.35});
+  input.record_timeline = true;
+  const auto result = SimulatePipeline(input);
+  const auto baseline = SimulatePipeline(MakeInput(2, 4));
+
+  ASSERT_TRUE(result.failed);
+  EXPECT_EQ(result.failed_stage, 1);
+  EXPECT_EQ(result.failed_device, 1);
+  EXPECT_DOUBLE_EQ(result.failure_time, 0.35);
+  EXPECT_DOUBLE_EQ(result.detection_time, 0.35 + input.faults.detection_timeout);
+  // All work in the aborted iteration is wasted; the failed stage's busy
+  // time is truncated at the failure.
+  EXPECT_GT(result.wasted_work_seconds, 0.0);
+  EXPECT_LE(result.stage_busy_seconds[1], 0.35);
+  EXPECT_LT(result.stage_busy_seconds[0], baseline.stage_busy_seconds[0]);
+
+  bool saw_failure = false;
+  bool saw_detection = false;
+  for (const FaultEvent& event : result.fault_timeline) {
+    saw_failure |= event.kind == FaultEvent::Kind::kDeviceFailure && event.device == 1;
+    saw_detection |= event.kind == FaultEvent::Kind::kDetection;
+  }
+  EXPECT_TRUE(saw_failure);
+  EXPECT_TRUE(saw_detection);
+}
+
+TEST(FaultSim, FailureAfterCompletionIsHarmless) {
+  auto input = MakeInput(2, 4);
+  input.faults.device_failures.push_back(DeviceFailure{1, 1e9});
+  const auto result = SimulatePipeline(input);
+  const auto baseline = SimulatePipeline(MakeInput(2, 4));
+  EXPECT_FALSE(result.failed);
+  EXPECT_EQ(result.latency, baseline.latency);
+}
+
+TEST(FaultSim, StageDevicesResolvePerDeviceFaults) {
+  // A straggler on device 5 only affects the stage whose device set holds 5.
+  auto input = MakeInput(2, 4);
+  input.stage_devices = {{0, 1, 2, 3}, {4, 5, 6, 7}};
+  input.devices_per_host = 4;
+  input.faults.stragglers.push_back(Straggler{5, 3.0});
+  const auto result = SimulatePipeline(input);
+  const auto baseline = SimulatePipeline(MakeInput(2, 4));
+  EXPECT_DOUBLE_EQ(result.stage_busy_seconds[0], baseline.stage_busy_seconds[0]);
+  EXPECT_DOUBLE_EQ(result.stage_busy_seconds[1], 3.0 * baseline.stage_busy_seconds[1]);
+}
+
+}  // namespace
+}  // namespace alpa

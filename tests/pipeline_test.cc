@@ -167,5 +167,47 @@ TEST(Simulator, ManyStagesManyMicrobatchesTerminates) {
   EXPECT_LT(result.bubble_fraction, 0.3);
 }
 
+TEST(SimulatorProperty, PeakInFlightEqualsScheduleBound) {
+  // With unit-sized activations and no weights, a stage's peak bytes count
+  // exactly its in-flight microbatches; that observed peak must EQUAL the
+  // schedule's MaxInFlightMicrobatches bound (not merely stay below it),
+  // for both schedules across stage/microbatch sweeps.
+  for (auto type : {PipelineScheduleType::kGpipe, PipelineScheduleType::k1F1B}) {
+    for (int stages : {1, 2, 3, 4, 6}) {
+      for (int microbatches : {1, 2, 4, 8, 16}) {
+        auto input = MakeInput(stages, microbatches);
+        input.schedule = type;
+        for (auto& stage : input.stages) {
+          stage.act_bytes_per_microbatch = 1.0;
+        }
+        const auto result = SimulatePipeline(input);
+        for (int s = 0; s < stages; ++s) {
+          EXPECT_EQ(result.stage_peak_bytes[static_cast<size_t>(s)],
+                    static_cast<double>(
+                        MaxInFlightMicrobatches(type, stages, s, microbatches)))
+              << "schedule=" << (type == PipelineScheduleType::kGpipe ? "gpipe" : "1f1b")
+              << " S=" << stages << " M=" << microbatches << " stage=" << s;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimulatorProperty, GpipeBubbleMatchesClosedForm) {
+  // Uniform stages, no transfers, no update: GPipe's bubble fraction is
+  // exactly (S-1)/(M+S-1).
+  for (int stages : {1, 2, 4, 8}) {
+    for (int microbatches : {1, 2, 4, 8, 32}) {
+      auto input = MakeInput(stages, microbatches);
+      input.schedule = PipelineScheduleType::kGpipe;
+      const auto result = SimulatePipeline(input);
+      const double expected =
+          (stages - 1.0) / (microbatches + stages - 1.0);
+      EXPECT_NEAR(result.bubble_fraction, expected, 1e-12)
+          << "S=" << stages << " M=" << microbatches;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace alpa

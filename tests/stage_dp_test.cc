@@ -133,5 +133,36 @@ TEST_F(StageDpTest, TmaxSubsampling) {
   EXPECT_GE(sampled.total_latency, exact.total_latency - 1e-9);
 }
 
+TEST_F(StageDpTest, TmaxCapOfOneKeepsLargestCandidate) {
+  // Regression: a cap of 1 used to divide by zero in the sampling stride.
+  // The single kept threshold must be the largest candidate, so a solvable
+  // problem stays solvable (just possibly with a looser t_max).
+  StageDpOptions capped;
+  capped.max_tmax_candidates = 1;
+  const auto result = SolveStageDp(4, 8, cluster_, shapes_, MakeProfile(1.0, 4e9), capped);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(result.num_tmax_tried, 1);
+
+  StageDpOptions full;
+  full.max_tmax_candidates = 0;
+  const auto exact = SolveStageDp(4, 8, cluster_, shapes_, MakeProfile(1.0, 4e9), full);
+  ASSERT_TRUE(exact.feasible);
+  EXPECT_GE(result.total_latency, exact.total_latency - 1e-9);
+}
+
+TEST_F(StageDpTest, TmaxCapOfTwoSamplesBothEndpoints) {
+  StageDpOptions capped;
+  capped.max_tmax_candidates = 2;
+  const auto result = SolveStageDp(4, 8, cluster_, shapes_, MakeProfile(1.0, 4e9), capped);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_LE(result.num_tmax_tried, 2);
+
+  StageDpOptions full;
+  full.max_tmax_candidates = 0;
+  const auto exact = SolveStageDp(4, 8, cluster_, shapes_, MakeProfile(1.0, 4e9), full);
+  ASSERT_TRUE(exact.feasible);
+  EXPECT_GE(result.total_latency, exact.total_latency - 1e-9);
+}
+
 }  // namespace
 }  // namespace alpa
