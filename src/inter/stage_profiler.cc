@@ -226,6 +226,9 @@ void StageProfiler::SolveCell(int canonical, int variant_index, LayerCell* cell)
   placement.shape = variant.physical;
   IntraOpOptions intra = options_.intra;
   intra.filter = ModeFilter(variant.mode, options_.intra.filter);
+  // Root-level parallel branching inside the solver; results are identical
+  // with or without the pool, so this does not perturb the cache key.
+  intra.solver.pool = pool_;
   const DeviceMesh mesh = DeviceMesh::Create(cluster_, placement, variant.logical);
   cell->result = SolveIntraOp(subgraph.graph, mesh, intra);
   num_ilp_solves_.fetch_add(1, std::memory_order_relaxed);
@@ -267,6 +270,7 @@ StageProfile StageProfiler::Profile(int begin, int end, int variant_index) {
     placement.shape = variant.physical;
     IntraOpOptions intra = options_.intra;
     intra.filter = ModeFilter(variant.mode, options_.intra.filter);
+    intra.solver.pool = pool_;
     const DeviceMesh mesh = DeviceMesh::Create(cluster_, placement, variant.logical);
     const IntraOpResult result = SolveIntraOp(subgraph.graph, mesh, intra);
     num_ilp_solves_.fetch_add(1, std::memory_order_relaxed);

@@ -1,10 +1,14 @@
 #include "src/intra/intra_pass.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdint>
+#include <unordered_map>
 
 #include "src/graph/backward.h"
 #include "src/support/logging.h"
+#include "src/support/trace.h"
 
 namespace alpa {
 
@@ -37,8 +41,9 @@ double OpComputeTime(const Operator& op, int64_t shards, const DeviceSpec& devic
   return 0.0;
 }
 
-IntraOpProblem BuildIntraOpProblem(const Graph& graph, const DeviceMesh& mesh,
-                                   const IntraOpOptions& options) {
+IntraOpProblem BuildIntraOpProblem(
+    const Graph& graph, const DeviceMesh& mesh, const IntraOpOptions& options,
+    const std::vector<std::vector<ParallelAlgorithm>>* preenumerated) {
   const DeviceSpec& device = mesh.cluster().device;
   IntraOpProblem problem;
   problem.merge = ComputeMergePlan(graph);
@@ -73,10 +78,15 @@ IntraOpProblem BuildIntraOpProblem(const Graph& graph, const DeviceMesh& mesh,
   problem.ilp.node_costs.resize(static_cast<size_t>(num_nodes));
   problem.node_per_iteration.resize(static_cast<size_t>(num_nodes));
 
+  static Metric* enum_micros = Metrics::Get("ilp/build/enum_micros");
+  static Metric* edge_micros = Metrics::Get("ilp/build/edge_micros");
+  const auto enum_t0 = std::chrono::steady_clock::now();
+
   for (int n = 0; n < num_nodes; ++n) {
     const Operator& op = graph.op(problem.merge.decision_ops[static_cast<size_t>(n)]);
     std::vector<ParallelAlgorithm> algorithms =
-        EnumerateAlgorithms(op, graph, mesh, device, options.precision);
+        preenumerated ? (*preenumerated)[static_cast<size_t>(n)]
+                      : EnumerateAlgorithms(op, graph, mesh, device, options.precision);
     if (options.filter) {
       std::vector<ParallelAlgorithm> kept;
       for (ParallelAlgorithm& a : algorithms) {
@@ -129,7 +139,14 @@ IntraOpProblem BuildIntraOpProblem(const Graph& graph, const DeviceMesh& mesh,
 
   // Edges: one per (producer tensor, consumer) pair crossing decision-node
   // groups. Resharding cost from the producer group's output spec to the
-  // consumer's required operand spec.
+  // consumer's required operand spec. Pairs connected by several tensors
+  // are summed into one matrix right here (keyed on endpoints AND the
+  // per-iteration flag, which scales entries differently), so the solver
+  // and EvaluateChoice both see an already-simple graph per flag.
+  const auto edge_t0 = std::chrono::steady_clock::now();
+  enum_micros->Add(
+      std::chrono::duration_cast<std::chrono::microseconds>(edge_t0 - enum_t0).count());
+  std::unordered_map<uint64_t, size_t> edge_index;
   for (int c = 0; c < graph.size(); ++c) {
     const Operator& consumer = graph.op(c);
     const int rc = problem.merge.rep[static_cast<size_t>(c)];
@@ -152,17 +169,60 @@ IntraOpProblem BuildIntraOpProblem(const Graph& graph, const DeviceMesh& mesh,
       edge.cost.assign(src_algos.size(), std::vector<double>(dst_algos.size(), 0.0));
       const bool consumer_is_node = (rc == c);
       const bool is_update_param_edge = (consumer.type == OpType::kUpdate && oi == 0);
+      // The destination spec depends only on the consumer choice j, so it
+      // (and its validity check) is hoisted out of the i loop: the cell
+      // count is |src| x |dst| but only |src| + |dst| distinct specs.
+      std::vector<ShardingSpec> dst_specs(dst_algos.size());
+      std::vector<char> dst_valid(dst_algos.size());
+      for (size_t j = 0; j < dst_algos.size(); ++j) {
+        dst_specs[j] = consumer_is_node
+                           ? dst_algos[j].input_specs[oi]
+                           : ProjectToTrailing(dst_algos[j].output_spec, producer.shape.rank());
+        dst_valid[j] = dst_specs[j].IsValidFor(producer.shape, mesh) ? 1 : 0;
+      }
+      // Algorithms frequently share a boundary spec (replicated outputs,
+      // repeated input layouts), so resharding costs are computed once per
+      // unique valid (src, dst) spec pair and broadcast to the full matrix.
+      // A uid of -1 marks an invalid spec; those cells are infeasible.
+      std::vector<int> dst_uid(dst_algos.size(), -1);
+      std::vector<const ShardingSpec*> uniq_dst;
+      for (size_t j = 0; j < dst_algos.size(); ++j) {
+        if (!dst_valid[j]) {
+          continue;
+        }
+        for (size_t u = 0; u < uniq_dst.size() && dst_uid[j] < 0; ++u) {
+          if (*uniq_dst[u] == dst_specs[j]) {
+            dst_uid[j] = static_cast<int>(u);
+          }
+        }
+        if (dst_uid[j] < 0) {
+          dst_uid[j] = static_cast<int>(uniq_dst.size());
+          uniq_dst.push_back(&dst_specs[j]);
+        }
+      }
+      std::vector<int> src_uid(src_algos.size(), -1);
+      std::vector<const ShardingSpec*> uniq_src;
       for (size_t i = 0; i < src_algos.size(); ++i) {
         const ShardingSpec& src = src_algos[i].output_spec;
-        for (size_t j = 0; j < dst_algos.size(); ++j) {
-          ShardingSpec dst = consumer_is_node
-                                 ? dst_algos[j].input_specs[oi]
-                                 : ProjectToTrailing(dst_algos[j].output_spec,
-                                                     producer.shape.rank());
-          if (!dst.IsValidFor(producer.shape, mesh) || !src.IsValidFor(producer.shape, mesh)) {
-            edge.cost[i][j] = kInfCost;
-            continue;
+        if (!src.IsValidFor(producer.shape, mesh)) {
+          continue;
+        }
+        for (size_t u = 0; u < uniq_src.size() && src_uid[i] < 0; ++u) {
+          if (*uniq_src[u] == src) {
+            src_uid[i] = static_cast<int>(u);
           }
+        }
+        if (src_uid[i] < 0) {
+          src_uid[i] = static_cast<int>(uniq_src.size());
+          uniq_src.push_back(&src);
+        }
+      }
+      std::vector<std::vector<double>> uniq_cost(
+          uniq_src.size(), std::vector<double>(uniq_dst.size(), 0.0));
+      for (size_t us = 0; us < uniq_src.size(); ++us) {
+        for (size_t ud = 0; ud < uniq_dst.size(); ++ud) {
+          const ShardingSpec& src = *uniq_src[us];
+          const ShardingSpec& dst = *uniq_dst[ud];
           double cost = ReshardCost(src, dst, producer.shape, dtype_bytes, mesh);
           if (is_update_param_edge) {
             // The updated weights must be restored to the parameter's
@@ -170,7 +230,15 @@ IntraOpProblem BuildIntraOpProblem(const Graph& graph, const DeviceMesh& mesh,
             // optimizer step is sharded, i.e. ZeRO).
             cost += ReshardCost(dst, src, producer.shape, dtype_bytes, mesh);
           }
-          edge.cost[i][j] = cost;
+          uniq_cost[us][ud] = cost;
+        }
+      }
+      for (size_t i = 0; i < src_algos.size(); ++i) {
+        for (size_t j = 0; j < dst_algos.size(); ++j) {
+          edge.cost[i][j] = (src_uid[i] < 0 || dst_uid[j] < 0)
+                                ? kInfCost
+                                : uniq_cost[static_cast<size_t>(src_uid[i])]
+                                           [static_cast<size_t>(dst_uid[j])];
         }
       }
       // Resharding on the way into a per-iteration consumer (gradients
@@ -183,10 +251,40 @@ IntraOpProblem BuildIntraOpProblem(const Graph& graph, const DeviceMesh& mesh,
           }
         }
       }
-      problem.edge_per_iteration.push_back(edge_flag);
-      problem.ilp.edges.push_back(std::move(edge));
+      // Canonical orientation (u < v) so both tensor directions between a
+      // pair land on one accumulator matrix.
+      if (edge.u > edge.v) {
+        IlpProblem::Edge flipped;
+        flipped.u = edge.v;
+        flipped.v = edge.u;
+        flipped.cost.assign(edge.cost[0].size(), std::vector<double>(edge.cost.size(), 0.0));
+        for (size_t i = 0; i < edge.cost.size(); ++i) {
+          for (size_t j = 0; j < edge.cost[i].size(); ++j) {
+            flipped.cost[j][i] = edge.cost[i][j];
+          }
+        }
+        edge = std::move(flipped);
+      }
+      const uint64_t key = (static_cast<uint64_t>(edge.u) << 33) |
+                           (static_cast<uint64_t>(edge.v) << 1) |
+                           static_cast<uint64_t>(edge_flag ? 1 : 0);
+      const auto [it, inserted] = edge_index.emplace(key, problem.ilp.edges.size());
+      if (inserted) {
+        problem.edge_per_iteration.push_back(edge_flag);
+        problem.ilp.edges.push_back(std::move(edge));
+      } else {
+        auto& acc = problem.ilp.edges[it->second].cost;
+        for (size_t i = 0; i < acc.size(); ++i) {
+          for (size_t j = 0; j < acc[i].size(); ++j) {
+            acc[i][j] += edge.cost[i][j];
+          }
+        }
+      }
     }
   }
+  edge_micros->Add(std::chrono::duration_cast<std::chrono::microseconds>(
+                       std::chrono::steady_clock::now() - edge_t0)
+                       .count());
   return problem;
 }
 
@@ -390,17 +488,47 @@ int MatchAlgorithm(const std::vector<ParallelAlgorithm>& menu, const ParallelAlg
 
 IntraOpResult SolveIntraOp(const Graph& graph, const DeviceMesh& mesh,
                            const IntraOpOptions& options) {
+  static Metric* build_micros = Metrics::Get("ilp/build/micros");
+  static Metric* seed_micros = Metrics::Get("ilp/seed/micros");
+  const auto build_t0 = std::chrono::steady_clock::now();
   const IntraOpProblem problem = BuildIntraOpProblem(graph, mesh, options);
+  build_micros->Add(std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - build_t0)
+                        .count());
   if (!options.forced_choice.empty()) {
     return EvaluateChoice(graph, mesh, problem, options, options.forced_choice, false);
   }
   IlpSolverOptions solver_options = options.solver;
-  if (options.seed_with_plan_families && !options.filter) {
+  const bool want_seeds = options.seed_with_plan_families && !options.filter;
+  // Staged pipeline: solve optimistically without seeds first. Seed plan
+  // families only matter as branch & bound incumbents and as a floor on
+  // budget aborts; when the staged core proves optimality outright (the
+  // common case with presolve + elimination), the three restricted builds
+  // and solves below are pure overhead. The legacy engine keeps the
+  // pre-overhaul always-seed pipeline so A/B comparisons stay faithful.
+  if (want_seeds && solver_options.engine == IlpEngine::kStaged) {
+    IlpSolution first = IlpSolver(solver_options).Solve(problem.ilp);
+    if (!first.feasible) {
+      IntraOpResult result;
+      return result;
+    }
+    if (first.optimal) {
+      return EvaluateChoice(graph, mesh, problem, options, std::move(first.choice), true);
+    }
+    // Budget abort: fall through to the seeded solve, carrying the aborted
+    // incumbent so the retry can only improve on it.
+    solver_options.seeds.push_back(std::move(first.choice));
+  }
+  if (want_seeds) {
+    const auto seed_t0 = std::chrono::steady_clock::now();
     for (const AlgorithmFilter& family : SeedPlanFamilies()) {
       IntraOpOptions restricted = options;
       restricted.filter = family;
       restricted.seed_with_plan_families = false;
-      const IntraOpProblem sub = BuildIntraOpProblem(graph, mesh, restricted);
+      // The main (unfiltered) build already enumerated every node's menu;
+      // the restricted build only re-applies the family filter to it.
+      const IntraOpProblem sub =
+          BuildIntraOpProblem(graph, mesh, restricted, &problem.algorithms);
       const IlpSolution sub_solution = IlpSolver(options.solver).Solve(sub.ilp);
       if (!sub_solution.feasible) {
         continue;
@@ -421,6 +549,9 @@ IntraOpResult SolveIntraOp(const Graph& graph, const DeviceMesh& mesh,
         solver_options.seeds.push_back(std::move(seed));
       }
     }
+    seed_micros->Add(std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::steady_clock::now() - seed_t0)
+                         .count());
   }
   IlpSolver solver(solver_options);
   IlpSolution solution = solver.Solve(problem.ilp);

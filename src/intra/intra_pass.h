@@ -87,9 +87,14 @@ struct IntraOpResult {
   std::vector<ShardingSpec> op_specs;
 };
 
-// Builds the ILP for `graph` on `mesh`.
-IntraOpProblem BuildIntraOpProblem(const Graph& graph, const DeviceMesh& mesh,
-                                   const IntraOpOptions& options);
+// Builds the ILP for `graph` on `mesh`. `preenumerated`, when non-null,
+// supplies the unfiltered per-node algorithm menus from a previous build of
+// the same (graph, mesh, precision) — the seed-family builds reuse the main
+// build's enumeration this way, since options.filter applies after
+// enumeration and everything else the menus depend on is identical.
+IntraOpProblem BuildIntraOpProblem(
+    const Graph& graph, const DeviceMesh& mesh, const IntraOpOptions& options,
+    const std::vector<std::vector<ParallelAlgorithm>>* preenumerated = nullptr);
 
 // Builds and solves; the one-stop entry point.
 IntraOpResult SolveIntraOp(const Graph& graph, const DeviceMesh& mesh,

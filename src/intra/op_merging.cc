@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/support/logging.h"
+#include "src/support/trace.h"
 
 namespace alpa {
 
@@ -59,6 +60,8 @@ MergePlan ComputeMergePlan(const Graph& graph) {
       plan.decision_ops.push_back(v);
     }
   }
+  static Metric* merged_ops = Metrics::Get("intra/merged_ops");
+  merged_ops->Add(n - static_cast<int>(plan.decision_ops.size()));
   return plan;
 }
 

@@ -1,0 +1,439 @@
+#include "src/solver/elimination.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "src/support/logging.h"
+#include "src/support/trace.h"
+
+namespace alpa {
+namespace {
+
+// A min-sum factor over a sorted list of core nodes. The table is row-major
+// in var order (last var fastest).
+struct Factor {
+  std::vector<int> vars;
+  std::vector<double> table;
+};
+
+// One planned elimination: node `v` and its neighborhood at that point,
+// which is exactly the scope of the message the real pass will build.
+struct PlannedStep {
+  int v = 0;
+  std::vector<int> nbrs;  // Sorted.
+};
+
+// Graph-only simulation of the elimination, maintaining the induced graph
+// (neighbors of an eliminated node become a clique — the adjacency its
+// message will create). Costs nothing but adjacency updates, so an
+// over-width core is rejected before any table is touched.
+//
+// Order heuristic: among nodes whose message table fits the cap, pick the
+// one whose elimination adds the fewest fill edges (min-fill), breaking
+// ties toward the smaller table and then the lower id. Min-fill tracks
+// treewidth far better than min-degree on the near-chordal graphs real
+// stage cores produce, and a one-smaller induced width shrinks every
+// downstream table by a domain factor. Returns false when no node fits
+// the cap.
+bool PlanOrder(int n, const std::vector<int>& domain,
+               std::vector<std::vector<int>> adj, int64_t cap,
+               std::vector<PlannedStep>* steps) {
+  std::vector<char> alive(static_cast<size_t>(n), 1);
+  steps->reserve(static_cast<size_t>(n));
+  std::vector<int> merged;
+  for (int round = 0; round < n; ++round) {
+    int best_v = -1;
+    int64_t best_size = 0;
+    int64_t best_fill = 0;
+    for (int v = 0; v < n; ++v) {
+      if (!alive[static_cast<size_t>(v)]) {
+        continue;
+      }
+      const std::vector<int>& nb = adj[static_cast<size_t>(v)];
+      int64_t size = 1;
+      for (int u : nb) {
+        size *= domain[static_cast<size_t>(u)];
+        if (size > cap) {
+          break;
+        }
+      }
+      if (size > cap) {
+        continue;
+      }
+      int64_t fill = 0;
+      for (size_t a = 0; a < nb.size(); ++a) {
+        const std::vector<int>& aa = adj[static_cast<size_t>(nb[a])];
+        for (size_t b = a + 1; b < nb.size(); ++b) {
+          if (!std::binary_search(aa.begin(), aa.end(), nb[b])) {
+            ++fill;
+          }
+        }
+      }
+      if (best_v < 0 || fill < best_fill ||
+          (fill == best_fill && size < best_size)) {
+        best_v = v;
+        best_size = size;
+        best_fill = fill;
+      }
+    }
+    if (best_v < 0) {
+      return false;
+    }
+    const int v = best_v;
+    std::vector<int>& nbrs = adj[static_cast<size_t>(v)];
+    for (int u : nbrs) {
+      // adj[u] := (adj[u] ∪ nbrs) \ {u, v}, keeping it sorted.
+      std::vector<int>& au = adj[static_cast<size_t>(u)];
+      merged.clear();
+      std::set_union(au.begin(), au.end(), nbrs.begin(), nbrs.end(),
+                     std::back_inserter(merged));
+      merged.erase(std::remove_if(merged.begin(), merged.end(),
+                                  [&](int w) { return w == u || w == v; }),
+                   merged.end());
+      au = merged;
+    }
+    steps->push_back(PlannedStep{v, std::move(nbrs)});
+    adj[static_cast<size_t>(v)].clear();
+    alive[static_cast<size_t>(v)] = 0;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<std::vector<int>> SolveByElimination(const IlpProblem& core,
+                                                   int64_t max_table_entries) {
+  const int n = core.num_nodes();
+  if (n == 0) {
+    return std::vector<int>{};
+  }
+  if (max_table_entries <= 0) {
+    return std::nullopt;
+  }
+  std::vector<int> domain(static_cast<size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    domain[static_cast<size_t>(v)] = core.num_choices(v);
+  }
+  std::vector<std::vector<int>> adj(static_cast<size_t>(n));
+  for (const IlpProblem::Edge& e : core.edges) {
+    adj[static_cast<size_t>(e.u)].push_back(e.v);
+    adj[static_cast<size_t>(e.v)].push_back(e.u);
+  }
+  for (std::vector<int>& a : adj) {
+    std::sort(a.begin(), a.end());
+  }
+  static Metric* bailed = Metrics::Get("ilp/elim/bailed");
+  static Metric* solved = Metrics::Get("ilp/elim/solved");
+  static Metric* cells_metric = Metrics::Get("ilp/elim/cells");
+  static Metric* micros_metric = Metrics::Get("ilp/elim/micros");
+  static Metric* plan_micros_metric = Metrics::Get("ilp/elim/plan_micros");
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<PlannedStep> steps;
+  const bool planned = PlanOrder(n, domain, std::move(adj), max_table_entries, &steps);
+  const auto t1 = std::chrono::steady_clock::now();
+  plan_micros_metric->Add(
+      std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count());
+  if (!planned) {
+    bailed->Add(1);
+    return std::nullopt;
+  }
+  solved->Add(1);
+  {
+    int64_t cells = 0;
+    for (const PlannedStep& step : steps) {
+      int64_t size = 1;
+      for (int u : step.nbrs) {
+        size *= domain[static_cast<size_t>(u)];
+      }
+      cells += size;
+    }
+    cells_metric->Add(cells);
+  }
+
+  // Initial factors: one unary per node, one pairwise per edge, bucketed by
+  // the nodes they mention so each elimination gathers in O(degree).
+  std::vector<Factor> factors;
+  factors.reserve(static_cast<size_t>(n) + core.edges.size() +
+                  static_cast<size_t>(n));
+  std::vector<std::vector<int>> node_factors(static_cast<size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    node_factors[static_cast<size_t>(v)].push_back(static_cast<int>(factors.size()));
+    factors.push_back(Factor{{v}, core.node_costs[static_cast<size_t>(v)]});
+  }
+  for (const IlpProblem::Edge& e : core.edges) {
+    Factor f;
+    const int u = std::min(e.u, e.v);
+    const int v = std::max(e.u, e.v);
+    f.vars = {u, v};
+    f.table.reserve(static_cast<size_t>(domain[static_cast<size_t>(u)]) *
+                    static_cast<size_t>(domain[static_cast<size_t>(v)]));
+    if (u == e.u) {
+      for (const auto& row : e.cost) {
+        f.table.insert(f.table.end(), row.begin(), row.end());
+      }
+    } else {
+      for (size_t j = 0; j < e.cost[0].size(); ++j) {
+        for (size_t i = 0; i < e.cost.size(); ++i) {
+          f.table.push_back(e.cost[i][j]);
+        }
+      }
+    }
+    node_factors[static_cast<size_t>(u)].push_back(static_cast<int>(factors.size()));
+    node_factors[static_cast<size_t>(v)].push_back(static_cast<int>(factors.size()));
+    factors.push_back(std::move(f));
+  }
+
+  std::vector<char> factor_alive(factors.size(), 1);
+  std::vector<std::vector<int>> argmins;
+  argmins.reserve(steps.size());
+  // Position of each node in the current step's odometer; -1 elsewhere.
+  std::vector<int> pos_of(static_cast<size_t>(n), -1);
+  std::vector<int> digits;
+
+  for (PlannedStep& step : steps) {
+    const int v = step.v;
+    std::vector<int>& nbrs = step.nbrs;
+    const size_t width = nbrs.size();
+
+    // Layout choice: place neighbors that only appear in narrow factors at
+    // slow odometer positions. The level-partial accumulation below then
+    // re-adds those factors once per slow-digit change instead of once per
+    // cell (a node's unary factor, constant over the whole table, is added
+    // exactly once). Wide messages keep the fast positions they need
+    // anyway. The message is just a permuted layout — values, argmins, and
+    // the reconstructed choice are unchanged.
+    {
+      std::vector<int> scope_weight(width, 0);
+      for (int fid : node_factors[static_cast<size_t>(v)]) {
+        if (!factor_alive[static_cast<size_t>(fid)]) {
+          continue;
+        }
+        const Factor& f = factors[static_cast<size_t>(fid)];
+        const int scope = static_cast<int>(f.vars.size()) - 1;  // Minus v.
+        for (int u : f.vars) {
+          if (u == v) continue;
+          for (size_t p = 0; p < width; ++p) {
+            if (nbrs[p] == u) {
+              scope_weight[p] = std::max(scope_weight[p], scope);
+              break;
+            }
+          }
+        }
+      }
+      std::vector<int> order(width);
+      for (size_t p = 0; p < width; ++p) order[p] = static_cast<int>(p);
+      std::sort(order.begin(), order.end(), [&](int a, int b) {
+        if (scope_weight[static_cast<size_t>(a)] != scope_weight[static_cast<size_t>(b)]) {
+          return scope_weight[static_cast<size_t>(a)] < scope_weight[static_cast<size_t>(b)];
+        }
+        return nbrs[static_cast<size_t>(a)] < nbrs[static_cast<size_t>(b)];
+      });
+      std::vector<int> reordered(width);
+      for (size_t p = 0; p < width; ++p) {
+        reordered[p] = nbrs[static_cast<size_t>(order[p])];
+      }
+      nbrs = std::move(reordered);
+    }
+
+    int64_t table_size = 1;
+    for (size_t p = 0; p < width; ++p) {
+      pos_of[static_cast<size_t>(nbrs[p])] = static_cast<int>(p);
+      table_size *= domain[static_cast<size_t>(nbrs[p])];
+    }
+
+    // Gather the alive factors mentioning v and re-lay each one out with v
+    // as the fastest dimension: the hot loop below then reads kv contiguous
+    // doubles per (cell, factor) instead of a strided scatter, which the
+    // compiler turns into vector adds. The transpose is one linear pass per
+    // factor — negligible next to the table_size * kv cell work.
+    const int kv = domain[static_cast<size_t>(v)];
+    struct Gathered {
+      std::vector<double> table;  // Layout: [other vars (sorted), v].
+      std::vector<std::pair<int, int64_t>> terms;  // (odometer pos, stride).
+      int deepest = -1;  // Fastest odometer position in scope; -1 = constant.
+    };
+    std::vector<Gathered> gathered;
+    std::vector<int> odo;
+    for (int fid : node_factors[static_cast<size_t>(v)]) {
+      if (!factor_alive[static_cast<size_t>(fid)]) {
+        continue;
+      }
+      factor_alive[static_cast<size_t>(fid)] = 0;
+      const Factor& f = factors[static_cast<size_t>(fid)];
+      Gathered g;
+      // Source strides, and the destination term list over the other vars.
+      int64_t v_stride = 0;
+      std::vector<int64_t> src_strides;  // Per other var, in var order.
+      std::vector<int> others;
+      {
+        int64_t stride = 1;
+        std::vector<int64_t> strides(f.vars.size());
+        for (size_t p = f.vars.size(); p-- > 0;) {
+          strides[p] = stride;
+          stride *= domain[static_cast<size_t>(f.vars[p])];
+        }
+        for (size_t p = 0; p < f.vars.size(); ++p) {
+          if (f.vars[p] == v) {
+            v_stride = strides[p];
+          } else {
+            others.push_back(f.vars[p]);
+            src_strides.push_back(strides[p]);
+          }
+        }
+      }
+      int64_t dst_stride = static_cast<int64_t>(kv);
+      for (size_t p = others.size(); p-- > 0;) {
+        ALPA_CHECK_GE(pos_of[static_cast<size_t>(others[p])], 0);
+        g.terms.emplace_back(pos_of[static_cast<size_t>(others[p])], dst_stride);
+        g.deepest = std::max(g.deepest, pos_of[static_cast<size_t>(others[p])]);
+        dst_stride *= domain[static_cast<size_t>(others[p])];
+      }
+      // Transposing walk: odometer over the other vars (last fastest),
+      // copying each v-row contiguously.
+      g.table.resize(f.table.size());
+      odo.assign(others.size(), 0);
+      int64_t src_base = 0;
+      for (int64_t dst = 0; dst < static_cast<int64_t>(g.table.size()); dst += kv) {
+        for (int c = 0; c < kv; ++c) {
+          g.table[static_cast<size_t>(dst + c)] =
+              f.table[static_cast<size_t>(src_base + c * v_stride)];
+        }
+        for (size_t p = others.size(); p-- > 0;) {
+          src_base += src_strides[p];
+          if (++odo[p] < domain[static_cast<size_t>(others[p])]) {
+            break;
+          }
+          odo[p] = 0;
+          src_base -= src_strides[p] * domain[static_cast<size_t>(others[p])];
+        }
+      }
+      gathered.push_back(std::move(g));
+    }
+
+    // Level-partial accumulation: layer p+1 = layer p plus every factor
+    // whose deepest scope position is p, so a factor is re-added only when
+    // a digit it can see changes. Constants (v's unary, fully-projected
+    // messages) land in layer 0 exactly once; only factors touching the
+    // fastest digit run per cell.
+    std::vector<std::vector<int>> by_level(width);
+    std::vector<double> partial((width + 1) * static_cast<size_t>(kv), 0.0);
+    for (size_t gi = 0; gi < gathered.size(); ++gi) {
+      const Gathered& g = gathered[gi];
+      if (g.deepest < 0) {
+        for (int c = 0; c < kv; ++c) {
+          partial[static_cast<size_t>(c)] += g.table[static_cast<size_t>(c)];
+        }
+      } else {
+        by_level[static_cast<size_t>(g.deepest)].push_back(static_cast<int>(gi));
+      }
+    }
+
+    Factor message;
+    message.vars = nbrs;
+    message.table.assign(static_cast<size_t>(table_size), 0.0);
+    std::vector<int> argmin(static_cast<size_t>(table_size), 0);
+    digits.assign(width, 0);
+    size_t changed_from = 0;
+    std::vector<const double*> deep_rows;  // Per-cell rows of the deepest level.
+    for (int64_t cell = 0; cell < table_size; ++cell) {
+      // Rebuild the ticked slow layers; the deepest layer (whose digit
+      // ticks every cell) is never materialized — its sums feed the argmin
+      // directly below, same summation order and first-wins ties as a
+      // materialized totals row.
+      for (size_t p = changed_from; p + 1 < width; ++p) {
+        const double* src = partial.data() + p * static_cast<size_t>(kv);
+        double* dst = partial.data() + (p + 1) * static_cast<size_t>(kv);
+        for (int c = 0; c < kv; ++c) {
+          dst[c] = src[c];
+        }
+        for (int gi : by_level[p]) {
+          const Gathered& g = gathered[static_cast<size_t>(gi)];
+          int64_t base = 0;
+          for (const auto& term : g.terms) {
+            base += term.second * digits[static_cast<size_t>(term.first)];
+          }
+          const double* t = g.table.data() + base;
+          for (int c = 0; c < kv; ++c) {
+            dst[c] += t[c];
+          }
+        }
+      }
+      double best;
+      int best_c = 0;
+      if (width == 0) {
+        const double* totals = partial.data();
+        best = totals[0];
+        for (int c = 1; c < kv; ++c) {
+          if (totals[c] < best) {
+            best = totals[c];
+            best_c = c;
+          }
+        }
+      } else {
+        const double* src = partial.data() + (width - 1) * static_cast<size_t>(kv);
+        deep_rows.clear();
+        for (int gi : by_level[width - 1]) {
+          const Gathered& g = gathered[static_cast<size_t>(gi)];
+          int64_t base = 0;
+          for (const auto& term : g.terms) {
+            base += term.second * digits[static_cast<size_t>(term.first)];
+          }
+          deep_rows.push_back(g.table.data() + base);
+        }
+        best = kInfCost;
+        best_c = 0;
+        for (int c = 0; c < kv; ++c) {
+          double total = src[c];
+          for (const double* row : deep_rows) {
+            total += row[c];
+          }
+          if (total < best) {
+            best = total;
+            best_c = c;
+          }
+        }
+        // All-infinite columns leave best == kInfCost with best_c == 0,
+        // exactly what a materialized totals row would report.
+      }
+      message.table[static_cast<size_t>(cell)] = best;
+      argmin[static_cast<size_t>(cell)] = best_c;
+      // Odometer increment, last neighborhood var fastest; the lowest
+      // position that ticks bounds which partial layers need rebuilding.
+      changed_from = 0;
+      for (size_t p = width; p-- > 0;) {
+        if (++digits[p] < domain[static_cast<size_t>(nbrs[p])]) {
+          changed_from = p;
+          break;
+        }
+        digits[p] = 0;
+      }
+    }
+    argmins.push_back(std::move(argmin));
+
+    for (int u : nbrs) {
+      pos_of[static_cast<size_t>(u)] = -1;
+      node_factors[static_cast<size_t>(u)].push_back(static_cast<int>(factors.size()));
+    }
+    factor_alive.push_back(width > 0);
+    factors.push_back(std::move(message));
+  }
+
+  // Backward pass: each message ranges over nodes eliminated later, so the
+  // reverse order resolves every dependency.
+  std::vector<int> choice(static_cast<size_t>(n), -1);
+  for (size_t s = steps.size(); s-- > 0;) {
+    int64_t cell = 0;
+    for (int u : steps[s].nbrs) {
+      ALPA_CHECK_GE(choice[static_cast<size_t>(u)], 0);
+      cell = cell * domain[static_cast<size_t>(u)] + choice[static_cast<size_t>(u)];
+    }
+    choice[static_cast<size_t>(steps[s].v)] = argmins[s][static_cast<size_t>(cell)];
+  }
+  micros_metric->Add(std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::steady_clock::now() - t1)
+                         .count());
+  return choice;
+}
+
+}  // namespace alpa

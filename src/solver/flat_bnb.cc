@@ -1,0 +1,536 @@
+#include "src/solver/flat_bnb.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "src/support/logging.h"
+#include "src/support/thread_pool.h"
+
+namespace alpa {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double Clamp(double c) { return std::isfinite(c) ? c : kFlatLarge; }
+
+// The core problem in flat contiguous storage. Node v's choice k lives at
+// off[v] + k in every per-choice array; each edge matrix is materialized
+// twice in one arena (row-major from each endpoint) so Arc lookups are a
+// single base + self * K(peer) + peer index with no orientation branch.
+struct Flat {
+  int n = 0;
+  std::vector<int> off;       // n + 1.
+  std::vector<double> unary;  // Clamped node costs.
+
+  struct Arc {
+    int peer = 0;
+    int edge = 0;     // Index into edge_min.
+    int64_t base = 0;  // Arena offset of the row-major [self][peer] block.
+  };
+  std::vector<int> arc_off;  // n + 1, into arcs (grouped by node).
+  std::vector<Arc> arcs;
+  std::vector<double> arena;
+  std::vector<double> edge_min;  // Clamped global minimum per edge.
+
+  std::vector<std::vector<int>> comps;  // Connected components, ids ascending.
+
+  int K(int v) const { return off[static_cast<size_t>(v) + 1] - off[static_cast<size_t>(v)]; }
+};
+
+Flat BuildFlat(const IlpProblem& p) {
+  Flat f;
+  f.n = p.num_nodes();
+  f.off.assign(static_cast<size_t>(f.n) + 1, 0);
+  for (int v = 0; v < f.n; ++v) {
+    f.off[static_cast<size_t>(v) + 1] = f.off[static_cast<size_t>(v)] + p.num_choices(v);
+  }
+  f.unary.resize(static_cast<size_t>(f.off[static_cast<size_t>(f.n)]));
+  for (int v = 0; v < f.n; ++v) {
+    for (int i = 0; i < p.num_choices(v); ++i) {
+      f.unary[static_cast<size_t>(f.off[static_cast<size_t>(v)] + i)] =
+          Clamp(p.node_costs[static_cast<size_t>(v)][static_cast<size_t>(i)]);
+    }
+  }
+
+  int64_t arena_size = 0;
+  for (const IlpProblem::Edge& e : p.edges) {
+    arena_size += 2LL * p.num_choices(e.u) * p.num_choices(e.v);
+  }
+  f.arena.resize(static_cast<size_t>(arena_size));
+  f.edge_min.resize(p.edges.size());
+
+  std::vector<std::vector<Flat::Arc>> by_node(static_cast<size_t>(f.n));
+  int64_t pos = 0;
+  for (size_t k = 0; k < p.edges.size(); ++k) {
+    const IlpProblem::Edge& e = p.edges[k];
+    const int ku = p.num_choices(e.u);
+    const int kv = p.num_choices(e.v);
+    const int64_t base_uv = pos;
+    const int64_t base_vu = pos + static_cast<int64_t>(ku) * kv;
+    double mn = kInf;
+    for (int i = 0; i < ku; ++i) {
+      for (int j = 0; j < kv; ++j) {
+        const double c = Clamp(e.cost[static_cast<size_t>(i)][static_cast<size_t>(j)]);
+        f.arena[static_cast<size_t>(base_uv + static_cast<int64_t>(i) * kv + j)] = c;
+        f.arena[static_cast<size_t>(base_vu + static_cast<int64_t>(j) * ku + i)] = c;
+        mn = std::min(mn, c);
+      }
+    }
+    f.edge_min[k] = mn;
+    by_node[static_cast<size_t>(e.u)].push_back(Flat::Arc{e.v, static_cast<int>(k), base_uv});
+    by_node[static_cast<size_t>(e.v)].push_back(Flat::Arc{e.u, static_cast<int>(k), base_vu});
+    pos = base_vu + static_cast<int64_t>(ku) * kv;
+  }
+  f.arc_off.assign(static_cast<size_t>(f.n) + 1, 0);
+  for (int v = 0; v < f.n; ++v) {
+    f.arc_off[static_cast<size_t>(v) + 1] =
+        f.arc_off[static_cast<size_t>(v)] + static_cast<int>(by_node[static_cast<size_t>(v)].size());
+    for (const Flat::Arc& a : by_node[static_cast<size_t>(v)]) {
+      f.arcs.push_back(a);
+    }
+  }
+
+  // Connected components (union-find), node ids ascending within each.
+  std::vector<int> parent(static_cast<size_t>(f.n));
+  for (int v = 0; v < f.n; ++v) parent[static_cast<size_t>(v)] = v;
+  auto find = [&](int x) {
+    while (parent[static_cast<size_t>(x)] != x) {
+      parent[static_cast<size_t>(x)] = parent[static_cast<size_t>(parent[static_cast<size_t>(x)])];
+      x = parent[static_cast<size_t>(x)];
+    }
+    return x;
+  };
+  for (const IlpProblem::Edge& e : p.edges) {
+    const int a = find(e.u);
+    const int b = find(e.v);
+    if (a != b) parent[static_cast<size_t>(a)] = b;
+  }
+  std::vector<int> comp_of(static_cast<size_t>(f.n), -1);
+  for (int v = 0; v < f.n; ++v) {
+    const int r = find(v);
+    if (comp_of[static_cast<size_t>(r)] < 0) {
+      comp_of[static_cast<size_t>(r)] = static_cast<int>(f.comps.size());
+      f.comps.emplace_back();
+    }
+    comp_of[static_cast<size_t>(v)] = comp_of[static_cast<size_t>(r)];
+    f.comps[static_cast<size_t>(comp_of[static_cast<size_t>(v)])].push_back(v);
+  }
+  return f;
+}
+
+// Per-node argmin start (first-wins on ties, like the legacy solver).
+std::vector<int> ArgminStart(const Flat& f) {
+  std::vector<int> choice(static_cast<size_t>(f.n), 0);
+  for (int v = 0; v < f.n; ++v) {
+    const double* row = f.unary.data() + f.off[static_cast<size_t>(v)];
+    int best_i = 0;
+    for (int i = 1; i < f.K(v); ++i) {
+      if (row[i] < row[best_i]) best_i = i;
+    }
+    choice[static_cast<size_t>(v)] = best_i;
+  }
+  return choice;
+}
+
+// Iterated conditional modes on the flat arrays: sweep until no single-node
+// move improves (first-wins argmin per node, bounded sweeps). A node whose
+// neighbors have not moved since its last evaluation is already at its
+// conditional argmin, so skipping it reproduces the full-sweep trajectory
+// exactly while converged regions stop costing anything.
+std::vector<int> FlatIcm(const Flat& f, std::vector<int> choice) {
+  std::vector<char> dirty(static_cast<size_t>(f.n), 1);
+  bool improved = true;
+  int sweeps = 0;
+  while (improved && sweeps < 50) {
+    improved = false;
+    ++sweeps;
+    for (int v = 0; v < f.n; ++v) {
+      if (!dirty[static_cast<size_t>(v)]) continue;
+      dirty[static_cast<size_t>(v)] = 0;
+      const double* row = f.unary.data() + f.off[static_cast<size_t>(v)];
+      double best = kInf;
+      int best_i = choice[static_cast<size_t>(v)];
+      for (int i = 0; i < f.K(v); ++i) {
+        double c = row[i];
+        for (int a = f.arc_off[static_cast<size_t>(v)]; a < f.arc_off[static_cast<size_t>(v) + 1]; ++a) {
+          const Flat::Arc& arc = f.arcs[static_cast<size_t>(a)];
+          c += f.arena[static_cast<size_t>(
+              arc.base + static_cast<int64_t>(i) * f.K(arc.peer) + choice[static_cast<size_t>(arc.peer)])];
+        }
+        if (c < best) {
+          best = c;
+          best_i = i;
+        }
+      }
+      if (best_i != choice[static_cast<size_t>(v)]) {
+        choice[static_cast<size_t>(v)] = best_i;
+        improved = true;
+        for (int a = f.arc_off[static_cast<size_t>(v)]; a < f.arc_off[static_cast<size_t>(v) + 1]; ++a) {
+          dirty[static_cast<size_t>(f.arcs[static_cast<size_t>(a)].peer)] = 1;
+        }
+      }
+    }
+  }
+  return choice;
+}
+
+// Objective restricted to one component (clamped space).
+double ComponentValue(const Flat& f, const std::vector<int>& nodes, const std::vector<int>& full) {
+  double total = 0.0;
+  for (int v : nodes) {
+    total += f.unary[static_cast<size_t>(f.off[static_cast<size_t>(v)] + full[static_cast<size_t>(v)])];
+    for (int a = f.arc_off[static_cast<size_t>(v)]; a < f.arc_off[static_cast<size_t>(v) + 1]; ++a) {
+      const Flat::Arc& arc = f.arcs[static_cast<size_t>(a)];
+      if (arc.peer > v) {
+        total += f.arena[static_cast<size_t>(
+            arc.base + static_cast<int64_t>(full[static_cast<size_t>(v)]) * f.K(arc.peer) +
+            full[static_cast<size_t>(arc.peer)])];
+      }
+    }
+  }
+  return total;
+}
+
+// Depth-first search state over one component. Copyable: root-level
+// parallel branching clones the initialized state per root choice.
+struct Searcher {
+  const Flat* f = nullptr;
+  const std::vector<int>* nodes = nullptr;  // Current component, ids ascending.
+
+  // cond[off[v] + i]: unary[v][i] plus the matrix rows of every assigned
+  // neighbor of v — the exact incremental cost of assigning v := i now.
+  std::vector<double> cond;
+  std::vector<char> assigned;
+  std::vector<int> choice;
+  std::vector<double> node_lb;  // min of cond row (valid while unassigned).
+  // Gap between the best and second-best cond entries (valid while
+  // unassigned); maintained incrementally in Push/Pop like node_lb so
+  // SelectVar is O(nodes) instead of O(nodes * choices).
+  std::vector<double> regret;
+  double sum_node_lb = 0.0;     // Over unassigned nodes of the component.
+  double sum_edge_min = 0.0;    // Over edges with both endpoints unassigned.
+  int unassigned = 0;
+
+  double best_obj = kInf;
+  std::vector<int> best_choice;
+  int64_t explored = 0;
+  int64_t budget = 0;
+  bool aborted = false;
+
+  // Undo stacks: Pop restores neighbor cond rows by copy and the scalar
+  // sums from frame-saved values (running-sum arithmetic undo would drift
+  // in floating point).
+  struct UndoRec {
+    int node = 0;
+    double old_lb = 0.0;
+    double old_regret = 0.0;
+  };
+  std::vector<UndoRec> undo;
+  std::vector<double> undo_cond;
+
+  struct Frame {
+    size_t undo_mark = 0;
+    size_t cond_mark = 0;
+    double saved_sum_node_lb = 0.0;
+    double saved_sum_edge_min = 0.0;
+  };
+
+  // Best and second-best of a cond row; regret as used by SelectVar.
+  static double RowRegret(const double* row, int k) {
+    if (k == 1) {
+      return std::numeric_limits<double>::max();
+    }
+    double m1 = kInf, m2 = kInf;
+    for (int i = 0; i < k; ++i) {
+      if (row[i] < m1) {
+        m2 = m1;
+        m1 = row[i];
+      } else if (row[i] < m2) {
+        m2 = row[i];
+      }
+    }
+    return m2 - m1;
+  }
+
+  void Init(const Flat& flat) {
+    f = &flat;
+    cond.assign(flat.unary.begin(), flat.unary.end());
+    assigned.assign(static_cast<size_t>(flat.n), 0);
+    choice.assign(static_cast<size_t>(flat.n), 0);
+    node_lb.assign(static_cast<size_t>(flat.n), 0.0);
+    regret.assign(static_cast<size_t>(flat.n), 0.0);
+  }
+
+  void InitComponent(const std::vector<int>& comp) {
+    nodes = &comp;
+    unassigned = static_cast<int>(comp.size());
+    sum_node_lb = 0.0;
+    sum_edge_min = 0.0;
+    for (int v : comp) {
+      const int ov = f->off[static_cast<size_t>(v)];
+      double mn = kInf;
+      for (int i = 0; i < f->K(v); ++i) {
+        // Reset in case a previous component's search left residue.
+        cond[static_cast<size_t>(ov + i)] = f->unary[static_cast<size_t>(ov + i)];
+        mn = std::min(mn, cond[static_cast<size_t>(ov + i)]);
+      }
+      node_lb[static_cast<size_t>(v)] = mn;
+      regret[static_cast<size_t>(v)] = RowRegret(cond.data() + ov, f->K(v));
+      sum_node_lb += mn;
+      for (int a = f->arc_off[static_cast<size_t>(v)]; a < f->arc_off[static_cast<size_t>(v) + 1]; ++a) {
+        const Flat::Arc& arc = f->arcs[static_cast<size_t>(a)];
+        if (arc.peer > v) sum_edge_min += f->edge_min[static_cast<size_t>(arc.edge)];
+      }
+    }
+    best_obj = kInf;
+    best_choice.clear();
+    explored = 0;
+    aborted = false;
+    undo.clear();
+    undo_cond.clear();
+  }
+
+  // Max-regret variable selection: the unassigned node whose best and
+  // second-best conditioned costs are farthest apart is decided first
+  // (single-choice nodes immediately). Ties keep the lowest node id.
+  int SelectVar() const {
+    int v = -1;
+    double best_regret = -1.0;
+    for (int w : *nodes) {
+      if (assigned[static_cast<size_t>(w)]) continue;
+      if (regret[static_cast<size_t>(w)] > best_regret) {
+        best_regret = regret[static_cast<size_t>(w)];
+        v = w;
+      }
+    }
+    return v;
+  }
+
+  // Choices of v in ascending conditioned cost (stable on ties via the
+  // index in the pair). Values at or above the infeasibility threshold are
+  // dropped: they can never be part of a feasible assignment.
+  void ScoreVarInto(int v, std::vector<std::pair<double, int>>* scored) const {
+    const double* row = cond.data() + f->off[static_cast<size_t>(v)];
+    scored->clear();
+    for (int i = 0; i < f->K(v); ++i) {
+      if (row[i] < kFlatInfeasible) scored->emplace_back(row[i], i);
+    }
+    std::sort(scored->begin(), scored->end());
+  }
+
+  std::vector<std::pair<double, int>> ScoreVar(int v) const {
+    std::vector<std::pair<double, int>> scored;
+    ScoreVarInto(v, &scored);
+    return scored;
+  }
+
+  Frame Push(int v, int c) {
+    Frame fr{undo.size(), undo_cond.size(), sum_node_lb, sum_edge_min};
+    for (int a = f->arc_off[static_cast<size_t>(v)]; a < f->arc_off[static_cast<size_t>(v) + 1]; ++a) {
+      const Flat::Arc& arc = f->arcs[static_cast<size_t>(a)];
+      const int w = arc.peer;
+      if (assigned[static_cast<size_t>(w)]) continue;
+      const int ow = f->off[static_cast<size_t>(w)];
+      const int kw = f->K(w);
+      undo.push_back(
+          UndoRec{w, node_lb[static_cast<size_t>(w)], regret[static_cast<size_t>(w)]});
+      undo_cond.insert(undo_cond.end(), cond.begin() + ow, cond.begin() + ow + kw);
+      const double* row = f->arena.data() + arc.base + static_cast<int64_t>(c) * kw;
+      double* cw = cond.data() + ow;
+      double m1 = kInf, m2 = kInf;
+      for (int i = 0; i < kw; ++i) {
+        cw[i] += row[i];
+        if (cw[i] < m1) {
+          m2 = m1;
+          m1 = cw[i];
+        } else if (cw[i] < m2) {
+          m2 = cw[i];
+        }
+      }
+      sum_node_lb += m1 - node_lb[static_cast<size_t>(w)];
+      node_lb[static_cast<size_t>(w)] = m1;
+      regret[static_cast<size_t>(w)] =
+          kw == 1 ? std::numeric_limits<double>::max() : m2 - m1;
+      sum_edge_min -= f->edge_min[static_cast<size_t>(arc.edge)];
+    }
+    assigned[static_cast<size_t>(v)] = 1;
+    choice[static_cast<size_t>(v)] = c;
+    sum_node_lb -= node_lb[static_cast<size_t>(v)];
+    --unassigned;
+    return fr;
+  }
+
+  void Pop(const Frame& fr, int v) {
+    ++unassigned;
+    assigned[static_cast<size_t>(v)] = 0;
+    size_t cpos = undo_cond.size();
+    for (size_t r = undo.size(); r > fr.undo_mark; --r) {
+      const UndoRec& u = undo[r - 1];
+      const int ow = f->off[static_cast<size_t>(u.node)];
+      const int kw = f->K(u.node);
+      cpos -= static_cast<size_t>(kw);
+      std::copy(undo_cond.begin() + static_cast<int64_t>(cpos),
+                undo_cond.begin() + static_cast<int64_t>(cpos) + kw, cond.begin() + ow);
+      node_lb[static_cast<size_t>(u.node)] = u.old_lb;
+      regret[static_cast<size_t>(u.node)] = u.old_regret;
+    }
+    undo.resize(fr.undo_mark);
+    undo_cond.resize(fr.cond_mark);
+    sum_node_lb = fr.saved_sum_node_lb;
+    sum_edge_min = fr.saved_sum_edge_min;
+  }
+
+  // Per-depth scoring scratch so the hot Dfs path never allocates after
+  // the first descent; Searcher copies (root-parallel branching) copy the
+  // buffers along, keeping each clone self-contained.
+  std::vector<std::vector<std::pair<double, int>>> scored_stack;
+  int depth = 0;
+
+  void Dfs(double cost) {
+    if (aborted) return;
+    if (unassigned == 0) {
+      if (cost < best_obj) {
+        best_obj = cost;
+        best_choice = choice;
+      }
+      return;
+    }
+    const int v = SelectVar();
+    if (depth >= static_cast<int>(scored_stack.size())) {
+      scored_stack.resize(static_cast<size_t>(depth) + 1);
+    }
+    std::vector<std::pair<double, int>>& scored = scored_stack[static_cast<size_t>(depth)];
+    ScoreVarInto(v, &scored);
+    const double without_v = sum_node_lb - node_lb[static_cast<size_t>(v)];
+    for (const auto& [val, i] : scored) {
+      // Admissible pre-push bound; later choices only cost more.
+      if (cost + val + without_v + sum_edge_min >= best_obj) break;
+      if (++explored > budget) {
+        aborted = true;
+        return;
+      }
+      const Frame fr = Push(v, i);
+      // Tighter post-push bound: neighbor minima now conditioned on i.
+      if (cost + val + sum_node_lb + sum_edge_min < best_obj) {
+        ++depth;
+        Dfs(cost + val);
+        --depth;
+      }
+      Pop(fr, v);
+      if (aborted) return;
+    }
+  }
+};
+
+}  // namespace
+
+FlatSearchResult SolveCore(const IlpProblem& core, const FlatSearchOptions& options) {
+  FlatSearchResult result;
+  result.choice.assign(static_cast<size_t>(core.num_nodes()), 0);
+  result.objective = 0.0;
+  if (core.num_nodes() == 0) {
+    result.feasible = true;
+    return result;
+  }
+  const Flat f = BuildFlat(core);
+
+  // Incumbent candidates: the ICM-polished argmin start, plus every valid
+  // caller-provided assignment after the same polish.
+  std::vector<std::vector<int>> candidates;
+  candidates.push_back(FlatIcm(f, ArgminStart(f)));
+  for (const std::vector<int>& seed : options.incumbents) {
+    if (static_cast<int>(seed.size()) != f.n) continue;
+    bool ok = true;
+    for (int v = 0; v < f.n && ok; ++v) {
+      ok = seed[static_cast<size_t>(v)] >= 0 && seed[static_cast<size_t>(v)] < f.K(v);
+    }
+    if (ok) candidates.push_back(FlatIcm(f, seed));
+  }
+
+  const int64_t budget_per_comp =
+      std::max<int64_t>(1, options.budget / static_cast<int64_t>(f.comps.size()));
+
+  Searcher base;
+  base.Init(f);
+  for (const std::vector<int>& comp : f.comps) {
+    base.InitComponent(comp);
+
+    // Component-local incumbent: best candidate restricted to this
+    // component (first-wins on ties).
+    double inc_val = kInf;
+    const std::vector<int>* inc = nullptr;
+    for (const std::vector<int>& cand : candidates) {
+      const double val = ComponentValue(f, comp, cand);
+      if (val < inc_val) {
+        inc_val = val;
+        inc = &cand;
+      }
+    }
+
+    // Root-level branching: every surviving root choice becomes an
+    // independent search with a fixed budget slice and the incumbent as its
+    // only initial bound, so results do not depend on the pool (or on
+    // having one at all); the deterministic in-order reduce below keeps
+    // first-wins tie behaviour identical to a serial loop.
+    const int root = base.SelectVar();
+    const std::vector<std::pair<double, int>> scored = base.ScoreVar(root);
+    const double without_root = base.sum_node_lb - base.node_lb[static_cast<size_t>(root)];
+    std::vector<std::pair<double, int>> tasks;
+    for (const auto& t : scored) {
+      if (t.first + without_root + base.sum_edge_min >= inc_val) break;
+      tasks.push_back(t);
+    }
+
+    double comp_obj = inc_val;
+    const std::vector<int>* comp_choice_src = inc;
+    std::vector<int> comp_choice_owned;
+
+    if (!tasks.empty()) {
+      struct TaskResult {
+        double obj = kInf;
+        std::vector<int> choice;
+        int64_t explored = 0;
+        bool aborted = false;
+      };
+      std::vector<TaskResult> task_results(tasks.size());
+      const int64_t slice = std::max<int64_t>(1, budget_per_comp / static_cast<int64_t>(tasks.size()));
+      ParallelFor(options.pool, static_cast<int64_t>(tasks.size()), [&](int64_t t) {
+        Searcher s = base;
+        s.budget = slice;
+        s.explored = 1;  // The root push below.
+        s.best_obj = inc_val;
+        const auto [val, i] = tasks[static_cast<size_t>(t)];
+        s.Push(root, i);
+        if (val + s.sum_node_lb + s.sum_edge_min < s.best_obj) {
+          s.Dfs(val);
+        }
+        TaskResult& r = task_results[static_cast<size_t>(t)];
+        r.obj = s.best_obj;
+        r.choice = std::move(s.best_choice);
+        r.explored = s.explored;
+        r.aborted = s.aborted;
+      });
+      for (size_t t = 0; t < task_results.size(); ++t) {
+        result.explored += task_results[t].explored;
+        result.aborted = result.aborted || task_results[t].aborted;
+        if (task_results[t].obj < comp_obj && !task_results[t].choice.empty()) {
+          comp_obj = task_results[t].obj;
+          comp_choice_owned = task_results[t].choice;
+          comp_choice_src = &comp_choice_owned;
+        }
+      }
+    }
+
+    ALPA_CHECK(comp_choice_src != nullptr);
+    for (int v : comp) {
+      result.choice[static_cast<size_t>(v)] = (*comp_choice_src)[static_cast<size_t>(v)];
+    }
+    result.objective += comp_obj;
+  }
+  result.feasible = result.objective < kFlatInfeasible;
+  return result;
+}
+
+}  // namespace alpa

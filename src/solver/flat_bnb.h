@@ -1,0 +1,72 @@
+// Flat-memory branch & bound over a presolved ILP core (stage 3 of the
+// staged solver pipeline).
+//
+// The core (output of Presolve) is loaded into contiguous arenas: one flat
+// cost vector for all node choices and one arena holding every edge matrix
+// twice (row-major from each endpoint, transpose materialized), so the hot
+// loops are linear scans with no pointer chasing or branchy orientation
+// checks. The search maintains, per unassigned node, a "conditioned" cost
+// vector — unary cost plus the matrix rows of every already-assigned
+// neighbor — which serves double duty:
+//   * the exact incremental cost of assigning that node next, and
+//   * a frontier-aware lower bound (sum of conditioned minima over
+//     unassigned nodes, plus global matrix minima of the edges not yet
+//     touching the frontier), much tighter than a static suffix bound.
+// Variables are ordered dynamically by regret (gap between the best and
+// second-best conditioned cost); values are tried in ascending conditioned
+// cost. Root-level branching fans out over a work-stealing pool when one is
+// provided: every root branch is an independent search with a fixed budget
+// slice and the shared incumbent as its initial bound, and results reduce
+// in deterministic (score, index) order — so the solution is bit-identical
+// for any thread count, including zero.
+//
+// Infinities are clamped to kFlatLarge on load so bound arithmetic never
+// mixes inf into running sums; any objective >= kFlatInfeasible means "no
+// feasible assignment found". Callers re-evaluate the returned assignment
+// on the original (unclamped) problem.
+#ifndef SRC_SOLVER_FLAT_BNB_H_
+#define SRC_SOLVER_FLAT_BNB_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/solver/ilp_solver.h"
+
+namespace alpa {
+
+class ThreadPool;
+
+// Stand-in for kInfCost inside the search arenas, and the threshold above
+// which a total is reported infeasible. Real costs are simulated seconds
+// (<< 1e9), so the gap is comfortable.
+inline constexpr double kFlatLarge = 1e30;
+inline constexpr double kFlatInfeasible = 1e29;
+
+struct FlatSearchOptions {
+  // Total expansion budget; split evenly across root branches (and across
+  // connected components), so behaviour does not depend on the pool.
+  int64_t budget = 300'000;
+  // Optional pool for root-level parallel branching. Results are identical
+  // with or without it.
+  ThreadPool* pool = nullptr;
+  // Candidate assignments (core-compact choice indices, full length) used
+  // as incumbents after an ICM polish; the per-node argmin start is always
+  // added internally.
+  std::vector<std::vector<int>> incumbents;
+};
+
+struct FlatSearchResult {
+  std::vector<int> choice;  // Core-compact choice per node.
+  double objective = kFlatLarge;
+  bool feasible = false;  // objective < kFlatInfeasible.
+  bool aborted = false;   // Some branch exhausted its budget slice.
+  int64_t explored = 0;
+};
+
+// Exact search over `core` (a simple graph; parallel edges must already be
+// merged). Deterministic: same core and options give the same result.
+FlatSearchResult SolveCore(const IlpProblem& core, const FlatSearchOptions& options);
+
+}  // namespace alpa
+
+#endif  // SRC_SOLVER_FLAT_BNB_H_

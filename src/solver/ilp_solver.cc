@@ -1,10 +1,19 @@
 #include "src/solver/ilp_solver.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
-#include <numeric>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
+#include "src/solver/elimination.h"
+#include "src/solver/flat_bnb.h"
+#include "src/solver/ilp_presolve.h"
+#include "src/support/hashing.h"
 #include "src/support/logging.h"
+#include "src/support/trace.h"
 
 namespace alpa {
 
@@ -40,362 +49,106 @@ void IlpProblem::Validate() const {
 
 namespace {
 
-// Edges viewed from one endpoint. `transposed` means this node indexes the
-// columns of the cost matrix.
-struct IncidentEdge {
-  int peer = 0;
-  const std::vector<std::vector<double>>* cost = nullptr;
-  bool transposed = false;
-
-  double At(int self_choice, int peer_choice) const {
-    return transposed ? (*cost)[static_cast<size_t>(peer_choice)][static_cast<size_t>(self_choice)]
-                      : (*cost)[static_cast<size_t>(self_choice)][static_cast<size_t>(peer_choice)];
-  }
+// Process-wide memo of core solves. The stage profiler solves the same
+// presolved core many times across mesh variants whose differences folded
+// away in presolve; the key covers everything the core search depends on
+// (core fingerprint, budget, projected seeds), so a hit is exact. Cleared
+// by IlpMemoCache::Clear() via ClearIlpCoreMemo().
+struct CoreEntry {
+  std::vector<int> choice;  // Core-compact.
+  bool aborted = false;
+  bool by_elimination = false;
+  int64_t explored = 0;
 };
 
-// Merges parallel edges (same endpoint pair) by summing their matrices so
-// the solvers can assume a simple graph.
-IlpProblem MergeParallelEdges(const IlpProblem& problem) {
-  IlpProblem merged;
-  merged.node_costs = problem.node_costs;
-  for (const IlpProblem::Edge& e : problem.edges) {
-    int u = std::min(e.u, e.v);
-    int v = std::max(e.u, e.v);
-    const bool flipped = (u != e.u);
-    int found = -1;
-    for (size_t k = 0; k < merged.edges.size(); ++k) {
-      if (merged.edges[k].u == u && merged.edges[k].v == v) {
-        found = static_cast<int>(k);
-        break;
-      }
-    }
-    if (found < 0) {
-      IlpProblem::Edge canonical;
-      canonical.u = u;
-      canonical.v = v;
-      canonical.cost.assign(problem.node_costs[static_cast<size_t>(u)].size(),
-                            std::vector<double>(problem.node_costs[static_cast<size_t>(v)].size(), 0.0));
-      merged.edges.push_back(std::move(canonical));
-      found = static_cast<int>(merged.edges.size()) - 1;
-    }
-    auto& acc = merged.edges[static_cast<size_t>(found)].cost;
-    for (size_t i = 0; i < acc.size(); ++i) {
-      for (size_t j = 0; j < acc[i].size(); ++j) {
-        acc[i][j] += flipped ? e.cost[j][i] : e.cost[i][j];
-      }
-    }
-  }
-  return merged;
+struct CoreMemo {
+  std::mutex mu;
+  std::unordered_map<uint64_t, CoreEntry> entries;
+};
+
+CoreMemo& GlobalCoreMemo() {
+  static CoreMemo* memo = new CoreMemo();
+  return *memo;
 }
 
-std::vector<std::vector<IncidentEdge>> BuildAdjacency(const IlpProblem& problem) {
-  std::vector<std::vector<IncidentEdge>> adj(problem.node_costs.size());
-  for (const IlpProblem::Edge& e : problem.edges) {
-    adj[static_cast<size_t>(e.u)].push_back(IncidentEdge{e.v, &e.cost, false});
-    adj[static_cast<size_t>(e.v)].push_back(IncidentEdge{e.u, &e.cost, true});
-  }
-  return adj;
-}
+constexpr size_t kCoreMemoCap = 65536;
 
-bool IsForest(const IlpProblem& problem) {
-  const int n = problem.num_nodes();
-  std::vector<int> parent(static_cast<size_t>(n));
-  std::iota(parent.begin(), parent.end(), 0);
-  auto find = [&](int x) {
-    while (parent[static_cast<size_t>(x)] != x) {
-      parent[static_cast<size_t>(x)] = parent[static_cast<size_t>(parent[static_cast<size_t>(x)])];
-      x = parent[static_cast<size_t>(x)];
-    }
-    return x;
-  };
-  for (const IlpProblem::Edge& e : problem.edges) {
-    int a = find(e.u);
-    int b = find(e.v);
-    if (a == b) {
+// Projects a full-space seed assignment into the presolved core's compact
+// choice space. Returns false when any seeded choice was eliminated by
+// presolve (the seed then cannot be represented and is skipped as an
+// incumbent; the seed-floor on the final objective still applies).
+bool ProjectSeed(const PresolvedProblem& pre, const std::vector<int>& seed,
+                 std::vector<int>* out) {
+  out->assign(pre.core_nodes.size(), 0);
+  for (size_t c = 0; c < pre.core_nodes.size(); ++c) {
+    const int v = pre.core_nodes[c];
+    const std::vector<int>& kept = pre.kept[static_cast<size_t>(v)];
+    const int s = seed[static_cast<size_t>(v)];
+    const auto it = std::lower_bound(kept.begin(), kept.end(), s);
+    if (it == kept.end() || *it != s) {
       return false;
     }
-    parent[static_cast<size_t>(a)] = b;
+    (*out)[c] = static_cast<int>(it - kept.begin());
   }
   return true;
 }
 
-// Exact min-sum DP on a forest-structured problem.
-IlpSolution SolveForest(const IlpProblem& problem) {
-  const int n = problem.num_nodes();
-  auto adj = BuildAdjacency(problem);
-
-  // messages[v][i]: min cost of v's subtree when v picks i.
-  std::vector<std::vector<double>> messages(static_cast<size_t>(n));
-  // best_child_choice[v] maps (child index within adj, choice of v) -> child's argmin.
-  std::vector<int> order;        // DFS post-order.
-  std::vector<int> parent_of(static_cast<size_t>(n), -1);
-  std::vector<char> visited(static_cast<size_t>(n), 0);
-
-  for (int root = 0; root < n; ++root) {
-    if (visited[static_cast<size_t>(root)]) {
-      continue;
-    }
-    // Iterative DFS.
-    std::vector<int> stack = {root};
-    visited[static_cast<size_t>(root)] = 1;
-    std::vector<int> local;
-    while (!stack.empty()) {
-      int v = stack.back();
-      stack.pop_back();
-      local.push_back(v);
-      for (const IncidentEdge& e : adj[static_cast<size_t>(v)]) {
-        if (!visited[static_cast<size_t>(e.peer)]) {
-          visited[static_cast<size_t>(e.peer)] = 1;
-          parent_of[static_cast<size_t>(e.peer)] = v;
-          stack.push_back(e.peer);
-        }
-      }
-    }
-    // Reverse pre-order is a valid post-order for message passing.
-    for (auto it = local.rbegin(); it != local.rend(); ++it) {
-      order.push_back(*it);
-    }
-  }
-
-  for (int v : order) {
-    messages[static_cast<size_t>(v)] = problem.node_costs[static_cast<size_t>(v)];
-    auto& msg = messages[static_cast<size_t>(v)];
-    for (const IncidentEdge& e : adj[static_cast<size_t>(v)]) {
-      if (parent_of[static_cast<size_t>(e.peer)] != v) {
-        continue;  // Only aggregate children.
-      }
-      const auto& child_msg = messages[static_cast<size_t>(e.peer)];
-      for (size_t i = 0; i < msg.size(); ++i) {
-        double best = kInfCost;
-        for (size_t j = 0; j < child_msg.size(); ++j) {
-          // e is incident to v, so peer_choice is the child's.
-          best = std::min(best, e.At(static_cast<int>(i), static_cast<int>(j)) + child_msg[j]);
-        }
-        msg[i] += best;
-      }
-    }
-  }
-
-  // Backtrack from roots.
-  IlpSolution solution;
-  solution.choice.assign(static_cast<size_t>(n), 0);
-  solution.objective = 0.0;
-  // Roots appear last in `order` per tree; walk in reverse (pre-order).
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    int v = *it;
-    const auto& msg = messages[static_cast<size_t>(v)];
-    int p = parent_of[static_cast<size_t>(v)];
-    double best = kInfCost;
-    int best_i = 0;
-    if (p < 0) {
-      for (size_t i = 0; i < msg.size(); ++i) {
-        if (msg[i] < best) {
-          best = msg[i];
-          best_i = static_cast<int>(i);
-        }
-      }
-      solution.objective += best;
-    } else {
-      const int pc = solution.choice[static_cast<size_t>(p)];
-      for (const IncidentEdge& e : adj[static_cast<size_t>(v)]) {
-        if (e.peer != p) {
-          continue;
-        }
-        for (size_t i = 0; i < msg.size(); ++i) {
-          const double c = msg[i] + e.At(static_cast<int>(i), pc);
-          if (c < best) {
-            best = c;
-            best_i = static_cast<int>(i);
-          }
-        }
-        break;
-      }
-    }
-    solution.choice[static_cast<size_t>(v)] = best_i;
-  }
-  solution.objective = problem.Evaluate(solution.choice);
-  solution.optimal = std::isfinite(solution.objective);
-  solution.feasible = std::isfinite(solution.objective);
-  solution.method = "dp-forest";
-  return solution;
+void RecordPresolveMetrics(const IlpProblem& raw, const PresolvedProblem& pre) {
+  static Metric* nodes_in = Metrics::Get("ilp/presolve/nodes_in");
+  static Metric* nodes_out = Metrics::Get("ilp/presolve/nodes_out");
+  static Metric* choices_in = Metrics::Get("ilp/presolve/choices_in");
+  static Metric* choices_out = Metrics::Get("ilp/presolve/choices_out");
+  static Metric* edges_in = Metrics::Get("ilp/presolve/edges_in");
+  static Metric* edges_out = Metrics::Get("ilp/presolve/edges_out");
+  static Metric* merged = Metrics::Get("ilp/presolve/parallel_edges_merged");
+  static Metric* eliminated = Metrics::Get("ilp/presolve/choices_eliminated");
+  static Metric* folded = Metrics::Get("ilp/presolve/nodes_folded");
+  static Metric* edges_folded = Metrics::Get("ilp/presolve/edges_folded");
+  int64_t raw_choices = 0;
+  for (const auto& costs : raw.node_costs) raw_choices += static_cast<int64_t>(costs.size());
+  int64_t core_choices = 0;
+  for (const auto& costs : pre.core.node_costs) core_choices += static_cast<int64_t>(costs.size());
+  nodes_in->Add(raw.num_nodes());
+  nodes_out->Add(pre.core.num_nodes());
+  choices_in->Add(raw_choices);
+  choices_out->Add(core_choices);
+  edges_in->Add(static_cast<int64_t>(raw.edges.size()));
+  edges_out->Add(static_cast<int64_t>(pre.core.edges.size()));
+  merged->Add(pre.stats.parallel_edges_merged);
+  eliminated->Add(pre.stats.choices_eliminated);
+  folded->Add(pre.stats.nodes_folded);
+  edges_folded->Add(pre.stats.edges_folded);
 }
 
-// Iterated conditional modes from a given start: sweep until no
-// single-node move improves.
-std::vector<int> IcmPolish(const IlpProblem& problem,
-                           const std::vector<std::vector<IncidentEdge>>& adj,
-                           std::vector<int> choice) {
-  const int n = problem.num_nodes();
-  bool improved = true;
-  int sweeps = 0;
-  while (improved && sweeps < 50) {
-    improved = false;
-    ++sweeps;
-    for (int v = 0; v < n; ++v) {
-      const auto& costs = problem.node_costs[static_cast<size_t>(v)];
-      double best = kInfCost;
-      int best_i = choice[static_cast<size_t>(v)];
-      for (int i = 0; i < static_cast<int>(costs.size()); ++i) {
-        double c = costs[static_cast<size_t>(i)];
-        for (const IncidentEdge& e : adj[static_cast<size_t>(v)]) {
-          c += e.At(i, choice[static_cast<size_t>(e.peer)]);
-        }
-        if (c < best) {
-          best = c;
-          best_i = i;
-        }
-      }
-      if (best_i != choice[static_cast<size_t>(v)]) {
-        choice[static_cast<size_t>(v)] = best_i;
-        improved = true;
-      }
-    }
-  }
-  return choice;
-}
-
-// ICM from the per-node argmin start.
-std::vector<int> IcmIncumbent(const IlpProblem& problem,
-                              const std::vector<std::vector<IncidentEdge>>& adj) {
-  const int n = problem.num_nodes();
-  std::vector<int> choice(static_cast<size_t>(n), 0);
-  for (int v = 0; v < n; ++v) {
-    const auto& costs = problem.node_costs[static_cast<size_t>(v)];
-    choice[static_cast<size_t>(v)] = static_cast<int>(
-        std::min_element(costs.begin(), costs.end()) - costs.begin());
-  }
-  return IcmPolish(problem, adj, std::move(choice));
-}
-
-// Orders nodes for the search. Node ids follow the graph's topological
-// order, so plain id order keeps the assigned frontier connected on
-// near-chain DL graphs and behaves like a left-to-right Viterbi sweep.
-std::vector<int> SearchOrder(const IlpProblem& problem,
-                             const std::vector<std::vector<IncidentEdge>>& adj) {
-  std::vector<int> order(static_cast<size_t>(problem.num_nodes()));
-  std::iota(order.begin(), order.end(), 0);
-  return order;
-}
-
-struct SearchContext {
-  const IlpProblem* problem = nullptr;
-  std::vector<int> order;                  // position -> node.
-  std::vector<int> position;               // node -> position.
-  // For the node at each position: incident edges to earlier positions.
-  std::vector<std::vector<IncidentEdge>> back_edges;
-  // Lower bound of the cost contributed by positions >= t, independent of
-  // earlier assignments.
-  std::vector<double> suffix_bound;
-  std::vector<int> assignment;             // by node.
-  std::vector<int> best_choice;
-  double best_objective = kInfCost;
-  int64_t explored = 0;
-  int64_t budget = 0;
-  bool aborted = false;
-};
-
-void Dfs(SearchContext& ctx, int t, double cost_so_far) {
-  if (ctx.aborted) {
-    return;
-  }
-  if (++ctx.explored > ctx.budget) {
-    ctx.aborted = true;
-    return;
-  }
-  const int n = static_cast<int>(ctx.order.size());
-  if (t == n) {
-    if (cost_so_far < ctx.best_objective) {
-      ctx.best_objective = cost_so_far;
-      ctx.best_choice = ctx.assignment;
-    }
-    return;
-  }
-  if (cost_so_far + ctx.suffix_bound[static_cast<size_t>(t)] >= ctx.best_objective) {
-    return;
-  }
-  const int v = ctx.order[static_cast<size_t>(t)];
-  const auto& unary = ctx.problem->node_costs[static_cast<size_t>(v)];
-  const auto& back = ctx.back_edges[static_cast<size_t>(t)];
-
-  // Evaluate the exact incremental cost of each choice, then expand in
-  // ascending order.
-  std::vector<std::pair<double, int>> scored;
-  scored.reserve(unary.size());
-  for (int i = 0; i < static_cast<int>(unary.size()); ++i) {
-    double inc = unary[static_cast<size_t>(i)];
-    for (const IncidentEdge& e : back) {
-      inc += e.At(i, ctx.assignment[static_cast<size_t>(e.peer)]);
-    }
-    if (std::isfinite(inc)) {
-      scored.emplace_back(inc, i);
-    }
-  }
-  std::sort(scored.begin(), scored.end());
-  for (const auto& [inc, i] : scored) {
-    if (cost_so_far + inc + ctx.suffix_bound[static_cast<size_t>(t) + 1] >= ctx.best_objective) {
-      break;  // Later choices are only more expensive.
-    }
-    ctx.assignment[static_cast<size_t>(v)] = i;
-    Dfs(ctx, t + 1, cost_so_far + inc);
-    if (ctx.aborted) {
-      return;
-    }
-  }
-}
-
-// Beam search along the same order; returns the best full assignment found.
-IlpSolution BeamSearch(const IlpProblem& problem, const SearchContext& ctx, int width) {
-  struct State {
-    double cost;
-    std::vector<int> assignment;
-  };
-  std::vector<State> beam = {{0.0, std::vector<int>(static_cast<size_t>(problem.num_nodes()), -1)}};
-  for (size_t t = 0; t < ctx.order.size(); ++t) {
-    const int v = ctx.order[t];
-    const auto& unary = problem.node_costs[static_cast<size_t>(v)];
-    std::vector<State> next;
-    for (const State& s : beam) {
-      for (int i = 0; i < static_cast<int>(unary.size()); ++i) {
-        double inc = unary[static_cast<size_t>(i)];
-        for (const IncidentEdge& e : ctx.back_edges[t]) {
-          inc += e.At(i, s.assignment[static_cast<size_t>(e.peer)]);
-        }
-        if (!std::isfinite(inc)) {
-          continue;
-        }
-        State ns = s;
-        ns.cost += inc;
-        ns.assignment[static_cast<size_t>(v)] = i;
-        next.push_back(std::move(ns));
-      }
-    }
-    if (next.empty()) {
-      break;
-    }
-    std::sort(next.begin(), next.end(),
-              [](const State& a, const State& b) { return a.cost < b.cost; });
-    if (static_cast<int>(next.size()) > width) {
-      next.resize(static_cast<size_t>(width));
-    }
-    beam = std::move(next);
-  }
-  IlpSolution solution;
-  solution.method = "beam";
-  if (!beam.empty() && std::all_of(beam[0].assignment.begin(), beam[0].assignment.end(),
-                                   [](int c) { return c >= 0; })) {
-    solution.choice = beam[0].assignment;
-    solution.objective = problem.Evaluate(solution.choice);
-    solution.feasible = std::isfinite(solution.objective);
-  }
-  return solution;
+void RecordOutcomeMetrics(const IlpSolution& solution) {
+  static Metric* optimal = Metrics::Get("ilp/outcome/optimal");
+  static Metric* aborted = Metrics::Get("ilp/outcome/aborted");
+  static Metric* explored = Metrics::Get("ilp/outcome/explored");
+  (solution.optimal ? optimal : aborted)->Add(1);
+  explored->Add(solution.nodes_explored);
 }
 
 }  // namespace
 
+void ClearIlpCoreMemo() {
+  CoreMemo& memo = GlobalCoreMemo();
+  std::lock_guard<std::mutex> lock(memo.mu);
+  memo.entries.clear();
+}
+
 IlpSolution IlpSolver::Solve(const IlpProblem& raw) const {
+  if (options_.engine == IlpEngine::kLegacy) {
+    static Metric* legacy_micros = Metrics::Get("ilp/legacy/micros");
+    const auto legacy_t0 = std::chrono::steady_clock::now();
+    IlpSolution legacy = SolveIlpLegacy(raw, options_);
+    legacy_micros->Add(std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::steady_clock::now() - legacy_t0)
+                           .count());
+    RecordOutcomeMetrics(legacy);
+    return legacy;
+  }
   raw.Validate();
-  const IlpProblem problem = MergeParallelEdges(raw);
-  if (problem.num_nodes() == 0) {
+  if (raw.num_nodes() == 0) {
     IlpSolution empty;
     empty.objective = 0.0;
     empty.optimal = true;
@@ -403,103 +156,139 @@ IlpSolution IlpSolver::Solve(const IlpProblem& raw) const {
     empty.method = "empty";
     return empty;
   }
-  if (IsForest(problem)) {
-    return SolveForest(problem);
+
+  static Metric* presolve_micros = Metrics::Get("ilp/presolve/micros");
+  static Metric* bnb_micros = Metrics::Get("ilp/bnb/micros");
+  const auto pre_t0 = std::chrono::steady_clock::now();
+  const PresolvedProblem pre = Presolve(raw);
+  presolve_micros->Add(std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::steady_clock::now() - pre_t0)
+                           .count());
+  RecordPresolveMetrics(raw, pre);
+  if (pre.infeasible) {
+    IlpSolution infeasible;
+    infeasible.method = "branch-and-bound";
+    return infeasible;  // Some node has no feasible choice.
   }
 
-  auto adj = BuildAdjacency(problem);
-
-  SearchContext ctx;
-  ctx.problem = &problem;
-  ctx.order = SearchOrder(problem, adj);
-  ctx.position.assign(static_cast<size_t>(problem.num_nodes()), -1);
-  for (size_t t = 0; t < ctx.order.size(); ++t) {
-    ctx.position[static_cast<size_t>(ctx.order[t])] = static_cast<int>(t);
-  }
-  ctx.back_edges.resize(ctx.order.size());
-  for (size_t t = 0; t < ctx.order.size(); ++t) {
-    const int v = ctx.order[t];
-    for (const IncidentEdge& e : adj[static_cast<size_t>(v)]) {
-      if (ctx.position[static_cast<size_t>(e.peer)] < static_cast<int>(t)) {
-        ctx.back_edges[t].push_back(e);
-      }
-    }
-  }
-  // suffix_bound[t] = sum over positions >= t of a per-node lower bound:
-  // min over choices of unary + column minima of back edges.
-  ctx.suffix_bound.assign(ctx.order.size() + 1, 0.0);
-  for (int t = static_cast<int>(ctx.order.size()) - 1; t >= 0; --t) {
-    const int v = ctx.order[static_cast<size_t>(t)];
-    const auto& unary = problem.node_costs[static_cast<size_t>(v)];
-    double node_lb = kInfCost;
-    for (int i = 0; i < static_cast<int>(unary.size()); ++i) {
-      double c = unary[static_cast<size_t>(i)];
-      for (const IncidentEdge& e : ctx.back_edges[static_cast<size_t>(t)]) {
-        double edge_min = kInfCost;
-        for (size_t j = 0; j < problem.node_costs[static_cast<size_t>(e.peer)].size(); ++j) {
-          edge_min = std::min(edge_min, e.At(i, static_cast<int>(j)));
-        }
-        c += edge_min;
-      }
-      node_lb = std::min(node_lb, c);
-    }
-    if (!std::isfinite(node_lb)) {
-      IlpSolution infeasible;
-      infeasible.method = "branch-and-bound";
-      return infeasible;  // Some node has no feasible choice.
-    }
-    ctx.suffix_bound[static_cast<size_t>(t)] =
-        ctx.suffix_bound[static_cast<size_t>(t) + 1] + node_lb;
-  }
-
-  // Incumbent: the best of ICM, a beam pass, and any caller-provided seed
-  // assignments (each polished by ICM). A strong incumbent makes the
-  // depth-first bound prune the flat zero-communication plateaus that
-  // otherwise exhaust the node budget.
-  ctx.assignment = IcmIncumbent(problem, adj);
-  ctx.best_choice = ctx.assignment;
-  ctx.best_objective = problem.Evaluate(ctx.best_choice);
-  {
-    const IlpSolution beam = BeamSearch(problem, ctx, options_.beam_width);
-    if (beam.feasible && beam.objective < ctx.best_objective) {
-      ctx.best_objective = beam.objective;
-      ctx.best_choice = beam.choice;
-    }
-  }
-  for (const std::vector<int>& seed : options_.seeds) {
-    if (static_cast<int>(seed.size()) != problem.num_nodes()) {
-      continue;
-    }
-    std::vector<int> polished = IcmPolish(problem, adj, seed);
-    const double value = problem.Evaluate(polished);
-    if (value < ctx.best_objective) {
-      ctx.best_objective = value;
-      ctx.best_choice = std::move(polished);
-    }
-  }
-  ctx.assignment = ctx.best_choice;
-  ctx.budget = options_.max_search_nodes;
-
-  Dfs(ctx, 0, 0.0);
+  static Metric* dp_path = Metrics::Get("ilp/path/dp");
+  static Metric* elim_path = Metrics::Get("ilp/path/elim");
+  static Metric* bnb_path = Metrics::Get("ilp/path/bnb");
+  static Metric* memo_hits = Metrics::Get("ilp/core_memo/hits");
+  static Metric* memo_misses = Metrics::Get("ilp/core_memo/misses");
 
   IlpSolution solution;
-  solution.nodes_explored = ctx.explored;
-  if (ctx.aborted) {
-    // Budget exhausted: polish with beam search and keep the better result.
-    IlpSolution beam = BeamSearch(problem, ctx, options_.beam_width);
-    if (beam.feasible && beam.objective < ctx.best_objective) {
-      beam.nodes_explored = ctx.explored;
-      return beam;
-    }
-    solution.method = "branch-and-bound(budget)";
-    solution.optimal = false;
-  } else {
-    solution.method = "branch-and-bound";
-    solution.optimal = std::isfinite(ctx.best_objective);
+  if (pre.core.num_nodes() == 0) {
+    // The whole problem folded away: chains, trees, and dominance-decided
+    // graphs are solved exactly by presolve alone.
+    dp_path->Add(1);
+    solution.choice = pre.Reconstruct({});
+    solution.objective = raw.Evaluate(solution.choice);
+    solution.feasible = std::isfinite(solution.objective);
+    solution.optimal = solution.feasible;
+    solution.method = "dp-forest";
+    return solution;
   }
-  solution.choice = ctx.best_choice;
-  solution.objective = ctx.best_objective;
-  solution.feasible = std::isfinite(ctx.best_objective);
+
+  std::vector<std::vector<int>> core_seeds;
+  for (const std::vector<int>& seed : options_.seeds) {
+    if (static_cast<int>(seed.size()) != raw.num_nodes()) continue;
+    std::vector<int> projected;
+    if (ProjectSeed(pre, seed, &projected)) {
+      core_seeds.push_back(std::move(projected));
+    }
+  }
+
+  CoreEntry entry;
+  uint64_t exact_key = 0;
+  uint64_t full_key = 0;
+  bool have_entry = false;
+  if (options_.use_core_memo) {
+    // Two keys into one table. Elimination ignores seed incumbents and the
+    // search budget, so its (exact, deterministic) results are stored under
+    // a seedless key and hit across mesh variants whose cores agree but
+    // whose projected seeds differ. B&B results can depend on the seeds
+    // (incumbent pruning and ties on budget aborts), so they key on the
+    // budget and seeds too. The elimination cap participates in both keys:
+    // both engines are exact but tie-break differently.
+    Fnv1a64 exact_hasher;
+    exact_hasher.U64(0x45'4c'49'4dULL);  // Salt disjoint from the full key.
+    exact_hasher.U64(IlpProblemFingerprint(pre.core));
+    exact_hasher.I64(options_.max_elimination_table);
+    exact_key = exact_hasher.hash();
+    Fnv1a64 hasher;
+    hasher.U64(IlpProblemFingerprint(pre.core));
+    hasher.I64(options_.max_search_nodes);
+    hasher.I64(options_.max_elimination_table);
+    hasher.I32(static_cast<int32_t>(core_seeds.size()));
+    for (const std::vector<int>& s : core_seeds) {
+      for (int c : s) hasher.I32(c);
+    }
+    full_key = hasher.hash();
+    CoreMemo& memo = GlobalCoreMemo();
+    std::lock_guard<std::mutex> lock(memo.mu);
+    auto it = memo.entries.find(exact_key);
+    if (it == memo.entries.end()) {
+      it = memo.entries.find(full_key);
+    }
+    if (it != memo.entries.end()) {
+      entry = it->second;
+      have_entry = true;
+      memo_hits->Add(1);
+    } else {
+      memo_misses->Add(1);
+    }
+  }
+
+  if (!have_entry) {
+    std::optional<std::vector<int>> eliminated =
+        SolveByElimination(pre.core, options_.max_elimination_table);
+    if (eliminated.has_value()) {
+      entry.choice = std::move(*eliminated);
+      entry.by_elimination = true;
+    } else {
+      FlatSearchOptions fopt;
+      fopt.budget = std::max<int64_t>(1, options_.max_search_nodes);
+      fopt.pool = options_.pool;
+      fopt.incumbents = core_seeds;
+      const auto bnb_t0 = std::chrono::steady_clock::now();
+      FlatSearchResult res = SolveCore(pre.core, fopt);
+      bnb_micros->Add(std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - bnb_t0)
+                          .count());
+      entry.choice = std::move(res.choice);
+      entry.aborted = res.aborted;
+      entry.explored = res.explored;
+    }
+    if (options_.use_core_memo) {
+      CoreMemo& memo = GlobalCoreMemo();
+      std::lock_guard<std::mutex> lock(memo.mu);
+      if (memo.entries.size() < kCoreMemoCap) {
+        memo.entries.emplace(entry.by_elimination ? exact_key : full_key, entry);
+      }
+    }
+  }
+
+  (entry.by_elimination ? elim_path : bnb_path)->Add(1);
+  solution.choice = pre.Reconstruct(entry.choice);
+  solution.objective = raw.Evaluate(solution.choice);
+  solution.nodes_explored = entry.explored;
+  // Seed floor: a caller-provided plan can never lose to the search result,
+  // even on a budget abort.
+  for (const std::vector<int>& seed : options_.seeds) {
+    if (static_cast<int>(seed.size()) != raw.num_nodes()) continue;
+    const double value = raw.Evaluate(seed);
+    if (std::isfinite(value) && value < solution.objective) {
+      solution.objective = value;
+      solution.choice = seed;
+    }
+  }
+  solution.feasible = std::isfinite(solution.objective);
+  solution.method = entry.by_elimination
+                        ? "elimination"
+                        : (entry.aborted ? "branch-and-bound(budget)" : "branch-and-bound");
+  solution.optimal = !entry.aborted && solution.feasible;
+  RecordOutcomeMetrics(solution);
   return solution;
 }
 

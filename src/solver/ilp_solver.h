@@ -5,25 +5,36 @@
 //     sum_v s_v . (c_v + d_v)  +  sum_(v,u) s_v^T R_vu s_u,
 // i.e. a pairwise discrete energy over the computational graph. The paper
 // feeds this to the off-the-shelf CBC solver [14]; we implement an exact
-// solver directly on this structure:
-//   * a Viterbi dynamic program when the edge structure is a forest
-//     (covers linear graphs a la Tofu, and most merged DL graphs);
-//   * otherwise depth-first branch & bound with an admissible lower bound,
-//     seeded by an iterated-conditional-modes incumbent;
-//   * a guaranteed-feasible beam fallback when the node budget is hit
-//     (the solution is then marked non-optimal).
-// Exactness is property-tested against brute force in
-// tests/solver/ilp_solver_test.cc.
+// solver directly on this structure, as a staged pipeline:
+//   1. presolve (src/solver/ilp_presolve): parallel-edge merging,
+//      dominated-choice elimination, and degree-0/1 folding run to a
+//      fixpoint — chains and trees (most merged DL graphs) fold away
+//      entirely, which subsumes the old forest Viterbi DP;
+//   2. the residual core is first attempted by exact width-bounded
+//      variable elimination (src/solver/elimination) — real stage graphs
+//      leave cores of small induced width, solved in k^(width+1) time;
+//   3. cores whose elimination tables would blow past the cap go to a
+//      flat-memory branch & bound (src/solver/flat_bnb) with a
+//      frontier-conditioned incremental bound, regret variable ordering,
+//      and optional root-level parallel branching on a thread pool;
+//   4. the core assignment is reconstructed to the original space and
+//      re-evaluated on the original problem, and caller seeds are applied
+//      as a floor so a budget abort can never lose to a provided plan.
+// Results are deterministic and independent of the thread pool. The
+// pre-overhaul single-stage solver is kept behind IlpEngine::kLegacy for
+// randomized cross-checks (tests/solver_crosscheck_test.cc); both engines
+// are exact, so objectives agree wherever neither aborts.
 #ifndef SRC_SOLVER_ILP_SOLVER_H_
 #define SRC_SOLVER_ILP_SOLVER_H_
 
 #include <cstdint>
-#include <vector>
 #include <limits>
 #include <string>
 #include <vector>
 
 namespace alpa {
+
+class ThreadPool;
 
 inline constexpr double kInfCost = std::numeric_limits<double>::infinity();
 
@@ -55,7 +66,12 @@ struct IlpSolution {
   bool optimal = false;     // True if proven optimal.
   bool feasible = false;    // True if objective < inf.
   int64_t nodes_explored = 0;
-  std::string method;       // "dp-forest", "branch-and-bound", "beam".
+  std::string method;       // "dp-forest", "elimination", "branch-and-bound", "beam".
+};
+
+enum class IlpEngine {
+  kStaged,  // Presolve + component DP folding + flat branch & bound.
+  kLegacy,  // Pre-overhaul single-stage solver, kept for cross-checks.
 };
 
 struct IlpSolverOptions {
@@ -67,11 +83,28 @@ struct IlpSolverOptions {
   std::vector<std::vector<int>> seeds;
   // Branch & bound search-node budget before falling back to the incumbent.
   // Large flat-cost plateaus (many zero-communication ties) can exhaust
-  // this on big stage graphs; the beam fallback then polishes the ICM
-  // incumbent, which is within a fraction of a percent on our workloads.
+  // this on big stage graphs; the incumbent floor then applies and the
+  // solution is marked non-optimal.
   int64_t max_search_nodes = 300'000;
-  // Beam width for the fallback polish.
+  // Beam width for the legacy engine's fallback polish.
   int beam_width = 64;
+  // Which solver core to run. kStaged is the default; kLegacy exists for
+  // the randomized cross-check suite and A/B benchmarking.
+  IlpEngine engine = IlpEngine::kStaged;
+  // Optional pool for root-level parallel branching in the staged engine.
+  // Plans are bit-identical with or without it (per-branch budget slices
+  // and a deterministic reduce); null means serial.
+  ThreadPool* pool = nullptr;
+  // Staged engine: residual cores are solved by exact variable elimination
+  // when every elimination table fits under this many cells (the cap bounds
+  // both time and memory at ~k^(width+1)); larger-width cores fall back to
+  // branch & bound. 0 disables elimination entirely (tests use this to
+  // force the branch & bound path).
+  int64_t max_elimination_table = int64_t{1} << 16;
+  // Staged engine: memoize core solves process-wide on the presolved
+  // problem's fingerprint (plus budget and projected seeds). Cleared by
+  // IlpMemoCache::Clear() alongside the full-solve cache.
+  bool use_core_memo = true;
 };
 
 class IlpSolver {
@@ -83,6 +116,14 @@ class IlpSolver {
  private:
   IlpSolverOptions options_;
 };
+
+// The pre-overhaul solver (forest DP / suffix-bound B&B / beam fallback).
+// Exposed for the cross-check tests and bench/compile_speed A/B runs; use
+// IlpSolver with IlpEngine::kLegacy from production code paths.
+IlpSolution SolveIlpLegacy(const IlpProblem& problem, const IlpSolverOptions& options);
+
+// Drops every memoized core solution (see IlpSolverOptions::use_core_memo).
+void ClearIlpCoreMemo();
 
 }  // namespace alpa
 

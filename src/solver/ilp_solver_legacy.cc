@@ -1,0 +1,480 @@
+// The pre-overhaul single-stage ILP solver, kept verbatim behind
+// IlpEngine::kLegacy: the staged pipeline (presolve + flat B&B) is
+// cross-checked against it on randomized problems
+// (tests/solver_crosscheck_test.cc) and A/B-benchmarked by
+// bench/compile_speed. Not used by production code paths.
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "src/solver/ilp_solver.h"
+#include "src/support/logging.h"
+
+namespace alpa {
+namespace {
+
+// Edges viewed from one endpoint. `transposed` means this node indexes the
+// columns of the cost matrix.
+struct IncidentEdge {
+  int peer = 0;
+  const std::vector<std::vector<double>>* cost = nullptr;
+  bool transposed = false;
+
+  double At(int self_choice, int peer_choice) const {
+    return transposed ? (*cost)[static_cast<size_t>(peer_choice)][static_cast<size_t>(self_choice)]
+                      : (*cost)[static_cast<size_t>(self_choice)][static_cast<size_t>(peer_choice)];
+  }
+};
+
+// Merges parallel edges (same endpoint pair) by summing their matrices so
+// the solvers can assume a simple graph.
+IlpProblem MergeParallelEdges(const IlpProblem& problem) {
+  IlpProblem merged;
+  merged.node_costs = problem.node_costs;
+  for (const IlpProblem::Edge& e : problem.edges) {
+    int u = std::min(e.u, e.v);
+    int v = std::max(e.u, e.v);
+    const bool flipped = (u != e.u);
+    int found = -1;
+    for (size_t k = 0; k < merged.edges.size(); ++k) {
+      if (merged.edges[k].u == u && merged.edges[k].v == v) {
+        found = static_cast<int>(k);
+        break;
+      }
+    }
+    if (found < 0) {
+      IlpProblem::Edge canonical;
+      canonical.u = u;
+      canonical.v = v;
+      canonical.cost.assign(problem.node_costs[static_cast<size_t>(u)].size(),
+                            std::vector<double>(problem.node_costs[static_cast<size_t>(v)].size(), 0.0));
+      merged.edges.push_back(std::move(canonical));
+      found = static_cast<int>(merged.edges.size()) - 1;
+    }
+    auto& acc = merged.edges[static_cast<size_t>(found)].cost;
+    for (size_t i = 0; i < acc.size(); ++i) {
+      for (size_t j = 0; j < acc[i].size(); ++j) {
+        acc[i][j] += flipped ? e.cost[j][i] : e.cost[i][j];
+      }
+    }
+  }
+  return merged;
+}
+
+std::vector<std::vector<IncidentEdge>> BuildAdjacency(const IlpProblem& problem) {
+  std::vector<std::vector<IncidentEdge>> adj(problem.node_costs.size());
+  for (const IlpProblem::Edge& e : problem.edges) {
+    adj[static_cast<size_t>(e.u)].push_back(IncidentEdge{e.v, &e.cost, false});
+    adj[static_cast<size_t>(e.v)].push_back(IncidentEdge{e.u, &e.cost, true});
+  }
+  return adj;
+}
+
+bool IsForest(const IlpProblem& problem) {
+  const int n = problem.num_nodes();
+  std::vector<int> parent(static_cast<size_t>(n));
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&](int x) {
+    while (parent[static_cast<size_t>(x)] != x) {
+      parent[static_cast<size_t>(x)] = parent[static_cast<size_t>(parent[static_cast<size_t>(x)])];
+      x = parent[static_cast<size_t>(x)];
+    }
+    return x;
+  };
+  for (const IlpProblem::Edge& e : problem.edges) {
+    int a = find(e.u);
+    int b = find(e.v);
+    if (a == b) {
+      return false;
+    }
+    parent[static_cast<size_t>(a)] = b;
+  }
+  return true;
+}
+
+// Exact min-sum DP on a forest-structured problem.
+IlpSolution SolveForest(const IlpProblem& problem) {
+  const int n = problem.num_nodes();
+  auto adj = BuildAdjacency(problem);
+
+  // messages[v][i]: min cost of v's subtree when v picks i.
+  std::vector<std::vector<double>> messages(static_cast<size_t>(n));
+  std::vector<int> order;        // DFS post-order.
+  std::vector<int> parent_of(static_cast<size_t>(n), -1);
+  std::vector<char> visited(static_cast<size_t>(n), 0);
+
+  for (int root = 0; root < n; ++root) {
+    if (visited[static_cast<size_t>(root)]) {
+      continue;
+    }
+    // Iterative DFS.
+    std::vector<int> stack = {root};
+    visited[static_cast<size_t>(root)] = 1;
+    std::vector<int> local;
+    while (!stack.empty()) {
+      int v = stack.back();
+      stack.pop_back();
+      local.push_back(v);
+      for (const IncidentEdge& e : adj[static_cast<size_t>(v)]) {
+        if (!visited[static_cast<size_t>(e.peer)]) {
+          visited[static_cast<size_t>(e.peer)] = 1;
+          parent_of[static_cast<size_t>(e.peer)] = v;
+          stack.push_back(e.peer);
+        }
+      }
+    }
+    // Reverse pre-order is a valid post-order for message passing.
+    for (auto it = local.rbegin(); it != local.rend(); ++it) {
+      order.push_back(*it);
+    }
+  }
+
+  for (int v : order) {
+    messages[static_cast<size_t>(v)] = problem.node_costs[static_cast<size_t>(v)];
+    auto& msg = messages[static_cast<size_t>(v)];
+    for (const IncidentEdge& e : adj[static_cast<size_t>(v)]) {
+      if (parent_of[static_cast<size_t>(e.peer)] != v) {
+        continue;  // Only aggregate children.
+      }
+      const auto& child_msg = messages[static_cast<size_t>(e.peer)];
+      for (size_t i = 0; i < msg.size(); ++i) {
+        double best = kInfCost;
+        for (size_t j = 0; j < child_msg.size(); ++j) {
+          // e is incident to v, so peer_choice is the child's.
+          best = std::min(best, e.At(static_cast<int>(i), static_cast<int>(j)) + child_msg[j]);
+        }
+        msg[i] += best;
+      }
+    }
+  }
+
+  // Backtrack from roots.
+  IlpSolution solution;
+  solution.choice.assign(static_cast<size_t>(n), 0);
+  solution.objective = 0.0;
+  // Roots appear last in `order` per tree; walk in reverse (pre-order).
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    int v = *it;
+    const auto& msg = messages[static_cast<size_t>(v)];
+    int p = parent_of[static_cast<size_t>(v)];
+    double best = kInfCost;
+    int best_i = 0;
+    if (p < 0) {
+      for (size_t i = 0; i < msg.size(); ++i) {
+        if (msg[i] < best) {
+          best = msg[i];
+          best_i = static_cast<int>(i);
+        }
+      }
+      solution.objective += best;
+    } else {
+      const int pc = solution.choice[static_cast<size_t>(p)];
+      for (const IncidentEdge& e : adj[static_cast<size_t>(v)]) {
+        if (e.peer != p) {
+          continue;
+        }
+        for (size_t i = 0; i < msg.size(); ++i) {
+          const double c = msg[i] + e.At(static_cast<int>(i), pc);
+          if (c < best) {
+            best = c;
+            best_i = static_cast<int>(i);
+          }
+        }
+        break;
+      }
+    }
+    solution.choice[static_cast<size_t>(v)] = best_i;
+  }
+  solution.objective = problem.Evaluate(solution.choice);
+  solution.optimal = std::isfinite(solution.objective);
+  solution.feasible = std::isfinite(solution.objective);
+  solution.method = "dp-forest";
+  return solution;
+}
+
+// Iterated conditional modes from a given start: sweep until no
+// single-node move improves.
+std::vector<int> IcmPolish(const IlpProblem& problem,
+                           const std::vector<std::vector<IncidentEdge>>& adj,
+                           std::vector<int> choice) {
+  const int n = problem.num_nodes();
+  bool improved = true;
+  int sweeps = 0;
+  while (improved && sweeps < 50) {
+    improved = false;
+    ++sweeps;
+    for (int v = 0; v < n; ++v) {
+      const auto& costs = problem.node_costs[static_cast<size_t>(v)];
+      double best = kInfCost;
+      int best_i = choice[static_cast<size_t>(v)];
+      for (int i = 0; i < static_cast<int>(costs.size()); ++i) {
+        double c = costs[static_cast<size_t>(i)];
+        for (const IncidentEdge& e : adj[static_cast<size_t>(v)]) {
+          c += e.At(i, choice[static_cast<size_t>(e.peer)]);
+        }
+        if (c < best) {
+          best = c;
+          best_i = i;
+        }
+      }
+      if (best_i != choice[static_cast<size_t>(v)]) {
+        choice[static_cast<size_t>(v)] = best_i;
+        improved = true;
+      }
+    }
+  }
+  return choice;
+}
+
+// ICM from the per-node argmin start.
+std::vector<int> IcmIncumbent(const IlpProblem& problem,
+                              const std::vector<std::vector<IncidentEdge>>& adj) {
+  const int n = problem.num_nodes();
+  std::vector<int> choice(static_cast<size_t>(n), 0);
+  for (int v = 0; v < n; ++v) {
+    const auto& costs = problem.node_costs[static_cast<size_t>(v)];
+    choice[static_cast<size_t>(v)] = static_cast<int>(
+        std::min_element(costs.begin(), costs.end()) - costs.begin());
+  }
+  return IcmPolish(problem, adj, std::move(choice));
+}
+
+// Orders nodes for the search. Node ids follow the graph's topological
+// order, so plain id order keeps the assigned frontier connected on
+// near-chain DL graphs and behaves like a left-to-right Viterbi sweep.
+std::vector<int> SearchOrder(const IlpProblem& problem,
+                             const std::vector<std::vector<IncidentEdge>>& adj) {
+  std::vector<int> order(static_cast<size_t>(problem.num_nodes()));
+  std::iota(order.begin(), order.end(), 0);
+  return order;
+}
+
+struct SearchContext {
+  const IlpProblem* problem = nullptr;
+  std::vector<int> order;                  // position -> node.
+  std::vector<int> position;               // node -> position.
+  // For the node at each position: incident edges to earlier positions.
+  std::vector<std::vector<IncidentEdge>> back_edges;
+  // Lower bound of the cost contributed by positions >= t, independent of
+  // earlier assignments.
+  std::vector<double> suffix_bound;
+  std::vector<int> assignment;             // by node.
+  std::vector<int> best_choice;
+  double best_objective = kInfCost;
+  int64_t explored = 0;
+  int64_t budget = 0;
+  bool aborted = false;
+};
+
+void Dfs(SearchContext& ctx, int t, double cost_so_far) {
+  if (ctx.aborted) {
+    return;
+  }
+  if (++ctx.explored > ctx.budget) {
+    ctx.aborted = true;
+    return;
+  }
+  const int n = static_cast<int>(ctx.order.size());
+  if (t == n) {
+    if (cost_so_far < ctx.best_objective) {
+      ctx.best_objective = cost_so_far;
+      ctx.best_choice = ctx.assignment;
+    }
+    return;
+  }
+  if (cost_so_far + ctx.suffix_bound[static_cast<size_t>(t)] >= ctx.best_objective) {
+    return;
+  }
+  const int v = ctx.order[static_cast<size_t>(t)];
+  const auto& unary = ctx.problem->node_costs[static_cast<size_t>(v)];
+  const auto& back = ctx.back_edges[static_cast<size_t>(t)];
+
+  // Evaluate the exact incremental cost of each choice, then expand in
+  // ascending order.
+  std::vector<std::pair<double, int>> scored;
+  scored.reserve(unary.size());
+  for (int i = 0; i < static_cast<int>(unary.size()); ++i) {
+    double inc = unary[static_cast<size_t>(i)];
+    for (const IncidentEdge& e : back) {
+      inc += e.At(i, ctx.assignment[static_cast<size_t>(e.peer)]);
+    }
+    if (std::isfinite(inc)) {
+      scored.emplace_back(inc, i);
+    }
+  }
+  std::sort(scored.begin(), scored.end());
+  for (const auto& [inc, i] : scored) {
+    if (cost_so_far + inc + ctx.suffix_bound[static_cast<size_t>(t) + 1] >= ctx.best_objective) {
+      break;  // Later choices are only more expensive.
+    }
+    ctx.assignment[static_cast<size_t>(v)] = i;
+    Dfs(ctx, t + 1, cost_so_far + inc);
+    if (ctx.aborted) {
+      return;
+    }
+  }
+}
+
+// Beam search along the same order; returns the best full assignment found.
+IlpSolution BeamSearch(const IlpProblem& problem, const SearchContext& ctx, int width) {
+  struct State {
+    double cost;
+    std::vector<int> assignment;
+  };
+  std::vector<State> beam = {{0.0, std::vector<int>(static_cast<size_t>(problem.num_nodes()), -1)}};
+  for (size_t t = 0; t < ctx.order.size(); ++t) {
+    const int v = ctx.order[t];
+    const auto& unary = problem.node_costs[static_cast<size_t>(v)];
+    std::vector<State> next;
+    for (const State& s : beam) {
+      for (int i = 0; i < static_cast<int>(unary.size()); ++i) {
+        double inc = unary[static_cast<size_t>(i)];
+        for (const IncidentEdge& e : ctx.back_edges[t]) {
+          inc += e.At(i, s.assignment[static_cast<size_t>(e.peer)]);
+        }
+        if (!std::isfinite(inc)) {
+          continue;
+        }
+        State ns = s;
+        ns.cost += inc;
+        ns.assignment[static_cast<size_t>(v)] = i;
+        next.push_back(std::move(ns));
+      }
+    }
+    if (next.empty()) {
+      break;
+    }
+    std::sort(next.begin(), next.end(),
+              [](const State& a, const State& b) { return a.cost < b.cost; });
+    if (static_cast<int>(next.size()) > width) {
+      next.resize(static_cast<size_t>(width));
+    }
+    beam = std::move(next);
+  }
+  IlpSolution solution;
+  solution.method = "beam";
+  if (!beam.empty() && std::all_of(beam[0].assignment.begin(), beam[0].assignment.end(),
+                                   [](int c) { return c >= 0; })) {
+    solution.choice = beam[0].assignment;
+    solution.objective = problem.Evaluate(solution.choice);
+    solution.feasible = std::isfinite(solution.objective);
+  }
+  return solution;
+}
+
+}  // namespace
+
+IlpSolution SolveIlpLegacy(const IlpProblem& raw, const IlpSolverOptions& options) {
+  raw.Validate();
+  const IlpProblem problem = MergeParallelEdges(raw);
+  if (problem.num_nodes() == 0) {
+    IlpSolution empty;
+    empty.objective = 0.0;
+    empty.optimal = true;
+    empty.feasible = true;
+    empty.method = "empty";
+    return empty;
+  }
+  if (IsForest(problem)) {
+    return SolveForest(problem);
+  }
+
+  auto adj = BuildAdjacency(problem);
+
+  SearchContext ctx;
+  ctx.problem = &problem;
+  ctx.order = SearchOrder(problem, adj);
+  ctx.position.assign(static_cast<size_t>(problem.num_nodes()), -1);
+  for (size_t t = 0; t < ctx.order.size(); ++t) {
+    ctx.position[static_cast<size_t>(ctx.order[t])] = static_cast<int>(t);
+  }
+  ctx.back_edges.resize(ctx.order.size());
+  for (size_t t = 0; t < ctx.order.size(); ++t) {
+    const int v = ctx.order[t];
+    for (const IncidentEdge& e : adj[static_cast<size_t>(v)]) {
+      if (ctx.position[static_cast<size_t>(e.peer)] < static_cast<int>(t)) {
+        ctx.back_edges[t].push_back(e);
+      }
+    }
+  }
+  // suffix_bound[t] = sum over positions >= t of a per-node lower bound:
+  // min over choices of unary + column minima of back edges.
+  ctx.suffix_bound.assign(ctx.order.size() + 1, 0.0);
+  for (int t = static_cast<int>(ctx.order.size()) - 1; t >= 0; --t) {
+    const int v = ctx.order[static_cast<size_t>(t)];
+    const auto& unary = problem.node_costs[static_cast<size_t>(v)];
+    double node_lb = kInfCost;
+    for (int i = 0; i < static_cast<int>(unary.size()); ++i) {
+      double c = unary[static_cast<size_t>(i)];
+      for (const IncidentEdge& e : ctx.back_edges[static_cast<size_t>(t)]) {
+        double edge_min = kInfCost;
+        for (size_t j = 0; j < problem.node_costs[static_cast<size_t>(e.peer)].size(); ++j) {
+          edge_min = std::min(edge_min, e.At(i, static_cast<int>(j)));
+        }
+        c += edge_min;
+      }
+      node_lb = std::min(node_lb, c);
+    }
+    if (!std::isfinite(node_lb)) {
+      IlpSolution infeasible;
+      infeasible.method = "branch-and-bound";
+      return infeasible;  // Some node has no feasible choice.
+    }
+    ctx.suffix_bound[static_cast<size_t>(t)] =
+        ctx.suffix_bound[static_cast<size_t>(t) + 1] + node_lb;
+  }
+
+  // Incumbent: the best of ICM, a beam pass, and any caller-provided seed
+  // assignments (each polished by ICM). A strong incumbent makes the
+  // depth-first bound prune the flat zero-communication plateaus that
+  // otherwise exhaust the node budget.
+  ctx.assignment = IcmIncumbent(problem, adj);
+  ctx.best_choice = ctx.assignment;
+  ctx.best_objective = problem.Evaluate(ctx.best_choice);
+  {
+    const IlpSolution beam = BeamSearch(problem, ctx, options.beam_width);
+    if (beam.feasible && beam.objective < ctx.best_objective) {
+      ctx.best_objective = beam.objective;
+      ctx.best_choice = beam.choice;
+    }
+  }
+  for (const std::vector<int>& seed : options.seeds) {
+    if (static_cast<int>(seed.size()) != problem.num_nodes()) {
+      continue;
+    }
+    std::vector<int> polished = IcmPolish(problem, adj, seed);
+    const double value = problem.Evaluate(polished);
+    if (value < ctx.best_objective) {
+      ctx.best_objective = value;
+      ctx.best_choice = std::move(polished);
+    }
+  }
+  ctx.assignment = ctx.best_choice;
+  ctx.budget = options.max_search_nodes;
+
+  Dfs(ctx, 0, 0.0);
+
+  IlpSolution solution;
+  solution.nodes_explored = ctx.explored;
+  if (ctx.aborted) {
+    // Budget exhausted: polish with beam search and keep the better result.
+    IlpSolution beam = BeamSearch(problem, ctx, options.beam_width);
+    if (beam.feasible && beam.objective < ctx.best_objective) {
+      beam.nodes_explored = ctx.explored;
+      return beam;
+    }
+    solution.method = "branch-and-bound(budget)";
+    solution.optimal = false;
+  } else {
+    solution.method = "branch-and-bound";
+    solution.optimal = std::isfinite(ctx.best_objective);
+  }
+  solution.choice = ctx.best_choice;
+  solution.objective = ctx.best_objective;
+  solution.feasible = std::isfinite(ctx.best_objective);
+  return solution;
+}
+
+}  // namespace alpa

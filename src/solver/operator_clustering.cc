@@ -114,6 +114,36 @@ ClusteringResult ClusterOperators(const Graph& graph, const ClusteringOptions& o
 ClusteringResult ClusterStrict(const Graph& graph, const ClusteringOptions& options,
                                const std::vector<int>& fwd, int num_layers) {
   const int k_ops = static_cast<int>(fwd.size());
+  if (num_layers == k_ops) {
+    // One op per layer is the only partition; skip the O(k^2) boundary
+    // table and DP, computing just the diagonal C(i, i) for the bottleneck.
+    std::vector<int> position(static_cast<size_t>(graph.size()), -1);
+    for (int p = 0; p < k_ops; ++p) {
+      position[static_cast<size_t>(fwd[static_cast<size_t>(p)])] = p;
+    }
+    ClusteringResult result;
+    result.feasible = true;
+    result.num_layers = num_layers;
+    result.layer_of_forward_op.resize(static_cast<size_t>(k_ops));
+    std::vector<int> counted(static_cast<size_t>(graph.size()), -1);
+    for (int i = 0; i < k_ops; ++i) {
+      result.layer_of_forward_op[static_cast<size_t>(i)] = i;
+      double bytes = 0.0;
+      for (int operand : graph.op(fwd[static_cast<size_t>(i)]).operands) {
+        const Operator& producer = graph.op(operand);
+        if (producer.type == OpType::kParameter || producer.type == OpType::kInput) {
+          continue;
+        }
+        const int producer_pos = position[static_cast<size_t>(operand)];
+        if (producer_pos >= 0 && producer_pos < i && counted[static_cast<size_t>(operand)] != i) {
+          counted[static_cast<size_t>(operand)] = i;
+          bytes += static_cast<double>(producer.OutputBytes());
+        }
+      }
+      result.bottleneck_comm_bytes = std::max(result.bottleneck_comm_bytes, bytes);
+    }
+    return result;
+  }
   // --- Eq. 5 DP. ---
   std::vector<double> flops(static_cast<size_t>(k_ops));
   double total_flops = 0.0;

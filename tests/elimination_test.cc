@@ -1,0 +1,150 @@
+#include "src/solver/elimination.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/support/rng.h"
+
+namespace alpa {
+namespace {
+
+double BruteForce(const IlpProblem& problem) {
+  std::vector<int> choice(static_cast<size_t>(problem.num_nodes()), 0);
+  double best = kInfCost;
+  while (true) {
+    best = std::min(best, problem.Evaluate(choice));
+    int i = 0;
+    while (i < problem.num_nodes()) {
+      if (++choice[static_cast<size_t>(i)] < problem.num_choices(i)) {
+        break;
+      }
+      choice[static_cast<size_t>(i)] = 0;
+      ++i;
+    }
+    if (i == problem.num_nodes()) {
+      break;
+    }
+  }
+  return best;
+}
+
+IlpProblem RandomProblem(Rng& rng, int nodes, int max_choices, double edge_prob,
+                         bool allow_inf = false) {
+  IlpProblem problem;
+  problem.node_costs.resize(static_cast<size_t>(nodes));
+  for (int v = 0; v < nodes; ++v) {
+    const int k = 1 + static_cast<int>(rng.NextBounded(static_cast<uint64_t>(max_choices)));
+    for (int i = 0; i < k; ++i) {
+      problem.node_costs[static_cast<size_t>(v)].push_back(rng.NextDouble(0, 10));
+    }
+  }
+  for (int u = 0; u < nodes; ++u) {
+    for (int v = u + 1; v < nodes; ++v) {
+      if (rng.NextDouble() > edge_prob) {
+        continue;
+      }
+      IlpProblem::Edge edge;
+      edge.u = u;
+      edge.v = v;
+      edge.cost.resize(problem.node_costs[static_cast<size_t>(u)].size());
+      for (auto& row : edge.cost) {
+        for (size_t j = 0; j < problem.node_costs[static_cast<size_t>(v)].size(); ++j) {
+          double c = rng.NextDouble(0, 5);
+          if (allow_inf && rng.NextDouble() < 0.1) {
+            c = kInfCost;
+          }
+          row.push_back(c);
+        }
+      }
+      problem.edges.push_back(std::move(edge));
+    }
+  }
+  return problem;
+}
+
+TEST(Elimination, EmptyProblem) {
+  IlpProblem problem;
+  const auto choice = SolveByElimination(problem, 1 << 20);
+  ASSERT_TRUE(choice.has_value());
+  EXPECT_TRUE(choice->empty());
+}
+
+TEST(Elimination, SingleNode) {
+  IlpProblem problem;
+  problem.node_costs = {{3.0, 1.0, 2.0}};
+  const auto choice = SolveByElimination(problem, 1 << 20);
+  ASSERT_TRUE(choice.has_value());
+  EXPECT_EQ((*choice)[0], 1);
+}
+
+TEST(Elimination, ZeroCapDisables) {
+  IlpProblem problem;
+  problem.node_costs = {{3.0, 1.0}};
+  EXPECT_FALSE(SolveByElimination(problem, 0).has_value());
+}
+
+TEST(Elimination, CapBailsOutOnWideClique) {
+  // K6 with 4 choices per node: eliminating any node needs a table over the
+  // 5 remaining neighbors, 4^5 = 1024 cells. A cap below that must refuse.
+  Rng rng(13);
+  IlpProblem problem = RandomProblem(rng, 6, 1, 1.1);
+  for (auto& costs : problem.node_costs) {
+    costs = {0.0, 1.0, 2.0, 3.0};
+  }
+  for (auto& edge : problem.edges) {
+    edge.cost.assign(4, std::vector<double>(4, 0.0));
+    for (auto& row : edge.cost) {
+      for (double& c : row) {
+        c = rng.NextDouble(0, 5);
+      }
+    }
+  }
+  EXPECT_FALSE(SolveByElimination(problem, 1000).has_value());
+  const auto choice = SolveByElimination(problem, 1024);
+  ASSERT_TRUE(choice.has_value());
+  EXPECT_NEAR(problem.Evaluate(*choice), BruteForce(problem), 1e-9);
+}
+
+TEST(Elimination, MatchesBruteForceOnRandomGraphs) {
+  Rng rng(29);
+  for (int trial = 0; trial < 120; ++trial) {
+    const int nodes = 2 + static_cast<int>(rng.NextBounded(7));
+    const IlpProblem problem = RandomProblem(rng, nodes, 4, 0.6);
+    const auto choice = SolveByElimination(problem, 1 << 20);
+    ASSERT_TRUE(choice.has_value()) << trial;
+    EXPECT_NEAR(problem.Evaluate(*choice), BruteForce(problem), 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(Elimination, MatchesBruteForceWithInfeasibleEntries) {
+  Rng rng(31);
+  for (int trial = 0; trial < 80; ++trial) {
+    const int nodes = 2 + static_cast<int>(rng.NextBounded(6));
+    const IlpProblem problem = RandomProblem(rng, nodes, 3, 0.7, /*allow_inf=*/true);
+    const auto choice = SolveByElimination(problem, 1 << 20);
+    ASSERT_TRUE(choice.has_value()) << trial;
+    const double brute = BruteForce(problem);
+    const double value = problem.Evaluate(*choice);
+    if (std::isinf(brute)) {
+      EXPECT_TRUE(std::isinf(value)) << trial;
+    } else {
+      EXPECT_NEAR(value, brute, 1e-9) << "trial " << trial;
+    }
+  }
+}
+
+TEST(Elimination, Deterministic) {
+  Rng rng(37);
+  const IlpProblem problem = RandomProblem(rng, 9, 4, 0.5);
+  const auto a = SolveByElimination(problem, 1 << 20);
+  const auto b = SolveByElimination(problem, 1 << 20);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(*a, *b);
+}
+
+}  // namespace
+}  // namespace alpa

@@ -105,10 +105,11 @@ TEST(IlpSolver, ChainUsesForestDp) {
   EXPECT_EQ(solution.choice[1], solution.choice[2]);
 }
 
-TEST(IlpSolver, CycleUsesBranchAndBound) {
+TEST(IlpSolver, CycleFoldsAwayInPresolve) {
   IlpProblem problem;
   problem.node_costs = {{0.0, 1.0}, {0.0, 1.0}, {0.0, 1.0}};
-  // Triangle with anti-ferromagnetic couplings (frustrated).
+  // Triangle with anti-ferromagnetic couplings (frustrated). Series
+  // reduction collapses any cycle, so this solves without search.
   for (int u = 0; u < 3; ++u) {
     for (int v = u + 1; v < 3; ++v) {
       IlpProblem::Edge edge;
@@ -119,7 +120,44 @@ TEST(IlpSolver, CycleUsesBranchAndBound) {
     }
   }
   const IlpSolution solution = IlpSolver().Solve(problem);
+  EXPECT_EQ(solution.method, "dp-forest");
+  EXPECT_TRUE(solution.optimal);
+  EXPECT_DOUBLE_EQ(solution.objective, BruteForce(problem));
+}
+
+IlpProblem FrustratedClique(int n) {
+  IlpProblem problem;
+  problem.node_costs.assign(static_cast<size_t>(n), {0.0, 1.0});
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      IlpProblem::Edge edge;
+      edge.u = u;
+      edge.v = v;
+      edge.cost = {{5.0, 0.0}, {0.0, 5.0}};
+      problem.edges.push_back(edge);
+    }
+  }
+  return problem;
+}
+
+TEST(IlpSolver, CliqueUsesBranchAndBound) {
+  // K4 has treewidth 3: degree-2 series reduction cannot touch it, so with
+  // elimination disabled the residual core reaches branch & bound.
+  const IlpProblem problem = FrustratedClique(4);
+  IlpSolverOptions options;
+  options.max_elimination_table = 0;
+  const IlpSolution solution = IlpSolver(options).Solve(problem);
   EXPECT_EQ(solution.method, "branch-and-bound");
+  EXPECT_TRUE(solution.optimal);
+  EXPECT_DOUBLE_EQ(solution.objective, BruteForce(problem));
+}
+
+TEST(IlpSolver, CliqueUsesEliminationByDefault) {
+  // Same residual K4 core, default options: treewidth 3 is well under the
+  // elimination cap, so the core is solved by variable elimination.
+  const IlpProblem problem = FrustratedClique(4);
+  const IlpSolution solution = IlpSolver().Solve(problem);
+  EXPECT_EQ(solution.method, "elimination");
   EXPECT_TRUE(solution.optimal);
   EXPECT_DOUBLE_EQ(solution.objective, BruteForce(problem));
 }
@@ -207,8 +245,10 @@ TEST(IlpSolver, MatchesBruteForceWithInfeasibleEntries) {
 TEST(IlpSolver, BudgetFallbackStaysFeasible) {
   Rng rng(5);
   IlpSolverOptions options;
-  options.max_search_nodes = 20;  // Force the fallback path.
-  const IlpProblem problem = RandomProblem(rng, 12, 4, 0.4);
+  options.max_search_nodes = 20;   // Force the fallback path.
+  options.max_elimination_table = 0;  // Keep the core on branch & bound.
+  // Dense enough that a treewidth >= 3 core survives series reduction.
+  const IlpProblem problem = RandomProblem(rng, 12, 4, 0.9);
   const IlpSolution solution = IlpSolver(options).Solve(problem);
   ASSERT_TRUE(solution.feasible);
   EXPECT_FALSE(solution.optimal);

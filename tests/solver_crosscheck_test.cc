@@ -1,0 +1,213 @@
+// Randomized cross-check of the staged solver pipeline (presolve + DP
+// folding + variable elimination + flat branch & bound) against the
+// pre-overhaul solver kept behind IlpEngine::kLegacy. Both engines are
+// exact, so on every problem where neither aborts, objectives must agree
+// to rounding — and with continuous random costs the optimum is unique,
+// so the full choice vectors must be bit-identical too. The staged engine
+// must additionally be invariant to the thread pool and to its
+// process-wide core memo.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/solver/ilp_solver.h"
+#include "src/support/rng.h"
+#include "src/support/thread_pool.h"
+
+namespace alpa {
+namespace {
+
+IlpProblem RandomProblem(Rng& rng, int nodes, int max_choices, double edge_prob,
+                         double inf_prob) {
+  IlpProblem problem;
+  problem.node_costs.resize(static_cast<size_t>(nodes));
+  for (int v = 0; v < nodes; ++v) {
+    const int k = 1 + static_cast<int>(rng.NextBounded(static_cast<uint64_t>(max_choices)));
+    for (int i = 0; i < k; ++i) {
+      problem.node_costs[static_cast<size_t>(v)].push_back(rng.NextDouble(0, 10));
+    }
+  }
+  for (int u = 0; u < nodes; ++u) {
+    for (int v = u + 1; v < nodes; ++v) {
+      if (rng.NextDouble() > edge_prob) {
+        continue;
+      }
+      IlpProblem::Edge edge;
+      edge.u = u;
+      edge.v = v;
+      edge.cost.resize(problem.node_costs[static_cast<size_t>(u)].size());
+      for (auto& row : edge.cost) {
+        for (size_t j = 0; j < problem.node_costs[static_cast<size_t>(v)].size(); ++j) {
+          double c = rng.NextDouble(0, 5);
+          if (inf_prob > 0 && rng.NextDouble() < inf_prob) {
+            c = kInfCost;
+          }
+          row.push_back(c);
+        }
+      }
+      problem.edges.push_back(std::move(edge));
+    }
+  }
+  return problem;
+}
+
+IlpSolution SolveWith(const IlpProblem& problem, IlpEngine engine,
+                      ThreadPool* pool = nullptr, bool use_memo = false) {
+  IlpSolverOptions options;
+  options.engine = engine;
+  options.pool = pool;
+  options.use_core_memo = use_memo;
+  return IlpSolver(options).Solve(problem);
+}
+
+TEST(SolverCrossCheck, StagedMatchesLegacyOnRandomProblems) {
+  Rng rng(1234);
+  int solved = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const int nodes = 2 + static_cast<int>(rng.NextBounded(9));
+    const double edge_prob = rng.NextDouble(0.1, 0.8);
+    const double inf_prob = trial % 4 == 0 ? 0.1 : 0.0;
+    const IlpProblem problem =
+        RandomProblem(rng, nodes, 4, edge_prob, inf_prob);
+    const IlpSolution staged = SolveWith(problem, IlpEngine::kStaged);
+    const IlpSolution legacy = SolveWith(problem, IlpEngine::kLegacy);
+    ASSERT_TRUE(legacy.optimal || !legacy.feasible) << trial;
+    ASSERT_TRUE(staged.optimal || !staged.feasible) << trial;
+    EXPECT_EQ(staged.feasible, legacy.feasible) << trial;
+    if (staged.feasible && legacy.feasible) {
+      EXPECT_NEAR(staged.objective, legacy.objective, 1e-9) << "trial " << trial;
+      // The returned assignment must actually produce the objective.
+      EXPECT_NEAR(staged.objective, problem.Evaluate(staged.choice), 1e-9) << trial;
+      ++solved;
+    }
+  }
+  EXPECT_GT(solved, 100);  // The suite must mostly exercise the feasible path.
+}
+
+TEST(SolverCrossCheck, StagedMatchesLegacyOnDenserGraphs) {
+  Rng rng(99);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int nodes = 8 + static_cast<int>(rng.NextBounded(6));
+    const IlpProblem problem = RandomProblem(rng, nodes, 3, 0.35, 0.0);
+    const IlpSolution staged = SolveWith(problem, IlpEngine::kStaged);
+    const IlpSolution legacy = SolveWith(problem, IlpEngine::kLegacy);
+    if (staged.optimal && legacy.optimal) {
+      EXPECT_NEAR(staged.objective, legacy.objective, 1e-9) << "trial " << trial;
+    } else {
+      // Aborted searches still return valid assignments.
+      EXPECT_NEAR(staged.objective, problem.Evaluate(staged.choice), 1e-9) << trial;
+    }
+  }
+}
+
+TEST(SolverCrossCheck, OptimalPlansAreBitIdentical) {
+  // Continuous random costs make the optimum unique (ties have measure
+  // zero), so whenever both engines prove optimality the full choice
+  // vectors — the plans at this layer — must agree exactly, not just the
+  // objectives. This is the plan-identity leg of the acceptance check;
+  // budget-aborted incumbents are excluded because they are engine-specific.
+  Rng rng(4242);
+  int compared = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const int nodes = 2 + static_cast<int>(rng.NextBounded(10));
+    const double edge_prob = rng.NextDouble(0.1, 0.7);
+    const IlpProblem problem = RandomProblem(rng, nodes, 4, edge_prob, 0.0);
+    const IlpSolution staged = SolveWith(problem, IlpEngine::kStaged);
+    const IlpSolution legacy = SolveWith(problem, IlpEngine::kLegacy);
+    if (staged.optimal && legacy.optimal) {
+      EXPECT_EQ(staged.choice, legacy.choice) << "trial " << trial;
+      ++compared;
+    }
+  }
+  EXPECT_GT(compared, 150);  // Nearly every trial must reach optimality.
+}
+
+TEST(SolverCrossCheck, PoolDoesNotChangeTheSolution) {
+  Rng rng(555);
+  ThreadPool pool(4);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int nodes = 4 + static_cast<int>(rng.NextBounded(8));
+    const IlpProblem problem = RandomProblem(rng, nodes, 4, 0.5, trial % 3 == 0 ? 0.1 : 0.0);
+    const IlpSolution serial = SolveWith(problem, IlpEngine::kStaged, nullptr);
+    const IlpSolution parallel = SolveWith(problem, IlpEngine::kStaged, &pool);
+    ASSERT_EQ(serial.choice, parallel.choice) << "trial " << trial;
+    EXPECT_EQ(serial.objective, parallel.objective) << trial;  // Bitwise.
+    EXPECT_EQ(serial.optimal, parallel.optimal) << trial;
+    EXPECT_EQ(serial.nodes_explored, parallel.nodes_explored) << trial;
+  }
+}
+
+TEST(SolverCrossCheck, CoreMemoHitReturnsIdenticalSolution) {
+  Rng rng(777);
+  ClearIlpCoreMemo();
+  for (int trial = 0; trial < 20; ++trial) {
+    const int nodes = 5 + static_cast<int>(rng.NextBounded(6));
+    const IlpProblem problem = RandomProblem(rng, nodes, 4, 0.5, 0.0);
+    const IlpSolution without = SolveWith(problem, IlpEngine::kStaged, nullptr, false);
+    const IlpSolution miss = SolveWith(problem, IlpEngine::kStaged, nullptr, true);
+    const IlpSolution hit = SolveWith(problem, IlpEngine::kStaged, nullptr, true);
+    EXPECT_EQ(without.choice, miss.choice) << trial;
+    EXPECT_EQ(miss.choice, hit.choice) << trial;
+    EXPECT_EQ(miss.objective, hit.objective) << trial;
+    EXPECT_EQ(miss.nodes_explored, hit.nodes_explored) << trial;
+  }
+  ClearIlpCoreMemo();
+}
+
+TEST(SolverCrossCheck, SeedFloorHoldsUnderTinyBudget) {
+  Rng rng(31337);
+  for (int trial = 0; trial < 20; ++trial) {
+    const IlpProblem problem = RandomProblem(rng, 12, 4, 0.5, 0.0);
+    // An arbitrary (not even locally optimal) seed assignment.
+    std::vector<int> seed(12);
+    for (int v = 0; v < 12; ++v) {
+      seed[static_cast<size_t>(v)] =
+          static_cast<int>(rng.NextBounded(static_cast<uint64_t>(problem.num_choices(v))));
+    }
+    IlpSolverOptions options;
+    options.max_search_nodes = 3;       // Force an immediate abort...
+    options.max_elimination_table = 0;  // ...by pinning the core to B&B.
+    options.seeds = {seed};
+    const IlpSolution solution = IlpSolver(options).Solve(problem);
+    ASSERT_TRUE(solution.feasible) << trial;
+    EXPECT_LE(solution.objective, problem.Evaluate(seed) + 1e-12) << trial;
+    EXPECT_NEAR(solution.objective, problem.Evaluate(solution.choice), 1e-9) << trial;
+  }
+}
+
+TEST(SolverCrossCheck, StagedSolvesDisconnectedComponentsExactly) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Two independent triangles plus an isolated chain: component
+    // splitting must solve each piece and stitch the assignment together.
+    IlpProblem problem = RandomProblem(rng, 9, 3, 0.0, 0.0);
+    auto add_edge = [&](int u, int v) {
+      IlpProblem::Edge edge;
+      edge.u = u;
+      edge.v = v;
+      edge.cost.resize(problem.node_costs[static_cast<size_t>(u)].size());
+      for (auto& row : edge.cost) {
+        for (size_t j = 0; j < problem.node_costs[static_cast<size_t>(v)].size(); ++j) {
+          row.push_back(rng.NextDouble(0, 5));
+        }
+      }
+      problem.edges.push_back(std::move(edge));
+    };
+    add_edge(0, 1);
+    add_edge(1, 2);
+    add_edge(0, 2);
+    add_edge(3, 4);
+    add_edge(4, 5);
+    add_edge(3, 5);
+    add_edge(6, 7);
+    add_edge(7, 8);
+    const IlpSolution staged = SolveWith(problem, IlpEngine::kStaged);
+    const IlpSolution legacy = SolveWith(problem, IlpEngine::kLegacy);
+    ASSERT_TRUE(staged.optimal) << trial;
+    EXPECT_NEAR(staged.objective, legacy.objective, 1e-9) << trial;
+  }
+}
+
+}  // namespace
+}  // namespace alpa
