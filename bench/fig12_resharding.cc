@@ -5,19 +5,162 @@
 // "signal send/recv" (1-byte synthetic upper bound), naive send/recv
 // (Fig. 7b), and the generalized local all-gather (Fig. 7c). The paper
 // reports ~2x speedup from the local all-gather at 32 GPUs.
+//
+// The naive and local-all-gather cases are additionally EXECUTED through
+// the src/exec shared-memory transport, one thread per device: the bench
+// exits nonzero when any destination tile differs from the corresponding
+// slice of the source tensor, or when any measured wire byte count
+// diverges from the CrossMeshPlan byte accounting that EstimateTime
+// charges (per task and in total).
+//
+// Usage: fig12_resharding [--json out.json]
+#include <cmath>
 #include <cstdio>
+#include <thread>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "src/exec/host_tensor.h"
+#include "src/exec/reshard_exec.h"
+#include "src/exec/transport.h"
 #include "src/runtime/cross_mesh.h"
 
-int main() {
+namespace {
+
+using namespace alpa;
+using alpa::exec::Box;
+using alpa::exec::TileData;
+
+struct ExecMeasurement {
+  bool ok = false;
+  int64_t measured_bytes = 0;   // All transport traffic (p2p + local exchange).
+  int64_t measured_p2p = 0;     // Sum of the p2p task sizes.
+  int64_t num_p2p_tasks = 0;
+};
+
+// Runs the resharding as real data movement and checks both oracles:
+// numeric (every destination tile is the right slice of `full`) and byte
+// accounting (each executed p2p task moves exactly plan.sends[i].bytes).
+ExecMeasurement ExecuteReshard(const ClusterSpec& cluster, const DeviceMesh& src,
+                               const ShardingSpec& src_spec, const DeviceMesh& dst,
+                               const ShardingSpec& dst_spec, const TensorShape& shape,
+                               const CrossMeshPlan& plan, ReshardStrategy strategy) {
+  ExecMeasurement m;
+  const exec::ReshardProgram program =
+      exec::BuildReshardProgram(src, src_spec, dst, dst_spec, shape, 4, strategy);
+
+  // Task-by-task byte agreement with the planner (the 1:1 alignment is a
+  // documented property of BuildReshardProgram).
+  if (program.p2p.size() != plan.sends.size()) {
+    std::fprintf(stderr, "task count mismatch: executed %zu, planned %zu\n", program.p2p.size(),
+                 plan.sends.size());
+    return m;
+  }
+  m.num_p2p_tasks = static_cast<int64_t>(program.p2p.size());
+  for (size_t i = 0; i < program.p2p.size(); ++i) {
+    const exec::ReshardChunk& chunk = program.p2p[i];
+    const CrossMeshTask& task = plan.sends[i];
+    if (chunk.src_device != task.src_device || chunk.dst_device != task.dst_device ||
+        std::fabs(static_cast<double>(chunk.wire_bytes) - task.bytes) > 0.5) {
+      std::fprintf(stderr, "task %zu diverges: executed %d->%d %lld B, planned %d->%d %.1f B\n",
+                   i, chunk.src_device, chunk.dst_device,
+                   static_cast<long long>(chunk.wire_bytes), task.src_device, task.dst_device,
+                   task.bytes);
+      return m;
+    }
+  }
+
+  exec::HostTensor full(shape);
+  const uint64_t key = exec::HashName("fig12");
+  for (int64_t i = 0; i < full.elements(); ++i) {
+    full.data()[i] = exec::GenValue(key, i);
+  }
+
+  // Participant tiles: source devices read their shard, destination devices
+  // fill theirs (a device can be on both sides in general).
+  std::vector<TileData> src_tiles(static_cast<size_t>(cluster.num_devices()));
+  std::vector<TileData> dst_tiles(static_cast<size_t>(cluster.num_devices()));
+  std::vector<int> participants;
+  for (int r = 0; r < src.num_devices(); ++r) {
+    const int device = src.DeviceAt(r / src.dim(1), r % src.dim(1));
+    src_tiles[static_cast<size_t>(device)] = exec::ExtractTile(
+        full, src_spec.TileSlice(shape, src, r / src.dim(1), r % src.dim(1)));
+    participants.push_back(device);
+  }
+  for (int r = 0; r < dst.num_devices(); ++r) {
+    const int device = dst.DeviceAt(r / dst.dim(1), r % dst.dim(1));
+    TileData& tile = dst_tiles[static_cast<size_t>(device)];
+    tile.full_shape = shape;
+    tile.box = dst_spec.TileSlice(shape, dst, r / dst.dim(1), r % dst.dim(1));
+    tile.data.assign(static_cast<size_t>(exec::BoxElements(tile.box)), 0.0f);
+    if (!src_tiles[static_cast<size_t>(device)].valid()) {
+      participants.push_back(device);
+    }
+  }
+
+  exec::Transport transport(cluster.num_devices());
+  const uint64_t tag = exec::MakeTag(exec::kTagReshard, 1, 0, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(participants.size());
+  for (int device : participants) {
+    threads.emplace_back([&, device] {
+      const TileData& src_tile = src_tiles[static_cast<size_t>(device)];
+      TileData& dst_tile = dst_tiles[static_cast<size_t>(device)];
+      exec::ExecuteReshardForDevice(transport, program, device,
+                                    src_tile.valid() ? &src_tile : nullptr,
+                                    dst_tile.valid() ? &dst_tile : nullptr, tag);
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+
+  // Numeric oracle: every destination tile must be bit-identical to the
+  // matching slice of the source tensor.
+  for (int r = 0; r < dst.num_devices(); ++r) {
+    const int device = dst.DeviceAt(r / dst.dim(1), r % dst.dim(1));
+    const TileData& got = dst_tiles[static_cast<size_t>(device)];
+    const TileData want = exec::ExtractTile(full, got.box);
+    if (got.data != want.data) {
+      std::fprintf(stderr, "device %d received wrong data for box %s\n", device,
+                   exec::BoxToString(got.box).c_str());
+      return m;
+    }
+  }
+
+  // Byte oracle: the transport counters are the measurement; they must add
+  // up to exactly what the program (and therefore the plan) accounts.
+  m.measured_bytes = transport.TotalBytes();
+  m.measured_p2p = transport.ChannelBytes(exec::Channel::kCrossMesh);
+  const int64_t planned_p2p = static_cast<int64_t>(std::llround(plan.total_p2p_bytes));
+  if (m.measured_p2p != program.total_p2p_bytes || m.measured_p2p != planned_p2p ||
+      m.measured_bytes != program.total_p2p_bytes + program.total_local_bytes) {
+    std::fprintf(stderr,
+                 "byte accounting diverges: measured p2p %lld (plan %lld), total %lld "
+                 "(program %lld)\n",
+                 static_cast<long long>(m.measured_p2p), static_cast<long long>(planned_p2p),
+                 static_cast<long long>(m.measured_bytes),
+                 static_cast<long long>(program.total_p2p_bytes + program.total_local_bytes));
+    return m;
+  }
+  m.ok = true;
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace alpa;
   using namespace alpa::bench;
 
-  std::printf("=== Figure 12: cross-mesh resharding on Wide-ResNet boundaries ===\n");
-  std::printf("%6s | %14s %18s %18s | %8s\n", "#gpus", "signal (ms)", "w/o local AG (ms)",
-              "w/ local AG (ms)", "speedup");
+  const BenchFlags flags = ParseBenchFlags(argc, argv);
+  JsonReport report("fig12_resharding");
 
+  std::printf("=== Figure 12: cross-mesh resharding on Wide-ResNet boundaries ===\n");
+  std::printf("%6s | %14s %18s %18s | %8s | %s\n", "#gpus", "signal (ms)", "w/o local AG (ms)",
+              "w/ local AG (ms)", "speedup", "executed bytes (naive / local AG)");
+
+  bool all_ok = true;
   for (int gpus : {8, 16, 32}) {
     const ClusterSpec cluster = ClusterFor(gpus);
     // Sender: first half of the cluster; receiver: second half.
@@ -48,12 +191,58 @@ int main() {
 
     const double t_signal = CrossMeshReshardTime(src, src_spec, dst, dst_spec, shape, 4,
                                                  ReshardStrategy::kSignalOnly);
-    const double t_naive = CrossMeshReshardTime(src, src_spec, dst, dst_spec, shape, 4,
-                                                ReshardStrategy::kNaiveSendRecv);
-    const double t_allgather = CrossMeshReshardTime(src, src_spec, dst, dst_spec, shape, 4,
-                                                    ReshardStrategy::kLocalAllGather);
-    std::printf("%6d | %14.3f %18.3f %18.3f | %7.2fx\n", gpus, t_signal * 1e3, t_naive * 1e3,
-                t_allgather * 1e3, t_naive / t_allgather);
+    const CrossMeshPlan plan_naive = PlanCrossMeshResharding(src, src_spec, dst, dst_spec, shape,
+                                                             4, ReshardStrategy::kNaiveSendRecv);
+    const CrossMeshPlan plan_allgather = PlanCrossMeshResharding(
+        src, src_spec, dst, dst_spec, shape, 4, ReshardStrategy::kLocalAllGather);
+    const double t_naive = plan_naive.EstimateTime(cluster);
+    const double t_allgather = plan_allgather.EstimateTime(cluster);
+
+    const ExecMeasurement naive = ExecuteReshard(cluster, src, src_spec, dst, dst_spec, shape,
+                                                 plan_naive, ReshardStrategy::kNaiveSendRecv);
+    const ExecMeasurement allgather =
+        ExecuteReshard(cluster, src, src_spec, dst, dst_spec, shape, plan_allgather,
+                       ReshardStrategy::kLocalAllGather);
+    all_ok = all_ok && naive.ok && allgather.ok;
+
+    std::printf("%6d | %14.3f %18.3f %18.3f | %7.2fx | %lld / %lld%s\n", gpus, t_signal * 1e3,
+                t_naive * 1e3, t_allgather * 1e3, t_naive / t_allgather,
+                static_cast<long long>(naive.measured_bytes),
+                static_cast<long long>(allgather.measured_bytes),
+                naive.ok && allgather.ok ? "" : "  BYTE/DATA MISMATCH");
+
+    report.AddRow()
+        .Int("gpus", gpus)
+        .Str("strategy", "signal")
+        .Num("time_ms", t_signal * 1e3)
+        .Bool("executed", false);
+    report.AddRow()
+        .Int("gpus", gpus)
+        .Str("strategy", "naive")
+        .Num("time_ms", t_naive * 1e3)
+        .Bool("executed", true)
+        .Bool("ok", naive.ok)
+        .Int("measured_bytes", naive.measured_bytes)
+        .Int("measured_p2p_bytes", naive.measured_p2p)
+        .Int("p2p_tasks", naive.num_p2p_tasks);
+    report.AddRow()
+        .Int("gpus", gpus)
+        .Str("strategy", "local_allgather")
+        .Num("time_ms", t_allgather * 1e3)
+        .Num("speedup", t_naive / t_allgather)
+        .Bool("executed", true)
+        .Bool("ok", allgather.ok)
+        .Int("measured_bytes", allgather.measured_bytes)
+        .Int("measured_p2p_bytes", allgather.measured_p2p)
+        .Int("p2p_tasks", allgather.num_p2p_tasks);
   }
+  if (!report.Write(flags.json_path)) {
+    return 1;
+  }
+  if (!all_ok) {
+    std::fprintf(stderr, "FAILED: executed resharding diverged from the plan\n");
+    return 1;
+  }
+  std::printf("executed bytes match the CrossMeshPlan accounting for every case\n");
   return 0;
 }

@@ -129,19 +129,28 @@ StatusOr<ParallelPlan> Parallelize(Graph& graph, const ClusterSpec& cluster,
   }
 
   // Orchestration: assemble per-stage execution profiles and cross-mesh
-  // transfer costs for the simulator.
+  // transfer costs for the simulator and the executor.
   TraceSpan orchestration_span("orchestrate");
-  const auto& stages = plan.pipeline.stages;
-  plan.sim_input.num_microbatches = inter.num_microbatches;
-  plan.sim_input.schedule = opts.schedule;
-  plan.sim_input.device_memory_bytes = cluster.device.memory_bytes;
+  plan.sim_input = BuildPipelineSimInput(plan.pipeline, cluster, opts.schedule, opts.reshard);
+  MaybeWriteTrace(opts);
+  return plan;
+}
+
+PipelineSimInput BuildPipelineSimInput(const CompiledPipeline& pipeline,
+                                       const ClusterSpec& cluster,
+                                       PipelineScheduleType schedule, ReshardStrategy reshard) {
+  PipelineSimInput input;
+  const auto& stages = pipeline.stages;
+  input.num_microbatches = pipeline.num_microbatches;
+  input.schedule = schedule;
+  input.device_memory_bytes = cluster.device.memory_bytes;
   // The compiler assumes a healthy cluster; the fault scenario only affects
   // the simulated execution of the finished plan.
-  plan.sim_input.faults = cluster.faults;
-  plan.sim_input.devices_per_host = cluster.devices_per_host;
+  input.faults = cluster.faults;
+  input.devices_per_host = cluster.devices_per_host;
   for (size_t s = 0; s < stages.size(); ++s) {
     const CompiledStage& stage = stages[s];
-    plan.sim_input.stage_devices.push_back(stage.device_ids);
+    input.stage_devices.push_back(stage.device_ids);
     StageExecProfile profile;
     profile.t_forward = stage.t_forward;
     profile.t_backward = stage.t_backward;
@@ -156,14 +165,24 @@ StatusOr<ParallelPlan> Parallelize(Graph& graph, const ClusterSpec& cluster,
       double transfer = 0.0;
       for (const CrossStageTensor& tensor : stage.sends_to_next) {
         transfer += CrossMeshReshardTime(src, tensor.src_spec, dst, tensor.dst_spec,
-                                         tensor.shape, tensor.dtype_bytes, opts.reshard);
+                                         tensor.shape, tensor.dtype_bytes, reshard);
       }
       profile.t_send_next = transfer;
     }
-    plan.sim_input.stages.push_back(profile);
+    input.stages.push_back(profile);
   }
-  MaybeWriteTrace(opts);
-  return plan;
+  return input;
+}
+
+StatusOr<exec::ExecResult> ExecutePlan(const ParallelPlan& plan, const Graph& graph,
+                                       const ClusterSpec& cluster,
+                                       const exec::ExecOptions& options) {
+  if (!plan.pipeline.feasible) {
+    return Status::InvalidArgument(
+        "ExecutePlan() needs a plan from a successful Parallelize() call");
+  }
+  TraceSpan span("execute_plan", "exec");
+  return exec::ExecutePipeline(graph, plan.pipeline, cluster, plan.sim_input, options);
 }
 
 StatusOr<ExecutionStats> Simulate(const ParallelPlan& plan, const Graph& graph,

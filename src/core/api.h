@@ -16,6 +16,7 @@
 
 #include <string>
 
+#include "src/exec/executor.h"
 #include "src/graph/graph.h"
 #include "src/inter/inter_pass.h"
 #include "src/mesh/cluster_spec.h"
@@ -129,6 +130,16 @@ struct ParallelPlan {
   CompileStats compile_stats;
 };
 
+// Assembles the simulator/executor input from a compiled pipeline: stage
+// execution profiles, cross-mesh transfer costs under `reshard`, the
+// schedule, device placements, and the cluster's fault scenario. This is
+// the ONLY construction path — Parallelize() calls it, and ExecutePlan()
+// consumes its output — so stage_devices and fault specs cannot drift
+// between the simulated and the executed pipeline.
+PipelineSimInput BuildPipelineSimInput(const CompiledPipeline& pipeline,
+                                       const ClusterSpec& cluster,
+                                       PipelineScheduleType schedule, ReshardStrategy reshard);
+
 // Runs the full compiler stack. `graph` is re-tagged in place by operator
 // clustering. Errors: kInvalidArgument (bad options), kInfeasible (no plan).
 StatusOr<ParallelPlan> Parallelize(Graph& graph, const ClusterSpec& cluster,
@@ -146,6 +157,16 @@ StatusOr<ExecutionStats> Simulate(const ParallelPlan& plan, const Graph& graph,
 StatusOr<ExecutionStats> CompileAndSimulate(Graph& graph, const ClusterSpec& cluster,
                                             const ParallelizeOptions& options,
                                             ParallelPlan* plan_out = nullptr);
+
+// Really executes the plan: one worker thread per logical device runs the
+// static instruction lists over real float tensors (src/exec), consuming
+// the plan's own sim_input so schedule and placements match the simulator
+// by construction. Deterministic reduction mode reproduces the reference
+// interpreter bit for bit. Errors: kInvalidArgument (plan did not come from
+// a successful Parallelize, or kSignalOnly resharding).
+StatusOr<exec::ExecResult> ExecutePlan(const ParallelPlan& plan, const Graph& graph,
+                                       const ClusterSpec& cluster,
+                                       const exec::ExecOptions& options = {});
 
 // --- Plan repair after a permanent host failure -------------------------
 //

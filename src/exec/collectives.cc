@@ -1,0 +1,215 @@
+#include "src/exec/collectives.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "src/support/logging.h"
+
+namespace alpa {
+namespace exec {
+
+namespace {
+
+// Aux-field layout inside one collective instance: round * 64 + source
+// rank. Groups are logical meshes of at most 64 devices here; CHECKed.
+constexpr int kMaxGroup = 64;
+
+uint64_t StepTag(uint64_t tag_base, int round, int src_rank) {
+  return tag_base + static_cast<uint64_t>(round * kMaxGroup + src_rank);
+}
+
+int64_t WireBytes(size_t elements, int64_t dtype_bytes) {
+  return static_cast<int64_t>(elements) * dtype_bytes;
+}
+
+}  // namespace
+
+int64_t ChunkBound(int64_t n, int k, int i) { return n * i / k; }
+
+void RingAllReduce(Transport& transport, const std::vector<int>& group, int rank,
+                   std::vector<float>& data, uint64_t tag_base, int64_t dtype_bytes) {
+  const int k = static_cast<int>(group.size());
+  ALPA_CHECK_LE(k, kMaxGroup);
+  ALPA_CHECK_GE(rank, 0);
+  ALPA_CHECK_LT(rank, k);
+  if (k <= 1) {
+    return;
+  }
+  const int64_t n = static_cast<int64_t>(data.size());
+  const int next = (rank + 1) % k;
+  const int prev = (rank + k - 1) % k;
+  const auto chunk_of = [&](int c) {
+    const int cc = ((c % k) + k) % k;
+    return std::pair<int64_t, int64_t>{ChunkBound(n, k, cc), ChunkBound(n, k, cc + 1)};
+  };
+  // Phase 1: reduce-scatter. Step t sends chunk (rank - t), receives and
+  // accumulates chunk (rank - t - 1); the received partial comes first in
+  // the addition so every chunk sums contributions in ring order.
+  for (int t = 0; t < k - 1; ++t) {
+    const auto [send_lo, send_hi] = chunk_of(rank - t);
+    std::vector<float> payload(data.begin() + send_lo, data.begin() + send_hi);
+    transport.Send(group[static_cast<size_t>(rank)], group[static_cast<size_t>(next)],
+                   StepTag(tag_base, t, rank), std::move(payload),
+                   WireBytes(static_cast<size_t>(send_hi - send_lo), dtype_bytes));
+    const std::vector<float> received =
+        transport.Recv(group[static_cast<size_t>(rank)], StepTag(tag_base, t, prev));
+    const auto [recv_lo, recv_hi] = chunk_of(rank - t - 1);
+    ALPA_CHECK_EQ(static_cast<int64_t>(received.size()), recv_hi - recv_lo);
+    for (int64_t i = recv_lo; i < recv_hi; ++i) {
+      data[static_cast<size_t>(i)] =
+          received[static_cast<size_t>(i - recv_lo)] + data[static_cast<size_t>(i)];
+    }
+  }
+  // Phase 2: all-gather of the reduced chunks.
+  for (int t = 0; t < k - 1; ++t) {
+    const auto [send_lo, send_hi] = chunk_of(rank + 1 - t);
+    std::vector<float> payload(data.begin() + send_lo, data.begin() + send_hi);
+    transport.Send(group[static_cast<size_t>(rank)], group[static_cast<size_t>(next)],
+                   StepTag(tag_base, k + t, rank), std::move(payload),
+                   WireBytes(static_cast<size_t>(send_hi - send_lo), dtype_bytes));
+    const std::vector<float> received =
+        transport.Recv(group[static_cast<size_t>(rank)], StepTag(tag_base, k + t, prev));
+    const auto [recv_lo, recv_hi] = chunk_of(rank - t);
+    ALPA_CHECK_EQ(static_cast<int64_t>(received.size()), recv_hi - recv_lo);
+    std::copy(received.begin(), received.end(), data.begin() + recv_lo);
+  }
+}
+
+void RingAllReduceAccum(Transport& transport, const std::vector<int>& group, int rank,
+                        std::vector<double>& data, uint64_t tag_base, int64_t dtype_bytes) {
+  const int k = static_cast<int>(group.size());
+  ALPA_CHECK_LE(k, kMaxGroup);
+  ALPA_CHECK_GE(rank, 0);
+  ALPA_CHECK_LT(rank, k);
+  if (k <= 1) {
+    return;
+  }
+  const int64_t n = static_cast<int64_t>(data.size());
+  const int next = (rank + 1) % k;
+  const int prev = (rank + k - 1) % k;
+  const auto chunk_of = [&](int c) {
+    const int cc = ((c % k) + k) % k;
+    return std::pair<int64_t, int64_t>{ChunkBound(n, k, cc), ChunkBound(n, k, cc + 1)};
+  };
+  const auto pack = [&](int64_t lo, int64_t hi) {
+    std::vector<float> payload(static_cast<size_t>(hi - lo) * 2);
+    std::memcpy(payload.data(), data.data() + lo, static_cast<size_t>(hi - lo) * sizeof(double));
+    return payload;
+  };
+  const auto unpack = [](const std::vector<float>& payload, int64_t elements) {
+    ALPA_CHECK_EQ(payload.size(), static_cast<size_t>(elements) * 2);
+    std::vector<double> chunk(static_cast<size_t>(elements));
+    std::memcpy(chunk.data(), payload.data(), static_cast<size_t>(elements) * sizeof(double));
+    return chunk;
+  };
+  for (int t = 0; t < k - 1; ++t) {
+    const auto [send_lo, send_hi] = chunk_of(rank - t);
+    transport.Send(group[static_cast<size_t>(rank)], group[static_cast<size_t>(next)],
+                   StepTag(tag_base, t, rank), pack(send_lo, send_hi),
+                   WireBytes(static_cast<size_t>(send_hi - send_lo), dtype_bytes));
+    const auto [recv_lo, recv_hi] = chunk_of(rank - t - 1);
+    const std::vector<double> received =
+        unpack(transport.Recv(group[static_cast<size_t>(rank)], StepTag(tag_base, t, prev)),
+               recv_hi - recv_lo);
+    for (int64_t i = recv_lo; i < recv_hi; ++i) {
+      data[static_cast<size_t>(i)] =
+          received[static_cast<size_t>(i - recv_lo)] + data[static_cast<size_t>(i)];
+    }
+  }
+  for (int t = 0; t < k - 1; ++t) {
+    const auto [send_lo, send_hi] = chunk_of(rank + 1 - t);
+    transport.Send(group[static_cast<size_t>(rank)], group[static_cast<size_t>(next)],
+                   StepTag(tag_base, k + t, rank), pack(send_lo, send_hi),
+                   WireBytes(static_cast<size_t>(send_hi - send_lo), dtype_bytes));
+    const auto [recv_lo, recv_hi] = chunk_of(rank - t);
+    const std::vector<double> received =
+        unpack(transport.Recv(group[static_cast<size_t>(rank)], StepTag(tag_base, k + t, prev)),
+               recv_hi - recv_lo);
+    std::copy(received.begin(), received.end(), data.begin() + recv_lo);
+  }
+}
+
+std::vector<std::vector<float>> AllGatherChunks(Transport& transport,
+                                                const std::vector<int>& group, int rank,
+                                                const std::vector<float>& mine,
+                                                uint64_t tag_base, int64_t dtype_bytes) {
+  const int k = static_cast<int>(group.size());
+  ALPA_CHECK_LE(k, kMaxGroup);
+  std::vector<std::vector<float>> chunks(static_cast<size_t>(k));
+  for (int p = 0; p < k; ++p) {
+    if (p == rank) {
+      continue;
+    }
+    transport.Send(group[static_cast<size_t>(rank)], group[static_cast<size_t>(p)],
+                   StepTag(tag_base, 0, rank), mine, WireBytes(mine.size(), dtype_bytes));
+  }
+  for (int p = 0; p < k; ++p) {
+    chunks[static_cast<size_t>(p)] =
+        p == rank ? mine
+                  : transport.Recv(group[static_cast<size_t>(rank)], StepTag(tag_base, 0, p));
+  }
+  return chunks;
+}
+
+std::vector<float> ReduceScatter(Transport& transport, const std::vector<int>& group, int rank,
+                                 const std::vector<float>& data, uint64_t tag_base,
+                                 int64_t dtype_bytes) {
+  const int k = static_cast<int>(group.size());
+  ALPA_CHECK_LE(k, kMaxGroup);
+  const int64_t n = static_cast<int64_t>(data.size());
+  for (int p = 0; p < k; ++p) {
+    if (p == rank) {
+      continue;
+    }
+    const int64_t lo = ChunkBound(n, k, p);
+    const int64_t hi = ChunkBound(n, k, p + 1);
+    std::vector<float> payload(data.begin() + lo, data.begin() + hi);
+    transport.Send(group[static_cast<size_t>(rank)], group[static_cast<size_t>(p)],
+                   StepTag(tag_base, 0, rank), std::move(payload),
+                   WireBytes(static_cast<size_t>(hi - lo), dtype_bytes));
+  }
+  const int64_t lo = ChunkBound(n, k, rank);
+  const int64_t hi = ChunkBound(n, k, rank + 1);
+  std::vector<float> result(data.begin() + lo, data.begin() + hi);
+  for (int p = 0; p < k; ++p) {
+    if (p == rank) {
+      continue;
+    }
+    const std::vector<float> received =
+        transport.Recv(group[static_cast<size_t>(rank)], StepTag(tag_base, 0, p));
+    ALPA_CHECK_EQ(received.size(), result.size());
+    // Rank-order accumulation: own chunk first, then peers 0..k-1. Rank
+    // order is the same on every device, unlike arrival order.
+    for (size_t i = 0; i < result.size(); ++i) {
+      result[i] += received[i];
+    }
+  }
+  return result;
+}
+
+std::vector<std::vector<float>> AllToAll(Transport& transport, const std::vector<int>& group,
+                                         int rank, std::vector<std::vector<float>> to_peer,
+                                         uint64_t tag_base, int64_t dtype_bytes) {
+  const int k = static_cast<int>(group.size());
+  ALPA_CHECK_LE(k, kMaxGroup);
+  ALPA_CHECK_EQ(static_cast<int>(to_peer.size()), k);
+  std::vector<std::vector<float>> received(static_cast<size_t>(k));
+  for (int p = 0; p < k; ++p) {
+    if (p == rank) {
+      continue;
+    }
+    const int64_t bytes = WireBytes(to_peer[static_cast<size_t>(p)].size(), dtype_bytes);
+    transport.Send(group[static_cast<size_t>(rank)], group[static_cast<size_t>(p)],
+                   StepTag(tag_base, 0, rank), std::move(to_peer[static_cast<size_t>(p)]), bytes);
+  }
+  for (int p = 0; p < k; ++p) {
+    received[static_cast<size_t>(p)] =
+        p == rank ? std::move(to_peer[static_cast<size_t>(rank)])
+                  : transport.Recv(group[static_cast<size_t>(rank)], StepTag(tag_base, 0, p));
+  }
+  return received;
+}
+
+}  // namespace exec
+}  // namespace alpa

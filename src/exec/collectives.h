@@ -1,0 +1,66 @@
+// Collective operations over the shared-memory transport.
+//
+// All calls are SPMD: every device in `group` (global device ids) invokes
+// the same function with its own `rank` (index into the group) in the same
+// program order, so matching tag sequences line up without barriers. The
+// all-reduce is a true ring (reduce-scatter then all-gather over chunk
+// rotations, deterministic addition order given the group); gather /
+// reduce-scatter / all-to-all use direct pairwise exchange, whose per-device
+// byte counts equal the Table-1 ring formulas: all-gather and
+// reduce-scatter move (k-1)/k * N per device, all-to-all (k-1)/k * N,
+// all-reduce 2(k-1)/k * N.
+//
+// `tag_base` must be unique per collective instance (a MakeTag with zero
+// aux); ranks/rounds are encoded into the aux field internally, consuming
+// aux values below 1<<20. `dtype_bytes` sets the wire width charged per
+// element (payloads are always f32 in memory).
+#ifndef SRC_EXEC_COLLECTIVES_H_
+#define SRC_EXEC_COLLECTIVES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/exec/transport.h"
+
+namespace alpa {
+namespace exec {
+
+// Chunk boundary i of a length-`n` buffer split into `k` chunks: i * n / k.
+int64_t ChunkBound(int64_t n, int k, int i);
+
+// In-place ring all-reduce (sum) of `data` across the group.
+void RingAllReduce(Transport& transport, const std::vector<int>& group, int rank,
+                   std::vector<float>& data, uint64_t tag_base, int64_t dtype_bytes = 4);
+
+// Same ring, but over the executor's double-precision einsum partials:
+// chunks travel bit-cast into float payloads (two slots per element) and
+// the final f32 rounding happens at the caller, after the reduction. Wire
+// accounting is unchanged — the modeled collective moves the logical
+// tensor, so each element still charges `dtype_bytes` per hop.
+void RingAllReduceAccum(Transport& transport, const std::vector<int>& group, int rank,
+                        std::vector<double>& data, uint64_t tag_base, int64_t dtype_bytes = 4);
+
+// Every rank contributes `mine`; returns all ranks' contributions in rank
+// order (chunks may have different sizes).
+std::vector<std::vector<float>> AllGatherChunks(Transport& transport,
+                                                const std::vector<int>& group, int rank,
+                                                const std::vector<float>& mine,
+                                                uint64_t tag_base, int64_t dtype_bytes = 4);
+
+// Sums `data` (same length everywhere) across the group and returns this
+// rank's chunk [ChunkBound(n,k,rank), ChunkBound(n,k,rank+1)). Peers'
+// contributions are added in rank order.
+std::vector<float> ReduceScatter(Transport& transport, const std::vector<int>& group, int rank,
+                                 const std::vector<float>& data, uint64_t tag_base,
+                                 int64_t dtype_bytes = 4);
+
+// Sends to_peer[p] to rank p; returns what each rank sent here, in rank
+// order (own slot moved through untouched).
+std::vector<std::vector<float>> AllToAll(Transport& transport, const std::vector<int>& group,
+                                         int rank, std::vector<std::vector<float>> to_peer,
+                                         uint64_t tag_base, int64_t dtype_bytes = 4);
+
+}  // namespace exec
+}  // namespace alpa
+
+#endif  // SRC_EXEC_COLLECTIVES_H_

@@ -1,0 +1,88 @@
+// The multi-threaded SPMD pipeline executor (6).
+//
+// ExecutePipeline runs a compiled pipeline end to end on real float
+// tensors: one worker thread per logical device executes its mesh's static
+// instruction list (EmitPipelinePrograms order) over per-device shard
+// buffers, moving every tensor that crosses a thread boundary through the
+// shared-memory Transport — intra-mesh tile gathers and ring all-reduces as
+// collectives, stage-boundary activations/gradients as cross-mesh reshard
+// programs mirroring PlanCrossMeshResharding.
+//
+// Under ReductionMode::kDeterministic each device gathers full operands and
+// evaluates its output tile with the shared per-cell kernels, so the result
+// is bit-identical to the single-device reference interpreter — the numeric
+// oracle for the data-movement machinery. kRing additionally splits
+// eligible einsum contractions across the mesh and combines partials with a
+// real ring all-reduce, matching the reference to ~1e-5 relative.
+#ifndef SRC_EXEC_EXECUTOR_H_
+#define SRC_EXEC_EXECUTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/exec/host_tensor.h"
+#include "src/graph/graph.h"
+#include "src/inter/inter_pass.h"
+#include "src/mesh/cluster_spec.h"
+#include "src/runtime/cross_mesh.h"
+#include "src/runtime/instruction.h"
+#include "src/runtime/simulator.h"
+#include "src/support/status.h"
+
+namespace alpa {
+namespace exec {
+
+enum class ReductionMode {
+  // Gather full operands, compute own tile: bit-identical to the reference.
+  kDeterministic,
+  // Split eligible einsum contractions across the mesh and ring-all-reduce
+  // the partials: real collective traffic, ~1e-5 relative error.
+  kRing,
+};
+
+struct ExecOptions {
+  ReductionMode reduction = ReductionMode::kDeterministic;
+  uint64_t data_seed = 0;
+  // kSignalOnly cannot carry tensors and is rejected.
+  ReshardStrategy reshard = ReshardStrategy::kLocalAllGather;
+};
+
+struct ExecResult {
+  std::vector<float> microbatch_loss;
+  // Parameter name -> accumulated gradient / post-step value, assembled
+  // from the owning mesh's shards. Keys match ReferenceResult.
+  std::map<std::string, HostTensor> weight_grads;
+  std::map<std::string, HostTensor> updated_params;
+  // Wire bytes moved through the transport, by traffic class.
+  int64_t total_bytes = 0;
+  int64_t cross_mesh_bytes = 0;
+  int64_t collective_bytes = 0;
+  int64_t total_messages = 0;
+  int num_devices = 0;
+  double wall_seconds = 0.0;
+};
+
+// Runs `pipeline` (compiled from `graph` on `cluster`) with the schedule
+// and microbatch count in `sim_input` — the same PipelineSimInput the
+// simulator consumes, so the two engines cannot drift on schedule or stage
+// placement. Errors: kInvalidArgument (infeasible pipeline, stage/schedule
+// mismatch, kSignalOnly resharding, missing layer tags).
+StatusOr<ExecResult> ExecutePipeline(const Graph& graph, const CompiledPipeline& pipeline,
+                                     const ClusterSpec& cluster,
+                                     const PipelineSimInput& sim_input,
+                                     const ExecOptions& options);
+
+// Fills MeshInstruction::tensor_ids of send/recv instructions with the
+// full-graph producer ids crossing each stage boundary (activations on the
+// forward edges, gradients on the backward edges), as derived from the
+// stages' subgraph boundaries. ExecutePipeline performs the same derivation
+// internally; this exposes it for inspection and tests.
+void AnnotatePrograms(const Graph& graph, const CompiledPipeline& pipeline,
+                      std::vector<MeshProgram>* programs);
+
+}  // namespace exec
+}  // namespace alpa
+
+#endif  // SRC_EXEC_EXECUTOR_H_

@@ -1,0 +1,177 @@
+#include "src/exec/host_tensor.h"
+
+#include "src/support/logging.h"
+
+namespace alpa {
+namespace exec {
+
+Box FullBox(const TensorShape& shape) {
+  Box box(static_cast<size_t>(shape.rank()));
+  for (int d = 0; d < shape.rank(); ++d) {
+    box[static_cast<size_t>(d)] = {0, shape.dim(d)};
+  }
+  return box;
+}
+
+TensorShape BoxShape(const Box& box) {
+  std::vector<int64_t> dims(box.size());
+  for (size_t d = 0; d < box.size(); ++d) {
+    dims[d] = box[d].second - box[d].first;
+  }
+  return TensorShape(std::move(dims));
+}
+
+int64_t BoxElements(const Box& box) {
+  int64_t n = 1;
+  for (const auto& [lo, hi] : box) {
+    n *= hi - lo;
+  }
+  return n;
+}
+
+bool BoxContains(const Box& outer, const Box& inner) {
+  if (outer.size() != inner.size()) {
+    return false;
+  }
+  for (size_t d = 0; d < outer.size(); ++d) {
+    if (inner[d].first < outer[d].first || inner[d].second > outer[d].second) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string BoxToString(const Box& box) {
+  std::string s = "[";
+  for (size_t d = 0; d < box.size(); ++d) {
+    if (d > 0) {
+      s += ",";
+    }
+    s += std::to_string(box[d].first) + ":" + std::to_string(box[d].second);
+  }
+  return s + "]";
+}
+
+int64_t LinearIndexOf(const TensorShape& shape, const std::vector<int64_t>& index) {
+  ALPA_CHECK_EQ(static_cast<int>(index.size()), shape.rank());
+  int64_t linear = 0;
+  for (int d = 0; d < shape.rank(); ++d) {
+    linear = linear * shape.dim(d) + index[static_cast<size_t>(d)];
+  }
+  return linear;
+}
+
+int64_t HostTensor::LinearIndex(const std::vector<int64_t>& index) const {
+  return LinearIndexOf(shape_, index);
+}
+
+TileData FullTile(const TensorShape& shape) {
+  TileData tile;
+  tile.full_shape = shape;
+  tile.box = FullBox(shape);
+  tile.data.assign(static_cast<size_t>(shape.elements()), 0.0f);
+  return tile;
+}
+
+TileData ExtractTile(const HostTensor& full, const Box& box) {
+  ALPA_CHECK(BoxContains(FullBox(full.shape()), box));
+  TileData tile;
+  tile.full_shape = full.shape();
+  tile.box = box;
+  tile.data.reserve(static_cast<size_t>(BoxElements(box)));
+  ForEachIndex(box, [&](const std::vector<int64_t>& index) {
+    tile.data.push_back(full.data()[full.LinearIndex(index)]);
+  });
+  return tile;
+}
+
+void InsertTile(const TileData& tile, HostTensor* full) {
+  ALPA_CHECK(tile.full_shape == full->shape());
+  if (tile.box.empty()) {
+    full->data()[0] = tile.data[0];
+    return;
+  }
+  size_t k = 0;
+  ForEachIndex(tile.box, [&](const std::vector<int64_t>& index) {
+    full->data()[full->LinearIndex(index)] = tile.data[k++];
+  });
+}
+
+namespace {
+
+// SplitMix64 finalizer: the repo's standard bit mixer (src/support/rng.h).
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+uint64_t HashName(const std::string& name) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : name) {
+    h ^= static_cast<uint64_t>(static_cast<unsigned char>(c));
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+float GenValue(uint64_t key, int64_t index) {
+  const uint64_t h = Mix(key ^ Mix(static_cast<uint64_t>(index) + 1));
+  // 53 high bits -> [0, 1) -> [-0.25, 0.25).
+  const double unit = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return static_cast<float>((unit - 0.5) * 0.5);
+}
+
+float GenIntValue(uint64_t key, int64_t index, int64_t bound) {
+  ALPA_CHECK_GT(bound, 0);
+  const uint64_t h = Mix(key ^ Mix(static_cast<uint64_t>(index) + 1));
+  return static_cast<float>(static_cast<int64_t>(h % static_cast<uint64_t>(bound)));
+}
+
+uint64_t LeafKey(uint64_t seed, const std::string& name, OpType type, int microbatch) {
+  uint64_t key = Mix(seed) ^ HashName(name);
+  if (type == OpType::kInput) {
+    key = Mix(key ^ static_cast<uint64_t>(microbatch + 1));
+  }
+  return key;
+}
+
+namespace {
+
+// Integer leaves (token ids, class labels) stay small so downstream modulo
+// lookups hit every table row on tiny test vocabularies.
+constexpr int64_t kIntLeafBound = 4096;
+
+}  // namespace
+
+void GenerateLeafTile(const Operator& op, uint64_t seed, int microbatch, TileData* tile) {
+  ALPA_CHECK(op.type == OpType::kInput || op.type == OpType::kParameter);
+  const uint64_t key = LeafKey(seed, op.name, op.type, microbatch);
+  const bool integer = op.dtype == DType::kI32;
+  tile->data.assign(static_cast<size_t>(std::max<int64_t>(1, BoxElements(tile->box))), 0.0f);
+  size_t k = 0;
+  if (tile->box.empty()) {
+    tile->data[0] = integer ? GenIntValue(key, 0, kIntLeafBound) : GenValue(key, 0);
+    return;
+  }
+  ForEachIndex(tile->box, [&](const std::vector<int64_t>& index) {
+    const int64_t linear = LinearIndexOf(op.shape, index);
+    tile->data[k++] = integer ? GenIntValue(key, linear, kIntLeafBound) : GenValue(key, linear);
+  });
+}
+
+HostTensor GenerateLeaf(const Operator& op, uint64_t seed, int microbatch) {
+  TileData tile;
+  tile.full_shape = op.shape;
+  tile.box = FullBox(op.shape);
+  GenerateLeafTile(op, seed, microbatch, &tile);
+  HostTensor full(op.shape);
+  InsertTile(tile, &full);
+  return full;
+}
+
+}  // namespace exec
+}  // namespace alpa

@@ -1,0 +1,91 @@
+#include "src/exec/interpreter.h"
+
+#include <memory>
+#include <utility>
+
+#include "src/exec/kernels.h"
+#include "src/support/logging.h"
+
+namespace alpa {
+namespace exec {
+
+ReferenceResult RunReference(const Graph& graph, int num_microbatches, uint64_t seed) {
+  ALPA_CHECK_GE(num_microbatches, 1);
+  ReferenceResult result;
+
+  // Parameters are microbatch-invariant; generate once.
+  std::map<int, HostTensor> params;
+  for (int id : graph.ParameterIds()) {
+    params.emplace(id, GenerateLeaf(graph.op(id), seed, /*microbatch=*/0));
+  }
+
+  // Gradient accumulators: operand 1 of every kUpdate op.
+  std::map<int, HostTensor> grad_acc;
+  std::vector<int> update_ops;
+  for (const Operator& op : graph.ops()) {
+    if (op.type == OpType::kUpdate) {
+      update_ops.push_back(op.id);
+      const int target = op.operands[1];
+      grad_acc.emplace(target, HostTensor(graph.op(target).shape));
+    }
+  }
+
+  for (int mb = 0; mb < num_microbatches; ++mb) {
+    std::vector<std::unique_ptr<HostTensor>> values(static_cast<size_t>(graph.size()));
+    const auto value_of = [&](int id) -> const HostTensor* {
+      if (auto it = params.find(id); it != params.end()) {
+        return &it->second;
+      }
+      ALPA_CHECK(values[static_cast<size_t>(id)] != nullptr);
+      return values[static_cast<size_t>(id)].get();
+    };
+    for (const Operator& op : graph.ops()) {
+      if (op.type == OpType::kParameter || op.type == OpType::kUpdate) {
+        continue;
+      }
+      if (op.type == OpType::kInput) {
+        values[static_cast<size_t>(op.id)] =
+            std::make_unique<HostTensor>(GenerateLeaf(op, seed, mb));
+        continue;
+      }
+      std::vector<const HostTensor*> operands;
+      operands.reserve(op.operands.size());
+      for (int operand : op.operands) {
+        operands.push_back(value_of(operand));
+      }
+      TileData out = FullTile(op.shape);
+      EvalOpRegion(op, operands, &out);
+      auto full = std::make_unique<HostTensor>(op.shape);
+      InsertTile(out, full.get());
+      values[static_cast<size_t>(op.id)] = std::move(full);
+      if (op.type == OpType::kLoss) {
+        result.microbatch_loss.push_back(values[static_cast<size_t>(op.id)]->data()[0]);
+      }
+    }
+    // Accumulate in microbatch order: plain float adds, the same per-cell
+    // order the executor uses, so accumulation is bit-identical.
+    for (auto& [target, acc] : grad_acc) {
+      const HostTensor& contribution = *value_of(target);
+      for (int64_t i = 0; i < acc.elements(); ++i) {
+        acc.data()[i] += contribution.data()[i];
+      }
+    }
+  }
+
+  for (int id : update_ops) {
+    const Operator& update = graph.op(id);
+    const HostTensor& param = params.at(update.operands[0]);
+    const HostTensor& grad = grad_acc.at(update.operands[1]);
+    TileData out = FullTile(update.shape);
+    EvalOpRegion(update, {&param, &grad}, &out);
+    HostTensor updated(update.shape);
+    InsertTile(out, &updated);
+    const std::string& name = graph.op(update.operands[0]).name;
+    result.weight_grads.emplace(name, grad);
+    result.updated_params.emplace(name, std::move(updated));
+  }
+  return result;
+}
+
+}  // namespace exec
+}  // namespace alpa

@@ -1,0 +1,40 @@
+// Single-device reference interpreter: the numeric oracle.
+//
+// Evaluates a training graph (forward + backward + update ops, as built by
+// BuildTrainingGraph) on one device with full tensors, using the same
+// per-cell kernels as the sharded executor (src/exec/kernels.h). Microbatch
+// m's leaves are generated deterministically from (seed, op name, m); the
+// gradient-accumulation targets (operand 1 of each kUpdate) are summed over
+// microbatches in index order; updates apply once at the end. Under the
+// executor's deterministic reduction mode the two must agree bit for bit.
+#ifndef SRC_EXEC_INTERPRETER_H_
+#define SRC_EXEC_INTERPRETER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/exec/host_tensor.h"
+#include "src/graph/graph.h"
+
+namespace alpa {
+namespace exec {
+
+struct ReferenceResult {
+  // Loss value of each microbatch (a float computed by the shared kLoss
+  // kernel, stored exactly).
+  std::vector<float> microbatch_loss;
+  // Parameter name -> gradient accumulated over all microbatches (the
+  // kUpdate op's second operand).
+  std::map<std::string, HostTensor> weight_grads;
+  // Parameter name -> value after the optimizer step.
+  std::map<std::string, HostTensor> updated_params;
+};
+
+ReferenceResult RunReference(const Graph& graph, int num_microbatches, uint64_t seed);
+
+}  // namespace exec
+}  // namespace alpa
+
+#endif  // SRC_EXEC_INTERPRETER_H_

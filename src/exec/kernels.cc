@@ -1,0 +1,381 @@
+#include "src/exec/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "src/support/logging.h"
+
+namespace alpa {
+namespace exec {
+
+namespace {
+
+// Right-aligned broadcast/resize map: operand index for output index
+// `out_idx` along aligned dims (input dim d_in pairs with output dim
+// d_in + rank_delta). Index map in_i = out_i * in_dim / out_dim covers
+// identity (equal dims), broadcast/upsample (in < out) and strided
+// subsample (in > out) with one integer formula.
+int64_t MappedOperandIndex(const TensorShape& in_shape, const TensorShape& out_shape,
+                           const std::vector<int64_t>& out_index) {
+  const int rank_delta = out_shape.rank() - in_shape.rank();
+  ALPA_CHECK_GE(rank_delta, 0);
+  int64_t linear = 0;
+  for (int d = 0; d < in_shape.rank(); ++d) {
+    const int64_t out_dim = out_shape.dim(d + rank_delta);
+    const int64_t in_i = out_index[static_cast<size_t>(d + rank_delta)] * in_shape.dim(d) / out_dim;
+    linear = linear * in_shape.dim(d) + in_i;
+  }
+  return linear;
+}
+
+void EvalElementwise(const Operator& op, const std::vector<const HostTensor*>& operands,
+                     TileData* out) {
+  size_t k = 0;
+  ForEachIndex(out->box, [&](const std::vector<int64_t>& index) {
+    double s = 0.0;
+    for (const HostTensor* operand : operands) {
+      s += operand->data()[MappedOperandIndex(operand->shape(), op.shape, index)];
+    }
+    out->data[k++] = Squash(s);
+  });
+}
+
+void EvalReduce(const Operator& op, const HostTensor& in, TileData* out) {
+  const int rank_delta = in.shape().rank() - op.shape.rank();
+  ALPA_CHECK_GE(rank_delta, 0);
+  size_t k = 0;
+  ForEachIndex(out->box, [&](const std::vector<int64_t>& index) {
+    // Preimage box: unmatched leading input dims range fully; aligned dims
+    // cover [i*in/out, (i+1)*in/out).
+    Box pre(static_cast<size_t>(in.shape().rank()));
+    for (int d = 0; d < rank_delta; ++d) {
+      pre[static_cast<size_t>(d)] = {0, in.shape().dim(d)};
+    }
+    for (int d = rank_delta; d < in.shape().rank(); ++d) {
+      const int64_t out_dim = op.shape.dim(d - rank_delta);
+      const int64_t i = index[static_cast<size_t>(d - rank_delta)];
+      pre[static_cast<size_t>(d)] = {i * in.shape().dim(d) / out_dim,
+                                     (i + 1) * in.shape().dim(d) / out_dim};
+    }
+    double sum = 0.0;
+    int64_t count = 0;
+    ForEachIndex(pre, [&](const std::vector<int64_t>& in_index) {
+      sum += in.data()[LinearIndexOf(in.shape(), in_index)];
+      ++count;
+    });
+    out->data[k++] = static_cast<float>(count > 0 ? sum / static_cast<double>(count) : 0.0);
+  });
+}
+
+// Softmax and layer norm share the row decomposition: per-row statistics
+// are computed over the FULL last dim regardless of the output box, so a
+// device holding a last-dim shard still produces bit-identical cells.
+void EvalRowNormalize(const Operator& op, const HostTensor& in, TileData* out) {
+  ALPA_CHECK_GE(op.shape.rank(), 1);
+  ALPA_CHECK(in.shape() == op.shape);
+  const int64_t row = op.shape.dim(op.shape.rank() - 1);
+  Box lead(out->box.begin(), out->box.end() - 1);
+  const auto [col_lo, col_hi] = out->box.back();
+  size_t k = 0;
+  std::vector<int64_t> full_index(static_cast<size_t>(op.shape.rank()));
+  ForEachIndex(lead, [&](const std::vector<int64_t>& lead_index) {
+    std::copy(lead_index.begin(), lead_index.end(), full_index.begin());
+    full_index.back() = 0;
+    const int64_t base = LinearIndexOf(in.shape(), full_index);
+    const float* x = in.data() + base;
+    if (op.type == OpType::kSoftmax) {
+      double max = x[0];
+      for (int64_t c = 1; c < row; ++c) {
+        max = std::max<double>(max, x[c]);
+      }
+      double denom = 0.0;
+      for (int64_t c = 0; c < row; ++c) {
+        denom += std::exp(static_cast<double>(x[c]) - max);
+      }
+      for (int64_t c = col_lo; c < col_hi; ++c) {
+        out->data[k++] = static_cast<float>(std::exp(static_cast<double>(x[c]) - max) / denom);
+      }
+    } else {
+      double mean = 0.0;
+      for (int64_t c = 0; c < row; ++c) {
+        mean += x[c];
+      }
+      mean /= static_cast<double>(row);
+      double var = 0.0;
+      for (int64_t c = 0; c < row; ++c) {
+        const double d = static_cast<double>(x[c]) - mean;
+        var += d * d;
+      }
+      var /= static_cast<double>(row);
+      const double inv = 1.0 / std::sqrt(var + 1e-5);
+      for (int64_t c = col_lo; c < col_hi; ++c) {
+        out->data[k++] = static_cast<float>((static_cast<double>(x[c]) - mean) * inv);
+      }
+    }
+  });
+}
+
+void EvalEmbedding(const Operator& op, const HostTensor& ids, const HostTensor& table,
+                   TileData* out) {
+  ALPA_CHECK_EQ(table.shape().rank(), 2);
+  const int64_t vocab = table.shape().dim(0);
+  const int64_t model = table.shape().dim(1);
+  size_t k = 0;
+  ForEachIndex(out->box, [&](const std::vector<int64_t>& index) {
+    std::vector<int64_t> id_index(index.begin(), index.end() - 1);
+    const int64_t token = LinearIndexOf(ids.shape(), id_index);
+    const int64_t id = static_cast<int64_t>(ids.data()[token]) % vocab;
+    out->data[k++] = table.data()[id * model + index.back()];
+  });
+}
+
+void EvalEmbeddingGrad(const Operator& op, const HostTensor& ids, const HostTensor& grad_out,
+                       TileData* out) {
+  ALPA_CHECK_EQ(op.shape.rank(), 2);
+  const int64_t vocab = op.shape.dim(0);
+  const int64_t model = op.shape.dim(1);
+  const int64_t tokens = ids.shape().elements();
+  ALPA_CHECK_EQ(grad_out.shape().elements(), tokens * model);
+  size_t k = 0;
+  ForEachIndex(out->box, [&](const std::vector<int64_t>& index) {
+    const int64_t v = index[0];
+    const int64_t m = index[1];
+    double sum = 0.0;
+    for (int64_t t = 0; t < tokens; ++t) {
+      if (static_cast<int64_t>(ids.data()[t]) % vocab == v) {
+        sum += grad_out.data()[t * model + m];
+      }
+    }
+    out->data[k++] = static_cast<float>(sum);
+  });
+}
+
+// Token t lands in expert e = t % E, slot c = t / E; slots past the
+// capacity drop (and the inverse fills dropped tokens with zero).
+void EvalMoeDispatch(const Operator& op, const HostTensor& x, TileData* out) {
+  ALPA_CHECK_EQ(op.shape.rank(), 3);
+  const int64_t experts = op.shape.dim(0);
+  const int64_t model = op.shape.dim(2);
+  ALPA_CHECK_EQ(x.shape().elements() % model, 0);
+  const int64_t tokens = x.shape().elements() / model;
+  size_t k = 0;
+  ForEachIndex(out->box, [&](const std::vector<int64_t>& index) {
+    const int64_t token = index[1] * experts + index[0];
+    out->data[k++] = token < tokens ? x.data()[token * model + index[2]] : 0.0f;
+  });
+}
+
+void EvalMoeCombine(const Operator& op, const HostTensor& expert_out, TileData* out) {
+  ALPA_CHECK_EQ(expert_out.shape().rank(), 3);
+  const int64_t experts = expert_out.shape().dim(0);
+  const int64_t capacity = expert_out.shape().dim(1);
+  const int64_t model = expert_out.shape().dim(2);
+  ALPA_CHECK_EQ(op.shape.elements() % model, 0);
+  size_t k = 0;
+  ForEachIndex(out->box, [&](const std::vector<int64_t>& index) {
+    const int64_t linear = LinearIndexOf(op.shape, index);
+    const int64_t token = linear / model;
+    const int64_t m = linear % model;
+    const int64_t e = token % experts;
+    const int64_t c = token / experts;
+    out->data[k++] = c < capacity ? expert_out.data()[(e * capacity + c) * model + m] : 0.0f;
+  });
+}
+
+// Mean of squares over operand 0. The labels operand is shape-only in this
+// IR (integer class ids with no numeric loss formula attached), and the
+// backward builder never emits gradients for kInput operands, so the loss
+// reads only the logits.
+void EvalLoss(const HostTensor& logits, TileData* out) {
+  double sum = 0.0;
+  const int64_t n = logits.shape().elements();
+  for (int64_t i = 0; i < n; ++i) {
+    const double x = logits.data()[i];
+    sum += x * x;
+  }
+  out->data[0] = static_cast<float>(n > 0 ? sum / static_cast<double>(n) : 0.0);
+}
+
+void EvalUpdate(const Operator& op, const HostTensor& param, const HostTensor& grad,
+                TileData* out) {
+  ALPA_CHECK(param.shape() == op.shape);
+  ALPA_CHECK(grad.shape() == op.shape);
+  size_t k = 0;
+  ForEachIndex(out->box, [&](const std::vector<int64_t>& index) {
+    const int64_t i = LinearIndexOf(op.shape, index);
+    out->data[k++] = static_cast<float>(static_cast<double>(param.data()[i]) -
+                                        kLearningRate * static_cast<double>(grad.data()[i]));
+  });
+}
+
+}  // namespace
+
+float Squash(double s) { return static_cast<float>(s / (1.0 + std::fabs(s) * 0.25)); }
+
+void EvalEinsumPartials(const Operator& op, const std::vector<const HostTensor*>& operands,
+                        int64_t contraction_lo, int64_t contraction_hi, const Box& box,
+                        std::vector<double>* out) {
+  ALPA_CHECK(op.type == OpType::kEinsum);
+  const EinsumSpec& spec = op.einsum;
+  ALPA_CHECK_EQ(operands.size(), spec.operands.size());
+  const std::string contraction = spec.ContractionLabels();
+
+  // Slot per distinct label; output labels fill from the cell index, then
+  // contraction labels iterate row-major (last label fastest), so the
+  // double accumulation order is a pure function of the einsum spec.
+  int64_t label_value[256] = {0};
+  struct Term {
+    const float* data;
+    // (stride, label) per operand dim, innermost last.
+    std::vector<std::pair<int64_t, unsigned char>> dims;
+  };
+  std::vector<Term> terms(operands.size());
+  for (size_t i = 0; i < operands.size(); ++i) {
+    const std::string& labels = spec.operands[i];
+    ALPA_CHECK_EQ(operands[i]->shape().rank(), static_cast<int>(labels.size()));
+    terms[i].data = operands[i]->data();
+    int64_t stride = 1;
+    terms[i].dims.resize(labels.size());
+    for (int d = static_cast<int>(labels.size()) - 1; d >= 0; --d) {
+      terms[i].dims[static_cast<size_t>(d)] = {stride, static_cast<unsigned char>(labels[static_cast<size_t>(d)])};
+      stride *= operands[i]->shape().dim(d);
+    }
+  }
+  const auto term_index = [&](const Term& term) {
+    int64_t idx = 0;
+    for (const auto& [stride, label] : term.dims) {
+      idx += stride * label_value[label];
+    }
+    return idx;
+  };
+
+  // Contraction ranges: the first label carries the [lo, hi) restriction.
+  std::vector<std::pair<int64_t, int64_t>> ranges;
+  for (size_t c = 0; c < contraction.size(); ++c) {
+    const int64_t extent = spec.Extent(contraction[c]);
+    if (c == 0) {
+      ALPA_CHECK_GE(contraction_lo, 0);
+      ALPA_CHECK_LE(contraction_hi, extent);
+      ranges.push_back({contraction_lo, contraction_hi});
+    } else {
+      ranges.push_back({0, extent});
+    }
+  }
+  if (contraction.empty()) {
+    ALPA_CHECK_EQ(contraction_lo, 0);
+    ALPA_CHECK_EQ(contraction_hi, 1);
+  }
+
+  out->assign(static_cast<size_t>(std::max<int64_t>(1, BoxElements(box))), 0.0);
+  size_t k = 0;
+  ForEachIndex(box, [&](const std::vector<int64_t>& index) {
+    for (size_t d = 0; d < spec.output.size(); ++d) {
+      label_value[static_cast<unsigned char>(spec.output[d])] = index[d];
+    }
+    double sum = 0.0;
+    if (contraction.empty()) {
+      double prod = 1.0;
+      for (const Term& term : terms) {
+        prod *= term.data[term_index(term)];
+      }
+      sum = prod;
+    } else {
+      // Odometer over contraction labels.
+      bool live = true;
+      for (size_t c = 0; c < contraction.size(); ++c) {
+        if (ranges[c].second <= ranges[c].first) {
+          live = false;
+        }
+        label_value[static_cast<unsigned char>(contraction[c])] = ranges[c].first;
+      }
+      while (live) {
+        double prod = 1.0;
+        for (const Term& term : terms) {
+          prod *= term.data[term_index(term)];
+        }
+        sum += prod;
+        size_t c = contraction.size();
+        while (c > 0) {
+          --c;
+          const unsigned char label = static_cast<unsigned char>(contraction[c]);
+          if (++label_value[label] < ranges[c].second) {
+            break;
+          }
+          label_value[label] = ranges[c].first;
+          if (c == 0) {
+            live = false;
+          }
+        }
+      }
+    }
+    (*out)[k++] = sum;
+  });
+}
+
+void EvalEinsumRegion(const Operator& op, const std::vector<const HostTensor*>& operands,
+                      int64_t contraction_lo, int64_t contraction_hi, TileData* out) {
+  std::vector<double> sums;
+  EvalEinsumPartials(op, operands, contraction_lo, contraction_hi, out->box, &sums);
+  out->data.resize(sums.size());
+  for (size_t i = 0; i < sums.size(); ++i) {
+    out->data[i] = static_cast<float>(sums[i]);
+  }
+}
+
+void EvalOpRegion(const Operator& op, const std::vector<const HostTensor*>& operands,
+                  TileData* out) {
+  ALPA_CHECK(out->full_shape == op.shape);
+  out->data.assign(static_cast<size_t>(std::max<int64_t>(1, BoxElements(out->box))), 0.0f);
+  switch (op.type) {
+    case OpType::kEinsum: {
+      const std::string contraction = op.einsum.ContractionLabels();
+      const int64_t hi = contraction.empty() ? 1 : op.einsum.Extent(contraction[0]);
+      EvalEinsumRegion(op, operands, 0, hi, out);
+      break;
+    }
+    case OpType::kElementwise:
+      EvalElementwise(op, operands, out);
+      break;
+    case OpType::kReduce:
+      ALPA_CHECK_EQ(operands.size(), 1u);
+      EvalReduce(op, *operands[0], out);
+      break;
+    case OpType::kSoftmax:
+    case OpType::kLayerNorm:
+      ALPA_CHECK_EQ(operands.size(), 1u);
+      EvalRowNormalize(op, *operands[0], out);
+      break;
+    case OpType::kEmbedding:
+      ALPA_CHECK_EQ(operands.size(), 2u);
+      EvalEmbedding(op, *operands[0], *operands[1], out);
+      break;
+    case OpType::kEmbeddingGrad:
+      ALPA_CHECK_EQ(operands.size(), 2u);
+      EvalEmbeddingGrad(op, *operands[0], *operands[1], out);
+      break;
+    case OpType::kMoeDispatch:
+      ALPA_CHECK_EQ(operands.size(), 1u);
+      EvalMoeDispatch(op, *operands[0], out);
+      break;
+    case OpType::kMoeCombine:
+      ALPA_CHECK_EQ(operands.size(), 1u);
+      EvalMoeCombine(op, *operands[0], out);
+      break;
+    case OpType::kLoss:
+      ALPA_CHECK_GE(operands.size(), 1u);
+      EvalLoss(*operands[0], out);
+      break;
+    case OpType::kUpdate:
+      ALPA_CHECK_EQ(operands.size(), 2u);
+      EvalUpdate(op, *operands[0], *operands[1], out);
+      break;
+    case OpType::kInput:
+    case OpType::kParameter:
+      ALPA_LOG(FATAL) << "Leaf op " << op.name << " has no kernel; generate it instead";
+      break;
+  }
+}
+
+}  // namespace exec
+}  // namespace alpa

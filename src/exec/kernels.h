@@ -1,0 +1,65 @@
+// Concrete numeric semantics for every graph op, shared by the reference
+// interpreter and the sharded executor.
+//
+// The graph IR is a *cost* IR: backward ops carry shapes and FLOP counts,
+// not true derivative formulas (PointwiseGrad reads only grad_out, loss
+// labels are shape-only). The execution engine therefore assigns each
+// OpType a fixed, deterministic per-cell semantic and uses the SAME kernel
+// code on both sides of the oracle. What the oracle then validates is
+// exactly the machinery this PR introduces — sharding layouts, collectives,
+// cross-mesh resharding, instruction interleavings — because any data
+// routed to the wrong shard, device, or microbatch changes cell values.
+//
+// Every kernel is *region-restricted*: it fills an arbitrary index box of
+// the output, and each output cell's value depends only on operand contents
+// (never on the box), so a sharded evaluation is bit-identical to a full
+// one by construction. The only reduction whose grouping can differ is an
+// einsum contraction split across devices (ring all-reduce mode), exposed
+// explicitly through the [lo, hi) contraction range.
+#ifndef SRC_EXEC_KERNELS_H_
+#define SRC_EXEC_KERNELS_H_
+
+#include <vector>
+
+#include "src/exec/host_tensor.h"
+#include "src/graph/operator.h"
+
+namespace alpa {
+namespace exec {
+
+// Learning rate of the fixed SGD rule kUpdate applies.
+inline constexpr double kLearningRate = 0.05;
+
+// Fills out->data (resized here) with the values of `op`'s output over
+// out->box, reading full operand tensors. Handles every OpType except
+// kInput/kParameter (generated, see host_tensor.h). CHECK-fails on operand
+// arity/shape violations.
+void EvalOpRegion(const Operator& op, const std::vector<const HostTensor*>& operands,
+                  TileData* out);
+
+// kEinsum only: like EvalOpRegion, but restricts the FIRST contraction
+// label (ContractionLabels()[0] order) to the range [lo, hi) — the partial
+// a device computes before a ring all-reduce combines the chunks. The full
+// range reproduces EvalOpRegion bit for bit; einsums without contraction
+// labels require the degenerate range [0, 1).
+void EvalEinsumRegion(const Operator& op, const std::vector<const HostTensor*>& operands,
+                      int64_t contraction_lo, int64_t contraction_hi, TileData* out);
+
+// The double-precision accumulators behind EvalEinsumRegion, before the
+// per-cell rounding to f32. The ring path combines these across devices
+// (RingAllReduceAccum) and rounds once after the reduction, so splitting a
+// contraction costs one f32 rounding total — the same budget the reference
+// interpreter spends — instead of one per partial.
+void EvalEinsumPartials(const Operator& op, const std::vector<const HostTensor*>& operands,
+                        int64_t contraction_lo, int64_t contraction_hi, const Box& box,
+                        std::vector<double>* out);
+
+// The bounded squashing nonlinearity kElementwise applies to its operand
+// sum: s / (1 + |s|/4). Keeps every activation in (-4, 4) so arbitrarily
+// deep compositions stay in comfortable float range.
+float Squash(double s);
+
+}  // namespace exec
+}  // namespace alpa
+
+#endif  // SRC_EXEC_KERNELS_H_

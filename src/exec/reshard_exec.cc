@@ -1,0 +1,199 @@
+#include "src/exec/reshard_exec.h"
+
+#include <map>
+#include <utility>
+
+#include "src/exec/collectives.h"
+#include "src/support/logging.h"
+
+namespace alpa {
+namespace exec {
+
+namespace {
+
+using Tile = std::vector<std::pair<int64_t, int64_t>>;
+
+int64_t OverlapBox(const Tile& a, const Tile& b, Box* out) {
+  out->resize(a.size());
+  int64_t volume = 1;
+  for (size_t d = 0; d < a.size(); ++d) {
+    const int64_t lo = std::max(a[d].first, b[d].first);
+    const int64_t hi = std::min(a[d].second, b[d].second);
+    if (hi <= lo) {
+      return 0;
+    }
+    (*out)[d] = {lo, hi};
+    volume *= hi - lo;
+  }
+  return volume;
+}
+
+// Multi-index of element `k` of `box` in row-major order.
+void BoxCoords(const Box& box, int64_t k, std::vector<int64_t>* coords) {
+  coords->resize(box.size());
+  for (size_t d = box.size(); d > 0; --d) {
+    const int64_t extent = box[d - 1].second - box[d - 1].first;
+    (*coords)[d - 1] = box[d - 1].first + k % extent;
+    k /= extent;
+  }
+}
+
+// Row-major linear index of full-tensor coords within `tile`'s box.
+int64_t TileIndex(const TileData& tile, const std::vector<int64_t>& coords) {
+  int64_t linear = 0;
+  for (size_t d = 0; d < tile.box.size(); ++d) {
+    const auto& [lo, hi] = tile.box[d];
+    ALPA_CHECK_GE(coords[d], lo);
+    ALPA_CHECK_LT(coords[d], hi);
+    linear = linear * (hi - lo) + (coords[d] - lo);
+  }
+  return linear;
+}
+
+std::vector<float> ReadChunk(const TileData& tile, const ReshardChunk& chunk) {
+  std::vector<float> payload;
+  payload.reserve(static_cast<size_t>(chunk.elem_end - chunk.elem_begin));
+  std::vector<int64_t> coords;
+  for (int64_t k = chunk.elem_begin; k < chunk.elem_end; ++k) {
+    BoxCoords(chunk.box, k, &coords);
+    payload.push_back(tile.data[static_cast<size_t>(TileIndex(tile, coords))]);
+  }
+  return payload;
+}
+
+void WriteChunk(const std::vector<float>& payload, const ReshardChunk& chunk, TileData* tile) {
+  ALPA_CHECK_EQ(static_cast<int64_t>(payload.size()), chunk.elem_end - chunk.elem_begin);
+  std::vector<int64_t> coords;
+  for (int64_t k = chunk.elem_begin; k < chunk.elem_end; ++k) {
+    BoxCoords(chunk.box, k, &coords);
+    tile->data[static_cast<size_t>(TileIndex(*tile, coords))] =
+        payload[static_cast<size_t>(k - chunk.elem_begin)];
+  }
+}
+
+}  // namespace
+
+ReshardProgram BuildReshardProgram(const DeviceMesh& src_mesh, const ShardingSpec& src_spec,
+                                   const DeviceMesh& dst_mesh, const ShardingSpec& dst_spec,
+                                   const TensorShape& shape, int64_t dtype_bytes,
+                                   ReshardStrategy strategy) {
+  ALPA_CHECK(strategy != ReshardStrategy::kSignalOnly)
+      << "signal-only resharding moves no tensor data and cannot be executed";
+  ReshardProgram program;
+
+  // The loops below mirror PlanCrossMeshResharding step for step (same map
+  // ordering, same round-robin), so p2p[i] pairs with plan.sends[i].
+  std::map<Tile, std::vector<int>> src_tiles;
+  for (int i = 0; i < src_mesh.dim(0); ++i) {
+    for (int j = 0; j < src_mesh.dim(1); ++j) {
+      src_tiles[src_spec.TileSlice(shape, src_mesh, i, j)].push_back(src_mesh.DeviceAt(i, j));
+    }
+  }
+  std::map<Tile, std::vector<int>> dst_groups;
+  for (int i = 0; i < dst_mesh.dim(0); ++i) {
+    for (int j = 0; j < dst_mesh.dim(1); ++j) {
+      dst_groups[dst_spec.TileSlice(shape, dst_mesh, i, j)].push_back(dst_mesh.DeviceAt(i, j));
+    }
+  }
+
+  int dst_counter = 0;
+  for (const auto& [dst_tile, group] : dst_groups) {
+    const int group_size = static_cast<int>(group.size());
+    const bool use_allgather = strategy == ReshardStrategy::kLocalAllGather && group_size > 1;
+    for (const auto& [src_tile, replicas] : src_tiles) {
+      Box overlap;
+      const int64_t elems = OverlapBox(src_tile, dst_tile, &overlap);
+      if (elems <= 0) {
+        continue;
+      }
+      for (int member = 0; member < group_size; ++member) {
+        ReshardChunk chunk;
+        chunk.src_device = replicas[static_cast<size_t>((dst_counter + member) %
+                                                        static_cast<int>(replicas.size()))];
+        chunk.dst_device = group[static_cast<size_t>(member)];
+        chunk.box = overlap;
+        if (use_allgather) {
+          chunk.elem_begin = ChunkBound(elems, group_size, member);
+          chunk.elem_end = ChunkBound(elems, group_size, member + 1);
+        } else {
+          chunk.elem_begin = 0;
+          chunk.elem_end = elems;
+        }
+        chunk.wire_bytes = (chunk.elem_end - chunk.elem_begin) * dtype_bytes;
+        program.total_p2p_bytes += chunk.wire_bytes;
+        program.p2p.push_back(std::move(chunk));
+      }
+      if (use_allgather) {
+        // Each member forwards its slice to every other member over the
+        // destination mesh's local links.
+        for (int member = 0; member < group_size; ++member) {
+          for (int other = 0; other < group_size; ++other) {
+            if (other == member) {
+              continue;
+            }
+            ReshardChunk exchange;
+            exchange.src_device = group[static_cast<size_t>(member)];
+            exchange.dst_device = group[static_cast<size_t>(other)];
+            exchange.box = overlap;
+            exchange.elem_begin = ChunkBound(elems, group_size, member);
+            exchange.elem_end = ChunkBound(elems, group_size, member + 1);
+            exchange.wire_bytes = (exchange.elem_end - exchange.elem_begin) * dtype_bytes;
+            program.total_local_bytes += exchange.wire_bytes;
+            program.local.push_back(std::move(exchange));
+          }
+        }
+      }
+    }
+    ++dst_counter;
+  }
+  ALPA_CHECK_LT(static_cast<int64_t>(program.p2p.size()), int64_t{1} << 20);
+  ALPA_CHECK_LT(static_cast<int64_t>(program.local.size()), int64_t{1} << 20);
+  return program;
+}
+
+void ExecuteReshardForDevice(Transport& transport, const ReshardProgram& program, int device,
+                             const TileData* src_tile, TileData* dst_tile, uint64_t tag_base) {
+  // P2P sends first (buffered, non-blocking), then receives: program order
+  // alone guarantees progress.
+  for (size_t i = 0; i < program.p2p.size(); ++i) {
+    const ReshardChunk& chunk = program.p2p[i];
+    if (chunk.src_device != device) {
+      continue;
+    }
+    ALPA_CHECK(src_tile != nullptr);
+    transport.Send(chunk.src_device, chunk.dst_device, tag_base + static_cast<uint64_t>(i),
+                   ReadChunk(*src_tile, chunk), chunk.wire_bytes, Channel::kCrossMesh);
+  }
+  for (size_t i = 0; i < program.p2p.size(); ++i) {
+    const ReshardChunk& chunk = program.p2p[i];
+    if (chunk.dst_device != device) {
+      continue;
+    }
+    ALPA_CHECK(dst_tile != nullptr);
+    WriteChunk(transport.Recv(device, tag_base + static_cast<uint64_t>(i)), chunk, dst_tile);
+  }
+  // Local all-gather exchange: forwards slices received over the slow path.
+  constexpr uint64_t kLocalAux = uint64_t{1} << 20;
+  for (size_t i = 0; i < program.local.size(); ++i) {
+    const ReshardChunk& chunk = program.local[i];
+    if (chunk.src_device != device) {
+      continue;
+    }
+    ALPA_CHECK(dst_tile != nullptr);  // The slice lives in this device's dst tile.
+    transport.Send(chunk.src_device, chunk.dst_device,
+                   tag_base + kLocalAux + static_cast<uint64_t>(i), ReadChunk(*dst_tile, chunk),
+                   chunk.wire_bytes, Channel::kCollective);
+  }
+  for (size_t i = 0; i < program.local.size(); ++i) {
+    const ReshardChunk& chunk = program.local[i];
+    if (chunk.dst_device != device) {
+      continue;
+    }
+    ALPA_CHECK(dst_tile != nullptr);
+    WriteChunk(transport.Recv(device, tag_base + kLocalAux + static_cast<uint64_t>(i)), chunk,
+               dst_tile);
+  }
+}
+
+}  // namespace exec
+}  // namespace alpa

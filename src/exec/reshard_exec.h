@@ -1,0 +1,66 @@
+// Execution of CrossMeshPlan resharding as real data movement.
+//
+// BuildReshardProgram replays PlanCrossMeshResharding's loops exactly —
+// same std::map tile iteration order, same round-robin sender choice — so
+// program.p2p[i] corresponds 1:1 to plan.sends[i] and the fig12 bench can
+// compare each task's measured wire bytes against the planner's byte
+// accounting directly. Under kLocalAllGather each destination-group member
+// receives only its 1/|group| slice of every overlap box over the slow
+// path (elements in box row-major order, boundaries i*E/g) and the group
+// then exchanges slices over destination-mesh links (program.local).
+//
+// kSignalOnly plans move 1 synthetic byte and cannot carry tensors; the
+// executor rejects them.
+#ifndef SRC_EXEC_RESHARD_EXEC_H_
+#define SRC_EXEC_RESHARD_EXEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/exec/host_tensor.h"
+#include "src/exec/transport.h"
+#include "src/mesh/device_mesh.h"
+#include "src/runtime/cross_mesh.h"
+#include "src/spec/sharding_spec.h"
+
+namespace alpa {
+namespace exec {
+
+// One P2P message: elements [elem_begin, elem_end) of `box` (an index box
+// of the full tensor) in box row-major order.
+struct ReshardChunk {
+  int src_device = 0;  // Global device ids.
+  int dst_device = 0;
+  Box box;
+  int64_t elem_begin = 0;
+  int64_t elem_end = 0;
+  int64_t wire_bytes = 0;
+};
+
+struct ReshardProgram {
+  std::vector<ReshardChunk> p2p;  // Aligned 1:1 with CrossMeshPlan::sends.
+  // Local all-gather slice exchanges within destination replication groups.
+  std::vector<ReshardChunk> local;
+  int64_t total_p2p_bytes = 0;
+  int64_t total_local_bytes = 0;
+};
+
+ReshardProgram BuildReshardProgram(const DeviceMesh& src_mesh, const ShardingSpec& src_spec,
+                                   const DeviceMesh& dst_mesh, const ShardingSpec& dst_spec,
+                                   const TensorShape& shape, int64_t dtype_bytes,
+                                   ReshardStrategy strategy);
+
+// Runs `device`'s role: sends every p2p chunk it sources (reading
+// `src_tile`), receives the chunks addressed to it into `dst_tile` (box
+// preset per dst_spec, data sized), then performs its local-exchange sends
+// and receives. Either tile pointer may be null when the device is only on
+// one side. `tag_base`: a MakeTag unique to (tensor, microbatch, hop) with
+// zero aux; chunk indices consume aux values (p2p below 1<<20, local
+// above).
+void ExecuteReshardForDevice(Transport& transport, const ReshardProgram& program, int device,
+                             const TileData* src_tile, TileData* dst_tile, uint64_t tag_base);
+
+}  // namespace exec
+}  // namespace alpa
+
+#endif  // SRC_EXEC_RESHARD_EXEC_H_

@@ -1,0 +1,99 @@
+#include "src/exec/transport.h"
+
+#include <utility>
+
+#include "src/support/logging.h"
+
+namespace alpa {
+namespace exec {
+
+uint64_t MakeTag(int kind, int64_t id, int microbatch, int64_t aux) {
+  ALPA_CHECK_GE(kind, 0);
+  ALPA_CHECK_LT(kind, 1 << 3);
+  ALPA_CHECK_GE(id, 0);
+  ALPA_CHECK_LT(id, int64_t{1} << 21);
+  ALPA_CHECK_GE(microbatch, -1);  // -1: not microbatch-scoped (weight update).
+  ALPA_CHECK_LT(microbatch, (1 << 10) - 1);
+  ALPA_CHECK_GE(aux, 0);
+  ALPA_CHECK_LT(aux, int64_t{1} << 30);
+  const uint64_t mb = static_cast<uint64_t>(microbatch + 1);
+  return (static_cast<uint64_t>(kind) << 61) | (static_cast<uint64_t>(id) << 40) | (mb << 30) |
+         static_cast<uint64_t>(aux);
+}
+
+Transport::Transport(int num_devices)
+    : mailboxes_(static_cast<size_t>(num_devices)),
+      link_bytes_(static_cast<size_t>(num_devices) * static_cast<size_t>(num_devices)) {
+  ALPA_CHECK_GT(num_devices, 0);
+  for (auto& box : mailboxes_) {
+    box = std::make_unique<Mailbox>();
+  }
+  for (auto& counter : link_bytes_) {
+    counter.store(0, std::memory_order_relaxed);
+  }
+}
+
+void Transport::Send(int src, int dst, uint64_t tag, std::vector<float> payload,
+                     int64_t wire_bytes, Channel channel) {
+  ALPA_CHECK_GE(src, 0);
+  ALPA_CHECK_LT(src, num_devices());
+  ALPA_CHECK_GE(dst, 0);
+  ALPA_CHECK_LT(dst, num_devices());
+  if (wire_bytes < 0) {
+    wire_bytes = static_cast<int64_t>(payload.size()) * 4;
+  }
+  link_bytes_[static_cast<size_t>(src) * static_cast<size_t>(num_devices()) +
+              static_cast<size_t>(dst)]
+      .fetch_add(wire_bytes, std::memory_order_relaxed);
+  channel_bytes_[static_cast<size_t>(channel)].fetch_add(wire_bytes, std::memory_order_relaxed);
+  total_messages_.fetch_add(1, std::memory_order_relaxed);
+  Mailbox& box = *mailboxes_[static_cast<size_t>(dst)];
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.messages.emplace(tag, std::move(payload));
+  }
+  box.cv.notify_all();
+}
+
+std::vector<float> Transport::Recv(int dst, uint64_t tag) {
+  ALPA_CHECK_GE(dst, 0);
+  ALPA_CHECK_LT(dst, num_devices());
+  Mailbox& box = *mailboxes_[static_cast<size_t>(dst)];
+  std::unique_lock<std::mutex> lock(box.mu);
+  box.cv.wait(lock, [&] { return box.messages.count(tag) > 0; });
+  auto it = box.messages.find(tag);
+  std::vector<float> payload = std::move(it->second);
+  box.messages.erase(it);
+  return payload;
+}
+
+int64_t Transport::LinkBytes(int src, int dst) const {
+  return link_bytes_[static_cast<size_t>(src) * static_cast<size_t>(num_devices()) +
+                     static_cast<size_t>(dst)]
+      .load(std::memory_order_relaxed);
+}
+
+int64_t Transport::TotalBytes() const {
+  int64_t total = 0;
+  for (const auto& counter : link_bytes_) {
+    total += counter.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+int64_t Transport::ChannelBytes(Channel channel) const {
+  return channel_bytes_[static_cast<size_t>(channel)].load(std::memory_order_relaxed);
+}
+
+void Transport::ResetCounters() {
+  for (auto& counter : link_bytes_) {
+    counter.store(0, std::memory_order_relaxed);
+  }
+  for (auto& counter : channel_bytes_) {
+    counter.store(0, std::memory_order_relaxed);
+  }
+  total_messages_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace exec
+}  // namespace alpa

@@ -1,0 +1,79 @@
+// Shared-memory message transport between device worker threads.
+//
+// One mailbox per global device: tagged messages, buffered non-blocking
+// sends, blocking tagged receives. All tensor data crossing threads moves
+// through here by value — workers never share tensor buffers — so the
+// executor is race-free by construction (and the TSan build checks it).
+//
+// Every send carries `wire_bytes`, the bytes the message would occupy on a
+// real interconnect (shards of an fp16 tensor charge 2 bytes/element even
+// though the in-memory payload is float), counted on atomic per-link
+// counters. These counters are the "measured" side of the byte oracle: the
+// fig12 bench and the collective tests compare them against the Table-1
+// cost model's predictions.
+#ifndef SRC_EXEC_TRANSPORT_H_
+#define SRC_EXEC_TRANSPORT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace alpa {
+namespace exec {
+
+// Traffic classes for byte accounting (ExecResult reports them separately).
+enum class Channel {
+  kCollective,  // Intra-mesh collectives + local all-gather exchanges.
+  kCrossMesh,   // Cross-mesh boundary P2P (resharding).
+};
+
+// Structured 64-bit message tags: [kind:3][id:21][mb:10][aux:30]. Field
+// widths are generous upper bounds (2M ops, 1k microbatches, 1G aux) and
+// CHECKed at pack time; `aux` disambiguates chunks/rounds/source ranks
+// within one logical transfer.
+constexpr int kTagReshard = 1;     // Cross-mesh P2P chunks.
+constexpr int kTagLocalGather = 2; // Local all-gather after a sliced reshard.
+constexpr int kTagAllGather = 3;   // Intra-mesh tile all-gather.
+constexpr int kTagRing = 4;        // Ring all-reduce steps.
+uint64_t MakeTag(int kind, int64_t id, int microbatch, int64_t aux);
+
+class Transport {
+ public:
+  explicit Transport(int num_devices);
+
+  int num_devices() const { return static_cast<int>(mailboxes_.size()); }
+
+  // Buffered, non-blocking. `wire_bytes` < 0 charges the payload size in
+  // f32 (payload.size() * 4).
+  void Send(int src, int dst, uint64_t tag, std::vector<float> payload,
+            int64_t wire_bytes = -1, Channel channel = Channel::kCollective);
+  // Blocks until a message with `tag` arrives at `dst`.
+  std::vector<float> Recv(int dst, uint64_t tag);
+
+  int64_t LinkBytes(int src, int dst) const;
+  int64_t TotalBytes() const;
+  int64_t ChannelBytes(Channel channel) const;
+  int64_t TotalMessages() const { return total_messages_.load(std::memory_order_relaxed); }
+  void ResetCounters();
+
+ private:
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::unordered_multimap<uint64_t, std::vector<float>> messages;
+  };
+
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<std::atomic<int64_t>> link_bytes_;  // n*n, row-major [src][dst].
+  std::atomic<int64_t> channel_bytes_[2] = {};
+  std::atomic<int64_t> total_messages_{0};
+};
+
+}  // namespace exec
+}  // namespace alpa
+
+#endif  // SRC_EXEC_TRANSPORT_H_

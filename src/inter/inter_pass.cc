@@ -383,6 +383,7 @@ CompiledPipeline RunInterOpPass(Graph& graph, const ClusterSpec& cluster,
     tensor.dtype_bytes = DTypeBytes(op.dtype);
     tensor.src_spec = src_spec;
     tensor.dst_spec = dst_spec;
+    tensor.producer_op = producer;
     // Relay across every boundary this tensor crosses.
     for (int s = src_stage; s < max_dst_stage; ++s) {
       pipeline.stages[static_cast<size_t>(s)].sends_to_next.push_back(tensor);
@@ -421,7 +422,7 @@ bool PlanEquals(const CompiledPipeline& a, const CompiledPipeline& b) {
       const CrossStageTensor& v = y.sends_to_next[t];
       if (u.shape.dims() != v.shape.dims() || u.dtype_bytes != v.dtype_bytes ||
           !(u.src_spec == v.src_spec) || !(u.dst_spec == v.dst_spec) ||
-          u.forward != v.forward) {
+          u.forward != v.forward || u.producer_op != v.producer_op) {
         return false;
       }
     }

@@ -49,6 +49,9 @@ struct CrossStageTensor {
   ShardingSpec src_spec;
   ShardingSpec dst_spec;
   bool forward = true;  // Activation (fwd) or gradient (bwd).
+  // Full-graph id of the op producing this tensor — the key the executor
+  // uses to bind instruction-list sends/recvs to concrete buffers.
+  int producer_op = -1;
 };
 
 struct CompiledStage {

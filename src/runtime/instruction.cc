@@ -40,6 +40,12 @@ std::string MeshInstruction::ToString() const {
   if (peer_stage >= 0) {
     result += StrFormat(" peer=%d", peer_stage);
   }
+  if (buffer_id >= 0) {
+    result += StrFormat(" buf=%d", buffer_id);
+  }
+  if (!tensor_ids.empty()) {
+    result += StrFormat(" tensors=%zu", tensor_ids.size());
+  }
   return result;
 }
 
@@ -58,32 +64,61 @@ std::vector<MeshProgram> EmitPipelinePrograms(PipelineScheduleType schedule, int
   for (int s = 0; s < num_stages; ++s) {
     MeshProgram& program = programs[static_cast<size_t>(s)];
     program.stage = s;
+    // Activation buffer slots: smallest free slot is taken when a
+    // microbatch's forward group starts and returned at kFreeActivation, so
+    // the peak slot index + 1 equals MaxInFlightMicrobatches for the
+    // schedule.
+    std::set<int> free_slots;
+    int next_slot = 0;
+    std::map<int, int> slot_of_mb;
+    const auto acquire_slot = [&](int mb) {
+      int slot;
+      if (!free_slots.empty()) {
+        slot = *free_slots.begin();
+        free_slots.erase(free_slots.begin());
+      } else {
+        slot = next_slot++;
+      }
+      slot_of_mb[mb] = slot;
+      return slot;
+    };
     for (const PipelineInstruction& step : order[static_cast<size_t>(s)]) {
       switch (step.kind) {
-        case PipelineInstruction::Kind::kForward:
+        case PipelineInstruction::Kind::kForward: {
+          const int slot = acquire_slot(step.microbatch);
           if (s > 0) {
             program.instructions.push_back(
-                {InstructionKind::kRecvActivation, step.microbatch, s - 1});
+                {InstructionKind::kRecvActivation, step.microbatch, s - 1, slot});
           }
-          program.instructions.push_back({InstructionKind::kAllocActivation, step.microbatch});
-          program.instructions.push_back({InstructionKind::kForward, step.microbatch});
+          program.instructions.push_back(
+              {InstructionKind::kAllocActivation, step.microbatch, -1, slot});
+          program.instructions.push_back({InstructionKind::kForward, step.microbatch, -1, slot});
           if (s + 1 < num_stages) {
             program.instructions.push_back(
-                {InstructionKind::kSendActivation, step.microbatch, s + 1});
+                {InstructionKind::kSendActivation, step.microbatch, s + 1, slot});
           }
           break;
-        case PipelineInstruction::Kind::kBackward:
+        }
+        case PipelineInstruction::Kind::kBackward: {
+          const auto it = slot_of_mb.find(step.microbatch);
+          ALPA_CHECK(it != slot_of_mb.end())
+              << "backward of mb " << step.microbatch << " before its forward";
+          const int slot = it->second;
           if (s + 1 < num_stages) {
             program.instructions.push_back(
-                {InstructionKind::kRecvGradient, step.microbatch, s + 1});
+                {InstructionKind::kRecvGradient, step.microbatch, s + 1, slot});
           }
-          program.instructions.push_back({InstructionKind::kBackward, step.microbatch});
-          program.instructions.push_back({InstructionKind::kFreeActivation, step.microbatch});
+          program.instructions.push_back({InstructionKind::kBackward, step.microbatch, -1, slot});
+          program.instructions.push_back(
+              {InstructionKind::kFreeActivation, step.microbatch, -1, slot});
           if (s > 0) {
             program.instructions.push_back(
-                {InstructionKind::kSendGradient, step.microbatch, s - 1});
+                {InstructionKind::kSendGradient, step.microbatch, s - 1, slot});
           }
+          free_slots.insert(slot);
+          slot_of_mb.erase(it);
           break;
+        }
         case PipelineInstruction::Kind::kUpdate:
           program.instructions.push_back({InstructionKind::kWeightUpdate, -1});
           break;
@@ -122,13 +157,41 @@ std::string ValidatePrograms(const std::vector<MeshProgram>& programs, int num_m
   for (const MeshProgram& program : programs) {
     std::set<int> live;
     std::set<int> freed;
+    // Slot checks apply only to emitter-assigned instructions (buffer_id >=
+    // 0); hand-built programs without slots still validate.
+    std::set<int> live_slots;
+    std::map<int, int> mb_slot;
     for (const MeshInstruction& inst : program.instructions) {
+      if (inst.buffer_id >= 0 && inst.microbatch >= 0) {
+        const auto [it, inserted] = mb_slot.emplace(inst.microbatch, inst.buffer_id);
+        if (!inserted && it->second != inst.buffer_id) {
+          return StrFormat("stage %d: mb %d uses slots %d and %d", program.stage,
+                           inst.microbatch, it->second, inst.buffer_id);
+        }
+      }
       switch (inst.kind) {
         case InstructionKind::kAllocActivation:
           if (live.count(inst.microbatch) != 0) {
             return StrFormat("stage %d: double alloc of mb %d", program.stage, inst.microbatch);
           }
           live.insert(inst.microbatch);
+          if (inst.buffer_id >= 0) {
+            if (live_slots.count(inst.buffer_id) != 0) {
+              return StrFormat("stage %d: slot %d reused while live (mb %d)", program.stage,
+                               inst.buffer_id, inst.microbatch);
+            }
+            live_slots.insert(inst.buffer_id);
+            // The slot is free for the next microbatch after this one's
+            // backward group; drop the stale mapping so consistency checks
+            // compare within one use of the slot.
+            for (auto it = mb_slot.begin(); it != mb_slot.end();) {
+              if (it->first != inst.microbatch && it->second == inst.buffer_id) {
+                it = mb_slot.erase(it);
+              } else {
+                ++it;
+              }
+            }
+          }
           break;
         case InstructionKind::kForward:
         case InstructionKind::kBackward:
@@ -144,6 +207,9 @@ std::string ValidatePrograms(const std::vector<MeshProgram>& programs, int num_m
           }
           live.erase(inst.microbatch);
           freed.insert(inst.microbatch);
+          if (inst.buffer_id >= 0) {
+            live_slots.erase(inst.buffer_id);
+          }
           break;
         default:
           break;

@@ -37,6 +37,17 @@ struct MeshInstruction {
   InstructionKind kind = InstructionKind::kForward;
   int microbatch = -1;   // -1 for kWeightUpdate.
   int peer_stage = -1;   // For send/recv: the other side.
+  // Activation buffer slot this instruction touches. Slots are dense and
+  // reused: the emitter assigns the smallest free slot when a microbatch's
+  // forward group starts and releases it at kFreeActivation, so the peak
+  // slot count equals MaxInFlightMicrobatches. -1: not buffer-scoped
+  // (kWeightUpdate) or emitted by hand without slot assignment.
+  int buffer_id = -1;
+  // For send/recv: ids of the ops whose tensors this transfer carries
+  // (full-graph producer ids, as in CrossStageTensor::producer_op). Filled
+  // by the executor when binding programs to a compiled pipeline; empty in
+  // plain schedule emission.
+  std::vector<int> tensor_ids;
   std::string ToString() const;
 };
 

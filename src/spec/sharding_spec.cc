@@ -188,6 +188,51 @@ std::string ShardingSpec::ToString() const {
   return result;
 }
 
+bool ShardingSpec::FromString(const std::string& text, ShardingSpec* out) {
+  if (text == "scalar") {
+    *out = ShardingSpec();
+    return true;
+  }
+  std::vector<DimSharding> dims;
+  size_t i = 0;
+  while (i < text.size()) {
+    if (text[i] == 'R') {
+      dims.push_back(DimSharding::kR);
+      ++i;
+    } else if (text[i] == 'S') {
+      if (text.compare(i, 3, "S01") == 0) {
+        dims.push_back(DimSharding::kS01);
+        i += 3;
+      } else if (text.compare(i, 2, "S0") == 0) {
+        dims.push_back(DimSharding::kS0);
+        i += 2;
+      } else if (text.compare(i, 2, "S1") == 0) {
+        dims.push_back(DimSharding::kS1);
+        i += 2;
+      } else {
+        return false;
+      }
+    } else {
+      return false;
+    }
+  }
+  if (dims.empty()) {
+    return false;
+  }
+  // Reject specs Make() would CHECK-fail on (an axis sharding two dims).
+  for (int axis = 0; axis < 2; ++axis) {
+    int uses = 0;
+    for (DimSharding s : dims) {
+      uses += UsesAxis(s, axis) ? 1 : 0;
+    }
+    if (uses > 1) {
+      return false;
+    }
+  }
+  *out = Make(std::move(dims));
+  return true;
+}
+
 double ReshardCost(const ShardingSpec& src, const ShardingSpec& dst, const TensorShape& shape,
                    int64_t dtype_bytes, const DeviceMesh& mesh) {
   ALPA_CHECK_EQ(src.rank(), shape.rank());

@@ -65,6 +65,12 @@ class ShardingSpec {
   // E.g. "S0R", "RS01", "RR".
   std::string ToString() const;
 
+  // Inverse of ToString (including "scalar" for rank 0). Returns false on
+  // malformed input or a spec where a mesh axis shards two dims; `out` is
+  // untouched then. The executor parses CompiledStage::op_spec_summary
+  // through this.
+  static bool FromString(const std::string& text, ShardingSpec* out);
+
  private:
   std::vector<DimSharding> dims_;
 };

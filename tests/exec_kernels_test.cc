@@ -1,0 +1,220 @@
+#include "src/exec/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/exec/host_tensor.h"
+#include "src/exec/interpreter.h"
+#include "src/models/gpt.h"
+#include "src/models/mlp.h"
+
+namespace alpa {
+namespace exec {
+namespace {
+
+GptConfig TinyGpt() {
+  GptConfig config;
+  config.hidden = 16;
+  config.num_layers = 2;
+  config.num_heads = 2;
+  config.microbatch = 2;
+  config.seq_len = 4;
+  config.vocab = 32;
+  return config;
+}
+
+TEST(HostTensor, GenerationIsRandomAccessAndDeterministic) {
+  const uint64_t key = HashName("w");
+  EXPECT_EQ(GenValue(key, 7), GenValue(key, 7));
+  EXPECT_NE(GenValue(key, 7), GenValue(key, 8));
+  EXPECT_NE(GenValue(key, 7), GenValue(HashName("w2"), 7));
+  for (int64_t i = 0; i < 1000; ++i) {
+    const float v = GenValue(key, i);
+    EXPECT_GE(v, -0.25f);
+    EXPECT_LT(v, 0.25f);
+    const float id = GenIntValue(key, i, 32);
+    EXPECT_GE(id, 0.0f);
+    EXPECT_LT(id, 32.0f);
+    EXPECT_EQ(id, std::floor(id));
+  }
+}
+
+TEST(HostTensor, LeafKeySeparatesParametersFromPerMicrobatchInputs) {
+  // Parameters ignore the microbatch; inputs fold it in.
+  EXPECT_EQ(LeafKey(1, "w", OpType::kParameter, 0), LeafKey(1, "w", OpType::kParameter, 3));
+  EXPECT_NE(LeafKey(1, "x", OpType::kInput, 0), LeafKey(1, "x", OpType::kInput, 1));
+  EXPECT_NE(LeafKey(1, "w", OpType::kParameter, 0), LeafKey(2, "w", OpType::kParameter, 0));
+}
+
+TEST(HostTensor, ExtractInsertRoundTrip) {
+  HostTensor full(TensorShape{4, 6});
+  for (int64_t i = 0; i < full.elements(); ++i) {
+    full.data()[i] = static_cast<float>(i);
+  }
+  const Box box{{1, 3}, {2, 5}};
+  const TileData tile = ExtractTile(full, box);
+  EXPECT_EQ(tile.data.size(), 6u);
+  HostTensor copy(TensorShape{4, 6});
+  InsertTile(tile, &copy);
+  ForEachIndex(box, [&](const std::vector<int64_t>& index) {
+    EXPECT_EQ(copy.at(index), full.at(index));
+  });
+}
+
+// Evaluates the whole graph with full tensors (microbatch 0, seed 0),
+// returning every op's materialized value — the fixture for the kernel
+// property tests below.
+std::map<int, HostTensor> EvalFullGraph(const Graph& graph) {
+  std::map<int, HostTensor> values;
+  for (int id = 0; id < graph.size(); ++id) {
+    const Operator& op = graph.op(id);
+    if (op.type == OpType::kInput || op.type == OpType::kParameter) {
+      values.emplace(id, GenerateLeaf(op, 0, 0));
+      continue;
+    }
+    std::vector<const HostTensor*> operands;
+    for (int operand : op.operands) {
+      operands.push_back(&values.at(operand));
+    }
+    TileData tile = FullTile(op.shape);
+    EvalOpRegion(op, operands, &tile);
+    HostTensor full(op.shape);
+    InsertTile(tile, &full);
+    values.emplace(id, std::move(full));
+  }
+  return values;
+}
+
+// The central kernel property: any output box produces the same cell values
+// as the full evaluation — sharded compute is bit-identical by construction.
+TEST(Kernels, EveryOpIsRegionIndependent) {
+  Graph graph = BuildGpt(TinyGpt());
+  const std::map<int, HostTensor> values = EvalFullGraph(graph);
+  int checked = 0;
+  for (int id = 0; id < graph.size(); ++id) {
+    const Operator& op = graph.op(id);
+    if (op.type == OpType::kInput || op.type == OpType::kParameter) {
+      continue;
+    }
+    std::vector<const HostTensor*> operands;
+    for (int operand : op.operands) {
+      operands.push_back(&values.at(operand));
+    }
+    // A representative interior box (middle half of every dim).
+    Box box = FullBox(op.shape);
+    for (auto& [lo, hi] : box) {
+      if (hi - lo >= 2) {
+        const int64_t extent = hi - lo;
+        lo = extent / 4;
+        hi = lo + extent / 2;
+      }
+    }
+    TileData part;
+    part.full_shape = op.shape;
+    part.box = box;
+    EvalOpRegion(op, operands, &part);
+    const TileData want = ExtractTile(values.at(id), box);
+    EXPECT_EQ(part.data, want.data) << "op " << op.name;
+    ++checked;
+  }
+  EXPECT_GT(checked, 20);
+}
+
+// Splitting the first contraction label and summing double partials across
+// chunks reproduces the unsplit double sums exactly (addition of disjoint
+// index ranges in the same nesting order is associative over doubles here
+// because each partial is itself accumulated in range order).
+TEST(Kernels, EinsumPartialsSumToFullEvaluation) {
+  Graph graph = BuildGpt(TinyGpt());
+  const std::map<int, HostTensor> values = EvalFullGraph(graph);
+  int checked = 0;
+  for (int id = 0; id < graph.size(); ++id) {
+    const Operator& op = graph.op(id);
+    if (op.type != OpType::kEinsum) {
+      continue;
+    }
+    const std::string contraction = op.einsum.ContractionLabels();
+    if (contraction.empty()) {
+      continue;
+    }
+    const int64_t extent = op.einsum.Extent(contraction[0]);
+    if (extent < 2) {
+      continue;
+    }
+    std::vector<const HostTensor*> operands;
+    for (int operand : op.operands) {
+      operands.push_back(&values.at(operand));
+    }
+    const Box box = FullBox(op.shape);
+    std::vector<double> full;
+    EvalEinsumPartials(op, operands, 0, extent, box, &full);
+    for (int k : {2, 4}) {
+      if (extent % k != 0) {
+        continue;
+      }
+      std::vector<double> sum(full.size(), 0.0);
+      for (int c = 0; c < k; ++c) {
+        std::vector<double> part;
+        EvalEinsumPartials(op, operands, extent * c / k, extent * (c + 1) / k, box, &part);
+        for (size_t i = 0; i < sum.size(); ++i) {
+          sum[i] += part[i];
+        }
+      }
+      for (size_t i = 0; i < sum.size(); ++i) {
+        EXPECT_NEAR(sum[i], full[i], 1e-12 * (1.0 + std::fabs(full[i]))) << op.name;
+      }
+    }
+    ++checked;
+  }
+  EXPECT_GT(checked, 5);
+}
+
+TEST(Interpreter, DeterministicAcrossRunsAndSeedSensitive) {
+  Graph graph = BuildGpt(TinyGpt());
+  const ReferenceResult a = RunReference(graph, 2, 0);
+  const ReferenceResult b = RunReference(graph, 2, 0);
+  const ReferenceResult c = RunReference(graph, 2, 1);
+  ASSERT_EQ(a.microbatch_loss.size(), 2u);
+  EXPECT_EQ(a.microbatch_loss, b.microbatch_loss);
+  EXPECT_NE(a.microbatch_loss, c.microbatch_loss);
+  ASSERT_FALSE(a.weight_grads.empty());
+  ASSERT_EQ(a.weight_grads.size(), a.updated_params.size());
+  for (const auto& [name, grad] : a.weight_grads) {
+    EXPECT_EQ(grad.vec(), b.weight_grads.at(name).vec()) << name;
+    // The optimizer step actually moved the parameters.
+    double norm = 0;
+    for (int64_t i = 0; i < grad.elements(); ++i) {
+      norm += std::fabs(grad.data()[i]);
+    }
+    EXPECT_GT(norm, 0.0) << name;
+  }
+  for (float loss : a.microbatch_loss) {
+    EXPECT_TRUE(std::isfinite(loss));
+  }
+}
+
+TEST(Interpreter, MicrobatchCountChangesAccumulatedGradients) {
+  MlpConfig mlp;
+  mlp.batch = 4;
+  mlp.input_dim = 8;
+  mlp.hidden_dims = {16, 16};
+  mlp.output_dim = 8;
+  Graph graph = BuildMlp(mlp);
+  const ReferenceResult one = RunReference(graph, 1, 0);
+  const ReferenceResult two = RunReference(graph, 2, 0);
+  ASSERT_FALSE(one.weight_grads.empty());
+  bool any_different = false;
+  for (const auto& [name, grad] : one.weight_grads) {
+    any_different = any_different || grad.vec() != two.weight_grads.at(name).vec();
+  }
+  EXPECT_TRUE(any_different);
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace alpa

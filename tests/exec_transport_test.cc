@@ -1,0 +1,296 @@
+#include "src/exec/transport.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "src/exec/collectives.h"
+#include "src/exec/host_tensor.h"
+#include "src/exec/reshard_exec.h"
+#include "src/mesh/cluster_spec.h"
+#include "src/runtime/cross_mesh.h"
+
+namespace alpa {
+namespace exec {
+namespace {
+
+TEST(Transport, TaggedDeliveryAcrossThreadsAndByteCounters) {
+  Transport transport(2);
+  std::thread sender([&] {
+    transport.Send(0, 1, MakeTag(kTagReshard, 5, 0, 1), {1.0f, 2.0f, 3.0f});
+    // fp16 accounting: 2 bytes per element even though payloads are f32.
+    transport.Send(0, 1, MakeTag(kTagReshard, 5, 0, 2), {4.0f}, 2, Channel::kCrossMesh);
+  });
+  // Receive in the opposite order: the mailbox buffers by tag.
+  const std::vector<float> second = transport.Recv(1, MakeTag(kTagReshard, 5, 0, 2));
+  const std::vector<float> first = transport.Recv(1, MakeTag(kTagReshard, 5, 0, 1));
+  sender.join();
+  EXPECT_EQ(first, (std::vector<float>{1.0f, 2.0f, 3.0f}));
+  EXPECT_EQ(second, (std::vector<float>{4.0f}));
+  EXPECT_EQ(transport.LinkBytes(0, 1), 12 + 2);
+  EXPECT_EQ(transport.LinkBytes(1, 0), 0);
+  EXPECT_EQ(transport.TotalBytes(), 14);
+  EXPECT_EQ(transport.ChannelBytes(Channel::kCollective), 12);
+  EXPECT_EQ(transport.ChannelBytes(Channel::kCrossMesh), 2);
+  EXPECT_EQ(transport.TotalMessages(), 2);
+}
+
+TEST(Transport, TagsSeparateKindsIdsMicrobatchesAndAux) {
+  const uint64_t a = MakeTag(kTagRing, 7, 3, 11);
+  EXPECT_NE(a, MakeTag(kTagAllGather, 7, 3, 11));
+  EXPECT_NE(a, MakeTag(kTagRing, 8, 3, 11));
+  EXPECT_NE(a, MakeTag(kTagRing, 7, 4, 11));
+  EXPECT_NE(a, MakeTag(kTagRing, 7, 3, 12));
+  // mb = -1 (update-time traffic) is representable and distinct.
+  EXPECT_NE(MakeTag(kTagAllGather, 7, -1, 0), MakeTag(kTagAllGather, 7, 0, 0));
+}
+
+// Runs `fn(rank)` on one thread per group member.
+void RunGroup(int k, const std::function<void(int)>& fn) {
+  std::vector<std::thread> threads;
+  for (int r = 0; r < k; ++r) {
+    threads.emplace_back(fn, r);
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+}
+
+// Table 1 (ring-based collectives on k devices, tensor of N bytes):
+//   all-reduce       2(k-1)/k * N   per device
+//   all-gather       (k-1)/k * N    per device
+//   reduce-scatter   (k-1)/k * N    per device
+//   all-to-all       (k-1)/k * N    per device
+TEST(Collectives, RingAllReduceMatchesTable1AndSumsExactly) {
+  for (int k : {2, 4, 8}) {
+    const int64_t n = 64;  // Elements; divisible by every k.
+    std::vector<int> group;
+    for (int d = 0; d < k; ++d) {
+      group.push_back(d);
+    }
+    Transport transport(k);
+    std::vector<std::vector<float>> data(static_cast<size_t>(k));
+    RunGroup(k, [&](int rank) {
+      std::vector<float>& mine = data[static_cast<size_t>(rank)];
+      mine.resize(static_cast<size_t>(n));
+      for (int64_t i = 0; i < n; ++i) {
+        mine[static_cast<size_t>(i)] = GenValue(static_cast<uint64_t>(rank + 1), i);
+      }
+      RingAllReduce(transport, group, rank, mine, MakeTag(kTagRing, 1, 0, 0), 4);
+    });
+    // Correct sum, identical on every device (deterministic ring order).
+    for (int64_t i = 0; i < n; ++i) {
+      float expected = data[0][static_cast<size_t>(i)];
+      for (int r = 1; r < k; ++r) {
+        ASSERT_EQ(data[static_cast<size_t>(r)][static_cast<size_t>(i)],
+                  data[0][static_cast<size_t>(i)])
+            << "rank " << r << " diverged at " << i;
+      }
+      double sum = 0;
+      for (int r = 0; r < k; ++r) {
+        sum += GenValue(static_cast<uint64_t>(r + 1), i);
+      }
+      EXPECT_NEAR(expected, sum, 1e-5);
+    }
+    const int64_t per_device = 2 * (k - 1) * n * 4 / k;
+    EXPECT_EQ(transport.TotalBytes(), per_device * k) << "k=" << k;
+  }
+}
+
+TEST(Collectives, AccumRingChargesTheSameWireBytesAsFloatRing) {
+  for (int k : {2, 4, 8}) {
+    const int64_t n = 64;
+    std::vector<int> group;
+    for (int d = 0; d < k; ++d) {
+      group.push_back(d);
+    }
+    Transport transport(k);
+    std::vector<std::vector<double>> data(static_cast<size_t>(k));
+    RunGroup(k, [&](int rank) {
+      std::vector<double>& mine = data[static_cast<size_t>(rank)];
+      mine.resize(static_cast<size_t>(n));
+      for (int64_t i = 0; i < n; ++i) {
+        mine[static_cast<size_t>(i)] = GenValue(static_cast<uint64_t>(rank + 1), i);
+      }
+      RingAllReduceAccum(transport, group, rank, mine, MakeTag(kTagRing, 1, 0, 0), 4);
+    });
+    // Identical result everywhere, exact double sum in ring order, and the
+    // wire accounting of the logical (f32) tensor — not the double payload.
+    for (int64_t i = 0; i < n; ++i) {
+      for (int r = 1; r < k; ++r) {
+        ASSERT_EQ(data[static_cast<size_t>(r)][static_cast<size_t>(i)],
+                  data[0][static_cast<size_t>(i)]);
+      }
+      EXPECT_NEAR(data[0][static_cast<size_t>(i)], [&] {
+        double sum = 0;
+        for (int r = 0; r < k; ++r) {
+          sum += static_cast<double>(GenValue(static_cast<uint64_t>(r + 1), i));
+        }
+        return sum;
+      }(), 1e-12);
+    }
+    EXPECT_EQ(transport.TotalBytes(), 2 * (k - 1) * n * 4 / k * k) << "k=" << k;
+  }
+}
+
+TEST(Collectives, GatherScatterAllToAllMatchTable1) {
+  for (int k : {2, 4, 8}) {
+    const int64_t n = 64;  // Full-tensor elements.
+    std::vector<int> group;
+    for (int d = 0; d < k; ++d) {
+      group.push_back(d);
+    }
+    const int64_t expected_per_device = (k - 1) * n * 4 / k;
+
+    {  // All-gather: every rank contributes its n/k chunk.
+      Transport transport(k);
+      RunGroup(k, [&](int rank) {
+        std::vector<float> mine(static_cast<size_t>(n / k),
+                                static_cast<float>(rank));
+        const auto chunks =
+            AllGatherChunks(transport, group, rank, mine, MakeTag(kTagAllGather, 1, 0, 0), 4);
+        ASSERT_EQ(static_cast<int>(chunks.size()), k);
+        for (int p = 0; p < k; ++p) {
+          for (float v : chunks[static_cast<size_t>(p)]) {
+            ASSERT_EQ(v, static_cast<float>(p));
+          }
+        }
+      });
+      EXPECT_EQ(transport.TotalBytes(), expected_per_device * k) << "all-gather k=" << k;
+    }
+
+    {  // Reduce-scatter over the full tensor.
+      Transport transport(k);
+      RunGroup(k, [&](int rank) {
+        std::vector<float> mine(static_cast<size_t>(n), 1.0f);
+        const std::vector<float> chunk =
+            ReduceScatter(transport, group, rank, mine, MakeTag(kTagAllGather, 2, 0, 0), 4);
+        ASSERT_EQ(chunk.size(), static_cast<size_t>(n / k));
+        for (float v : chunk) {
+          ASSERT_EQ(v, static_cast<float>(k));
+        }
+      });
+      EXPECT_EQ(transport.TotalBytes(), expected_per_device * k) << "reduce-scatter k=" << k;
+    }
+
+    {  // All-to-all: n/k elements to each peer.
+      Transport transport(k);
+      RunGroup(k, [&](int rank) {
+        std::vector<std::vector<float>> to_peer(static_cast<size_t>(k));
+        for (int p = 0; p < k; ++p) {
+          to_peer[static_cast<size_t>(p)].assign(static_cast<size_t>(n / k),
+                                                 static_cast<float>(rank * 100 + p));
+        }
+        const auto got =
+            AllToAll(transport, group, rank, std::move(to_peer), MakeTag(kTagAllGather, 3, 0, 0), 4);
+        for (int p = 0; p < k; ++p) {
+          for (float v : got[static_cast<size_t>(p)]) {
+            ASSERT_EQ(v, static_cast<float>(p * 100 + rank));
+          }
+        }
+      });
+      EXPECT_EQ(transport.TotalBytes(), expected_per_device * k) << "all-to-all k=" << k;
+    }
+  }
+}
+
+// The executed reshard program accounts exactly the planner's bytes, task
+// by task, and moves the right cells (the small in-process version of the
+// fig12 bench's oracle).
+TEST(ReshardExec, ProgramMatchesPlanAndMovesCorrectData) {
+  const ClusterSpec cluster = ClusterSpec::AwsP3(1, 8);
+  MeshPlacement src_placement;
+  src_placement.shape = SubmeshShape{1, 4};
+  MeshPlacement dst_placement;
+  dst_placement.shape = SubmeshShape{1, 4};
+  dst_placement.device_begin = 4;
+  const DeviceMesh src = DeviceMesh::Create(cluster, src_placement, {2, 2});
+  const DeviceMesh dst = DeviceMesh::Create(cluster, dst_placement, {1, 4});
+  const TensorShape shape{8, 12};
+  const ShardingSpec src_spec = ShardingSpec::Make({DimSharding::kS0, DimSharding::kS1});
+  const ShardingSpec dst_spec = ShardingSpec::OneDim(2, 1, DimSharding::kS1);
+
+  for (ReshardStrategy strategy :
+       {ReshardStrategy::kNaiveSendRecv, ReshardStrategy::kLocalAllGather}) {
+    const CrossMeshPlan plan =
+        PlanCrossMeshResharding(src, src_spec, dst, dst_spec, shape, 4, strategy);
+    const ReshardProgram program =
+        BuildReshardProgram(src, src_spec, dst, dst_spec, shape, 4, strategy);
+    ASSERT_EQ(program.p2p.size(), plan.sends.size());
+    for (size_t i = 0; i < program.p2p.size(); ++i) {
+      EXPECT_EQ(program.p2p[i].src_device, plan.sends[i].src_device);
+      EXPECT_EQ(program.p2p[i].dst_device, plan.sends[i].dst_device);
+      EXPECT_NEAR(static_cast<double>(program.p2p[i].wire_bytes), plan.sends[i].bytes, 0.5);
+    }
+
+    HostTensor full(shape);
+    for (int64_t i = 0; i < full.elements(); ++i) {
+      full.data()[i] = GenValue(1, i);
+    }
+    std::vector<TileData> src_tiles(8);
+    std::vector<TileData> dst_tiles(8);
+    for (int r = 0; r < 4; ++r) {
+      src_tiles[static_cast<size_t>(src.DeviceAt(r / 2, r % 2))] =
+          ExtractTile(full, src_spec.TileSlice(shape, src, r / 2, r % 2));
+      TileData& tile = dst_tiles[static_cast<size_t>(dst.DeviceAt(0, r))];
+      tile.full_shape = shape;
+      tile.box = dst_spec.TileSlice(shape, dst, 0, r);
+      tile.data.assign(static_cast<size_t>(BoxElements(tile.box)), 0.0f);
+    }
+    Transport transport(8);
+    std::vector<std::thread> threads;
+    for (int device = 0; device < 8; ++device) {
+      threads.emplace_back([&, device] {
+        const TileData* src_tile =
+            src_tiles[static_cast<size_t>(device)].valid() ? &src_tiles[static_cast<size_t>(device)] : nullptr;
+        TileData* dst_tile =
+            dst_tiles[static_cast<size_t>(device)].valid() ? &dst_tiles[static_cast<size_t>(device)] : nullptr;
+        if (src_tile != nullptr || dst_tile != nullptr) {
+          ExecuteReshardForDevice(transport, program, device, src_tile, dst_tile,
+                                  MakeTag(kTagReshard, 1, 0, 0));
+        }
+      });
+    }
+    for (std::thread& t : threads) {
+      t.join();
+    }
+    for (int r = 0; r < 4; ++r) {
+      const TileData& got = dst_tiles[static_cast<size_t>(dst.DeviceAt(0, r))];
+      EXPECT_EQ(got.data, ExtractTile(full, got.box).data) << "dst rank " << r;
+    }
+    EXPECT_EQ(transport.ChannelBytes(Channel::kCrossMesh), program.total_p2p_bytes);
+    EXPECT_EQ(transport.TotalBytes(), program.total_p2p_bytes + program.total_local_bytes);
+    EXPECT_EQ(transport.ChannelBytes(Channel::kCrossMesh),
+              static_cast<int64_t>(std::llround(plan.total_p2p_bytes)));
+  }
+}
+
+TEST(ReshardExec, LocalAllGatherMovesFewerSlowPathBytesThanNaive) {
+  const ClusterSpec cluster = ClusterSpec::AwsP3(2, 8);
+  MeshPlacement src_placement;
+  src_placement.shape = SubmeshShape{1, 8};
+  MeshPlacement dst_placement;
+  dst_placement.shape = SubmeshShape{1, 8};
+  dst_placement.host_begin = 1;
+  const DeviceMesh src = DeviceMesh::Create(cluster, src_placement, {1, 8});
+  const DeviceMesh dst = DeviceMesh::Create(cluster, dst_placement, {1, 8});
+  const TensorShape shape{16, 64};
+  // Sender shards rows; receiver replicates -> an 8-way replica group.
+  const ShardingSpec src_spec = ShardingSpec::OneDim(2, 0, DimSharding::kS1);
+  const ShardingSpec dst_spec = ShardingSpec::Replicated(2);
+  const ReshardProgram naive = BuildReshardProgram(src, src_spec, dst, dst_spec, shape, 4,
+                                                   ReshardStrategy::kNaiveSendRecv);
+  const ReshardProgram local = BuildReshardProgram(src, src_spec, dst, dst_spec, shape, 4,
+                                                   ReshardStrategy::kLocalAllGather);
+  EXPECT_LT(local.total_p2p_bytes, naive.total_p2p_bytes);
+  EXPECT_GT(local.total_local_bytes, 0);
+  // Slow-path traffic shrinks by the replica-group factor.
+  EXPECT_EQ(local.total_p2p_bytes, naive.total_p2p_bytes / 8);
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace alpa

@@ -1,0 +1,184 @@
+#include "src/runtime/pipeline_schedule.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "src/runtime/instruction.h"
+
+namespace alpa {
+namespace {
+
+using Kind = PipelineInstruction::Kind;
+
+struct SweepCase {
+  PipelineScheduleType type;
+  int stages;
+  int microbatches;
+};
+
+std::vector<SweepCase> Sweep() {
+  std::vector<SweepCase> cases;
+  for (PipelineScheduleType type : {PipelineScheduleType::kGpipe, PipelineScheduleType::k1F1B}) {
+    for (int stages : {1, 2, 3, 4, 6}) {
+      for (int microbatches : {1, 2, 4, 7, 16}) {
+        cases.push_back({type, stages, microbatches});
+      }
+    }
+  }
+  return cases;
+}
+
+TEST(PipelineSchedule, EveryStageRunsEveryMicrobatchOnceAndUpdatesLast) {
+  for (const SweepCase& c : Sweep()) {
+    SCOPED_TRACE(ToString(c.type) + " S=" + std::to_string(c.stages) +
+                 " B=" + std::to_string(c.microbatches));
+    const auto schedule = BuildPipelineSchedule(c.type, c.stages, c.microbatches);
+    ASSERT_EQ(static_cast<int>(schedule.size()), c.stages);
+    for (const std::vector<PipelineInstruction>& program : schedule) {
+      std::multiset<int> fwd;
+      std::multiset<int> bwd;
+      int updates = 0;
+      for (const PipelineInstruction& inst : program) {
+        switch (inst.kind) {
+          case Kind::kForward:
+            EXPECT_EQ(updates, 0) << "forward after update";
+            fwd.insert(inst.microbatch);
+            break;
+          case Kind::kBackward:
+            EXPECT_EQ(updates, 0) << "backward after update";
+            // A microbatch's backward needs its forward activations.
+            EXPECT_EQ(fwd.count(inst.microbatch), 1u);
+            bwd.insert(inst.microbatch);
+            break;
+          case Kind::kUpdate:
+            ++updates;
+            break;
+        }
+      }
+      EXPECT_EQ(updates, 1);
+      EXPECT_EQ(static_cast<int>(fwd.size()), c.microbatches);
+      EXPECT_EQ(static_cast<int>(bwd.size()), c.microbatches);
+      for (int mb = 0; mb < c.microbatches; ++mb) {
+        EXPECT_EQ(fwd.count(mb), 1u);
+        EXPECT_EQ(bwd.count(mb), 1u);
+      }
+    }
+  }
+}
+
+TEST(PipelineSchedule, GpipeRunsAllForwardsBeforeAnyBackward) {
+  for (int stages : {1, 2, 4, 6}) {
+    for (int microbatches : {1, 3, 8}) {
+      const auto schedule =
+          BuildPipelineSchedule(PipelineScheduleType::kGpipe, stages, microbatches);
+      for (int s = 0; s < stages; ++s) {
+        bool saw_backward = false;
+        for (const PipelineInstruction& inst : schedule[static_cast<size_t>(s)]) {
+          saw_backward = saw_backward || inst.kind == Kind::kBackward;
+          EXPECT_FALSE(saw_backward && inst.kind == Kind::kForward)
+              << "GPipe stage " << s << " interleaves forward after backward";
+        }
+      }
+    }
+  }
+}
+
+TEST(PipelineSchedule, OneFOneBWarmupDepthThenStrictAlternation) {
+  for (int stages : {2, 3, 4, 6}) {
+    for (int microbatches : {1, 4, 7, 16}) {
+      const auto schedule =
+          BuildPipelineSchedule(PipelineScheduleType::k1F1B, stages, microbatches);
+      for (int s = 0; s < stages; ++s) {
+        const std::vector<PipelineInstruction>& program = schedule[static_cast<size_t>(s)];
+        // Warmup: stage s issues min(S-1-s, B) forwards before its first
+        // backward (the classic 1F1B pipeline-depth warmup), then strictly
+        // alternates while both kinds remain.
+        const int expected_warmup = std::min(stages - 1 - s, microbatches - 1);
+        int warmup = 0;
+        for (const PipelineInstruction& inst : program) {
+          if (inst.kind == Kind::kBackward) {
+            break;
+          }
+          warmup += inst.kind == Kind::kForward ? 1 : 0;
+        }
+        EXPECT_EQ(warmup, expected_warmup + 1)
+            << "stage " << s << "/" << stages << " B=" << microbatches;
+        // Backwards retire in microbatch order (synchronous 1F1B).
+        int last_bwd = -1;
+        for (const PipelineInstruction& inst : program) {
+          if (inst.kind == Kind::kBackward) {
+            EXPECT_EQ(inst.microbatch, last_bwd + 1);
+            last_bwd = inst.microbatch;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(PipelineSchedule, InFlightActivationsMatchMaxInFlightBound) {
+  for (const SweepCase& c : Sweep()) {
+    SCOPED_TRACE(ToString(c.type) + " S=" + std::to_string(c.stages) +
+                 " B=" + std::to_string(c.microbatches));
+    const auto schedule = BuildPipelineSchedule(c.type, c.stages, c.microbatches);
+    for (int s = 0; s < c.stages; ++s) {
+      int live = 0;
+      int peak = 0;
+      for (const PipelineInstruction& inst : schedule[static_cast<size_t>(s)]) {
+        if (inst.kind == Kind::kForward) {
+          peak = std::max(peak, ++live);
+        } else if (inst.kind == Kind::kBackward) {
+          --live;
+        }
+      }
+      EXPECT_EQ(live, 0);
+      // The bound is tight: the schedule actually reaches it.
+      EXPECT_EQ(peak, MaxInFlightMicrobatches(c.type, c.stages, s, c.microbatches));
+    }
+  }
+}
+
+TEST(PipelineSchedule, OneFOneBNeverHoldsMoreThanGpipe) {
+  for (int stages : {2, 4, 6}) {
+    for (int microbatches : {4, 8, 16}) {
+      for (int s = 0; s < stages; ++s) {
+        EXPECT_LE(
+            MaxInFlightMicrobatches(PipelineScheduleType::k1F1B, stages, s, microbatches),
+            MaxInFlightMicrobatches(PipelineScheduleType::kGpipe, stages, s, microbatches));
+      }
+    }
+  }
+}
+
+TEST(PipelineSchedule, EmittedProgramsValidateAndReachSlotBound) {
+  for (const SweepCase& c : Sweep()) {
+    SCOPED_TRACE(ToString(c.type) + " S=" + std::to_string(c.stages) +
+                 " B=" + std::to_string(c.microbatches));
+    const std::vector<MeshProgram> programs =
+        EmitPipelinePrograms(c.type, c.stages, c.microbatches);
+    EXPECT_EQ(ValidatePrograms(programs, c.microbatches), "");
+    for (int s = 0; s < c.stages; ++s) {
+      // Peak buffer slot usage of the emitted program equals the schedule's
+      // in-flight bound: slot reuse is maximal.
+      std::set<int> live;
+      int peak = 0;
+      for (const MeshInstruction& inst : programs[static_cast<size_t>(s)].instructions) {
+        if (inst.kind == InstructionKind::kAllocActivation) {
+          ASSERT_GE(inst.buffer_id, 0);
+          EXPECT_TRUE(live.insert(inst.buffer_id).second) << "slot reused while live";
+          peak = std::max(peak, static_cast<int>(live.size()));
+        } else if (inst.kind == InstructionKind::kFreeActivation) {
+          EXPECT_EQ(live.erase(inst.buffer_id), 1u);
+        }
+      }
+      EXPECT_TRUE(live.empty());
+      EXPECT_EQ(peak, MaxInFlightMicrobatches(c.type, c.stages, s, c.microbatches));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace alpa
