@@ -185,6 +185,23 @@ StatusOr<exec::ExecResult> ExecutePlan(const ParallelPlan& plan, const Graph& gr
   return exec::ExecutePipeline(graph, plan.pipeline, cluster, plan.sim_input, options);
 }
 
+MeasuredProfileSource BuildMeasuredProfileSource(const ParallelPlan& plan,
+                                                 const exec::ExecResult& result) {
+  MeasuredProfileSource source;
+  const int microbatches = std::max(1, plan.pipeline.num_microbatches);
+  for (const exec::StageTiming& timing : result.stage_timings) {
+    if (timing.stage < 0 ||
+        timing.stage >= static_cast<int>(plan.pipeline.stages.size())) {
+      continue;
+    }
+    const CompiledStage& stage = plan.pipeline.stages[static_cast<size_t>(timing.stage)];
+    source.AddMeasurement(stage.layer_begin, stage.layer_end, stage.placement.shape,
+                          timing.compute_seconds() / microbatches, stage.t_intra);
+  }
+  source.Finalize();
+  return source;
+}
+
 StatusOr<ExecutionStats> Simulate(const ParallelPlan& plan, const Graph& graph,
                                   const ClusterSpec& cluster) {
   if (!plan.pipeline.feasible) {

@@ -145,6 +145,16 @@ PipelineSimInput BuildPipelineSimInput(const CompiledPipeline& pipeline,
 StatusOr<ParallelPlan> Parallelize(Graph& graph, const ClusterSpec& cluster,
                                    const ParallelizeOptions& options);
 
+// Builds a measured-profile override from an executed plan: each stage's
+// measured per-microbatch compute time (forward+backward, max across the
+// stage's devices) keyed by its layer interval and submesh shape, with the
+// median measured/analytical ratio calibrating every unmeasured candidate.
+// Point InterOpOptions::profile_source at the returned object (it must
+// outlive the pass) and re-run Parallelize to fold real execution times
+// back into the stage-slicing DP.
+MeasuredProfileSource BuildMeasuredProfileSource(const ParallelPlan& plan,
+                                                 const exec::ExecResult& result);
+
 // Executes the plan on the simulated cluster. Errors: kInvalidArgument
 // (plan did not come from a successful Parallelize), kResourceExhausted
 // (a stage's working set exceeds device memory; the message names the

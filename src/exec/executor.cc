@@ -2,15 +2,20 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <set>
 #include <thread>
+#include <tuple>
 #include <utility>
 
+#include "src/exec/arena.h"
 #include "src/exec/collectives.h"
 #include "src/exec/kernels.h"
+#include "src/exec/liveness.h"
+#include "src/exec/profiler.h"
 #include "src/exec/reshard_exec.h"
 #include "src/inter/stage_extraction.h"
 #include "src/spec/sharding_spec.h"
@@ -137,6 +142,10 @@ struct ExecShared {
   std::vector<std::vector<BoundaryTransfer>>* fwd_transfers = nullptr;
   std::vector<std::vector<BoundaryTransfer>>* bwd_transfers = nullptr;
   Transport* transport = nullptr;
+  ExecutionProfiler* profiler = nullptr;
+  // Per-stage analytical memory estimate (weights + max-in-flight
+  // activations + working set), for ExecResult::device_memory.
+  const std::vector<int64_t>* modeled_bytes = nullptr;
   std::mutex result_mu;
   ExecResult* result = nullptr;
 };
@@ -155,15 +164,21 @@ class DeviceWorker {
 
   void Run() {
     Trace::SetThreadName(StrFormat("exec s%d r%d", stage_, rank_));
-    for (const MeshInstruction& inst : ctx_.program.instructions) {
-      Execute(inst);
+    BuildMemoryPlan();
+    for (size_t i = 0; i < ctx_.program.instructions.size(); ++i) {
+      cur_inst_ = static_cast<int>(i);
+      Execute(ctx_.program.instructions[i]);
+      ReleaseAfter(static_cast<int>(i));
     }
+    FinishReports();
   }
 
  private:
   using Key = std::pair<int, int>;  // (stage op id, microbatch; -1 = shared).
+  using Clock = std::chrono::steady_clock;
 
   void Execute(const MeshInstruction& inst) {
+    const Clock::time_point start = Clock::now();
     switch (inst.kind) {
       case InstructionKind::kAllocActivation:
         break;  // Buffers materialize lazily; the slot ids are bookkeeping.
@@ -210,6 +225,270 @@ class DeviceWorker {
         break;
       }
     }
+    const double seconds = std::chrono::duration<double>(Clock::now() - start).count();
+    switch (inst.kind) {
+      case InstructionKind::kForward:
+        timing_.Add(ExecPhase::kForward, seconds);
+        break;
+      case InstructionKind::kBackward:
+        timing_.Add(ExecPhase::kBackward, seconds);
+        break;
+      case InstructionKind::kWeightUpdate:
+        timing_.Add(ExecPhase::kUpdate, seconds);
+        break;
+      case InstructionKind::kRecvActivation:
+      case InstructionKind::kSendActivation:
+      case InstructionKind::kRecvGradient:
+      case InstructionKind::kSendGradient:
+        timing_.Add(ExecPhase::kBoundary, seconds);
+        break;
+      default:
+        break;  // Alloc/free bookkeeping is not a timed phase.
+    }
+  }
+
+  // --- Static memory plan -------------------------------------------------
+
+  // Mirrors the runtime's buffer traffic instruction by instruction: what
+  // each recv/compute defines, what each send/compute/update reads. The
+  // resulting live intervals drive the arena offset plan (planned peak
+  // bytes) and the release lists that free every sharded buffer right after
+  // its statically last use.
+  void BuildMemoryPlan() {
+    const Graph& sg = ctx_.sub.graph;
+    for (int sid = 0; sid < sg.size(); ++sid) {
+      const Operator& op = sg.op(sid);
+      if (op.type == OpType::kUpdate) {
+        grad_sids_.insert(op.operands[1]);
+      }
+    }
+    // Incremental accumulation folds each microbatch's weight gradient into
+    // the iteration accumulator at its kBackward instruction instead of
+    // keeping every per-microbatch gradient alive until kWeightUpdate. It
+    // replays the reference's exact addition sequence — zero-filled
+    // accumulator, adds in ascending microbatch order — so it requires the
+    // program's backward instructions to be microbatch-ascending (GPipe and
+    // 1F1B both are; checked statically, with the hold-all fallback kept).
+    int last_bwd = -1;
+    incremental_accum_ = !grad_sids_.empty();
+    for (int gsid : grad_sids_) {
+      // Folding happens where the gradient is computed; a gradient that
+      // arrives by wire or outside the backward phase falls back to the
+      // hold-all path.
+      if (ctx_.sub.reverse_map[static_cast<size_t>(gsid)] < 0 ||
+          sg.op(gsid).role != OpRole::kBackward) {
+        incremental_accum_ = false;
+      }
+    }
+    for (const MeshInstruction& inst : ctx_.program.instructions) {
+      if (inst.kind == InstructionKind::kBackward) {
+        if (inst.microbatch <= last_bwd) {
+          incremental_accum_ = false;
+          break;
+        }
+        last_bwd = inst.microbatch;
+      }
+    }
+
+    const auto boundary_ref = [&](const BoundaryTransfer& t, int mb) {
+      const int sid = ctx_.sub.op_map[static_cast<size_t>(t.producer)];
+      return sid >= 0 ? TensorRef{sid, mb, false} : TensorRef{t.producer, mb, true};
+    };
+    const auto recv_bytes = [&](const BoundaryTransfer& t) {
+      const Box box = t.dst_spec.TileSlice(t.shape, ctx_.mesh, coord_i_, coord_j_);
+      return BoxElements(box) * DTypeBytes(shared_->graph->op(t.producer).dtype);
+    };
+    // Leaves (and placeholders of leaves) are generated from the PRNG into
+    // the full-operand cache; they never occupy a sharded buffer.
+    const auto generated_leaf = [&](int sid) {
+      const Operator& op = sg.op(sid);
+      if (ctx_.sub.reverse_map[static_cast<size_t>(sid)] >= 0) {
+        return op.type == OpType::kInput || op.type == OpType::kParameter;
+      }
+      const Operator& producer = shared_->graph->op(ctx_.ph_producer.at(sid));
+      return producer.type == OpType::kInput || producer.type == OpType::kParameter;
+    };
+    // Bytes of this device's stored tile of `sid` — exactly the box
+    // ComputeOp materializes (replicated when the ring path applies).
+    const auto tile_bytes = [&](int sid) {
+      const Operator& op = sg.op(sid);
+      const Box box = ctx_.ring_split[static_cast<size_t>(sid)] > 1
+                          ? FullBox(op.shape)
+                          : ctx_.layout[static_cast<size_t>(sid)].TileSlice(op.shape, ctx_.mesh,
+                                                                            coord_i_, coord_j_);
+      return BoxElements(box) * DTypeBytes(op.dtype);
+    };
+    // `last_consumer` additionally records, per used buffer, the position
+    // (stage op id) of its last consuming ComputeOp within the instruction
+    // — the anchor for eager mid-instruction release below.
+    const auto compute_access = [&](OpRole role, int mb, InstructionAccess* acc,
+                                    std::map<TensorRef, int>* last_consumer) {
+      for (int sid = 0; sid < sg.size(); ++sid) {
+        const Operator& op = sg.op(sid);
+        if (op.role != role) {
+          continue;
+        }
+        if (ctx_.sub.reverse_map[static_cast<size_t>(sid)] < 0) {
+          if (!generated_leaf(sid)) {
+            acc->uses.push_back({sid, mb, false});  // Received placeholder.
+          }
+          continue;
+        }
+        if (op.type == OpType::kInput || op.type == OpType::kParameter ||
+            op.type == OpType::kUpdate) {
+          continue;
+        }
+        for (int operand : op.operands) {
+          if (!generated_leaf(operand)) {
+            acc->uses.push_back({operand, mb, false});
+            (*last_consumer)[{operand, mb, false}] = sid;
+          }
+        }
+        acc->defs.push_back({{sid, mb, false}, tile_bytes(sid)});
+        if (incremental_accum_ && role == OpRole::kBackward && grad_sids_.count(sid) != 0) {
+          // The fold (re)defines and reads the iteration-lifetime
+          // accumulator and consumes this microbatch's gradient in place.
+          acc->defs.push_back({{sid, -1, false}, tile_bytes(sid)});
+          acc->uses.push_back({sid, -1, false});
+          acc->uses.push_back({sid, mb, false});
+          (*last_consumer)[{sid, mb, false}] = sid;
+        }
+      }
+    };
+
+    std::vector<InstructionAccess> accesses(ctx_.program.instructions.size());
+    std::map<int, std::map<TensorRef, int>> last_consumers;
+    for (size_t i = 0; i < ctx_.program.instructions.size(); ++i) {
+      const MeshInstruction& inst = ctx_.program.instructions[i];
+      InstructionAccess& acc = accesses[i];
+      switch (inst.kind) {
+        case InstructionKind::kRecvActivation:
+          for (const BoundaryTransfer& t : (*shared_->fwd_transfers)[static_cast<size_t>(stage_ - 1)]) {
+            acc.defs.push_back({boundary_ref(t, inst.microbatch), recv_bytes(t)});
+          }
+          break;
+        case InstructionKind::kSendActivation:
+          for (const BoundaryTransfer& t : (*shared_->fwd_transfers)[static_cast<size_t>(stage_)]) {
+            acc.uses.push_back(boundary_ref(t, inst.microbatch));
+          }
+          break;
+        case InstructionKind::kRecvGradient:
+          for (const BoundaryTransfer& t : (*shared_->bwd_transfers)[static_cast<size_t>(stage_)]) {
+            acc.defs.push_back({boundary_ref(t, inst.microbatch), recv_bytes(t)});
+          }
+          break;
+        case InstructionKind::kSendGradient:
+          for (const BoundaryTransfer& t : (*shared_->bwd_transfers)[static_cast<size_t>(stage_ - 1)]) {
+            acc.uses.push_back(boundary_ref(t, inst.microbatch));
+          }
+          break;
+        case InstructionKind::kForward:
+          compute_access(OpRole::kForward, inst.microbatch, &acc,
+                         &last_consumers[static_cast<int>(i)]);
+          break;
+        case InstructionKind::kBackward:
+          compute_access(OpRole::kBackward, inst.microbatch, &acc,
+                         &last_consumers[static_cast<int>(i)]);
+          break;
+        case InstructionKind::kWeightUpdate:
+          for (int gsid : grad_sids_) {
+            if (incremental_accum_) {
+              acc.uses.push_back({gsid, -1, false});
+            } else {
+              for (int mb = 0; mb < shared_->num_microbatches; ++mb) {
+                acc.uses.push_back({gsid, mb, false});
+              }
+            }
+          }
+          break;
+        default:
+          break;  // kAlloc/kFree touch no sharded buffer.
+      }
+    }
+    const std::vector<LiveInterval> intervals = ComputeLiveness(accesses);
+    plan_ = PlanArena(intervals);
+    release_ = ReleaseLists(intervals, static_cast<int>(accesses.size()));
+
+    // Eager mid-instruction release: a compute instruction evaluates many
+    // ops in sequence, and a buffer whose GLOBAL lifetime ends inside the
+    // instruction can be dropped right after its last consuming op instead
+    // of at the instruction boundary. This is what keeps the backward
+    // sweep's footprint to a narrow band — forward activations retire as
+    // the sweep passes them, rather than coexisting with every backward
+    // intermediate of the microbatch. Safe because peers never read this
+    // device's maps: gathers are symmetric send/recv pairs each rank
+    // executes from its own copy. The instruction-granular plan above stays
+    // a valid (conservative) upper bound.
+    for (const auto& [inst, consumers] : last_consumers) {
+      for (const TensorRef& ref : release_[static_cast<size_t>(inst)]) {
+        if (ref.transit || ref.microbatch < 0) {
+          continue;
+        }
+        const auto it = consumers.find(ref);
+        if (it != consumers.end()) {
+          eager_release_[inst][it->second].push_back(ref);
+        }
+      }
+    }
+  }
+
+  // Frees every sharded buffer whose statically last use was instruction i.
+  void ReleaseAfter(int i) {
+    for (const TensorRef& ref : release_[static_cast<size_t>(i)]) {
+      if (ref.transit) {
+        TrackedErase(&transit_, {ref.op, ref.microbatch}, shared_->graph->op(ref.op).dtype);
+      } else if (ref.microbatch < 0) {
+        const auto it = grad_accum_.find(ref.op);
+        if (it != grad_accum_.end()) {
+          live_bytes_ -= LogicalBytes(it->second, ctx_.sub.graph.op(ref.op).dtype);
+          grad_accum_.erase(it);
+        }
+      } else {
+        TrackedErase(&values_, {ref.op, ref.microbatch}, ctx_.sub.graph.op(ref.op).dtype);
+      }
+    }
+  }
+
+  static int64_t LogicalBytes(const TileData& tile, DType dtype) {
+    return static_cast<int64_t>(tile.data.size()) * DTypeBytes(dtype);
+  }
+
+  void TrackedStore(std::map<Key, TileData>* map, const Key& key, TileData tile, DType dtype) {
+    const int64_t bytes = LogicalBytes(tile, dtype);
+    const auto it = map->find(key);
+    if (it != map->end()) {
+      live_bytes_ -= LogicalBytes(it->second, dtype);
+      it->second = std::move(tile);
+    } else {
+      map->emplace(key, std::move(tile));
+    }
+    live_bytes_ += bytes;
+    peak_live_bytes_ = std::max(peak_live_bytes_, live_bytes_);
+  }
+
+  void TrackedErase(std::map<Key, TileData>* map, const Key& key, DType dtype) {
+    const auto it = map->find(key);
+    if (it == map->end()) {
+      return;
+    }
+    live_bytes_ -= LogicalBytes(it->second, dtype);
+    map->erase(it);
+  }
+
+  void FinishReports() {
+    timing_.stage = stage_;
+    shared_->profiler->Report(timing_);
+    DeviceMemoryStats stats;
+    stats.stage = stage_;
+    stats.rank = rank_;
+    stats.device = device_;
+    stats.planned_bytes = plan_.arena_bytes;
+    stats.planned_peak_live_bytes = plan_.peak_live_bytes;
+    stats.measured_peak_bytes = peak_live_bytes_;
+    stats.oracle_peak_bytes = peak_oracle_bytes_;
+    stats.modeled_bytes = (*shared_->modeled_bytes)[static_cast<size_t>(stage_)];
+    std::lock_guard<std::mutex> lock(shared_->result_mu);
+    shared_->result->device_memory.push_back(stats);
   }
 
   // --- Boundary resharding ----------------------------------------------
@@ -218,8 +497,17 @@ class DeviceWorker {
     for (const BoundaryTransfer& t : transfers) {
       const uint64_t tag = MakeTag(kTagReshard, t.producer, mb, 0);
       if (sender) {
+        // Double-buffered staging: the outgoing tile is copied into one of
+        // two parity slots, so the producer buffer retires at this
+        // instruction (release lists) while the staged bytes back the
+        // in-flight transfer; the slot's storage is recycled every other
+        // microbatch instead of reallocating per send.
         const TileData& src = SourceTile(t, mb);
-        ExecuteReshardForDevice(*shared_->transport, t.program, device_, &src,
+        TileData& slot = send_staging_[{t.producer, mb & 1}];
+        slot.full_shape = src.full_shape;
+        slot.box = src.box;
+        slot.data.assign(src.data.begin(), src.data.end());
+        ExecuteReshardForDevice(*shared_->transport, t.program, device_, &slot,
                                 /*dst_tile=*/nullptr, tag);
       } else {
         TileData dst;
@@ -229,17 +517,12 @@ class DeviceWorker {
         ExecuteReshardForDevice(*shared_->transport, t.program, device_, /*src_tile=*/nullptr,
                                 &dst, tag);
         const int sid = ctx_.sub.op_map[static_cast<size_t>(t.producer)];
+        const DType dtype = shared_->graph->op(t.producer).dtype;
         if (sid >= 0) {
-          values_[{sid, mb}] = std::move(dst);
+          TrackedStore(&values_, {sid, mb}, std::move(dst), dtype);
         } else {
-          transit_[{t.producer, mb}] = std::move(dst);
+          TrackedStore(&transit_, {t.producer, mb}, std::move(dst), dtype);
         }
-      }
-    }
-    if (sender) {
-      // Relayed-only tiles are dead once forwarded.
-      for (const BoundaryTransfer& t : transfers) {
-        transit_.erase({t.producer, mb});
       }
     }
   }
@@ -286,6 +569,16 @@ class DeviceWorker {
         continue;  // Leaves generate on demand; updates run at kWeightUpdate.
       }
       ComputeOp(sid, mb);
+      // Drop buffers whose statically-last consumer just ran (the eager
+      // release sets never name anything a later instruction still needs).
+      if (const auto ei = eager_release_.find(cur_inst_); ei != eager_release_.end()) {
+        if (const auto ep = ei->second.find(sid); ep != ei->second.end()) {
+          for (const TensorRef& ref : ep->second) {
+            TrackedErase(&values_, {ref.op, ref.microbatch},
+                         ctx_.sub.graph.op(ref.op).dtype);
+          }
+        }
+      }
     }
   }
 
@@ -308,8 +601,11 @@ class DeviceWorker {
       std::vector<double> partial;
       EvalEinsumPartials(op, operands, ChunkBound(extent, split, rank_),
                          ChunkBound(extent, split, rank_ + 1), out.box, &partial);
+      const Clock::time_point ring_start = Clock::now();
       RingAllReduceAccum(*shared_->transport, group_, rank_, partial,
                          MakeTag(kTagRing, sid, mb, 0), DTypeBytes(op.dtype));
+      timing_.Add(ExecPhase::kCollective,
+                  std::chrono::duration<double>(Clock::now() - ring_start).count());
       out.data.resize(partial.size());
       for (size_t i = 0; i < partial.size(); ++i) {
         out.data[i] = static_cast<float>(partial[i]);
@@ -324,7 +620,40 @@ class DeviceWorker {
       std::lock_guard<std::mutex> lock(shared_->result_mu);
       shared_->result->microbatch_loss[static_cast<size_t>(mb)] = out.data[0];
     }
-    values_[{sid, mb}] = std::move(out);
+    TrackedStore(&values_, {sid, mb}, std::move(out), op.dtype);
+    if (incremental_accum_ && op.role == OpRole::kBackward && grad_sids_.count(sid) != 0) {
+      FoldGradient(sid, mb);
+    }
+  }
+
+  // Adds microbatch `mb`'s weight-gradient tile into the iteration
+  // accumulator. Backward instructions are microbatch-ascending (checked in
+  // BuildMemoryPlan), so the per-cell addition sequence — zero-filled
+  // accumulator, adds for mb 0, 1, ... — is bit-identical to the reference
+  // hold-all accumulation at kWeightUpdate.
+  void FoldGradient(int sid, int mb) {
+    const Operator& op = ctx_.sub.graph.op(sid);
+    auto it = grad_accum_.find(sid);
+    if (it == grad_accum_.end()) {
+      TileData acc;
+      acc.full_shape = op.shape;
+      acc.box = ctx_.layout[static_cast<size_t>(sid)].TileSlice(op.shape, ctx_.mesh, coord_i_,
+                                                                coord_j_);
+      if (ctx_.ring_split[static_cast<size_t>(sid)] > 1) {
+        acc.box = FullBox(op.shape);  // Ring outputs are replicated.
+      }
+      acc.data.assign(static_cast<size_t>(BoxElements(acc.box)), 0.0f);
+      it = grad_accum_.emplace(sid, std::move(acc)).first;
+      live_bytes_ += LogicalBytes(it->second, op.dtype);
+      peak_live_bytes_ = std::max(peak_live_bytes_, live_bytes_);
+    }
+    const TileData& g = values_.at({sid, mb});
+    ALPA_CHECK_EQ(g.data.size(), it->second.data.size());
+    float* a = it->second.data.data();
+    const float* gp = g.data.data();
+    for (size_t i = 0; i < it->second.data.size(); ++i) {
+      a[i] += gp[i];
+    }
   }
 
   // Returns the full tensor of stage op `sid` for microbatch `mb`,
@@ -360,14 +689,26 @@ class DeviceWorker {
           << "stage " << stage_ << ": operand " << op.name << " mb " << mb << " unavailable";
       full = GatherTile(sid, mb, it->second);
     }
-    return full_cache_.emplace(key, std::move(full)).first->second;
+    const HostTensor& stored = full_cache_.emplace(key, std::move(full)).first->second;
+    oracle_bytes_ += stored.elements() * DTypeBytes(op.dtype);
+    peak_oracle_bytes_ = std::max(peak_oracle_bytes_, oracle_bytes_);
+    return stored;
   }
 
   // Assembles the full tensor from the mesh's tiles: every device sends its
   // shard to every peer and inserts the peers' shards by their layout
   // boxes. Replicated values skip the exchange entirely.
   HostTensor GatherTile(int sid, int mb, const TileData& mine) {
+    const Clock::time_point start = Clock::now();
     const Operator& op = ctx_.sub.graph.op(sid);
+    struct CollectiveTimer {
+      DeviceTimingReport* timing;
+      Clock::time_point start;
+      ~CollectiveTimer() {
+        timing->Add(ExecPhase::kCollective,
+                    std::chrono::duration<double>(Clock::now() - start).count());
+      }
+    } timer{&timing_, start};
     HostTensor full(op.shape);
     if (mine.box == FullBox(op.shape)) {
       InsertTile(mine, &full);
@@ -402,22 +743,18 @@ class DeviceWorker {
   // --- Buffer lifetime --------------------------------------------------
 
   void Free(int mb) {
-    // Release the microbatch's forward activations and gathered tensors;
-    // backward values survive until their kSendGradient, parameters (cached
-    // at mb -1) for the whole iteration.
-    for (auto it = values_.begin(); it != values_.end();) {
-      const bool forward =
-          ctx_.sub.graph.op(it->first.first).role == OpRole::kForward;
-      it = (forward && it->first.second == mb) ? values_.erase(it) : std::next(it);
-    }
+    // Sharded buffers (values, transits, accumulators) are freed by the
+    // static release lists right after their last use; kFreeActivation only
+    // evicts the deterministic oracle's gathered/generated full tensors of
+    // the finished microbatch. Parameters (cached at mb -1) live on.
     for (auto it = full_cache_.begin(); it != full_cache_.end();) {
-      it = (it->first.second == mb) ? full_cache_.erase(it) : std::next(it);
-    }
-    for (auto it = transit_.begin(); it != transit_.end();) {
-      // Gradient transits survive: their kSendGradient follows the free.
-      const bool forward =
-          shared_->graph->op(it->first.first).role == OpRole::kForward;
-      it = (forward && it->first.second == mb) ? transit_.erase(it) : std::next(it);
+      if (it->first.second == mb) {
+        oracle_bytes_ -=
+            it->second.elements() * DTypeBytes(ctx_.sub.graph.op(it->first.first).dtype);
+        it = full_cache_.erase(it);
+      } else {
+        ++it;
+      }
     }
   }
 
@@ -435,25 +772,36 @@ class DeviceWorker {
       const int param_full = ctx_.sub.reverse_map[static_cast<size_t>(param_sid)];
       ALPA_CHECK_GE(param_full, 0) << "update of a non-owned parameter";
 
-      // Accumulate the per-microbatch gradient tiles in microbatch order —
-      // the exact per-cell addition sequence the reference interpreter
-      // uses, so accumulation is bit-identical regardless of the schedule's
-      // backward interleaving.
+      // Either take the incrementally folded accumulator (built in
+      // ascending microbatch order at the backward instructions) or — when
+      // the schedule's backward order isn't ascending — accumulate the
+      // held per-microbatch gradient tiles here. Both produce the exact
+      // per-cell addition sequence the reference interpreter uses, so
+      // accumulation is bit-identical regardless of the path.
       TileData acc;
-      acc.full_shape = sg.op(grad_sid).shape;
-      acc.box = ctx_.layout[static_cast<size_t>(grad_sid)].TileSlice(
-          acc.full_shape, ctx_.mesh, coord_i_, coord_j_);
-      if (ctx_.ring_split[static_cast<size_t>(grad_sid)] > 1) {
-        acc.box = FullBox(acc.full_shape);  // Ring outputs are replicated.
-      }
-      acc.data.assign(static_cast<size_t>(BoxElements(acc.box)), 0.0f);
-      for (int mb = 0; mb < shared_->num_microbatches; ++mb) {
-        const auto it = values_.find({grad_sid, mb});
-        ALPA_CHECK(it != values_.end())
-            << "missing gradient " << sg.op(grad_sid).name << " for mb " << mb;
-        ALPA_CHECK_EQ(it->second.data.size(), acc.data.size());
-        for (size_t i = 0; i < acc.data.size(); ++i) {
-          acc.data[i] += it->second.data[i];
+      if (incremental_accum_) {
+        const auto it = grad_accum_.find(grad_sid);
+        ALPA_CHECK(it != grad_accum_.end())
+            << "missing folded gradient " << sg.op(grad_sid).name;
+        live_bytes_ -= LogicalBytes(it->second, sg.op(grad_sid).dtype);
+        acc = std::move(it->second);
+        grad_accum_.erase(it);
+      } else {
+        acc.full_shape = sg.op(grad_sid).shape;
+        acc.box = ctx_.layout[static_cast<size_t>(grad_sid)].TileSlice(
+            acc.full_shape, ctx_.mesh, coord_i_, coord_j_);
+        if (ctx_.ring_split[static_cast<size_t>(grad_sid)] > 1) {
+          acc.box = FullBox(acc.full_shape);  // Ring outputs are replicated.
+        }
+        acc.data.assign(static_cast<size_t>(BoxElements(acc.box)), 0.0f);
+        for (int mb = 0; mb < shared_->num_microbatches; ++mb) {
+          const auto it = values_.find({grad_sid, mb});
+          ALPA_CHECK(it != values_.end())
+              << "missing gradient " << sg.op(grad_sid).name << " for mb " << mb;
+          ALPA_CHECK_EQ(it->second.data.size(), acc.data.size());
+          for (size_t i = 0; i < acc.data.size(); ++i) {
+            acc.data[i] += it->second.data[i];
+          }
         }
       }
       const HostTensor grad = GatherTile(grad_sid, -1, acc);
@@ -485,6 +833,25 @@ class DeviceWorker {
   std::map<Key, TileData> values_;          // (stage op, mb) -> own shard.
   std::map<Key, TileData> transit_;         // (full-graph op, mb) -> relayed tile.
   std::map<Key, HostTensor> full_cache_;    // Gathered/generated full tensors.
+  std::map<Key, TileData> send_staging_;    // (producer, mb parity) -> staged tile.
+  std::map<int, TileData> grad_accum_;      // grad sid -> iteration accumulator.
+
+  // Static memory plan (BuildMemoryPlan).
+  std::set<int> grad_sids_;
+  bool incremental_accum_ = false;
+  ArenaPlan plan_;
+  std::vector<std::vector<TensorRef>> release_;
+  // instruction -> (op position -> buffers to free right after computing
+  // it): the mid-instruction refinement of `release_`.
+  std::map<int, std::map<int, std::vector<TensorRef>>> eager_release_;
+  int cur_inst_ = -1;
+
+  // Runtime accounting, logical dtype bytes.
+  int64_t live_bytes_ = 0;
+  int64_t peak_live_bytes_ = 0;
+  int64_t oracle_bytes_ = 0;
+  int64_t peak_oracle_bytes_ = 0;
+  DeviceTimingReport timing_;
 };
 
 // GatherTile at update time tags microbatch -1; reserve it.
@@ -709,6 +1076,18 @@ StatusOr<ExecResult> ExecutePipeline(const Graph& graph, const CompiledPipeline&
 
   // --- Run: one worker thread per logical device. ---
   Transport transport(cluster.num_devices());
+  ExecutionProfiler profiler;
+  // Analytical per-device memory estimate for each stage, reported next to
+  // the planned and measured numbers.
+  std::vector<int64_t> modeled_bytes(static_cast<size_t>(num_stages), 0);
+  for (int s = 0; s < num_stages; ++s) {
+    const CompiledStage& stage = pipeline.stages[static_cast<size_t>(s)];
+    const int in_flight =
+        MaxInFlightMicrobatches(sim_input.schedule, num_stages, s, num_microbatches);
+    modeled_bytes[static_cast<size_t>(s)] =
+        std::llround(stage.weight_bytes + in_flight * stage.act_bytes_per_microbatch +
+                     stage.work_bytes);
+  }
   ExecResult result;
   if (std::any_of(ctx.begin(), ctx.end(),
                   [](const StageContext& c) { return c.has_loss; })) {
@@ -722,6 +1101,8 @@ StatusOr<ExecResult> ExecutePipeline(const Graph& graph, const CompiledPipeline&
   shared.fwd_transfers = &fwd_transfers;
   shared.bwd_transfers = &bwd_transfers;
   shared.transport = &transport;
+  shared.profiler = &profiler;
+  shared.modeled_bytes = &modeled_bytes;
   shared.result = &result;
 
   std::vector<std::unique_ptr<DeviceWorker>> workers;
@@ -742,6 +1123,11 @@ StatusOr<ExecResult> ExecutePipeline(const Graph& graph, const CompiledPipeline&
     }
   }
 
+  result.stage_timings = profiler.stage_timings();
+  std::sort(result.device_memory.begin(), result.device_memory.end(),
+            [](const DeviceMemoryStats& a, const DeviceMemoryStats& b) {
+              return std::tie(a.stage, a.rank) < std::tie(b.stage, b.rank);
+            });
   result.total_bytes = transport.TotalBytes();
   result.cross_mesh_bytes = transport.ChannelBytes(Channel::kCrossMesh);
   result.collective_bytes = transport.ChannelBytes(Channel::kCollective);

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/exec/host_tensor.h"
+#include "src/exec/profiler.h"
 #include "src/graph/graph.h"
 #include "src/inter/inter_pass.h"
 #include "src/mesh/cluster_spec.h"
@@ -49,6 +50,29 @@ struct ExecOptions {
   ReshardStrategy reshard = ReshardStrategy::kLocalAllGather;
 };
 
+// Memory accounting of one logical device, in logical dtype bytes
+// (BoxElements x DTypeBytes; the host stores every shard as f32).
+struct DeviceMemoryStats {
+  int stage = -1;
+  int rank = -1;   // Rank within the stage mesh.
+  int device = -1; // Global device id.
+  // Arena-plan high water: the slab size the best-fit offset assignment
+  // needs for the statically derived live intervals.
+  int64_t planned_bytes = 0;
+  // Sum-of-live lower bound of the same intervals (PeakLiveBytes).
+  int64_t planned_peak_live_bytes = 0;
+  // Runtime high water of the sharded buffers the plan covers: computed
+  // values, relayed transits, and gradient accumulators.
+  int64_t measured_peak_bytes = 0;
+  // Runtime high water of the deterministic oracle's gathered/generated
+  // full tensors (full-operand caches) — overhead of the bit-exact
+  // execution strategy, outside the sharded memory model.
+  int64_t oracle_peak_bytes = 0;
+  // Analytical estimate from the compiled stage: weights + max-in-flight
+  // activations + working set.
+  int64_t modeled_bytes = 0;
+};
+
 struct ExecResult {
   std::vector<float> microbatch_loss;
   // Parameter name -> accumulated gradient / post-step value, assembled
@@ -62,6 +86,10 @@ struct ExecResult {
   int64_t total_messages = 0;
   int num_devices = 0;
   double wall_seconds = 0.0;
+  // Per-device memory accounting, ordered by (stage, rank).
+  std::vector<DeviceMemoryStats> device_memory;
+  // Measured per-stage phase times (max across each stage's devices).
+  std::vector<StageTiming> stage_timings;
 };
 
 // Runs `pipeline` (compiled from `graph` on `cluster`) with the schedule

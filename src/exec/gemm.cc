@@ -1,0 +1,157 @@
+#include "src/exec/gemm.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/support/logging.h"
+
+namespace alpa {
+namespace exec {
+
+namespace {
+
+// Column-panel width. 64 f32 = one or two cache lines per k row; the f64
+// accumulator tile (4 x 64 doubles = 2 KiB) stays L1-resident.
+constexpr int64_t kNC = 64;
+// Row-tile height: amortizes each packed B row over 4 A rows.
+constexpr int64_t kMR = 4;
+
+}  // namespace
+
+void GemmF64Acc(int64_t m, int64_t n, int64_t k, const float* a, const float* b, double* c,
+                GemmScratch* scratch) {
+  ALPA_CHECK_GE(m, 0);
+  ALPA_CHECK_GE(n, 0);
+  ALPA_CHECK_GE(k, 0);
+  if (m == 0 || n == 0 || k == 0) {
+    return;
+  }
+  GemmScratch local;
+  GemmScratch* s = scratch != nullptr ? scratch : &local;
+  for (int64_t n0 = 0; n0 < n; n0 += kNC) {
+    const int64_t nb = std::min(kNC, n - n0);
+    // Pack the B column panel k x nb contiguously so the inner loop streams it.
+    s->pack.resize(static_cast<size_t>(k * nb));
+    float* bp = s->pack.data();
+    for (int64_t l = 0; l < k; ++l) {
+      std::memcpy(bp + l * nb, b + l * n + n0, sizeof(float) * static_cast<size_t>(nb));
+    }
+    for (int64_t m0 = 0; m0 < m; m0 += kMR) {
+      const int64_t mb = std::min(kMR, m - m0);
+      // One f64 accumulator per output cell, live across the whole k loop:
+      // ascending-k per-cell sums, never reassociated.
+      double acc[kMR][kNC] = {};
+      if (mb == kMR && nb == kNC) {
+        for (int64_t l = 0; l < k; ++l) {
+          const float* brow = bp + l * kNC;
+          for (int i = 0; i < kMR; ++i) {
+            const double av = a[(m0 + i) * k + l];
+#pragma omp simd
+            for (int j = 0; j < kNC; ++j) {
+              acc[i][j] += av * static_cast<double>(brow[j]);
+            }
+          }
+        }
+      } else {
+        for (int64_t l = 0; l < k; ++l) {
+          const float* brow = bp + l * nb;
+          for (int64_t i = 0; i < mb; ++i) {
+            const double av = a[(m0 + i) * k + l];
+#pragma omp simd
+            for (int64_t j = 0; j < nb; ++j) {
+              acc[i][j] += av * static_cast<double>(brow[j]);
+            }
+          }
+        }
+      }
+      for (int64_t i = 0; i < mb; ++i) {
+        double* crow = c + (m0 + i) * n + n0;
+        for (int64_t j = 0; j < nb; ++j) {
+          crow[j] += acc[i][j];
+        }
+      }
+    }
+  }
+}
+
+void SgemmF32(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k, const float* a,
+              int64_t lda, const float* b, int64_t ldb, float* c, int64_t ldc,
+              GemmScratch* scratch) {
+  ALPA_CHECK_GE(m, 0);
+  ALPA_CHECK_GE(n, 0);
+  ALPA_CHECK_GE(k, 0);
+  for (int64_t i = 0; i < m; ++i) {
+    std::memset(c + i * ldc, 0, sizeof(float) * static_cast<size_t>(n));
+  }
+  if (m == 0 || n == 0 || k == 0) {
+    return;
+  }
+  GemmScratch local;
+  GemmScratch* s = scratch != nullptr ? scratch : &local;
+  // Pack both operands once into plain row-major m x k / k x n panels; the
+  // blocked kernel then never touches a strided or transposed layout.
+  s->pack.resize(static_cast<size_t>(m * k + k * n));
+  float* ap = s->pack.data();
+  float* bp = s->pack.data() + m * k;
+  if (trans_a) {
+    for (int64_t l = 0; l < k; ++l) {
+      for (int64_t i = 0; i < m; ++i) {
+        ap[i * k + l] = a[l * lda + i];
+      }
+    }
+  } else {
+    for (int64_t i = 0; i < m; ++i) {
+      std::memcpy(ap + i * k, a + i * lda, sizeof(float) * static_cast<size_t>(k));
+    }
+  }
+  if (trans_b) {
+    for (int64_t j = 0; j < n; ++j) {
+      for (int64_t l = 0; l < k; ++l) {
+        bp[l * n + j] = b[j * ldb + l];
+      }
+    }
+  } else {
+    for (int64_t l = 0; l < k; ++l) {
+      std::memcpy(bp + l * n, b + l * ldb, sizeof(float) * static_cast<size_t>(n));
+    }
+  }
+  for (int64_t n0 = 0; n0 < n; n0 += kNC) {
+    const int64_t nb = std::min(kNC, n - n0);
+    for (int64_t m0 = 0; m0 < m; m0 += kMR) {
+      const int64_t mb = std::min(kMR, m - m0);
+      float acc[kMR][kNC] = {};
+      if (mb == kMR && nb == kNC) {
+        for (int64_t l = 0; l < k; ++l) {
+          const float* brow = bp + l * n + n0;
+          for (int i = 0; i < kMR; ++i) {
+            const float av = ap[(m0 + i) * k + l];
+#pragma omp simd
+            for (int j = 0; j < kNC; ++j) {
+              acc[i][j] += av * brow[j];
+            }
+          }
+        }
+      } else {
+        for (int64_t l = 0; l < k; ++l) {
+          const float* brow = bp + l * n + n0;
+          for (int64_t i = 0; i < mb; ++i) {
+            const float av = ap[(m0 + i) * k + l];
+#pragma omp simd
+            for (int64_t j = 0; j < nb; ++j) {
+              acc[i][j] += av * brow[j];
+            }
+          }
+        }
+      }
+      for (int64_t i = 0; i < mb; ++i) {
+        float* crow = c + (m0 + i) * ldc + n0;
+        for (int64_t j = 0; j < nb; ++j) {
+          crow[j] = acc[i][j];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace exec
+}  // namespace alpa

@@ -1,5 +1,7 @@
 #include "src/exec/host_tensor.h"
 
+#include <algorithm>
+
 #include "src/support/logging.h"
 
 namespace alpa {
@@ -78,22 +80,20 @@ TileData ExtractTile(const HostTensor& full, const Box& box) {
   TileData tile;
   tile.full_shape = full.shape();
   tile.box = box;
-  tile.data.reserve(static_cast<size_t>(BoxElements(box)));
-  ForEachIndex(box, [&](const std::vector<int64_t>& index) {
-    tile.data.push_back(full.data()[full.LinearIndex(index)]);
+  tile.data.resize(static_cast<size_t>(std::max<int64_t>(1, BoxElements(box))));
+  // Runs along the innermost dim are contiguous in both buffers.
+  ForEachRun(box, [&](int64_t k, const std::vector<int64_t>& index, int64_t len) {
+    std::memcpy(tile.data.data() + k, full.data() + full.LinearIndex(index),
+                sizeof(float) * static_cast<size_t>(len));
   });
   return tile;
 }
 
 void InsertTile(const TileData& tile, HostTensor* full) {
   ALPA_CHECK(tile.full_shape == full->shape());
-  if (tile.box.empty()) {
-    full->data()[0] = tile.data[0];
-    return;
-  }
-  size_t k = 0;
-  ForEachIndex(tile.box, [&](const std::vector<int64_t>& index) {
-    full->data()[full->LinearIndex(index)] = tile.data[k++];
+  ForEachRun(tile.box, [&](int64_t k, const std::vector<int64_t>& index, int64_t len) {
+    std::memcpy(full->data() + full->LinearIndex(index), tile.data.data() + k,
+                sizeof(float) * static_cast<size_t>(len));
   });
 }
 
@@ -151,15 +151,20 @@ void GenerateLeafTile(const Operator& op, uint64_t seed, int microbatch, TileDat
   ALPA_CHECK(op.type == OpType::kInput || op.type == OpType::kParameter);
   const uint64_t key = LeafKey(seed, op.name, op.type, microbatch);
   const bool integer = op.dtype == DType::kI32;
-  tile->data.assign(static_cast<size_t>(std::max<int64_t>(1, BoxElements(tile->box))), 0.0f);
-  size_t k = 0;
-  if (tile->box.empty()) {
-    tile->data[0] = integer ? GenIntValue(key, 0, kIntLeafBound) : GenValue(key, 0);
-    return;
-  }
-  ForEachIndex(tile->box, [&](const std::vector<int64_t>& index) {
+  tile->data.resize(static_cast<size_t>(std::max<int64_t>(1, BoxElements(tile->box))));
+  // Within a run the full-tensor linear index just increments.
+  ForEachRun(tile->box, [&](int64_t k, const std::vector<int64_t>& index, int64_t len) {
     const int64_t linear = LinearIndexOf(op.shape, index);
-    tile->data[k++] = integer ? GenIntValue(key, linear, kIntLeafBound) : GenValue(key, linear);
+    float* out = tile->data.data() + k;
+    if (integer) {
+      for (int64_t i = 0; i < len; ++i) {
+        out[i] = GenIntValue(key, linear + i, kIntLeafBound);
+      }
+    } else {
+      for (int64_t i = 0; i < len; ++i) {
+        out[i] = GenValue(key, linear + i);
+      }
+    }
   });
 }
 
@@ -168,7 +173,8 @@ HostTensor GenerateLeaf(const Operator& op, uint64_t seed, int microbatch) {
   tile.full_shape = op.shape;
   tile.box = FullBox(op.shape);
   GenerateLeafTile(op, seed, microbatch, &tile);
-  HostTensor full(op.shape);
+  // The tile covers every element, so the zero fill would be pure waste.
+  HostTensor full = HostTensor::Uninitialized(op.shape);
   InsertTile(tile, &full);
   return full;
 }

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 
+#include "src/exec/arena.h"
+#include "src/exec/gemm.h"
 #include "src/support/logging.h"
 
 namespace alpa {
@@ -29,8 +32,55 @@ int64_t MappedOperandIndex(const TensorShape& in_shape, const TensorShape& out_s
   return linear;
 }
 
+// The operand's index step along the output's innermost dim, or -1 when the
+// map is irregular there (in_dim neither matching nor 1). Step 1: aligned
+// identity; step 0: broadcast (or a scalar operand).
+int64_t InnerStep(const TensorShape& in_shape, const TensorShape& out_shape) {
+  if (in_shape.rank() == 0) {
+    return 0;
+  }
+  const int64_t in_last = in_shape.dim(in_shape.rank() - 1);
+  const int64_t out_last = out_shape.dim(out_shape.rank() - 1);
+  if (in_last == out_last) {
+    return 1;
+  }
+  if (in_last == 1) {
+    return 0;
+  }
+  return -1;
+}
+
 void EvalElementwise(const Operator& op, const std::vector<const HostTensor*>& operands,
                      TileData* out) {
+  // Fast path: every operand regular along the innermost dim — one mapped
+  // base index per run, then a flat strided loop over independent cells.
+  bool regular = op.shape.rank() > 0;
+  for (const HostTensor* operand : operands) {
+    regular = regular && InnerStep(operand->shape(), op.shape) >= 0;
+  }
+  if (regular) {
+    const size_t n_ops = operands.size();
+    std::vector<const float*> base(n_ops);
+    std::vector<int64_t> step(n_ops);
+    for (size_t t = 0; t < n_ops; ++t) {
+      step[t] = InnerStep(operands[t]->shape(), op.shape);
+    }
+    std::vector<int64_t> scratch;
+    ForEachRun(out->box, &scratch, [&](int64_t k, const std::vector<int64_t>& index, int64_t len) {
+      for (size_t t = 0; t < n_ops; ++t) {
+        base[t] = operands[t]->data() + MappedOperandIndex(operands[t]->shape(), op.shape, index);
+      }
+      float* o = out->data.data() + k;
+      for (int64_t i = 0; i < len; ++i) {
+        double s = 0.0;
+        for (size_t t = 0; t < n_ops; ++t) {
+          s += base[t][i * step[t]];
+        }
+        o[i] = Squash(s);
+      }
+    });
+    return;
+  }
   size_t k = 0;
   ForEachIndex(out->box, [&](const std::vector<int64_t>& index) {
     double s = 0.0;
@@ -44,26 +94,34 @@ void EvalElementwise(const Operator& op, const std::vector<const HostTensor*>& o
 void EvalReduce(const Operator& op, const HostTensor& in, TileData* out) {
   const int rank_delta = in.shape().rank() - op.shape.rank();
   ALPA_CHECK_GE(rank_delta, 0);
+  // Preimage box: unmatched leading input dims range fully; aligned dims
+  // cover [i*in/out, (i+1)*in/out). Hoisted out of the cell loop along with
+  // the iteration scratch so the inner loops allocate nothing.
+  Box pre(static_cast<size_t>(in.shape().rank()));
+  for (int d = 0; d < rank_delta; ++d) {
+    pre[static_cast<size_t>(d)] = {0, in.shape().dim(d)};
+  }
+  std::vector<int64_t> pre_scratch;
   size_t k = 0;
   ForEachIndex(out->box, [&](const std::vector<int64_t>& index) {
-    // Preimage box: unmatched leading input dims range fully; aligned dims
-    // cover [i*in/out, (i+1)*in/out).
-    Box pre(static_cast<size_t>(in.shape().rank()));
-    for (int d = 0; d < rank_delta; ++d) {
-      pre[static_cast<size_t>(d)] = {0, in.shape().dim(d)};
-    }
     for (int d = rank_delta; d < in.shape().rank(); ++d) {
       const int64_t out_dim = op.shape.dim(d - rank_delta);
       const int64_t i = index[static_cast<size_t>(d - rank_delta)];
       pre[static_cast<size_t>(d)] = {i * in.shape().dim(d) / out_dim,
                                      (i + 1) * in.shape().dim(d) / out_dim};
     }
+    // Row-major run walk preserves the reference's sequential f64 addition
+    // order exactly; the pointer loop just skips per-element index math.
     double sum = 0.0;
     int64_t count = 0;
-    ForEachIndex(pre, [&](const std::vector<int64_t>& in_index) {
-      sum += in.data()[LinearIndexOf(in.shape(), in_index)];
-      ++count;
-    });
+    ForEachRun(pre, &pre_scratch,
+               [&](int64_t, const std::vector<int64_t>& pre_index, int64_t len) {
+                 const float* p = in.data() + LinearIndexOf(in.shape(), pre_index);
+                 for (int64_t i = 0; i < len; ++i) {
+                   sum += p[i];
+                 }
+                 count += len;
+               });
     out->data[k++] = static_cast<float>(count > 0 ? sum / static_cast<double>(count) : 0.0);
   });
 }
@@ -121,12 +179,17 @@ void EvalEmbedding(const Operator& op, const HostTensor& ids, const HostTensor& 
   ALPA_CHECK_EQ(table.shape().rank(), 2);
   const int64_t vocab = table.shape().dim(0);
   const int64_t model = table.shape().dim(1);
-  size_t k = 0;
-  ForEachIndex(out->box, [&](const std::vector<int64_t>& index) {
-    std::vector<int64_t> id_index(index.begin(), index.end() - 1);
+  // Runs along the model dim are row copies out of the table; the id index
+  // buffer is hoisted and reused across rows.
+  std::vector<int64_t> scratch;
+  std::vector<int64_t> id_index;
+  const int64_t col_lo = out->box.empty() ? 0 : out->box.back().first;
+  ForEachRun(out->box, &scratch, [&](int64_t k, const std::vector<int64_t>& index, int64_t len) {
+    id_index.assign(index.begin(), index.end() - (index.empty() ? 0 : 1));
     const int64_t token = LinearIndexOf(ids.shape(), id_index);
     const int64_t id = static_cast<int64_t>(ids.data()[token]) % vocab;
-    out->data[k++] = table.data()[id * model + index.back()];
+    std::memcpy(out->data.data() + k, table.data() + id * model + col_lo,
+                sizeof(float) * static_cast<size_t>(len));
   });
 }
 
@@ -137,18 +200,31 @@ void EvalEmbeddingGrad(const Operator& op, const HostTensor& ids, const HostTens
   const int64_t model = op.shape.dim(1);
   const int64_t tokens = ids.shape().elements();
   ALPA_CHECK_EQ(grad_out.shape().elements(), tokens * model);
-  size_t k = 0;
-  ForEachIndex(out->box, [&](const std::vector<int64_t>& index) {
-    const int64_t v = index[0];
-    const int64_t m = index[1];
-    double sum = 0.0;
-    for (int64_t t = 0; t < tokens; ++t) {
-      if (static_cast<int64_t>(ids.data()[t]) % vocab == v) {
-        sum += grad_out.data()[t * model + m];
-      }
+  // Scatter form of the reference's per-cell gather: one ascending pass
+  // over the tokens, accumulating each token's grad row into its vocab
+  // row's f64 accumulators. Per output cell the additions happen in the
+  // exact same ascending-t order the reference uses, so the result is
+  // bit-identical — at O(tokens * model) instead of O(vocab * model *
+  // tokens).
+  const auto [v_lo, v_hi] = out->box[0];
+  const auto [m_lo, m_hi] = out->box[1];
+  const int64_t m_w = m_hi - m_lo;
+  std::vector<double> acc(static_cast<size_t>(std::max<int64_t>(0, (v_hi - v_lo) * m_w)), 0.0);
+  for (int64_t t = 0; t < tokens; ++t) {
+    const int64_t v = static_cast<int64_t>(ids.data()[t]) % vocab;
+    if (v < v_lo || v >= v_hi) {
+      continue;
     }
-    out->data[k++] = static_cast<float>(sum);
-  });
+    double* row = acc.data() + (v - v_lo) * m_w;
+    const float* g = grad_out.data() + t * model + m_lo;
+#pragma omp simd
+    for (int64_t m = 0; m < m_w; ++m) {
+      row[m] += static_cast<double>(g[m]);
+    }
+  }
+  for (size_t i = 0; i < acc.size(); ++i) {
+    out->data[i] = static_cast<float>(acc[i]);
+  }
 }
 
 // Token t lands in expert e = t % E, slot c = t / E; slots past the
@@ -159,10 +235,16 @@ void EvalMoeDispatch(const Operator& op, const HostTensor& x, TileData* out) {
   const int64_t model = op.shape.dim(2);
   ALPA_CHECK_EQ(x.shape().elements() % model, 0);
   const int64_t tokens = x.shape().elements() / model;
-  size_t k = 0;
-  ForEachIndex(out->box, [&](const std::vector<int64_t>& index) {
+  const int64_t col_lo = out->box.back().first;
+  std::vector<int64_t> scratch;
+  ForEachRun(out->box, &scratch, [&](int64_t k, const std::vector<int64_t>& index, int64_t len) {
     const int64_t token = index[1] * experts + index[0];
-    out->data[k++] = token < tokens ? x.data()[token * model + index[2]] : 0.0f;
+    if (token < tokens) {
+      std::memcpy(out->data.data() + k, x.data() + token * model + col_lo,
+                  sizeof(float) * static_cast<size_t>(len));
+    } else {
+      std::memset(out->data.data() + k, 0, sizeof(float) * static_cast<size_t>(len));
+    }
   });
 }
 
@@ -172,21 +254,27 @@ void EvalMoeCombine(const Operator& op, const HostTensor& expert_out, TileData* 
   const int64_t capacity = expert_out.shape().dim(1);
   const int64_t model = expert_out.shape().dim(2);
   ALPA_CHECK_EQ(op.shape.elements() % model, 0);
-  size_t k = 0;
-  ForEachIndex(out->box, [&](const std::vector<int64_t>& index) {
-    const int64_t linear = LinearIndexOf(op.shape, index);
-    const int64_t token = linear / model;
-    const int64_t m = linear % model;
-    const int64_t e = token % experts;
-    const int64_t c = token / experts;
-    out->data[k++] = c < capacity ? expert_out.data()[(e * capacity + c) * model + m] : 0.0f;
+  // Within a run the full-tensor linear index just increments, so token/m
+  // decompose incrementally without per-element index vectors.
+  std::vector<int64_t> scratch;
+  ForEachRun(out->box, &scratch, [&](int64_t k, const std::vector<int64_t>& index, int64_t len) {
+    int64_t linear = LinearIndexOf(op.shape, index);
+    for (int64_t i = 0; i < len; ++i, ++linear) {
+      const int64_t token = linear / model;
+      const int64_t m = linear % model;
+      const int64_t e = token % experts;
+      const int64_t c = token / experts;
+      out->data[static_cast<size_t>(k + i)] =
+          c < capacity ? expert_out.data()[(e * capacity + c) * model + m] : 0.0f;
+    }
   });
 }
 
 // Mean of squares over operand 0. The labels operand is shape-only in this
 // IR (integer class ids with no numeric loss formula attached), and the
 // backward builder never emits gradients for kInput operands, so the loss
-// reads only the logits.
+// reads only the logits. The f64 accumulation is deliberately sequential —
+// never vectorized or reassociated.
 void EvalLoss(const HostTensor& logits, TileData* out) {
   double sum = 0.0;
   const int64_t n = logits.shape().elements();
@@ -201,21 +289,235 @@ void EvalUpdate(const Operator& op, const HostTensor& param, const HostTensor& g
                 TileData* out) {
   ALPA_CHECK(param.shape() == op.shape);
   ALPA_CHECK(grad.shape() == op.shape);
-  size_t k = 0;
-  ForEachIndex(out->box, [&](const std::vector<int64_t>& index) {
-    const int64_t i = LinearIndexOf(op.shape, index);
-    out->data[k++] = static_cast<float>(static_cast<double>(param.data()[i]) -
-                                        kLearningRate * static_cast<double>(grad.data()[i]));
+  std::vector<int64_t> scratch;
+  ForEachRun(out->box, &scratch, [&](int64_t k, const std::vector<int64_t>& index, int64_t len) {
+    const int64_t base = LinearIndexOf(op.shape, index);
+    const float* p = param.data() + base;
+    const float* g = grad.data() + base;
+    float* o = out->data.data() + k;
+    for (int64_t i = 0; i < len; ++i) {
+      o[i] = static_cast<float>(static_cast<double>(p[i]) -
+                                kLearningRate * static_cast<double>(g[i]));
+    }
   });
+}
+
+// --- Einsum -> GEMM lowering ---------------------------------------------
+//
+// Classifies each output label by which operands carry it (both: batch,
+// operand 0 only: M, operand 1 only: N), flattens the contraction labels
+// into a single K axis in ContractionLabels() odometer order (first label
+// restricted to [lo, hi)), packs A/B panels through precomputed offset
+// tables, and runs the f64-accumulation GEMM. Because flattened-K ascending
+// IS the reference odometer order and GemmF64Acc keeps one f64 accumulator
+// per cell across all of K, the lowering is bit-identical to the reference
+// loop for every lowerable einsum.
+bool TryEinsumGemm(const Operator& op, const std::vector<const HostTensor*>& operands,
+                   int64_t contraction_lo, int64_t contraction_hi, const Box& box,
+                   std::vector<double>* out) {
+  const EinsumSpec& spec = op.einsum;
+  if (operands.size() != 2) {
+    return false;
+  }
+  const std::string contraction = spec.ContractionLabels();
+  if (contraction.empty()) {
+    return false;  // Assignment (not +=) semantics; keep the reference path.
+  }
+  if (box.size() != spec.output.size()) {
+    return false;
+  }
+  // Duplicate output labels make a cell's operand index depend on the LAST
+  // occurrence only (label_value overwrite in the reference); the offset
+  // tables below sum over occurrences instead, so bail out.
+  bool seen[256] = {false};
+  for (char l : spec.output) {
+    const unsigned char u = static_cast<unsigned char>(l);
+    if (seen[u]) {
+      return false;
+    }
+    seen[u] = true;
+  }
+
+  // Per-operand stride per label, summed over repeated occurrences within
+  // the operand (matches label_value-based indexing for traces).
+  int64_t stride_of[2][256] = {{0}, {0}};
+  bool has[2][256] = {{false}, {false}};
+  for (int t = 0; t < 2; ++t) {
+    const std::string& labels = spec.operands[static_cast<size_t>(t)];
+    ALPA_CHECK_EQ(operands[static_cast<size_t>(t)]->shape().rank(),
+                  static_cast<int>(labels.size()));
+    int64_t stride = 1;
+    for (int d = static_cast<int>(labels.size()) - 1; d >= 0; --d) {
+      const unsigned char u = static_cast<unsigned char>(labels[static_cast<size_t>(d)]);
+      stride_of[t][u] += stride;
+      has[t][u] = true;
+      stride *= operands[static_cast<size_t>(t)]->shape().dim(d);
+    }
+  }
+
+  // Output box strides (row-major over the box extents).
+  const size_t out_rank = box.size();
+  std::vector<int64_t> box_stride(out_rank, 1);
+  for (int d = static_cast<int>(out_rank) - 2; d >= 0; --d) {
+    box_stride[static_cast<size_t>(d)] =
+        box_stride[static_cast<size_t>(d + 1)] * (box[static_cast<size_t>(d + 1)].second -
+                                                  box[static_cast<size_t>(d + 1)].first);
+  }
+  struct OutDim {
+    int64_t lo, hi, bstride;
+    unsigned char label;
+  };
+  std::vector<OutDim> m_dims, n_dims, b_dims;
+  for (size_t d = 0; d < out_rank; ++d) {
+    const unsigned char u = static_cast<unsigned char>(spec.output[d]);
+    const OutDim od{box[d].first, box[d].second, box_stride[d], u};
+    if (has[0][u] && has[1][u]) {
+      b_dims.push_back(od);
+    } else if (has[0][u]) {
+      m_dims.push_back(od);
+    } else if (has[1][u]) {
+      n_dims.push_back(od);
+    } else {
+      return false;  // Output label no operand carries.
+    }
+  }
+
+  const int64_t cells = std::max<int64_t>(1, BoxElements(box));
+  out->assign(static_cast<size_t>(cells), 0.0);
+  const int64_t first_extent = spec.Extent(contraction[0]);
+  ALPA_CHECK_GE(contraction_lo, 0);
+  ALPA_CHECK_LE(contraction_hi, first_extent);
+  if (contraction_hi <= contraction_lo || BoxElements(box) == 0) {
+    return true;  // Empty contraction range (or box): all sums stay 0.
+  }
+
+  // Flattened K: odometer over contraction labels, last label fastest.
+  std::vector<std::pair<int64_t, int64_t>> ranges;
+  int64_t k_total = 1;
+  for (size_t c = 0; c < contraction.size(); ++c) {
+    const int64_t lo = c == 0 ? contraction_lo : 0;
+    const int64_t hi = c == 0 ? contraction_hi : spec.Extent(contraction[c]);
+    ranges.push_back({lo, hi});
+    k_total *= hi - lo;
+  }
+  std::vector<int64_t> ka(static_cast<size_t>(k_total));
+  std::vector<int64_t> kb(static_cast<size_t>(k_total));
+  {
+    std::vector<int64_t> val(contraction.size());
+    for (size_t c = 0; c < contraction.size(); ++c) {
+      val[c] = ranges[c].first;
+    }
+    for (int64_t kk = 0; kk < k_total; ++kk) {
+      int64_t oa = 0;
+      int64_t ob = 0;
+      for (size_t c = 0; c < contraction.size(); ++c) {
+        const unsigned char u = static_cast<unsigned char>(contraction[c]);
+        oa += stride_of[0][u] * val[c];
+        ob += stride_of[1][u] * val[c];
+      }
+      ka[static_cast<size_t>(kk)] = oa;
+      kb[static_cast<size_t>(kk)] = ob;
+      for (size_t c = contraction.size(); c-- > 0;) {
+        if (++val[c] < ranges[c].second) {
+          break;
+        }
+        val[c] = ranges[c].first;
+      }
+    }
+  }
+
+  // Enumerate a dim group over its box ranges: operand offsets + output box
+  // offsets per flattened position.
+  const auto enumerate = [](const std::vector<OutDim>& dims, const int64_t* strides,
+                            std::vector<int64_t>* op_off, std::vector<int64_t>* out_off) {
+    int64_t count = 1;
+    for (const OutDim& d : dims) {
+      count *= d.hi - d.lo;
+    }
+    op_off->resize(static_cast<size_t>(count));
+    out_off->resize(static_cast<size_t>(count));
+    std::vector<int64_t> val(dims.size());
+    for (size_t d = 0; d < dims.size(); ++d) {
+      val[d] = dims[d].lo;
+    }
+    for (int64_t i = 0; i < count; ++i) {
+      int64_t oo = 0;
+      int64_t bo = 0;
+      for (size_t d = 0; d < dims.size(); ++d) {
+        oo += strides[dims[d].label] * val[d];
+        bo += dims[d].bstride * (val[d] - dims[d].lo);
+      }
+      (*op_off)[static_cast<size_t>(i)] = oo;
+      (*out_off)[static_cast<size_t>(i)] = bo;
+      for (size_t d = dims.size(); d-- > 0;) {
+        if (++val[d] < dims[d].hi) {
+          break;
+        }
+        val[d] = dims[d].lo;
+      }
+    }
+    return count;
+  };
+
+  std::vector<int64_t> ma, om, nb, on;
+  const int64_t m_count = enumerate(m_dims, stride_of[0], &ma, &om);
+  const int64_t n_count = enumerate(n_dims, stride_of[1], &nb, &on);
+
+  // Batch offsets need BOTH operands' strides; enumerate twice plus output.
+  std::vector<int64_t> b0, b1, bo, unused;
+  const int64_t b_count = enumerate(b_dims, stride_of[0], &b0, &bo);
+  enumerate(b_dims, stride_of[1], &b1, &unused);
+
+  const float* d0 = operands[0]->data();
+  const float* d1 = operands[1]->data();
+  // Pack panels and the f64 accumulator live in a per-thread arena: one
+  // aligned slab reused across every einsum the worker evaluates, so the
+  // steady-state hot loop never touches the system allocator.
+  thread_local Arena arena;
+  thread_local GemmScratch scratch;
+  arena.Reset();
+  float* a_pack = arena.AllocFloats(m_count * k_total);
+  float* b_pack = arena.AllocFloats(k_total * n_count);
+  double* c_buf = arena.AllocDoubles(m_count * n_count);
+  for (int64_t b = 0; b < b_count; ++b) {
+    const int64_t off0 = b0[static_cast<size_t>(b)];
+    const int64_t off1 = b1[static_cast<size_t>(b)];
+    for (int64_t m = 0; m < m_count; ++m) {
+      const float* src = d0 + off0 + ma[static_cast<size_t>(m)];
+      float* dst = a_pack + m * k_total;
+      for (int64_t kk = 0; kk < k_total; ++kk) {
+        dst[kk] = src[ka[static_cast<size_t>(kk)]];
+      }
+    }
+    for (int64_t kk = 0; kk < k_total; ++kk) {
+      const float* src = d1 + off1 + kb[static_cast<size_t>(kk)];
+      float* dst = b_pack + kk * n_count;
+      for (int64_t n = 0; n < n_count; ++n) {
+        dst[n] = src[nb[static_cast<size_t>(n)]];
+      }
+    }
+    std::fill(c_buf, c_buf + m_count * n_count, 0.0);
+    GemmF64Acc(m_count, n_count, k_total, a_pack, b_pack, c_buf, &scratch);
+    double* o = out->data() + bo[static_cast<size_t>(b)];
+    for (int64_t m = 0; m < m_count; ++m) {
+      const double* crow = c_buf + m * n_count;
+      const int64_t o_m = om[static_cast<size_t>(m)];
+      for (int64_t n = 0; n < n_count; ++n) {
+        o[o_m + on[static_cast<size_t>(n)]] = crow[n];
+      }
+    }
+  }
+  return true;
 }
 
 }  // namespace
 
 float Squash(double s) { return static_cast<float>(s / (1.0 + std::fabs(s) * 0.25)); }
 
-void EvalEinsumPartials(const Operator& op, const std::vector<const HostTensor*>& operands,
-                        int64_t contraction_lo, int64_t contraction_hi, const Box& box,
-                        std::vector<double>* out) {
+void EvalEinsumPartialsReference(const Operator& op,
+                                 const std::vector<const HostTensor*>& operands,
+                                 int64_t contraction_lo, int64_t contraction_hi, const Box& box,
+                                 std::vector<double>* out) {
   ALPA_CHECK(op.type == OpType::kEinsum);
   const EinsumSpec& spec = op.einsum;
   ALPA_CHECK_EQ(operands.size(), spec.operands.size());
@@ -311,6 +613,16 @@ void EvalEinsumPartials(const Operator& op, const std::vector<const HostTensor*>
     }
     (*out)[k++] = sum;
   });
+}
+
+void EvalEinsumPartials(const Operator& op, const std::vector<const HostTensor*>& operands,
+                        int64_t contraction_lo, int64_t contraction_hi, const Box& box,
+                        std::vector<double>* out) {
+  ALPA_CHECK(op.type == OpType::kEinsum);
+  if (TryEinsumGemm(op, operands, contraction_lo, contraction_hi, box, out)) {
+    return;
+  }
+  EvalEinsumPartialsReference(op, operands, contraction_lo, contraction_hi, box, out);
 }
 
 void EvalEinsumRegion(const Operator& op, const std::vector<const HostTensor*>& operands,

@@ -54,6 +54,16 @@ void EvalEinsumPartials(const Operator& op, const std::vector<const HostTensor*>
                         int64_t contraction_lo, int64_t contraction_hi, const Box& box,
                         std::vector<double>* out);
 
+// The original per-element odometer loop behind EvalEinsumPartials. Still
+// the execution path for einsums the GEMM lowering cannot express (single
+// operand, empty contraction, duplicate output labels), and the baseline
+// the speed benchmark and the lowering's bit-exactness tests compare
+// against. Identical numeric contract to EvalEinsumPartials.
+void EvalEinsumPartialsReference(const Operator& op,
+                                 const std::vector<const HostTensor*>& operands,
+                                 int64_t contraction_lo, int64_t contraction_hi, const Box& box,
+                                 std::vector<double>* out);
+
 // The bounded squashing nonlinearity kElementwise applies to its operand
 // sum: s / (1 + |s|/4). Keeps every activation in (-4, 4) so arbitrarily
 // deep compositions stay in comfortable float range.

@@ -1,0 +1,77 @@
+#include "src/exec/liveness.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/support/logging.h"
+
+namespace alpa {
+namespace exec {
+
+std::vector<LiveInterval> ComputeLiveness(const std::vector<InstructionAccess>& accesses) {
+  std::map<TensorRef, LiveInterval> open;
+  for (size_t i = 0; i < accesses.size(); ++i) {
+    const int idx = static_cast<int>(i);
+    for (const TensorDef& def : accesses[i].defs) {
+      auto [it, inserted] = open.try_emplace(def.ref);
+      if (inserted) {
+        it->second.ref = def.ref;
+        it->second.def = idx;
+        it->second.bytes = def.bytes;
+      } else {
+        // Redefinition extends the interval; keep the larger footprint.
+        it->second.bytes = std::max(it->second.bytes, def.bytes);
+      }
+      it->second.last_use = idx;
+    }
+    for (const TensorRef& use : accesses[i].uses) {
+      auto [it, inserted] = open.try_emplace(use);
+      if (inserted) {
+        it->second.ref = use;
+        it->second.def = idx;
+      }
+      it->second.last_use = idx;
+    }
+  }
+  std::vector<LiveInterval> intervals;
+  intervals.reserve(open.size());
+  for (auto& [ref, interval] : open) {
+    intervals.push_back(interval);
+  }
+  std::sort(intervals.begin(), intervals.end(), [](const LiveInterval& a, const LiveInterval& b) {
+    if (a.def != b.def) {
+      return a.def < b.def;
+    }
+    return a.ref < b.ref;
+  });
+  return intervals;
+}
+
+int64_t PeakLiveBytes(const std::vector<LiveInterval>& intervals) {
+  // Sweep: +bytes at def, -bytes after last_use.
+  std::map<int, int64_t> delta;
+  for (const LiveInterval& interval : intervals) {
+    delta[interval.def] += interval.bytes;
+    delta[interval.last_use + 1] -= interval.bytes;
+  }
+  int64_t live = 0;
+  int64_t peak = 0;
+  for (const auto& [idx, d] : delta) {
+    live += d;
+    peak = std::max(peak, live);
+  }
+  return peak;
+}
+
+std::vector<std::vector<TensorRef>> ReleaseLists(const std::vector<LiveInterval>& intervals,
+                                                 int num_instructions) {
+  std::vector<std::vector<TensorRef>> release(static_cast<size_t>(num_instructions));
+  for (const LiveInterval& interval : intervals) {
+    ALPA_CHECK_LT(interval.last_use, num_instructions);
+    release[static_cast<size_t>(interval.last_use)].push_back(interval.ref);
+  }
+  return release;
+}
+
+}  // namespace exec
+}  // namespace alpa

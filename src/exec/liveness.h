@@ -1,0 +1,70 @@
+// Static tensor liveness over a device's mesh instruction list.
+//
+// The executor derives, per device, which buffer each instruction defines
+// and uses (activations, received boundary tiles, relayed transits,
+// gradient accumulators). ComputeLiveness turns that def/use stream into
+// closed live intervals in instruction-index time. The intervals feed two
+// consumers: the arena planner (offset assignment + planned peak bytes) and
+// the runtime release lists (free every buffer right after its statically
+// last use instead of holding gradients and backward intermediates to the
+// end of the iteration).
+#ifndef SRC_EXEC_LIVENESS_H_
+#define SRC_EXEC_LIVENESS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace alpa {
+namespace exec {
+
+// Identity of a device-resident buffer. `op` is a stage op id for computed
+// values, or a full-graph op id for relayed transit tiles (disambiguated by
+// `transit`). microbatch -1 = iteration lifetime (gradient accumulators).
+struct TensorRef {
+  int op = -1;
+  int microbatch = -1;
+  bool transit = false;
+
+  friend bool operator==(const TensorRef&, const TensorRef&) = default;
+  friend auto operator<=>(const TensorRef&, const TensorRef&) = default;
+};
+
+struct TensorDef {
+  TensorRef ref;
+  int64_t bytes = 0;
+};
+
+// Buffers one instruction defines and uses. A buffer both defined and used
+// by the same instruction (incremental gradient fold) is live only there.
+struct InstructionAccess {
+  std::vector<TensorDef> defs;
+  std::vector<TensorRef> uses;
+};
+
+// Closed interval [def, last_use] in instruction indices.
+struct LiveInterval {
+  TensorRef ref;
+  int def = 0;
+  int last_use = 0;
+  int64_t bytes = 0;
+};
+
+// Scans `accesses` in program order. def = index of the first definition;
+// last_use = the latest index that defines OR uses the buffer. A use before
+// any def opens the interval at the use (defensive; the executor never
+// emits one). Results are ordered by (def, ref).
+std::vector<LiveInterval> ComputeLiveness(const std::vector<InstructionAccess>& accesses);
+
+// Max over instruction indices of the bytes of all intervals covering it.
+// The lower bound any offset assignment must beat.
+int64_t PeakLiveBytes(const std::vector<LiveInterval>& intervals);
+
+// release[i] = refs whose last_use is i: the buffers a worker frees right
+// after executing instruction i. `num_instructions` sizes the result.
+std::vector<std::vector<TensorRef>> ReleaseLists(const std::vector<LiveInterval>& intervals,
+                                                 int num_instructions);
+
+}  // namespace exec
+}  // namespace alpa
+
+#endif  // SRC_EXEC_LIVENESS_H_

@@ -1,0 +1,37 @@
+#include "src/exec/profiler.h"
+
+#include <algorithm>
+
+#include "src/support/logging.h"
+
+namespace alpa {
+namespace exec {
+
+void ExecutionProfiler::Report(const DeviceTimingReport& report) {
+  ALPA_CHECK_GE(report.stage, 0);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (static_cast<size_t>(report.stage) >= stages_.size()) {
+    stages_.resize(static_cast<size_t>(report.stage) + 1);
+  }
+  StageTiming& stage = stages_[static_cast<size_t>(report.stage)];
+  stage.stage = report.stage;
+  for (int p = 0; p < kNumExecPhases; ++p) {
+    stage.phase_seconds[p] = std::max(stage.phase_seconds[p], report.seconds[p]);
+  }
+  ++stage.num_devices;
+}
+
+std::vector<StageTiming> ExecutionProfiler::stage_timings() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<StageTiming> out;
+  out.reserve(stages_.size());
+  for (const StageTiming& stage : stages_) {
+    if (stage.num_devices > 0) {
+      out.push_back(stage);
+    }
+  }
+  return out;
+}
+
+}  // namespace exec
+}  // namespace alpa

@@ -1,0 +1,68 @@
+// Execution profiling: measured per-stage phase times from a pipeline run.
+//
+// Each device worker accumulates wall-clock time per phase while executing
+// its instruction list and reports once at the end of the run. The profiler
+// merges reports per stage, taking the max across the stage's devices
+// (devices in a stage run the same SPMD program; the slowest one bounds the
+// stage). The merged timings land in ExecResult and — through
+// MeasuredProfileSource — feed back into the inter-op stage DP, replacing
+// analytical costs with measured ones.
+#ifndef SRC_EXEC_PROFILER_H_
+#define SRC_EXEC_PROFILER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace alpa {
+namespace exec {
+
+enum class ExecPhase {
+  kForward = 0,
+  kBackward = 1,
+  kUpdate = 2,
+  kBoundary = 3,    // Send/recv staging and tile extraction.
+  kCollective = 4,  // Ring all-reduce / all-gather time inside compute ops.
+};
+inline constexpr int kNumExecPhases = 5;
+
+// Measured timings of one pipeline stage, merged across its devices.
+struct StageTiming {
+  int stage = -1;
+  // Seconds per phase, max across the stage's devices.
+  double phase_seconds[kNumExecPhases] = {0, 0, 0, 0, 0};
+  // Number of device reports merged in.
+  int num_devices = 0;
+
+  double forward_seconds() const { return phase_seconds[0]; }
+  double backward_seconds() const { return phase_seconds[1]; }
+  double compute_seconds() const { return phase_seconds[0] + phase_seconds[1]; }
+};
+
+// One worker's accumulated phase times. Purely local: no locks in the hot
+// path; the worker adds into `seconds` and hands the struct to the profiler
+// once when its instruction list is done.
+struct DeviceTimingReport {
+  int stage = -1;
+  double seconds[kNumExecPhases] = {0, 0, 0, 0, 0};
+
+  void Add(ExecPhase phase, double s) { seconds[static_cast<int>(phase)] += s; }
+};
+
+// Thread-safe sink for worker reports.
+class ExecutionProfiler {
+ public:
+  void Report(const DeviceTimingReport& report);
+
+  // Per-stage merged timings, ordered by stage id.
+  std::vector<StageTiming> stage_timings() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<StageTiming> stages_;
+};
+
+}  // namespace exec
+}  // namespace alpa
+
+#endif  // SRC_EXEC_PROFILER_H_

@@ -204,7 +204,12 @@ CompiledPipeline RunInterOpPass(Graph& graph, const ClusterSpec& cluster,
   // logical shape x memory mode); it only needs the physical device counts.
   const std::vector<SubmeshShape>& shapes = profiler.dp_shapes();
   const StageProfileFn profile_fn = [&](int begin, int end, int shape_index) {
-    return profiler.Profile(begin, end, shape_index);
+    StageProfile profile = profiler.Profile(begin, end, shape_index);
+    if (options.profile_source != nullptr) {
+      options.profile_source->Apply(begin, end, shapes[static_cast<size_t>(shape_index)],
+                                    &profile);
+    }
+    return profile;
   };
 
   // --- 3. Stage-slicing DP (Eqs. 2-4). ---
@@ -274,8 +279,11 @@ CompiledPipeline RunInterOpPass(Graph& graph, const ClusterSpec& cluster,
       }
     }
     stage.logical_shape = profiler.variants()[static_cast<size_t>(assignment.shape_index)].logical;
-    const StageProfile profile = profiler.Profile(assignment.layer_begin, assignment.layer_end,
-                                                  assignment.shape_index);
+    // Through profile_fn — not profiler.Profile directly — so a
+    // ProfileSource override shapes the materialized stage exactly as it
+    // shaped the DP's costs.
+    const StageProfile profile =
+        profile_fn(assignment.layer_begin, assignment.layer_end, assignment.shape_index);
     stage.t_intra = profile.t_intra;
     stage.t_per_iteration = profile.t_per_iteration;
     stage.weight_bytes = profile.weight_bytes;

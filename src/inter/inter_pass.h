@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "src/inter/profile_feedback.h"
 #include "src/inter/stage_profiler.h"
 #include "src/mesh/submesh.h"
 #include "src/solver/operator_clustering.h"
@@ -40,6 +41,12 @@ struct InterOpOptions {
   // Results are bit-identical for any thread count: parallel work writes
   // disjoint slots and merges in index order, never completion order.
   int compile_threads = 1;
+  // When non-null, every profile the stage DP and the stage
+  // materialization fetch passes through this hook — measured execution
+  // times override the analytical costs (see profile_feedback.h). Not
+  // owned; must outlive the pass. Must be thread-safe when
+  // compile_threads != 1.
+  const ProfileSource* profile_source = nullptr;
 };
 
 // A tensor crossing a stage boundary, with the layouts on both sides.

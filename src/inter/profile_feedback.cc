@@ -1,0 +1,42 @@
+#include "src/inter/profile_feedback.h"
+
+#include <algorithm>
+
+namespace alpa {
+
+void MeasuredProfileSource::AddMeasurement(int begin, int end, const SubmeshShape& shape,
+                                           double measured_t_intra,
+                                           double analytical_t_intra) {
+  if (measured_t_intra <= 0.0) {
+    return;
+  }
+  measured_[{begin, end, shape.num_hosts, shape.devices_per_host}] = measured_t_intra;
+  if (analytical_t_intra > 0.0 && analytical_t_intra < kInfCost) {
+    ratio_samples_.push_back(measured_t_intra / analytical_t_intra);
+  }
+}
+
+void MeasuredProfileSource::Finalize() {
+  if (ratio_samples_.empty()) {
+    calibration_ratio_ = 1.0;
+    return;
+  }
+  std::vector<double> samples = ratio_samples_;
+  std::sort(samples.begin(), samples.end());
+  // Median, robust to one stage timing out or being noise-dominated.
+  calibration_ratio_ = samples[samples.size() / 2];
+}
+
+void MeasuredProfileSource::Apply(int begin, int end, const SubmeshShape& shape,
+                                  StageProfile* profile) const {
+  const auto it = measured_.find({begin, end, shape.num_hosts, shape.devices_per_host});
+  if (it != measured_.end()) {
+    profile->t_intra = it->second;
+    return;
+  }
+  if (profile->t_intra < kInfCost) {
+    profile->t_intra *= calibration_ratio_;
+  }
+}
+
+}  // namespace alpa

@@ -1,0 +1,68 @@
+// Measured-profile feedback into the stage-slicing DP.
+//
+// The inter-op pass normally costs each (layer interval, submesh shape)
+// candidate with the analytical intra-op model. A ProfileSource lets a
+// caller override those costs with numbers measured by actually executing a
+// compiled pipeline (src/exec's ExecutionProfiler): exact matches replace
+// the analytical t_intra outright, and a median measured/analytical
+// calibration ratio rescales every unmeasured candidate so the DP compares
+// all stages in one consistent unit — keeping the search feasible
+// everywhere while anchoring it to reality where reality was observed.
+#ifndef SRC_INTER_PROFILE_FEEDBACK_H_
+#define SRC_INTER_PROFILE_FEEDBACK_H_
+
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "src/mesh/device_mesh.h"
+#include "src/solver/stage_dp.h"
+
+namespace alpa {
+
+// Hook consulted by the inter-op pass for every profile the DP (and stage
+// materialization) fetches. Implementations mutate `profile` in place.
+class ProfileSource {
+ public:
+  virtual ~ProfileSource() = default;
+  // `begin`/`end` are inclusive layer indices; `shape` is the candidate's
+  // physical submesh shape.
+  virtual void Apply(int begin, int end, const SubmeshShape& shape,
+                     StageProfile* profile) const = 0;
+};
+
+// Profile override built from measured per-stage times of an executed
+// pipeline. Thread-safe after Finalize() (Apply only reads).
+class MeasuredProfileSource : public ProfileSource {
+ public:
+  // Records that layers [begin, end] ran on a (num_hosts, devices_per_host)
+  // submesh with measured per-microbatch forward+backward time
+  // `measured_t_intra`, where the analytical model had predicted
+  // `analytical_t_intra` (used for the calibration ratio; pass <= 0 when
+  // unknown to skip the ratio sample).
+  void AddMeasurement(int begin, int end, const SubmeshShape& shape, double measured_t_intra,
+                      double analytical_t_intra);
+
+  // Computes the median measured/analytical ratio across the recorded
+  // measurements. Call once after the last AddMeasurement.
+  void Finalize();
+
+  // Exact (begin, end, shape) matches get the measured t_intra; everything
+  // else is scaled by the calibration ratio (1 when no ratio samples
+  // exist). Memory fields are never touched — they come from the model.
+  void Apply(int begin, int end, const SubmeshShape& shape,
+             StageProfile* profile) const override;
+
+  double calibration_ratio() const { return calibration_ratio_; }
+  int num_measurements() const { return static_cast<int>(measured_.size()); }
+
+ private:
+  using Key = std::tuple<int, int, int, int>;  // (begin, end, hosts, dph).
+  std::map<Key, double> measured_;
+  std::vector<double> ratio_samples_;
+  double calibration_ratio_ = 1.0;
+};
+
+}  // namespace alpa
+
+#endif  // SRC_INTER_PROFILE_FEEDBACK_H_

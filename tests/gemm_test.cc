@@ -1,0 +1,250 @@
+#include "src/exec/gemm.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <utility>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/exec/host_tensor.h"
+#include "src/exec/kernels.h"
+#include "src/graph/operator.h"
+#include "src/graph/tensor.h"
+
+namespace alpa {
+namespace exec {
+namespace {
+
+// The contract GemmF64Acc promises bit-identity with: one fresh f64
+// accumulator per output cell, ascending k, added to C once at the end.
+void NaiveGemmF64Acc(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
+                     double* c) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int64_t l = 0; l < k; ++l) {
+        acc += static_cast<double>(a[i * k + l]) * static_cast<double>(b[l * n + j]);
+      }
+      c[i * n + j] += acc;
+    }
+  }
+}
+
+std::vector<float> RandomFloats(const std::string& tag, int64_t count) {
+  std::vector<float> data(static_cast<size_t>(count));
+  const uint64_t key = HashName(tag);
+  for (int64_t i = 0; i < count; ++i) {
+    data[static_cast<size_t>(i)] = GenValue(key, i);
+  }
+  return data;
+}
+
+// Dimensions that stress every blocking boundary: 1, primes straddling the
+// register tile, the tile sizes themselves, and one-past.
+const int64_t kDims[] = {1, 2, 3, 5, 7, 13, 31, 64, 65};
+
+TEST(GemmF64Acc, BitIdenticalToNaiveTripleLoop) {
+  GemmScratch scratch;
+  int checked = 0;
+  for (int64_t m : kDims) {
+    for (int64_t n : kDims) {
+      for (int64_t k : kDims) {
+        // Keep the sweep fast: skip the large-all-three corner.
+        if (m * n * k > 70000) {
+          continue;
+        }
+        const std::vector<float> a = RandomFloats("a", m * k);
+        const std::vector<float> b = RandomFloats("b", k * n);
+        std::vector<double> c(static_cast<size_t>(m * n));
+        std::vector<double> want(static_cast<size_t>(m * n));
+        // Non-zero starting C exercises the += contract.
+        for (size_t i = 0; i < c.size(); ++i) {
+          c[i] = want[i] = 0.125 * static_cast<double>(i % 17) - 1.0;
+        }
+        GemmF64Acc(m, n, k, a.data(), b.data(), c.data(), &scratch);
+        NaiveGemmF64Acc(m, n, k, a.data(), b.data(), want.data());
+        ASSERT_EQ(c, want) << "m=" << m << " n=" << n << " k=" << k;
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 500);
+}
+
+TEST(GemmF64Acc, LargeSquareStillExact) {
+  const int64_t m = 97, n = 89, k = 101;
+  const std::vector<float> a = RandomFloats("la", m * k);
+  const std::vector<float> b = RandomFloats("lb", k * n);
+  std::vector<double> c(static_cast<size_t>(m * n), 0.0);
+  std::vector<double> want = c;
+  GemmF64Acc(m, n, k, a.data(), b.data(), c.data());
+  NaiveGemmF64Acc(m, n, k, a.data(), b.data(), want.data());
+  EXPECT_EQ(c, want);
+}
+
+double SgemmRefAt(const std::vector<float>& buf, bool trans, int64_t ld, int64_t row,
+                  int64_t col) {
+  // Logical element (row, col); trans means the storage is (col, row).
+  const int64_t idx = trans ? col * ld + row : row * ld + col;
+  return static_cast<double>(buf[static_cast<size_t>(idx)]);
+}
+
+// SgemmF32 accumulates in f32, so under FMA contraction it is NOT bit-equal
+// to a scalar loop — the contract is layout correctness within a small
+// relative tolerance of the f64 reference.
+TEST(SgemmF32, AllTransposeCombosMatchReferenceWithinTolerance) {
+  for (bool trans_a : {false, true}) {
+    for (bool trans_b : {false, true}) {
+      for (auto [m, n, k] :
+           std::vector<std::array<int64_t, 3>>{{1, 1, 1}, {5, 3, 7}, {17, 13, 31}, {64, 65, 33}}) {
+        // Pad leading dimensions to prove the kernel honours them.
+        const int64_t lda = (trans_a ? m : k) + 3;
+        const int64_t ldb = (trans_b ? k : n) + 2;
+        const int64_t ldc = n + 5;
+        const std::vector<float> a = RandomFloats("sa", (trans_a ? k : m) * lda);
+        const std::vector<float> b = RandomFloats("sb", (trans_b ? n : k) * ldb);
+        std::vector<float> c(static_cast<size_t>(m * ldc), -7.5f);
+        SgemmF32(trans_a, trans_b, m, n, k, a.data(), lda, b.data(), ldb, c.data(), ldc);
+        for (int64_t i = 0; i < m; ++i) {
+          for (int64_t j = 0; j < n; ++j) {
+            double want = 0.0;
+            for (int64_t l = 0; l < k; ++l) {
+              want += SgemmRefAt(a, trans_a, lda, i, l) * SgemmRefAt(b, trans_b, ldb, l, j);
+            }
+            const double got = static_cast<double>(c[static_cast<size_t>(i * ldc + j)]);
+            ASSERT_NEAR(got, want, 1e-4 * (1.0 + std::fabs(want)))
+                << "ta=" << trans_a << " tb=" << trans_b << " m=" << m << " n=" << n
+                << " k=" << k << " i=" << i << " j=" << j;
+          }
+          // Padding columns past n must stay untouched.
+          for (int64_t j = n; j < ldc; ++j) {
+            ASSERT_EQ(c[static_cast<size_t>(i * ldc + j)], -7.5f);
+          }
+        }
+      }
+    }
+  }
+}
+
+// --- Einsum GEMM lowering vs the odometer reference ----------------------
+
+Operator MakeEinsum(const std::string& output, const std::vector<std::string>& operand_specs,
+                    const std::map<char, int64_t>& extents) {
+  Operator op;
+  op.id = 100;
+  op.type = OpType::kEinsum;
+  op.name = "einsum";
+  op.einsum.output = output;
+  op.einsum.operands = operand_specs;
+  op.einsum.extents = extents;
+  std::vector<int64_t> dims;
+  for (char label : output) {
+    dims.push_back(extents.at(label));
+  }
+  op.shape = TensorShape(dims);
+  for (size_t i = 0; i < operand_specs.size(); ++i) {
+    op.operands.push_back(static_cast<int>(i));
+  }
+  return op;
+}
+
+HostTensor MakeOperand(const std::string& spec, const std::map<char, int64_t>& extents,
+                       const std::string& tag) {
+  std::vector<int64_t> dims;
+  for (char label : spec) {
+    dims.push_back(extents.at(label));
+  }
+  HostTensor t = HostTensor::Uninitialized(TensorShape(dims));
+  const uint64_t key = HashName(tag);
+  for (int64_t i = 0; i < t.elements(); ++i) {
+    t.data()[i] = GenValue(key, i);
+  }
+  return t;
+}
+
+struct EinsumCase {
+  std::string output;
+  std::vector<std::string> operand_specs;
+  std::map<char, int64_t> extents;
+};
+
+// The sweep covers GEMM-lowerable shapes (plain, batched, transposed
+// layouts, merged row/col labels, multi-label contractions) and shapes that
+// must take the odometer fallback (duplicate labels, single operand): both
+// paths must agree bit for bit either way.
+std::vector<EinsumCase> EinsumCases() {
+  return {
+      {"mn", {"mk", "kn"}, {{'m', 5}, {'n', 3}, {'k', 7}}},
+      {"mn", {"mk", "kn"}, {{'m', 1}, {'n', 1}, {'k', 1}}},
+      {"mn", {"mk", "kn"}, {{'m', 64}, {'n', 65}, {'k', 31}}},
+      {"bmn", {"bmk", "bkn"}, {{'b', 3}, {'m', 4}, {'n', 2}, {'k', 5}}},
+      {"mn", {"km", "kn"}, {{'m', 6}, {'n', 4}, {'k', 9}}},   // A transposed layout.
+      {"mn", {"mk", "nk"}, {{'m', 6}, {'n', 4}, {'k', 9}}},   // B transposed layout.
+      {"mn", {"km", "nk"}, {{'m', 6}, {'n', 4}, {'k', 9}}},   // Both transposed.
+      {"abc", {"abk", "kc"}, {{'a', 3}, {'b', 4}, {'c', 5}, {'k', 6}}},  // Merged rows.
+      {"mn", {"mab", "abn"}, {{'m', 4}, {'n', 3}, {'a', 2}, {'b', 5}}},  // 2-label contraction.
+      {"bsh", {"bsk", "kh"}, {{'b', 2}, {'s', 8}, {'h', 16}, {'k', 16}}},  // GPT projection.
+      {"ab", {"aa", "ab"}, {{'a', 4}, {'b', 3}}},  // Duplicate label: fallback.
+      {"m", {"mk"}, {{'m', 5}, {'k', 7}}},         // Single operand: fallback.
+  };
+}
+
+TEST(EinsumGemm, LoweringBitIdenticalToReference) {
+  for (const EinsumCase& c : EinsumCases()) {
+    const Operator op = MakeEinsum(c.output, c.operand_specs, c.extents);
+    std::vector<HostTensor> storage;
+    storage.reserve(c.operand_specs.size());
+    std::vector<const HostTensor*> operands;
+    for (size_t i = 0; i < c.operand_specs.size(); ++i) {
+      storage.push_back(
+          MakeOperand(c.operand_specs[i], c.extents, c.output + ":" + std::to_string(i)));
+    }
+    for (const HostTensor& t : storage) {
+      operands.push_back(&t);
+    }
+    const std::string contraction = op.einsum.ContractionLabels();
+    const int64_t extent = contraction.empty() ? 1 : op.einsum.Extent(contraction[0]);
+    const Box full = FullBox(op.shape);
+
+    std::vector<double> fast;
+    std::vector<double> ref;
+    EvalEinsumPartials(op, operands, 0, extent, full, &fast);
+    EvalEinsumPartialsReference(op, operands, 0, extent, full, &ref);
+    ASSERT_EQ(fast, ref) << c.output << " full range";
+
+    // Split contraction ranges (the ring all-reduce partials).
+    if (extent >= 2) {
+      const int64_t mid = extent / 2;
+      for (auto [lo, hi] : std::vector<std::pair<int64_t, int64_t>>{{0, mid}, {mid, extent}}) {
+        EvalEinsumPartials(op, operands, lo, hi, full, &fast);
+        EvalEinsumPartialsReference(op, operands, lo, hi, full, &ref);
+        ASSERT_EQ(fast, ref) << c.output << " range [" << lo << "," << hi << ")";
+      }
+    }
+
+    // Interior sub-box (a device tile).
+    Box box = full;
+    bool shrunk = false;
+    for (auto& [lo, hi] : box) {
+      if (hi - lo >= 2) {
+        const int64_t span = hi - lo;
+        lo = span / 4;
+        hi = lo + (span + 1) / 2;
+        shrunk = true;
+      }
+    }
+    if (shrunk) {
+      EvalEinsumPartials(op, operands, 0, extent, box, &fast);
+      EvalEinsumPartialsReference(op, operands, 0, extent, box, &ref);
+      ASSERT_EQ(fast, ref) << c.output << " sub-box";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace alpa

@@ -1,0 +1,125 @@
+// The measured-profile feedback loop: MeasuredProfileSource semantics in
+// isolation, and the full cycle compile -> execute -> build source ->
+// recompile with InterOpOptions::profile_source on the tiny GPT example.
+#include "src/inter/profile_feedback.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/core/api.h"
+#include "src/exec/executor.h"
+#include "src/models/gpt.h"
+#include "src/solver/ilp_solver.h"
+
+namespace alpa {
+namespace {
+
+TEST(MeasuredProfileSource, ExactMatchOverridesAnalyticalTime) {
+  MeasuredProfileSource source;
+  source.AddMeasurement(0, 3, SubmeshShape{1, 2}, 0.5, 1.0);
+  source.Finalize();
+  EXPECT_EQ(source.num_measurements(), 1);
+
+  StageProfile profile;
+  profile.t_intra = 1.0;
+  profile.weight_bytes = 77.0;
+  source.Apply(0, 3, SubmeshShape{1, 2}, &profile);
+  EXPECT_EQ(profile.t_intra, 0.5);
+  // Memory fields always come from the model.
+  EXPECT_EQ(profile.weight_bytes, 77.0);
+}
+
+TEST(MeasuredProfileSource, UnmeasuredCandidatesScaleByMedianRatio) {
+  MeasuredProfileSource source;
+  // Ratios 0.5, 2.0, 4.0 -> median 2.0.
+  source.AddMeasurement(0, 0, SubmeshShape{1, 1}, 0.5, 1.0);
+  source.AddMeasurement(1, 1, SubmeshShape{1, 1}, 2.0, 1.0);
+  source.AddMeasurement(2, 2, SubmeshShape{1, 1}, 4.0, 1.0);
+  source.Finalize();
+  EXPECT_DOUBLE_EQ(source.calibration_ratio(), 2.0);
+
+  // A different layer interval: scaled, not replaced.
+  StageProfile profile;
+  profile.t_intra = 3.0;
+  source.Apply(5, 7, SubmeshShape{1, 1}, &profile);
+  EXPECT_DOUBLE_EQ(profile.t_intra, 6.0);
+
+  // A different shape on a measured interval is also "unmeasured".
+  profile.t_intra = 3.0;
+  source.Apply(0, 0, SubmeshShape{1, 2}, &profile);
+  EXPECT_DOUBLE_EQ(profile.t_intra, 6.0);
+}
+
+TEST(MeasuredProfileSource, InfeasibleCandidatesStayInfeasible) {
+  MeasuredProfileSource source;
+  source.AddMeasurement(0, 0, SubmeshShape{1, 1}, 2.0, 1.0);
+  source.Finalize();
+  StageProfile profile;  // Default t_intra = kInfCost.
+  source.Apply(3, 4, SubmeshShape{1, 1}, &profile);
+  EXPECT_GE(profile.t_intra, kInfCost);
+}
+
+TEST(MeasuredProfileSource, NonPositiveMeasurementsAreIgnored) {
+  MeasuredProfileSource source;
+  source.AddMeasurement(0, 0, SubmeshShape{1, 1}, 0.0, 1.0);
+  source.AddMeasurement(1, 1, SubmeshShape{1, 1}, -2.0, 1.0);
+  source.Finalize();
+  EXPECT_EQ(source.num_measurements(), 0);
+  EXPECT_DOUBLE_EQ(source.calibration_ratio(), 1.0);
+}
+
+// The acceptance loop: a stage-DP solve driven by measured times must still
+// produce a valid executable plan.
+TEST(ProfileFeedback, RecompileWithMeasuredTimesYieldsValidGptPlan) {
+  GptConfig config;
+  config.hidden = 32;
+  config.num_layers = 2;
+  config.num_heads = 2;
+  config.microbatch = 2;
+  config.seq_len = 8;
+  config.vocab = 64;
+  Graph graph = BuildGpt(config);
+
+  const ClusterSpec cluster = ClusterSpec::AwsP3(1, 4);
+  ParallelizeOptions options;
+  options.num_microbatches = 2;
+  options.inter.submesh_shapes = {SubmeshShape{1, 2}};
+
+  StatusOr<ParallelPlan> plan = Parallelize(graph, cluster, options);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  StatusOr<exec::ExecResult> result = ExecutePlan(*plan, graph, cluster, {});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_FALSE(result->stage_timings.empty());
+
+  const MeasuredProfileSource source = BuildMeasuredProfileSource(*plan, *result);
+  EXPECT_GT(source.num_measurements(), 0);
+  EXPECT_GT(source.calibration_ratio(), 0.0);
+  EXPECT_TRUE(std::isfinite(source.calibration_ratio()));
+
+  ParallelizeOptions fed = options;
+  fed.inter.profile_source = &source;
+  StatusOr<ParallelPlan> replan = Parallelize(graph, cluster, fed);
+  ASSERT_TRUE(replan.ok()) << replan.status().ToString();
+  ASSERT_FALSE(replan->pipeline.stages.empty());
+
+  // The re-planned stages carry finite, positive per-microbatch times and
+  // still cover every layer exactly once in order.
+  int next_layer = 0;
+  for (const CompiledStage& stage : replan->pipeline.stages) {
+    EXPECT_EQ(stage.layer_begin, next_layer);
+    EXPECT_GE(stage.layer_end, stage.layer_begin);
+    next_layer = stage.layer_end + 1;
+    EXPECT_GT(stage.t_intra, 0.0);
+    EXPECT_LT(stage.t_intra, kInfCost);
+  }
+
+  // ...and the fed-back plan still executes.
+  StatusOr<exec::ExecResult> rerun = ExecutePlan(*replan, graph, cluster, {});
+  ASSERT_TRUE(rerun.ok()) << rerun.status().ToString();
+  EXPECT_EQ(rerun->microbatch_loss.size(), 2u);
+}
+
+}  // namespace
+}  // namespace alpa
