@@ -6,12 +6,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "src/baselines/baselines.h"
 #include "src/core/api.h"
+#include "src/serve/client.h"
+#include "src/serve/service.h"
 
 namespace alpa {
 namespace bench {
@@ -45,10 +48,15 @@ struct BenchFlags {
   // Non-empty: write machine-readable results (JSON) here for CI trend
   // tracking, alongside the human-readable table on stdout.
   std::string json_path;
+  // Non-empty: route the Alpa compile lanes through an alpa_serve daemon
+  // listening on this unix socket instead of compiling in-process.
+  // Baseline lanes (Megatron grids, plan-space filters) always run
+  // in-process — their filter closures cannot cross the wire.
+  std::string server;
 };
 
 // Parses `--threads N` / `--threads=N`, `--trace PATH` / `--trace=PATH`,
-// and `--json PATH` / `--json=PATH`.
+// `--json PATH` / `--json=PATH`, and `--server SOCKET` / `--server=SOCKET`.
 inline BenchFlags ParseBenchFlags(int argc, char** argv, int default_threads = 1) {
   BenchFlags flags;
   flags.threads = default_threads;
@@ -65,6 +73,10 @@ inline BenchFlags ParseBenchFlags(int argc, char** argv, int default_threads = 1
       flags.json_path = argv[i + 1];
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
       flags.json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--server") == 0 && i + 1 < argc) {
+      flags.server = argv[i + 1];
+    } else if (std::strncmp(argv[i], "--server=", 9) == 0) {
+      flags.server = argv[i] + 9;
     }
   }
   return flags;
@@ -164,16 +176,47 @@ class JsonReport {
   std::vector<Row> rows_;
 };
 
+// The bounded ILP search budget every bench lane compiles under (quality
+// loss is negligible thanks to the plan-family seeds).
+inline constexpr int64_t kBenchSearchBudget = 60'000;
+
 // Configures the shared BaselineOptionTemplate through the options builder:
-// a bounded ILP search budget (quality loss is negligible thanks to the
-// plan-family seeds), the requested worker threads, and optional tracing.
-// Call once at the top of a benchmark's main().
+// the bench search budget, the requested worker threads, and optional
+// tracing. Call once at the top of a benchmark's main().
 inline void InitBench(const BenchFlags& flags) {
   BaselineOptionTemplate() = ParallelizeOptions::Builder()
-                                 .search_budget(60'000)
+                                 .search_budget(kBenchSearchBudget)
                                  .threads(flags.threads)
                                  .trace(flags.trace_path)
                                  .Build();
+}
+
+// The PlanService the Alpa lanes run through: in-process by default, a
+// RemotePlanService against an alpa_serve daemon when --server was given.
+inline std::unique_ptr<serve::PlanService> MakePlanService(const BenchFlags& flags) {
+  if (!flags.server.empty()) {
+    return std::make_unique<serve::RemotePlanService>(flags.server);
+  }
+  return std::make_unique<serve::InProcessPlanService>();
+}
+
+// The service-API form of the options InitBench bakes into the baseline
+// template; the Alpa lane of a bench is
+//   service->CompileAndSimulate(AlpaRequest(flags, graph, cluster, mb, L))
+// and behaves identically in-process and against a daemon.
+inline serve::PlanRequest AlpaRequest(const BenchFlags& flags, Graph graph,
+                                      const ClusterSpec& cluster, int num_microbatches,
+                                      int target_layers) {
+  serve::PlanRequest request;
+  request.graph = std::move(graph);
+  request.cluster = cluster;
+  request.options.num_microbatches = num_microbatches;
+  request.options.target_layers = target_layers;
+  request.options.max_search_nodes = kBenchSearchBudget;
+  request.options.tenant = "bench";
+  request.options.compile_threads = flags.threads;
+  request.options.trace_path = flags.trace_path;
+  return request;
 }
 
 }  // namespace bench

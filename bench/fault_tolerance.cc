@@ -21,6 +21,9 @@ int main(int argc, char** argv) {
 
   const BenchFlags flags = ParseBenchFlags(argc, argv);
   InitBench(flags);
+  // All compiles and repairs in this bench go through the PlanService API
+  // (in-process, or an alpa_serve daemon with --server).
+  const std::unique_ptr<serve::PlanService> service = MakePlanService(flags);
   JsonReport report("fault_tolerance");
 
   std::printf("=== Goodput vs failure rate (GPT configs, recoverable host loss) ===\n");
@@ -38,13 +41,9 @@ int main(int argc, char** argv) {
     const ClusterSpec cluster = ClusterFor(bench_case.num_gpus);
     const int layers = bench_case.num_gpus >= 8 ? 16 : 8;
 
-    ParallelizeOptions options = BaselineOptionTemplate();
-    options.num_microbatches = num_microbatches;
-    options.inter.target_layers = layers;
-    Graph graph = BuildGpt(config);
     ParallelPlan plan;
-    const StatusOr<ExecutionStats> healthy =
-        CompileAndSimulate(graph, cluster, options, &plan);
+    const StatusOr<ExecutionStats> healthy = service->CompileAndSimulate(
+        AlpaRequest(flags, BuildGpt(config), cluster, num_microbatches, layers), &plan);
     if (!healthy.ok()) {
       std::printf("%-10s %6d | %s\n", bench_case.name.c_str(), bench_case.num_gpus,
                   healthy.status().ToString().c_str());
@@ -83,15 +82,13 @@ int main(int argc, char** argv) {
     GptConfig config = GptPaperCases()[0].config;
     config.microbatch = 8;
     ClusterSpec cluster = ClusterSpec::AwsP3(2, 2);
-    ParallelizeOptions options = BaselineOptionTemplate();
-    options.num_microbatches = 16;
-    options.inter.target_layers = 8;
+    const serve::PlanRequest request =
+        AlpaRequest(flags, BuildGpt(config), cluster, /*num_microbatches=*/16,
+                    /*target_layers=*/8);
 
     // Healthy compile: establishes the baseline and warms the ILP cache.
-    Graph graph = BuildGpt(config);
     ParallelPlan plan;
-    const StatusOr<ExecutionStats> healthy =
-        CompileAndSimulate(graph, cluster, options, &plan);
+    const StatusOr<ExecutionStats> healthy = service->CompileAndSimulate(request, &plan);
     if (!healthy.ok()) {
       std::printf("healthy compile failed: %s\n", healthy.status().ToString().c_str());
       report.Write(flags.json_path);
@@ -110,8 +107,7 @@ int main(int argc, char** argv) {
     RepairOptions repair_options;
     repair_options.failed_host = 1;
     repair_options.mtbf.mtbf_seconds = 86400.0;
-    const StatusOr<RepairResult> repair =
-        RepairPlan(graph, cluster, options, repair_options);
+    const StatusOr<RepairResult> repair = service->Repair(request, repair_options);
     if (!repair.ok()) {
       std::printf("repair failed: %s\n", repair.status().ToString().c_str());
       report.Write(flags.json_path);

@@ -18,8 +18,12 @@ int main(int argc, char** argv) {
 
   const BenchFlags flags = ParseBenchFlags(argc, argv);
   InitBench(flags);
+  // The Alpa lane goes through the PlanService API (in-process, or an
+  // alpa_serve daemon with --server); the baseline lanes stay in-process.
+  const std::unique_ptr<serve::PlanService> service = MakePlanService(flags);
   JsonReport report("fig8_gpt");
-  std::printf("=== Figure 8a: GPT weak scaling (aggregate PFLOPS) ===\n");
+  std::printf("=== Figure 8a: GPT weak scaling (aggregate PFLOPS, alpa via %s) ===\n",
+              service->name().c_str());
   std::printf("%-10s %6s %8s | %10s %12s %12s %12s\n", "model", "#gpus", "batch", "alpa",
               "megatron", "intra-only", "inter-only");
 
@@ -36,7 +40,8 @@ int main(int argc, char** argv) {
       return runner(std::move(graph));
     };
     const StatusOr<ExecutionStats> alpa = run([&](Graph g) {
-      return RunAlpa(std::move(g), cluster, num_microbatches, layers).stats;
+      return service->CompileAndSimulate(
+          AlpaRequest(flags, std::move(g), cluster, num_microbatches, layers));
     });
     const StatusOr<ExecutionStats> megatron = run([&](Graph g) {
       return RunMegatron(std::move(g), cluster, num_microbatches, layers).stats;

@@ -15,8 +15,11 @@ int main(int argc, char** argv) {
   using namespace alpa;
   using namespace alpa::bench;
 
-  InitBench(ParseBenchFlags(argc, argv));
-  std::printf("=== Figure 8b: MoE weak scaling (aggregate PFLOPS) ===\n");
+  const BenchFlags flags = ParseBenchFlags(argc, argv);
+  InitBench(flags);
+  const std::unique_ptr<serve::PlanService> service = MakePlanService(flags);
+  std::printf("=== Figure 8b: MoE weak scaling (aggregate PFLOPS, alpa via %s) ===\n",
+              service->name().c_str());
   std::printf("%-10s %6s | %10s %12s %12s %12s | %8s\n", "model", "#gpus", "alpa", "deepspeed",
               "intra-only", "inter-only", "speedup");
 
@@ -28,8 +31,8 @@ int main(int argc, char** argv) {
     const ClusterSpec cluster = ClusterFor(bench_case.num_gpus);
     const int layers = static_cast<int>(config.num_layers);
 
-    const StatusOr<ExecutionStats> alpa =
-        RunAlpa(BuildMoe(config), cluster, num_microbatches, layers).stats;
+    const StatusOr<ExecutionStats> alpa = service->CompileAndSimulate(
+        AlpaRequest(flags, BuildMoe(config), cluster, num_microbatches, layers));
     const StatusOr<ExecutionStats> deepspeed =
         RunDeepSpeedMoe(BuildMoe(config), cluster, num_microbatches).stats;
     const StatusOr<ExecutionStats> intra =

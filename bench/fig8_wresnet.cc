@@ -15,8 +15,11 @@ int main(int argc, char** argv) {
   using namespace alpa;
   using namespace alpa::bench;
 
-  InitBench(ParseBenchFlags(argc, argv));
-  std::printf("=== Figure 8c: Wide-ResNet weak scaling (aggregate PFLOPS) ===\n");
+  const BenchFlags flags = ParseBenchFlags(argc, argv);
+  InitBench(flags);
+  const std::unique_ptr<serve::PlanService> service = MakePlanService(flags);
+  std::printf("=== Figure 8c: Wide-ResNet weak scaling (aggregate PFLOPS, alpa via %s) ===\n",
+              service->name().c_str());
   std::printf("%-14s %6s | %10s %12s %12s %12s\n", "model", "#gpus", "alpa", "pp-dp",
               "intra-only", "inter-only");
 
@@ -28,8 +31,8 @@ int main(int argc, char** argv) {
     const ClusterSpec cluster = ClusterFor(bench_case.num_gpus);
     const int layers = 16;
 
-    const StatusOr<ExecutionStats> alpa =
-        RunAlpa(BuildWideResNet(config), cluster, num_microbatches, layers).stats;
+    const StatusOr<ExecutionStats> alpa = service->CompileAndSimulate(
+        AlpaRequest(flags, BuildWideResNet(config), cluster, num_microbatches, layers));
     const StatusOr<ExecutionStats> ppdp =
         RunPpDp(BuildWideResNet(config), cluster, num_microbatches, layers).stats;
     const StatusOr<ExecutionStats> intra =

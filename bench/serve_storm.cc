@@ -1,0 +1,272 @@
+// Plan-server request storm: throughput and latency of alpa_serve under
+// concurrent multi-tenant load (the serving counterpart of compile_speed).
+//
+// Phases:
+//   cold    — every distinct model compiled once through the daemon
+//             (plan-cache misses; dominated by ILP time).
+//   warm    — several client threads hammer the same model set; every
+//             request is a plan-cache hit, so this measures the serving
+//             stack itself (framing, scheduling, cache lookup).
+//   restart — the daemon is torn down, the in-memory cache dropped, and a
+//             fresh daemon answers from the disk cache (warm-across-
+//             restart proof).
+//
+// Self-hosts a PlanServer on a temp socket by default; `--server SOCKET`
+// points the storm at an external daemon instead (the restart phase is
+// then skipped — we cannot restart someone else's daemon). `--smoke`
+// shrinks the workload for the tier-1 ctest entry; `--json` writes
+// BENCH_serve.json.
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/models/mlp.h"
+#include "src/serve/client.h"
+#include "src/serve/plan_cache.h"
+#include "src/serve/server.h"
+
+namespace {
+
+using namespace alpa;
+using namespace alpa::bench;
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// One timed Parallelize round-trip through the daemon.
+struct Sample {
+  double seconds = 0.0;
+  bool ok = false;
+  bool cache_hit = false;
+};
+
+serve::ServeRequest StormRequest(int model_index, const std::string& tenant) {
+  MlpConfig config;
+  config.hidden_dims = {256 + 32 * model_index, 256};
+  serve::ServeRequest request;
+  request.method = serve::Method::kParallelize;
+  request.graph = BuildMlp(config);
+  request.cluster = ClusterSpec::AwsP3(1, 2);
+  request.options.num_microbatches = 4;
+  request.options.target_layers = 2;
+  request.options.max_search_nodes = kBenchSearchBudget;
+  request.options.tenant = tenant;
+  return request;
+}
+
+Sample TimedCall(serve::RemotePlanService& client, const serve::ServeRequest& request) {
+  Sample sample;
+  const double start = NowSeconds();
+  const StatusOr<serve::ServeResponse> response = client.Call(request);
+  sample.seconds = NowSeconds() - start;
+  sample.ok = response.ok() && response.value().ToStatus().ok();
+  sample.cache_hit = response.ok() && response.value().plan_cache_hit;
+  return sample;
+}
+
+double PercentileMs(std::vector<double> seconds, double p) {
+  if (seconds.empty()) {
+    return 0.0;
+  }
+  std::sort(seconds.begin(), seconds.end());
+  const size_t index = std::min(seconds.size() - 1,
+                                static_cast<size_t>(p * static_cast<double>(seconds.size())));
+  return seconds[index] * 1e3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchFlags flags = ParseBenchFlags(argc, argv);
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") {
+      smoke = true;
+    }
+  }
+  const int kModels = smoke ? 4 : 12;
+  const int kClients = smoke ? 2 : 4;
+  const int kWarmRounds = smoke ? 2 : 8;
+
+  JsonReport report("serve_storm");
+
+  // Self-host a daemon unless --server points at a running one.
+  const bool self_hosted = flags.server.empty();
+  std::string socket_path = flags.server;
+  std::string cache_dir;
+  std::unique_ptr<serve::PlanServer> server;
+  if (self_hosted) {
+    const std::string tag = std::to_string(static_cast<long long>(::getpid()));
+    socket_path = "/tmp/alpa_serve_storm_" + tag + ".sock";
+    cache_dir = (std::filesystem::temp_directory_path() / ("alpa_serve_storm_cache_" + tag))
+                    .string();
+    serve::PlanCache::Global().Clear(/*also_disk=*/true);
+    serve::ServerOptions options;
+    options.socket_path = socket_path;
+    options.num_workers = flags.threads > 1 ? flags.threads : 2;
+    options.max_queue = 256;
+    options.max_per_tenant = 64;
+    options.plan_cache_dir = cache_dir;
+    server = std::make_unique<serve::PlanServer>(options);
+    const Status status = server->Start();
+    if (!status.ok()) {
+      std::fprintf(stderr, "serve_storm: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("=== Plan-server storm (%s, %d models, %d clients) ===\n",
+              self_hosted ? "self-hosted daemon" : socket_path.c_str(), kModels, kClients);
+
+  // --- Phase 1: cold compiles (one per distinct model). ---
+  std::vector<double> cold_seconds;
+  int cold_failures = 0;
+  {
+    serve::RemotePlanService client(socket_path);
+    const double start = NowSeconds();
+    for (int m = 0; m < kModels; ++m) {
+      const Sample sample = TimedCall(client, StormRequest(m, "cold"));
+      if (!sample.ok) {
+        ++cold_failures;
+        continue;
+      }
+      cold_seconds.push_back(sample.seconds);
+    }
+    const double wall = NowSeconds() - start;
+    std::printf("cold:    %2d plans in %6.2f s (%6.2f plans/s, p50 %7.2f ms, p99 %7.2f ms)\n",
+                kModels, wall, kModels / wall, PercentileMs(cold_seconds, 0.50),
+                PercentileMs(cold_seconds, 0.99));
+    report.AddRow()
+        .Str("phase", "cold")
+        .Int("requests", kModels)
+        .Int("failures", cold_failures)
+        .Num("wall_seconds", wall)
+        .Num("plans_per_second", kModels / wall)
+        .Num("p50_ms", PercentileMs(cold_seconds, 0.50))
+        .Num("p99_ms", PercentileMs(cold_seconds, 0.99));
+  }
+
+  // --- Phase 2: warm storm (every request a cache hit). ---
+  {
+    std::vector<std::vector<Sample>> per_client(kClients);
+    const double start = NowSeconds();
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        serve::RemotePlanService client(socket_path);
+        const std::string tenant = "tenant-" + std::to_string(c);
+        for (int round = 0; round < kWarmRounds; ++round) {
+          for (int m = 0; m < kModels; ++m) {
+            per_client[c].push_back(TimedCall(client, StormRequest(m, tenant)));
+          }
+        }
+      });
+    }
+    for (std::thread& thread : clients) {
+      thread.join();
+    }
+    const double wall = NowSeconds() - start;
+
+    std::vector<double> warm_seconds;
+    int hits = 0;
+    int failures = 0;
+    for (const std::vector<Sample>& samples : per_client) {
+      for (const Sample& sample : samples) {
+        if (!sample.ok) {
+          ++failures;
+          continue;
+        }
+        warm_seconds.push_back(sample.seconds);
+        hits += sample.cache_hit ? 1 : 0;
+      }
+    }
+    const int total = kClients * kWarmRounds * kModels;
+    std::printf(
+        "warm:   %3d plans in %6.2f s (%6.2f plans/s, p50 %7.2f ms, p99 %7.2f ms, "
+        "%d/%d cache hits)\n",
+        total, wall, total / wall, PercentileMs(warm_seconds, 0.50),
+        PercentileMs(warm_seconds, 0.99), hits, total);
+    report.AddRow()
+        .Str("phase", "warm")
+        .Int("requests", total)
+        .Int("failures", failures)
+        .Int("cache_hits", hits)
+        .Num("wall_seconds", wall)
+        .Num("plans_per_second", total / wall)
+        .Num("p50_ms", PercentileMs(warm_seconds, 0.50))
+        .Num("p99_ms", PercentileMs(warm_seconds, 0.99));
+  }
+
+  // --- Phase 3: restart, then serve from the disk cache. ---
+  if (self_hosted) {
+    server->Stop();
+    // A new daemon process starts with an empty memory cache; only the
+    // disk entries persist.
+    serve::PlanCache::Global().Clear(/*also_disk=*/false);
+    serve::ServerOptions options = server->options();
+    server = std::make_unique<serve::PlanServer>(options);
+    const Status status = server->Start();
+    if (!status.ok()) {
+      std::fprintf(stderr, "serve_storm: restart: %s\n", status.ToString().c_str());
+      return 1;
+    }
+
+    serve::RemotePlanService client(socket_path);
+    std::vector<double> restart_seconds;
+    int hits = 0;
+    int failures = 0;
+    const double start = NowSeconds();
+    for (int m = 0; m < kModels; ++m) {
+      const Sample sample = TimedCall(client, StormRequest(m, "restart"));
+      if (!sample.ok) {
+        ++failures;
+        continue;
+      }
+      restart_seconds.push_back(sample.seconds);
+      hits += sample.cache_hit ? 1 : 0;
+    }
+    const double wall = NowSeconds() - start;
+    std::printf(
+        "restart: %2d plans in %6.2f s (%6.2f plans/s, p50 %7.2f ms, %d/%d warm from disk)\n",
+        kModels, wall, kModels / wall, PercentileMs(restart_seconds, 0.50), hits, kModels);
+    report.AddRow()
+        .Str("phase", "restart")
+        .Int("requests", kModels)
+        .Int("failures", failures)
+        .Int("cache_hits", hits)
+        .Num("wall_seconds", wall)
+        .Num("plans_per_second", kModels / wall)
+        .Num("p50_ms", PercentileMs(restart_seconds, 0.50))
+        .Num("p99_ms", PercentileMs(restart_seconds, 0.99));
+
+    server->Stop();
+    const serve::ServerStats stats = server->stats();
+    const int expected_warm = kModels;
+    if (failures > 0 || cold_failures > 0 || hits != expected_warm) {
+      std::fprintf(stderr,
+                   "serve_storm: FAILED (cold_failures=%d failures=%d disk_warm=%d/%d "
+                   "rejected=%lld)\n",
+                   cold_failures, failures, hits, expected_warm,
+                   static_cast<long long>(stats.rejected_queue));
+      return 1;
+    }
+    std::error_code ec;
+    std::filesystem::remove_all(cache_dir, ec);
+    ::unlink(socket_path.c_str());
+  }
+
+  if (!report.Write(flags.json_path)) {
+    return 1;
+  }
+  return cold_failures == 0 ? 0 : 1;
+}

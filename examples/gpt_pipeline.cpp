@@ -4,12 +4,28 @@
 // Builds the GPT-1.3B configuration of Table 5, compiles it with both
 // systems for one 8-GPU node, and compares simulated training throughput.
 #include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
 
 #include "src/baselines/baselines.h"
 #include "src/models/gpt.h"
+#include "src/serve/client.h"
+#include "src/serve/service.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace alpa;
+
+  // Optional: `--server SOCKET` compiles the Alpa plan on an alpa_serve
+  // daemon; the manual baselines always compile in-process.
+  std::string server;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--server") == 0 && i + 1 < argc) {
+      server = argv[i + 1];
+    } else if (std::strncmp(argv[i], "--server=", 9) == 0) {
+      server = argv[i] + 9;
+    }
+  }
 
   GptConfig model;
   model.hidden = 2048;
@@ -23,7 +39,18 @@ int main() {
   const ClusterSpec cluster = ClusterSpec::AwsP3(1, 8);
   const int num_microbatches = 32;  // Gradient accumulation steps.
 
-  const BaselineResult alpa = RunAlpa(BuildGpt(model), cluster, num_microbatches, 12);
+  std::unique_ptr<serve::PlanService> service;
+  if (server.empty()) {
+    service = std::make_unique<serve::InProcessPlanService>();
+  } else {
+    service = std::make_unique<serve::RemotePlanService>(server);
+  }
+  serve::PlanRequest request;
+  request.graph = BuildGpt(model);
+  request.cluster = cluster;
+  request.options.num_microbatches = num_microbatches;
+  request.options.target_layers = 12;
+  const BaselineResult alpa{"alpa", service->CompileAndSimulate(request)};
   const BaselineResult megatron = RunMegatron(BuildGpt(model), cluster, num_microbatches, 12);
   const BaselineResult intra = RunIntraOnly(BuildGpt(model), cluster, num_microbatches);
 

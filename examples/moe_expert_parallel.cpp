@@ -6,12 +6,34 @@
 // cross the slow 25 Gbps links when the model spans nodes. Alpa instead
 // pipelines across nodes and keeps the heavy collectives on NVLink.
 #include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
 
 #include "src/baselines/baselines.h"
 #include "src/models/moe.h"
+#include "src/serve/client.h"
+#include "src/serve/service.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace alpa;
+
+  // Optional: `--server SOCKET` compiles the Alpa plans on an alpa_serve
+  // daemon; the DeepSpeed baseline always compiles in-process.
+  std::string server;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--server") == 0 && i + 1 < argc) {
+      server = argv[i + 1];
+    } else if (std::strncmp(argv[i], "--server=", 9) == 0) {
+      server = argv[i] + 9;
+    }
+  }
+  std::unique_ptr<serve::PlanService> service;
+  if (server.empty()) {
+    service = std::make_unique<serve::InProcessPlanService>();
+  } else {
+    service = std::make_unique<serve::RemotePlanService>(server);
+  }
 
   MoeConfig model;
   model.hidden = 1024;
@@ -27,7 +49,12 @@ int main() {
   for (int hosts : {1, 2}) {
     const ClusterSpec cluster = ClusterSpec::AwsP3(hosts, 8);
     std::printf("\n--- %d node(s), %d GPUs ---\n", hosts, cluster.num_devices());
-    const BaselineResult alpa = RunAlpa(BuildMoe(model), cluster, num_microbatches, 16);
+    serve::PlanRequest request;
+    request.graph = BuildMoe(model);
+    request.cluster = cluster;
+    request.options.num_microbatches = num_microbatches;
+    request.options.target_layers = 16;
+    const BaselineResult alpa{"alpa", service->CompileAndSimulate(request)};
     const BaselineResult deepspeed = RunDeepSpeedMoe(BuildMoe(model), cluster, num_microbatches);
     for (const BaselineResult* r : {&alpa, &deepspeed}) {
       if (r->stats.ok()) {

@@ -4,27 +4,39 @@
 // The C++ analogue of
 //     @parallelize
 //     def train_step(state, batch): ...
-// is: build the training graph, call alpa::Parallelize against a cluster
-// description, and execute the returned plan (here: on the simulated
-// cluster).
+// is: build the training graph, hand a PlanRequest to a PlanService, and
+// execute the returned plan (here: on the simulated cluster). The same
+// request compiles in this process by default, or on an alpa_serve daemon
+// with `--server /tmp/alpa.sock` — nothing else changes. (The free
+// functions in src/core/api.h remain as one-shot shims over the
+// in-process service.)
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "src/core/api.h"
 #include "src/models/mlp.h"
+#include "src/serve/client.h"
+#include "src/serve/service.h"
 
 int main(int argc, char** argv) {
   using namespace alpa;
 
   // Optional: `--trace out.json` writes a Chrome/Perfetto trace of the
-  // compilation passes and the simulated pipeline execution.
+  // compilation passes and the simulated pipeline execution (in-process
+  // only); `--server SOCKET` compiles on an alpa_serve daemon instead.
   std::string trace_path;
+  std::string server;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[i + 1];
     } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       trace_path = argv[i] + 8;
+    } else if (std::strcmp(argv[i], "--server") == 0 && i + 1 < argc) {
+      server = argv[i + 1];
+    } else if (std::strncmp(argv[i], "--server=", 9) == 0) {
+      server = argv[i] + 9;
     }
   }
 
@@ -43,18 +55,26 @@ int main(int argc, char** argv) {
   const ClusterSpec cluster = ClusterSpec::AwsP3(/*num_hosts=*/1, /*devices_per_host=*/8);
   std::printf("cluster: %s\n", cluster.ToString().c_str());
 
-  // 3. Parallelize: the inter-op DP slices the model into pipeline stages
-  //    and the cluster into meshes; the intra-op ILP picks a sharding for
-  //    every operator of every stage.
-  const ParallelizeOptions options = ParallelizeOptions::Builder()
-                                         .microbatches(8)
-                                         .target_layers(3)
-                                         .trace(trace_path)
-                                         .Build();
+  // 3. Parallelize through the PlanService: the inter-op DP slices the
+  //    model into pipeline stages and the cluster into meshes; the
+  //    intra-op ILP picks a sharding for every operator of every stage.
+  std::unique_ptr<serve::PlanService> service;
+  if (server.empty()) {
+    service = std::make_unique<serve::InProcessPlanService>();
+  } else {
+    service = std::make_unique<serve::RemotePlanService>(server);
+  }
+  serve::PlanRequest request;
+  request.graph = graph;
+  request.cluster = cluster;
+  request.options.num_microbatches = 8;
+  request.options.target_layers = 3;
+  request.options.trace_path = trace_path;
   ParallelPlan plan;
-  const StatusOr<ExecutionStats> stats = CompileAndSimulate(graph, cluster, options, &plan);
+  const StatusOr<ExecutionStats> stats = service->CompileAndSimulate(request, &plan);
   if (!stats.ok()) {
-    std::printf("parallelization failed: %s\n", stats.status().ToString().c_str());
+    std::printf("parallelization failed (%s): %s\n", service->name().c_str(),
+                stats.status().ToString().c_str());
     return 1;
   }
 

@@ -7,22 +7,31 @@
 // study).
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "src/core/api.h"
 #include "src/core/visualize.h"
 #include "src/models/wide_resnet.h"
+#include "src/serve/client.h"
+#include "src/serve/service.h"
 
 int main(int argc, char** argv) {
   using namespace alpa;
 
-  // Optional: `--trace out.json` for a Chrome/Perfetto compile+execute trace.
+  // Optional: `--trace out.json` for a Chrome/Perfetto compile+execute
+  // trace; `--server SOCKET` compiles on an alpa_serve daemon.
   std::string trace_path;
+  std::string server;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[i + 1];
     } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       trace_path = argv[i] + 8;
+    } else if (std::strcmp(argv[i], "--server") == 0 && i + 1 < argc) {
+      server = argv[i + 1];
+    } else if (std::strncmp(argv[i], "--server=", 9) == 0) {
+      server = argv[i] + 9;
     }
   }
 
@@ -34,15 +43,20 @@ int main(int argc, char** argv) {
   std::printf("Wide-ResNet-50: %.2fB parameters (fp32)\n",
               static_cast<double>(model.NumParams()) / 1e9);
 
-  Graph graph = BuildWideResNet(model);
-  const ClusterSpec cluster = ClusterSpec::AwsP3(1, 4);
-  const ParallelizeOptions options = ParallelizeOptions::Builder()
-                                         .microbatches(24)
-                                         .target_layers(8)
-                                         .trace(trace_path)
-                                         .Build();
+  std::unique_ptr<serve::PlanService> service;
+  if (server.empty()) {
+    service = std::make_unique<serve::InProcessPlanService>();
+  } else {
+    service = std::make_unique<serve::RemotePlanService>(server);
+  }
+  serve::PlanRequest request;
+  request.graph = BuildWideResNet(model);
+  request.cluster = ClusterSpec::AwsP3(1, 4);
+  request.options.num_microbatches = 24;
+  request.options.target_layers = 8;
+  request.options.trace_path = trace_path;
   ParallelPlan plan;
-  const StatusOr<ExecutionStats> stats = CompileAndSimulate(graph, cluster, options, &plan);
+  const StatusOr<ExecutionStats> stats = service->CompileAndSimulate(request, &plan);
   if (!stats.ok()) {
     std::printf("%s\n", stats.status().ToString().c_str());
     return 1;

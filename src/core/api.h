@@ -7,6 +7,13 @@
 // analytical cluster model and reports iteration latency, aggregate PFLOPS
 // (the paper's weak-scaling metric, 7.1), memory, and pipeline bubbles.
 //
+// The PRIMARY client API is alpa::serve::PlanService (src/serve/service.h):
+// the same three operations as a request/response surface that runs
+// in-process (InProcessPlanService, layered over the persistent plan cache)
+// or against an alpa_serve daemon (RemotePlanService) without the caller
+// changing. The free functions below remain as documented thin shims for
+// one-shot compiles that want neither request plumbing nor caching.
+//
 // Failures are structured (src/support/status.h) rather than flag pairs:
 //   kInvalidArgument   — contradictory or out-of-range options
 //   kInfeasible        — clustering/stage-DP found no plan under the budget

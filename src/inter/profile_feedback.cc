@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/support/hashing.h"
+
 namespace alpa {
 
 void MeasuredProfileSource::AddMeasurement(int begin, int end, const SubmeshShape& shape,
@@ -37,6 +39,20 @@ void MeasuredProfileSource::Apply(int begin, int end, const SubmeshShape& shape,
   if (profile->t_intra < kInfCost) {
     profile->t_intra *= calibration_ratio_;
   }
+}
+
+uint64_t MeasuredProfileSource::Fingerprint() const {
+  Fnv1a64 hasher;
+  hasher.Str("measured_profile_source");
+  for (const auto& [key, t_intra] : measured_) {
+    hasher.I32(std::get<0>(key)).I32(std::get<1>(key)).I32(std::get<2>(key)).I32(std::get<3>(key));
+    hasher.Double(t_intra);
+  }
+  hasher.Double(calibration_ratio_);
+  // A fingerprint of 0 means "uncacheable"; remap the (astronomically
+  // unlikely) collision so an empty-but-finalized source still has a
+  // distinct, stable identity.
+  return hasher.hash() == 0 ? 1 : hasher.hash();
 }
 
 }  // namespace alpa

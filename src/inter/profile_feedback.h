@@ -29,6 +29,11 @@ class ProfileSource {
   // physical submesh shape.
   virtual void Apply(int begin, int end, const SubmeshShape& shape,
                      StageProfile* profile) const = 0;
+  // Stable content fingerprint for plan-cache keys: two sources with the
+  // same fingerprint must transform profiles identically. Return 0 (the
+  // default) when no stable fingerprint exists — a compile driven by such
+  // a source is not cacheable, which is always safe.
+  virtual uint64_t Fingerprint() const { return 0; }
 };
 
 // Profile override built from measured per-stage times of an executed
@@ -52,6 +57,11 @@ class MeasuredProfileSource : public ProfileSource {
   // exist). Memory fields are never touched — they come from the model.
   void Apply(int begin, int end, const SubmeshShape& shape,
              StageProfile* profile) const override;
+
+  // Hashes every measurement and the calibration ratio, so recompiles fed
+  // by different measured timings (or none at all) can never alias each
+  // other in the plan cache. Never returns 0.
+  uint64_t Fingerprint() const override;
 
   double calibration_ratio() const { return calibration_ratio_; }
   int num_measurements() const { return static_cast<int>(measured_.size()); }

@@ -1,0 +1,49 @@
+// RemotePlanService: the PlanService implementation that talks to an
+// alpa_serve daemon over its unix socket, speaking the wire protocol
+// (src/serve/protocol.h).
+//
+// Each call opens a connection (unix-socket connects are microseconds;
+// one-connection-per-request keeps the client trivially thread-safe and
+// immune to half-dead pooled sockets). Local-only request options —
+// profile_source, trace_path, compile_threads — never cross the wire; the
+// server applies its own policies for those.
+#ifndef SRC_SERVE_CLIENT_H_
+#define SRC_SERVE_CLIENT_H_
+
+#include <string>
+
+#include "src/serve/protocol.h"
+#include "src/serve/service.h"
+
+namespace alpa {
+namespace serve {
+
+class RemotePlanService : public PlanService {
+ public:
+  explicit RemotePlanService(std::string socket_path) : socket_path_(std::move(socket_path)) {}
+
+  StatusOr<ParallelPlan> Parallelize(const PlanRequest& request) override;
+  StatusOr<ExecutionStats> Simulate(const PlanRequest& request,
+                                    const ParallelPlan& plan) override;
+  StatusOr<RepairResult> Repair(const PlanRequest& request, const RepairOptions& repair) override;
+  std::string name() const override { return "remote(" + socket_path_ + ")"; }
+
+  // Liveness probe: kUnavailable when the daemon is not reachable.
+  Status Ping();
+
+  // Raw round-trip (benchmarks read the response's observability fields:
+  // queue_seconds, compile_seconds, plan_cache_hit). Transport failures
+  // surface as kUnavailable; the response's own status is NOT folded in —
+  // inspect response.ToStatus().
+  StatusOr<ServeResponse> Call(const ServeRequest& request);
+
+  const std::string& socket_path() const { return socket_path_; }
+
+ private:
+  std::string socket_path_;
+};
+
+}  // namespace serve
+}  // namespace alpa
+
+#endif  // SRC_SERVE_CLIENT_H_

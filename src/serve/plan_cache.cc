@@ -1,0 +1,259 @@
+#include "src/serve/plan_cache.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/serve/wire.h"
+#include "src/support/hashing.h"
+#include "src/support/strings.h"
+#include "src/support/trace.h"
+
+namespace alpa {
+namespace serve {
+
+namespace {
+
+// Reads a whole file; false on any error.
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return static_cast<bool>(in);
+}
+
+// Writes a whole file atomically (temp + rename); false on any error.
+bool WriteFileAtomic(const std::string& path, const std::string& data) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return false;
+    }
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    if (!out) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+PlanCache& PlanCache::Global() {
+  static PlanCache* cache = new PlanCache();
+  return *cache;
+}
+
+Status PlanCache::SetDiskDir(const std::string& dir) {
+  if (!dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+      return Status::Internal(
+          StrFormat("plan cache: cannot create %s: %s", dir.c_str(), ec.message().c_str()));
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  disk_dir_ = dir;
+  return Status::Ok();
+}
+
+std::string PlanCache::disk_dir() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return disk_dir_;
+}
+
+std::string PlanCache::EntryPath(const PlanCacheKey& key) const {
+  return StrFormat("%s/%016llx-%016llx.plan", disk_dir_.c_str(),
+                   static_cast<unsigned long long>(key.graph_hash),
+                   static_cast<unsigned long long>(key.config_hash));
+}
+
+bool PlanCache::Lookup(const PlanCacheKey& key, ParallelPlan* plan) {
+  static Metric* memory_hits = Metrics::Get("plan_cache/memory_hits");
+  static Metric* disk_hits = Metrics::Get("plan_cache/disk_hits");
+  static Metric* misses = Metrics::Get("plan_cache/misses");
+
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      *plan = it->second;
+      ++stats_.memory_hits;
+      memory_hits->Add(1);
+      return true;
+    }
+    if (disk_dir_.empty()) {
+      ++stats_.misses;
+      misses->Add(1);
+      return false;
+    }
+    path = EntryPath(key);
+  }
+
+  // Disk probe outside the lock: file IO and decoding are slow.
+  std::string blob;
+  bool hit = false;
+  if (ReadFile(path, &blob)) {
+    std::string_view payload;
+    if (WireUnpack(blob, WireKind::kCacheEntry, &payload).ok()) {
+      WireReader r(payload);
+      PlanCacheKey stored;
+      stored.graph_hash = r.U64();
+      stored.config_hash = r.U64();
+      ParallelPlan decoded;
+      if (r.ok() && stored == key && DecodePlan(&r, &decoded).ok() && r.remaining() == 0) {
+        *plan = std::move(decoded);
+        hit = true;
+      }
+    }
+    if (!hit) {
+      // Corrupt or stale-format entry: self-clean so it is not re-probed.
+      std::remove(path.c_str());
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (hit) {
+    entries_.emplace(key, *plan);  // Promote; first writer wins.
+    ++stats_.disk_hits;
+    disk_hits->Add(1);
+  } else {
+    ++stats_.misses;
+    misses->Add(1);
+  }
+  return hit;
+}
+
+void PlanCache::Insert(const PlanCacheKey& key, const ParallelPlan& plan) {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.emplace(key, plan);
+    static Metric* size_metric = Metrics::Get("plan_cache/entries");
+    size_metric->Set(static_cast<int64_t>(entries_.size()));
+    if (disk_dir_.empty()) {
+      return;
+    }
+    path = EntryPath(key);
+  }
+  WireWriter w;
+  w.U64(key.graph_hash);
+  w.U64(key.config_hash);
+  EncodePlan(plan, &w);
+  WriteFileAtomic(path, WirePack(WireKind::kCacheEntry, w.Take()));
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void PlanCache::Clear(bool also_disk) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  stats_ = PlanCacheStats();
+  if (also_disk && !disk_dir_.empty()) {
+    std::error_code ec;
+    for (const auto& entry : std::filesystem::directory_iterator(disk_dir_, ec)) {
+      if (entry.path().extension() == ".plan") {
+        std::filesystem::remove(entry.path(), ec);
+      }
+    }
+  }
+}
+
+bool ComputePlanCacheKey(const Graph& graph, const ClusterSpec& cluster,
+                         const ParallelizeOptions& options, PlanCacheKey* key) {
+  const IntraOpOptions& intra = options.inter.profiler.intra;
+  // Closures and explicit overrides cannot be folded into a hash.
+  if (intra.filter != nullptr || !intra.forced_choice.empty() || !intra.solver.seeds.empty()) {
+    return false;
+  }
+  // A profile source without a stable fingerprint makes the compile
+  // irreproducible from hashable inputs — the bug this key exists to
+  // prevent is a measured-profile recompile silently aliasing the
+  // analytical entry.
+  const uint64_t profile_fingerprint =
+      options.inter.profile_source != nullptr ? options.inter.profile_source->Fingerprint() : 0;
+  if (options.inter.profile_source != nullptr && profile_fingerprint == 0) {
+    return false;
+  }
+
+  // Graph: hash the wire encoding — full field coverage (names and layer
+  // tags included) by construction, unlike StructuralHash.
+  {
+    WireWriter w;
+    EncodeGraph(graph, &w);
+    Fnv1a64 hasher;
+    hasher.Bytes(w.data().data(), w.size());
+    key->graph_hash = hasher.hash();
+  }
+
+  // Config: full cluster (extent + faults, via the wire encoding) and
+  // every plain option field that steers compilation. compile_threads and
+  // trace_path are deliberately excluded: both are guaranteed
+  // plan-invariant (PlanEquals determinism, PR 1).
+  Fnv1a64 hasher;
+  {
+    WireWriter w;
+    EncodeClusterSpec(cluster, &w);
+    hasher.Bytes(w.data().data(), w.size());
+  }
+  hasher.I32(static_cast<int32_t>(options.schedule));
+  hasher.Bool(options.enable_interop);
+  hasher.Bool(options.enable_intraop);
+  hasher.I32(static_cast<int32_t>(options.reshard));
+  const InterOpOptions& inter = options.inter;
+  hasher.I32(inter.num_microbatches);
+  hasher.I32(inter.target_layers);
+  hasher.Double(inter.clustering_delta);
+  hasher.I32(static_cast<int32_t>(inter.clustering));
+  hasher.Bool(inter.equal_layer_stages);
+  hasher.Double(inter.dp.epsilon);
+  hasher.I32(inter.dp.max_stages);
+  hasher.Double(inter.dp.device_memory_override);
+  hasher.I32(inter.dp.max_tmax_candidates);
+  hasher.I32(static_cast<int32_t>(inter.submesh_shapes.size()));
+  for (const SubmeshShape& shape : inter.submesh_shapes) {
+    hasher.I32(shape.num_hosts).I32(shape.devices_per_host);
+  }
+  hasher.Bool(inter.profiler.exact_intervals);
+  hasher.Bool(inter.profiler.memory_modes);
+  hasher.Bool(inter.profiler.dedup_identical_layers);
+  hasher.Bool(inter.profiler.use_ilp_cache);
+  hasher.I32(static_cast<int32_t>(intra.precision));
+  hasher.Bool(intra.rematerialize);
+  hasher.Double(intra.activation_fraction);
+  hasher.I32(intra.num_microbatches);
+  hasher.Bool(intra.seed_with_plan_families);
+  hasher.I64(intra.solver.max_search_nodes);
+  hasher.I64(intra.solver.max_elimination_table);
+  hasher.I32(intra.solver.beam_width);
+  hasher.I32(static_cast<int32_t>(intra.solver.engine));
+  hasher.Bool(intra.solver.use_core_memo);
+  hasher.U64(profile_fingerprint);
+  key->config_hash = hasher.hash();
+  return true;
+}
+
+}  // namespace serve
+}  // namespace alpa

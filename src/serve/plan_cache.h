@@ -1,0 +1,106 @@
+// Process-wide, disk-backed cache of full compiled plans.
+//
+// The ILP memo (src/intra/ilp_cache) amortizes per-layer solves within a
+// process; this cache sits one level up and amortizes whole Parallelize()
+// calls — and, through its disk layer, lets warm hits survive process
+// restarts. A server restart replays its cached plans from disk instead of
+// recompiling, which is the property the serve storm bench locks in.
+//
+// Key. `graph_hash` covers the full wire encoding of the operator graph —
+// names and layer tags included, unlike Graph::StructuralHash, so two
+// models whose contractions agree but whose layer assignments differ can
+// never alias. `config_hash` covers the full cluster (extent, device
+// roofline, interconnect, fault scenario) plus every plain field of the
+// finalized ParallelizeOptions that steers compilation, plus the active
+// profile_source fingerprint. Thread counts and trace paths are excluded:
+// both are guaranteed not to change the plan (PlanEquals determinism).
+//
+// Uncacheable compiles: options carrying closures (AlgorithmFilter,
+// forced_choice, solver seeds) or a ProfileSource without a stable
+// Fingerprint() cannot be hashed; ComputePlanCacheKey returns false and
+// the compile simply runs.
+//
+// Disk layer. Each entry is one file `<graph>-<config>.plan` under the
+// cache dir, holding a kCacheEntry wire envelope (key + plan). Writes go
+// through a temp file + rename, so readers never observe a torn entry. A
+// corrupt, truncated, or version-skewed file is treated as a miss (and
+// removed); the envelope's version field makes format bumps self-cleaning.
+//
+// Thread safety: all methods are safe to call concurrently.
+#ifndef SRC_SERVE_PLAN_CACHE_H_
+#define SRC_SERVE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "src/core/api.h"
+#include "src/support/status.h"
+
+namespace alpa {
+namespace serve {
+
+struct PlanCacheKey {
+  uint64_t graph_hash = 0;
+  uint64_t config_hash = 0;
+  bool operator==(const PlanCacheKey&) const = default;
+};
+
+struct PlanCacheStats {
+  int64_t memory_hits = 0;
+  int64_t disk_hits = 0;
+  int64_t misses = 0;
+};
+
+class PlanCache {
+ public:
+  // The process-wide instance (used by InProcessPlanService and the serve
+  // daemon). Starts memory-only; point it at a directory to persist.
+  static PlanCache& Global();
+
+  // Enables (non-empty) or disables (empty) the disk layer. Creates the
+  // directory if needed; returns kInternal when creation fails.
+  Status SetDiskDir(const std::string& dir);
+  std::string disk_dir() const;
+
+  // Memory first, then disk (a disk hit is promoted to memory). False =
+  // miss.
+  bool Lookup(const PlanCacheKey& key, ParallelPlan* plan);
+  // Inserts into memory and, when a disk dir is set, persists the entry.
+  // Disk write failures are silent (the cache is an optimization).
+  void Insert(const PlanCacheKey& key, const ParallelPlan& plan);
+
+  PlanCacheStats stats() const;
+  size_t size() const;  // In-memory entries.
+  // Drops in-memory entries and zeroes counters; `also_disk` removes the
+  // persisted files too.
+  void Clear(bool also_disk = false);
+
+ private:
+  struct KeyHash {
+    size_t operator()(const PlanCacheKey& key) const {
+      return static_cast<size_t>(key.graph_hash ^ (key.config_hash * 0x9e3779b97f4a7c15ull));
+    }
+  };
+
+  std::string EntryPath(const PlanCacheKey& key) const;
+
+  mutable std::mutex mu_;
+  std::string disk_dir_;
+  std::unordered_map<PlanCacheKey, ParallelPlan, KeyHash> entries_;
+  PlanCacheStats stats_;
+};
+
+// Builds the cache key for compiling `graph` on `cluster` under `options`
+// (which must already be Finalize()d so the mirror fields are resolved).
+// Returns false when the compile is ineligible for caching: closures
+// (filter, forced choices, solver seeds) or a profile_source with no
+// stable fingerprint cannot be hashed.
+bool ComputePlanCacheKey(const Graph& graph, const ClusterSpec& cluster,
+                         const ParallelizeOptions& options, PlanCacheKey* key);
+
+}  // namespace serve
+}  // namespace alpa
+
+#endif  // SRC_SERVE_PLAN_CACHE_H_

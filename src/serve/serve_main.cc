@@ -1,0 +1,95 @@
+// alpa_serve — the plan-compilation daemon.
+//
+//   alpa_serve --socket /tmp/alpa.sock [--workers N] [--cache-dir DIR]
+//              [--max-queue N] [--max-per-tenant N] [--deadline SECONDS]
+//
+// Serves Parallelize/Simulate/Repair requests over a unix socket using
+// the versioned wire format; see src/serve/server.h for the architecture
+// and README.md for a client quick-start. SIGINT/SIGTERM drain and exit.
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "src/serve/server.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void HandleSignal(int) { g_stop.store(true); }
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --socket PATH [--workers N] [--cache-dir DIR] [--max-queue N]\n"
+               "          [--max-per-tenant N] [--deadline SECONDS]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  alpa::serve::ServerOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--socket") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.socket_path = v;
+    } else if (arg == "--workers") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.num_workers = std::atoi(v);
+    } else if (arg == "--cache-dir") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.plan_cache_dir = v;
+    } else if (arg == "--max-queue") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.max_queue = std::atoi(v);
+    } else if (arg == "--max-per-tenant") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.max_per_tenant = std::atoi(v);
+    } else if (arg == "--deadline") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.default_deadline_seconds = std::atof(v);
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (options.socket_path.empty()) {
+    return Usage(argv[0]);
+  }
+
+  alpa::serve::PlanServer server(options);
+  const alpa::Status status = server.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "alpa_serve: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  std::printf("alpa_serve: listening on %s (%d workers, cache %s)\n",
+              options.socket_path.c_str(), options.num_workers,
+              options.plan_cache_dir.empty() ? "<memory-only>" : options.plan_cache_dir.c_str());
+  std::fflush(stdout);
+
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  server.Stop();
+  const alpa::serve::ServerStats stats = server.stats();
+  std::printf("alpa_serve: served=%lld rejected=%lld expired=%lld cache_hits=%lld\n",
+              static_cast<long long>(stats.served), static_cast<long long>(stats.rejected_queue),
+              static_cast<long long>(stats.expired),
+              static_cast<long long>(stats.plan_cache_hits));
+  return 0;
+}

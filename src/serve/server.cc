@@ -1,0 +1,351 @@
+#include "src/serve/server.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "src/serve/plan_cache.h"
+#include "src/support/logging.h"
+#include "src/support/strings.h"
+#include "src/support/trace.h"
+
+namespace alpa {
+namespace serve {
+
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Waits until `fd` is readable; false on shutdown/hangup. Poll in slices
+// so connection threads notice Stop() within ~200ms even on idle clients.
+bool WaitReadable(int fd, const std::atomic<bool>& running) {
+  while (running.load(std::memory_order_relaxed)) {
+    struct pollfd pfd = {fd, POLLIN, 0};
+    const int k = ::poll(&pfd, 1, 200);
+    if (k < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    if (k > 0) {
+      return (pfd.revents & (POLLIN | POLLHUP)) != 0;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+PlanServer::PlanServer(ServerOptions options) : options_(std::move(options)) {}
+
+PlanServer::~PlanServer() { Stop(); }
+
+Status PlanServer::Start() {
+  if (options_.socket_path.empty()) {
+    return Status::InvalidArgument("server: socket_path is required");
+  }
+  if (options_.socket_path.size() >= sizeof(sockaddr_un::sun_path)) {
+    return Status::InvalidArgument("server: socket_path too long for AF_UNIX");
+  }
+  if (!options_.plan_cache_dir.empty()) {
+    ALPA_RETURN_IF_ERROR(PlanCache::Global().SetDiskDir(options_.plan_cache_dir));
+  }
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(StrFormat("socket: %s", std::strerror(errno)));
+  }
+  ::unlink(options_.socket_path.c_str());  // Stale socket from a crash.
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, options_.socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal(
+        StrFormat("bind %s: %s", options_.socket_path.c_str(), std::strerror(errno)));
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal(StrFormat("listen: %s", std::strerror(errno)));
+  }
+
+  running_.store(true);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  const int num_workers = options_.num_workers > 0 ? options_.num_workers : 1;
+  workers_.reserve(num_workers);
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+  return Status::Ok();
+}
+
+void PlanServer::Stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  // Fail everything still queued; waiting connections get kUnavailable.
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    for (auto& [tenant, queue] : tenant_queues_) {
+      for (const std::shared_ptr<Job>& job : queue) {
+        std::lock_guard<std::mutex> job_lock(job->mu);
+        job->response = ServeResponse::FromStatus(Status::Unavailable("server shutting down"));
+        job->done = true;
+        job->cv.notify_all();
+      }
+    }
+    tenant_queues_.clear();
+    total_queued_ = 0;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+  workers_.clear();
+  if (acceptor_.joinable()) {
+    acceptor_.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(options_.socket_path.c_str());
+  }
+  std::vector<std::thread> connections;
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    connections.swap(connections_);
+  }
+  for (std::thread& connection : connections) {
+    connection.join();
+  }
+}
+
+ServerStats PlanServer::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void PlanServer::AcceptLoop() {
+  while (running_.load(std::memory_order_relaxed)) {
+    if (!WaitReadable(listen_fd_, running_)) {
+      break;
+    }
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      break;
+    }
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    connections_.emplace_back([this, fd] { ConnectionLoop(fd); });
+  }
+}
+
+void PlanServer::ConnectionLoop(int fd) {
+  while (running_.load(std::memory_order_relaxed)) {
+    if (!WaitReadable(fd, running_)) {
+      break;
+    }
+    std::string blob;
+    const Status read_status = ReadFrame(fd, &blob);
+    if (!read_status.ok()) {
+      break;  // EOF or a broken/oversized frame: drop the connection.
+    }
+    ServeResponse response;
+    auto request = DeserializeRequest(blob);
+    if (!request.ok()) {
+      // Malformed request: structured error back, connection stays up.
+      response = ServeResponse::FromStatus(request.status());
+    } else {
+      std::shared_ptr<Job> job = Admit(std::move(request).value());
+      if (job == nullptr) {
+        response = ServeResponse::FromStatus(
+            Status::Unavailable("admission queue full, retry later"));
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.rejected_queue;
+      } else {
+        std::unique_lock<std::mutex> job_lock(job->mu);
+        job->cv.wait(job_lock, [&job] { return job->done; });
+        response = job->response;
+      }
+    }
+    if (!WriteFrame(fd, SerializeResponse(response)).ok()) {
+      break;
+    }
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.served;
+  }
+  ::close(fd);
+}
+
+std::shared_ptr<PlanServer::Job> PlanServer::Admit(ServeRequest request) {
+  auto job = std::make_shared<Job>();
+  job->deadline_seconds = request.options.deadline_seconds > 0
+                              ? request.options.deadline_seconds
+                              : options_.default_deadline_seconds;
+  job->request = std::move(request);
+  job->enqueue_time = NowSeconds();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (total_queued_ >= options_.max_queue) {
+      return nullptr;
+    }
+    std::deque<std::shared_ptr<Job>>& queue = tenant_queues_[job->request.options.tenant];
+    if (static_cast<int>(queue.size()) >= options_.max_per_tenant) {
+      return nullptr;
+    }
+    queue.push_back(job);
+    ++total_queued_;
+  }
+  queue_cv_.notify_one();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.accepted;
+  }
+  return job;
+}
+
+std::shared_ptr<PlanServer::Job> PlanServer::NextJob() {
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  queue_cv_.wait(lock, [this] {
+    return total_queued_ > 0 || !running_.load(std::memory_order_relaxed);
+  });
+  if (total_queued_ == 0) {
+    return nullptr;
+  }
+  // Round-robin over tenants: take the first non-empty queue at or after
+  // the cursor, wrapping; advance the cursor past the chosen tenant.
+  auto it = tenant_queues_.lower_bound(next_tenant_);
+  for (size_t probes = 0; probes <= tenant_queues_.size(); ++probes) {
+    if (it == tenant_queues_.end()) {
+      it = tenant_queues_.begin();
+    }
+    if (!it->second.empty()) {
+      break;
+    }
+    ++it;
+  }
+  std::shared_ptr<Job> job = it->second.front();
+  it->second.pop_front();
+  --total_queued_;
+  auto next = std::next(it);
+  next_tenant_ = next == tenant_queues_.end() ? std::string() : next->first;
+  if (it->second.empty()) {
+    tenant_queues_.erase(it);
+  }
+  return job;
+}
+
+void PlanServer::WorkerLoop(int worker_index) {
+  (void)worker_index;
+  InProcessPlanService service;
+  while (true) {
+    std::shared_ptr<Job> job = NextJob();
+    if (job == nullptr) {
+      return;  // Shutdown.
+    }
+    ServeResponse response = Execute(service, *job);
+    std::lock_guard<std::mutex> job_lock(job->mu);
+    job->response = std::move(response);
+    job->done = true;
+    job->cv.notify_all();
+  }
+}
+
+ServeResponse PlanServer::Execute(InProcessPlanService& service, Job& job) {
+  TraceSpan span("serve.request", "serve");
+  static Metric* requests_metric = Metrics::Get("serve/requests");
+  requests_metric->Add(1);
+
+  const double queue_seconds = NowSeconds() - job.enqueue_time;
+  ServeResponse response;
+  response.queue_seconds = queue_seconds;
+
+  if (job.deadline_seconds > 0 && queue_seconds >= job.deadline_seconds) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.expired;
+    }
+    response = ServeResponse::FromStatus(Status::DeadlineExceeded(
+        StrFormat("deadline of %.3fs expired after %.3fs in queue", job.deadline_seconds,
+                  queue_seconds)));
+    response.queue_seconds = queue_seconds;
+    return response;
+  }
+
+  PlanRequest request;
+  request.graph = std::move(job.request.graph);
+  request.cluster = job.request.cluster;
+  request.options = job.request.options;
+  if (job.deadline_seconds > 0) {
+    // Whatever queueing consumed is gone; the compile gets the remainder.
+    request.options.deadline_seconds = job.deadline_seconds - queue_seconds;
+  }
+  // The server picks its own parallelism; clients cannot size our pools.
+  request.options.compile_threads = 1;
+
+  const double start = NowSeconds();
+  switch (job.request.method) {
+    case Method::kPing:
+      break;
+    case Method::kParallelize: {
+      auto plan = service.Parallelize(request);
+      if (plan.ok()) {
+        response.has_plan = true;
+        response.plan = std::move(plan).value();
+        response.plan_cache_hit = service.last_outcome().plan_cache_hit;
+        if (response.plan_cache_hit) {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.plan_cache_hits;
+        }
+      } else {
+        response = ServeResponse::FromStatus(plan.status());
+      }
+      break;
+    }
+    case Method::kSimulate: {
+      if (!job.request.has_plan) {
+        response = ServeResponse::FromStatus(
+            Status::InvalidArgument("simulate request carries no plan"));
+        break;
+      }
+      auto stats = service.Simulate(request, job.request.plan);
+      if (stats.ok()) {
+        response.has_stats = true;
+        response.stats = stats.value();
+      } else {
+        response = ServeResponse::FromStatus(stats.status());
+      }
+      break;
+    }
+    case Method::kRepair: {
+      auto repaired = service.Repair(request, job.request.repair);
+      if (repaired.ok()) {
+        response.has_repair = true;
+        response.repair = std::move(repaired).value();
+      } else {
+        response = ServeResponse::FromStatus(repaired.status());
+      }
+      break;
+    }
+  }
+  response.queue_seconds = queue_seconds;
+  response.compile_seconds = NowSeconds() - start;
+  return response;
+}
+
+}  // namespace serve
+}  // namespace alpa

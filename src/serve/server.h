@@ -1,0 +1,128 @@
+// The multi-tenant plan server behind the alpa_serve daemon.
+//
+// Architecture (one process):
+//
+//   acceptor thread ── accept() on a unix socket, one connection thread
+//     per client (cheap: clients are few, requests are the unit of work).
+//   connection threads ── frame in a request, run ADMISSION, park on a
+//     completion latch, frame out the response. One request outstanding
+//     per connection (pipelining adds nothing against a compute-bound
+//     backend).
+//   admission ── global bound (max_queue) and per-tenant bound
+//     (max_per_tenant). A full queue rejects IMMEDIATELY with
+//     kUnavailable — bounded latency beats unbounded buffering.
+//   scheduler ── per-tenant FIFO queues drained round-robin, so a tenant
+//     issuing 100 requests cannot starve one issuing 1 (fairness is
+//     per-tenant, not per-connection).
+//   workers ── num_workers threads, each owning an InProcessPlanService.
+//     A request whose deadline already passed at pickup fails with
+//     kDeadlineExceeded without compiling; otherwise the REMAINING
+//     deadline (minus queue time) is what scales the ILP budget.
+//
+// All workers share the process-wide plan cache (disk-backed when
+// plan_cache_dir is set) and ILP memo, so one tenant's cold compile warms
+// every tenant's future requests — the multi-tenant payoff the storm
+// bench measures.
+#ifndef SRC_SERVE_SERVER_H_
+#define SRC_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/serve/protocol.h"
+#include "src/serve/service.h"
+#include "src/support/status.h"
+
+namespace alpa {
+namespace serve {
+
+struct ServerOptions {
+  std::string socket_path;  // Unix-domain socket path (required).
+  int num_workers = 2;
+  int max_queue = 64;       // Total queued requests across tenants.
+  int max_per_tenant = 16;  // Queued requests per tenant.
+  // Deadline applied to requests that do not carry their own (0 = none).
+  double default_deadline_seconds = 0.0;
+  // Non-empty: persist the plan cache here (survives restarts).
+  std::string plan_cache_dir;
+};
+
+struct ServerStats {
+  int64_t accepted = 0;          // Admitted requests.
+  int64_t rejected_queue = 0;    // kUnavailable at admission.
+  int64_t expired = 0;           // kDeadlineExceeded at pickup.
+  int64_t served = 0;            // Responses written (any status).
+  int64_t plan_cache_hits = 0;   // Of served Parallelize requests.
+};
+
+class PlanServer {
+ public:
+  explicit PlanServer(ServerOptions options);
+  ~PlanServer();
+
+  PlanServer(const PlanServer&) = delete;
+  PlanServer& operator=(const PlanServer&) = delete;
+
+  // Binds the socket (removing a stale file), spawns acceptor + workers.
+  // kInternal when the socket cannot be created/bound.
+  Status Start();
+  // Stops accepting, fails queued requests with kUnavailable, joins all
+  // threads. Idempotent; the destructor calls it.
+  void Stop();
+
+  ServerStats stats() const;
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  struct Job {
+    ServeRequest request;
+    double enqueue_time = 0.0;
+    double deadline_seconds = 0.0;  // Effective (request or default); 0 = none.
+    // Completion latch: the connection thread waits, a worker publishes.
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    ServeResponse response;
+  };
+
+  void AcceptLoop();
+  void ConnectionLoop(int fd);
+  void WorkerLoop(int worker_index);
+  // nullptr when the queue is full (caller responds kUnavailable).
+  std::shared_ptr<Job> Admit(ServeRequest request);
+  std::shared_ptr<Job> NextJob();  // Blocks; nullptr on shutdown.
+  ServeResponse Execute(InProcessPlanService& service, Job& job);
+
+  const ServerOptions options_;
+
+  std::atomic<bool> running_{false};
+  int listen_fd_ = -1;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::map<std::string, std::deque<std::shared_ptr<Job>>> tenant_queues_;
+  // Round-robin cursor: tenants are drained in rotating key order.
+  std::string next_tenant_;
+  int total_queued_ = 0;
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+  std::mutex connections_mu_;
+  std::vector<std::thread> connections_;
+
+  mutable std::mutex stats_mu_;
+  ServerStats stats_;
+};
+
+}  // namespace serve
+}  // namespace alpa
+
+#endif  // SRC_SERVE_SERVER_H_

@@ -1,0 +1,120 @@
+#include "src/serve/service.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/serve/plan_cache.h"
+#include "src/support/strings.h"
+#include "src/support/trace.h"
+
+namespace alpa {
+namespace serve {
+
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+StatusOr<ParallelizeOptions> PlanRequestOptions::ToParallelizeOptions() const {
+  if (num_microbatches < 0 || target_layers < 0 || max_search_nodes < 0 ||
+      deadline_seconds < 0) {
+    return Status::InvalidArgument("plan request: negative option field");
+  }
+  ParallelizeOptions options;
+  options.schedule = schedule;
+  options.enable_interop = enable_interop;
+  options.enable_intraop = enable_intraop;
+  options.reshard = reshard;
+  options.compile_threads = compile_threads;
+  options.trace_path = trace_path;
+  if (num_microbatches > 0) {
+    options.inter.num_microbatches = num_microbatches;
+  }
+  if (target_layers > 0) {
+    options.inter.target_layers = target_layers;
+  }
+  options.inter.equal_layer_stages = equal_layer_stages;
+  options.inter.profile_source = profile_source;
+  int64_t budget = max_search_nodes > 0
+                       ? max_search_nodes
+                       : options.inter.profiler.intra.solver.max_search_nodes;
+  if (deadline_seconds > 0) {
+    // Cap the per-solve budget so the whole compile has a chance of
+    // landing inside the deadline. Never below a floor that still lets
+    // the incumbent-seeding path return a feasible plan.
+    const int64_t deadline_budget =
+        std::max<int64_t>(1000, static_cast<int64_t>(deadline_seconds * kSearchNodesPerSecond));
+    budget = std::min(budget, deadline_budget);
+  }
+  options.inter.profiler.intra.solver.max_search_nodes = budget;
+  ALPA_RETURN_IF_ERROR(options.Finalize());
+  return options;
+}
+
+StatusOr<ExecutionStats> PlanService::CompileAndSimulate(const PlanRequest& request,
+                                                         ParallelPlan* plan_out) {
+  auto plan = Parallelize(request);
+  if (!plan.ok()) {
+    return plan.status();
+  }
+  if (plan_out != nullptr) {
+    *plan_out = plan.value();
+  }
+  return Simulate(request, plan.value());
+}
+
+StatusOr<ParallelPlan> InProcessPlanService::Parallelize(const PlanRequest& request) {
+  const double start = NowSeconds();
+  last_outcome_ = CompileOutcome();
+
+  auto options = request.options.ToParallelizeOptions();
+  if (!options.ok()) {
+    return options.status();
+  }
+
+  PlanCacheKey key;
+  const bool cacheable =
+      request.options.use_plan_cache &&
+      ComputePlanCacheKey(request.graph, request.cluster, options.value(), &key);
+  last_outcome_.plan_cache_eligible = cacheable;
+  if (cacheable) {
+    ParallelPlan cached;
+    if (PlanCache::Global().Lookup(key, &cached)) {
+      last_outcome_.plan_cache_hit = true;
+      last_outcome_.seconds = NowSeconds() - start;
+      return cached;
+    }
+  }
+
+  // Parallelize re-tags layers in place; the service keeps the caller's
+  // request immutable, so compile a private copy.
+  Graph graph = request.graph;
+  auto plan = alpa::Parallelize(graph, request.cluster, options.value());
+  if (plan.ok() && cacheable) {
+    PlanCache::Global().Insert(key, plan.value());
+  }
+  last_outcome_.seconds = NowSeconds() - start;
+  return plan;
+}
+
+StatusOr<ExecutionStats> InProcessPlanService::Simulate(const PlanRequest& request,
+                                                        const ParallelPlan& plan) {
+  return alpa::Simulate(plan, request.graph, request.cluster);
+}
+
+StatusOr<RepairResult> InProcessPlanService::Repair(const PlanRequest& request,
+                                                    const RepairOptions& repair) {
+  auto options = request.options.ToParallelizeOptions();
+  if (!options.ok()) {
+    return options.status();
+  }
+  Graph graph = request.graph;
+  return alpa::RepairPlan(graph, request.cluster, options.value(), repair);
+}
+
+}  // namespace serve
+}  // namespace alpa

@@ -1,0 +1,884 @@
+#include "src/serve/wire.h"
+
+#include <bit>
+#include <cstring>
+#include <limits>
+
+#include "src/support/hashing.h"
+#include "src/support/strings.h"
+
+namespace alpa {
+namespace serve {
+
+namespace {
+
+// Absolute sanity caps on decoded sizes. Real artifacts sit far below
+// these; corrupt length fields above them fail fast instead of allocating.
+constexpr uint32_t kMaxString = 1u << 22;     // 4 MiB.
+constexpr uint32_t kMaxCount = 1u << 22;      // Elements per vector.
+constexpr int kMaxRank = 64;                  // Tensor rank.
+constexpr int64_t kMaxDim = int64_t{1} << 48; // Single tensor extent.
+
+uint64_t Checksum(std::string_view payload) {
+  Fnv1a64 hasher;
+  hasher.Bytes(payload.data(), payload.size());
+  return hasher.hash();
+}
+
+Status BadEnum(const char* what, int64_t value) {
+  return Status::InvalidArgument(
+      StrFormat("wire: %s out of range (got %lld)", what, static_cast<long long>(value)));
+}
+
+}  // namespace
+
+// --- WireWriter ---
+
+void WireWriter::F64(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  U64(bits);
+}
+
+void WireWriter::Str(std::string_view s) {
+  U32(static_cast<uint32_t>(s.size()));
+  buf_.append(s);
+}
+
+// --- WireReader ---
+
+bool WireReader::Need(size_t n, const char* what) {
+  if (!ok()) {
+    return false;
+  }
+  if (data_.size() - pos_ < n) {
+    Fail(StrFormat("truncated %s (need %zu bytes, %zu remain)", what, n, data_.size() - pos_));
+    return false;
+  }
+  return true;
+}
+
+void WireReader::Fail(const std::string& why) {
+  if (error_.empty()) {
+    error_ = StrFormat("%s at byte %zu", why.c_str(), pos_);
+  }
+}
+
+uint8_t WireReader::U8() {
+  if (!Need(1, "u8")) {
+    return 0;
+  }
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+uint16_t WireReader::U16() {
+  if (!Need(2, "u16")) {
+    return 0;
+  }
+  const uint16_t lo = static_cast<uint8_t>(data_[pos_]);
+  const uint16_t hi = static_cast<uint8_t>(data_[pos_ + 1]);
+  pos_ += 2;
+  return static_cast<uint16_t>(lo | (hi << 8));
+}
+
+uint32_t WireReader::U32() {
+  if (!Need(4, "u32")) {
+    return 0;
+  }
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<uint8_t>(data_[pos_ + static_cast<size_t>(i)]);
+  }
+  pos_ += 4;
+  return v;
+}
+
+uint64_t WireReader::U64() {
+  if (!Need(8, "u64")) {
+    return 0;
+  }
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<uint8_t>(data_[pos_ + static_cast<size_t>(i)]);
+  }
+  pos_ += 8;
+  return v;
+}
+
+double WireReader::F64() {
+  const uint64_t bits = U64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string WireReader::Str() {
+  const uint32_t len = U32();
+  if (!ok()) {
+    return std::string();
+  }
+  if (len > kMaxString) {
+    Fail(StrFormat("string length %u exceeds cap", len));
+    return std::string();
+  }
+  if (!Need(len, "string body")) {
+    return std::string();
+  }
+  std::string out(data_.substr(pos_, len));
+  pos_ += len;
+  return out;
+}
+
+uint32_t WireReader::Count(size_t min_element_bytes) {
+  const uint32_t n = U32();
+  if (!ok()) {
+    return 0;
+  }
+  if (n > kMaxCount) {
+    Fail(StrFormat("element count %u exceeds cap", n));
+    return 0;
+  }
+  if (min_element_bytes > 0 &&
+      static_cast<uint64_t>(n) * min_element_bytes > remaining()) {
+    Fail(StrFormat("element count %u cannot fit in %zu remaining bytes", n, remaining()));
+    return 0;
+  }
+  return n;
+}
+
+Status WireReader::status() const {
+  if (ok()) {
+    return Status::Ok();
+  }
+  return Status::InvalidArgument("wire: " + error_);
+}
+
+// --- Envelope ---
+
+std::string WirePack(WireKind kind, std::string payload) {
+  WireWriter w;
+  w.U32(kWireMagic);
+  w.U16(kWireVersion);
+  w.U16(static_cast<uint16_t>(kind));
+  w.U64(payload.size());
+  const uint64_t checksum = Checksum(payload);
+  w.Raw(payload);
+  w.U64(checksum);
+  return w.Take();
+}
+
+Status WireUnpack(std::string_view blob, WireKind expected_kind, std::string_view* payload) {
+  WireReader r(blob);
+  const uint32_t magic = r.U32();
+  if (!r.ok()) {
+    return r.status();
+  }
+  if (magic != kWireMagic) {
+    return Status::InvalidArgument(
+        StrFormat("wire: bad magic 0x%08x (expected 0x%08x) — not an alpa wire blob", magic,
+                  kWireMagic));
+  }
+  const uint16_t version = r.U16();
+  if (version != kWireVersion) {
+    return Status::InvalidArgument(
+        StrFormat("wire: format version %u is not supported (this build speaks version %u); "
+                  "re-serialize with a matching build",
+                  version, kWireVersion));
+  }
+  const uint16_t kind = r.U16();
+  if (kind != static_cast<uint16_t>(expected_kind)) {
+    return Status::InvalidArgument(StrFormat("wire: payload kind %u, expected %u", kind,
+                                             static_cast<uint16_t>(expected_kind)));
+  }
+  const uint64_t length = r.U64();
+  if (!r.ok()) {
+    return r.status();
+  }
+  // Exactly payload + trailing checksum must remain.
+  if (r.remaining() != length + 8) {
+    return Status::InvalidArgument(
+        StrFormat("wire: envelope declares %llu payload bytes but %zu (+8 checksum) are present",
+                  static_cast<unsigned long long>(length), r.remaining()));
+  }
+  const std::string_view body = blob.substr(r.offset(), length);
+  WireReader tail(blob.substr(r.offset() + length));
+  const uint64_t stored = tail.U64();
+  if (stored != Checksum(body)) {
+    return Status::InvalidArgument("wire: payload checksum mismatch (corrupted blob)");
+  }
+  *payload = body;
+  return Status::Ok();
+}
+
+// --- Small shared codecs ---
+
+namespace {
+
+void EncodeShape(const TensorShape& shape, WireWriter* w) {
+  w->U32(static_cast<uint32_t>(shape.rank()));
+  for (int64_t d : shape.dims()) {
+    w->I64(d);
+  }
+}
+
+Status DecodeShape(WireReader* r, TensorShape* out) {
+  const uint32_t rank = r->Count(8);
+  if (!r->ok()) {
+    return r->status();
+  }
+  if (rank > kMaxRank) {
+    return BadEnum("tensor rank", rank);
+  }
+  std::vector<int64_t> dims(rank);
+  for (uint32_t i = 0; i < rank; ++i) {
+    dims[i] = r->I64();
+    if (dims[i] < 0 || dims[i] > kMaxDim) {
+      return BadEnum("tensor dim", dims[i]);
+    }
+  }
+  if (!r->ok()) {
+    return r->status();
+  }
+  *out = TensorShape(std::move(dims));
+  return Status::Ok();
+}
+
+void EncodeSpec(const ShardingSpec& spec, WireWriter* w) {
+  w->U32(static_cast<uint32_t>(spec.rank()));
+  for (DimSharding d : spec.dims()) {
+    w->U8(static_cast<uint8_t>(d));
+  }
+}
+
+Status DecodeSpec(WireReader* r, ShardingSpec* out) {
+  const uint32_t rank = r->Count(1);
+  if (!r->ok()) {
+    return r->status();
+  }
+  if (rank > kMaxRank) {
+    return BadEnum("sharding spec rank", rank);
+  }
+  std::vector<DimSharding> dims(rank);
+  int axis0 = 0;
+  int axis1 = 0;
+  for (uint32_t i = 0; i < rank; ++i) {
+    const uint8_t v = r->U8();
+    if (v > static_cast<uint8_t>(DimSharding::kS01)) {
+      return BadEnum("dim sharding", v);
+    }
+    dims[i] = static_cast<DimSharding>(v);
+    axis0 += dims[i] == DimSharding::kS0 || dims[i] == DimSharding::kS01;
+    axis1 += dims[i] == DimSharding::kS1 || dims[i] == DimSharding::kS01;
+  }
+  if (!r->ok()) {
+    return r->status();
+  }
+  // ShardingSpec::Make CHECK-fails on this; reject first so hostile input
+  // yields a Status, never a crash.
+  if (axis0 > 1 || axis1 > 1) {
+    return Status::InvalidArgument("wire: sharding spec assigns a mesh axis to multiple dims");
+  }
+  *out = ShardingSpec::Make(std::move(dims));
+  return Status::Ok();
+}
+
+void EncodeFaultSpec(const FaultSpec& faults, WireWriter* w) {
+  w->U32(static_cast<uint32_t>(faults.device_failures.size()));
+  for (const DeviceFailure& f : faults.device_failures) {
+    w->I32(f.device);
+    w->F64(f.time);
+  }
+  w->U32(static_cast<uint32_t>(faults.stragglers.size()));
+  for (const Straggler& s : faults.stragglers) {
+    w->I32(s.device);
+    w->F64(s.slowdown);
+  }
+  w->U32(static_cast<uint32_t>(faults.link_degradations.size()));
+  for (const LinkDegradation& l : faults.link_degradations) {
+    w->I32(l.src_host);
+    w->I32(l.dst_host);
+    w->F64(l.bandwidth_factor);
+  }
+  w->F64(faults.transient_send_failure_rate);
+  w->I32(faults.retry.max_attempts);
+  w->F64(faults.retry.timeout);
+  w->F64(faults.retry.backoff);
+  w->F64(faults.retry.backoff_multiplier);
+  w->F64(faults.detection_timeout);
+  w->U64(faults.seed);
+}
+
+Status DecodeFaultSpec(WireReader* r, FaultSpec* out) {
+  uint32_t n = r->Count(12);
+  out->device_failures.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    out->device_failures[i].device = r->I32();
+    out->device_failures[i].time = r->F64();
+  }
+  n = r->Count(12);
+  out->stragglers.resize(r->ok() ? n : 0);
+  for (uint32_t i = 0; i < n && r->ok(); ++i) {
+    out->stragglers[i].device = r->I32();
+    out->stragglers[i].slowdown = r->F64();
+  }
+  n = r->Count(16);
+  out->link_degradations.resize(r->ok() ? n : 0);
+  for (uint32_t i = 0; i < n && r->ok(); ++i) {
+    out->link_degradations[i].src_host = r->I32();
+    out->link_degradations[i].dst_host = r->I32();
+    out->link_degradations[i].bandwidth_factor = r->F64();
+  }
+  out->transient_send_failure_rate = r->F64();
+  out->retry.max_attempts = r->I32();
+  out->retry.timeout = r->F64();
+  out->retry.backoff = r->F64();
+  out->retry.backoff_multiplier = r->F64();
+  out->detection_timeout = r->F64();
+  out->seed = r->U64();
+  return r->status();
+}
+
+void EncodeEinsum(const EinsumSpec& einsum, WireWriter* w) {
+  w->Str(einsum.output);
+  w->U32(static_cast<uint32_t>(einsum.operands.size()));
+  for (const std::string& operand : einsum.operands) {
+    w->Str(operand);
+  }
+  w->U32(static_cast<uint32_t>(einsum.extents.size()));
+  for (const auto& [label, extent] : einsum.extents) {
+    w->U8(static_cast<uint8_t>(label));
+    w->I64(extent);
+  }
+  w->U32(static_cast<uint32_t>(einsum.halo.size()));
+  for (const auto& [label, kernel] : einsum.halo) {
+    w->U8(static_cast<uint8_t>(label));
+    w->I64(kernel);
+  }
+}
+
+Status DecodeEinsum(WireReader* r, EinsumSpec* out) {
+  out->output = r->Str();
+  const uint32_t num_operands = r->Count(4);
+  out->operands.resize(r->ok() ? num_operands : 0);
+  for (uint32_t i = 0; i < num_operands && r->ok(); ++i) {
+    out->operands[i] = r->Str();
+  }
+  uint32_t n = r->Count(9);
+  for (uint32_t i = 0; i < n && r->ok(); ++i) {
+    const char label = static_cast<char>(r->U8());
+    out->extents[label] = r->I64();
+  }
+  n = r->Count(9);
+  for (uint32_t i = 0; i < n && r->ok(); ++i) {
+    const char label = static_cast<char>(r->U8());
+    out->halo[label] = r->I64();
+  }
+  return r->status();
+}
+
+void EncodePlacement(const MeshPlacement& placement, WireWriter* w) {
+  w->I32(placement.host_begin);
+  w->I32(placement.device_begin);
+  w->I32(placement.shape.num_hosts);
+  w->I32(placement.shape.devices_per_host);
+}
+
+Status DecodePlacement(WireReader* r, MeshPlacement* out) {
+  out->host_begin = r->I32();
+  out->device_begin = r->I32();
+  out->shape.num_hosts = r->I32();
+  out->shape.devices_per_host = r->I32();
+  if (!r->ok()) {
+    return r->status();
+  }
+  if (out->host_begin < 0 || out->device_begin < 0 || out->shape.num_hosts < 0 ||
+      out->shape.devices_per_host < 0) {
+    return Status::InvalidArgument("wire: negative mesh placement field");
+  }
+  return Status::Ok();
+}
+
+void EncodeCompileStats(const CompileStats& stats, WireWriter* w) {
+  w->F64(stats.clustering_seconds);
+  w->F64(stats.profiling_seconds);
+  w->F64(stats.profiling_wall_seconds);
+  w->F64(stats.dp_seconds);
+  w->F64(stats.other_seconds);
+  w->F64(stats.total_seconds);
+  w->I64(stats.ilp_solves);
+  w->I64(stats.ilp_cache_hits);
+  w->I64(stats.ilp_cache_misses);
+  w->I32(stats.num_tmax_tried);
+  w->I32(stats.threads_used);
+}
+
+Status DecodeCompileStats(WireReader* r, CompileStats* out) {
+  out->clustering_seconds = r->F64();
+  out->profiling_seconds = r->F64();
+  out->profiling_wall_seconds = r->F64();
+  out->dp_seconds = r->F64();
+  out->other_seconds = r->F64();
+  out->total_seconds = r->F64();
+  out->ilp_solves = r->I64();
+  out->ilp_cache_hits = r->I64();
+  out->ilp_cache_misses = r->I64();
+  out->num_tmax_tried = r->I32();
+  out->threads_used = r->I32();
+  return r->status();
+}
+
+void EncodeCrossStageTensor(const CrossStageTensor& tensor, WireWriter* w) {
+  EncodeShape(tensor.shape, w);
+  w->I64(tensor.dtype_bytes);
+  EncodeSpec(tensor.src_spec, w);
+  EncodeSpec(tensor.dst_spec, w);
+  w->Bool(tensor.forward);
+  w->I32(tensor.producer_op);
+}
+
+Status DecodeCrossStageTensor(WireReader* r, CrossStageTensor* out) {
+  ALPA_RETURN_IF_ERROR(DecodeShape(r, &out->shape));
+  out->dtype_bytes = r->I64();
+  ALPA_RETURN_IF_ERROR(DecodeSpec(r, &out->src_spec));
+  ALPA_RETURN_IF_ERROR(DecodeSpec(r, &out->dst_spec));
+  out->forward = r->Bool();
+  out->producer_op = r->I32();
+  return r->status();
+}
+
+void EncodeStage(const CompiledStage& stage, WireWriter* w) {
+  w->I32(stage.layer_begin);
+  w->I32(stage.layer_end);
+  EncodePlacement(stage.placement, w);
+  w->I32(stage.logical_shape[0]);
+  w->I32(stage.logical_shape[1]);
+  w->U32(static_cast<uint32_t>(stage.device_ids.size()));
+  for (int id : stage.device_ids) {
+    w->I32(id);
+  }
+  w->F64(stage.t_intra);
+  w->F64(stage.t_forward);
+  w->F64(stage.t_backward);
+  w->F64(stage.t_per_iteration);
+  w->F64(stage.weight_bytes);
+  w->F64(stage.act_bytes_per_microbatch);
+  w->F64(stage.work_bytes);
+  w->U32(static_cast<uint32_t>(stage.sends_to_next.size()));
+  for (const CrossStageTensor& tensor : stage.sends_to_next) {
+    EncodeCrossStageTensor(tensor, w);
+  }
+  w->U32(static_cast<uint32_t>(stage.op_spec_summary.size()));
+  for (const auto& [name, spec] : stage.op_spec_summary) {
+    w->Str(name);
+    w->Str(spec);
+  }
+}
+
+Status DecodeStage(WireReader* r, CompiledStage* out) {
+  out->layer_begin = r->I32();
+  out->layer_end = r->I32();
+  ALPA_RETURN_IF_ERROR(DecodePlacement(r, &out->placement));
+  out->logical_shape[0] = r->I32();
+  out->logical_shape[1] = r->I32();
+  const uint32_t num_devices = r->Count(4);
+  out->device_ids.resize(r->ok() ? num_devices : 0);
+  for (uint32_t i = 0; i < num_devices && r->ok(); ++i) {
+    out->device_ids[i] = r->I32();
+  }
+  out->t_intra = r->F64();
+  out->t_forward = r->F64();
+  out->t_backward = r->F64();
+  out->t_per_iteration = r->F64();
+  out->weight_bytes = r->F64();
+  out->act_bytes_per_microbatch = r->F64();
+  out->work_bytes = r->F64();
+  const uint32_t num_sends = r->Count(8);
+  if (!r->ok()) {
+    return r->status();
+  }
+  out->sends_to_next.resize(num_sends);
+  for (uint32_t i = 0; i < num_sends; ++i) {
+    ALPA_RETURN_IF_ERROR(DecodeCrossStageTensor(r, &out->sends_to_next[i]));
+  }
+  const uint32_t num_specs = r->Count(8);
+  if (!r->ok()) {
+    return r->status();
+  }
+  out->op_spec_summary.resize(num_specs);
+  for (uint32_t i = 0; i < num_specs; ++i) {
+    out->op_spec_summary[i].first = r->Str();
+    out->op_spec_summary[i].second = r->Str();
+  }
+  return r->status();
+}
+
+}  // namespace
+
+// --- Graph ---
+
+void EncodeGraph(const Graph& graph, WireWriter* w) {
+  w->U32(static_cast<uint32_t>(graph.size()));
+  for (const Operator& op : graph.ops()) {
+    w->U8(static_cast<uint8_t>(op.type));
+    w->U8(static_cast<uint8_t>(op.role));
+    w->Str(op.name);
+    w->U32(static_cast<uint32_t>(op.operands.size()));
+    for (int operand : op.operands) {
+      w->I32(operand);
+    }
+    EncodeShape(op.shape, w);
+    w->U8(static_cast<uint8_t>(op.dtype));
+    EncodeEinsum(op.einsum, w);
+    w->F64(op.flops);
+    w->I32(op.layer);
+    w->I32(op.forward_id);
+    w->I32(op.param_id);
+    w->Bool(op.weight_grad);
+  }
+}
+
+Status DecodeGraph(WireReader* r, Graph* out) {
+  const uint32_t num_ops = r->Count(16);
+  if (!r->ok()) {
+    return r->status();
+  }
+  *out = Graph();
+  for (uint32_t i = 0; i < num_ops; ++i) {
+    Operator op;
+    const uint8_t type = r->U8();
+    if (type > static_cast<uint8_t>(OpType::kUpdate)) {
+      return BadEnum("op type", type);
+    }
+    op.type = static_cast<OpType>(type);
+    const uint8_t role = r->U8();
+    if (role > static_cast<uint8_t>(OpRole::kUpdate)) {
+      return BadEnum("op role", role);
+    }
+    op.role = static_cast<OpRole>(role);
+    op.name = r->Str();
+    const uint32_t num_operands = r->Count(4);
+    if (!r->ok()) {
+      return r->status();
+    }
+    op.operands.resize(num_operands);
+    for (uint32_t j = 0; j < num_operands; ++j) {
+      op.operands[j] = r->I32();
+      // Graph::Append CHECK-fails on non-topological operands; reject here
+      // so a corrupt graph is a Status, not a crash.
+      if (op.operands[j] < 0 || op.operands[j] >= static_cast<int>(i)) {
+        return Status::InvalidArgument(
+            StrFormat("wire: op %u operand %d violates topological order", i, op.operands[j]));
+      }
+    }
+    ALPA_RETURN_IF_ERROR(DecodeShape(r, &op.shape));
+    const uint8_t dtype = r->U8();
+    if (dtype > static_cast<uint8_t>(DType::kI32)) {
+      return BadEnum("dtype", dtype);
+    }
+    op.dtype = static_cast<DType>(dtype);
+    ALPA_RETURN_IF_ERROR(DecodeEinsum(r, &op.einsum));
+    op.flops = r->F64();
+    op.layer = r->I32();
+    op.forward_id = r->I32();
+    op.param_id = r->I32();
+    op.weight_grad = r->Bool();
+    if (!r->ok()) {
+      return r->status();
+    }
+    if (op.layer < -1 || op.forward_id < -1 || op.param_id < -1 ||
+        op.forward_id >= static_cast<int>(num_ops) || op.param_id >= static_cast<int>(num_ops)) {
+      return Status::InvalidArgument(StrFormat("wire: op %u references out-of-range op ids", i));
+    }
+    out->Append(std::move(op));
+  }
+  return r->status();
+}
+
+// --- ClusterSpec ---
+
+void EncodeClusterSpec(const ClusterSpec& cluster, WireWriter* w) {
+  w->I32(cluster.num_hosts);
+  w->I32(cluster.devices_per_host);
+  w->F64(cluster.device.peak_flops_fp16);
+  w->F64(cluster.device.peak_flops_fp32);
+  w->F64(cluster.device.memory_bytes);
+  w->F64(cluster.device.memory_bandwidth);
+  w->F64(cluster.device.compute_efficiency);
+  w->F64(cluster.intra_host_bandwidth);
+  w->F64(cluster.intra_host_alpha);
+  w->F64(cluster.inter_host_bandwidth);
+  w->F64(cluster.inter_host_alpha);
+  EncodeFaultSpec(cluster.faults, w);
+}
+
+Status DecodeClusterSpec(WireReader* r, ClusterSpec* out) {
+  out->num_hosts = r->I32();
+  out->devices_per_host = r->I32();
+  out->device.peak_flops_fp16 = r->F64();
+  out->device.peak_flops_fp32 = r->F64();
+  out->device.memory_bytes = r->F64();
+  out->device.memory_bandwidth = r->F64();
+  out->device.compute_efficiency = r->F64();
+  out->intra_host_bandwidth = r->F64();
+  out->intra_host_alpha = r->F64();
+  out->inter_host_bandwidth = r->F64();
+  out->inter_host_alpha = r->F64();
+  ALPA_RETURN_IF_ERROR(DecodeFaultSpec(r, &out->faults));
+  if (out->num_hosts < 0 || out->devices_per_host < 0 ||
+      out->num_hosts > (1 << 20) || out->devices_per_host > (1 << 20)) {
+    return Status::InvalidArgument("wire: cluster extent out of range");
+  }
+  return Status::Ok();
+}
+
+// --- CompiledPipeline / PipelineSimInput / ParallelPlan ---
+
+void EncodePipeline(const CompiledPipeline& pipeline, WireWriter* w) {
+  w->Bool(pipeline.feasible);
+  w->Str(pipeline.infeasible_reason);
+  w->U32(static_cast<uint32_t>(pipeline.stages.size()));
+  for (const CompiledStage& stage : pipeline.stages) {
+    EncodeStage(stage, w);
+  }
+  w->I32(pipeline.num_microbatches);
+  w->F64(pipeline.dp_latency);
+  w->F64(pipeline.max_stage_latency);
+  EncodeCompileStats(pipeline.stats, w);
+}
+
+Status DecodePipeline(WireReader* r, CompiledPipeline* out) {
+  out->feasible = r->Bool();
+  out->infeasible_reason = r->Str();
+  const uint32_t num_stages = r->Count(32);
+  if (!r->ok()) {
+    return r->status();
+  }
+  out->stages.resize(num_stages);
+  for (uint32_t i = 0; i < num_stages; ++i) {
+    ALPA_RETURN_IF_ERROR(DecodeStage(r, &out->stages[i]));
+  }
+  out->num_microbatches = r->I32();
+  out->dp_latency = r->F64();
+  out->max_stage_latency = r->F64();
+  return DecodeCompileStats(r, &out->stats);
+}
+
+void EncodeSimInput(const PipelineSimInput& input, WireWriter* w) {
+  w->U32(static_cast<uint32_t>(input.stages.size()));
+  for (const StageExecProfile& stage : input.stages) {
+    w->F64(stage.t_forward);
+    w->F64(stage.t_backward);
+    w->F64(stage.t_update);
+    w->F64(stage.t_send_next);
+    w->F64(stage.weight_bytes);
+    w->F64(stage.act_bytes_per_microbatch);
+    w->F64(stage.work_bytes);
+  }
+  w->I32(input.num_microbatches);
+  w->U8(static_cast<uint8_t>(input.schedule));
+  w->F64(input.device_memory_bytes);
+  w->Bool(input.record_timeline);
+  EncodeFaultSpec(input.faults, w);
+  w->U32(static_cast<uint32_t>(input.stage_devices.size()));
+  for (const std::vector<int>& devices : input.stage_devices) {
+    w->U32(static_cast<uint32_t>(devices.size()));
+    for (int d : devices) {
+      w->I32(d);
+    }
+  }
+  w->I32(input.devices_per_host);
+}
+
+Status DecodeSimInput(WireReader* r, PipelineSimInput* out) {
+  const uint32_t num_stages = r->Count(56);
+  if (!r->ok()) {
+    return r->status();
+  }
+  out->stages.resize(num_stages);
+  for (uint32_t i = 0; i < num_stages; ++i) {
+    StageExecProfile& stage = out->stages[i];
+    stage.t_forward = r->F64();
+    stage.t_backward = r->F64();
+    stage.t_update = r->F64();
+    stage.t_send_next = r->F64();
+    stage.weight_bytes = r->F64();
+    stage.act_bytes_per_microbatch = r->F64();
+    stage.work_bytes = r->F64();
+  }
+  out->num_microbatches = r->I32();
+  const uint8_t schedule = r->U8();
+  if (schedule > static_cast<uint8_t>(PipelineScheduleType::k1F1B)) {
+    return BadEnum("schedule", schedule);
+  }
+  out->schedule = static_cast<PipelineScheduleType>(schedule);
+  out->device_memory_bytes = r->F64();
+  out->record_timeline = r->Bool();
+  ALPA_RETURN_IF_ERROR(DecodeFaultSpec(r, &out->faults));
+  const uint32_t num_stage_devices = r->Count(4);
+  if (!r->ok()) {
+    return r->status();
+  }
+  out->stage_devices.resize(num_stage_devices);
+  for (uint32_t i = 0; i < num_stage_devices; ++i) {
+    const uint32_t n = r->Count(4);
+    if (!r->ok()) {
+      return r->status();
+    }
+    out->stage_devices[i].resize(n);
+    for (uint32_t j = 0; j < n; ++j) {
+      out->stage_devices[i][j] = r->I32();
+    }
+  }
+  out->devices_per_host = r->I32();
+  return r->status();
+}
+
+void EncodePlan(const ParallelPlan& plan, WireWriter* w) {
+  EncodePipeline(plan.pipeline, w);
+  EncodeSimInput(plan.sim_input, w);
+  EncodeCompileStats(plan.compile_stats, w);
+}
+
+Status DecodePlan(WireReader* r, ParallelPlan* out) {
+  ALPA_RETURN_IF_ERROR(DecodePipeline(r, &out->pipeline));
+  ALPA_RETURN_IF_ERROR(DecodeSimInput(r, &out->sim_input));
+  return DecodeCompileStats(r, &out->compile_stats);
+}
+
+// --- ExecutionStats / StageTimings / RepairResult ---
+
+void EncodeExecutionStats(const ExecutionStats& stats, WireWriter* w) {
+  w->F64(stats.latency);
+  w->F64(stats.total_flops);
+  w->F64(stats.pflops);
+  w->F64(stats.bubble_fraction);
+  w->F64(stats.peak_memory_bytes);
+}
+
+Status DecodeExecutionStats(WireReader* r, ExecutionStats* out) {
+  out->latency = r->F64();
+  out->total_flops = r->F64();
+  out->pflops = r->F64();
+  out->bubble_fraction = r->F64();
+  out->peak_memory_bytes = r->F64();
+  return r->status();
+}
+
+void EncodeStageTimings(const std::vector<exec::StageTiming>& timings, WireWriter* w) {
+  w->U32(static_cast<uint32_t>(timings.size()));
+  for (const exec::StageTiming& timing : timings) {
+    w->I32(timing.stage);
+    for (int p = 0; p < exec::kNumExecPhases; ++p) {
+      w->F64(timing.phase_seconds[p]);
+    }
+    w->I32(timing.num_devices);
+  }
+}
+
+Status DecodeStageTimings(WireReader* r, std::vector<exec::StageTiming>* out) {
+  const uint32_t n = r->Count(8 + 8 * exec::kNumExecPhases);
+  if (!r->ok()) {
+    return r->status();
+  }
+  out->resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    exec::StageTiming& timing = (*out)[i];
+    timing.stage = r->I32();
+    for (int p = 0; p < exec::kNumExecPhases; ++p) {
+      timing.phase_seconds[p] = r->F64();
+    }
+    timing.num_devices = r->I32();
+  }
+  return r->status();
+}
+
+void EncodeRepairResult(const RepairResult& result, WireWriter* w) {
+  EncodeClusterSpec(result.shrunk_cluster, w);
+  EncodePlan(result.plan, w);
+  EncodeExecutionStats(result.stats, w);
+  w->F64(result.recompile_seconds);
+  w->I64(result.ilp_cache_hits);
+  w->I64(result.ilp_cache_misses);
+  w->F64(result.expected_downtime_seconds);
+  w->F64(result.goodput_fraction);
+  w->F64(result.goodput_pflops);
+}
+
+Status DecodeRepairResult(WireReader* r, RepairResult* out) {
+  ALPA_RETURN_IF_ERROR(DecodeClusterSpec(r, &out->shrunk_cluster));
+  ALPA_RETURN_IF_ERROR(DecodePlan(r, &out->plan));
+  ALPA_RETURN_IF_ERROR(DecodeExecutionStats(r, &out->stats));
+  out->recompile_seconds = r->F64();
+  out->ilp_cache_hits = r->I64();
+  out->ilp_cache_misses = r->I64();
+  out->expected_downtime_seconds = r->F64();
+  out->goodput_fraction = r->F64();
+  out->goodput_pflops = r->F64();
+  return r->status();
+}
+
+// --- Envelope serializers ---
+
+namespace {
+
+template <typename T, typename EncodeFn>
+std::string SerializeWith(WireKind kind, const T& value, EncodeFn encode) {
+  WireWriter w;
+  encode(value, &w);
+  return WirePack(kind, w.Take());
+}
+
+template <typename T, typename DecodeFn>
+StatusOr<T> DeserializeWith(WireKind kind, std::string_view blob, DecodeFn decode) {
+  std::string_view payload;
+  ALPA_RETURN_IF_ERROR(WireUnpack(blob, kind, &payload));
+  WireReader r(payload);
+  T out;
+  ALPA_RETURN_IF_ERROR(decode(&r, &out));
+  if (r.remaining() != 0) {
+    return Status::InvalidArgument(
+        StrFormat("wire: %zu trailing bytes after payload", r.remaining()));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string SerializeGraph(const Graph& graph) {
+  return SerializeWith(WireKind::kGraph, graph, EncodeGraph);
+}
+StatusOr<Graph> DeserializeGraph(std::string_view blob) {
+  return DeserializeWith<Graph>(WireKind::kGraph, blob, DecodeGraph);
+}
+
+std::string SerializeClusterSpec(const ClusterSpec& cluster) {
+  return SerializeWith(WireKind::kClusterSpec, cluster, EncodeClusterSpec);
+}
+StatusOr<ClusterSpec> DeserializeClusterSpec(std::string_view blob) {
+  return DeserializeWith<ClusterSpec>(WireKind::kClusterSpec, blob, DecodeClusterSpec);
+}
+
+std::string SerializePlan(const ParallelPlan& plan) {
+  return SerializeWith(WireKind::kPlan, plan, EncodePlan);
+}
+StatusOr<ParallelPlan> DeserializePlan(std::string_view blob) {
+  return DeserializeWith<ParallelPlan>(WireKind::kPlan, blob, DecodePlan);
+}
+
+std::string SerializeExecutionStats(const ExecutionStats& stats) {
+  return SerializeWith(WireKind::kExecutionStats, stats, EncodeExecutionStats);
+}
+StatusOr<ExecutionStats> DeserializeExecutionStats(std::string_view blob) {
+  return DeserializeWith<ExecutionStats>(WireKind::kExecutionStats, blob, DecodeExecutionStats);
+}
+
+std::string SerializeStageTimings(const std::vector<exec::StageTiming>& timings) {
+  return SerializeWith(WireKind::kStageTimings, timings, EncodeStageTimings);
+}
+StatusOr<std::vector<exec::StageTiming>> DeserializeStageTimings(std::string_view blob) {
+  return DeserializeWith<std::vector<exec::StageTiming>>(WireKind::kStageTimings, blob,
+                                                         DecodeStageTimings);
+}
+
+}  // namespace serve
+}  // namespace alpa

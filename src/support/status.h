@@ -30,6 +30,11 @@ enum class StatusCode {
   kResourceExhausted,
   // Environment failure (e.g. the trace sink cannot write its file).
   kInternal,
+  // The request's deadline expired before (or while) it was served.
+  kDeadlineExceeded,
+  // The service cannot take the request right now (queue full, admission
+  // rejected, server shutting down). Retryable by construction.
+  kUnavailable,
 };
 
 inline const char* StatusCodeName(StatusCode code) {
@@ -44,6 +49,10 @@ inline const char* StatusCodeName(StatusCode code) {
       return "RESOURCE_EXHAUSTED";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }
@@ -66,6 +75,12 @@ class Status {
   }
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,242 @@
+// Plan-cache tests: key coverage (graph names/layers, cluster extent,
+// options, profile-source fingerprint), eligibility rules, the
+// memory+disk lookup path with restart survival, and the PR-6 regression
+// this PR fixes — a measured-profile recompile must MISS the
+// analytical-cost entry instead of aliasing it.
+#include "src/serve/plan_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "src/core/api.h"
+#include "src/inter/profile_feedback.h"
+#include "src/models/mlp.h"
+#include "src/serve/service.h"
+
+namespace alpa {
+namespace serve {
+namespace {
+
+class PlanCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    PlanCache::Global().Clear(/*also_disk=*/true);
+    ASSERT_TRUE(PlanCache::Global().SetDiskDir("").ok());
+  }
+  void TearDown() override {
+    PlanCache::Global().Clear(/*also_disk=*/true);
+    ASSERT_TRUE(PlanCache::Global().SetDiskDir("").ok());
+    if (!temp_dir_.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(temp_dir_, ec);
+    }
+  }
+
+  std::string TempDir() {
+    temp_dir_ = (std::filesystem::temp_directory_path() /
+                 ("alpa_plan_cache_test_" +
+                  std::to_string(::testing::UnitTest::GetInstance()->random_seed()) + "_" +
+                  ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+                    .string();
+    return temp_dir_;
+  }
+
+  std::string temp_dir_;
+};
+
+ParallelizeOptions FinalizedOptions() {
+  ParallelizeOptions options;
+  options.num_microbatches = 4;
+  options.inter.target_layers = 2;
+  EXPECT_TRUE(options.Finalize().ok());
+  return options;
+}
+
+TEST_F(PlanCacheTest, KeyCoversGraphNamesAndLayers) {
+  const ClusterSpec cluster = ClusterSpec::AwsP3(1, 2);
+  const ParallelizeOptions options = FinalizedOptions();
+  Graph a = BuildMlp(MlpConfig{});
+  Graph b = BuildMlp(MlpConfig{});
+  PlanCacheKey key_a;
+  PlanCacheKey key_b;
+  ASSERT_TRUE(ComputePlanCacheKey(a, cluster, options, &key_a));
+  ASSERT_TRUE(ComputePlanCacheKey(b, cluster, options, &key_b));
+  EXPECT_EQ(key_a, key_b);  // Deterministic.
+
+  // Unlike StructuralHash, the plan key sees names and layer tags: the
+  // clustering pass reads both, so plans for the graphs can differ.
+  Graph renamed = BuildMlp(MlpConfig{});
+  const_cast<Operator&>(renamed.ops()[1]).layer += 1;
+  PlanCacheKey key_renamed;
+  ASSERT_TRUE(ComputePlanCacheKey(renamed, cluster, options, &key_renamed));
+  EXPECT_NE(key_a.graph_hash, key_renamed.graph_hash);
+}
+
+TEST_F(PlanCacheTest, KeyCoversClusterExtentAndOptions) {
+  Graph graph = BuildMlp(MlpConfig{});
+  const ParallelizeOptions options = FinalizedOptions();
+  PlanCacheKey on2;
+  PlanCacheKey on4;
+  ASSERT_TRUE(ComputePlanCacheKey(graph, ClusterSpec::AwsP3(1, 2), options, &on2));
+  ASSERT_TRUE(ComputePlanCacheKey(graph, ClusterSpec::AwsP3(1, 4), options, &on4));
+  // The ILP memo deliberately ignores cluster extent; the plan cache must
+  // not — a whole-plan result depends on the device count.
+  EXPECT_NE(on2.config_hash, on4.config_hash);
+
+  ParallelizeOptions other = FinalizedOptions();
+  other.inter.num_microbatches = 8;
+  PlanCacheKey key_other;
+  ASSERT_TRUE(ComputePlanCacheKey(graph, ClusterSpec::AwsP3(1, 2), other, &key_other));
+  EXPECT_NE(on2.config_hash, key_other.config_hash);
+
+  // Thread count is plan-invariant by the determinism guarantee, so it
+  // must NOT split the cache.
+  ParallelizeOptions threaded = FinalizedOptions();
+  threaded.inter.compile_threads = 4;
+  PlanCacheKey key_threaded;
+  ASSERT_TRUE(ComputePlanCacheKey(graph, ClusterSpec::AwsP3(1, 2), threaded, &key_threaded));
+  EXPECT_EQ(on2, key_threaded);
+}
+
+TEST_F(PlanCacheTest, ClosuresAreUncacheable) {
+  Graph graph = BuildMlp(MlpConfig{});
+  const ClusterSpec cluster = ClusterSpec::AwsP3(1, 2);
+  PlanCacheKey key;
+
+  ParallelizeOptions filtered = FinalizedOptions();
+  filtered.inter.profiler.intra.filter = [](const Graph&, const DeviceMesh&, const Operator&,
+                                            const ParallelAlgorithm&) { return true; };
+  EXPECT_FALSE(ComputePlanCacheKey(graph, cluster, filtered, &key));
+
+  ParallelizeOptions forced = FinalizedOptions();
+  forced.inter.profiler.intra.forced_choice = {0, 0, 0};
+  EXPECT_FALSE(ComputePlanCacheKey(graph, cluster, forced, &key));
+
+  ParallelizeOptions seeded = FinalizedOptions();
+  seeded.inter.profiler.intra.solver.seeds = {{0, 0}};
+  EXPECT_FALSE(ComputePlanCacheKey(graph, cluster, seeded, &key));
+}
+
+// The regression this PR's bugfix satellite exists for: before the
+// profile-source fingerprint joined the key, a recompile under measured
+// timings would LOOK UP (and hit) the plan compiled from analytical
+// costs — returning a stale plan instead of recompiling.
+TEST_F(PlanCacheTest, MeasuredProfileRecompileMissesAnalyticalEntry) {
+  Graph graph = BuildMlp(MlpConfig{});
+  const ClusterSpec cluster = ClusterSpec::AwsP3(1, 2);
+  const ParallelizeOptions analytical = FinalizedOptions();
+  PlanCacheKey analytical_key;
+  ASSERT_TRUE(ComputePlanCacheKey(graph, cluster, analytical, &analytical_key));
+
+  MeasuredProfileSource source;
+  source.AddMeasurement(0, 1, SubmeshShape{1, 2}, 0.012, 0.010);
+  source.Finalize();
+  ASSERT_NE(source.Fingerprint(), 0u);
+
+  ParallelizeOptions measured = FinalizedOptions();
+  measured.inter.profile_source = &source;
+  PlanCacheKey measured_key;
+  // Still cacheable (the fingerprint is stable)...
+  ASSERT_TRUE(ComputePlanCacheKey(graph, cluster, measured, &measured_key));
+  // ...but under a different key than the analytical compile.
+  EXPECT_NE(analytical_key, measured_key);
+  EXPECT_EQ(analytical_key.graph_hash, measured_key.graph_hash);
+
+  // Different measurements → different key (the fingerprint hashes the
+  // measurement contents, not just presence).
+  MeasuredProfileSource other_source;
+  other_source.AddMeasurement(0, 1, SubmeshShape{1, 2}, 0.020, 0.010);
+  other_source.Finalize();
+  ParallelizeOptions other = FinalizedOptions();
+  other.inter.profile_source = &other_source;
+  PlanCacheKey other_key;
+  ASSERT_TRUE(ComputePlanCacheKey(graph, cluster, other, &other_key));
+  EXPECT_NE(measured_key, other_key);
+
+  // End-to-end: the analytical plan is cached, then the measured-profile
+  // request must compile fresh (miss), not alias the cached entry.
+  InProcessPlanService service;
+  PlanRequest request;
+  request.graph = BuildMlp(MlpConfig{});
+  request.cluster = cluster;
+  request.options.num_microbatches = 4;
+  request.options.target_layers = 2;
+  ASSERT_TRUE(service.Parallelize(request).ok());
+  EXPECT_FALSE(service.last_outcome().plan_cache_hit);
+  ASSERT_TRUE(service.Parallelize(request).ok());
+  EXPECT_TRUE(service.last_outcome().plan_cache_hit);  // Warm now.
+  request.options.profile_source = &source;
+  ASSERT_TRUE(service.Parallelize(request).ok());
+  EXPECT_FALSE(service.last_outcome().plan_cache_hit);  // Regression: must miss.
+}
+
+TEST_F(PlanCacheTest, UnfingerprintedProfileSourceIsUncacheable) {
+  class OpaqueSource : public ProfileSource {
+   public:
+    void Apply(int, int, const SubmeshShape&, StageProfile*) const override {}
+    // Inherits Fingerprint() == 0.
+  };
+  OpaqueSource source;
+  Graph graph = BuildMlp(MlpConfig{});
+  ParallelizeOptions options = FinalizedOptions();
+  options.inter.profile_source = &source;
+  PlanCacheKey key;
+  EXPECT_FALSE(ComputePlanCacheKey(graph, ClusterSpec::AwsP3(1, 2), options, &key));
+}
+
+TEST_F(PlanCacheTest, DiskEntriesSurviveMemoryClear) {
+  ASSERT_TRUE(PlanCache::Global().SetDiskDir(TempDir()).ok());
+  InProcessPlanService service;
+  PlanRequest request;
+  request.graph = BuildMlp(MlpConfig{});
+  request.cluster = ClusterSpec::AwsP3(1, 2);
+  request.options.num_microbatches = 4;
+  request.options.target_layers = 2;
+  const StatusOr<ParallelPlan> cold = service.Parallelize(request);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_FALSE(service.last_outcome().plan_cache_hit);
+
+  // Simulated restart: memory gone, disk intact.
+  PlanCache::Global().Clear(/*also_disk=*/false);
+  const StatusOr<ParallelPlan> warm = service.Parallelize(request);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(service.last_outcome().plan_cache_hit);
+  EXPECT_EQ(PlanCache::Global().stats().disk_hits, 1);
+  // The disk round-trip is bit-exact.
+  EXPECT_TRUE(PlanEquals(cold->pipeline, warm->pipeline));
+}
+
+TEST_F(PlanCacheTest, CorruptDiskEntryIsAMiss) {
+  ASSERT_TRUE(PlanCache::Global().SetDiskDir(TempDir()).ok());
+  InProcessPlanService service;
+  PlanRequest request;
+  request.graph = BuildMlp(MlpConfig{});
+  request.cluster = ClusterSpec::AwsP3(1, 2);
+  request.options.num_microbatches = 4;
+  request.options.target_layers = 2;
+  ASSERT_TRUE(service.Parallelize(request).ok());
+
+  // Flip a byte in every persisted entry, then restart.
+  int corrupted = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(temp_dir_)) {
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::string data((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    in.close();
+    ASSERT_GT(data.size(), 100u);
+    data[data.size() / 2] ^= 0x5a;
+    std::ofstream out(entry.path(), std::ios::binary | std::ios::trunc);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    ++corrupted;
+  }
+  ASSERT_GT(corrupted, 0);
+  PlanCache::Global().Clear(/*also_disk=*/false);
+  ASSERT_TRUE(service.Parallelize(request).ok());
+  EXPECT_FALSE(service.last_outcome().plan_cache_hit);  // Miss, not garbage.
+  EXPECT_EQ(PlanCache::Global().stats().disk_hits, 0);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace alpa

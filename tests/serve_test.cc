@@ -1,0 +1,311 @@
+// End-to-end tests of the plan server + remote client: a mixed cold/warm
+// concurrent request storm, per-tenant admission control, deadline
+// expiry, malformed-bytes handling, and warm restarts from the disk
+// cache. These run against a real daemon loop on a real unix socket —
+// the same code path alpa_serve ships.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "src/core/api.h"
+#include "src/models/gpt.h"
+#include "src/models/mlp.h"
+#include "src/serve/client.h"
+#include "src/serve/plan_cache.h"
+#include "src/serve/protocol.h"
+#include "src/serve/server.h"
+
+namespace alpa {
+namespace serve {
+namespace {
+
+class ServeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    PlanCache::Global().Clear(/*also_disk=*/true);
+    ASSERT_TRUE(PlanCache::Global().SetDiskDir("").ok());
+    socket_path_ = "/tmp/alpa_serve_test_" + std::to_string(::getpid()) + "_" +
+                   ::testing::UnitTest::GetInstance()->current_test_info()->name() + ".sock";
+  }
+  void TearDown() override {
+    PlanCache::Global().Clear(/*also_disk=*/true);
+    ASSERT_TRUE(PlanCache::Global().SetDiskDir("").ok());
+    ::unlink(socket_path_.c_str());
+    if (!cache_dir_.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(cache_dir_, ec);
+    }
+  }
+
+  std::string CacheDir() {
+    cache_dir_ = (std::filesystem::temp_directory_path() /
+                  ("alpa_serve_test_cache_" + std::to_string(::getpid()) + "_" +
+                   ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+                     .string();
+    return cache_dir_;
+  }
+
+  std::string socket_path_;
+  std::string cache_dir_;
+};
+
+// A distinct small model per index: distinct graphs hash to distinct plan
+// cache keys, so each index is a cold compile.
+Graph DistinctMlp(int index) {
+  MlpConfig config;
+  config.hidden_dims = {256 + 32 * index, 256};
+  return BuildMlp(config);
+}
+
+PlanRequest MlpRequest(int index, const std::string& tenant = "") {
+  PlanRequest request;
+  request.graph = DistinctMlp(index);
+  request.cluster = ClusterSpec::AwsP3(1, 2);
+  request.options.num_microbatches = 4;
+  request.options.target_layers = 2;
+  request.options.tenant = tenant;
+  return request;
+}
+
+// A deliberately heavier compile (a cold GPT takes a couple of seconds —
+// MLPs finish in milliseconds), used to pin the worker down while the
+// admission tests probe the queue.
+PlanRequest SlowRequest(const std::string& tenant) {
+  GptConfig config;
+  config.hidden = 256;
+  config.num_layers = 4;
+  config.num_heads = 8;
+  config.microbatch = 4;
+  config.seq_len = 128;
+  config.vocab = 1024;
+  PlanRequest request;
+  request.graph = BuildGpt(config);
+  request.cluster = ClusterSpec::AwsP3(1, 4);
+  request.options.num_microbatches = 8;
+  request.options.target_layers = 4;
+  request.options.tenant = tenant;
+  return request;
+}
+
+TEST_F(ServeTest, PingAndUnreachable) {
+  RemotePlanService dead("/tmp/alpa_serve_test_no_such_socket.sock");
+  EXPECT_EQ(dead.Ping().code(), StatusCode::kUnavailable);
+
+  ServerOptions options;
+  options.socket_path = socket_path_;
+  PlanServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  RemotePlanService client(socket_path_);
+  EXPECT_TRUE(client.Ping().ok());
+  server.Stop();
+  EXPECT_EQ(client.Ping().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(ServeTest, MalformedFrameGetsStructuredError) {
+  ServerOptions options;
+  options.socket_path = socket_path_;
+  PlanServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path_.c_str(), sizeof(addr.sun_path) - 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+
+  // Garbage payload in a well-formed frame: the server must answer with a
+  // structured decode error on the same connection, not crash or hang up.
+  ASSERT_TRUE(WriteFrame(fd, "this is not a wire envelope").ok());
+  std::string blob;
+  ASSERT_TRUE(ReadFrame(fd, &blob).ok());
+  const StatusOr<ServeResponse> response = DeserializeResponse(blob);
+  ASSERT_TRUE(response.ok());
+  EXPECT_FALSE(response.value().ToStatus().ok());
+
+  // The connection survived: a valid request on it still works.
+  RemotePlanService client(socket_path_);
+  EXPECT_TRUE(client.Ping().ok());
+  ::close(fd);
+}
+
+TEST_F(ServeTest, ColdWarmRequestStorm) {
+  ServerOptions options;
+  options.socket_path = socket_path_;
+  options.num_workers = 2;
+  options.plan_cache_dir = CacheDir();
+  PlanServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kThreads = 6;
+  constexpr int kWarmRepeats = 3;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      RemotePlanService client(socket_path_);
+      // One cold compile unique to this thread...
+      const PlanRequest cold = MlpRequest(t, "tenant-" + std::to_string(t % 3));
+      const StatusOr<ParallelPlan> plan = client.Parallelize(cold);
+      if (!plan.ok()) {
+        ++failures;
+        return;
+      }
+      // ...then warm repeats of a graph every thread shares.
+      for (int r = 0; r < kWarmRepeats; ++r) {
+        const StatusOr<ParallelPlan> shared =
+            client.Parallelize(MlpRequest(-1, "tenant-" + std::to_string(t % 3)));
+        if (!shared.ok()) {
+          ++failures;
+          return;
+        }
+      }
+      // A served plan simulates like a locally compiled one.
+      const StatusOr<ExecutionStats> stats = client.Simulate(cold, *plan);
+      if (!stats.ok() || !(stats.value().latency > 0)) {
+        ++failures;
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.accepted, kThreads * (1 + kWarmRepeats + 1));
+  EXPECT_EQ(stats.rejected_queue, 0);
+  // The shared graph compiles at most once per worker (no in-flight
+  // dedup), so at least kThreads*kWarmRepeats - workers requests hit.
+  EXPECT_GE(stats.plan_cache_hits, kThreads * kWarmRepeats - options.num_workers);
+
+  // The warm plan is bit-identical to a fresh local compile.
+  InProcessPlanService local;
+  const StatusOr<ParallelPlan> local_plan = local.Parallelize(MlpRequest(-1));
+  ASSERT_TRUE(local_plan.ok());
+  RemotePlanService client(socket_path_);
+  const StatusOr<ParallelPlan> remote_plan = client.Parallelize(MlpRequest(-1));
+  ASSERT_TRUE(remote_plan.ok());
+  EXPECT_TRUE(PlanEquals(local_plan->pipeline, remote_plan->pipeline));
+  server.Stop();
+}
+
+TEST_F(ServeTest, AdmissionBoundsQueueAndTenants) {
+  ServerOptions options;
+  options.socket_path = socket_path_;
+  options.num_workers = 1;
+  options.max_queue = 8;
+  options.max_per_tenant = 1;
+  PlanServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Pin the only worker on a slow compile.
+  std::thread blocker([&] {
+    RemotePlanService client(socket_path_);
+    EXPECT_TRUE(client.Parallelize(SlowRequest("blocker")).ok());
+  });
+  while (server.stats().accepted < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));  // Worker pickup.
+
+  // Tenant A fills its per-tenant quota of one queued request...
+  std::thread queued_a([&] {
+    RemotePlanService client(socket_path_);
+    client.Parallelize(MlpRequest(1, "tenant-a")).ok();  // Served after the blocker.
+  });
+  while (server.stats().accepted < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // ...so its next request is rejected immediately, while tenant B (under
+  // its own quota) is still admitted: one tenant cannot squeeze out
+  // another.
+  RemotePlanService client(socket_path_);
+  const StatusOr<ParallelPlan> rejected = client.Parallelize(MlpRequest(2, "tenant-a"));
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(server.stats().rejected_queue, 1);
+
+  std::thread queued_b([&] {
+    RemotePlanService client_b(socket_path_);
+    EXPECT_TRUE(client_b.Parallelize(MlpRequest(3, "tenant-b")).ok());
+  });
+  while (server.stats().accepted < 3) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  blocker.join();
+  queued_a.join();
+  queued_b.join();
+  EXPECT_EQ(server.stats().rejected_queue, 1);
+  server.Stop();
+}
+
+TEST_F(ServeTest, ExpiredDeadlineFailsWithoutCompiling) {
+  ServerOptions options;
+  options.socket_path = socket_path_;
+  PlanServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  RemotePlanService client(socket_path_);
+
+  PlanRequest request = MlpRequest(0);
+  request.options.deadline_seconds = 1e-9;  // Expired by pickup time.
+  const StatusOr<ParallelPlan> plan = client.Parallelize(request);
+  EXPECT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(server.stats().expired, 1);
+
+  // A sane deadline still scales the solver budget rather than failing.
+  request.options.deadline_seconds = 30.0;
+  EXPECT_TRUE(client.Parallelize(request).ok());
+  server.Stop();
+}
+
+TEST_F(ServeTest, RestartServesWarmFromDiskCache) {
+  ServerOptions options;
+  options.socket_path = socket_path_;
+  options.plan_cache_dir = CacheDir();
+
+  ParallelPlan first_plan;
+  {
+    PlanServer server(options);
+    ASSERT_TRUE(server.Start().ok());
+    RemotePlanService client(socket_path_);
+    StatusOr<ParallelPlan> plan = client.Parallelize(MlpRequest(0));
+    ASSERT_TRUE(plan.ok());
+    first_plan = std::move(plan).value();
+    EXPECT_EQ(server.stats().plan_cache_hits, 0);
+    server.Stop();
+  }
+
+  // "Restart": a new server process would start with an empty memory
+  // cache; only the disk entries persist.
+  PlanCache::Global().Clear(/*also_disk=*/false);
+  {
+    PlanServer server(options);
+    ASSERT_TRUE(server.Start().ok());
+    RemotePlanService client(socket_path_);
+    const StatusOr<ParallelPlan> plan = client.Parallelize(MlpRequest(0));
+    ASSERT_TRUE(plan.ok());
+    EXPECT_EQ(server.stats().plan_cache_hits, 1);
+    EXPECT_EQ(PlanCache::Global().stats().disk_hits, 1);
+    EXPECT_TRUE(PlanEquals(first_plan.pipeline, plan->pipeline));
+    server.Stop();
+  }
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace alpa
