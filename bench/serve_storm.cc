@@ -11,14 +11,22 @@
 //             fresh daemon answers from the disk cache (warm-across-
 //             restart proof).
 //
+// `--dedup` adds two more phases (self-hosted only):
+//   dedup   — N clients race a single cold key concurrently; single-flight
+//             dedup must compile exactly once (asserted via the
+//             serve/compiles metric) while every racer gets the plan.
+//   sweep   — warm-storm throughput at 1/2/4 workers (plans/sec vs worker
+//             count), restarting the daemon between points.
+//
 // Self-hosts a PlanServer on a temp socket by default; `--server SOCKET`
-// points the storm at an external daemon instead (the restart phase is
-// then skipped — we cannot restart someone else's daemon). `--smoke`
-// shrinks the workload for the tier-1 ctest entry; `--json` writes
-// BENCH_serve.json.
+// points the storm at an external daemon instead (the restart, dedup and
+// sweep phases are then skipped — we cannot restart someone else's daemon
+// or read its metrics). `--smoke` shrinks the workload for the tier-1
+// ctest entry; `--json` writes BENCH_serve.json.
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
@@ -31,6 +39,7 @@
 #include "src/serve/client.h"
 #include "src/serve/plan_cache.h"
 #include "src/serve/server.h"
+#include "src/support/trace.h"
 
 namespace {
 
@@ -89,9 +98,12 @@ double PercentileMs(std::vector<double> seconds, double p) {
 int main(int argc, char** argv) {
   const BenchFlags flags = ParseBenchFlags(argc, argv);
   bool smoke = false;
+  bool dedup = false;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--smoke") {
       smoke = true;
+    } else if (std::string(argv[i]) == "--dedup") {
+      dedup = true;
     }
   }
   const int kModels = smoke ? 4 : 12;
@@ -207,7 +219,139 @@ int main(int argc, char** argv) {
         .Num("p99_ms", PercentileMs(warm_seconds, 0.99));
   }
 
-  // --- Phase 3: restart, then serve from the disk cache. ---
+  // --- Phase 3 (--dedup): single-flight dedup storm on one cold key. ---
+  int dedup_failures = 0;
+  if (dedup && self_hosted) {
+    const int kStormClients = smoke ? 8 : 32;
+    // A model index no other phase uses: cold in memory and on disk.
+    const int kColdIndex = kModels + 101;
+    Metric* compiles = Metrics::Get("serve/compiles");
+    const int64_t compiles_before = compiles->value();
+
+    std::vector<Sample> samples(kStormClients);
+    std::atomic<int> ready{0};
+    std::atomic<bool> go{false};
+    std::vector<std::thread> racers;
+    racers.reserve(kStormClients);
+    for (int c = 0; c < kStormClients; ++c) {
+      racers.emplace_back([&, c] {
+        serve::RemotePlanService client(socket_path);
+        const serve::ServeRequest request = StormRequest(kColdIndex, "dedup");
+        ready.fetch_add(1);
+        while (!go.load()) {
+        }
+        samples[c] = TimedCall(client, request);
+      });
+    }
+    while (ready.load() < kStormClients) {
+    }
+    const double start = NowSeconds();
+    go.store(true);
+    for (std::thread& thread : racers) {
+      thread.join();
+    }
+    const double wall = NowSeconds() - start;
+
+    std::vector<double> dedup_seconds;
+    for (const Sample& sample : samples) {
+      if (!sample.ok) {
+        ++dedup_failures;
+        continue;
+      }
+      dedup_seconds.push_back(sample.seconds);
+    }
+    const int64_t storm_compiles = compiles->value() - compiles_before;
+    std::printf(
+        "dedup:  %3d racers on one cold key in %6.2f s (%lld compile%s, p50 %7.2f ms, "
+        "p99 %7.2f ms)\n",
+        kStormClients, wall, static_cast<long long>(storm_compiles),
+        storm_compiles == 1 ? "" : "s", PercentileMs(dedup_seconds, 0.50),
+        PercentileMs(dedup_seconds, 0.99));
+    report.AddRow()
+        .Str("phase", "dedup")
+        .Int("requests", kStormClients)
+        .Int("failures", dedup_failures)
+        .Int("compiles", static_cast<int>(storm_compiles))
+        .Num("wall_seconds", wall)
+        .Num("plans_per_second", kStormClients / wall)
+        .Num("p50_ms", PercentileMs(dedup_seconds, 0.50))
+        .Num("p99_ms", PercentileMs(dedup_seconds, 0.99));
+    if (storm_compiles != 1 || dedup_failures > 0) {
+      std::fprintf(stderr, "serve_storm: FAILED (dedup storm: compiles=%lld failures=%d)\n",
+                   static_cast<long long>(storm_compiles), dedup_failures);
+      return 1;
+    }
+  }
+
+  // --- Phase 4 (--dedup): capacity sweep — warm plans/sec vs workers. ---
+  if (dedup && self_hosted) {
+    const serve::ServerOptions base_options = server->options();
+    std::vector<int> worker_counts = smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4};
+    for (const int workers : worker_counts) {
+      server->Stop();
+      serve::ServerOptions options = base_options;
+      options.num_workers = workers;
+      server = std::make_unique<serve::PlanServer>(options);
+      const Status status = server->Start();
+      if (!status.ok()) {
+        std::fprintf(stderr, "serve_storm: sweep: %s\n", status.ToString().c_str());
+        return 1;
+      }
+
+      std::atomic<int> sweep_failures{0};
+      std::atomic<int> sweep_hits{0};
+      const double start = NowSeconds();
+      std::vector<std::thread> clients;
+      clients.reserve(kClients);
+      for (int c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+          serve::RemotePlanService client(socket_path);
+          const std::string tenant = "sweep-" + std::to_string(c);
+          for (int round = 0; round < kWarmRounds; ++round) {
+            for (int m = 0; m < kModels; ++m) {
+              const Sample sample = TimedCall(client, StormRequest(m, tenant));
+              if (!sample.ok) {
+                sweep_failures.fetch_add(1);
+              } else if (sample.cache_hit) {
+                sweep_hits.fetch_add(1);
+              }
+            }
+          }
+        });
+      }
+      for (std::thread& thread : clients) {
+        thread.join();
+      }
+      const double wall = NowSeconds() - start;
+      const int total = kClients * kWarmRounds * kModels;
+      std::printf("sweep:  %d worker%s -> %6.2f plans/s (%d requests, %d hits, %d failures)\n",
+                  workers, workers == 1 ? " " : "s", total / wall, total, sweep_hits.load(),
+                  sweep_failures.load());
+      report.AddRow()
+          .Str("phase", "sweep")
+          .Int("workers", workers)
+          .Int("requests", total)
+          .Int("failures", sweep_failures.load())
+          .Int("cache_hits", sweep_hits.load())
+          .Num("wall_seconds", wall)
+          .Num("plans_per_second", total / wall);
+      if (sweep_failures.load() > 0) {
+        std::fprintf(stderr, "serve_storm: FAILED (sweep at %d workers: %d failures)\n", workers,
+                     sweep_failures.load());
+        return 1;
+      }
+    }
+    // Restore the original worker count for the restart phase below.
+    server->Stop();
+    server = std::make_unique<serve::PlanServer>(base_options);
+    const Status status = server->Start();
+    if (!status.ok()) {
+      std::fprintf(stderr, "serve_storm: sweep: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // --- Phase 5: restart, then serve from the disk cache. ---
   if (self_hosted) {
     server->Stop();
     // A new daemon process starts with an empty memory cache; only the

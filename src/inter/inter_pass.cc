@@ -313,6 +313,12 @@ CompiledPipeline RunInterOpPass(Graph& graph, const ClusterSpec& cluster,
       if (!result.feasible) {
         continue;
       }
+      // Anytime accounting over the chosen stages' solves.
+      if (!result.optimal) {
+        ++pipeline.stats.ilp_aborts;
+        pipeline.stats.max_optimality_gap =
+            std::max(pipeline.stats.max_optimality_gap, result.optimality_gap);
+      }
       const StageSubgraph& subgraph = profiler.LayerSubgraph(l);
       for (const Operator& op : subgraph.graph.ops()) {
         const bool interesting =

@@ -102,6 +102,13 @@ struct CompileStats {
   int64_t ilp_cache_misses = 0;  // Cacheable solves that missed.
   int num_tmax_tried = 0;
   int threads_used = 1;
+  // Anytime accounting over the layers of the CHOSEN stages only: how many
+  // of their intra-op solves hit the search budget, and the worst relative
+  // optimality gap among them. 0/0.0 means every chosen solve is proven
+  // optimal; a positive gap is the anytime contract's quality report (the
+  // plan is feasible and at most this far from the intra-op optimum).
+  int64_t ilp_aborts = 0;
+  double max_optimality_gap = 0.0;
 };
 
 struct CompiledPipeline {

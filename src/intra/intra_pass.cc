@@ -559,8 +559,11 @@ IntraOpResult SolveIntraOp(const Graph& graph, const DeviceMesh& mesh,
     IntraOpResult result;
     return result;
   }
-  return EvaluateChoice(graph, mesh, problem, options, std::move(solution.choice),
-                        solution.optimal);
+  const double gap = solution.optimality_gap();
+  IntraOpResult result = EvaluateChoice(graph, mesh, problem, options,
+                                        std::move(solution.choice), solution.optimal);
+  result.optimality_gap = result.optimal ? 0.0 : gap;
+  return result;
 }
 
 }  // namespace alpa

@@ -77,6 +77,11 @@ struct IntraOpResult {
   double ideal_compute = 0.0;
   double objective = kInfCost;
   bool optimal = false;
+  // Relative optimality gap of the ILP solve that produced `choice`
+  // ((objective - proven lower bound) / objective in the solver's own
+  // objective space); 0 when `optimal`. The serve layer surfaces the
+  // worst gap across a plan's stages as the anytime-contract report.
+  double optimality_gap = 0.0;
   // Per-device memory profile.
   double weight_bytes = 0.0;              // Params + grads + optimizer state.
   double act_bytes_per_microbatch = 0.0;  // Resident activations (with remat).

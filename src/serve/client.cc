@@ -128,6 +128,44 @@ StatusOr<RepairResult> RemotePlanService::Repair(const PlanRequest& request,
   return std::move(response).value().repair;
 }
 
+StatusOr<std::vector<PlanRecord>> RemotePlanService::DbList(const PlanDbQuery& query) {
+  ServeRequest request;
+  request.method = Method::kDbList;
+  request.db_query = query;
+  auto response = Call(request);
+  if (!response.ok()) {
+    return response.status();
+  }
+  ALPA_RETURN_IF_ERROR(response.value().ToStatus());
+  return std::move(response).value().records;
+}
+
+StatusOr<PlanRecord> RemotePlanService::DbGet(const PlanCacheKey& key) {
+  ServeRequest request;
+  request.method = Method::kDbGet;
+  request.db_key = key;
+  auto response = Call(request);
+  if (!response.ok()) {
+    return response.status();
+  }
+  ALPA_RETURN_IF_ERROR(response.value().ToStatus());
+  if (response.value().records.size() != 1) {
+    return Status::Internal("server returned OK without a record");
+  }
+  return std::move(response).value().records.front();
+}
+
+Status RemotePlanService::DbDelete(const PlanCacheKey& key) {
+  ServeRequest request;
+  request.method = Method::kDbDelete;
+  request.db_key = key;
+  auto response = Call(request);
+  if (!response.ok()) {
+    return response.status();
+  }
+  return response.value().ToStatus();
+}
+
 Status RemotePlanService::Ping() {
   ServeRequest request;
   request.method = Method::kPing;

@@ -11,6 +11,7 @@
 #define SRC_SERVE_CLIENT_H_
 
 #include <string>
+#include <vector>
 
 #include "src/serve/protocol.h"
 #include "src/serve/service.h"
@@ -30,6 +31,13 @@ class RemotePlanService : public PlanService {
 
   // Liveness probe: kUnavailable when the daemon is not reachable.
   Status Ping();
+
+  // Results-database endpoints (src/serve/plan_db.h): enumerate, fetch,
+  // and retire the server's compile records.
+  StatusOr<std::vector<PlanRecord>> DbList(const PlanDbQuery& query);
+  StatusOr<PlanRecord> DbGet(const PlanCacheKey& key);
+  // kInvalidArgument when no record exists for `key`.
+  Status DbDelete(const PlanCacheKey& key);
 
   // Raw round-trip (benchmarks read the response's observability fields:
   // queue_seconds, compile_seconds, plan_cache_hit). Transport failures

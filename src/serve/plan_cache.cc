@@ -1,10 +1,15 @@
 #include "src/serve/plan_cache.h"
 
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "src/serve/wire.h"
 #include "src/support/hashing.h"
@@ -28,9 +33,15 @@ bool ReadFile(const std::string& path, std::string* out) {
   return static_cast<bool>(in);
 }
 
-// Writes a whole file atomically (temp + rename); false on any error.
+// Writes a whole file atomically. The temp name carries the pid and a
+// process-local counter so concurrent writers — even across daemon
+// processes sharing one cache dir — never collide on the staging file;
+// rename() then makes the last completed write win atomically.
 bool WriteFileAtomic(const std::string& path, const std::string& data) {
-  const std::string tmp = path + ".tmp";
+  static std::atomic<uint64_t> counter{0};
+  const std::string tmp =
+      StrFormat("%s.tmp.%d.%llu", path.c_str(), static_cast<int>(::getpid()),
+                static_cast<unsigned long long>(counter.fetch_add(1)));
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) {
@@ -46,6 +57,39 @@ bool WriteFileAtomic(const std::string& path, const std::string& data) {
     std::remove(tmp.c_str());
     return false;
   }
+  return true;
+}
+
+// Checks only the envelope header (magic + version) — enough to decide
+// whether a persisted entry belongs to this wire format without decoding
+// the payload.
+bool HeaderVersionMatches(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  unsigned char header[6] = {0};
+  if (!in.read(reinterpret_cast<char*>(header), sizeof(header))) {
+    return false;
+  }
+  const uint32_t magic = static_cast<uint32_t>(header[0]) |
+                         (static_cast<uint32_t>(header[1]) << 8) |
+                         (static_cast<uint32_t>(header[2]) << 16) |
+                         (static_cast<uint32_t>(header[3]) << 24);
+  const uint16_t version =
+      static_cast<uint16_t>(header[4]) | (static_cast<uint16_t>(header[5]) << 8);
+  return magic == kWireMagic && version == kWireVersion;
+}
+
+// Recovers the cache key from an entry's file name; false when the name
+// is not `<16 hex>-<16 hex>.plan`.
+bool ParseEntryName(const std::string& name, PlanCacheKey* key) {
+  unsigned long long graph = 0;
+  unsigned long long config = 0;
+  int consumed = 0;
+  if (std::sscanf(name.c_str(), "%16llx-%16llx.plan%n", &graph, &config, &consumed) != 2 ||
+      consumed != static_cast<int>(name.size())) {
+    return false;
+  }
+  key->graph_hash = graph;
+  key->config_hash = config;
   return true;
 }
 
@@ -67,6 +111,40 @@ Status PlanCache::SetDiskDir(const std::string& dir) {
   }
   std::lock_guard<std::mutex> lock(mu_);
   disk_dir_ = dir;
+  disk_index_.clear();
+  disk_bytes_ = 0;
+  access_counter_ = 0;
+  if (!dir.empty()) {
+    // Version sweep + index rebuild. Unrecognized or stale-format files
+    // are unlinked eagerly (a later Lookup would only treat them as a
+    // miss anyway); survivors are indexed in sorted-name order so the
+    // initial LRU order is deterministic.
+    std::vector<std::pair<std::string, int64_t>> files;
+    std::error_code ec;
+    for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+      if (entry.path().extension() != ".plan") {
+        continue;
+      }
+      files.emplace_back(entry.path().filename().string(),
+                         static_cast<int64_t>(entry.file_size(ec)));
+    }
+    std::sort(files.begin(), files.end());
+    for (const auto& [name, bytes] : files) {
+      const std::string path = dir + "/" + name;
+      PlanCacheKey key;
+      if (!ParseEntryName(name, &key) || !HeaderVersionMatches(path)) {
+        std::remove(path.c_str());
+        ++stats_.version_swept;
+        static Metric* swept = Metrics::Get("plan_cache/version_swept");
+        swept->Add(1);
+        continue;
+      }
+      disk_index_[key] = DiskEntry{bytes, ++access_counter_};
+      disk_bytes_ += bytes;
+    }
+    EnforceLimitsLocked();
+  }
+  UpdateMetricsLocked();
   return Status::Ok();
 }
 
@@ -75,10 +153,74 @@ std::string PlanCache::disk_dir() const {
   return disk_dir_;
 }
 
+void PlanCache::SetLimits(const PlanCacheLimits& limits) {
+  std::lock_guard<std::mutex> lock(mu_);
+  limits_ = limits;
+  EnforceLimitsLocked();
+  UpdateMetricsLocked();
+}
+
+PlanCacheLimits PlanCache::limits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return limits_;
+}
+
 std::string PlanCache::EntryPath(const PlanCacheKey& key) const {
   return StrFormat("%s/%016llx-%016llx.plan", disk_dir_.c_str(),
                    static_cast<unsigned long long>(key.graph_hash),
                    static_cast<unsigned long long>(key.config_hash));
+}
+
+void PlanCache::EvictLocked(const PlanCacheKey& key) {
+  const auto it = disk_index_.find(key);
+  if (it == disk_index_.end()) {
+    return;
+  }
+  std::remove(EntryPath(key).c_str());
+  disk_bytes_ -= it->second.bytes;
+  disk_index_.erase(it);
+  // Drop the memory promotion with the disk entry so the caps genuinely
+  // bound the store (otherwise an evicted plan would linger in memory and
+  // resurface as a hit the caps pretend not to have).
+  entries_.erase(key);
+  ++stats_.evictions;
+  static Metric* evictions = Metrics::Get("plan_cache/evictions");
+  evictions->Add(1);
+}
+
+void PlanCache::EnforceLimitsLocked() {
+  const auto over = [&] {
+    return (limits_.max_disk_entries > 0 &&
+            static_cast<int64_t>(disk_index_.size()) > limits_.max_disk_entries) ||
+           (limits_.max_disk_bytes > 0 && disk_bytes_ > limits_.max_disk_bytes);
+  };
+  while (over()) {
+    // Oldest logical access first. Copy the key out: EvictLocked erases
+    // the index node that owns it.
+    PlanCacheKey victim;
+    bool found = false;
+    uint64_t oldest = 0;
+    for (const auto& [key, entry] : disk_index_) {
+      if (!found || entry.access_seq < oldest) {
+        victim = key;
+        found = true;
+        oldest = entry.access_seq;
+      }
+    }
+    if (!found) {
+      break;
+    }
+    EvictLocked(victim);
+  }
+}
+
+void PlanCache::UpdateMetricsLocked() {
+  static Metric* size_metric = Metrics::Get("plan_cache/entries");
+  static Metric* disk_entries = Metrics::Get("plan_cache/disk_entries");
+  static Metric* disk_bytes = Metrics::Get("plan_cache/disk_bytes");
+  size_metric->Set(static_cast<int64_t>(entries_.size()));
+  disk_entries->Set(static_cast<int64_t>(disk_index_.size()));
+  disk_bytes->Set(disk_bytes_);
 }
 
 bool PlanCache::Lookup(const PlanCacheKey& key, ParallelPlan* plan) {
@@ -92,6 +234,12 @@ bool PlanCache::Lookup(const PlanCacheKey& key, ParallelPlan* plan) {
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       *plan = it->second;
+      // A memory hit is a use: touch the persisted twin so a hot entry
+      // never looks cold to the LRU evictor.
+      auto disk_it = disk_index_.find(key);
+      if (disk_it != disk_index_.end()) {
+        disk_it->second.access_seq = ++access_counter_;
+      }
       ++stats_.memory_hits;
       memory_hits->Add(1);
       return true;
@@ -107,7 +255,9 @@ bool PlanCache::Lookup(const PlanCacheKey& key, ParallelPlan* plan) {
   // Disk probe outside the lock: file IO and decoding are slow.
   std::string blob;
   bool hit = false;
+  bool probed = false;
   if (ReadFile(path, &blob)) {
+    probed = true;
     std::string_view payload;
     if (WireUnpack(blob, WireKind::kCacheEntry, &payload).ok()) {
       WireReader r(payload);
@@ -129,12 +279,30 @@ bool PlanCache::Lookup(const PlanCacheKey& key, ParallelPlan* plan) {
   std::lock_guard<std::mutex> lock(mu_);
   if (hit) {
     entries_.emplace(key, *plan);  // Promote; first writer wins.
+    auto it = disk_index_.find(key);
+    if (it == disk_index_.end()) {
+      // Written by another process since the sweep; index it now.
+      disk_index_[key] = DiskEntry{static_cast<int64_t>(blob.size()), ++access_counter_};
+      disk_bytes_ += static_cast<int64_t>(blob.size());
+    } else {
+      it->second.access_seq = ++access_counter_;  // LRU touch.
+    }
     ++stats_.disk_hits;
     disk_hits->Add(1);
   } else {
+    if (probed) {
+      // The unlink above removed a corrupt entry; keep the size
+      // accounting (and the exported metrics) consistent with the store.
+      auto it = disk_index_.find(key);
+      if (it != disk_index_.end()) {
+        disk_bytes_ -= it->second.bytes;
+        disk_index_.erase(it);
+      }
+    }
     ++stats_.misses;
     misses->Add(1);
   }
+  UpdateMetricsLocked();
   return hit;
 }
 
@@ -143,9 +311,8 @@ void PlanCache::Insert(const PlanCacheKey& key, const ParallelPlan& plan) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     entries_.emplace(key, plan);
-    static Metric* size_metric = Metrics::Get("plan_cache/entries");
-    size_metric->Set(static_cast<int64_t>(entries_.size()));
     if (disk_dir_.empty()) {
+      UpdateMetricsLocked();
       return;
     }
     path = EntryPath(key);
@@ -154,7 +321,88 @@ void PlanCache::Insert(const PlanCacheKey& key, const ParallelPlan& plan) {
   w.U64(key.graph_hash);
   w.U64(key.config_hash);
   EncodePlan(plan, &w);
-  WriteFileAtomic(path, WirePack(WireKind::kCacheEntry, w.Take()));
+  const std::string blob = WirePack(WireKind::kCacheEntry, w.Take());
+  const bool written = WriteFileAtomic(path, blob);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (written) {
+    auto it = disk_index_.find(key);
+    if (it != disk_index_.end()) {
+      disk_bytes_ -= it->second.bytes;  // Overwrite: replace the old size.
+    }
+    disk_index_[key] = DiskEntry{static_cast<int64_t>(blob.size()), ++access_counter_};
+    disk_bytes_ += static_cast<int64_t>(blob.size());
+    EnforceLimitsLocked();
+  }
+  UpdateMetricsLocked();
+}
+
+FlightOutcome PlanCache::JoinFlight(const PlanCacheKey& key, ParallelPlan* plan,
+                                    Status* status) {
+  if (Lookup(key, plan)) {
+    return FlightOutcome::kHit;
+  }
+  static Metric* leaders = Metrics::Get("plan_cache/flight_leaders");
+  static Metric* followers = Metrics::Get("plan_cache/flight_followers");
+  std::shared_ptr<Flight> flight;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Re-check memory under the lock: a leader may have published between
+    // the Lookup above and here.
+    const auto hit = entries_.find(key);
+    if (hit != entries_.end()) {
+      *plan = hit->second;
+      ++stats_.memory_hits;
+      return FlightOutcome::kHit;
+    }
+    auto it = flights_.find(key);
+    if (it == flights_.end()) {
+      flights_.emplace(key, std::make_shared<Flight>());
+      ++stats_.flight_leaders;
+      leaders->Add(1);
+      return FlightOutcome::kLeader;
+    }
+    flight = it->second;
+    ++stats_.flight_followers;
+    followers->Add(1);
+  }
+  std::unique_lock<std::mutex> lock(flight->mu);
+  flight->cv.wait(lock, [&] { return flight->done; });
+  if (flight->ok) {
+    *plan = flight->plan;
+    return FlightOutcome::kHit;
+  }
+  *status = flight->status;
+  return FlightOutcome::kFailed;
+}
+
+void PlanCache::FinishFlight(const PlanCacheKey& key, const StatusOr<ParallelPlan>& result) {
+  if (result.ok()) {
+    // Publish through the cache first so a follower that re-enters
+    // JoinFlight after waking (or a brand-new request) hits memory.
+    Insert(key, result.value());
+  }
+  std::shared_ptr<Flight> flight;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = flights_.find(key);
+    if (it == flights_.end()) {
+      return;  // FinishFlight without JoinFlight: nothing to publish.
+    }
+    flight = std::move(it->second);
+    flights_.erase(it);
+  }
+  {
+    std::lock_guard<std::mutex> lock(flight->mu);
+    flight->done = true;
+    flight->ok = result.ok();
+    if (result.ok()) {
+      flight->plan = result.value();
+    } else {
+      flight->status = result.status();
+    }
+  }
+  flight->cv.notify_all();
 }
 
 PlanCacheStats PlanCache::stats() const {
@@ -165,6 +413,16 @@ PlanCacheStats PlanCache::stats() const {
 size_t PlanCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return entries_.size();
+}
+
+size_t PlanCache::disk_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return disk_index_.size();
+}
+
+int64_t PlanCache::disk_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return disk_bytes_;
 }
 
 void PlanCache::Clear(bool also_disk) {
@@ -178,7 +436,11 @@ void PlanCache::Clear(bool also_disk) {
         std::filesystem::remove(entry.path(), ec);
       }
     }
+    disk_index_.clear();
+    disk_bytes_ = 0;
+    access_counter_ = 0;
   }
+  UpdateMetricsLocked();
 }
 
 bool ComputePlanCacheKey(const Graph& graph, const ClusterSpec& cluster,

@@ -20,17 +20,35 @@
 // Fingerprint() cannot be hashed; ComputePlanCacheKey returns false and
 // the compile simply runs.
 //
+// Single-flight. N concurrent cold requests for one key must compile once:
+// JoinFlight() atomically either hits the cache, joins an in-flight
+// compile (blocking until the leader publishes), or elects the caller
+// leader. The leader compiles and calls FinishFlight(), which inserts on
+// success and wakes every follower with the shared result (the leader's
+// error propagates to followers on failure). This also serializes the
+// disk write for a key, eliminating concurrent tmp+rename races.
+//
 // Disk layer. Each entry is one file `<graph>-<config>.plan` under the
 // cache dir, holding a kCacheEntry wire envelope (key + plan). Writes go
-// through a temp file + rename, so readers never observe a torn entry. A
-// corrupt, truncated, or version-skewed file is treated as a miss (and
-// removed); the envelope's version field makes format bumps self-cleaning.
+// through a uniquely named temp file + rename, so readers never observe a
+// torn entry even across processes. A corrupt, truncated, or
+// version-skewed file is treated as a miss (and removed); the envelope's
+// version field makes format bumps self-cleaning, and SetDiskDir sweeps
+// entries of other wire versions eagerly on open.
+//
+// Eviction. SetLimits() bounds the disk store by entry count and/or total
+// bytes; when an insert overflows a cap, the least-recently-used entries
+// (by a logical access sequence — bumped on disk hit and insert, so it is
+// deterministic, unlike wall-clock atimes) are unlinked oldest-first, and
+// their memory promotions dropped with them. 0 = unbounded.
 //
 // Thread safety: all methods are safe to call concurrently.
 #ifndef SRC_SERVE_PLAN_CACHE_H_
 #define SRC_SERVE_PLAN_CACHE_H_
 
+#include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -51,6 +69,28 @@ struct PlanCacheStats {
   int64_t memory_hits = 0;
   int64_t disk_hits = 0;
   int64_t misses = 0;
+  // Disk entries evicted by the size/entry caps.
+  int64_t evictions = 0;
+  // Disk entries of another wire version unlinked by the SetDiskDir sweep.
+  int64_t version_swept = 0;
+  // Single-flight traffic: compiles elected (leaders) vs requests that
+  // blocked on an in-flight compile instead of duplicating it (followers).
+  int64_t flight_leaders = 0;
+  int64_t flight_followers = 0;
+};
+
+// Caps on the persisted store; 0 = unbounded. Enforced on insert with
+// LRU (logical access order) eviction, and on SetDiskDir after the sweep.
+struct PlanCacheLimits {
+  int64_t max_disk_entries = 0;
+  int64_t max_disk_bytes = 0;
+};
+
+// How JoinFlight resolved a request.
+enum class FlightOutcome {
+  kHit,     // *plan holds the result (cache hit, or a leader's publish).
+  kLeader,  // Caller must compile and call FinishFlight with the result.
+  kFailed,  // The in-flight leader failed; *status holds its error.
 };
 
 class PlanCache {
@@ -60,19 +100,38 @@ class PlanCache {
   static PlanCache& Global();
 
   // Enables (non-empty) or disables (empty) the disk layer. Creates the
-  // directory if needed; returns kInternal when creation fails.
+  // directory if needed; returns kInternal when creation fails. Sweeps
+  // version-skewed entries and rebuilds the disk index (then enforces the
+  // configured limits).
   Status SetDiskDir(const std::string& dir);
   std::string disk_dir() const;
 
-  // Memory first, then disk (a disk hit is promoted to memory). False =
-  // miss.
+  // Replaces the disk-store caps and enforces them immediately.
+  void SetLimits(const PlanCacheLimits& limits);
+  PlanCacheLimits limits() const;
+
+  // Memory first, then disk (a disk hit is promoted to memory and bumps
+  // the entry's logical access time). False = miss. A corrupt disk entry
+  // is unlinked and drops out of the size accounting right away.
   bool Lookup(const PlanCacheKey& key, ParallelPlan* plan);
-  // Inserts into memory and, when a disk dir is set, persists the entry.
-  // Disk write failures are silent (the cache is an optimization).
+  // Inserts into memory and, when a disk dir is set, persists the entry,
+  // then enforces the limits. Disk write failures are silent (the cache
+  // is an optimization).
   void Insert(const PlanCacheKey& key, const ParallelPlan& plan);
 
+  // Single-flight entry point: Lookup, then atomically join or lead the
+  // in-flight compile for `key`. kHit fills *plan; kFailed fills *status;
+  // kLeader obliges the caller to call FinishFlight(key, ...) exactly once
+  // (on every path, or followers block forever).
+  FlightOutcome JoinFlight(const PlanCacheKey& key, ParallelPlan* plan, Status* status);
+  // Publishes the leader's result: Insert + wake followers on success,
+  // propagate the error to followers on failure.
+  void FinishFlight(const PlanCacheKey& key, const StatusOr<ParallelPlan>& result);
+
   PlanCacheStats stats() const;
-  size_t size() const;  // In-memory entries.
+  size_t size() const;       // In-memory entries.
+  size_t disk_size() const;  // Indexed disk entries.
+  int64_t disk_bytes() const;
   // Drops in-memory entries and zeroes counters; `also_disk` removes the
   // persisted files too.
   void Clear(bool also_disk = false);
@@ -84,11 +143,39 @@ class PlanCache {
     }
   };
 
+  // One persisted entry's accounting.
+  struct DiskEntry {
+    int64_t bytes = 0;
+    uint64_t access_seq = 0;  // Logical LRU clock, not wall time.
+  };
+
+  // One in-flight compile; followers block on cv until the leader
+  // publishes. Heap-allocated and shared so it outlives its map slot.
+  struct Flight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    bool ok = false;
+    ParallelPlan plan;
+    Status status = Status::Ok();
+  };
+
   std::string EntryPath(const PlanCacheKey& key) const;
+  // Unlinks LRU disk entries until the limits hold. Requires mu_.
+  void EnforceLimitsLocked();
+  // Removes `key`'s disk entry (file + index) and its memory promotion.
+  // Requires mu_.
+  void EvictLocked(const PlanCacheKey& key);
+  void UpdateMetricsLocked();
 
   mutable std::mutex mu_;
   std::string disk_dir_;
+  PlanCacheLimits limits_;
   std::unordered_map<PlanCacheKey, ParallelPlan, KeyHash> entries_;
+  std::unordered_map<PlanCacheKey, DiskEntry, KeyHash> disk_index_;
+  std::unordered_map<PlanCacheKey, std::shared_ptr<Flight>, KeyHash> flights_;
+  int64_t disk_bytes_ = 0;
+  uint64_t access_counter_ = 0;
   PlanCacheStats stats_;
 };
 

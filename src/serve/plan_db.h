@@ -1,0 +1,114 @@
+// The results database: an on-disk index of every plan the service
+// compiled, one record per plan-cache key.
+//
+// The plan cache answers "have I compiled this before?"; the results
+// database answers "what have I compiled, for whom, and how good was it?"
+// Each record summarizes one compile instance — the cache key (graph and
+// config fingerprints), the requesting tenant, the active profile-source
+// fingerprint, problem extent (ops, cluster shape, chosen stages), compile
+// wall time, the plan's objective (pipeline latency), and the anytime
+// quality report (aborted ILP solves + worst relative optimality gap) —
+// without storing the plan itself; the plan lives in the cache, keyed
+// identically.
+//
+// Persistence mirrors the plan cache: one `<graph>-<config>.rec` file per
+// record (a kPlanRecord wire envelope) under the configured directory,
+// written atomically via uniquely named temp files, swept of other wire
+// versions on SetDir. Records are intentionally tiny (a few hundred
+// bytes), so the store is unbounded; the alpa_serve kDbDelete endpoint is
+// the retention knob.
+//
+// Thread safety: all methods are safe to call concurrently.
+#ifndef SRC_SERVE_PLAN_DB_H_
+#define SRC_SERVE_PLAN_DB_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/serve/plan_cache.h"
+#include "src/serve/wire.h"
+#include "src/support/status.h"
+
+#include <mutex>
+
+namespace alpa {
+namespace serve {
+
+// One compile instance. Everything needed to audit a serving fleet's
+// compiles — who asked, what it cost, how good the answer is — in a
+// record small enough to list wholesale.
+struct PlanRecord {
+  PlanCacheKey key;                 // Joins against the plan cache.
+  std::string tenant;               // Admission identity of the requester.
+  uint64_t profile_fingerprint = 0; // 0 = analytical model.
+  int32_t num_ops = 0;              // Operator-graph size.
+  int32_t num_hosts = 0;            // Cluster extent.
+  int32_t devices_per_host = 0;
+  int32_t num_stages = 0;           // Chosen pipeline depth.
+  double compile_seconds = 0.0;     // Wall time of the compile.
+  double objective = 0.0;           // Pipeline latency (DP objective).
+  double optimality_gap = 0.0;      // Worst relative ILP gap (0 = optimal).
+  int64_t ilp_aborts = 0;           // Budget-capped solves among chosen stages.
+  int64_t plan_bytes = 0;           // Serialized plan size.
+};
+
+// Filter for List(). Empty/zero fields match everything.
+struct PlanDbQuery {
+  std::string tenant;  // Exact tenant match; "" = all tenants.
+  int32_t limit = 0;   // Max records returned; 0 = unlimited.
+};
+
+class PlanDb {
+ public:
+  // The process-wide instance (populated by InProcessPlanService on every
+  // real compile). Memory-only until SetDir points it at a directory.
+  static PlanDb& Global();
+
+  // Enables (non-empty) or disables (empty) persistence. Creates the
+  // directory if needed, then loads every valid `.rec` file — corrupt or
+  // version-skewed files are unlinked. kInternal when creation fails.
+  Status SetDir(const std::string& dir);
+  std::string dir() const;
+
+  // Inserts or overwrites the record for `record.key`, persisting it when
+  // a directory is configured (write failures are silent: the database is
+  // observability, never correctness).
+  void Put(const PlanRecord& record);
+
+  // Records matching `query`, in deterministic (key) order.
+  std::vector<PlanRecord> List(const PlanDbQuery& query) const;
+  // kInvalidArgument when no record exists for `key`.
+  StatusOr<PlanRecord> Get(const PlanCacheKey& key) const;
+  // Removes the record (and its file). False when absent.
+  bool Delete(const PlanCacheKey& key);
+
+  size_t size() const;
+  // Drops in-memory records; `also_disk` removes the persisted files too.
+  void Clear(bool also_disk = false);
+
+ private:
+  struct KeyLess {
+    bool operator()(const PlanCacheKey& a, const PlanCacheKey& b) const {
+      return a.graph_hash != b.graph_hash ? a.graph_hash < b.graph_hash
+                                          : a.config_hash < b.config_hash;
+    }
+  };
+
+  std::string RecordPath(const PlanCacheKey& key) const;
+
+  mutable std::mutex mu_;
+  std::string dir_;
+  std::map<PlanCacheKey, PlanRecord, KeyLess> records_;
+};
+
+// Field-level codec (payload only, no envelope) — the serve protocol
+// embeds records in responses with these.
+void EncodePlanRecord(const PlanRecord& record, WireWriter* w);
+Status DecodePlanRecord(WireReader* r, PlanRecord* out);
+
+}  // namespace serve
+}  // namespace alpa
+
+#endif  // SRC_SERVE_PLAN_DB_H_

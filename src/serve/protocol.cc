@@ -20,6 +20,7 @@ void EncodeOptions(const PlanRequestOptions& options, WireWriter* w) {
   w->Bool(options.equal_layer_stages);
   w->U8(static_cast<uint8_t>(options.reshard));
   w->I64(options.max_search_nodes);
+  w->I64(options.max_elimination_table);
   w->F64(options.deadline_seconds);
   w->Str(options.tenant);
   w->Bool(options.use_plan_cache);
@@ -42,6 +43,7 @@ Status DecodeOptions(WireReader* r, PlanRequestOptions* out) {
   }
   out->reshard = static_cast<ReshardStrategy>(reshard);
   out->max_search_nodes = r->I64();
+  out->max_elimination_table = r->I64();
   out->deadline_seconds = r->F64();
   out->tenant = r->Str();
   out->use_plan_cache = r->Bool();
@@ -90,6 +92,10 @@ std::string SerializeRequest(const ServeRequest& request) {
     EncodePlan(request.plan, &w);
   }
   EncodeRepairOptions(request.repair, &w);
+  w.Str(request.db_query.tenant);
+  w.I32(request.db_query.limit);
+  w.U64(request.db_key.graph_hash);
+  w.U64(request.db_key.config_hash);
   return WirePack(WireKind::kRequest, w.Take());
 }
 
@@ -100,7 +106,7 @@ StatusOr<ServeRequest> DeserializeRequest(std::string_view blob) {
   ServeRequest request;
   const uint8_t method = r.U8();
   if (method < static_cast<uint8_t>(Method::kPing) ||
-      method > static_cast<uint8_t>(Method::kRepair)) {
+      method > static_cast<uint8_t>(Method::kDbDelete)) {
     return Status::InvalidArgument(StrFormat("wire: unknown method %u", method));
   }
   request.method = static_cast<Method>(method);
@@ -115,6 +121,16 @@ StatusOr<ServeRequest> DeserializeRequest(std::string_view blob) {
     ALPA_RETURN_IF_ERROR(DecodePlan(&r, &request.plan));
   }
   ALPA_RETURN_IF_ERROR(DecodeRepairOptions(&r, &request.repair));
+  request.db_query.tenant = r.Str();
+  request.db_query.limit = r.I32();
+  request.db_key.graph_hash = r.U64();
+  request.db_key.config_hash = r.U64();
+  if (!r.ok()) {
+    return r.status();
+  }
+  if (request.db_query.limit < 0) {
+    return Status::InvalidArgument("wire: negative db query limit");
+  }
   if (r.remaining() != 0) {
     return Status::InvalidArgument(
         StrFormat("wire: %zu trailing bytes after request", r.remaining()));
@@ -138,9 +154,14 @@ std::string SerializeResponse(const ServeResponse& response) {
   if (response.has_repair) {
     EncodeRepairResult(response.repair, &w);
   }
+  w.U32(static_cast<uint32_t>(response.records.size()));
+  for (const PlanRecord& record : response.records) {
+    EncodePlanRecord(record, &w);
+  }
   w.F64(response.queue_seconds);
   w.F64(response.compile_seconds);
   w.Bool(response.plan_cache_hit);
+  w.F64(response.optimality_gap);
   return WirePack(WireKind::kResponse, w.Take());
 }
 
@@ -176,9 +197,16 @@ StatusOr<ServeResponse> DeserializeResponse(std::string_view blob) {
   if (response.has_repair) {
     ALPA_RETURN_IF_ERROR(DecodeRepairResult(&r, &response.repair));
   }
+  // 84 bytes minimum per record: 12 fixed fields + a string prefix.
+  const uint32_t num_records = r.Count(84);
+  response.records.resize(num_records);
+  for (uint32_t i = 0; i < num_records; ++i) {
+    ALPA_RETURN_IF_ERROR(DecodePlanRecord(&r, &response.records[i]));
+  }
   response.queue_seconds = r.F64();
   response.compile_seconds = r.F64();
   response.plan_cache_hit = r.Bool();
+  response.optimality_gap = r.F64();
   if (!r.ok()) {
     return r.status();
   }

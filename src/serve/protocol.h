@@ -22,6 +22,9 @@
 #include <cstdint>
 #include <string>
 
+#include <vector>
+
+#include "src/serve/plan_db.h"
 #include "src/serve/service.h"
 #include "src/serve/wire.h"
 #include "src/support/status.h"
@@ -36,6 +39,9 @@ enum class Method : uint8_t {
   kParallelize = 2,  // -> plan.
   kSimulate = 3,     // plan required -> stats.
   kRepair = 4,       // repair options required -> repair result.
+  kDbList = 5,       // db_query -> records.
+  kDbGet = 6,        // db_key -> records (one entry).
+  kDbDelete = 7,     // db_key -> empty (kInvalidArgument when absent).
 };
 
 struct ServeRequest {
@@ -45,7 +51,9 @@ struct ServeRequest {
   ClusterSpec cluster;
   bool has_plan = false;  // kSimulate.
   ParallelPlan plan;
-  RepairOptions repair;  // kRepair.
+  RepairOptions repair;   // kRepair.
+  PlanDbQuery db_query;   // kDbList.
+  PlanCacheKey db_key;    // kDbGet / kDbDelete.
 };
 
 struct ServeResponse {
@@ -58,10 +66,17 @@ struct ServeResponse {
   ExecutionStats stats;
   bool has_repair = false;
   RepairResult repair;
+  // Results-database records (kDbList / kDbGet).
+  std::vector<PlanRecord> records;
   // Server-side observability.
   double queue_seconds = 0.0;    // Admission -> worker pickup.
   double compile_seconds = 0.0;  // Worker compute time.
   bool plan_cache_hit = false;
+  // Anytime quality of a returned plan: worst relative ILP gap among the
+  // chosen stages' solves (0 = every solve proven optimal). Mirrors
+  // plan.compile_stats.max_optimality_gap so dashboards need not decode
+  // the plan.
+  double optimality_gap = 0.0;
 
   Status ToStatus() const;
   static ServeResponse FromStatus(const Status& status);

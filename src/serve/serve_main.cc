@@ -1,6 +1,7 @@
 // alpa_serve — the plan-compilation daemon.
 //
 //   alpa_serve --socket /tmp/alpa.sock [--workers N] [--cache-dir DIR]
+//              [--cache-max-entries N] [--cache-max-bytes N]
 //              [--max-queue N] [--max-per-tenant N] [--deadline SECONDS]
 //
 // Serves Parallelize/Simulate/Repair requests over a unix socket using
@@ -25,6 +26,7 @@ void HandleSignal(int) { g_stop.store(true); }
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --socket PATH [--workers N] [--cache-dir DIR] [--max-queue N]\n"
+               "          [--cache-max-entries N] [--cache-max-bytes N]\n"
                "          [--max-per-tenant N] [--deadline SECONDS]\n",
                argv0);
   return 2;
@@ -49,6 +51,14 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       options.plan_cache_dir = v;
+    } else if (arg == "--cache-max-entries") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.cache_max_entries = std::atoll(v);
+    } else if (arg == "--cache-max-bytes") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.cache_max_bytes = std::atoll(v);
     } else if (arg == "--max-queue") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);

@@ -1,5 +1,6 @@
 #include "src/serve/server.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -10,6 +11,7 @@
 #include <unistd.h>
 
 #include "src/serve/plan_cache.h"
+#include "src/serve/plan_db.h"
 #include "src/support/logging.h"
 #include "src/support/strings.h"
 #include "src/support/trace.h"
@@ -56,8 +58,12 @@ Status PlanServer::Start() {
   if (options_.socket_path.size() >= sizeof(sockaddr_un::sun_path)) {
     return Status::InvalidArgument("server: socket_path too long for AF_UNIX");
   }
+  PlanCache::Global().SetLimits(
+      PlanCacheLimits{options_.cache_max_entries, options_.cache_max_bytes});
   if (!options_.plan_cache_dir.empty()) {
     ALPA_RETURN_IF_ERROR(PlanCache::Global().SetDiskDir(options_.plan_cache_dir));
+    // Results-database records live next to the plan files.
+    ALPA_RETURN_IF_ERROR(PlanDb::Global().SetDir(options_.plan_cache_dir));
   }
 
   listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
@@ -274,14 +280,23 @@ ServeResponse PlanServer::Execute(InProcessPlanService& service, Job& job) {
   ServeResponse response;
   response.queue_seconds = queue_seconds;
 
-  if (job.deadline_seconds > 0 && queue_seconds >= job.deadline_seconds) {
+  // A compile-bearing request whose remaining deadline is below the floor
+  // cannot finish a useful search: scaling the ILP budget by the few
+  // remaining milliseconds just burns them on a doomed, near-zero-budget
+  // solve. Fail fast instead (the request is as good as expired).
+  const bool compiles = job.request.method == Method::kParallelize ||
+                        job.request.method == Method::kRepair;
+  const double remaining =
+      job.deadline_seconds > 0 ? job.deadline_seconds - queue_seconds : 0.0;
+  if (job.deadline_seconds > 0 &&
+      (queue_seconds >= job.deadline_seconds || (compiles && remaining < kMinDeadlineSeconds))) {
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.expired;
     }
     response = ServeResponse::FromStatus(Status::DeadlineExceeded(
-        StrFormat("deadline of %.3fs expired after %.3fs in queue", job.deadline_seconds,
-                  queue_seconds)));
+        StrFormat("deadline of %.3fs leaves %.3fs after %.3fs in queue (floor %.3fs)",
+                  job.deadline_seconds, remaining, queue_seconds, kMinDeadlineSeconds)));
     response.queue_seconds = queue_seconds;
     return response;
   }
@@ -291,8 +306,9 @@ ServeResponse PlanServer::Execute(InProcessPlanService& service, Job& job) {
   request.cluster = job.request.cluster;
   request.options = job.request.options;
   if (job.deadline_seconds > 0) {
-    // Whatever queueing consumed is gone; the compile gets the remainder.
-    request.options.deadline_seconds = job.deadline_seconds - queue_seconds;
+    // Whatever queueing consumed is gone; the compile gets the remainder
+    // (never less than the floor the check above guarantees).
+    request.options.deadline_seconds = std::max(remaining, kMinDeadlineSeconds);
   }
   // The server picks its own parallelism; clients cannot size our pools.
   request.options.compile_threads = 1;
@@ -307,6 +323,7 @@ ServeResponse PlanServer::Execute(InProcessPlanService& service, Job& job) {
         response.has_plan = true;
         response.plan = std::move(plan).value();
         response.plan_cache_hit = service.last_outcome().plan_cache_hit;
+        response.optimality_gap = response.plan.compile_stats.max_optimality_gap;
         if (response.plan_cache_hit) {
           std::lock_guard<std::mutex> lock(stats_mu_);
           ++stats_.plan_cache_hits;
@@ -341,6 +358,24 @@ ServeResponse PlanServer::Execute(InProcessPlanService& service, Job& job) {
       }
       break;
     }
+    case Method::kDbList:
+      response.records = PlanDb::Global().List(job.request.db_query);
+      break;
+    case Method::kDbGet: {
+      auto record = PlanDb::Global().Get(job.request.db_key);
+      if (record.ok()) {
+        response.records.push_back(std::move(record).value());
+      } else {
+        response = ServeResponse::FromStatus(record.status());
+      }
+      break;
+    }
+    case Method::kDbDelete:
+      if (!PlanDb::Global().Delete(job.request.db_key)) {
+        response = ServeResponse::FromStatus(
+            Status::InvalidArgument("plan db: no record for key"));
+      }
+      break;
   }
   response.queue_seconds = queue_seconds;
   response.compile_seconds = NowSeconds() - start;

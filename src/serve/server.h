@@ -51,8 +51,12 @@ struct ServerOptions {
   int max_per_tenant = 16;  // Queued requests per tenant.
   // Deadline applied to requests that do not carry their own (0 = none).
   double default_deadline_seconds = 0.0;
-  // Non-empty: persist the plan cache here (survives restarts).
+  // Non-empty: persist the plan cache (and the results database) here;
+  // both survive restarts.
   std::string plan_cache_dir;
+  // Disk-cache caps (LRU eviction); 0 = unbounded.
+  int64_t cache_max_entries = 0;
+  int64_t cache_max_bytes = 0;
 };
 
 struct ServerStats {
@@ -62,6 +66,12 @@ struct ServerStats {
   int64_t served = 0;            // Responses written (any status).
   int64_t plan_cache_hits = 0;   // Of served Parallelize requests.
 };
+
+// A compile cannot do useful work in less than this; a request whose
+// remaining deadline at pickup is below the floor fails fast with
+// kDeadlineExceeded instead of scaling the ILP budget toward zero and
+// burning the tail of the deadline on a doomed search.
+inline constexpr double kMinDeadlineSeconds = 0.05;
 
 class PlanServer {
  public:

@@ -4,6 +4,8 @@
 #include <chrono>
 
 #include "src/serve/plan_cache.h"
+#include "src/serve/plan_db.h"
+#include "src/serve/wire.h"
 #include "src/support/strings.h"
 #include "src/support/trace.h"
 
@@ -21,7 +23,7 @@ double NowSeconds() {
 
 StatusOr<ParallelizeOptions> PlanRequestOptions::ToParallelizeOptions() const {
   if (num_microbatches < 0 || target_layers < 0 || max_search_nodes < 0 ||
-      deadline_seconds < 0) {
+      deadline_seconds < 0 || max_elimination_table < -1) {
     return Status::InvalidArgument("plan request: negative option field");
   }
   ParallelizeOptions options;
@@ -51,6 +53,9 @@ StatusOr<ParallelizeOptions> PlanRequestOptions::ToParallelizeOptions() const {
     budget = std::min(budget, deadline_budget);
   }
   options.inter.profiler.intra.solver.max_search_nodes = budget;
+  if (max_elimination_table >= 0) {
+    options.inter.profiler.intra.solver.max_elimination_table = max_elimination_table;
+  }
   ALPA_RETURN_IF_ERROR(options.Finalize());
   return options;
 }
@@ -76,28 +81,63 @@ StatusOr<ParallelPlan> InProcessPlanService::Parallelize(const PlanRequest& requ
     return options.status();
   }
 
+  static Metric* compiles_metric = Metrics::Get("serve/compiles");
+
   PlanCacheKey key;
   const bool cacheable =
       request.options.use_plan_cache &&
       ComputePlanCacheKey(request.graph, request.cluster, options.value(), &key);
   last_outcome_.plan_cache_eligible = cacheable;
   if (cacheable) {
+    // Single-flight: hit the cache, ride a concurrent compile of the same
+    // key, or get elected leader. Only the leader runs the compiler.
     ParallelPlan cached;
-    if (PlanCache::Global().Lookup(key, &cached)) {
+    Status flight_status = Status::Ok();
+    const FlightOutcome outcome = PlanCache::Global().JoinFlight(key, &cached, &flight_status);
+    if (outcome == FlightOutcome::kHit) {
       last_outcome_.plan_cache_hit = true;
       last_outcome_.seconds = NowSeconds() - start;
       return cached;
+    }
+    if (outcome == FlightOutcome::kFailed) {
+      last_outcome_.flight_follower = true;
+      last_outcome_.seconds = NowSeconds() - start;
+      return flight_status;
     }
   }
 
   // Parallelize re-tags layers in place; the service keeps the caller's
   // request immutable, so compile a private copy.
+  last_outcome_.compiled = true;
+  compiles_metric->Add(1);
   Graph graph = request.graph;
   auto plan = alpa::Parallelize(graph, request.cluster, options.value());
-  if (plan.ok() && cacheable) {
-    PlanCache::Global().Insert(key, plan.value());
-  }
   last_outcome_.seconds = NowSeconds() - start;
+  if (cacheable) {
+    // Publish (insert + wake followers) on success, propagate the error
+    // to followers on failure.
+    PlanCache::Global().FinishFlight(key, plan);
+  }
+  if (plan.ok() && cacheable) {
+    // Results-database record: one per real compile, keyed like the cache.
+    const CompileStats& stats = plan.value().compile_stats;
+    PlanRecord record;
+    record.key = key;
+    record.tenant = request.options.tenant;
+    record.profile_fingerprint = request.options.profile_source != nullptr
+                                     ? request.options.profile_source->Fingerprint()
+                                     : 0;
+    record.num_ops = static_cast<int32_t>(request.graph.ops().size());
+    record.num_hosts = request.cluster.num_hosts;
+    record.devices_per_host = request.cluster.devices_per_host;
+    record.num_stages = static_cast<int32_t>(plan.value().pipeline.stages.size());
+    record.compile_seconds = last_outcome_.seconds;
+    record.objective = plan.value().pipeline.dp_latency;
+    record.optimality_gap = stats.max_optimality_gap;
+    record.ilp_aborts = stats.ilp_aborts;
+    record.plan_bytes = static_cast<int64_t>(SerializePlan(plan.value()).size());
+    PlanDb::Global().Put(record);
+  }
   return plan;
 }
 

@@ -45,6 +45,10 @@ struct PlanRequestOptions {
   bool equal_layer_stages = false;
   ReshardStrategy reshard = ReshardStrategy::kLocalAllGather;
   int64_t max_search_nodes = 0;  // Per-ILP node budget; 0 = library default.
+  // Per-ILP elimination-table cap: -1 = library default, 0 = disable the
+  // elimination stage (every solve goes to branch-and-bound — the lever
+  // the anytime tests use to force budget-capped searches), >0 = cap.
+  int64_t max_elimination_table = -1;
   // Soft compute deadline. 0 = none. In-process (and on the server) the
   // remaining deadline scales the ILP search budget down so the compile
   // lands inside it; a request that is already past its deadline when a
@@ -107,6 +111,12 @@ class PlanService {
 struct CompileOutcome {
   bool plan_cache_hit = false;
   bool plan_cache_eligible = false;
+  // This call ran the compiler (single-flight leader or uncacheable
+  // request) rather than riding a cache hit or another caller's compile.
+  bool compiled = false;
+  // This call blocked on a concurrent compile of the same key and
+  // received the leader's result (or its error).
+  bool flight_follower = false;
   double seconds = 0.0;
 };
 

@@ -410,6 +410,8 @@ void EncodeCompileStats(const CompileStats& stats, WireWriter* w) {
   w->I64(stats.ilp_cache_misses);
   w->I32(stats.num_tmax_tried);
   w->I32(stats.threads_used);
+  w->I64(stats.ilp_aborts);
+  w->F64(stats.max_optimality_gap);
 }
 
 Status DecodeCompileStats(WireReader* r, CompileStats* out) {
@@ -424,6 +426,8 @@ Status DecodeCompileStats(WireReader* r, CompileStats* out) {
   out->ilp_cache_misses = r->I64();
   out->num_tmax_tried = r->I32();
   out->threads_used = r->I32();
+  out->ilp_aborts = r->I64();
+  out->max_optimality_gap = r->F64();
   return r->status();
 }
 

@@ -56,7 +56,10 @@ namespace alpa {
 namespace serve {
 
 inline constexpr uint32_t kWireMagic = 0x414C5057u;  // "ALPW".
-inline constexpr uint16_t kWireVersion = 1;
+// v2: CompileStats gained ilp_aborts + max_optimality_gap (anytime
+// contract); requests carry max_elimination_table; responses carry the
+// plan's optimality gap and results-database record lists.
+inline constexpr uint16_t kWireVersion = 2;
 
 // What an envelope's payload decodes as.
 enum class WireKind : uint16_t {
@@ -69,6 +72,7 @@ enum class WireKind : uint16_t {
   kResponse = 7,        // Serve protocol response.
   kCacheEntry = 8,      // Plan-cache disk entry: key + plan.
   kRepairResult = 9,
+  kPlanRecord = 10,     // Results-database record (src/serve/plan_db.h).
 };
 
 // --- Primitive append-only writer. Infallible; everything fits in RAM. ---

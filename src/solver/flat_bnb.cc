@@ -486,39 +486,89 @@ FlatSearchResult SolveCore(const IlpProblem& core, const FlatSearchOptions& opti
     double comp_obj = inc_val;
     const std::vector<int>* comp_choice_src = inc;
     std::vector<int> comp_choice_owned;
+    bool comp_aborted = false;
+    double comp_lb = inc_val;
 
     if (!tasks.empty()) {
       struct TaskResult {
         double obj = kInf;
         std::vector<int> choice;
-        int64_t explored = 0;
         bool aborted = false;
+        int64_t spent = 0;  // Cumulative expansions across reruns.
       };
       std::vector<TaskResult> task_results(tasks.size());
-      const int64_t slice = std::max<int64_t>(1, budget_per_comp / static_cast<int64_t>(tasks.size()));
-      ParallelFor(options.pool, static_cast<int64_t>(tasks.size()), [&](int64_t t) {
-        Searcher s = base;
-        s.budget = slice;
-        s.explored = 1;  // The root push below.
-        s.best_obj = inc_val;
-        const auto [val, i] = tasks[static_cast<size_t>(t)];
-        s.Push(root, i);
-        if (val + s.sum_node_lb + s.sum_edge_min < s.best_obj) {
-          s.Dfs(val);
+      std::vector<int64_t> task_budget(
+          tasks.size(),
+          std::max<int64_t>(1, budget_per_comp / static_cast<int64_t>(tasks.size())));
+      std::vector<size_t> pending(tasks.size());
+      for (size_t t = 0; t < tasks.size(); ++t) pending[t] = t;
+      double round_inc = inc_val;
+
+      // Budget redistribution: after the even first-round split, branches
+      // left aborted rerun with their old slice plus an equal share of the
+      // budget the finished branches left unused (and with the tightest
+      // incumbent found so far). Every round is a barrier reduced in index
+      // order and each branch is a deterministic function of its (budget,
+      // incumbent), so results stay bit-identical for any thread count.
+      constexpr int kMaxRounds = 4;
+      for (int round = 0; round < kMaxRounds && !pending.empty(); ++round) {
+        ParallelFor(options.pool, static_cast<int64_t>(pending.size()), [&](int64_t pi) {
+          const size_t t = pending[static_cast<size_t>(pi)];
+          Searcher s = base;
+          s.budget = task_budget[t];
+          s.explored = 1;  // The root push below.
+          s.best_obj = round_inc;
+          const auto [val, i] = tasks[t];
+          s.Push(root, i);
+          if (val + s.sum_node_lb + s.sum_edge_min < s.best_obj) {
+            s.Dfs(val);
+          }
+          TaskResult& r = task_results[t];
+          r.obj = s.best_obj;
+          // A rerun under a tighter incumbent may find nothing below it;
+          // keep the choice from the earlier round in that case.
+          if (!s.best_choice.empty()) {
+            r.choice = std::move(s.best_choice);
+          }
+          r.spent += s.explored;
+          r.aborted = s.aborted;
+        });
+        std::vector<size_t> still_aborted;
+        int64_t total_spent = 0;
+        for (size_t t = 0; t < tasks.size(); ++t) {
+          round_inc = std::min(round_inc, task_results[t].obj);
+          total_spent += task_results[t].spent;
+          if (task_results[t].aborted) still_aborted.push_back(t);
         }
-        TaskResult& r = task_results[static_cast<size_t>(t)];
-        r.obj = s.best_obj;
-        r.choice = std::move(s.best_choice);
-        r.explored = s.explored;
-        r.aborted = s.aborted;
-      });
+        pending = std::move(still_aborted);
+        const int64_t leftover = budget_per_comp - total_spent;
+        if (pending.empty() || leftover < static_cast<int64_t>(pending.size())) {
+          break;
+        }
+        const int64_t share = leftover / static_cast<int64_t>(pending.size());
+        for (size_t t : pending) {
+          task_budget[t] += share;
+        }
+      }
+
       for (size_t t = 0; t < task_results.size(); ++t) {
-        result.explored += task_results[t].explored;
-        result.aborted = result.aborted || task_results[t].aborted;
+        result.explored += task_results[t].spent;
+        comp_aborted = comp_aborted || task_results[t].aborted;
         if (task_results[t].obj < comp_obj && !task_results[t].choice.empty()) {
           comp_obj = task_results[t].obj;
           comp_choice_owned = task_results[t].choice;
           comp_choice_src = &comp_choice_owned;
+        }
+      }
+      // Anytime bound: a finished branch proved its subtree holds nothing
+      // better than comp_obj; an aborted branch is only bounded below by
+      // its root pre-push bound. Root choices pruned from `tasks` had
+      // bounds >= inc_val >= comp_obj, so they never lower it.
+      comp_lb = comp_obj;
+      for (size_t t = 0; t < task_results.size(); ++t) {
+        if (task_results[t].aborted) {
+          comp_lb = std::min(
+              comp_lb, tasks[t].first + without_root + base.sum_edge_min);
         }
       }
     }
@@ -528,8 +578,13 @@ FlatSearchResult SolveCore(const IlpProblem& core, const FlatSearchOptions& opti
       result.choice[static_cast<size_t>(v)] = (*comp_choice_src)[static_cast<size_t>(v)];
     }
     result.objective += comp_obj;
+    result.aborted = result.aborted || comp_aborted;
+    result.lower_bound += std::min(comp_lb, comp_obj);
   }
   result.feasible = result.objective < kFlatInfeasible;
+  if (!result.aborted || !result.feasible) {
+    result.lower_bound = result.objective;
+  }
   return result;
 }
 

@@ -43,8 +43,11 @@ inline constexpr double kFlatLarge = 1e30;
 inline constexpr double kFlatInfeasible = 1e29;
 
 struct FlatSearchOptions {
-  // Total expansion budget; split evenly across root branches (and across
-  // connected components), so behaviour does not depend on the pool.
+  // Total expansion budget, split evenly across connected components. Within
+  // a component the per-root-branch slices start even, and slices left
+  // unused by early-finishing branches are redistributed to still-aborted
+  // branches in bounded follow-up rounds (each round is a barrier with a
+  // deterministic reduce), so behaviour still does not depend on the pool.
   int64_t budget = 300'000;
   // Optional pool for root-level parallel branching. Results are identical
   // with or without it.
@@ -61,6 +64,11 @@ struct FlatSearchResult {
   bool feasible = false;  // objective < kFlatInfeasible.
   bool aborted = false;   // Some branch exhausted its budget slice.
   int64_t explored = 0;
+  // Proven lower bound on the optimal objective (anytime contract): equals
+  // `objective` when the search completed; on an abort it is the sum, over
+  // components, of min(component objective, weakest unexplored root-branch
+  // bound). (objective - lower_bound) is the absolute optimality gap.
+  double lower_bound = 0.0;
 };
 
 // Exact search over `core` (a simple graph; parallel edges must already be

@@ -30,6 +30,17 @@ double IlpProblem::Evaluate(const std::vector<int>& choice) const {
   return total;
 }
 
+double IlpSolution::optimality_gap() const {
+  if (optimal || !feasible || !std::isfinite(objective)) {
+    return 0.0;
+  }
+  const double gap = objective - lower_bound;
+  if (gap <= 0.0) {
+    return 0.0;
+  }
+  return gap / std::max(std::abs(objective), 1e-30);
+}
+
 void IlpProblem::Validate() const {
   for (int v = 0; v < num_nodes(); ++v) {
     ALPA_CHECK_GT(num_choices(v), 0) << "node " << v << " has no choices";
@@ -59,6 +70,9 @@ struct CoreEntry {
   bool aborted = false;
   bool by_elimination = false;
   int64_t explored = 0;
+  // Core-space (clamped) lower bound from the branch & bound; only
+  // meaningful when `aborted` (exact paths prove optimality instead).
+  double lower_bound = 0.0;
 };
 
 struct CoreMemo {
@@ -120,6 +134,25 @@ void RecordPresolveMetrics(const IlpProblem& raw, const PresolvedProblem& pre) {
   edges_folded->Add(pre.stats.edges_folded);
 }
 
+// Weakest admissible bound — the sum of per-node and per-edge matrix
+// minima. Used for the legacy engine, which reports no bound of its own.
+double StaticLowerBound(const IlpProblem& p) {
+  double total = 0.0;
+  for (const auto& costs : p.node_costs) {
+    double mn = kInfCost;
+    for (double c : costs) mn = std::min(mn, c);
+    total += mn;
+  }
+  for (const IlpProblem::Edge& e : p.edges) {
+    double mn = kInfCost;
+    for (const auto& row : e.cost) {
+      for (double c : row) mn = std::min(mn, c);
+    }
+    total += mn;
+  }
+  return total;
+}
+
 void RecordOutcomeMetrics(const IlpSolution& solution) {
   static Metric* optimal = Metrics::Get("ilp/outcome/optimal");
   static Metric* aborted = Metrics::Get("ilp/outcome/aborted");
@@ -144,6 +177,8 @@ IlpSolution IlpSolver::Solve(const IlpProblem& raw) const {
     legacy_micros->Add(std::chrono::duration_cast<std::chrono::microseconds>(
                            std::chrono::steady_clock::now() - legacy_t0)
                            .count());
+    legacy.lower_bound = legacy.optimal ? legacy.objective
+                                        : std::min(StaticLowerBound(raw), legacy.objective);
     RecordOutcomeMetrics(legacy);
     return legacy;
   }
@@ -186,6 +221,7 @@ IlpSolution IlpSolver::Solve(const IlpProblem& raw) const {
     solution.objective = raw.Evaluate(solution.choice);
     solution.feasible = std::isfinite(solution.objective);
     solution.optimal = solution.feasible;
+    solution.lower_bound = solution.objective;
     solution.method = "dp-forest";
     return solution;
   }
@@ -259,6 +295,7 @@ IlpSolution IlpSolver::Solve(const IlpProblem& raw) const {
       entry.choice = std::move(res.choice);
       entry.aborted = res.aborted;
       entry.explored = res.explored;
+      entry.lower_bound = res.lower_bound;
     }
     if (options_.use_core_memo) {
       CoreMemo& memo = GlobalCoreMemo();
@@ -273,6 +310,19 @@ IlpSolution IlpSolver::Solve(const IlpProblem& raw) const {
   solution.choice = pre.Reconstruct(entry.choice);
   solution.objective = raw.Evaluate(solution.choice);
   solution.nodes_explored = entry.explored;
+  // Anytime bound, lifted from core space to raw space. Presolve folds
+  // carry a constant offset between the core objective and the raw
+  // objective of the reconstructed assignment, so the same offset lifts
+  // the core lower bound. Computed before the seed floor: seeds are
+  // feasible solutions, so the true optimum (and hence the bound) is
+  // below them by definition.
+  double raw_lb = solution.objective;
+  if (entry.aborted && std::isfinite(solution.objective)) {
+    const double core_val = pre.core.Evaluate(entry.choice);
+    if (std::isfinite(core_val)) {
+      raw_lb = entry.lower_bound + (solution.objective - core_val);
+    }
+  }
   // Seed floor: a caller-provided plan can never lose to the search result,
   // even on a budget abort.
   for (const std::vector<int>& seed : options_.seeds) {
@@ -284,6 +334,7 @@ IlpSolution IlpSolver::Solve(const IlpProblem& raw) const {
     }
   }
   solution.feasible = std::isfinite(solution.objective);
+  solution.lower_bound = std::min(raw_lb, solution.objective);
   solution.method = entry.by_elimination
                         ? "elimination"
                         : (entry.aborted ? "branch-and-bound(budget)" : "branch-and-bound");

@@ -67,6 +67,14 @@ struct IlpSolution {
   bool feasible = false;    // True if objective < inf.
   int64_t nodes_explored = 0;
   std::string method;       // "dp-forest", "elimination", "branch-and-bound", "beam".
+  // Proven lower bound on the optimal objective (anytime contract):
+  // equals `objective` when optimal; on a budget abort it comes from the
+  // branch & bound's unexplored-subtree bounds (or a static matrix-minima
+  // bound for the legacy engine). Always <= objective when feasible.
+  double lower_bound = 0.0;
+  // Relative optimality gap, (objective - lower_bound) / objective.
+  // 0 when proven optimal or when the solution is infeasible.
+  double optimality_gap() const;
 };
 
 enum class IlpEngine {

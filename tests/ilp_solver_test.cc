@@ -3,8 +3,10 @@
 #include <cmath>
 #include <vector>
 
+#include "src/solver/flat_bnb.h"
 #include "src/solver/ilp_solver.h"
 #include "src/support/rng.h"
+#include "src/support/thread_pool.h"
 
 namespace alpa {
 namespace {
@@ -275,6 +277,96 @@ TEST(IlpSolver, LargeChainIsFast) {
   const IlpSolution solution = IlpSolver().Solve(problem);
   EXPECT_TRUE(solution.optimal);
   EXPECT_EQ(solution.method, "dp-forest");
+}
+
+// The budget-redistribution bugfix: slices left unused by early-finishing
+// root branches must flow to still-running ones. This instance (found by
+// sweeping seeds against the pre-fix even-split code) completes within a
+// budget equal to its total search need — but under even splitting, the
+// hardest root branch's share is too small and the search aborted despite
+// more than half the budget going unused.
+TEST(FlatBnb, LeftoverBudgetIsRedistributedAcrossRootBranches) {
+  Rng rng(45);
+  const IlpProblem problem = RandomProblem(rng, 14, 5, 0.8);
+
+  FlatSearchOptions unbounded;
+  unbounded.budget = 100'000'000;
+  const FlatSearchResult full = SolveCore(problem, unbounded);
+  ASSERT_FALSE(full.aborted);
+  ASSERT_GT(full.explored, 1000);  // Non-trivial search.
+
+  // Exactly the nodes the full search needs, no slack: even splitting
+  // aborted here; redistribution must not.
+  FlatSearchOptions tight;
+  tight.budget = full.explored;
+  const FlatSearchResult redistributed = SolveCore(problem, tight);
+  EXPECT_FALSE(redistributed.aborted);
+  EXPECT_EQ(redistributed.objective, full.objective);
+  EXPECT_EQ(redistributed.choice, full.choice);
+
+  // Redistribution rounds are barriers with deterministic reduces: the
+  // result is bit-identical with a pool.
+  ThreadPool pool(4);
+  FlatSearchOptions pooled = tight;
+  pooled.pool = &pool;
+  const FlatSearchResult parallel = SolveCore(problem, pooled);
+  EXPECT_EQ(parallel.aborted, redistributed.aborted);
+  EXPECT_EQ(parallel.objective, redistributed.objective);
+  EXPECT_EQ(parallel.choice, redistributed.choice);
+}
+
+// The anytime contract at the flat level: an aborted search still reports
+// a feasible incumbent plus a valid lower bound on the optimum.
+TEST(FlatBnb, AbortReportsIncumbentAndLowerBound) {
+  Rng rng(45);
+  const IlpProblem problem = RandomProblem(rng, 14, 5, 0.8);
+  FlatSearchOptions unbounded;
+  unbounded.budget = 100'000'000;
+  const FlatSearchResult full = SolveCore(problem, unbounded);
+
+  FlatSearchOptions starved;
+  starved.budget = full.explored / 4;
+  const FlatSearchResult anytime = SolveCore(problem, starved);
+  ASSERT_TRUE(anytime.aborted);
+  ASSERT_TRUE(anytime.feasible);
+  // The bound brackets the (known) optimum from below, the incumbent from
+  // above, and the gap is real.
+  EXPECT_LE(anytime.lower_bound, full.objective);
+  EXPECT_GE(anytime.objective, full.objective);
+  EXPECT_LT(anytime.lower_bound, anytime.objective);
+
+  // A completed search closes the gap exactly.
+  EXPECT_EQ(full.lower_bound, full.objective);
+}
+
+// The anytime contract through IlpSolver: a budget-starved staged solve
+// returns feasible + !optimal with lower_bound <= optimum <= objective
+// and a positive relative gap.
+TEST(IlpSolver, AnytimeLowerBoundOnAbort) {
+  Rng rng(17);
+  const IlpProblem problem = RandomProblem(rng, 10, 3, 0.9);
+  const double brute = BruteForce(problem);
+
+  IlpSolverOptions options;
+  options.max_search_nodes = 20;
+  options.max_elimination_table = 0;  // Keep the core on branch & bound.
+  options.use_core_memo = false;
+  const IlpSolution solution = IlpSolver(options).Solve(problem);
+  ASSERT_TRUE(solution.feasible);
+  ASSERT_FALSE(solution.optimal);
+  EXPECT_LE(solution.lower_bound, brute + 1e-9);
+  EXPECT_GE(solution.objective, brute - 1e-9);
+  EXPECT_LE(solution.lower_bound, solution.objective);
+  EXPECT_GT(solution.optimality_gap(), 0.0);
+
+  // An optimal solve has no gap.
+  IlpSolverOptions exact;
+  exact.max_elimination_table = 0;
+  exact.use_core_memo = false;
+  const IlpSolution optimal = IlpSolver(exact).Solve(problem);
+  ASSERT_TRUE(optimal.optimal);
+  EXPECT_NEAR(optimal.lower_bound, optimal.objective, 1e-12);
+  EXPECT_EQ(optimal.optimality_gap(), 0.0);
 }
 
 }  // namespace

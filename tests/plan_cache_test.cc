@@ -1,19 +1,24 @@
 // Plan-cache tests: key coverage (graph names/layers, cluster extent,
 // options, profile-source fingerprint), eligibility rules, the
-// memory+disk lookup path with restart survival, and the PR-6 regression
-// this PR fixes — a measured-profile recompile must MISS the
-// analytical-cost entry instead of aliasing it.
+// memory+disk lookup path with restart survival, the PR-6 regression
+// (a measured-profile recompile must MISS the analytical-cost entry),
+// single-flight dedup under a concurrent cold storm, and the LRU
+// eviction caps that bound the disk store.
 #include "src/serve/plan_cache.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
+#include <thread>
+#include <vector>
 
 #include "src/core/api.h"
 #include "src/inter/profile_feedback.h"
 #include "src/models/mlp.h"
 #include "src/serve/service.h"
+#include "src/support/trace.h"
 
 namespace alpa {
 namespace serve {
@@ -23,10 +28,12 @@ class PlanCacheTest : public ::testing::Test {
  protected:
   void SetUp() override {
     PlanCache::Global().Clear(/*also_disk=*/true);
+    PlanCache::Global().SetLimits(PlanCacheLimits{});
     ASSERT_TRUE(PlanCache::Global().SetDiskDir("").ok());
   }
   void TearDown() override {
     PlanCache::Global().Clear(/*also_disk=*/true);
+    PlanCache::Global().SetLimits(PlanCacheLimits{});
     ASSERT_TRUE(PlanCache::Global().SetDiskDir("").ok());
     if (!temp_dir_.empty()) {
       std::error_code ec;
@@ -235,6 +242,224 @@ TEST_F(PlanCacheTest, CorruptDiskEntryIsAMiss) {
   ASSERT_TRUE(service.Parallelize(request).ok());
   EXPECT_FALSE(service.last_outcome().plan_cache_hit);  // Miss, not garbage.
   EXPECT_EQ(PlanCache::Global().stats().disk_hits, 0);
+}
+
+// The tentpole's dedup contract: a 32-thread cold storm on ONE key runs
+// the compiler exactly once (the single-flight leader); every thread gets
+// a bit-identical plan. Before single-flight, all 32 threads would miss
+// and compile concurrently.
+TEST_F(PlanCacheTest, ConcurrentColdStormCompilesOnce) {
+  constexpr int kThreads = 32;
+  Metric* compiles = Metrics::Get("serve/compiles");
+  const int64_t compiles_before = compiles->value();
+
+  std::vector<StatusOr<ParallelPlan>> plans(kThreads, Status::Internal("unset"));
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([i, &plans, &ready, &go] {
+      // Services are per-thread (last_outcome is not thread-safe); the
+      // cache and the flight table are process-wide.
+      InProcessPlanService service;
+      PlanRequest request;
+      request.graph = BuildMlp(MlpConfig{});
+      request.cluster = ClusterSpec::AwsP3(1, 2);
+      request.options.num_microbatches = 4;
+      request.options.target_layers = 2;
+      ready.fetch_add(1);
+      while (!go.load()) {
+        std::this_thread::yield();
+      }
+      plans[i] = service.Parallelize(request);
+    });
+  }
+  while (ready.load() < kThreads) {
+    std::this_thread::yield();
+  }
+  go.store(true);
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+
+  // Exactly one compile across the storm.
+  EXPECT_EQ(compiles->value() - compiles_before, 1);
+  const PlanCacheStats stats = PlanCache::Global().stats();
+  EXPECT_EQ(stats.flight_leaders, 1);
+  // Every non-leader either joined the flight or arrived after the
+  // publish and hit memory.
+  EXPECT_EQ(stats.flight_followers + stats.memory_hits, kThreads - 1);
+
+  ASSERT_TRUE(plans[0].ok()) << plans[0].status().ToString();
+  for (int i = 1; i < kThreads; ++i) {
+    ASSERT_TRUE(plans[i].ok()) << plans[i].status().ToString();
+    EXPECT_TRUE(PlanEquals(plans[0]->pipeline, plans[i]->pipeline)) << "thread " << i;
+  }
+}
+
+// A leader that fails must propagate its error to every follower (and
+// leave no flight behind so a retry can compile).
+TEST_F(PlanCacheTest, FailedLeaderPropagatesToFollowers) {
+  const PlanCacheKey key{42, 43};
+  ParallelPlan plan;
+  Status status = Status::Ok();
+  ASSERT_EQ(PlanCache::Global().JoinFlight(key, &plan, &status), FlightOutcome::kLeader);
+
+  std::thread follower([&key] {
+    ParallelPlan follower_plan;
+    Status follower_status = Status::Ok();
+    const FlightOutcome outcome =
+        PlanCache::Global().JoinFlight(key, &follower_plan, &follower_status);
+    EXPECT_EQ(outcome, FlightOutcome::kFailed);
+    EXPECT_EQ(follower_status.code(), StatusCode::kInfeasible);
+  });
+  // Give the follower a chance to actually block on the flight.
+  while (PlanCache::Global().stats().flight_followers == 0) {
+    std::this_thread::yield();
+  }
+  PlanCache::Global().FinishFlight(key, Status::Infeasible("no plan"));
+  follower.join();
+
+  // The failed flight is gone: the next JoinFlight elects a new leader.
+  ASSERT_EQ(PlanCache::Global().JoinFlight(key, &plan, &status), FlightOutcome::kLeader);
+  PlanCache::Global().FinishFlight(key, Status::Infeasible("no plan"));
+}
+
+// Entry-count cap: inserting past the cap evicts the least-recently-used
+// entry — file, index, and memory promotion together.
+TEST_F(PlanCacheTest, EvictionDropsOldestFirst) {
+  ASSERT_TRUE(PlanCache::Global().SetDiskDir(TempDir()).ok());
+  PlanCache::Global().SetLimits(PlanCacheLimits{/*max_disk_entries=*/2, 0});
+  const PlanCacheKey k1{1, 1};
+  const PlanCacheKey k2{2, 2};
+  const PlanCacheKey k3{3, 3};
+  ParallelPlan plan;
+  PlanCache::Global().Insert(k1, plan);
+  PlanCache::Global().Insert(k2, plan);
+  EXPECT_EQ(PlanCache::Global().disk_size(), 2u);
+
+  // Touch k1 so k2 becomes the LRU victim.
+  ParallelPlan out;
+  ASSERT_TRUE(PlanCache::Global().Lookup(k1, &out));
+  PlanCache::Global().Insert(k3, plan);
+
+  EXPECT_EQ(PlanCache::Global().disk_size(), 2u);
+  EXPECT_EQ(PlanCache::Global().stats().evictions, 1);
+  EXPECT_FALSE(PlanCache::Global().Lookup(k2, &out));  // Evicted, memory too.
+  EXPECT_TRUE(PlanCache::Global().Lookup(k1, &out));
+  EXPECT_TRUE(PlanCache::Global().Lookup(k3, &out));
+  // Exactly 2 files on disk.
+  int files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(temp_dir_)) {
+    files += entry.path().extension() == ".plan" ? 1 : 0;
+  }
+  EXPECT_EQ(files, 2);
+}
+
+// Byte cap: the store stays under max_disk_bytes no matter how many
+// entries are inserted, and the accounting matches the files.
+TEST_F(PlanCacheTest, ByteCapBoundsTheStore) {
+  ASSERT_TRUE(PlanCache::Global().SetDiskDir(TempDir()).ok());
+  ParallelPlan plan;
+  PlanCache::Global().Insert(PlanCacheKey{0, 0}, plan);
+  const int64_t entry_bytes = PlanCache::Global().disk_bytes();
+  ASSERT_GT(entry_bytes, 0);
+  PlanCache::Global().Clear(/*also_disk=*/true);
+
+  const int64_t cap = 3 * entry_bytes + entry_bytes / 2;  // Room for 3.
+  PlanCache::Global().SetLimits(PlanCacheLimits{0, cap});
+  for (uint64_t i = 1; i <= 10; ++i) {
+    PlanCache::Global().Insert(PlanCacheKey{i, i}, plan);
+    EXPECT_LE(PlanCache::Global().disk_bytes(), cap);
+  }
+  EXPECT_EQ(PlanCache::Global().disk_size(), 3u);
+  EXPECT_EQ(PlanCache::Global().stats().evictions, 7);
+}
+
+// Limits are enforced on the index rebuilt by SetDiskDir too (a restart
+// under tighter caps trims the store immediately).
+TEST_F(PlanCacheTest, LimitsApplyOnReopen) {
+  const std::string dir = TempDir();
+  ASSERT_TRUE(PlanCache::Global().SetDiskDir(dir).ok());
+  ParallelPlan plan;
+  for (uint64_t i = 1; i <= 5; ++i) {
+    PlanCache::Global().Insert(PlanCacheKey{i, i}, plan);
+  }
+  EXPECT_EQ(PlanCache::Global().disk_size(), 5u);
+
+  PlanCache::Global().Clear(/*also_disk=*/false);
+  PlanCache::Global().SetLimits(PlanCacheLimits{/*max_disk_entries=*/2, 0});
+  ASSERT_TRUE(PlanCache::Global().SetDiskDir(dir).ok());
+  EXPECT_EQ(PlanCache::Global().disk_size(), 2u);
+}
+
+// The metric-consistency bugfix satellite: a corrupt entry unlinked on
+// read must leave the exported gauges agreeing with the store, and Clear
+// must zero them (before, plan_cache/entries refreshed only on write).
+TEST_F(PlanCacheTest, MetricsStayConsistentOnCorruptMissAndClear) {
+  ASSERT_TRUE(PlanCache::Global().SetDiskDir(TempDir()).ok());
+  ParallelPlan plan;
+  PlanCache::Global().Insert(PlanCacheKey{7, 7}, plan);
+  EXPECT_EQ(Metrics::Get("plan_cache/disk_entries")->value(), 1);
+
+  // Corrupt the entry on disk, drop the memory copy, then miss on it.
+  for (const auto& entry : std::filesystem::directory_iterator(temp_dir_)) {
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::string data((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    in.close();
+    data[data.size() / 2] ^= 0x5a;
+    std::ofstream out(entry.path(), std::ios::binary | std::ios::trunc);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  }
+  PlanCache::Global().Clear(/*also_disk=*/false);
+  ParallelPlan out;
+  EXPECT_FALSE(PlanCache::Global().Lookup(PlanCacheKey{7, 7}, &out));
+  // The unlink kept index, bytes, and gauges in sync.
+  EXPECT_EQ(PlanCache::Global().disk_size(), 0u);
+  EXPECT_EQ(PlanCache::Global().disk_bytes(), 0);
+  EXPECT_EQ(Metrics::Get("plan_cache/disk_entries")->value(), 0);
+  EXPECT_EQ(Metrics::Get("plan_cache/disk_bytes")->value(), 0);
+
+  PlanCache::Global().Insert(PlanCacheKey{8, 8}, plan);
+  EXPECT_EQ(Metrics::Get("plan_cache/entries")->value(), 1);
+  PlanCache::Global().Clear(/*also_disk=*/true);
+  EXPECT_EQ(Metrics::Get("plan_cache/entries")->value(), 0);
+  EXPECT_EQ(Metrics::Get("plan_cache/disk_entries")->value(), 0);
+}
+
+// A wire-version bump must invalidate persisted entries eagerly: the
+// SetDiskDir sweep unlinks files whose envelope carries another version.
+TEST_F(PlanCacheTest, VersionSweepRemovesStaleEntries) {
+  const std::string dir = TempDir();
+  ASSERT_TRUE(PlanCache::Global().SetDiskDir(dir).ok());
+  ParallelPlan plan;
+  PlanCache::Global().Insert(PlanCacheKey{1, 1}, plan);
+  PlanCache::Global().Insert(PlanCacheKey{2, 2}, plan);
+
+  // Rewrite one entry's version field (byte 4..5 of the envelope).
+  bool patched = false;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::string data((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    in.close();
+    data[4] = static_cast<char>(data[4] + 1);
+    std::ofstream out(entry.path(), std::ios::binary | std::ios::trunc);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    patched = true;
+    break;
+  }
+  ASSERT_TRUE(patched);
+
+  PlanCache::Global().Clear(/*also_disk=*/false);
+  ASSERT_TRUE(PlanCache::Global().SetDiskDir(dir).ok());  // Reopen sweeps.
+  EXPECT_EQ(PlanCache::Global().disk_size(), 1u);
+  EXPECT_EQ(PlanCache::Global().stats().version_swept, 1);
+  int files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    files += entry.path().extension() == ".plan" ? 1 : 0;
+  }
+  EXPECT_EQ(files, 1);
 }
 
 }  // namespace

@@ -1,8 +1,10 @@
 // End-to-end tests of the plan server + remote client: a mixed cold/warm
 // concurrent request storm, per-tenant admission control, deadline
-// expiry, malformed-bytes handling, and warm restarts from the disk
-// cache. These run against a real daemon loop on a real unix socket —
-// the same code path alpa_serve ships.
+// expiry (including the fail-fast floor), anytime plans under a tight
+// deadline, the results-database endpoints, malformed-bytes handling,
+// and warm restarts from the disk cache. These run against a real
+// daemon loop on a real unix socket — the same code path alpa_serve
+// ships.
 #include <gtest/gtest.h>
 
 #include <sys/socket.h>
@@ -21,8 +23,10 @@
 #include "src/models/mlp.h"
 #include "src/serve/client.h"
 #include "src/serve/plan_cache.h"
+#include "src/serve/plan_db.h"
 #include "src/serve/protocol.h"
 #include "src/serve/server.h"
+#include "src/support/trace.h"
 
 namespace alpa {
 namespace serve {
@@ -33,12 +37,18 @@ class ServeTest : public ::testing::Test {
   void SetUp() override {
     PlanCache::Global().Clear(/*also_disk=*/true);
     ASSERT_TRUE(PlanCache::Global().SetDiskDir("").ok());
+    PlanCache::Global().SetLimits(PlanCacheLimits{});
+    PlanDb::Global().Clear(/*also_disk=*/true);
+    ASSERT_TRUE(PlanDb::Global().SetDir("").ok());
     socket_path_ = "/tmp/alpa_serve_test_" + std::to_string(::getpid()) + "_" +
                    ::testing::UnitTest::GetInstance()->current_test_info()->name() + ".sock";
   }
   void TearDown() override {
     PlanCache::Global().Clear(/*also_disk=*/true);
     ASSERT_TRUE(PlanCache::Global().SetDiskDir("").ok());
+    PlanCache::Global().SetLimits(PlanCacheLimits{});
+    PlanDb::Global().Clear(/*also_disk=*/true);
+    ASSERT_TRUE(PlanDb::Global().SetDir("").ok());
     ::unlink(socket_path_.c_str());
     if (!cache_dir_.empty()) {
       std::error_code ec;
@@ -186,9 +196,10 @@ TEST_F(ServeTest, ColdWarmRequestStorm) {
   const ServerStats stats = server.stats();
   EXPECT_EQ(stats.accepted, kThreads * (1 + kWarmRepeats + 1));
   EXPECT_EQ(stats.rejected_queue, 0);
-  // The shared graph compiles at most once per worker (no in-flight
-  // dedup), so at least kThreads*kWarmRepeats - workers requests hit.
-  EXPECT_GE(stats.plan_cache_hits, kThreads * kWarmRepeats - options.num_workers);
+  // Single-flight dedup: the shared graph compiles exactly once no
+  // matter how many workers race on it, so every other request for it
+  // hits the cache (or joins the flight, which counts as a hit).
+  EXPECT_GE(stats.plan_cache_hits, kThreads * kWarmRepeats - 1);
 
   // The warm plan is bit-identical to a fresh local compile.
   InProcessPlanService local;
@@ -271,6 +282,145 @@ TEST_F(ServeTest, ExpiredDeadlineFailsWithoutCompiling) {
   request.options.deadline_seconds = 30.0;
   EXPECT_TRUE(client.Parallelize(request).ok());
   server.Stop();
+}
+
+TEST_F(ServeTest, NearDeadlineFailsFastBelowBudgetFloor) {
+  ServerOptions options;
+  options.socket_path = socket_path_;
+  PlanServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  RemotePlanService client(socket_path_);
+
+  // A deadline under the budget floor leaves only a few ms after queueing.
+  // The old behaviour scaled the solver budget to near zero and burned the
+  // remaining time on a compile doomed to abort; now the server fails fast
+  // without compiling at all.
+  Metric* compiles = Metrics::Get("serve/compiles");
+  const double compiles_before = compiles->value();
+  PlanRequest request = MlpRequest(0);
+  request.options.deadline_seconds = kMinDeadlineSeconds / 2;
+  const StatusOr<ParallelPlan> plan = client.Parallelize(request);
+  EXPECT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(server.stats().expired, 1);
+  EXPECT_EQ(compiles->value(), compiles_before);
+
+  // At the floor itself the request is admitted and compiles (the MLP
+  // solves well inside the clamped budget).
+  request.options.deadline_seconds = kMinDeadlineSeconds * 100;
+  EXPECT_TRUE(client.Parallelize(request).ok());
+  EXPECT_GT(compiles->value(), compiles_before);
+  server.Stop();
+}
+
+TEST_F(ServeTest, AnytimeTightBudgetReturnsFeasiblePlanWithGap) {
+  ServerOptions options;
+  options.socket_path = socket_path_;
+  PlanServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  RemotePlanService client(socket_path_);
+
+  // Force the stage ILPs down the branch-and-bound path with a budget far
+  // too small to prove optimality: the server must still return the best
+  // incumbent found, with an honest optimality gap — not abort.
+  PlanRequest request = SlowRequest("anytime");
+  request.options.use_plan_cache = false;
+  request.options.max_search_nodes = 200;
+  request.options.max_elimination_table = 0;  // Disable exact elimination.
+  const StatusOr<ServeResponse> response =
+      client.Call([&] {
+        ServeRequest wire;
+        wire.method = Method::kParallelize;
+        wire.options = request.options;
+        wire.graph = request.graph;
+        wire.cluster = request.cluster;
+        return wire;
+      }());
+  ASSERT_TRUE(response.ok());
+  ASSERT_TRUE(response.value().ToStatus().ok());
+  ASSERT_TRUE(response.value().has_plan);
+  const ParallelPlan& plan = response.value().plan;
+  EXPECT_GT(plan.compile_stats.ilp_aborts, 0);
+  EXPECT_GT(plan.compile_stats.max_optimality_gap, 0.0);
+  EXPECT_GT(plan.pipeline.dp_latency, 0.0);
+  // The gap is surfaced on the wire response itself, so clients can act
+  // on plan quality without digging through compile stats.
+  EXPECT_EQ(response.value().optimality_gap, plan.compile_stats.max_optimality_gap);
+
+  // An unconstrained compile of the same model proves optimality and
+  // reports a zero gap — and its plan is at least as good.
+  PlanRequest exact = SlowRequest("anytime");
+  exact.options.use_plan_cache = false;
+  const StatusOr<ParallelPlan> exact_plan = client.Parallelize(exact);
+  ASSERT_TRUE(exact_plan.ok());
+  EXPECT_EQ(exact_plan->compile_stats.ilp_aborts, 0);
+  EXPECT_EQ(exact_plan->compile_stats.max_optimality_gap, 0.0);
+  EXPECT_LE(exact_plan->pipeline.dp_latency, plan.pipeline.dp_latency + 1e-12);
+  server.Stop();
+}
+
+TEST_F(ServeTest, ResultsDatabaseListsGetsAndDeletesRecords) {
+  ServerOptions options;
+  options.socket_path = socket_path_;
+  options.plan_cache_dir = CacheDir();
+  PlanServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  RemotePlanService client(socket_path_);
+
+  const PlanRequest alice = MlpRequest(0, "alice");
+  const PlanRequest bob = MlpRequest(1, "bob");
+  ASSERT_TRUE(client.Parallelize(alice).ok());
+  ASSERT_TRUE(client.Parallelize(bob).ok());
+  // Warm hits do not add records: the database tracks compiles, not serves.
+  ASSERT_TRUE(client.Parallelize(alice).ok());
+
+  const StatusOr<std::vector<PlanRecord>> all = client.DbList(PlanDbQuery{});
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all.value().size(), 2u);
+  for (const PlanRecord& record : all.value()) {
+    EXPECT_GT(record.num_ops, 0);
+    EXPECT_EQ(record.num_hosts, 1);
+    EXPECT_EQ(record.devices_per_host, 2);
+    EXPECT_GT(record.num_stages, 0);
+    EXPECT_GT(record.compile_seconds, 0.0);
+    EXPECT_GT(record.objective, 0.0);
+    EXPECT_GT(record.plan_bytes, 0);
+  }
+
+  PlanDbQuery by_tenant;
+  by_tenant.tenant = "alice";
+  const StatusOr<std::vector<PlanRecord>> filtered = client.DbList(by_tenant);
+  ASSERT_TRUE(filtered.ok());
+  ASSERT_EQ(filtered.value().size(), 1u);
+  EXPECT_EQ(filtered.value().front().tenant, "alice");
+
+  PlanDbQuery limited;
+  limited.limit = 1;
+  const StatusOr<std::vector<PlanRecord>> capped = client.DbList(limited);
+  ASSERT_TRUE(capped.ok());
+  EXPECT_EQ(capped.value().size(), 1u);
+
+  const PlanCacheKey alice_key = filtered.value().front().key;
+  const StatusOr<PlanRecord> fetched = client.DbGet(alice_key);
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(fetched.value().tenant, "alice");
+
+  EXPECT_TRUE(client.DbDelete(alice_key).ok());
+  EXPECT_FALSE(client.DbGet(alice_key).ok());
+  EXPECT_FALSE(client.DbDelete(alice_key).ok());
+  server.Stop();
+
+  // Records persist on disk alongside the plan cache: a restarted server
+  // reloads the surviving record.
+  PlanDb::Global().Clear(/*also_disk=*/false);
+  PlanServer restarted(options);
+  ASSERT_TRUE(restarted.Start().ok());
+  RemotePlanService client2(socket_path_);
+  const StatusOr<std::vector<PlanRecord>> reloaded = client2.DbList(PlanDbQuery{});
+  ASSERT_TRUE(reloaded.ok());
+  ASSERT_EQ(reloaded.value().size(), 1u);
+  EXPECT_EQ(reloaded.value().front().tenant, "bob");
+  restarted.Stop();
 }
 
 TEST_F(ServeTest, RestartServesWarmFromDiskCache) {
