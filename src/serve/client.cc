@@ -128,9 +128,11 @@ StatusOr<RepairResult> RemotePlanService::Repair(const PlanRequest& request,
   return std::move(response).value().repair;
 }
 
-StatusOr<std::vector<PlanRecord>> RemotePlanService::DbList(const PlanDbQuery& query) {
+StatusOr<std::vector<PlanRecord>> RemotePlanService::DbList(const PlanDbQuery& query,
+                                                            const std::string& tenant) {
   ServeRequest request;
   request.method = Method::kDbList;
+  request.options.tenant = tenant;
   request.db_query = query;
   auto response = Call(request);
   if (!response.ok()) {
@@ -140,9 +142,11 @@ StatusOr<std::vector<PlanRecord>> RemotePlanService::DbList(const PlanDbQuery& q
   return std::move(response).value().records;
 }
 
-StatusOr<PlanRecord> RemotePlanService::DbGet(const PlanCacheKey& key) {
+StatusOr<PlanRecord> RemotePlanService::DbGet(const PlanCacheKey& key,
+                                              const std::string& tenant) {
   ServeRequest request;
   request.method = Method::kDbGet;
+  request.options.tenant = tenant;
   request.db_key = key;
   auto response = Call(request);
   if (!response.ok()) {
@@ -155,9 +159,10 @@ StatusOr<PlanRecord> RemotePlanService::DbGet(const PlanCacheKey& key) {
   return std::move(response).value().records.front();
 }
 
-Status RemotePlanService::DbDelete(const PlanCacheKey& key) {
+Status RemotePlanService::DbDelete(const PlanCacheKey& key, const std::string& tenant) {
   ServeRequest request;
   request.method = Method::kDbDelete;
+  request.options.tenant = tenant;
   request.db_key = key;
   auto response = Call(request);
   if (!response.ok()) {

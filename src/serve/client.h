@@ -33,11 +33,15 @@ class RemotePlanService : public PlanService {
   Status Ping();
 
   // Results-database endpoints (src/serve/plan_db.h): enumerate, fetch,
-  // and retire the server's compile records.
-  StatusOr<std::vector<PlanRecord>> DbList(const PlanDbQuery& query);
-  StatusOr<PlanRecord> DbGet(const PlanCacheKey& key);
-  // kInvalidArgument when no record exists for `key`.
-  Status DbDelete(const PlanCacheKey& key);
+  // and retire the server's compile records. `tenant` is the caller's
+  // identity; the server scopes all three to it (a record owned by
+  // another tenant reads as absent) unless it matches the server's
+  // configured admin tenant.
+  StatusOr<std::vector<PlanRecord>> DbList(const PlanDbQuery& query,
+                                           const std::string& tenant = "");
+  StatusOr<PlanRecord> DbGet(const PlanCacheKey& key, const std::string& tenant = "");
+  // kInvalidArgument when no record exists for `key` (or it is not ours).
+  Status DbDelete(const PlanCacheKey& key, const std::string& tenant = "");
 
   // Raw round-trip (benchmarks read the response's observability fields:
   // queue_seconds, compile_seconds, plan_cache_hit). Transport failures

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -278,14 +279,26 @@ bool PlanCache::Lookup(const PlanCacheKey& key, ParallelPlan* plan) {
 
   std::lock_guard<std::mutex> lock(mu_);
   if (hit) {
-    entries_.emplace(key, *plan);  // Promote; first writer wins.
     auto it = disk_index_.find(key);
-    if (it == disk_index_.end()) {
-      // Written by another process since the sweep; index it now.
-      disk_index_[key] = DiskEntry{static_cast<int64_t>(blob.size()), ++access_counter_};
-      disk_bytes_ += static_cast<int64_t>(blob.size());
-    } else {
+    bool on_disk = it != disk_index_.end();
+    if (on_disk) {
       it->second.access_seq = ++access_counter_;  // LRU touch.
+    } else {
+      // Not indexed: either written by another process since the sweep,
+      // or evicted between our unlocked read and re-locking. Re-stat so
+      // an entry the evictor just unlinked is not re-indexed (that would
+      // leave disk_bytes_ counting a phantom file).
+      std::error_code ec;
+      if (std::filesystem::exists(path, ec)) {
+        disk_index_[key] = DiskEntry{static_cast<int64_t>(blob.size()), ++access_counter_};
+        disk_bytes_ += static_cast<int64_t>(blob.size());
+        on_disk = true;
+      }
+    }
+    if (on_disk) {
+      // Promote; first writer wins. An entry evicted mid-probe stays out
+      // of memory too, so the caps keep genuinely bounding the store.
+      entries_.emplace(key, *plan);
     }
     ++stats_.disk_hits;
     disk_hits->Add(1);
@@ -338,7 +351,7 @@ void PlanCache::Insert(const PlanCacheKey& key, const ParallelPlan& plan) {
 }
 
 FlightOutcome PlanCache::JoinFlight(const PlanCacheKey& key, ParallelPlan* plan,
-                                    Status* status) {
+                                    Status* status, double deadline_seconds) {
   if (Lookup(key, plan)) {
     return FlightOutcome::kHit;
   }
@@ -367,7 +380,19 @@ FlightOutcome PlanCache::JoinFlight(const PlanCacheKey& key, ParallelPlan* plan,
     followers->Add(1);
   }
   std::unique_lock<std::mutex> lock(flight->mu);
-  flight->cv.wait(lock, [&] { return flight->done; });
+  if (deadline_seconds > 0) {
+    // A follower with a short deadline must not inherit the leader's
+    // compile time: fail fast on expiry. The flight stays registered —
+    // the leader and any patient followers are unaffected.
+    if (!flight->cv.wait_for(lock, std::chrono::duration<double>(deadline_seconds),
+                             [&] { return flight->done; })) {
+      *status = Status::DeadlineExceeded(StrFormat(
+          "deadline of %.3fs expired waiting on an in-flight compile", deadline_seconds));
+      return FlightOutcome::kFailed;
+    }
+  } else {
+    flight->cv.wait(lock, [&] { return flight->done; });
+  }
   if (flight->ok) {
     *plan = flight->plan;
     return FlightOutcome::kHit;

@@ -122,8 +122,12 @@ class PlanCache {
   // Single-flight entry point: Lookup, then atomically join or lead the
   // in-flight compile for `key`. kHit fills *plan; kFailed fills *status;
   // kLeader obliges the caller to call FinishFlight(key, ...) exactly once
-  // (on every path, or followers block forever).
-  FlightOutcome JoinFlight(const PlanCacheKey& key, ParallelPlan* plan, Status* status);
+  // (on every path, or followers block forever). A follower waits at most
+  // `deadline_seconds` (0 = forever) for the leader: on expiry it returns
+  // kFailed with kDeadlineExceeded, leaving the flight intact for the
+  // followers that can still afford to wait.
+  FlightOutcome JoinFlight(const PlanCacheKey& key, ParallelPlan* plan, Status* status,
+                           double deadline_seconds = 0.0);
   // Publishes the leader's result: Insert + wake followers on success,
   // propagate the error to followers on failure.
   void FinishFlight(const PlanCacheKey& key, const StatusOr<ParallelPlan>& result);

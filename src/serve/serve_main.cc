@@ -3,6 +3,7 @@
 //   alpa_serve --socket /tmp/alpa.sock [--workers N] [--cache-dir DIR]
 //              [--cache-max-entries N] [--cache-max-bytes N]
 //              [--max-queue N] [--max-per-tenant N] [--deadline SECONDS]
+//              [--admin-tenant NAME]
 //
 // Serves Parallelize/Simulate/Repair requests over a unix socket using
 // the versioned wire format; see src/serve/server.h for the architecture
@@ -27,7 +28,7 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --socket PATH [--workers N] [--cache-dir DIR] [--max-queue N]\n"
                "          [--cache-max-entries N] [--cache-max-bytes N]\n"
-               "          [--max-per-tenant N] [--deadline SECONDS]\n",
+               "          [--max-per-tenant N] [--deadline SECONDS] [--admin-tenant NAME]\n",
                argv0);
   return 2;
 }
@@ -71,6 +72,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       options.default_deadline_seconds = std::atof(v);
+    } else if (arg == "--admin-tenant") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.admin_tenant = v;
     } else {
       return Usage(argv[0]);
     }

@@ -358,24 +358,60 @@ ServeResponse PlanServer::Execute(InProcessPlanService& service, Job& job) {
       }
       break;
     }
-    case Method::kDbList:
-      response.records = PlanDb::Global().List(job.request.db_query);
+    case Method::kDbList: {
+      // Tenant scoping: the admission identity is also the authorization
+      // boundary. A non-admin caller may only list its own records; an
+      // explicit filter for another tenant is rejected rather than
+      // silently rewritten.
+      PlanDbQuery query = job.request.db_query;
+      if (!DbAdmin(job.request)) {
+        const std::string& caller = job.request.options.tenant;
+        if (!query.tenant.empty() && query.tenant != caller) {
+          response = ServeResponse::FromStatus(Status::InvalidArgument(
+              "plan db: tenant filter does not match caller identity"));
+          break;
+        }
+        if (caller.empty()) {
+          // PlanDb treats "" as a wildcard, but the anonymous tenant is
+          // still just one tenant: list everything, keep only its rows,
+          // and re-apply the limit.
+          std::vector<PlanRecord> records = PlanDb::Global().List(PlanDbQuery{"", 0});
+          std::erase_if(records, [](const PlanRecord& r) { return !r.tenant.empty(); });
+          if (query.limit > 0 && static_cast<int32_t>(records.size()) > query.limit) {
+            records.resize(static_cast<size_t>(query.limit));
+          }
+          response.records = std::move(records);
+          break;
+        }
+        query.tenant = caller;
+      }
+      response.records = PlanDb::Global().List(query);
       break;
+    }
     case Method::kDbGet: {
       auto record = PlanDb::Global().Get(job.request.db_key);
-      if (record.ok()) {
-        response.records.push_back(std::move(record).value());
-      } else {
+      if (!record.ok()) {
         response = ServeResponse::FromStatus(record.status());
+      } else if (!DbAdmin(job.request) &&
+                 record.value().tenant != job.request.options.tenant) {
+        // Deny as absent: record existence must not leak across tenants.
+        response = ServeResponse::FromStatus(
+            Status::InvalidArgument("plan db: no record for key"));
+      } else {
+        response.records.push_back(std::move(record).value());
       }
       break;
     }
-    case Method::kDbDelete:
-      if (!PlanDb::Global().Delete(job.request.db_key)) {
+    case Method::kDbDelete: {
+      auto record = PlanDb::Global().Get(job.request.db_key);
+      const bool owned = record.ok() && (DbAdmin(job.request) ||
+                                         record.value().tenant == job.request.options.tenant);
+      if (!owned || !PlanDb::Global().Delete(job.request.db_key)) {
         response = ServeResponse::FromStatus(
             Status::InvalidArgument("plan db: no record for key"));
       }
       break;
+    }
   }
   response.queue_seconds = queue_seconds;
   response.compile_seconds = NowSeconds() - start;

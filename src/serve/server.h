@@ -54,6 +54,10 @@ struct ServerOptions {
   // Non-empty: persist the plan cache (and the results database) here;
   // both survive restarts.
   std::string plan_cache_dir;
+  // Results-database authorization: requests carrying this tenant identity
+  // may list, fetch, and delete ANY tenant's records. Every other caller
+  // is scoped to its own tenant. "" = no admin identity exists.
+  std::string admin_tenant;
   // Disk-cache caps (LRU eviction); 0 = unbounded.
   int64_t cache_max_entries = 0;
   int64_t cache_max_bytes = 0;
@@ -110,6 +114,12 @@ class PlanServer {
   std::shared_ptr<Job> Admit(ServeRequest request);
   std::shared_ptr<Job> NextJob();  // Blocks; nullptr on shutdown.
   ServeResponse Execute(InProcessPlanService& service, Job& job);
+  // True when `request` carries the configured admin identity (and one is
+  // configured at all): such callers see every tenant's db records.
+  bool DbAdmin(const ServeRequest& request) const {
+    return !options_.admin_tenant.empty() &&
+           request.options.tenant == options_.admin_tenant;
+  }
 
   const ServerOptions options_;
 

@@ -90,10 +90,14 @@ StatusOr<ParallelPlan> InProcessPlanService::Parallelize(const PlanRequest& requ
   last_outcome_.plan_cache_eligible = cacheable;
   if (cacheable) {
     // Single-flight: hit the cache, ride a concurrent compile of the same
-    // key, or get elected leader. Only the leader runs the compiler.
+    // key, or get elected leader. Only the leader runs the compiler. A
+    // follower waits at most its own deadline: riding a leader whose
+    // compile outlives it would return far past the deadline instead of
+    // failing fast.
     ParallelPlan cached;
     Status flight_status = Status::Ok();
-    const FlightOutcome outcome = PlanCache::Global().JoinFlight(key, &cached, &flight_status);
+    const FlightOutcome outcome = PlanCache::Global().JoinFlight(
+        key, &cached, &flight_status, request.options.deadline_seconds);
     if (outcome == FlightOutcome::kHit) {
       last_outcome_.plan_cache_hit = true;
       last_outcome_.seconds = NowSeconds() - start;

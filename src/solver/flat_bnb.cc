@@ -524,10 +524,14 @@ FlatSearchResult SolveCore(const IlpProblem& core, const FlatSearchOptions& opti
             s.Dfs(val);
           }
           TaskResult& r = task_results[t];
-          r.obj = s.best_obj;
           // A rerun under a tighter incumbent may find nothing below it;
-          // keep the choice from the earlier round in that case.
+          // keep the earlier round's (obj, choice) pair in that case.
+          // Updating obj alone would stamp the cross-branch incumbent
+          // onto this branch's stale choice, and the first-wins reduce
+          // below could then report an objective the stored choice does
+          // not actually achieve.
           if (!s.best_choice.empty()) {
+            r.obj = s.best_obj;
             r.choice = std::move(s.best_choice);
           }
           r.spent += s.explored;

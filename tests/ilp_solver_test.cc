@@ -339,6 +339,34 @@ TEST(FlatBnb, AbortReportsIncumbentAndLowerBound) {
   EXPECT_EQ(full.lower_bound, full.objective);
 }
 
+// Redistribution-rerun invariant: the reported objective must be the cost
+// the stored choice actually achieves. Before the fix, a rerun that
+// improved nothing stamped the cross-branch incumbent onto its stale
+// round-1 choice, and the first-wins reduce could then return an
+// assignment whose true cost is above the reported objective.
+TEST(FlatBnb, ObjectiveMatchesChoiceUnderBudgetRedistribution) {
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    Rng rng(seed);
+    const IlpProblem problem = RandomProblem(rng, 14, 5, 0.8);
+    FlatSearchOptions unbounded;
+    unbounded.budget = 100'000'000;
+    const FlatSearchResult full = SolveCore(problem, unbounded);
+    ASSERT_TRUE(full.feasible) << "seed " << seed;
+    // Budgets below the full search need force redistribution rounds in
+    // which some branches rerun under a tighter cross-branch incumbent.
+    for (const int denom : {2, 3, 4, 6, 8}) {
+      FlatSearchOptions starved;
+      starved.budget = full.explored / denom;
+      const FlatSearchResult result = SolveCore(problem, starved);
+      ASSERT_TRUE(result.feasible) << "seed " << seed << " denom " << denom;
+      EXPECT_NEAR(result.objective, problem.Evaluate(result.choice), 1e-9)
+          << "seed " << seed << " denom " << denom;
+      EXPECT_LE(result.lower_bound, result.objective + 1e-9);
+      EXPECT_GE(result.objective, full.objective - 1e-9);
+    }
+  }
+}
+
 // The anytime contract through IlpSolver: a budget-starved staged solve
 // returns feasible + !optimal with lower_bound <= optimum <= objective
 // and a positive relative gap.

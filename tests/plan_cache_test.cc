@@ -326,6 +326,42 @@ TEST_F(PlanCacheTest, FailedLeaderPropagatesToFollowers) {
   PlanCache::Global().FinishFlight(key, Status::Infeasible("no plan"));
 }
 
+// A follower with a short deadline must not inherit the leader's compile
+// time: it fails fast with kDeadlineExceeded, while the flight stays
+// intact for patient followers and the leader's eventual publish.
+TEST_F(PlanCacheTest, FollowerDeadlineExpiresWithoutKillingTheFlight) {
+  const PlanCacheKey key{77, 78};
+  ParallelPlan plan;
+  Status status = Status::Ok();
+  ASSERT_EQ(PlanCache::Global().JoinFlight(key, &plan, &status), FlightOutcome::kLeader);
+
+  // Deadline-carrying follower: the leader never publishes before it
+  // expires, so it must return on its own.
+  ParallelPlan follower_plan;
+  Status follower_status = Status::Ok();
+  const FlightOutcome expired = PlanCache::Global().JoinFlight(
+      key, &follower_plan, &follower_status, /*deadline_seconds=*/0.01);
+  EXPECT_EQ(expired, FlightOutcome::kFailed);
+  EXPECT_EQ(follower_status.code(), StatusCode::kDeadlineExceeded);
+
+  // The flight survived the expiry: a patient follower still rides it to
+  // the leader's result instead of electing a duplicate leader.
+  const int64_t followers_before = PlanCache::Global().stats().flight_followers;
+  std::thread patient([&key] {
+    ParallelPlan patient_plan;
+    Status patient_status = Status::Ok();
+    const FlightOutcome outcome = PlanCache::Global().JoinFlight(
+        key, &patient_plan, &patient_status, /*deadline_seconds=*/0.0);
+    EXPECT_EQ(outcome, FlightOutcome::kFailed);
+    EXPECT_EQ(patient_status.code(), StatusCode::kInfeasible);
+  });
+  while (PlanCache::Global().stats().flight_followers <= followers_before) {
+    std::this_thread::yield();
+  }
+  PlanCache::Global().FinishFlight(key, Status::Infeasible("no plan"));
+  patient.join();
+}
+
 // Entry-count cap: inserting past the cap evicts the least-recently-used
 // entry — file, index, and memory promotion together.
 TEST_F(PlanCacheTest, EvictionDropsOldestFirst) {

@@ -363,6 +363,7 @@ TEST_F(ServeTest, ResultsDatabaseListsGetsAndDeletesRecords) {
   ServerOptions options;
   options.socket_path = socket_path_;
   options.plan_cache_dir = CacheDir();
+  options.admin_tenant = "admin";
   PlanServer server(options);
   ASSERT_TRUE(server.Start().ok());
   RemotePlanService client(socket_path_);
@@ -374,7 +375,8 @@ TEST_F(ServeTest, ResultsDatabaseListsGetsAndDeletesRecords) {
   // Warm hits do not add records: the database tracks compiles, not serves.
   ASSERT_TRUE(client.Parallelize(alice).ok());
 
-  const StatusOr<std::vector<PlanRecord>> all = client.DbList(PlanDbQuery{});
+  // The admin identity sees every tenant's records.
+  const StatusOr<std::vector<PlanRecord>> all = client.DbList(PlanDbQuery{}, "admin");
   ASSERT_TRUE(all.ok());
   ASSERT_EQ(all.value().size(), 2u);
   for (const PlanRecord& record : all.value()) {
@@ -389,25 +391,43 @@ TEST_F(ServeTest, ResultsDatabaseListsGetsAndDeletesRecords) {
 
   PlanDbQuery by_tenant;
   by_tenant.tenant = "alice";
-  const StatusOr<std::vector<PlanRecord>> filtered = client.DbList(by_tenant);
+  const StatusOr<std::vector<PlanRecord>> filtered = client.DbList(by_tenant, "admin");
   ASSERT_TRUE(filtered.ok());
   ASSERT_EQ(filtered.value().size(), 1u);
   EXPECT_EQ(filtered.value().front().tenant, "alice");
 
   PlanDbQuery limited;
   limited.limit = 1;
-  const StatusOr<std::vector<PlanRecord>> capped = client.DbList(limited);
+  const StatusOr<std::vector<PlanRecord>> capped = client.DbList(limited, "admin");
   ASSERT_TRUE(capped.ok());
   EXPECT_EQ(capped.value().size(), 1u);
 
   const PlanCacheKey alice_key = filtered.value().front().key;
-  const StatusOr<PlanRecord> fetched = client.DbGet(alice_key);
+  const StatusOr<PlanRecord> fetched = client.DbGet(alice_key, "admin");
   ASSERT_TRUE(fetched.ok());
   EXPECT_EQ(fetched.value().tenant, "alice");
 
-  EXPECT_TRUE(client.DbDelete(alice_key).ok());
-  EXPECT_FALSE(client.DbGet(alice_key).ok());
-  EXPECT_FALSE(client.DbDelete(alice_key).ok());
+  // Tenant isolation: a non-admin caller is scoped to its own records.
+  // An empty filter defaults to the caller, a cross-tenant filter is
+  // rejected outright, and another tenant's record reads as absent (for
+  // fetch AND delete) so existence never leaks across the boundary.
+  const StatusOr<std::vector<PlanRecord>> mine = client.DbList(PlanDbQuery{}, "alice");
+  ASSERT_TRUE(mine.ok());
+  ASSERT_EQ(mine.value().size(), 1u);
+  EXPECT_EQ(mine.value().front().tenant, "alice");
+  EXPECT_FALSE(client.DbList(by_tenant, "bob").ok());
+  EXPECT_FALSE(client.DbGet(alice_key, "bob").ok());
+  EXPECT_FALSE(client.DbDelete(alice_key, "bob").ok());
+  EXPECT_TRUE(client.DbGet(alice_key, "alice").ok());  // Unharmed.
+  // The anonymous tenant is a tenant like any other, not a wildcard.
+  const StatusOr<std::vector<PlanRecord>> anon = client.DbList(PlanDbQuery{});
+  ASSERT_TRUE(anon.ok());
+  EXPECT_TRUE(anon.value().empty());
+
+  // The owner can retire its own record.
+  EXPECT_TRUE(client.DbDelete(alice_key, "alice").ok());
+  EXPECT_FALSE(client.DbGet(alice_key, "admin").ok());
+  EXPECT_FALSE(client.DbDelete(alice_key, "admin").ok());
   server.Stop();
 
   // Records persist on disk alongside the plan cache: a restarted server
@@ -416,7 +436,7 @@ TEST_F(ServeTest, ResultsDatabaseListsGetsAndDeletesRecords) {
   PlanServer restarted(options);
   ASSERT_TRUE(restarted.Start().ok());
   RemotePlanService client2(socket_path_);
-  const StatusOr<std::vector<PlanRecord>> reloaded = client2.DbList(PlanDbQuery{});
+  const StatusOr<std::vector<PlanRecord>> reloaded = client2.DbList(PlanDbQuery{}, "admin");
   ASSERT_TRUE(reloaded.ok());
   ASSERT_EQ(reloaded.value().size(), 1u);
   EXPECT_EQ(reloaded.value().front().tenant, "bob");
