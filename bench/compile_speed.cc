@@ -1,20 +1,25 @@
 // Compile-speed benchmark for the staged ILP solver core (presolve +
 // chain/tree decomposition + flat branch & bound) against the pre-overhaul
-// solver kept behind IlpEngine::kLegacy.
+// solver kept behind IlpEngine::kLegacy, plus the anytime portfolio engine
+// (GRASP + simulated annealing racing the branch & bound).
 //
-// Three compilations of the fig8 GPT setting (GPT-2.6B on 8 GPUs, 16
-// target layers) drive the comparison:
-//   legacy cold  - old solver, all caches cleared
-//   staged cold  - new pipeline, all caches cleared
-//   staged warm  - new pipeline again without clearing (memo/cache hits)
-// The staged cold and warm plans must be bit-identical (PlanEquals): the
-// pipeline is deterministic and the memo layer is exact. Legacy plans are
-// NOT required to match bit-for-bit — on budget-aborted cells the two
-// engines legitimately pick different co-optimal or incumbent plans; the
-// per-problem equivalence (equal objectives, identical choices when both
-// prove optimality) is covered by tests/solver_crosscheck_test. The
-// presolve effectiveness counters (nodes/choices/edges before and after)
-// come from the interned Metrics registry, reported as per-run deltas.
+// Compilations of the fig8 GPT setting (GPT-2.6B on 8 GPUs, 16 target
+// layers) drive the comparison:
+//   legacy cold     - old solver, all caches cleared
+//   staged cold     - staged pipeline, all caches cleared
+//   staged warm     - staged pipeline again without clearing (memo hits)
+//   portfolio cold  - portfolio engine, all caches cleared
+//   portfolio warm  - portfolio engine again without clearing
+// Cold and warm plans of the same engine must be bit-identical
+// (PlanEquals): the pipeline is deterministic and the memo layer is exact.
+// Cross-engine plans are NOT required to match bit-for-bit — on
+// budget-aborted cells the engines legitimately pick different co-optimal
+// or incumbent plans; the per-problem equivalence (equal objectives,
+// identical choices when both prove optimality) is covered by
+// tests/solver_crosscheck_test. The presolve effectiveness counters
+// (nodes/choices/edges before and after) come from the interned Metrics
+// registry, reported as per-run deltas, as do the anytime gap statistics
+// (max/mean relative optimality gap over each run's aborted solves).
 //
 // Usage: compile_speed [--threads N] [--json PATH]
 #include <algorithm>
@@ -41,6 +46,10 @@ struct PresolveSnapshot {
   long long optimal = 0;
   long long aborted = 0;
   long long explored = 0;
+  long long gap_ppm_sum = 0;
+  long long portfolio_races = 0;
+  long long portfolio_handoffs = 0;
+  long long portfolio_prunes = 0;
   long long elim_solved = 0;
   long long elim_bailed = 0;
   long long elim_cells = 0;
@@ -78,6 +87,10 @@ struct PresolveSnapshot {
     s.optimal = Metrics::Value("ilp/outcome/optimal");
     s.aborted = Metrics::Value("ilp/outcome/aborted");
     s.explored = Metrics::Value("ilp/outcome/explored");
+    s.gap_ppm_sum = Metrics::Value("ilp/outcome/gap_ppm_sum");
+    s.portfolio_races = Metrics::Value("ilp/portfolio/races");
+    s.portfolio_handoffs = Metrics::Value("ilp/portfolio/incumbent_handoffs");
+    s.portfolio_prunes = Metrics::Value("ilp/portfolio/bound_prunes");
     return s;
   }
   PresolveSnapshot Delta(const PresolveSnapshot& before) const {
@@ -91,6 +104,10 @@ struct PresolveSnapshot {
     d.optimal = optimal - before.optimal;
     d.aborted = aborted - before.aborted;
     d.explored = explored - before.explored;
+    d.gap_ppm_sum = gap_ppm_sum - before.gap_ppm_sum;
+    d.portfolio_races = portfolio_races - before.portfolio_races;
+    d.portfolio_handoffs = portfolio_handoffs - before.portfolio_handoffs;
+    d.portfolio_prunes = portfolio_prunes - before.portfolio_prunes;
     d.elim_solved = elim_solved - before.elim_solved;
     d.elim_bailed = elim_bailed - before.elim_bailed;
     d.elim_cells = elim_cells - before.elim_cells;
@@ -135,7 +152,7 @@ int main(int argc, char** argv) {
     return Parallelize(graph, cluster, options);
   };
 
-  std::printf("=== compile_speed: staged vs legacy solver, %s on %d GPUs ===\n",
+  std::printf("=== compile_speed: legacy vs staged vs portfolio solver, %s on %d GPUs ===\n",
               bench_case.name.c_str(), bench_case.num_gpus);
   std::printf("%-14s %10s | %8s %8s %8s | %10s %12s %10s | %6s %6s %10s\n", "run", "total(s)",
               "solves", "hits", "misses", "nodes", "choices", "edges", "opt", "abort",
@@ -151,6 +168,8 @@ int main(int argc, char** argv) {
     if (cold) {
       IlpMemoCache::Global().Clear();  // Also clears the solver core memo.
     }
+    // Per-run worst gap: the metric's high-water mark since this reset.
+    Metrics::Get("ilp/outcome/gap_ppm_max")->Reset();
     const PresolveSnapshot before = PresolveSnapshot::Take();
     RunResult r;
     r.plan = compile(engine);
@@ -182,6 +201,17 @@ int main(int argc, char** argv) {
                   "", d.build_micros * 1e-6, d.enum_micros * 1e-6, d.edge_micros * 1e-6,
                   d.seed_micros * 1e-6, d.legacy_micros * 1e-6);
     }
+    const double max_gap = Metrics::MaxValue("ilp/outcome/gap_ppm_max") * 1e-6;
+    const double mean_gap = d.aborted > 0 ? (d.gap_ppm_sum * 1e-6) / d.aborted : 0.0;
+    if (d.aborted > 0) {
+      std::printf("%-14s anytime: max gap %.4f%%, mean gap %.4f%% over %lld aborts\n", "",
+                  max_gap * 100.0, mean_gap * 100.0, d.aborted);
+    }
+    if (d.portfolio_races > 0) {
+      std::printf("%-14s portfolio: %lld races, %lld incumbent handoffs,"
+                  " %lld root branches bound-pruned\n",
+                  "", d.portfolio_races, d.portfolio_handoffs, d.portfolio_prunes);
+    }
     std::fflush(stdout);
     report.AddRow()
         .Str("run", name)
@@ -198,53 +228,78 @@ int main(int argc, char** argv) {
         .Int("presolve_edges_out", d.edges_out)
         .Int("solves_optimal", d.optimal)
         .Int("solves_aborted", d.aborted)
+        .Num("max_optimality_gap", max_gap)
+        .Num("mean_optimality_gap", mean_gap)
         .Int("search_nodes_explored", d.explored)
         .Int("elim_solved", d.elim_solved)
         .Int("elim_bailed", d.elim_bailed)
-        .Int("elim_table_cells", d.elim_cells);
+        .Int("elim_table_cells", d.elim_cells)
+        .Int("portfolio_races", d.portfolio_races)
+        .Int("portfolio_incumbent_handoffs", d.portfolio_handoffs)
+        .Int("portfolio_bound_prunes", d.portfolio_prunes);
     return r;
   };
 
   // Two cold runs per engine; the speedup summary uses the per-engine
   // minimum (standard wall-clock practice: the min measures the code, the
-  // spread measures ambient machine load).
+  // spread measures ambient machine load). The staged and portfolio colds
+  // are interleaved so in-process drift (allocator state, cache history —
+  // later compiles in one process measure a few percent slower) lands on
+  // both engines instead of whichever happens to run last. Each warm run
+  // stays directly after its own engine's cold: a warm compile must hit
+  // the engine-salted memo entries that cold run just wrote.
   const RunResult legacy = run("legacy cold", IlpEngine::kLegacy, /*cold=*/true);
   const RunResult legacy2 = run("legacy cold#2", IlpEngine::kLegacy, /*cold=*/true);
   const RunResult staged = run("staged cold", IlpEngine::kStaged, /*cold=*/true);
+  const RunResult portfolio = run("portfolio cold", IlpEngine::kPortfolio, /*cold=*/true);
   const RunResult staged2 = run("staged cold#2", IlpEngine::kStaged, /*cold=*/true);
   const RunResult warm = run("staged warm", IlpEngine::kStaged, /*cold=*/false);
+  const RunResult portfolio2 = run("portfolio cold#2", IlpEngine::kPortfolio, /*cold=*/true);
+  const RunResult pwarm = run("portfolio warm", IlpEngine::kPortfolio, /*cold=*/false);
   if (!legacy.plan.ok() || !legacy2.plan.ok() || !staged.plan.ok() || !staged2.plan.ok() ||
-      !warm.plan.ok()) {
+      !warm.plan.ok() || !portfolio.plan.ok() || !portfolio2.plan.ok() || !pwarm.plan.ok()) {
     return 1;
   }
 
-  // Cold and warm staged compiles must agree bit-for-bit: the pipeline is
-  // deterministic and every memo hit is exact. Legacy-vs-staged plan
-  // equivalence is a per-problem property (equal objectives, identical
+  // Cold and warm compiles of the same engine must agree bit-for-bit: the
+  // pipeline is deterministic and every memo hit is exact. Cross-engine
+  // plan equivalence is a per-problem property (equal objectives, identical
   // choices when both prove optimality) verified by the randomized
   // cross-check suite, not a whole-compile one: budget-aborted cells may
   // legitimately settle on different incumbents.
   const bool identical = PlanEquals(staged.plan->pipeline, staged2.plan->pipeline) &&
                          PlanEquals(staged.plan->pipeline, warm.plan->pipeline);
+  const bool portfolio_identical =
+      PlanEquals(portfolio.plan->pipeline, portfolio2.plan->pipeline) &&
+      PlanEquals(portfolio.plan->pipeline, pwarm.plan->pipeline);
   const double legacy_cold = std::min(legacy.seconds, legacy2.seconds);
   const double staged_cold = std::min(staged.seconds, staged2.seconds);
+  const double portfolio_cold = std::min(portfolio.seconds, portfolio2.seconds);
   const double cold_speedup = staged_cold > 0.0 ? legacy_cold / staged_cold : 0.0;
   const double warm_speedup = warm.seconds > 0.0 ? legacy_cold / warm.seconds : 0.0;
+  const double portfolio_vs_staged = portfolio_cold > 0.0 ? staged_cold / portfolio_cold : 0.0;
   std::printf("\nplans bit-identical (staged cold vs warm): %s\n",
               identical ? "yes" : "NO (BUG)");
+  std::printf("plans bit-identical (portfolio cold vs warm): %s\n",
+              portfolio_identical ? "yes" : "NO (BUG)");
   std::printf("cold-compile speedup (staged vs legacy): %.2fx\n", cold_speedup);
   std::printf("warm-compile speedup (warm vs legacy cold): %.2fx\n", warm_speedup);
+  std::printf("cold-compile speedup (portfolio vs staged): %.2fx\n", portfolio_vs_staged);
 
   report.AddRow()
       .Str("run", "summary")
       .Bool("plans_identical", identical)
+      .Bool("portfolio_plans_identical", portfolio_identical)
       .Num("legacy_cold_seconds", legacy_cold)
       .Num("staged_cold_seconds", staged_cold)
+      .Num("portfolio_cold_seconds", portfolio_cold)
       .Num("warm_seconds", warm.seconds)
+      .Num("portfolio_warm_seconds", pwarm.seconds)
       .Num("cold_speedup", cold_speedup)
-      .Num("warm_speedup", warm_speedup);
+      .Num("warm_speedup", warm_speedup)
+      .Num("portfolio_vs_staged_speedup", portfolio_vs_staged);
   if (!report.Write(flags.json_path)) {
     return 1;
   }
-  return identical ? 0 : 1;
+  return identical && portfolio_identical ? 0 : 1;
 }

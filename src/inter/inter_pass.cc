@@ -318,6 +318,7 @@ CompiledPipeline RunInterOpPass(Graph& graph, const ClusterSpec& cluster,
         ++pipeline.stats.ilp_aborts;
         pipeline.stats.max_optimality_gap =
             std::max(pipeline.stats.max_optimality_gap, result.optimality_gap);
+        pipeline.stats.sum_optimality_gap += result.optimality_gap;
       }
       const StageSubgraph& subgraph = profiler.LayerSubgraph(l);
       for (const Operator& op : subgraph.graph.ops()) {

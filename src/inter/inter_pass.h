@@ -109,6 +109,9 @@ struct CompileStats {
   // plan is feasible and at most this far from the intra-op optimum).
   int64_t ilp_aborts = 0;
   double max_optimality_gap = 0.0;
+  // Sum of the aborted solves' gaps (mean = sum / ilp_aborts); lets
+  // reporting distinguish one bad stage from uniformly loose stages.
+  double sum_optimality_gap = 0.0;
 };
 
 struct CompiledPipeline {

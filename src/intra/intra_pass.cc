@@ -500,13 +500,13 @@ IntraOpResult SolveIntraOp(const Graph& graph, const DeviceMesh& mesh,
   }
   IlpSolverOptions solver_options = options.solver;
   const bool want_seeds = options.seed_with_plan_families && !options.filter;
-  // Staged pipeline: solve optimistically without seeds first. Seed plan
-  // families only matter as branch & bound incumbents and as a floor on
-  // budget aborts; when the staged core proves optimality outright (the
-  // common case with presolve + elimination), the three restricted builds
-  // and solves below are pure overhead. The legacy engine keeps the
+  // Staged/portfolio pipeline: solve optimistically without seeds first.
+  // Seed plan families only matter as branch & bound incumbents and as a
+  // floor on budget aborts; when the staged core proves optimality outright
+  // (the common case with presolve + elimination), the three restricted
+  // builds and solves below are pure overhead. The legacy engine keeps the
   // pre-overhaul always-seed pipeline so A/B comparisons stay faithful.
-  if (want_seeds && solver_options.engine == IlpEngine::kStaged) {
+  if (want_seeds && solver_options.engine != IlpEngine::kLegacy) {
     IlpSolution first = IlpSolver(solver_options).Solve(problem.ilp);
     if (!first.feasible) {
       IntraOpResult result;

@@ -51,6 +51,11 @@ StatusOr<ParallelizeOptions> PlanRequestOptions::ToParallelizeOptions() const {
     const int64_t deadline_budget =
         std::max<int64_t>(1000, static_cast<int64_t>(deadline_seconds * kSearchNodesPerSecond));
     budget = std::min(budget, deadline_budget);
+    // Deadline-capped budgets are exactly where searches abort; the
+    // portfolio engine spends part of the budget on metaheuristics so an
+    // abort returns their best incumbent plus a proven gap instead of a
+    // budget-truncated search result.
+    options.inter.profiler.intra.solver.engine = IlpEngine::kPortfolio;
   }
   options.inter.profiler.intra.solver.max_search_nodes = budget;
   if (max_elimination_table >= 0) {

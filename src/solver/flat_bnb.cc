@@ -5,6 +5,7 @@
 #include <limits>
 #include <utility>
 
+#include "src/solver/flat_core.h"
 #include "src/support/logging.h"
 #include "src/support/thread_pool.h"
 
@@ -13,190 +14,10 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-double Clamp(double c) { return std::isfinite(c) ? c : kFlatLarge; }
-
-// The core problem in flat contiguous storage. Node v's choice k lives at
-// off[v] + k in every per-choice array; each edge matrix is materialized
-// twice in one arena (row-major from each endpoint) so Arc lookups are a
-// single base + self * K(peer) + peer index with no orientation branch.
-struct Flat {
-  int n = 0;
-  std::vector<int> off;       // n + 1.
-  std::vector<double> unary;  // Clamped node costs.
-
-  struct Arc {
-    int peer = 0;
-    int edge = 0;     // Index into edge_min.
-    int64_t base = 0;  // Arena offset of the row-major [self][peer] block.
-  };
-  std::vector<int> arc_off;  // n + 1, into arcs (grouped by node).
-  std::vector<Arc> arcs;
-  std::vector<double> arena;
-  std::vector<double> edge_min;  // Clamped global minimum per edge.
-
-  std::vector<std::vector<int>> comps;  // Connected components, ids ascending.
-
-  int K(int v) const { return off[static_cast<size_t>(v) + 1] - off[static_cast<size_t>(v)]; }
-};
-
-Flat BuildFlat(const IlpProblem& p) {
-  Flat f;
-  f.n = p.num_nodes();
-  f.off.assign(static_cast<size_t>(f.n) + 1, 0);
-  for (int v = 0; v < f.n; ++v) {
-    f.off[static_cast<size_t>(v) + 1] = f.off[static_cast<size_t>(v)] + p.num_choices(v);
-  }
-  f.unary.resize(static_cast<size_t>(f.off[static_cast<size_t>(f.n)]));
-  for (int v = 0; v < f.n; ++v) {
-    for (int i = 0; i < p.num_choices(v); ++i) {
-      f.unary[static_cast<size_t>(f.off[static_cast<size_t>(v)] + i)] =
-          Clamp(p.node_costs[static_cast<size_t>(v)][static_cast<size_t>(i)]);
-    }
-  }
-
-  int64_t arena_size = 0;
-  for (const IlpProblem::Edge& e : p.edges) {
-    arena_size += 2LL * p.num_choices(e.u) * p.num_choices(e.v);
-  }
-  f.arena.resize(static_cast<size_t>(arena_size));
-  f.edge_min.resize(p.edges.size());
-
-  std::vector<std::vector<Flat::Arc>> by_node(static_cast<size_t>(f.n));
-  int64_t pos = 0;
-  for (size_t k = 0; k < p.edges.size(); ++k) {
-    const IlpProblem::Edge& e = p.edges[k];
-    const int ku = p.num_choices(e.u);
-    const int kv = p.num_choices(e.v);
-    const int64_t base_uv = pos;
-    const int64_t base_vu = pos + static_cast<int64_t>(ku) * kv;
-    double mn = kInf;
-    for (int i = 0; i < ku; ++i) {
-      for (int j = 0; j < kv; ++j) {
-        const double c = Clamp(e.cost[static_cast<size_t>(i)][static_cast<size_t>(j)]);
-        f.arena[static_cast<size_t>(base_uv + static_cast<int64_t>(i) * kv + j)] = c;
-        f.arena[static_cast<size_t>(base_vu + static_cast<int64_t>(j) * ku + i)] = c;
-        mn = std::min(mn, c);
-      }
-    }
-    f.edge_min[k] = mn;
-    by_node[static_cast<size_t>(e.u)].push_back(Flat::Arc{e.v, static_cast<int>(k), base_uv});
-    by_node[static_cast<size_t>(e.v)].push_back(Flat::Arc{e.u, static_cast<int>(k), base_vu});
-    pos = base_vu + static_cast<int64_t>(ku) * kv;
-  }
-  f.arc_off.assign(static_cast<size_t>(f.n) + 1, 0);
-  for (int v = 0; v < f.n; ++v) {
-    f.arc_off[static_cast<size_t>(v) + 1] =
-        f.arc_off[static_cast<size_t>(v)] + static_cast<int>(by_node[static_cast<size_t>(v)].size());
-    for (const Flat::Arc& a : by_node[static_cast<size_t>(v)]) {
-      f.arcs.push_back(a);
-    }
-  }
-
-  // Connected components (union-find), node ids ascending within each.
-  std::vector<int> parent(static_cast<size_t>(f.n));
-  for (int v = 0; v < f.n; ++v) parent[static_cast<size_t>(v)] = v;
-  auto find = [&](int x) {
-    while (parent[static_cast<size_t>(x)] != x) {
-      parent[static_cast<size_t>(x)] = parent[static_cast<size_t>(parent[static_cast<size_t>(x)])];
-      x = parent[static_cast<size_t>(x)];
-    }
-    return x;
-  };
-  for (const IlpProblem::Edge& e : p.edges) {
-    const int a = find(e.u);
-    const int b = find(e.v);
-    if (a != b) parent[static_cast<size_t>(a)] = b;
-  }
-  std::vector<int> comp_of(static_cast<size_t>(f.n), -1);
-  for (int v = 0; v < f.n; ++v) {
-    const int r = find(v);
-    if (comp_of[static_cast<size_t>(r)] < 0) {
-      comp_of[static_cast<size_t>(r)] = static_cast<int>(f.comps.size());
-      f.comps.emplace_back();
-    }
-    comp_of[static_cast<size_t>(v)] = comp_of[static_cast<size_t>(r)];
-    f.comps[static_cast<size_t>(comp_of[static_cast<size_t>(v)])].push_back(v);
-  }
-  return f;
-}
-
-// Per-node argmin start (first-wins on ties, like the legacy solver).
-std::vector<int> ArgminStart(const Flat& f) {
-  std::vector<int> choice(static_cast<size_t>(f.n), 0);
-  for (int v = 0; v < f.n; ++v) {
-    const double* row = f.unary.data() + f.off[static_cast<size_t>(v)];
-    int best_i = 0;
-    for (int i = 1; i < f.K(v); ++i) {
-      if (row[i] < row[best_i]) best_i = i;
-    }
-    choice[static_cast<size_t>(v)] = best_i;
-  }
-  return choice;
-}
-
-// Iterated conditional modes on the flat arrays: sweep until no single-node
-// move improves (first-wins argmin per node, bounded sweeps). A node whose
-// neighbors have not moved since its last evaluation is already at its
-// conditional argmin, so skipping it reproduces the full-sweep trajectory
-// exactly while converged regions stop costing anything.
-std::vector<int> FlatIcm(const Flat& f, std::vector<int> choice) {
-  std::vector<char> dirty(static_cast<size_t>(f.n), 1);
-  bool improved = true;
-  int sweeps = 0;
-  while (improved && sweeps < 50) {
-    improved = false;
-    ++sweeps;
-    for (int v = 0; v < f.n; ++v) {
-      if (!dirty[static_cast<size_t>(v)]) continue;
-      dirty[static_cast<size_t>(v)] = 0;
-      const double* row = f.unary.data() + f.off[static_cast<size_t>(v)];
-      double best = kInf;
-      int best_i = choice[static_cast<size_t>(v)];
-      for (int i = 0; i < f.K(v); ++i) {
-        double c = row[i];
-        for (int a = f.arc_off[static_cast<size_t>(v)]; a < f.arc_off[static_cast<size_t>(v) + 1]; ++a) {
-          const Flat::Arc& arc = f.arcs[static_cast<size_t>(a)];
-          c += f.arena[static_cast<size_t>(
-              arc.base + static_cast<int64_t>(i) * f.K(arc.peer) + choice[static_cast<size_t>(arc.peer)])];
-        }
-        if (c < best) {
-          best = c;
-          best_i = i;
-        }
-      }
-      if (best_i != choice[static_cast<size_t>(v)]) {
-        choice[static_cast<size_t>(v)] = best_i;
-        improved = true;
-        for (int a = f.arc_off[static_cast<size_t>(v)]; a < f.arc_off[static_cast<size_t>(v) + 1]; ++a) {
-          dirty[static_cast<size_t>(f.arcs[static_cast<size_t>(a)].peer)] = 1;
-        }
-      }
-    }
-  }
-  return choice;
-}
-
-// Objective restricted to one component (clamped space).
-double ComponentValue(const Flat& f, const std::vector<int>& nodes, const std::vector<int>& full) {
-  double total = 0.0;
-  for (int v : nodes) {
-    total += f.unary[static_cast<size_t>(f.off[static_cast<size_t>(v)] + full[static_cast<size_t>(v)])];
-    for (int a = f.arc_off[static_cast<size_t>(v)]; a < f.arc_off[static_cast<size_t>(v) + 1]; ++a) {
-      const Flat::Arc& arc = f.arcs[static_cast<size_t>(a)];
-      if (arc.peer > v) {
-        total += f.arena[static_cast<size_t>(
-            arc.base + static_cast<int64_t>(full[static_cast<size_t>(v)]) * f.K(arc.peer) +
-            full[static_cast<size_t>(arc.peer)])];
-      }
-    }
-  }
-  return total;
-}
-
 // Depth-first search state over one component. Copyable: root-level
 // parallel branching clones the initialized state per root choice.
 struct Searcher {
-  const Flat* f = nullptr;
+  const FlatCore* f = nullptr;
   const std::vector<int>* nodes = nullptr;  // Current component, ids ascending.
 
   // cond[off[v] + i]: unary[v][i] plus the matrix rows of every assigned
@@ -254,7 +75,7 @@ struct Searcher {
     return m2 - m1;
   }
 
-  void Init(const Flat& flat) {
+  void Init(const FlatCore& flat) {
     f = &flat;
     cond.assign(flat.unary.begin(), flat.unary.end());
     assigned.assign(static_cast<size_t>(flat.n), 0);
@@ -280,7 +101,7 @@ struct Searcher {
       regret[static_cast<size_t>(v)] = RowRegret(cond.data() + ov, f->K(v));
       sum_node_lb += mn;
       for (int a = f->arc_off[static_cast<size_t>(v)]; a < f->arc_off[static_cast<size_t>(v) + 1]; ++a) {
-        const Flat::Arc& arc = f->arcs[static_cast<size_t>(a)];
+        const FlatCore::Arc& arc = f->arcs[static_cast<size_t>(a)];
         if (arc.peer > v) sum_edge_min += f->edge_min[static_cast<size_t>(arc.edge)];
       }
     }
@@ -329,7 +150,7 @@ struct Searcher {
   Frame Push(int v, int c) {
     Frame fr{undo.size(), undo_cond.size(), sum_node_lb, sum_edge_min};
     for (int a = f->arc_off[static_cast<size_t>(v)]; a < f->arc_off[static_cast<size_t>(v) + 1]; ++a) {
-      const Flat::Arc& arc = f->arcs[static_cast<size_t>(a)];
+      const FlatCore::Arc& arc = f->arcs[static_cast<size_t>(a)];
       const int w = arc.peer;
       if (assigned[static_cast<size_t>(w)]) continue;
       const int ow = f->off[static_cast<size_t>(w)];
@@ -426,15 +247,10 @@ struct Searcher {
 
 }  // namespace
 
-FlatSearchResult SolveCore(const IlpProblem& core, const FlatSearchOptions& options) {
+FlatSearchResult SolveCoreOnFlat(const FlatCore& f, const FlatSearchOptions& options) {
   FlatSearchResult result;
-  result.choice.assign(static_cast<size_t>(core.num_nodes()), 0);
+  result.choice.assign(static_cast<size_t>(f.n), 0);
   result.objective = 0.0;
-  if (core.num_nodes() == 0) {
-    result.feasible = true;
-    return result;
-  }
-  const Flat f = BuildFlat(core);
 
   // Incumbent candidates: the ICM-polished argmin start, plus every valid
   // caller-provided assignment after the same polish.
@@ -482,6 +298,8 @@ FlatSearchResult SolveCore(const IlpProblem& core, const FlatSearchOptions& opti
       if (t.first + without_root + base.sum_edge_min >= inc_val) break;
       tasks.push_back(t);
     }
+    result.root_branches_pruned +=
+        static_cast<int64_t>(scored.size()) - static_cast<int64_t>(tasks.size());
 
     double comp_obj = inc_val;
     const std::vector<int>* comp_choice_src = inc;
@@ -586,10 +404,28 @@ FlatSearchResult SolveCore(const IlpProblem& core, const FlatSearchOptions& opti
     result.lower_bound += std::min(comp_lb, comp_obj);
   }
   result.feasible = result.objective < kFlatInfeasible;
+  if (result.aborted && result.feasible && result.lower_bound >= result.objective) {
+    // The budget ran out, but the proven bound already meets the incumbent:
+    // the incumbent is optimal, no further search could improve it. Common
+    // once the diffusion bound is tight — the search finds the optimum
+    // early and burns the rest of its budget failing to beat it.
+    result.aborted = false;
+  }
   if (!result.aborted || !result.feasible) {
     result.lower_bound = result.objective;
   }
   return result;
+}
+
+FlatSearchResult SolveCore(const IlpProblem& core, const FlatSearchOptions& options) {
+  if (core.num_nodes() == 0) {
+    FlatSearchResult result;
+    result.objective = 0.0;
+    result.feasible = true;
+    return result;
+  }
+  const FlatCore f = BuildFlatCore(core);
+  return SolveCoreOnFlat(f, options);
 }
 
 }  // namespace alpa

@@ -1,13 +1,10 @@
-// Flat-memory branch & bound over a presolved ILP core (stage 3 of the
-// staged solver pipeline).
+// Flat-memory branch & bound over a presolved ILP core (the exact engine of
+// the solver portfolio, stage 3 of the staged pipeline).
 //
-// The core (output of Presolve) is loaded into contiguous arenas: one flat
-// cost vector for all node choices and one arena holding every edge matrix
-// twice (row-major from each endpoint, transpose materialized), so the hot
-// loops are linear scans with no pointer chasing or branchy orientation
-// checks. The search maintains, per unassigned node, a "conditioned" cost
-// vector — unary cost plus the matrix rows of every already-assigned
-// neighbor — which serves double duty:
+// The core lives in the shared FlatCore arenas (src/solver/flat_core). The
+// search maintains, per unassigned node, a "conditioned" cost vector —
+// unary cost plus the matrix rows of every already-assigned neighbor —
+// which serves double duty:
 //   * the exact incremental cost of assigning that node next, and
 //   * a frontier-aware lower bound (sum of conditioned minima over
 //     unassigned nodes, plus global matrix minima of the edges not yet
@@ -20,27 +17,21 @@
 // in deterministic (score, index) order — so the solution is bit-identical
 // for any thread count, including zero.
 //
-// Infinities are clamped to kFlatLarge on load so bound arithmetic never
-// mixes inf into running sums; any objective >= kFlatInfeasible means "no
-// feasible assignment found". Callers re-evaluate the returned assignment
-// on the original (unclamped) problem.
+// Callers re-evaluate the returned assignment on the original (unclamped)
+// problem; see flat_core.h for the kFlatLarge / kFlatInfeasible clamping
+// contract.
 #ifndef SRC_SOLVER_FLAT_BNB_H_
 #define SRC_SOLVER_FLAT_BNB_H_
 
 #include <cstdint>
 #include <vector>
 
+#include "src/solver/flat_core.h"
 #include "src/solver/ilp_solver.h"
 
 namespace alpa {
 
 class ThreadPool;
-
-// Stand-in for kInfCost inside the search arenas, and the threshold above
-// which a total is reported infeasible. Real costs are simulated seconds
-// (<< 1e9), so the gap is comfortable.
-inline constexpr double kFlatLarge = 1e30;
-inline constexpr double kFlatInfeasible = 1e29;
 
 struct FlatSearchOptions {
   // Total expansion budget, split evenly across connected components. Within
@@ -54,7 +45,8 @@ struct FlatSearchOptions {
   ThreadPool* pool = nullptr;
   // Candidate assignments (core-compact choice indices, full length) used
   // as incumbents after an ICM polish; the per-node argmin start is always
-  // added internally.
+  // added internally. The solver portfolio routes the best metaheuristic
+  // incumbent in through here, so the search starts with a tight bound.
   std::vector<std::vector<int>> incumbents;
 };
 
@@ -69,11 +61,19 @@ struct FlatSearchResult {
   // components, of min(component objective, weakest unexplored root-branch
   // bound). (objective - lower_bound) is the absolute optimality gap.
   double lower_bound = 0.0;
+  // Root choices whose pre-push bound already exceeded the incumbent value,
+  // so their whole subtree was pruned before any search. A tight incumbent
+  // (e.g. from the portfolio's metaheuristics) shows up here first.
+  int64_t root_branches_pruned = 0;
 };
 
 // Exact search over `core` (a simple graph; parallel edges must already be
 // merged). Deterministic: same core and options give the same result.
 FlatSearchResult SolveCore(const IlpProblem& core, const FlatSearchOptions& options);
+
+// Same search on an already-built FlatCore (the portfolio builds the arenas
+// once and shares them across engines). `f` must have >= 1 node.
+FlatSearchResult SolveCoreOnFlat(const FlatCore& f, const FlatSearchOptions& options);
 
 }  // namespace alpa
 

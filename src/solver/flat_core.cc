@@ -1,0 +1,393 @@
+#include "src/solver/flat_core.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace alpa {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double Clamp(double c) { return std::isfinite(c) ? c : kFlatLarge; }
+
+}  // namespace
+
+FlatCore BuildFlatCore(const IlpProblem& p) {
+  FlatCore f;
+  f.n = p.num_nodes();
+  f.off.assign(static_cast<size_t>(f.n) + 1, 0);
+  for (int v = 0; v < f.n; ++v) {
+    f.off[static_cast<size_t>(v) + 1] = f.off[static_cast<size_t>(v)] + p.num_choices(v);
+  }
+  f.unary.resize(static_cast<size_t>(f.off[static_cast<size_t>(f.n)]));
+  for (int v = 0; v < f.n; ++v) {
+    for (int i = 0; i < p.num_choices(v); ++i) {
+      f.unary[static_cast<size_t>(f.off[static_cast<size_t>(v)] + i)] =
+          Clamp(p.node_costs[static_cast<size_t>(v)][static_cast<size_t>(i)]);
+    }
+  }
+
+  int64_t arena_size = 0;
+  for (const IlpProblem::Edge& e : p.edges) {
+    arena_size += 2LL * p.num_choices(e.u) * p.num_choices(e.v);
+  }
+  f.arena.resize(static_cast<size_t>(arena_size));
+  f.edge_min.resize(p.edges.size());
+
+  std::vector<std::vector<FlatCore::Arc>> by_node(static_cast<size_t>(f.n));
+  int64_t pos = 0;
+  for (size_t k = 0; k < p.edges.size(); ++k) {
+    const IlpProblem::Edge& e = p.edges[k];
+    const int ku = p.num_choices(e.u);
+    const int kv = p.num_choices(e.v);
+    const int64_t base_uv = pos;
+    const int64_t base_vu = pos + static_cast<int64_t>(ku) * kv;
+    double mn = kInf;
+    for (int i = 0; i < ku; ++i) {
+      for (int j = 0; j < kv; ++j) {
+        const double c = Clamp(e.cost[static_cast<size_t>(i)][static_cast<size_t>(j)]);
+        f.arena[static_cast<size_t>(base_uv + static_cast<int64_t>(i) * kv + j)] = c;
+        f.arena[static_cast<size_t>(base_vu + static_cast<int64_t>(j) * ku + i)] = c;
+        mn = std::min(mn, c);
+      }
+    }
+    f.edge_min[k] = mn;
+    by_node[static_cast<size_t>(e.u)].push_back(FlatCore::Arc{e.v, static_cast<int>(k), base_uv});
+    by_node[static_cast<size_t>(e.v)].push_back(FlatCore::Arc{e.u, static_cast<int>(k), base_vu});
+    pos = base_vu + static_cast<int64_t>(ku) * kv;
+  }
+  f.arc_off.assign(static_cast<size_t>(f.n) + 1, 0);
+  for (int v = 0; v < f.n; ++v) {
+    f.arc_off[static_cast<size_t>(v) + 1] =
+        f.arc_off[static_cast<size_t>(v)] + static_cast<int>(by_node[static_cast<size_t>(v)].size());
+    for (const FlatCore::Arc& a : by_node[static_cast<size_t>(v)]) {
+      f.arcs.push_back(a);
+    }
+  }
+
+  // Soft arc consistency: project each edge row's minimum into the unary
+  // cost of the incident endpoint (u-side rows first, then v-side rows of
+  // the residual). Every full assignment keeps its exact total — the shift
+  // moves cost between tables, it never creates or destroys any — but the
+  // per-node unary minima that every engine prunes with absorb cost that
+  // was invisible while it lived on the edge matrices. Rows whose minimum
+  // is at or above kFlatInfeasible mark the choice itself infeasible: the
+  // whole row folds into the unary entry, and ScoreVar drops the choice.
+  // One pass per direction reaches the fixpoint of this projection (edge
+  // blocks never receive cost back from unaries).
+  for (size_t k = 0; k < p.edges.size(); ++k) {
+    const IlpProblem::Edge& e = p.edges[k];
+    const int ku = p.num_choices(e.u);
+    const int kv = p.num_choices(e.v);
+    // Recover the two block bases from the arcs we just laid out.
+    int64_t base_uv = -1;
+    for (const FlatCore::Arc& a : by_node[static_cast<size_t>(e.u)]) {
+      if (a.edge == static_cast<int>(k)) base_uv = a.base;
+    }
+    int64_t base_vu = -1;
+    for (const FlatCore::Arc& a : by_node[static_cast<size_t>(e.v)]) {
+      if (a.edge == static_cast<int>(k)) base_vu = a.base;
+    }
+    double* uv = f.arena.data() + base_uv;
+    double* vu = f.arena.data() + base_vu;
+    for (int i = 0; i < ku; ++i) {
+      double mn = kInf;
+      for (int j = 0; j < kv; ++j) mn = std::min(mn, uv[static_cast<int64_t>(i) * kv + j]);
+      if (mn != 0.0) {
+        f.unary[static_cast<size_t>(f.off[static_cast<size_t>(e.u)] + i)] += mn;
+        for (int j = 0; j < kv; ++j) {
+          uv[static_cast<int64_t>(i) * kv + j] -= mn;
+          vu[static_cast<int64_t>(j) * ku + i] -= mn;
+        }
+      }
+    }
+    for (int j = 0; j < kv; ++j) {
+      double mn = kInf;
+      for (int i = 0; i < ku; ++i) mn = std::min(mn, vu[static_cast<int64_t>(j) * ku + i]);
+      if (mn != 0.0) {
+        f.unary[static_cast<size_t>(f.off[static_cast<size_t>(e.v)] + j)] += mn;
+        for (int i = 0; i < ku; ++i) {
+          vu[static_cast<int64_t>(j) * ku + i] -= mn;
+          uv[static_cast<int64_t>(i) * kv + j] -= mn;
+        }
+      }
+    }
+    double mn = kInf;
+    for (int64_t c = 0; c < static_cast<int64_t>(ku) * kv; ++c) mn = std::min(mn, uv[c]);
+    f.edge_min[k] = mn;
+  }
+
+  // Min-sum diffusion: equalize, per node and choice, the unary cost with
+  // the row minima of every incident edge block, so each local minimum
+  // carries an equal share of the choice's unavoidable cost. Like the row
+  // projection above this only moves cost between tables — every full
+  // assignment keeps its exact total — but iterating it propagates cost
+  // ACROSS edges, driving the per-node and per-edge minima toward the
+  // Schlesinger LP dual value. On the frustrated communication cores that
+  // defeat the plain projection (every single edge can be zero-cost, the
+  // positive cost only emerges globally), this turns a bound that proves
+  // nothing into one that is usually tight: budget-bound searches that
+  // could not close in tens of millions of nodes close in hundreds.
+  // Deterministic: fixed sweep order, early stop on the dual bound alone.
+  {
+    std::vector<int64_t> rev(f.arcs.size());  // Transposed block of each arc.
+    for (int u = 0; u < f.n; ++u) {
+      for (int a = f.arc_off[static_cast<size_t>(u)]; a < f.arc_off[static_cast<size_t>(u) + 1];
+           ++a) {
+        const FlatCore::Arc& arc = f.arcs[static_cast<size_t>(a)];
+        for (int b = f.arc_off[static_cast<size_t>(arc.peer)];
+             b < f.arc_off[static_cast<size_t>(arc.peer) + 1]; ++b) {
+          if (f.arcs[static_cast<size_t>(b)].edge == arc.edge) {
+            rev[static_cast<size_t>(a)] = f.arcs[static_cast<size_t>(b)].base;
+          }
+        }
+      }
+    }
+    constexpr int kMaxSweeps = 64;
+    std::vector<double> t, m, share, dv, applied;
+    double prev_lb = -kInf;
+    // Dirty worklist: a node re-equalizes only while it or a neighbor still
+    // moved cost last sweep, so converged regions stop paying. Same
+    // trajectory as full sweeps (an untouched node's update is a no-op).
+    std::vector<char> dirty(static_cast<size_t>(f.n), 1);
+    std::vector<char> next_dirty(static_cast<size_t>(f.n), 0);
+    // Per-node unary minima, maintained incrementally alongside the sweeps
+    // (f.edge_min is maintained the same way below), so the dual-bound
+    // stall check costs O(n + E) instead of a full arena scan.
+    std::vector<double> node_min(static_cast<size_t>(f.n), kInf);
+    for (int u = 0; u < f.n; ++u) {
+      double mn = kInf;
+      for (int i = 0; i < f.K(u); ++i) {
+        mn = std::min(mn, f.unary[static_cast<size_t>(f.off[static_cast<size_t>(u)] + i)]);
+      }
+      node_min[static_cast<size_t>(u)] = mn;
+    }
+    for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+      std::fill(next_dirty.begin(), next_dirty.end(), 0);
+      for (int u = 0; u < f.n; ++u) {
+        if (!dirty[static_cast<size_t>(u)]) continue;
+        const int K = f.K(u);
+        const int deg = f.degree(u);
+        if (deg == 0) continue;
+        const int ou = f.off[static_cast<size_t>(u)];
+        t.assign(static_cast<size_t>(K), 0.0);
+        m.assign(static_cast<size_t>(deg) * K, 0.0);
+        for (int i = 0; i < K; ++i) t[static_cast<size_t>(i)] = f.unary[static_cast<size_t>(ou + i)];
+        for (int ai = 0; ai < deg; ++ai) {
+          const FlatCore::Arc& arc = f.arcs[static_cast<size_t>(f.arc_off[static_cast<size_t>(u)] + ai)];
+          const int kp = f.K(arc.peer);
+          for (int i = 0; i < K; ++i) {
+            const double* row = f.arena.data() + arc.base + static_cast<int64_t>(i) * kp;
+            double mn = kInf;
+            for (int j = 0; j < kp; ++j) mn = std::min(mn, row[j]);
+            m[static_cast<size_t>(ai) * K + i] = mn;
+            t[static_cast<size_t>(i)] += mn;
+          }
+        }
+        bool moved = false;
+        share.assign(static_cast<size_t>(K), kInf);
+        applied.assign(static_cast<size_t>(K), 0.0);
+        for (int i = 0; i < K; ++i) {
+          // A choice whose total already marks it infeasible is left alone:
+          // spreading a kFlatLarge share would poison finite peer entries.
+          if (t[static_cast<size_t>(i)] >= kFlatInfeasible) continue;
+          share[static_cast<size_t>(i)] = t[static_cast<size_t>(i)] / (deg + 1);
+        }
+        // Arc-major update: build the per-choice delta vector for one arc,
+        // then apply it to both block orientations. The primary block takes
+        // it row by row; the transposed block takes the WHOLE vector along
+        // each of its rows, which walks that block sequentially instead of
+        // striding a column per choice — the same additions land on the
+        // same cells in the same order, only the cache behavior changes.
+        for (int ai = 0; ai < deg; ++ai) {
+          dv.assign(static_cast<size_t>(K), 0.0);
+          bool any = false;
+          for (int i = 0; i < K; ++i) {
+            if (share[static_cast<size_t>(i)] == kInf) continue;
+            const double d = share[static_cast<size_t>(i)] - m[static_cast<size_t>(ai) * K + i];
+            // Sub-relative-epsilon shifts keep ping-ponging rounding noise
+            // between tables forever; leave them where they lie.
+            if (std::abs(d) <= 1e-12 * (std::abs(share[static_cast<size_t>(i)]) + 1e-300)) continue;
+            dv[static_cast<size_t>(i)] = d;
+            applied[static_cast<size_t>(i)] += d;
+            any = true;
+          }
+          if (!any) continue;
+          moved = true;
+          const FlatCore::Arc& arc =
+              f.arcs[static_cast<size_t>(f.arc_off[static_cast<size_t>(u)] + ai)];
+          const int kp = f.K(arc.peer);
+          double* blk = f.arena.data() + arc.base;
+          for (int i = 0; i < K; ++i) {
+            const double d = dv[static_cast<size_t>(i)];
+            if (d == 0.0) continue;
+            double* row = blk + static_cast<int64_t>(i) * kp;
+            for (int j = 0; j < kp; ++j) row[j] += d;
+          }
+          double* rblk =
+              f.arena.data() + rev[static_cast<size_t>(f.arc_off[static_cast<size_t>(u)] + ai)];
+          for (int j = 0; j < kp; ++j) {
+            double* row = rblk + static_cast<int64_t>(j) * K;
+            for (int i = 0; i < K; ++i) row[i] += dv[static_cast<size_t>(i)];
+          }
+          // Shifting a whole row by d moves its minimum by exactly d (the
+          // stored m was copied out of the row, so m + d is bitwise the
+          // same double the scan would find), which keeps edge_min exact
+          // without rescanning the block.
+          double em = kInf;
+          for (int i = 0; i < K; ++i) {
+            em = std::min(em, m[static_cast<size_t>(ai) * K + i] + dv[static_cast<size_t>(i)]);
+          }
+          f.edge_min[static_cast<size_t>(arc.edge)] = em;
+        }
+        // The unary keeps exactly what the edges did not take, so every
+        // assignment's total is preserved even when tiny shifts stay put.
+        for (int i = 0; i < K; ++i) {
+          f.unary[static_cast<size_t>(ou + i)] -= applied[static_cast<size_t>(i)];
+        }
+        if (moved) {
+          double nm = kInf;
+          for (int i = 0; i < K; ++i) {
+            nm = std::min(nm, f.unary[static_cast<size_t>(ou + i)]);
+          }
+          node_min[static_cast<size_t>(u)] = nm;
+          next_dirty[static_cast<size_t>(u)] = 1;
+          for (int a = f.arc_off[static_cast<size_t>(u)];
+               a < f.arc_off[static_cast<size_t>(u) + 1]; ++a) {
+            next_dirty[static_cast<size_t>(f.arcs[static_cast<size_t>(a)].peer)] = 1;
+          }
+        }
+      }
+      dirty.swap(next_dirty);
+      bool any_dirty = false;
+      for (int u = 0; u < f.n && !any_dirty; ++u) any_dirty = dirty[static_cast<size_t>(u)] != 0;
+      if (!any_dirty) break;
+      // Stall check every few sweeps, against the incrementally maintained
+      // minima — O(n + E), no arena scan. A loose stop would forfeit real
+      // proving power: the budget-bound search often needs the last
+      // fraction of a percent of this bound to close.
+      if ((sweep & 3) == 3) {
+        double lb = 0.0;
+        for (int u = 0; u < f.n; ++u) {
+          lb += std::min(node_min[static_cast<size_t>(u)], kFlatLarge);
+        }
+        for (size_t k = 0; k < p.edges.size(); ++k) {
+          lb += std::min(f.edge_min[k], kFlatLarge);
+        }
+        if (lb <= prev_lb + 1e-6 * std::abs(lb) + 1e-300) break;
+        prev_lb = lb;
+      }
+    }
+    // No refresh needed after the loop: every block update above lands its
+    // new row minima on f.edge_min as it happens, so the per-edge minima
+    // are exact whenever the loop exits.
+  }
+
+  // Connected components (union-find), node ids ascending within each.
+  std::vector<int> parent(static_cast<size_t>(f.n));
+  for (int v = 0; v < f.n; ++v) parent[static_cast<size_t>(v)] = v;
+  auto find = [&](int x) {
+    while (parent[static_cast<size_t>(x)] != x) {
+      parent[static_cast<size_t>(x)] = parent[static_cast<size_t>(parent[static_cast<size_t>(x)])];
+      x = parent[static_cast<size_t>(x)];
+    }
+    return x;
+  };
+  for (const IlpProblem::Edge& e : p.edges) {
+    const int a = find(e.u);
+    const int b = find(e.v);
+    if (a != b) parent[static_cast<size_t>(a)] = b;
+  }
+  std::vector<int> comp_of(static_cast<size_t>(f.n), -1);
+  for (int v = 0; v < f.n; ++v) {
+    const int r = find(v);
+    if (comp_of[static_cast<size_t>(r)] < 0) {
+      comp_of[static_cast<size_t>(r)] = static_cast<int>(f.comps.size());
+      f.comps.emplace_back();
+    }
+    comp_of[static_cast<size_t>(v)] = comp_of[static_cast<size_t>(r)];
+    f.comps[static_cast<size_t>(comp_of[static_cast<size_t>(v)])].push_back(v);
+  }
+  return f;
+}
+
+std::vector<int> ArgminStart(const FlatCore& f) {
+  std::vector<int> choice(static_cast<size_t>(f.n), 0);
+  for (int v = 0; v < f.n; ++v) {
+    const double* row = f.unary.data() + f.off[static_cast<size_t>(v)];
+    int best_i = 0;
+    for (int i = 1; i < f.K(v); ++i) {
+      if (row[i] < row[best_i]) best_i = i;
+    }
+    choice[static_cast<size_t>(v)] = best_i;
+  }
+  return choice;
+}
+
+std::vector<int> FlatIcm(const FlatCore& f, std::vector<int> choice) {
+  std::vector<char> dirty(static_cast<size_t>(f.n), 1);
+  bool improved = true;
+  int sweeps = 0;
+  while (improved && sweeps < 50) {
+    improved = false;
+    ++sweeps;
+    for (int v = 0; v < f.n; ++v) {
+      if (!dirty[static_cast<size_t>(v)]) continue;
+      dirty[static_cast<size_t>(v)] = 0;
+      const double* row = f.unary.data() + f.off[static_cast<size_t>(v)];
+      double best = kInf;
+      int best_i = choice[static_cast<size_t>(v)];
+      for (int i = 0; i < f.K(v); ++i) {
+        double c = row[i];
+        for (int a = f.arc_off[static_cast<size_t>(v)]; a < f.arc_off[static_cast<size_t>(v) + 1]; ++a) {
+          const FlatCore::Arc& arc = f.arcs[static_cast<size_t>(a)];
+          c += f.ArcCost(arc, i, choice[static_cast<size_t>(arc.peer)]);
+        }
+        if (c < best) {
+          best = c;
+          best_i = i;
+        }
+      }
+      if (best_i != choice[static_cast<size_t>(v)]) {
+        choice[static_cast<size_t>(v)] = best_i;
+        improved = true;
+        for (int a = f.arc_off[static_cast<size_t>(v)]; a < f.arc_off[static_cast<size_t>(v) + 1]; ++a) {
+          dirty[static_cast<size_t>(f.arcs[static_cast<size_t>(a)].peer)] = 1;
+        }
+      }
+    }
+  }
+  return choice;
+}
+
+double ComponentValue(const FlatCore& f, const std::vector<int>& nodes,
+                      const std::vector<int>& full) {
+  double total = 0.0;
+  for (int v : nodes) {
+    total += f.unary[static_cast<size_t>(f.off[static_cast<size_t>(v)] + full[static_cast<size_t>(v)])];
+    for (int a = f.arc_off[static_cast<size_t>(v)]; a < f.arc_off[static_cast<size_t>(v) + 1]; ++a) {
+      const FlatCore::Arc& arc = f.arcs[static_cast<size_t>(a)];
+      if (arc.peer > v) {
+        total += f.ArcCost(arc, full[static_cast<size_t>(v)], full[static_cast<size_t>(arc.peer)]);
+      }
+    }
+  }
+  return total;
+}
+
+double FlatValue(const FlatCore& f, const std::vector<int>& choice) {
+  double total = 0.0;
+  for (int v = 0; v < f.n; ++v) {
+    total += f.unary[static_cast<size_t>(f.off[static_cast<size_t>(v)] + choice[static_cast<size_t>(v)])];
+    for (int a = f.arc_off[static_cast<size_t>(v)]; a < f.arc_off[static_cast<size_t>(v) + 1]; ++a) {
+      const FlatCore::Arc& arc = f.arcs[static_cast<size_t>(a)];
+      if (arc.peer > v) {
+        total += f.ArcCost(arc, choice[static_cast<size_t>(v)], choice[static_cast<size_t>(arc.peer)]);
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace alpa

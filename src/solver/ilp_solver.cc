@@ -11,6 +11,7 @@
 #include "src/solver/elimination.h"
 #include "src/solver/flat_bnb.h"
 #include "src/solver/ilp_presolve.h"
+#include "src/solver/portfolio.h"
 #include "src/support/hashing.h"
 #include "src/support/logging.h"
 #include "src/support/trace.h"
@@ -34,11 +35,17 @@ double IlpSolution::optimality_gap() const {
   if (optimal || !feasible || !std::isfinite(objective)) {
     return 0.0;
   }
+  // A relative gap is meaningless at zero or negative objectives (all-zero
+  // cost plateaus, reward-shifted test instances): dividing would produce
+  // garbage ratios or sign flips, so report 0 rather than divide.
+  if (objective <= 0.0) {
+    return 0.0;
+  }
   const double gap = objective - lower_bound;
   if (gap <= 0.0) {
     return 0.0;
   }
-  return gap / std::max(std::abs(objective), 1e-30);
+  return gap / objective;
 }
 
 void IlpProblem::Validate() const {
@@ -69,6 +76,7 @@ struct CoreEntry {
   std::vector<int> choice;  // Core-compact.
   bool aborted = false;
   bool by_elimination = false;
+  bool by_portfolio = false;
   int64_t explored = 0;
   // Core-space (clamped) lower bound from the branch & bound; only
   // meaningful when `aborted` (exact paths prove optimality instead).
@@ -157,8 +165,17 @@ void RecordOutcomeMetrics(const IlpSolution& solution) {
   static Metric* optimal = Metrics::Get("ilp/outcome/optimal");
   static Metric* aborted = Metrics::Get("ilp/outcome/aborted");
   static Metric* explored = Metrics::Get("ilp/outcome/explored");
+  static Metric* gap_sum = Metrics::Get("ilp/outcome/gap_ppm_sum");
+  static Metric* gap_max = Metrics::Get("ilp/outcome/gap_ppm_max");
   (solution.optimal ? optimal : aborted)->Add(1);
   explored->Add(solution.nodes_explored);
+  if (!solution.optimal && solution.feasible) {
+    // Gaps in parts-per-million: integral metrics, with the per-solve max
+    // surviving as the metric's high-water mark (Metrics::MaxValue).
+    const int64_t ppm = static_cast<int64_t>(std::llround(solution.optimality_gap() * 1e6));
+    gap_sum->Add(ppm);
+    gap_max->Set(ppm);
+  }
 }
 
 }  // namespace
@@ -209,6 +226,7 @@ IlpSolution IlpSolver::Solve(const IlpProblem& raw) const {
   static Metric* dp_path = Metrics::Get("ilp/path/dp");
   static Metric* elim_path = Metrics::Get("ilp/path/elim");
   static Metric* bnb_path = Metrics::Get("ilp/path/bnb");
+  static Metric* portfolio_path = Metrics::Get("ilp/path/portfolio");
   static Metric* memo_hits = Metrics::Get("ilp/core_memo/hits");
   static Metric* memo_misses = Metrics::Get("ilp/core_memo/misses");
 
@@ -256,6 +274,11 @@ IlpSolution IlpSolver::Solve(const IlpProblem& raw) const {
     hasher.U64(IlpProblemFingerprint(pre.core));
     hasher.I64(options_.max_search_nodes);
     hasher.I64(options_.max_elimination_table);
+    // Engine salt: portfolio and plain-staged searches can return different
+    // (equally valid) plans on budget aborts, so their entries must not
+    // alias. The exact key stays engine-free — elimination results are
+    // engine-independent and shared.
+    hasher.I32(static_cast<int32_t>(options_.engine));
     hasher.I32(static_cast<int32_t>(core_seeds.size()));
     for (const std::vector<int>& s : core_seeds) {
       for (int c : s) hasher.I32(c);
@@ -282,6 +305,21 @@ IlpSolution IlpSolver::Solve(const IlpProblem& raw) const {
     if (eliminated.has_value()) {
       entry.choice = std::move(*eliminated);
       entry.by_elimination = true;
+    } else if (options_.engine == IlpEngine::kPortfolio) {
+      PortfolioOptions popt;
+      popt.budget = std::max<int64_t>(1, options_.max_search_nodes);
+      popt.pool = options_.pool;
+      popt.incumbents = core_seeds;
+      const auto bnb_t0 = std::chrono::steady_clock::now();
+      PortfolioResult res = SolvePortfolio(pre.core, popt);
+      bnb_micros->Add(std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - bnb_t0)
+                          .count());
+      entry.choice = std::move(res.choice);
+      entry.aborted = res.aborted;
+      entry.explored = res.explored;
+      entry.lower_bound = res.lower_bound;
+      entry.by_portfolio = true;
     } else {
       FlatSearchOptions fopt;
       fopt.budget = std::max<int64_t>(1, options_.max_search_nodes);
@@ -306,7 +344,7 @@ IlpSolution IlpSolver::Solve(const IlpProblem& raw) const {
     }
   }
 
-  (entry.by_elimination ? elim_path : bnb_path)->Add(1);
+  (entry.by_elimination ? elim_path : (entry.by_portfolio ? portfolio_path : bnb_path))->Add(1);
   solution.choice = pre.Reconstruct(entry.choice);
   solution.objective = raw.Evaluate(solution.choice);
   solution.nodes_explored = entry.explored;
@@ -335,9 +373,12 @@ IlpSolution IlpSolver::Solve(const IlpProblem& raw) const {
   }
   solution.feasible = std::isfinite(solution.objective);
   solution.lower_bound = std::min(raw_lb, solution.objective);
-  solution.method = entry.by_elimination
-                        ? "elimination"
-                        : (entry.aborted ? "branch-and-bound(budget)" : "branch-and-bound");
+  if (entry.by_elimination) {
+    solution.method = "elimination";
+  } else {
+    const char* base = entry.by_portfolio ? "portfolio" : "branch-and-bound";
+    solution.method = entry.aborted ? std::string(base) + "(budget)" : base;
+  }
   solution.optimal = !entry.aborted && solution.feasible;
   RecordOutcomeMetrics(solution);
   return solution;

@@ -16,7 +16,11 @@
 //   3. cores whose elimination tables would blow past the cap go to a
 //      flat-memory branch & bound (src/solver/flat_bnb) with a
 //      frontier-conditioned incremental bound, regret variable ordering,
-//      and optional root-level parallel branching on a thread pool;
+//      and optional root-level parallel branching on a thread pool; under
+//      the default IlpEngine::kPortfolio, GRASP and simulated annealing
+//      (src/solver/portfolio) first spend a deterministic slice of the
+//      search budget and hand the branch & bound their best incumbent as
+//      its initial bound;
 //   4. the core assignment is reconstructed to the original space and
 //      re-evaluated on the original problem, and caller seeds are applied
 //      as a floor so a budget abort can never lose to a provided plan.
@@ -66,7 +70,8 @@ struct IlpSolution {
   bool optimal = false;     // True if proven optimal.
   bool feasible = false;    // True if objective < inf.
   int64_t nodes_explored = 0;
-  std::string method;       // "dp-forest", "elimination", "branch-and-bound", "beam".
+  std::string method;       // "dp-forest", "elimination", "branch-and-bound",
+                            // "portfolio", "beam"; "(budget)" suffix on aborts.
   // Proven lower bound on the optimal objective (anytime contract):
   // equals `objective` when optimal; on a budget abort it comes from the
   // branch & bound's unexplored-subtree bounds (or a static matrix-minima
@@ -78,8 +83,14 @@ struct IlpSolution {
 };
 
 enum class IlpEngine {
-  kStaged,  // Presolve + component DP folding + flat branch & bound.
-  kLegacy,  // Pre-overhaul single-stage solver, kept for cross-checks.
+  kStaged,     // Presolve + component DP folding + flat branch & bound.
+  kLegacy,     // Pre-overhaul single-stage solver, kept for cross-checks.
+  kPortfolio,  // Staged pipeline, but residual cores that reach the branch
+               // & bound first run GRASP + simulated annealing on a
+               // deterministic budget slice and hand the search their best
+               // incumbent as a shared bound (src/solver/portfolio). Exact
+               // results are identical to kStaged; budget aborts return
+               // the portfolio's best incumbent plus a proven gap.
 };
 
 struct IlpSolverOptions {
@@ -96,9 +107,11 @@ struct IlpSolverOptions {
   int64_t max_search_nodes = 300'000;
   // Beam width for the legacy engine's fallback polish.
   int beam_width = 64;
-  // Which solver core to run. kStaged is the default; kLegacy exists for
-  // the randomized cross-check suite and A/B benchmarking.
-  IlpEngine engine = IlpEngine::kStaged;
+  // Which solver core to run. kPortfolio is the default (it only differs
+  // from kStaged on budget-constrained cores, where the metaheuristic
+  // incumbent bound prunes the search); kLegacy exists for the randomized
+  // cross-check suite and A/B benchmarking.
+  IlpEngine engine = IlpEngine::kPortfolio;
   // Optional pool for root-level parallel branching in the staged engine.
   // Plans are bit-identical with or without it (per-branch budget slices
   // and a deterministic reduce); null means serial.

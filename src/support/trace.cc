@@ -387,6 +387,13 @@ int64_t Metrics::Value(const std::string& name) {
   return it == state.metrics.end() ? 0 : it->second->value();
 }
 
+int64_t Metrics::MaxValue(const std::string& name) {
+  MetricsState& state = MetricsStateSingleton();
+  std::lock_guard<std::mutex> lock(state.mu);
+  const auto it = state.metrics.find(name);
+  return it == state.metrics.end() ? 0 : it->second->max_value();
+}
+
 std::string Metrics::SummaryText() {
   MetricsState& state = MetricsStateSingleton();
   std::lock_guard<std::mutex> lock(state.mu);

@@ -177,6 +177,8 @@ class Metrics {
   static Metric* Get(const std::string& name);
   // Current value, 0 for never-touched metrics.
   static int64_t Value(const std::string& name);
+  // High-water mark since the last Reset(), 0 for never-touched metrics.
+  static int64_t MaxValue(const std::string& name);
   // "name = value (max N)" lines, sorted by name; "" when empty.
   static std::string SummaryText();
   // `"name":value` pairs for embedding in a JSON object body.

@@ -1,0 +1,292 @@
+// The solver portfolio (GRASP + simulated annealing racing the flat branch
+// & bound): exactness on small instances, determinism for any thread count
+// and across reruns, incumbent sharing (the metaheuristic bound must prune
+// the exact search), and the anytime abort contract end to end.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/inter/inter_pass.h"
+#include "src/intra/ilp_cache.h"
+#include "src/models/gpt.h"
+#include "src/solver/anneal.h"
+#include "src/solver/flat_bnb.h"
+#include "src/solver/flat_core.h"
+#include "src/solver/grasp.h"
+#include "src/solver/ilp_solver.h"
+#include "src/solver/portfolio.h"
+#include "src/support/rng.h"
+#include "src/support/thread_pool.h"
+
+namespace alpa {
+namespace {
+
+// Exhaustive brute force for small problems.
+double BruteForce(const IlpProblem& problem) {
+  std::vector<int> choice(static_cast<size_t>(problem.num_nodes()), 0);
+  double best = kInfCost;
+  while (true) {
+    best = std::min(best, problem.Evaluate(choice));
+    int i = 0;
+    while (i < problem.num_nodes()) {
+      if (++choice[static_cast<size_t>(i)] < problem.num_choices(i)) {
+        break;
+      }
+      choice[static_cast<size_t>(i)] = 0;
+      ++i;
+    }
+    if (i == problem.num_nodes()) {
+      break;
+    }
+  }
+  return best;
+}
+
+IlpProblem RandomProblem(Rng& rng, int nodes, int max_choices, double edge_prob) {
+  IlpProblem problem;
+  problem.node_costs.resize(static_cast<size_t>(nodes));
+  for (int v = 0; v < nodes; ++v) {
+    const int k = 1 + static_cast<int>(rng.NextBounded(static_cast<uint64_t>(max_choices)));
+    for (int i = 0; i < k; ++i) {
+      problem.node_costs[static_cast<size_t>(v)].push_back(rng.NextDouble(0, 10));
+    }
+  }
+  for (int u = 0; u < nodes; ++u) {
+    for (int v = u + 1; v < nodes; ++v) {
+      if (rng.NextDouble() > edge_prob) {
+        continue;
+      }
+      IlpProblem::Edge edge;
+      edge.u = u;
+      edge.v = v;
+      edge.cost.resize(problem.node_costs[static_cast<size_t>(u)].size());
+      for (auto& row : edge.cost) {
+        for (size_t j = 0; j < problem.node_costs[static_cast<size_t>(v)].size(); ++j) {
+          row.push_back(rng.NextDouble(0, 5));
+        }
+      }
+      problem.edges.push_back(std::move(edge));
+    }
+  }
+  return problem;
+}
+
+// The abort-prone instance from the flat branch & bound's budget
+// redistribution tests: dense enough that tight budgets genuinely bind.
+IlpProblem AbortProneProblem() {
+  Rng rng(45);
+  return RandomProblem(rng, 14, 5, 0.8);
+}
+
+TEST(Grasp, ConstructionsAreFeasibleAndDeterministic) {
+  const IlpProblem problem = AbortProneProblem();
+  const FlatCore f = BuildFlatCore(problem);
+  GraspOptions options;
+  options.restarts = 8;
+  const GraspResult serial = RunGrasp(f, options);
+  ASSERT_TRUE(serial.feasible);
+  ASSERT_EQ(static_cast<int>(serial.choice.size()), f.n);
+  EXPECT_EQ(serial.restarts_run, 8);
+  EXPECT_GT(serial.evaluations, 0);
+  // ICM-polished: no single-node move may improve the construction.
+  EXPECT_EQ(FlatIcm(f, serial.choice), serial.choice);
+
+  ThreadPool pool(4);
+  GraspOptions pooled = options;
+  pooled.pool = &pool;
+  const GraspResult parallel = RunGrasp(f, pooled);
+  EXPECT_EQ(parallel.choice, serial.choice);
+  EXPECT_EQ(parallel.objective, serial.objective);
+}
+
+TEST(Anneal, NeverLosesToItsStartAndIsDeterministic) {
+  const IlpProblem problem = AbortProneProblem();
+  const FlatCore f = BuildFlatCore(problem);
+  const std::vector<int> start = FlatIcm(f, ArgminStart(f));
+  const double start_value = FlatValue(f, start);
+
+  AnnealOptions options;
+  options.chains = 4;
+  options.steps_per_chain = 5'000;
+  const AnnealResult serial = RunAnneal(f, start, options);
+  ASSERT_TRUE(serial.feasible);
+  EXPECT_LE(serial.objective, start_value);
+  EXPECT_EQ(serial.steps, 4 * 5'000);
+  // The recorded objective must be the exact value of the recorded
+  // assignment (no incremental-delta drift).
+  EXPECT_EQ(FlatValue(f, serial.choice), serial.objective);
+
+  ThreadPool pool(4);
+  AnnealOptions pooled = options;
+  pooled.pool = &pool;
+  const AnnealResult parallel = RunAnneal(f, start, pooled);
+  EXPECT_EQ(parallel.choice, serial.choice);
+  EXPECT_EQ(parallel.objective, serial.objective);
+}
+
+TEST(Portfolio, MatchesBruteForceOnSmallRandomInstances) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    const IlpProblem problem = RandomProblem(rng, 8, 3, 0.5);
+    IlpSolverOptions options;
+    options.engine = IlpEngine::kPortfolio;
+    options.max_elimination_table = 0;  // Force the search path.
+    options.use_core_memo = false;
+    const IlpSolution solution = IlpSolver(options).Solve(problem);
+    ASSERT_TRUE(solution.optimal) << "seed " << seed;
+    EXPECT_DOUBLE_EQ(solution.objective, BruteForce(problem)) << "seed " << seed;
+    EXPECT_DOUBLE_EQ(solution.lower_bound, solution.objective) << "seed " << seed;
+  }
+}
+
+TEST(Portfolio, DeterministicAcrossThreadCountsAndReruns) {
+  const IlpProblem problem = AbortProneProblem();
+  PortfolioOptions options;
+  options.budget = 20'000;  // Abort-prone: the full search needs more.
+  const PortfolioResult serial = SolvePortfolio(problem, options);
+  ASSERT_TRUE(serial.feasible);
+
+  const PortfolioResult rerun = SolvePortfolio(problem, options);
+  EXPECT_EQ(rerun.choice, serial.choice);
+  EXPECT_EQ(rerun.objective, serial.objective);
+  EXPECT_EQ(rerun.lower_bound, serial.lower_bound);
+  EXPECT_EQ(rerun.explored, serial.explored);
+
+  for (const int threads : {2, 4}) {
+    ThreadPool pool(threads);
+    PortfolioOptions pooled = options;
+    pooled.pool = &pool;
+    const PortfolioResult parallel = SolvePortfolio(problem, pooled);
+    EXPECT_EQ(parallel.choice, serial.choice) << threads << " threads";
+    EXPECT_EQ(parallel.objective, serial.objective) << threads << " threads";
+    EXPECT_EQ(parallel.lower_bound, serial.lower_bound) << threads << " threads";
+    EXPECT_EQ(parallel.explored, serial.explored) << threads << " threads";
+    EXPECT_EQ(parallel.aborted, serial.aborted) << threads << " threads";
+  }
+}
+
+// Incumbent sharing, measured: handing the metaheuristic incumbent to the
+// exact search as its initial bound must strictly reduce the nodes the
+// search explores to prove the same optimum.
+TEST(Portfolio, SharedIncumbentBoundPrunesTheExactSearch) {
+  const IlpProblem problem = AbortProneProblem();
+  const FlatCore f = BuildFlatCore(problem);
+
+  FlatSearchOptions plain;
+  plain.budget = 100'000'000;
+  const FlatSearchResult unaided = SolveCoreOnFlat(f, plain);
+  ASSERT_FALSE(unaided.aborted);
+  ASSERT_GT(unaided.explored, 1000);  // Non-trivial search.
+
+  GraspOptions gopt;
+  gopt.restarts = 16;
+  const GraspResult grasp = RunGrasp(f, gopt);
+  ASSERT_TRUE(grasp.feasible);
+  AnnealOptions aopt;
+  aopt.steps_per_chain = 10'000;
+  const AnnealResult sa = RunAnneal(f, grasp.choice, aopt);
+  ASSERT_LE(sa.objective, grasp.objective);
+
+  FlatSearchOptions bounded = plain;
+  bounded.incumbents.push_back(sa.choice);
+  const FlatSearchResult aided = SolveCoreOnFlat(f, bounded);
+  ASSERT_FALSE(aided.aborted);
+  // Same optimum, but the aided run may return the incumbent's value, which
+  // is summed in a different order than the search's accumulation — ULP
+  // equality, not bitwise (bitwise only holds along identical code paths).
+  EXPECT_DOUBLE_EQ(aided.objective, unaided.objective);
+  EXPECT_LT(aided.explored, unaided.explored);
+}
+
+// End-to-end anytime contract through IlpSolver: a starved portfolio solve
+// returns the best incumbent plus a real, bracketed optimality gap.
+TEST(Portfolio, AbortReturnsIncumbentAndGap) {
+  const IlpProblem problem = AbortProneProblem();
+
+  IlpSolverOptions unbounded;
+  unbounded.engine = IlpEngine::kStaged;
+  unbounded.max_elimination_table = 0;
+  unbounded.use_core_memo = false;
+  unbounded.max_search_nodes = 100'000'000;
+  const IlpSolution full = IlpSolver(unbounded).Solve(problem);
+  ASSERT_TRUE(full.optimal);
+
+  IlpSolverOptions starved;
+  starved.engine = IlpEngine::kPortfolio;
+  starved.max_elimination_table = 0;
+  starved.use_core_memo = false;
+  starved.max_search_nodes = full.nodes_explored / 8;
+  const IlpSolution anytime = IlpSolver(starved).Solve(problem);
+  ASSERT_TRUE(anytime.feasible);
+  if (anytime.optimal) {
+    // The metaheuristic bound can let the starved search finish outright;
+    // then the gap must be closed exactly.
+    EXPECT_EQ(anytime.method, "portfolio");
+    EXPECT_DOUBLE_EQ(anytime.objective, full.objective);
+    EXPECT_DOUBLE_EQ(anytime.optimality_gap(), 0.0);
+  } else {
+    EXPECT_EQ(anytime.method, "portfolio(budget)");
+    EXPECT_LE(anytime.lower_bound, full.objective);
+    EXPECT_GE(anytime.objective, full.objective);
+    EXPECT_GE(anytime.optimality_gap(), 0.0);
+    EXPECT_LT(anytime.optimality_gap(), 1.0);
+  }
+}
+
+// A portfolio solve under the default engine must agree with the staged
+// engine wherever both prove optimality.
+TEST(Portfolio, AgreesWithStagedWhenBothOptimal) {
+  for (uint64_t seed = 20; seed <= 26; ++seed) {
+    Rng rng(seed);
+    const IlpProblem problem = RandomProblem(rng, 12, 4, 0.4);
+    IlpSolverOptions options;
+    options.max_elimination_table = 0;
+    options.use_core_memo = false;
+    options.engine = IlpEngine::kStaged;
+    const IlpSolution staged = IlpSolver(options).Solve(problem);
+    options.engine = IlpEngine::kPortfolio;
+    const IlpSolution portfolio = IlpSolver(options).Solve(problem);
+    ASSERT_EQ(staged.optimal, portfolio.optimal) << "seed " << seed;
+    if (staged.optimal) {
+      EXPECT_DOUBLE_EQ(staged.objective, portfolio.objective) << "seed " << seed;
+    }
+  }
+}
+
+// Compile-level determinism under the default (portfolio) engine with a
+// starved budget, so the metaheuristic rounds genuinely run: 1 and 4
+// compile threads must produce PlanEquals-identical plans.
+TEST(Portfolio, CompiledPlanIdenticalAcrossThreadCounts) {
+  GptConfig config;
+  config.hidden = 128;
+  config.num_layers = 2;
+  config.num_heads = 4;
+  config.microbatch = 2;
+  config.seq_len = 64;
+  config.vocab = 512;
+  const ClusterSpec cluster = ClusterSpec::AwsP3(1, 2);
+  InterOpOptions options;
+  options.num_microbatches = 4;
+  options.target_layers = 2;
+  options.profiler.intra.solver.engine = IlpEngine::kPortfolio;
+  options.profiler.intra.solver.max_search_nodes = 5'000;
+
+  IlpMemoCache::Global().Clear();
+  Graph serial_graph = BuildGpt(config);
+  options.compile_threads = 1;
+  const CompiledPipeline serial = RunInterOpPass(serial_graph, cluster, options);
+
+  IlpMemoCache::Global().Clear();
+  Graph parallel_graph = BuildGpt(config);
+  options.compile_threads = 4;
+  const CompiledPipeline parallel = RunInterOpPass(parallel_graph, cluster, options);
+
+  ASSERT_TRUE(serial.feasible);
+  ASSERT_TRUE(parallel.feasible);
+  EXPECT_TRUE(PlanEquals(serial, parallel));
+  EXPECT_EQ(serial.dp_latency, parallel.dp_latency);
+}
+
+}  // namespace
+}  // namespace alpa

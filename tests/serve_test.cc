@@ -322,10 +322,20 @@ TEST_F(ServeTest, AnytimeTightBudgetReturnsFeasiblePlanWithGap) {
 
   // Force the stage ILPs down the branch-and-bound path with a budget far
   // too small to prove optimality: the server must still return the best
-  // incumbent found, with an honest optimality gap — not abort.
+  // incumbent found, with an honest optimality gap — not abort. The model
+  // is wider than SlowRequest's: diffusion-tightened bounds close the
+  // small GPT's stage cores at any budget that still yields a plan.
   PlanRequest request = SlowRequest("anytime");
+  GptConfig hard;
+  hard.hidden = 1024;
+  hard.num_layers = 8;
+  hard.num_heads = 16;
+  hard.microbatch = 4;
+  hard.seq_len = 128;
+  hard.vocab = 1024;
+  request.graph = BuildGpt(hard);
   request.options.use_plan_cache = false;
-  request.options.max_search_nodes = 200;
+  request.options.max_search_nodes = 20;
   request.options.max_elimination_table = 0;  // Disable exact elimination.
   const StatusOr<ServeResponse> response =
       client.Call([&] {
@@ -350,6 +360,7 @@ TEST_F(ServeTest, AnytimeTightBudgetReturnsFeasiblePlanWithGap) {
   // An unconstrained compile of the same model proves optimality and
   // reports a zero gap — and its plan is at least as good.
   PlanRequest exact = SlowRequest("anytime");
+  exact.graph = BuildGpt(hard);
   exact.options.use_plan_cache = false;
   const StatusOr<ParallelPlan> exact_plan = client.Parallelize(exact);
   ASSERT_TRUE(exact_plan.ok());

@@ -209,5 +209,54 @@ TEST(SolverCrossCheck, StagedSolvesDisconnectedComponentsExactly) {
   }
 }
 
+TEST(SolverCrossCheck, PortfolioMatchesStagedOnRandomProblems) {
+  // The portfolio engine only adds incumbents to the exact search, so
+  // wherever both engines prove optimality the unique optimum (continuous
+  // random costs) must come back bit-identical.
+  Rng rng(8686);
+  int compared = 0;
+  for (int trial = 0; trial < 150; ++trial) {
+    const int nodes = 2 + static_cast<int>(rng.NextBounded(10));
+    const double edge_prob = rng.NextDouble(0.1, 0.7);
+    const double inf_prob = trial % 5 == 0 ? 0.1 : 0.0;
+    const IlpProblem problem = RandomProblem(rng, nodes, 4, edge_prob, inf_prob);
+    const IlpSolution staged = SolveWith(problem, IlpEngine::kStaged);
+    const IlpSolution portfolio = SolveWith(problem, IlpEngine::kPortfolio);
+    EXPECT_EQ(staged.feasible, portfolio.feasible) << trial;
+    if (staged.optimal && portfolio.optimal && staged.feasible) {
+      EXPECT_NEAR(staged.objective, portfolio.objective, 1e-9) << "trial " << trial;
+      EXPECT_EQ(staged.choice, portfolio.choice) << "trial " << trial;
+      ++compared;
+    }
+    if (portfolio.feasible) {
+      EXPECT_NEAR(portfolio.objective, problem.Evaluate(portfolio.choice), 1e-9) << trial;
+    }
+  }
+  EXPECT_GT(compared, 100);
+}
+
+TEST(SolverCrossCheck, PortfolioPoolDoesNotChangeTheSolution) {
+  Rng rng(929);
+  ThreadPool pool(4);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int nodes = 6 + static_cast<int>(rng.NextBounded(8));
+    const IlpProblem problem = RandomProblem(rng, nodes, 4, 0.6, trial % 3 == 0 ? 0.1 : 0.0);
+    IlpSolverOptions serial_options;
+    serial_options.engine = IlpEngine::kPortfolio;
+    serial_options.use_core_memo = false;
+    serial_options.max_elimination_table = 0;  // Keep the race on the B&B path.
+    serial_options.max_search_nodes = 8'192;   // Abort-prone on the dense trials.
+    IlpSolverOptions pooled_options = serial_options;
+    pooled_options.pool = &pool;
+    const IlpSolution serial = IlpSolver(serial_options).Solve(problem);
+    const IlpSolution parallel = IlpSolver(pooled_options).Solve(problem);
+    ASSERT_EQ(serial.choice, parallel.choice) << "trial " << trial;
+    EXPECT_EQ(serial.objective, parallel.objective) << trial;  // Bitwise.
+    EXPECT_EQ(serial.optimal, parallel.optimal) << trial;
+    EXPECT_EQ(serial.nodes_explored, parallel.nodes_explored) << trial;
+    EXPECT_EQ(serial.lower_bound, parallel.lower_bound) << trial;
+  }
+}
+
 }  // namespace
 }  // namespace alpa

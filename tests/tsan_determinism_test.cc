@@ -12,13 +12,77 @@
 #include <cstdio>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "src/inter/inter_pass.h"
 #include "src/intra/ilp_cache.h"
 #include "src/models/gpt.h"
+#include "src/solver/portfolio.h"
+#include "src/support/rng.h"
+#include "src/support/thread_pool.h"
 #include "src/support/trace.h"
 
 namespace {
+
+// The abort-prone instance from the flat branch & bound's redistribution
+// tests: dense enough that every portfolio round does real work.
+alpa::IlpProblem AbortProneProblem() {
+  alpa::Rng rng(45);
+  alpa::IlpProblem problem;
+  const int nodes = 14;
+  problem.node_costs.resize(nodes);
+  for (int v = 0; v < nodes; ++v) {
+    const int k = 1 + static_cast<int>(rng.NextBounded(5));
+    for (int i = 0; i < k; ++i) {
+      problem.node_costs[v].push_back(rng.NextDouble(0, 10));
+    }
+  }
+  for (int u = 0; u < nodes; ++u) {
+    for (int v = u + 1; v < nodes; ++v) {
+      if (rng.NextDouble() > 0.8) {
+        continue;
+      }
+      alpa::IlpProblem::Edge edge;
+      edge.u = u;
+      edge.v = v;
+      edge.cost.resize(problem.node_costs[u].size());
+      for (auto& row : edge.cost) {
+        for (size_t j = 0; j < problem.node_costs[v].size(); ++j) {
+          row.push_back(rng.NextDouble(0, 5));
+        }
+      }
+      problem.edges.push_back(edge);
+    }
+  }
+  return problem;
+}
+
+// Races GRASP restarts, annealing chains, and root-parallel branch & bound
+// over the pool under TSan, and checks the 4-thread result is bit-identical
+// to the serial one. Returns false on any divergence.
+bool CheckPortfolioRace() {
+  const alpa::IlpProblem problem = AbortProneProblem();
+  alpa::PortfolioOptions options;
+  options.budget = 20'000;  // Abort-prone: the full search needs more.
+  const alpa::PortfolioResult serial = alpa::SolvePortfolio(problem, options);
+
+  alpa::ThreadPool pool(4);
+  alpa::PortfolioOptions pooled = options;
+  pooled.pool = &pool;
+  const alpa::PortfolioResult parallel = alpa::SolvePortfolio(problem, pooled);
+
+  if (!serial.feasible || !parallel.feasible) {
+    std::fprintf(stderr, "FAIL: portfolio infeasible (serial=%d parallel=%d)\n",
+                 serial.feasible, parallel.feasible);
+    return false;
+  }
+  if (serial.choice != parallel.choice || serial.objective != parallel.objective ||
+      serial.lower_bound != parallel.lower_bound || serial.explored != parallel.explored) {
+    std::fprintf(stderr, "FAIL: portfolio result differs across thread counts\n");
+    return false;
+  }
+  return true;
+}
 
 // Multiset of "category/name(args)" for compile-category spans. Pool-category
 // spans ("pool_task", "profiling_sweep") vary with the thread count by
@@ -37,6 +101,9 @@ std::map<std::string, int> CompileSpanSet() {
 
 int main() {
   using namespace alpa;
+  if (!CheckPortfolioRace()) {
+    return 1;
+  }
   GptConfig config;
   config.hidden = 128;
   config.num_layers = 2;
