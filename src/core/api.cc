@@ -148,9 +148,15 @@ PipelineSimInput BuildPipelineSimInput(const CompiledPipeline& pipeline,
   // the simulated execution of the finished plan.
   input.faults = cluster.faults;
   input.devices_per_host = cluster.devices_per_host;
+  const bool hetero = cluster.heterogeneous();
   for (size_t s = 0; s < stages.size(); ++s) {
     const CompiledStage& stage = stages[s];
     input.stage_devices.push_back(stage.device_ids);
+    if (hetero) {
+      // Mixed generations: each stage is bounded by the tightest device its
+      // placement spans, not the reference capacity.
+      input.stage_memory_bytes.push_back(PlacementMemoryBytes(cluster, stage.placement));
+    }
     StageExecProfile profile;
     profile.t_forward = stage.t_forward;
     profile.t_backward = stage.t_backward;
@@ -231,10 +237,14 @@ StatusOr<ExecutionStats> Simulate(const ParallelPlan& plan, const Graph& graph,
     const double peak = sim.first_oom_stage >= 0
                             ? sim.stage_peak_bytes[static_cast<size_t>(sim.first_oom_stage)]
                             : stats.peak_memory_bytes;
+    const size_t oom_stage = static_cast<size_t>(std::max(sim.first_oom_stage, 0));
+    const double capacity = oom_stage < plan.sim_input.stage_memory_bytes.size()
+                                ? plan.sim_input.stage_memory_bytes[oom_stage]
+                                : plan.sim_input.device_memory_bytes;
     return Status::ResourceExhausted(
         StrFormat("stage %d exceeds device memory: peak %s > capacity %s",
                   sim.first_oom_stage, HumanBytes(peak).c_str(),
-                  HumanBytes(plan.sim_input.device_memory_bytes).c_str()));
+                  HumanBytes(capacity).c_str()));
   }
   return stats;
 }
@@ -268,14 +278,48 @@ StatusOr<RepairResult> RepairPlan(Graph& graph, const ClusterSpec& cluster,
   }
   TraceSpan span("repair_plan");
 
+  // Every host carrying a permanent device failure is as gone as the failed
+  // host — a submesh containing one can never finish an iteration, and
+  // submeshes span whole hosts (5.2), so dead hosts drop at host
+  // granularity. A scenario that kills every host leaves zero feasible
+  // submeshes and must be rejected, not compiled for a phantom cluster.
+  std::vector<bool> host_dead(static_cast<size_t>(cluster.num_hosts), false);
+  host_dead[static_cast<size_t>(options.failed_host)] = true;
+  for (const DeviceFailure& failure : cluster.faults.device_failures) {
+    const int host = failure.device / std::max(cluster.devices_per_host, 1);
+    if (host < 0 || host >= cluster.num_hosts) {
+      return Status::InvalidArgument(
+          StrFormat("fault scenario names device %d outside the cluster's %d devices",
+                    failure.device, cluster.num_devices()));
+    }
+    host_dead[static_cast<size_t>(host)] = true;
+  }
+  const int remaining_hosts =
+      cluster.num_hosts -
+      static_cast<int>(std::count(host_dead.begin(), host_dead.end(), true));
+  if (remaining_hosts == 0) {
+    return Status::InvalidArgument(
+        "fault scenario leaves zero feasible submeshes: every host is lost "
+        "(failed_host plus permanent device failures cover the whole cluster)");
+  }
+
   RepairResult result;
-  // The cluster is homogeneous, so which host died does not change the
-  // shrunk shape — only that one fewer host remains. The repaired job runs
-  // on the survivors with the fault scenario consumed (the failure already
-  // happened; transient-fault fields would double-charge the repaired run).
+  // The repaired job runs on the survivors with the fault scenario consumed
+  // (the failures already happened; transient-fault fields would
+  // double-charge the repaired run). On a homogeneous cluster only the
+  // count matters; mixed-generation clusters also keep the surviving
+  // hosts' generations in order.
   result.shrunk_cluster = cluster;
-  result.shrunk_cluster.num_hosts = cluster.num_hosts - 1;
+  result.shrunk_cluster.num_hosts = remaining_hosts;
   result.shrunk_cluster.faults = FaultSpec{};
+  if (!cluster.host_devices.empty()) {
+    result.shrunk_cluster.host_devices.clear();
+    for (int h = 0; h < cluster.num_hosts; ++h) {
+      if (!host_dead[static_cast<size_t>(h)]) {
+        result.shrunk_cluster.host_devices.push_back(cluster.host_device(h));
+      }
+    }
+  }
 
   ParallelizeOptions opts = parallelize_options;
   opts.trace_path.clear();  // The caller's trace flushes once, at the end.

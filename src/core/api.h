@@ -232,10 +232,14 @@ struct RepairResult {
   std::string ToString() const;
 };
 
-// Drops `options.failed_host` from `cluster`, recompiles `graph` for the
-// remaining hosts, and prices the recovery. Errors: kInvalidArgument
-// (failed_host out of range), kInfeasible (single-host cluster, or no plan
-// fits the shrunk cluster), kResourceExhausted (the shrunk plan OOMs).
+// Drops `options.failed_host` — plus every host named (via its devices)
+// by `cluster.faults.device_failures` — from `cluster`, recompiles `graph`
+// for the remaining hosts, and prices the recovery. Surviving hosts keep
+// their per-host device overrides. Errors: kInvalidArgument (failed_host
+// or a fault device out of range, or the fault scenario leaves ZERO
+// feasible submeshes — every host lost), kInfeasible (single-host cluster,
+// or no plan fits the shrunk cluster), kResourceExhausted (the shrunk
+// plan OOMs).
 StatusOr<RepairResult> RepairPlan(Graph& graph, const ClusterSpec& cluster,
                                   const ParallelizeOptions& parallelize_options,
                                   const RepairOptions& options);

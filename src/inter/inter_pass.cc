@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <functional>
+#include <map>
 #include <memory>
+#include <utility>
 
+#include "src/mesh/device_mesh.h"
 #include "src/support/logging.h"
 #include "src/support/strings.h"
 #include "src/support/thread_pool.h"
@@ -150,6 +154,79 @@ StageDpResult SolveEqualLayer(int num_layers, int num_microbatches, const Cluste
   return best;
 }
 
+// The Eq. 2 effective cost of a stage: per-microbatch latency plus the
+// amortized once-per-iteration work.
+double EffectiveLatency(const StageProfile& p, int num_microbatches) {
+  return p.t_intra + p.t_per_iteration / static_cast<double>(num_microbatches);
+}
+
+// Per-device bytes stage `s` (0-based, of `num_stages`) holds at the 1F1B
+// peak: weights + (num_stages - s) in-flight activations + workspace.
+double StagePeakBytes(const StageProfile& p, int s, int num_stages) {
+  return p.weight_bytes + (num_stages - s) * p.act_bytes_per_microbatch + p.work_bytes;
+}
+
+// True when every stage fits its placement's ACTUAL device memory (the DP
+// checked against the reference generation only).
+bool PlacementsMemoryFeasible(const ClusterSpec& cluster,
+                              const std::vector<StageProfile>& profiles,
+                              const std::vector<MeshPlacement>& placements) {
+  const int num_stages = static_cast<int>(placements.size());
+  for (int s = 0; s < num_stages; ++s) {
+    const StageProfile& p = profiles[static_cast<size_t>(s)];
+    if (StagePeakBytes(p, s, num_stages) >
+        PlacementMemoryBytes(cluster, placements[static_cast<size_t>(s)])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Reassigns placements among the stages that share a submesh shape (such
+// placements are interchangeable under Theorem 1's covering): the stage
+// with the largest `stage_key` gets the placement with the smallest
+// `placement_key` within each shape group. Fully deterministic: stable
+// sorts keyed on values derived from the (deterministic) DP output, with
+// placement ties broken by cluster position.
+void MatchPlacements(const std::vector<SubmeshShape>& chosen_shapes,
+                     const std::function<double(size_t)>& stage_key,
+                     const std::function<double(const MeshPlacement&)>& placement_key,
+                     std::vector<MeshPlacement>* placements) {
+  std::map<std::pair<int, int>, std::vector<size_t>> groups;
+  for (size_t s = 0; s < chosen_shapes.size(); ++s) {
+    const SubmeshShape& shape = chosen_shapes[s];
+    groups[{shape.num_hosts, shape.devices_per_host}].push_back(s);
+  }
+  for (auto& [shape, members] : groups) {
+    if (members.size() < 2) {
+      continue;
+    }
+    std::vector<size_t> order = members;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](size_t a, size_t b) { return stage_key(a) > stage_key(b); });
+    std::vector<MeshPlacement> slots;
+    slots.reserve(members.size());
+    for (size_t s : members) {
+      slots.push_back((*placements)[s]);
+    }
+    std::stable_sort(slots.begin(), slots.end(),
+                     [&](const MeshPlacement& a, const MeshPlacement& b) {
+                       const double ka = placement_key(a);
+                       const double kb = placement_key(b);
+                       if (ka != kb) {
+                         return ka < kb;
+                       }
+                       if (a.host_begin != b.host_begin) {
+                         return a.host_begin < b.host_begin;
+                       }
+                       return a.device_begin < b.device_begin;
+                     });
+    for (size_t i = 0; i < order.size(); ++i) {
+      (*placements)[order[i]] = slots[i];
+    }
+  }
+}
+
 }  // namespace
 
 CompiledPipeline RunInterOpPass(Graph& graph, const ClusterSpec& cluster,
@@ -264,6 +341,51 @@ CompiledPipeline RunInterOpPass(Graph& graph, const ClusterSpec& cluster,
   auto placements = CoverCluster(cluster, chosen_shapes);
   ALPA_CHECK(placements.has_value()) << "Theorem 1 violated by DP output";
 
+  // Fetch the chosen stages' profiles once; the heterogeneity permutation
+  // and the materialization below must read identical numbers.
+  std::vector<StageProfile> stage_profiles;
+  stage_profiles.reserve(dp.stages.size());
+  for (const StageAssignment& assignment : dp.stages) {
+    stage_profiles.push_back(
+        profile_fn(assignment.layer_begin, assignment.layer_end, assignment.shape_index));
+  }
+
+  // --- Heterogeneity-aware placement assignment. The DP priced every stage
+  // on the REFERENCE generation; on a mixed-generation cluster the covering
+  // placements differ in actual speed, so reassign same-shape placements
+  // to put the slowest stages on the fastest meshes (rearrangement
+  // inequality: minimizes both the Eq. 2 sum and its max term). ---
+  const bool hetero = cluster.heterogeneous();
+  const Precision precision = profiler_options.intra.precision;
+  const int num_stages = static_cast<int>(dp.stages.size());
+  if (hetero && options.hetero_aware) {
+    MatchPlacements(
+        chosen_shapes,
+        [&](size_t s) { return EffectiveLatency(stage_profiles[s], options.num_microbatches); },
+        [&](const MeshPlacement& p) { return PlacementTimeScale(cluster, p, precision); },
+        &*placements);
+    if (!PlacementsMemoryFeasible(cluster, stage_profiles, *placements)) {
+      // Feasibility beats speed: biggest stages onto the roomiest meshes.
+      MatchPlacements(
+          chosen_shapes,
+          [&](size_t s) {
+            return StagePeakBytes(stage_profiles[s], static_cast<int>(s), num_stages);
+          },
+          [&](const MeshPlacement& p) { return -PlacementMemoryBytes(cluster, p); },
+          &*placements);
+    }
+  }
+  if (hetero && !PlacementsMemoryFeasible(cluster, stage_profiles, *placements)) {
+    fill_profiler_stats();
+    pipeline.stats.total_seconds = NowSeconds() - t_start;
+    pipeline.infeasible_reason = StrFormat(
+        "no placement assignment fits the mixed-generation cluster's per-host "
+        "device memory (%d stages; the DP sized stages for the reference "
+        "generation's %s)",
+        num_stages, HumanBytes(cluster.device.memory_bytes).c_str());
+    return pipeline;
+  }
+
   // Per-stage: logical shape, latency split, memory, boundary tensors.
   std::vector<int> stage_of_layer(static_cast<size_t>(num_layers), -1);
   for (size_t s = 0; s < dp.stages.size(); ++s) {
@@ -279,12 +401,16 @@ CompiledPipeline RunInterOpPass(Graph& graph, const ClusterSpec& cluster,
       }
     }
     stage.logical_shape = profiler.variants()[static_cast<size_t>(assignment.shape_index)].logical;
-    // Through profile_fn — not profiler.Profile directly — so a
+    // Prefetched through profile_fn — not profiler.Profile directly — so a
     // ProfileSource override shapes the materialized stage exactly as it
     // shaped the DP's costs.
-    const StageProfile profile =
-        profile_fn(assignment.layer_begin, assignment.layer_end, assignment.shape_index);
-    stage.t_intra = profile.t_intra;
+    const StageProfile& profile = stage_profiles[s];
+    // Profiles price the reference generation; stretch (or shrink) compute
+    // by the placement's actual generation. Gradient sync rides the
+    // interconnect, which heterogeneity leaves untouched.
+    const double time_scale =
+        hetero ? PlacementTimeScale(cluster, stage.placement, precision) : 1.0;
+    stage.t_intra = profile.t_intra * time_scale;
     stage.t_per_iteration = profile.t_per_iteration;
     stage.weight_bytes = profile.weight_bytes;
     stage.act_bytes_per_microbatch = profile.act_bytes_per_microbatch;
@@ -406,6 +532,20 @@ CompiledPipeline RunInterOpPass(Graph& graph, const ClusterSpec& cluster,
   }
 
   pipeline.feasible = true;
+  if (hetero) {
+    // Re-derive Eq. 2 from the scaled stage latencies: the DP's value
+    // priced every stage on the reference generation.
+    double latency_sum = 0.0;
+    double max_latency = 0.0;
+    for (const CompiledStage& stage : pipeline.stages) {
+      const double t_eff =
+          stage.t_intra + stage.t_per_iteration / static_cast<double>(options.num_microbatches);
+      latency_sum += t_eff;
+      max_latency = std::max(max_latency, t_eff);
+    }
+    dp.total_latency = latency_sum + (options.num_microbatches - 1) * max_latency;
+    dp.max_stage_latency = max_latency;
+  }
   pipeline.dp_latency = dp.total_latency;
   pipeline.max_stage_latency = dp.max_stage_latency;
   fill_profiler_stats();

@@ -47,6 +47,17 @@ struct InterOpOptions {
   // owned; must outlive the pass. Must be thread-safe when
   // compile_threads != 1.
   const ProfileSource* profile_source = nullptr;
+  // Heterogeneity-aware stage assignment. On mixed-generation clusters
+  // (ClusterSpec::host_devices), same-shape placements are interchangeable;
+  // when true, materialization matches the slowest stages to the fastest
+  // meshes (rearrangement inequality: it minimizes both the sum and the max
+  // of the scaled stage latencies in Eq. 2). When false, placements keep
+  // the DP's naive in-order assignment. Either way stage latencies are
+  // scaled by the placement's actual generation (PlacementTimeScale) and
+  // memory feasibility is re-checked against the placement's real capacity,
+  // so the false setting prices the uniform-assumption plan honestly.
+  // No effect on homogeneous clusters.
+  bool hetero_aware = true;
 };
 
 // A tensor crossing a stage boundary, with the layouts on both sides.

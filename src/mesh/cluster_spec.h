@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/mesh/fault_spec.h"
 
@@ -43,13 +44,33 @@ struct DeviceSpec {
   double EffectiveFlops(Precision precision) const {
     return PeakFlops(precision) * compute_efficiency;
   }
+
+  bool operator==(const DeviceSpec&) const = default;
+
+  // --- Generation presets (paper-era V100 is the library default). ---
+  static DeviceSpec V100();  // == DeviceSpec{} — the reference generation.
+  static DeviceSpec A100();  // 312 TFLOPS fp16, 40 GB, 1555 GB/s HBM.
+  static DeviceSpec H100();  // 989 TFLOPS fp16, 80 GB, 3350 GB/s HBM.
 };
 
 // Static description of the whole cluster.
 struct ClusterSpec {
   int num_hosts = 1;
   int devices_per_host = 1;
+  // The REFERENCE device generation: the intra-op cost model and the stage
+  // profiler price every submesh against this spec, so profiles stay keyed
+  // by shape (not placement) and the process-wide ILP memo keeps working
+  // across cluster mutations. Heterogeneous clusters overlay per-host
+  // generations via `host_devices`.
   DeviceSpec device;
+  // Per-host device overrides for mixed-generation clusters. Empty =
+  // homogeneous (every host runs `device`); otherwise exactly one entry per
+  // host. The inter-op pass resolves the difference at stage
+  // MATERIALIZATION: stage latencies are scaled by each placement's
+  // HostTimeScale and memory feasibility checks use the placement's actual
+  // capacity, so the compiler deliberately matches slow stages to fast
+  // meshes (see InterOpOptions::hetero_aware).
+  std::vector<DeviceSpec> host_devices;
 
   // Intra-host interconnect (NVLink): bus bandwidth in bytes/s and latency.
   double intra_host_bandwidth = 150e9;
@@ -67,8 +88,36 @@ struct ClusterSpec {
 
   int num_devices() const { return num_hosts * devices_per_host; }
 
+  // True when per-host overrides are present and at least one host differs
+  // from the reference generation.
+  bool heterogeneous() const;
+
+  // The generation running host `h` (the reference `device` when no
+  // override exists).
+  const DeviceSpec& host_device(int host) const;
+
+  // How much LONGER a stage profiled on the reference generation runs on
+  // host `host`: the max of the compute-throughput and HBM-bandwidth
+  // ratios (a stage mixes compute- and bandwidth-bound ops; the binding
+  // resource sets the wall time). < 1 on a faster-than-reference host.
+  double HostTimeScale(int host, Precision precision) const;
+
+  // FNV-1a digest of the topology and device generations (faults excluded:
+  // a fault scenario replays against a cluster, it does not define one).
+  // The elastic runtime keys speculative presolves on this.
+  uint64_t Fingerprint() const;
+
   // The testbed used in the paper: AWS p3.16xlarge nodes.
   static ClusterSpec AwsP3(int num_hosts, int devices_per_host = 8);
+
+  // Mixed-generation preset: `num_base_hosts` reference-generation (V100)
+  // hosts followed by `num_fast_hosts` of `fast`. Interconnect parameters
+  // stay at the AwsP3 defaults so the only heterogeneity is the device
+  // generation — exactly the scenario the hetero-aware stage assignment
+  // targets.
+  static ClusterSpec MixedGeneration(int num_base_hosts, int num_fast_hosts,
+                                     int devices_per_host = 8,
+                                     DeviceSpec fast = DeviceSpec::A100());
 
   std::string ToString() const;
 };

@@ -220,4 +220,22 @@ double P2PTime(const ClusterSpec& cluster, double bytes, bool cross_host) {
   return cluster.intra_host_alpha + bytes / cluster.intra_host_bandwidth;
 }
 
+double PlacementTimeScale(const ClusterSpec& cluster, const MeshPlacement& placement,
+                          Precision precision) {
+  double scale = 0.0;
+  for (int h = 0; h < placement.shape.num_hosts; ++h) {
+    scale = std::max(scale, cluster.HostTimeScale(placement.host_begin + h, precision));
+  }
+  return scale;
+}
+
+double PlacementMemoryBytes(const ClusterSpec& cluster, const MeshPlacement& placement) {
+  double memory = cluster.host_device(placement.host_begin).memory_bytes;
+  for (int h = 1; h < placement.shape.num_hosts; ++h) {
+    memory =
+        std::min(memory, cluster.host_device(placement.host_begin + h).memory_bytes);
+  }
+  return memory;
+}
+
 }  // namespace alpa

@@ -104,6 +104,21 @@ class DeviceMesh {
 // host use NVLink.
 double P2PTime(const ClusterSpec& cluster, double bytes, bool cross_host);
 
+// --- Heterogeneity helpers (mixed-generation clusters). Profiles are
+// priced against the cluster's REFERENCE device; these resolve what a
+// concrete placement actually delivers. Both are exact no-ops (1.0 /
+// reference capacity) on homogeneous clusters. ---
+
+// Worst-case time scale over the hosts `placement` spans: a stage is gated
+// on its slowest device, so reference-profiled latencies stretch (or
+// shrink, on faster-than-reference hosts) by this factor.
+double PlacementTimeScale(const ClusterSpec& cluster, const MeshPlacement& placement,
+                          Precision precision);
+
+// Per-device memory capacity of the placement: the minimum over the hosts
+// it spans (the tightest device bounds the whole stage).
+double PlacementMemoryBytes(const ClusterSpec& cluster, const MeshPlacement& placement);
+
 }  // namespace alpa
 
 #endif  // SRC_MESH_DEVICE_MESH_H_

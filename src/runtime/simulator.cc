@@ -297,7 +297,11 @@ PipelineSimResult SimulatePipeline(const PipelineSimInput& input) {
     }
     result.latency = std::max(result.latency, update_done[static_cast<size_t>(s)]);
     result.latency = std::max(result.latency, result.failed ? free_at[static_cast<size_t>(s)] : 0.0);
-    if (result.stage_peak_bytes[static_cast<size_t>(s)] > input.device_memory_bytes &&
+    const double stage_capacity =
+        static_cast<size_t>(s) < input.stage_memory_bytes.size()
+            ? input.stage_memory_bytes[static_cast<size_t>(s)]
+            : input.device_memory_bytes;
+    if (result.stage_peak_bytes[static_cast<size_t>(s)] > stage_capacity &&
         result.first_oom_stage < 0) {
       result.oom = true;
       result.first_oom_stage = s;

@@ -47,6 +47,10 @@ struct PipelineSimInput {
   int num_microbatches = 1;
   PipelineScheduleType schedule = PipelineScheduleType::k1F1B;
   double device_memory_bytes = 16e9;
+  // Per-stage device memory capacity for heterogeneous clusters (the
+  // minimum over the hosts each stage's placement spans). Empty = every
+  // stage gets `device_memory_bytes`; otherwise one entry per stage.
+  std::vector<double> stage_memory_bytes;
   // Record per-instruction (start, end) events for timeline rendering.
   bool record_timeline = false;
   // Fault scenario to replay (default: none). Parallelize() copies it from

@@ -171,6 +171,17 @@ Status RemotePlanService::DbDelete(const PlanCacheKey& key, const std::string& t
   return response.value().ToStatus();
 }
 
+StatusOr<ServeResponse> RemotePlanService::ElasticStats() {
+  ServeRequest request;
+  request.method = Method::kElasticStats;
+  auto response = Call(request);
+  if (!response.ok()) {
+    return response.status();
+  }
+  ALPA_RETURN_IF_ERROR(response.value().ToStatus());
+  return std::move(response).value();
+}
+
 Status RemotePlanService::Ping() {
   ServeRequest request;
   request.method = Method::kPing;

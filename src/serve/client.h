@@ -32,6 +32,11 @@ class RemotePlanService : public PlanService {
   // Liveness probe: kUnavailable when the daemon is not reachable.
   Status Ping();
 
+  // Speculative re-planner counters of an --elastic daemon (response
+  // fields elastic_*). A server running without --elastic answers with
+  // elastic_enabled == false and zeroed counters.
+  StatusOr<ServeResponse> ElasticStats();
+
   // Results-database endpoints (src/serve/plan_db.h): enumerate, fetch,
   // and retire the server's compile records. `tenant` is the caller's
   // identity; the server scopes all three to it (a record owned by

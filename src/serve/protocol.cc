@@ -106,7 +106,7 @@ StatusOr<ServeRequest> DeserializeRequest(std::string_view blob) {
   ServeRequest request;
   const uint8_t method = r.U8();
   if (method < static_cast<uint8_t>(Method::kPing) ||
-      method > static_cast<uint8_t>(Method::kDbDelete)) {
+      method > static_cast<uint8_t>(Method::kElasticStats)) {
     return Status::InvalidArgument(StrFormat("wire: unknown method %u", method));
   }
   request.method = static_cast<Method>(method);
@@ -162,6 +162,11 @@ std::string SerializeResponse(const ServeResponse& response) {
   w.F64(response.compile_seconds);
   w.Bool(response.plan_cache_hit);
   w.F64(response.optimality_gap);
+  w.Bool(response.elastic_enabled);
+  w.I64(response.elastic_speculations);
+  w.I64(response.elastic_hits);
+  w.I64(response.elastic_misses);
+  w.I64(response.elastic_wasted);
   return WirePack(WireKind::kResponse, w.Take());
 }
 
@@ -207,6 +212,11 @@ StatusOr<ServeResponse> DeserializeResponse(std::string_view blob) {
   response.compile_seconds = r.F64();
   response.plan_cache_hit = r.Bool();
   response.optimality_gap = r.F64();
+  response.elastic_enabled = r.Bool();
+  response.elastic_speculations = r.I64();
+  response.elastic_hits = r.I64();
+  response.elastic_misses = r.I64();
+  response.elastic_wasted = r.I64();
   if (!r.ok()) {
     return r.status();
   }

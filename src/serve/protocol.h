@@ -42,6 +42,7 @@ enum class Method : uint8_t {
   kDbList = 5,       // db_query -> records.
   kDbGet = 6,        // db_key -> records (one entry).
   kDbDelete = 7,     // db_key -> empty (kInvalidArgument when absent).
+  kElasticStats = 8, // -> speculative re-planner counters (--elastic only).
 };
 
 struct ServeRequest {
@@ -77,6 +78,14 @@ struct ServeResponse {
   // plan.compile_stats.max_optimality_gap so dashboards need not decode
   // the plan.
   double optimality_gap = 0.0;
+  // Speculative re-planner counters (kElasticStats, and stamped on every
+  // response when the server runs --elastic so clients can watch the
+  // hit-rate evolve without extra round trips).
+  bool elastic_enabled = false;
+  int64_t elastic_speculations = 0;
+  int64_t elastic_hits = 0;
+  int64_t elastic_misses = 0;
+  int64_t elastic_wasted = 0;
 
   Status ToStatus() const;
   static ServeResponse FromStatus(const Status& status);

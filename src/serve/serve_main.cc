@@ -3,7 +3,7 @@
 //   alpa_serve --socket /tmp/alpa.sock [--workers N] [--cache-dir DIR]
 //              [--cache-max-entries N] [--cache-max-bytes N]
 //              [--max-queue N] [--max-per-tenant N] [--deadline SECONDS]
-//              [--admin-tenant NAME]
+//              [--admin-tenant NAME] [--elastic] [--speculate-k N]
 //
 // Serves Parallelize/Simulate/Repair requests over a unix socket using
 // the versioned wire format; see src/serve/server.h for the architecture
@@ -28,7 +28,8 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --socket PATH [--workers N] [--cache-dir DIR] [--max-queue N]\n"
                "          [--cache-max-entries N] [--cache-max-bytes N]\n"
-               "          [--max-per-tenant N] [--deadline SECONDS] [--admin-tenant NAME]\n",
+               "          [--max-per-tenant N] [--deadline SECONDS] [--admin-tenant NAME]\n"
+               "          [--elastic] [--speculate-k N]\n",
                argv0);
   return 2;
 }
@@ -76,6 +77,12 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       options.admin_tenant = v;
+    } else if (arg == "--elastic") {
+      options.elastic = true;
+    } else if (arg == "--speculate-k") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.speculate_k = std::atoi(v);
     } else {
       return Usage(argv[0]);
     }
@@ -92,9 +99,10 @@ int main(int argc, char** argv) {
   }
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
-  std::printf("alpa_serve: listening on %s (%d workers, cache %s)\n",
+  std::printf("alpa_serve: listening on %s (%d workers, cache %s%s)\n",
               options.socket_path.c_str(), options.num_workers,
-              options.plan_cache_dir.empty() ? "<memory-only>" : options.plan_cache_dir.c_str());
+              options.plan_cache_dir.empty() ? "<memory-only>" : options.plan_cache_dir.c_str(),
+              options.elastic ? ", elastic speculation on" : "");
   std::fflush(stdout);
 
   while (!g_stop.load()) {

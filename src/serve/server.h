@@ -33,8 +33,10 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "src/serve/protocol.h"
@@ -61,6 +63,18 @@ struct ServerOptions {
   // Disk-cache caps (LRU eviction); 0 = unbounded.
   int64_t cache_max_entries = 0;
   int64_t cache_max_bytes = 0;
+  // Speculative re-planner (--elastic). After answering a compiled
+  // Parallelize, the worker enumerates the speculate_k most-likely next
+  // cluster configurations (each host failing, deduplicated by cluster
+  // fingerprint) and presolves them into the shared plan cache before
+  // taking its next job — so a failover request for the shrunk cluster is
+  // a plan-cache hit by construction. Presolves ride the single-flight
+  // machinery, so they never duplicate a client compile in progress.
+  bool elastic = false;
+  int speculate_k = 4;
+  // Hazard rate used to rank candidate configurations (any positive value
+  // only orders them; it does not gate speculation).
+  double speculate_mtbf_seconds = 2.5 * 86400.0;
 };
 
 struct ServerStats {
@@ -113,7 +127,21 @@ class PlanServer {
   // nullptr when the queue is full (caller responds kUnavailable).
   std::shared_ptr<Job> Admit(ServeRequest request);
   std::shared_ptr<Job> NextJob();  // Blocks; nullptr on shutdown.
-  ServeResponse Execute(InProcessPlanService& service, Job& job);
+  // `speculate` (non-null only under --elastic) receives the finished
+  // compile request when a successful Parallelize should seed speculative
+  // presolves — the worker runs those AFTER publishing the response.
+  ServeResponse Execute(InProcessPlanService& service, Job& job,
+                        std::optional<PlanRequest>* speculate);
+  // Presolves the likely next cluster configurations of `base` into the
+  // shared plan cache (through `service`, so single-flight and the results
+  // db apply). Runs on the worker thread between jobs.
+  void SpeculateAfter(InProcessPlanService& service, const PlanRequest& base);
+  // Attributes a finished Parallelize to the speculation counters: a
+  // plan-cache hit on a presolved key is a speculative hit; a cold compile
+  // is a miss speculation did not cover.
+  void RecordElasticParallelize(const CompileOutcome& outcome, const PlanRequest& request);
+  // Stamps the elastic_* observability fields (no-op without --elastic).
+  void StampElastic(ServeResponse* response);
   // True when `request` carries the configured admin identity (and one is
   // configured at all): such callers see every tenant's db records.
   bool DbAdmin(const ServeRequest& request) const {
@@ -140,6 +168,15 @@ class PlanServer {
 
   mutable std::mutex stats_mu_;
   ServerStats stats_;
+
+  // --elastic bookkeeping: plan-cache keys presolved by SpeculateAfter,
+  // flipped to true once a client request consumed one (still-false
+  // entries are the "wasted presolves" gauge).
+  mutable std::mutex elastic_mu_;
+  std::map<std::pair<uint64_t, uint64_t>, bool> speculative_;
+  int64_t elastic_speculations_ = 0;
+  int64_t elastic_hits_ = 0;
+  int64_t elastic_misses_ = 0;
 };
 
 }  // namespace serve

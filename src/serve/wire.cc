@@ -612,6 +612,14 @@ void EncodeClusterSpec(const ClusterSpec& cluster, WireWriter* w) {
   w->F64(cluster.intra_host_alpha);
   w->F64(cluster.inter_host_bandwidth);
   w->F64(cluster.inter_host_alpha);
+  w->U32(static_cast<uint32_t>(cluster.host_devices.size()));
+  for (const DeviceSpec& d : cluster.host_devices) {
+    w->F64(d.peak_flops_fp16);
+    w->F64(d.peak_flops_fp32);
+    w->F64(d.memory_bytes);
+    w->F64(d.memory_bandwidth);
+    w->F64(d.compute_efficiency);
+  }
   EncodeFaultSpec(cluster.faults, w);
 }
 
@@ -627,10 +635,27 @@ Status DecodeClusterSpec(WireReader* r, ClusterSpec* out) {
   out->intra_host_alpha = r->F64();
   out->inter_host_bandwidth = r->F64();
   out->inter_host_alpha = r->F64();
+  const uint32_t num_host_devices = r->Count(40);
+  if (!r->ok()) {
+    return r->status();
+  }
+  out->host_devices.resize(num_host_devices);
+  for (uint32_t i = 0; i < num_host_devices; ++i) {
+    DeviceSpec& d = out->host_devices[i];
+    d.peak_flops_fp16 = r->F64();
+    d.peak_flops_fp32 = r->F64();
+    d.memory_bytes = r->F64();
+    d.memory_bandwidth = r->F64();
+    d.compute_efficiency = r->F64();
+  }
   ALPA_RETURN_IF_ERROR(DecodeFaultSpec(r, &out->faults));
   if (out->num_hosts < 0 || out->devices_per_host < 0 ||
       out->num_hosts > (1 << 20) || out->devices_per_host > (1 << 20)) {
     return Status::InvalidArgument("wire: cluster extent out of range");
+  }
+  if (!out->host_devices.empty() &&
+      static_cast<int>(out->host_devices.size()) != out->num_hosts) {
+    return Status::InvalidArgument("wire: host_devices count must be 0 or num_hosts");
   }
   return Status::Ok();
 }
@@ -681,6 +706,10 @@ void EncodeSimInput(const PipelineSimInput& input, WireWriter* w) {
   w->I32(input.num_microbatches);
   w->U8(static_cast<uint8_t>(input.schedule));
   w->F64(input.device_memory_bytes);
+  w->U32(static_cast<uint32_t>(input.stage_memory_bytes.size()));
+  for (double bytes : input.stage_memory_bytes) {
+    w->F64(bytes);
+  }
   w->Bool(input.record_timeline);
   EncodeFaultSpec(input.faults, w);
   w->U32(static_cast<uint32_t>(input.stage_devices.size()));
@@ -716,6 +745,14 @@ Status DecodeSimInput(WireReader* r, PipelineSimInput* out) {
   }
   out->schedule = static_cast<PipelineScheduleType>(schedule);
   out->device_memory_bytes = r->F64();
+  const uint32_t num_stage_memory = r->Count(8);
+  if (!r->ok()) {
+    return r->status();
+  }
+  out->stage_memory_bytes.resize(num_stage_memory);
+  for (uint32_t i = 0; i < num_stage_memory; ++i) {
+    out->stage_memory_bytes[i] = r->F64();
+  }
   out->record_timeline = r->Bool();
   ALPA_RETURN_IF_ERROR(DecodeFaultSpec(r, &out->faults));
   const uint32_t num_stage_devices = r->Count(4);

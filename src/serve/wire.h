@@ -59,7 +59,10 @@ inline constexpr uint32_t kWireMagic = 0x414C5057u;  // "ALPW".
 // v2: CompileStats gained ilp_aborts + max_optimality_gap (anytime
 // contract); requests carry max_elimination_table; responses carry the
 // plan's optimality gap and results-database record lists.
-inline constexpr uint16_t kWireVersion = 2;
+// v3: ClusterSpec carries per-host DeviceSpec overrides (mixed-generation
+// clusters); responses carry elastic speculation stats; new kElasticStats
+// request method.
+inline constexpr uint16_t kWireVersion = 3;
 
 // What an envelope's payload decodes as.
 enum class WireKind : uint16_t {

@@ -1,0 +1,307 @@
+// Tests of the elastic runtime (src/elastic): churn stream determinism,
+// LiveCluster mutation semantics, speculative-candidate enumeration, the
+// full replan loop's bit-identical fingerprint across thread counts and
+// reruns, the speculative-vs-reactive goodput ordering, the ilp.elastic.*
+// metrics, heterogeneity-aware stage assignment on mixed-generation
+// clusters, and the RepairPlan zero-feasible-submeshes regression.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/api.h"
+#include "src/elastic/churn.h"
+#include "src/elastic/elastic.h"
+#include "src/elastic/speculator.h"
+#include "src/models/gpt.h"
+#include "src/models/mlp.h"
+#include "src/support/trace.h"
+
+namespace alpa {
+namespace elastic {
+namespace {
+
+ParallelizeOptions MlpOptions() {
+  ParallelizeOptions options;
+  options.num_microbatches = 4;
+  options.inter.target_layers = 2;
+  return options;
+}
+
+// A small elastic scenario: 2x2 cluster, aggressive failures, capacity
+// replenished by scheduled joins so the loop keeps replanning.
+ElasticOptions SmallScenario() {
+  ElasticOptions elastic;
+  elastic.churn.horizon_seconds = 2000.0;
+  elastic.churn.host_mtbf_seconds = 400.0;
+  elastic.churn.seed = 0x5eedULL;
+  elastic.churn.scheduled.push_back(
+      {600.0, ChurnEventKind::kHostJoin, -1, DeviceSpec::V100()});
+  elastic.churn.scheduled.push_back(
+      {1200.0, ChurnEventKind::kHostJoin, -1, DeviceSpec::V100()});
+  return elastic;
+}
+
+TEST(Churn, SampleIsDeterministicAndTimeSorted) {
+  const ClusterSpec cluster = ClusterSpec::AwsP3(4, 2);
+  ChurnOptions options;
+  options.horizon_seconds = 86400.0;
+  options.host_mtbf_seconds = 4000.0;
+  options.scheduled.push_back({500.0, ChurnEventKind::kHostJoin, -1, DeviceSpec::A100()});
+  options.scheduled.push_back({40000.0, ChurnEventKind::kHostDrain, 1, {}});
+
+  const std::vector<ChurnEvent> a = SampleChurnEvents(cluster, options);
+  const std::vector<ChurnEvent> b = SampleChurnEvents(cluster, options);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_GT(a.size(), 2u);  // Failures sampled, not just the scheduled pair.
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time, b[i].time);
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].host, b[i].host);
+    if (i > 0) {
+      EXPECT_GE(a[i].time, a[i - 1].time);
+    }
+    if (a[i].kind == ChurnEventKind::kHostFailure) {
+      EXPECT_GE(a[i].host, 0);
+    }
+    EXPECT_LT(a[i].time, options.horizon_seconds);
+  }
+
+  // A different seed yields a different failure stream.
+  options.seed = 0x1234ULL;
+  const std::vector<ChurnEvent> c = SampleChurnEvents(cluster, options);
+  bool any_difference = c.size() != a.size();
+  for (size_t i = 0; !any_difference && i < c.size(); ++i) {
+    any_difference = c[i].time != a[i].time;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Churn, LiveClusterAppliesAndValidates) {
+  LiveCluster live(ClusterSpec::AwsP3(2, 2));
+
+  // Join an A100 host: the overlay materializes and the spec grows.
+  ChurnEvent join{10.0, ChurnEventKind::kHostJoin, -1, DeviceSpec::A100()};
+  ASSERT_TRUE(live.Apply(join).ok());
+  EXPECT_EQ(live.spec().num_hosts, 3);
+  EXPECT_TRUE(live.spec().heterogeneous());
+  EXPECT_EQ(live.spec().host_device(2).memory_bytes, DeviceSpec::A100().memory_bytes);
+
+  // Failure of host 0: indices shift down, the A100 host survives.
+  ChurnEvent failure{20.0, ChurnEventKind::kHostFailure, 0, {}};
+  ASSERT_TRUE(live.Apply(failure).ok());
+  EXPECT_EQ(live.spec().num_hosts, 2);
+  EXPECT_EQ(live.spec().host_device(1).memory_bytes, DeviceSpec::A100().memory_bytes);
+
+  // Out-of-range target: rejected, spec untouched.
+  ChurnEvent bogus{30.0, ChurnEventKind::kHostDrain, 7, {}};
+  EXPECT_EQ(live.Apply(bogus).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(live.spec().num_hosts, 2);
+
+  // Draining down to zero hosts is infeasible.
+  ChurnEvent drain{40.0, ChurnEventKind::kHostDrain, 0, {}};
+  ASSERT_TRUE(live.Apply(drain).ok());
+  EXPECT_EQ(live.spec().num_hosts, 1);
+  ChurnEvent last{50.0, ChurnEventKind::kHostFailure, 0, {}};
+  EXPECT_EQ(live.Apply(last).code(), StatusCode::kInfeasible);
+  EXPECT_EQ(live.spec().num_hosts, 1);
+}
+
+TEST(Speculator, HomogeneousFailuresCollapseToOneCandidate) {
+  // Every single-host failure of a homogeneous cluster shrinks to the
+  // same spec, so fingerprint dedup leaves exactly one failure candidate.
+  const ClusterSpec cluster = ClusterSpec::AwsP3(3, 2);
+  SpeculationOptions options;
+  options.k = 8;
+  const std::vector<CandidateConfig> candidates =
+      EnumerateLikelyConfigs(cluster, {}, 0.0, 86400.0, options);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].cluster.num_hosts, 2);
+  EXPECT_GT(candidates[0].likelihood, 0.0);
+}
+
+TEST(Speculator, MixedGenerationFailuresStayDistinct) {
+  // Losing the V100 host and losing the A100 host are different futures.
+  const ClusterSpec mixed = ClusterSpec::MixedGeneration(1, 1, /*devices_per_host=*/2);
+  SpeculationOptions options;
+  options.k = 8;
+  std::vector<CandidateConfig> candidates =
+      EnumerateLikelyConfigs(mixed, {}, 0.0, 86400.0, options);
+  EXPECT_EQ(candidates.size(), 2u);
+
+  // An announced join inside the lookahead ranks first (likelihood 1).
+  std::vector<ChurnEvent> announced = {
+      {1000.0, ChurnEventKind::kHostJoin, -1, DeviceSpec::H100()}};
+  candidates = EnumerateLikelyConfigs(mixed, announced, 0.0, 86400.0, options);
+  ASSERT_EQ(candidates.size(), 3u);
+  EXPECT_EQ(candidates[0].likelihood, 1.0);
+  EXPECT_EQ(candidates[0].cluster.num_hosts, 3);
+}
+
+TEST(Elastic, FingerprintIdenticalAcrossThreadsAndReruns) {
+  const Graph graph = BuildMlp(MlpConfig{});
+  const ClusterSpec initial = ClusterSpec::AwsP3(2, 2);
+  const ParallelizeOptions options = MlpOptions();
+
+  ElasticOptions inline_presolves = SmallScenario();
+  inline_presolves.threads = 0;
+  const StatusOr<ElasticRunResult> a =
+      RunElasticLoop(graph, initial, options, inline_presolves);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_GT(a->events_applied, 0);
+
+  const StatusOr<ElasticRunResult> b =
+      RunElasticLoop(graph, initial, options, inline_presolves);
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+
+  ElasticOptions pooled = SmallScenario();
+  pooled.threads = 4;
+  const StatusOr<ElasticRunResult> c = RunElasticLoop(graph, initial, options, pooled);
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+
+  EXPECT_EQ(a->DeterminismFingerprint(), b->DeterminismFingerprint());
+  EXPECT_EQ(a->DeterminismFingerprint(), c->DeterminismFingerprint());
+  EXPECT_EQ(a->total_goodput_pflops_seconds, c->total_goodput_pflops_seconds);
+  EXPECT_EQ(a->epochs.size(), c->epochs.size());
+}
+
+TEST(Elastic, SpeculativeBeatsReactiveGoodput) {
+  const Graph graph = BuildMlp(MlpConfig{});
+  const ClusterSpec initial = ClusterSpec::AwsP3(2, 2);
+  const ParallelizeOptions options = MlpOptions();
+
+  ElasticOptions reactive_options = SmallScenario();
+  reactive_options.speculative = false;
+  const StatusOr<ElasticRunResult> reactive =
+      RunElasticLoop(graph, initial, options, reactive_options);
+  ASSERT_TRUE(reactive.ok()) << reactive.status().ToString();
+
+  ElasticOptions speculative_options = SmallScenario();
+  speculative_options.speculative = true;
+  speculative_options.threads = 2;
+  const StatusOr<ElasticRunResult> speculative =
+      RunElasticLoop(graph, initial, options, speculative_options);
+  ASSERT_TRUE(speculative.ok()) << speculative.status().ToString();
+
+  // Same churn stream, so the comparison is apples to apples.
+  ASSERT_EQ(speculative->events_applied, reactive->events_applied);
+  EXPECT_GT(speculative->speculative_hits, 0);
+  EXPECT_EQ(reactive->speculations, 0);
+  EXPECT_LT(speculative->total_downtime_seconds, reactive->total_downtime_seconds);
+  EXPECT_GT(speculative->total_goodput_pflops_seconds,
+            reactive->total_goodput_pflops_seconds);
+}
+
+TEST(Elastic, MetricsPublished) {
+  Metrics::Reset();
+  const Graph graph = BuildMlp(MlpConfig{});
+  ElasticOptions elastic = SmallScenario();
+  elastic.threads = 2;
+  const StatusOr<ElasticRunResult> run =
+      RunElasticLoop(graph, ClusterSpec::AwsP3(2, 2), MlpOptions(), elastic);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ASSERT_GT(run->speculations, 0);
+  EXPECT_EQ(Metrics::Value("ilp.elastic.speculations"), run->speculations);
+  EXPECT_EQ(Metrics::Value("ilp.elastic.speculative_hits"), run->speculative_hits);
+  EXPECT_EQ(Metrics::Value("ilp.elastic.speculative_misses"), run->speculative_misses);
+  EXPECT_EQ(Metrics::Value("ilp.elastic.wasted_presolves"), run->wasted_presolves);
+}
+
+TEST(Elastic, InfeasibleInitialClusterErrors) {
+  const Graph graph = BuildMlp(MlpConfig{});
+  ElasticOptions elastic;
+  elastic.churn.horizon_seconds = -1.0;
+  const StatusOr<ElasticRunResult> run =
+      RunElasticLoop(graph, ClusterSpec::AwsP3(2, 2), MlpOptions(), elastic);
+  EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Hetero, MixedGenerationPresetShape) {
+  const ClusterSpec mixed = ClusterSpec::MixedGeneration(2, 2, /*devices_per_host=*/2);
+  EXPECT_EQ(mixed.num_hosts, 4);
+  ASSERT_EQ(mixed.host_devices.size(), 4u);
+  EXPECT_TRUE(mixed.heterogeneous());
+  // Base (reference) hosts first, fast hosts appended.
+  EXPECT_EQ(mixed.HostTimeScale(0, Precision::kFloat16), 1.0);
+  EXPECT_LT(mixed.HostTimeScale(2, Precision::kFloat16), 1.0);
+  // Fingerprints separate mixed from uniform clusters of the same extent.
+  EXPECT_NE(mixed.Fingerprint(), ClusterSpec::AwsP3(4, 2).Fingerprint());
+}
+
+TEST(Hetero, AwareAssignmentBeatsUniformAssumption) {
+  // The bench configuration: stages span multiple same-shape submeshes
+  // with unequal latencies, so matching slow stages to fast meshes moves
+  // the pipeline bottleneck.
+  GptConfig config = GptPaperCases()[0].config;
+  config.microbatch = 8;
+  const ClusterSpec mixed = ClusterSpec::MixedGeneration(2, 2, /*devices_per_host=*/2);
+  const ParallelizeOptions base = ParallelizeOptions::Builder()
+                                      .microbatches(8)
+                                      .target_layers(4)
+                                      .threads(1)
+                                      .search_budget(60'000)
+                                      .Build();
+
+  ParallelizeOptions aware_options = base;
+  aware_options.inter.hetero_aware = true;
+  Graph aware_graph = BuildGpt(config);
+  const StatusOr<ParallelPlan> aware = Parallelize(aware_graph, mixed, aware_options);
+  ASSERT_TRUE(aware.ok()) << aware.status().ToString();
+  ASSERT_TRUE(aware->pipeline.feasible);
+
+  ParallelizeOptions uniform_options = base;
+  uniform_options.inter.hetero_aware = false;
+  Graph uniform_graph = BuildGpt(config);
+  const StatusOr<ParallelPlan> uniform = Parallelize(uniform_graph, mixed, uniform_options);
+  ASSERT_TRUE(uniform.ok()) << uniform.status().ToString();
+
+  const Graph graph = BuildGpt(config);
+  const StatusOr<ExecutionStats> aware_stats = Simulate(*aware, graph, mixed);
+  const StatusOr<ExecutionStats> uniform_stats = Simulate(*uniform, graph, mixed);
+  ASSERT_TRUE(aware_stats.ok()) << aware_stats.status().ToString();
+  ASSERT_TRUE(uniform_stats.ok()) << uniform_stats.status().ToString();
+  EXPECT_LT(aware_stats->latency, uniform_stats->latency);
+}
+
+TEST(Repair, ZeroFeasibleSubmeshesRejected) {
+  // failed_host kills host 0 and the fault scenario kills host 1 (device 2
+  // lives there): nothing survives, which must be a structured error, not
+  // a crash or an empty compile.
+  Graph graph = BuildMlp(MlpConfig{});
+  ClusterSpec cluster = ClusterSpec::AwsP3(2, 2);
+  cluster.faults.device_failures.push_back({2, 0.0});
+  RepairOptions repair;
+  repair.failed_host = 0;
+  const StatusOr<RepairResult> result = RepairPlan(graph, cluster, MlpOptions(), repair);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("zero feasible"), std::string::npos);
+}
+
+TEST(Repair, FaultDeviceOutOfRangeRejected) {
+  Graph graph = BuildMlp(MlpConfig{});
+  ClusterSpec cluster = ClusterSpec::AwsP3(2, 2);
+  cluster.faults.device_failures.push_back({99, 0.0});
+  RepairOptions repair;
+  repair.failed_host = 0;
+  const StatusOr<RepairResult> result = RepairPlan(graph, cluster, MlpOptions(), repair);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Repair, FaultsOnSurvivingHostsShrinkFurther) {
+  // Faults name devices on host 2 as well: repair must drop BOTH the
+  // explicitly failed host and every fault-stricken host.
+  Graph graph = BuildMlp(MlpConfig{});
+  ClusterSpec cluster = ClusterSpec::AwsP3(3, 2);
+  cluster.faults.device_failures.push_back({4, 0.0});  // Host 2.
+  RepairOptions repair;
+  repair.failed_host = 0;
+  const StatusOr<RepairResult> result = RepairPlan(graph, cluster, MlpOptions(), repair);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->shrunk_cluster.num_hosts, 1);
+  EXPECT_TRUE(result->shrunk_cluster.faults.device_failures.empty());
+}
+
+}  // namespace
+}  // namespace elastic
+}  // namespace alpa

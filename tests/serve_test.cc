@@ -487,6 +487,66 @@ TEST_F(ServeTest, RestartServesWarmFromDiskCache) {
   }
 }
 
+TEST_F(ServeTest, ElasticSpeculationServesFailoverFromCache) {
+  ServerOptions options;
+  options.socket_path = socket_path_;
+  options.elastic = true;
+  options.speculate_k = 4;
+  PlanServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  RemotePlanService client(socket_path_);
+
+  // A 2-host job: the only likely next config is the 1-host shrink (all
+  // single-host failures of a homogeneous cluster collapse to one
+  // fingerprint). No deadline — deadline-derived budgets feed the cache
+  // key, so only deadline-free requests can match a presolve.
+  PlanRequest request = MlpRequest(0);
+  request.cluster = ClusterSpec::AwsP3(2, 2);
+  ASSERT_TRUE(client.Parallelize(request).ok());
+
+  // Speculation runs on the worker thread after the response is published;
+  // poll until the presolve for the shrunk cluster has landed.
+  StatusOr<ServeResponse> stats = Status::Unavailable("not polled yet");
+  for (int i = 0; i < 100; ++i) {
+    stats = client.ElasticStats();
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    ASSERT_TRUE(stats->elastic_enabled);
+    if (stats->elastic_speculations >= 1 && stats->elastic_wasted >= 1) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  ASSERT_GE(stats->elastic_speculations, 1);
+  ASSERT_GE(stats->elastic_wasted, 1);
+  EXPECT_EQ(stats->elastic_hits, 0);
+
+  // Churn strikes: the client re-requests on the shrunk cluster. The plan
+  // was presolved into the shared cache, so this is a hit, not a compile.
+  PlanRequest failover = MlpRequest(0);
+  failover.cluster = ClusterSpec::AwsP3(1, 2);
+  ASSERT_TRUE(client.Parallelize(failover).ok());
+  EXPECT_EQ(server.stats().plan_cache_hits, 1);
+
+  stats = client.ElasticStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->elastic_hits, 1);
+  EXPECT_EQ(stats->elastic_wasted, 0);  // The presolve was consumed.
+  server.Stop();
+}
+
+TEST_F(ServeTest, ElasticStatsDisabledByDefault) {
+  ServerOptions options;
+  options.socket_path = socket_path_;
+  PlanServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  RemotePlanService client(socket_path_);
+  const StatusOr<ServeResponse> stats = client.ElasticStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_FALSE(stats->elastic_enabled);
+  EXPECT_EQ(stats->elastic_speculations, 0);
+  server.Stop();
+}
+
 }  // namespace
 }  // namespace serve
 }  // namespace alpa

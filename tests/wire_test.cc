@@ -54,6 +54,8 @@ Graph TestGraph() {
 
 ClusterSpec TestCluster() {
   ClusterSpec cluster = ClusterSpec::AwsP3(2, 4);
+  // Mixed generations: per-host overrides must survive the wire (v3).
+  cluster.host_devices = {DeviceSpec::V100(), DeviceSpec::A100()};
   cluster.faults.device_failures.push_back({3, 1.5});
   cluster.faults.stragglers.push_back({1, 2.0});
   cluster.faults.link_degradations.push_back({0, 1, 0.25});
@@ -229,6 +231,9 @@ TEST(WireRoundTrip, ClusterSpec) {
   ASSERT_TRUE(back.ok()) << back.status().ToString();
   EXPECT_EQ(EncodedBytes(*back, EncodeClusterSpec), EncodedBytes(cluster, EncodeClusterSpec));
   EXPECT_EQ(back->num_hosts, 2);
+  ASSERT_EQ(back->host_devices.size(), 2u);
+  EXPECT_TRUE(back->heterogeneous());
+  EXPECT_EQ(back->host_devices[1].memory_bytes, DeviceSpec::A100().memory_bytes);
   EXPECT_EQ(back->faults.device_failures.size(), 1u);
   EXPECT_EQ(back->faults.seed, 0xabcdefu);
 }
@@ -354,6 +359,16 @@ TEST(WireAdversarial, ShardingSpecAxisReuseRejected) {
   const StatusOr<ParallelPlan> result = DeserializePlan(WirePack(WireKind::kPlan, raw));
   ASSERT_FALSE(result.ok());
   EXPECT_NE(result.status().message().find("mesh axis"), std::string::npos);
+}
+
+TEST(WireAdversarial, HostDeviceCountMismatchRejected) {
+  // A per-host override list must cover every host or no host; encoding a
+  // deliberately inconsistent spec produces the malformed payload.
+  ClusterSpec cluster = ClusterSpec::AwsP3(2, 4);
+  cluster.host_devices = {DeviceSpec::A100()};  // 1 entry, 2 hosts.
+  const StatusOr<ClusterSpec> result = DeserializeClusterSpec(SerializeClusterSpec(cluster));
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("host_devices"), std::string::npos);
 }
 
 TEST(WireAdversarial, TrailingBytesRejected) {
